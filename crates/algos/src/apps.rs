@@ -1,0 +1,741 @@
+//! The distributed benchmark applications: bfs, sssp, cc, pagerank.
+//!
+//! Each function is the per-host body of an SPMD program: it computes on
+//! one [`LocalGraph`] with the chosen engine and synchronizes through the
+//! given [`GluonContext`]. Labels are returned per *proxy*; masters hold
+//! the canonical values (use [`crate::driver`] to gather global vectors).
+
+use crate::minrelax;
+use crate::reference::INFINITY;
+use crate::EngineKind;
+use gluon::{
+    DenseBitset, FieldSync, GluonContext, MinField, ReadLocation, SumField, SyncValue,
+    WriteLocation,
+};
+use gluon_engines::irgl::IrglEngine;
+use gluon_engines::ligra::{self, Direction, EdgeOp, VertexSubset};
+use gluon_graph::{Gid, Lid};
+use gluon_net::Transport;
+use gluon_partition::LocalGraph;
+
+/// Broadcast-only field: `set`/`reduce` overwrite (last writer wins),
+/// `reset` keeps the value. Used for fields written only at masters and
+/// shipped master → mirror (e.g. pagerank ranks).
+#[derive(Debug)]
+pub struct CopyField<'a, T> {
+    data: &'a mut [T],
+}
+
+impl<'a, T> CopyField<'a, T> {
+    /// Wraps the label slice (one entry per proxy).
+    pub fn new(data: &'a mut [T]) -> Self {
+        CopyField { data }
+    }
+}
+
+impl<T: SyncValue> FieldSync for CopyField<'_, T> {
+    type Value = T;
+
+    fn extract(&self, lid: Lid) -> T {
+        self.data[lid.index()]
+    }
+
+    fn reduce(&mut self, lid: Lid, value: T) -> bool {
+        if self.data[lid.index()] == value {
+            false
+        } else {
+            self.data[lid.index()] = value;
+            true
+        }
+    }
+
+    fn reset(&mut self, _lid: Lid) {}
+
+    fn set(&mut self, lid: Lid, value: T) {
+        self.data[lid.index()] = value;
+    }
+}
+
+/// Distributed BFS from `source`. Returns per-proxy distances and the
+/// number of BSP rounds.
+pub fn bfs<T: Transport + ?Sized>(
+    lg: &LocalGraph,
+    ctx: &mut GluonContext<'_, T>,
+    source: Gid,
+    engine: EngineKind,
+) -> (Vec<u32>, u32) {
+    let n = lg.num_proxies();
+    let mut dist = vec![INFINITY; n as usize];
+    let mut active = DenseBitset::new(n);
+    if let Some(s) = lg.lid(source) {
+        dist[s.index()] = 0;
+        active.set(s);
+    }
+    let rounds = minrelax::run(lg, ctx, &mut dist, &mut active, engine, |l, _| {
+        l.saturating_add(1)
+    });
+    (dist, rounds)
+}
+
+/// Distributed SSSP from `source` (weight 1 on unweighted edges). Returns
+/// per-proxy distances and the number of BSP rounds.
+pub fn sssp<T: Transport + ?Sized>(
+    lg: &LocalGraph,
+    ctx: &mut GluonContext<'_, T>,
+    source: Gid,
+    engine: EngineKind,
+) -> (Vec<u32>, u32) {
+    let n = lg.num_proxies();
+    let mut dist = vec![INFINITY; n as usize];
+    let mut active = DenseBitset::new(n);
+    if let Some(s) = lg.lid(source) {
+        dist[s.index()] = 0;
+        active.set(s);
+    }
+    let rounds = minrelax::run(lg, ctx, &mut dist, &mut active, engine, |l, w| {
+        l.saturating_add(w)
+    });
+    (dist, rounds)
+}
+
+/// Distributed connected components by label propagation. The input
+/// partitioning must be of the *symmetrized* graph (see
+/// [`crate::reference::symmetrize`]); labels converge to each component's
+/// minimum global id. Returns per-proxy labels and the round count.
+pub fn cc<T: Transport + ?Sized>(
+    lg: &LocalGraph,
+    ctx: &mut GluonContext<'_, T>,
+    engine: EngineKind,
+) -> (Vec<u32>, u32) {
+    let n = lg.num_proxies();
+    // Every proxy starts with its own global id and every node is active.
+    let mut label: Vec<u32> = (0..n).map(|l| lg.gid(Lid(l)).0).collect();
+    let mut active = DenseBitset::new(n);
+    active.set_all();
+    let rounds = minrelax::run(lg, ctx, &mut label, &mut active, engine, |l, _| l);
+    (label, rounds)
+}
+
+/// Pagerank configuration (the paper: damping 0.85, tolerance 1e-6 or 1e-9,
+/// at most 100 iterations).
+#[derive(Clone, Copy, Debug)]
+pub struct PagerankConfig {
+    /// Damping factor d.
+    pub damping: f64,
+    /// Stop when the global L1 rank change drops below this.
+    pub tolerance: f64,
+    /// Iteration cap.
+    pub max_iters: u32,
+}
+
+impl Default for PagerankConfig {
+    fn default() -> Self {
+        PagerankConfig {
+            damping: 0.85,
+            tolerance: 1e-6,
+            max_iters: 100,
+        }
+    }
+}
+
+/// Distributed pull-style pagerank (the D-Galois/D-IrGL formulation).
+/// Returns per-proxy ranks and the iteration count.
+///
+/// Requires [`LocalGraph::build_transpose`] to have run (the pull loop
+/// walks local in-edges).
+pub fn pagerank<T: Transport + ?Sized>(
+    lg: &LocalGraph,
+    ctx: &mut GluonContext<'_, T>,
+    cfg: PagerankConfig,
+    engine: EngineKind,
+) -> (Vec<f64>, u32) {
+    let n = lg.num_proxies() as usize;
+    let total_nodes = f64::from(lg.global_nodes().max(1));
+    let base = (1.0 - cfg.damping) / total_nodes;
+
+    // Phase 0: assemble *global* out-degrees at every proxy. Local
+    // out-degrees are partial sums (vertex-cuts split a node's out-edges),
+    // so reduce them at masters, then broadcast the totals to every proxy
+    // that will be read as an edge source.
+    let mut gdeg: Vec<u32> = (0..n).map(|l| lg.out_degree(Lid(l as u32))).collect();
+    let mut deg_bits = DenseBitset::new(lg.num_proxies());
+    deg_bits.set_all();
+    {
+        let mut field = SumField::new(&mut gdeg);
+        ctx.sync(
+            WriteLocation::Source,
+            ReadLocation::Source,
+            &mut field,
+            &mut deg_bits,
+        );
+    }
+
+    let mut rank = vec![1.0 / total_nodes; n];
+    let mut contrib = vec![0.0f64; n];
+    let mut device = IrglEngine::new(Default::default());
+    let mut iters = 0u32;
+    while iters < cfg.max_iters {
+        iters += 1;
+        // Work model: a pull iteration scans every local in-edge once.
+        ctx.add_work(lg.num_local_edges());
+        // Pull phase: partial contribution sums at every proxy with local
+        // in-edges. `contrib` is assigned (not accumulated) per round.
+        let mut contrib_bits = DenseBitset::new(lg.num_proxies());
+        let pull_into = |v: Lid, contrib: &mut [f64], bits: &mut DenseBitset| {
+            if !lg.has_local_in_edges(v) {
+                return;
+            }
+            let mut sum = 0.0f64;
+            for e in lg.in_edges(v) {
+                let u = e.dst; // in_edges reports the source here
+                sum += rank[u.index()] / f64::from(gdeg[u.index()].max(1));
+            }
+            contrib[v.index()] = sum;
+            bits.set(v);
+        };
+        match engine {
+            EngineKind::Ligra => {
+                // Dense-frontier pull edgeMap: every source is live.
+                struct PullOp<'a> {
+                    rank: &'a [f64],
+                    gdeg: &'a [u32],
+                    contrib: &'a mut [f64],
+                    bits: &'a mut DenseBitset,
+                }
+                impl EdgeOp for PullOp<'_> {
+                    fn update(&mut self, src: Lid, dst: Lid, _w: u32) -> bool {
+                        self.contrib[dst.index()] +=
+                            self.rank[src.index()] / f64::from(self.gdeg[src.index()].max(1));
+                        self.bits.set(dst);
+                        true
+                    }
+                }
+                contrib.fill(0.0);
+                let mut all = DenseBitset::new(lg.num_proxies());
+                all.set_all();
+                let frontier = VertexSubset::from_bitset(all);
+                let mut op = PullOp {
+                    rank: &rank,
+                    gdeg: &gdeg,
+                    contrib: &mut contrib,
+                    bits: &mut contrib_bits,
+                };
+                let _ = ligra::edge_map(lg, &frontier, &mut op, Direction::Pull);
+            }
+            EngineKind::Galois => {
+                gluon_engines::galois::do_all(lg.proxies(), |v| {
+                    pull_into(v, &mut contrib, &mut contrib_bits);
+                });
+            }
+            EngineKind::Irgl => {
+                device.kernel_all(lg, |v, _| {
+                    pull_into(v, &mut contrib, &mut contrib_bits);
+                });
+            }
+        }
+        // Reduce partial sums to masters; the contributions are consumed
+        // there, so no broadcast of `contrib` is ever needed.
+        {
+            let mut field = SumField::new(&mut contrib);
+            ctx.sync_reduce(WriteLocation::Destination, &mut field, &mut contrib_bits);
+        }
+        // Apply at masters and measure the local L1 change.
+        let mut rank_bits = DenseBitset::new(lg.num_proxies());
+        let mut local_delta = 0.0f64;
+        for m in lg.masters() {
+            let next = base + cfg.damping * contrib[m.index()];
+            let delta = (next - rank[m.index()]).abs();
+            if delta > 0.0 {
+                rank[m.index()] = next;
+                rank_bits.set(m);
+            }
+            local_delta += delta;
+            contrib[m.index()] = 0.0;
+        }
+        // Ship canonical ranks to the mirrors that will be read as edge
+        // sources next round.
+        {
+            let mut field = CopyField::new(&mut rank);
+            ctx.sync_broadcast(ReadLocation::Source, &mut field, &mut rank_bits);
+        }
+        if ctx.sum_globally(local_delta) < cfg.tolerance {
+            break;
+        }
+    }
+    (rank, iters)
+}
+
+/// Distributed k-core membership: which nodes survive in the k-core of the
+/// (symmetrized) input. Returns per-proxy alive flags (1 = in the k-core)
+/// and the number of peeling rounds.
+///
+/// This benchmark is part of the real D-Galois suite; it exercises a sync
+/// pattern the four paper benchmarks do not: a broadcast-only flag field
+/// (`alive`) combined with a reduce-only accumulator (`trim`), both per
+/// round.
+///
+/// The partitioning must be of the symmetrized graph (every neighbor
+/// relation present in both directions, deduplicated).
+pub fn kcore<T: Transport + ?Sized>(
+    lg: &LocalGraph,
+    ctx: &mut GluonContext<'_, T>,
+    k: u32,
+    engine: EngineKind,
+) -> (Vec<u32>, u32) {
+    let n = lg.num_proxies() as usize;
+    // Global (undirected) degree at every master, via the same partial-sum
+    // reduction pagerank uses for out-degrees.
+    let mut degree: Vec<u32> = (0..n).map(|l| lg.out_degree(Lid(l as u32))).collect();
+    let mut deg_bits = DenseBitset::new(lg.num_proxies());
+    deg_bits.set_all();
+    {
+        let mut field = SumField::new(&mut degree);
+        ctx.sync_reduce(WriteLocation::Source, &mut field, &mut deg_bits);
+    }
+    let mut alive: Vec<u32> = vec![1; n];
+    let mut trim: Vec<u32> = vec![0; n];
+    let mut device = IrglEngine::new(Default::default());
+    let mut rounds = 0u32;
+    loop {
+        rounds += 1;
+        // 1. Masters kill nodes whose degree dropped below k.
+        let mut newly_dead = DenseBitset::new(lg.num_proxies());
+        let mut any_death = false;
+        for m in lg.masters() {
+            if alive[m.index()] == 1 && degree[m.index()] < k {
+                alive[m.index()] = 0;
+                newly_dead.set(m);
+                any_death = true;
+            }
+        }
+        // 2. Tell the mirrors (they hold part of the dead node's edges).
+        {
+            let mut field = CopyField::new(&mut alive);
+            ctx.sync_broadcast(ReadLocation::Any, &mut field, &mut newly_dead);
+        }
+        // 3. Every newly dead proxy trims its local neighbors.
+        let mut trim_bits = DenseBitset::new(lg.num_proxies());
+        let dead_list: Vec<Lid> = newly_dead.iter().collect();
+        ctx.add_work(dead_list.iter().map(|&v| u64::from(lg.out_degree(v))).sum());
+        let trim_edges = |v: Lid, trim: &mut [u32], bits: &mut DenseBitset| {
+            for e in lg.out_edges(v) {
+                trim[e.dst.index()] += 1;
+                bits.set(e.dst);
+            }
+        };
+        match engine {
+            EngineKind::Ligra => {
+                struct TrimOp<'a> {
+                    trim: &'a mut [u32],
+                    bits: &'a mut DenseBitset,
+                }
+                impl EdgeOp for TrimOp<'_> {
+                    fn update(&mut self, _src: Lid, dst: Lid, _w: u32) -> bool {
+                        self.trim[dst.index()] += 1;
+                        self.bits.set(dst);
+                        true
+                    }
+                }
+                let frontier = VertexSubset::from_members(dead_list);
+                let mut op = TrimOp {
+                    trim: &mut trim,
+                    bits: &mut trim_bits,
+                };
+                let _ = ligra::edge_map(lg, &frontier, &mut op, Direction::Push);
+            }
+            EngineKind::Galois => {
+                gluon_engines::galois::do_all(dead_list, |v| {
+                    trim_edges(v, &mut trim, &mut trim_bits);
+                });
+            }
+            EngineKind::Irgl => {
+                let _ = device.kernel(lg, &dead_list, |v, _, _| {
+                    trim_edges(v, &mut trim, &mut trim_bits);
+                });
+            }
+        }
+        // 4. Collect the trims at the masters and apply.
+        {
+            let mut field = SumField::new(&mut trim);
+            ctx.sync_reduce(WriteLocation::Destination, &mut field, &mut trim_bits);
+        }
+        for m in lg.masters() {
+            if trim[m.index()] > 0 {
+                degree[m.index()] = degree[m.index()].saturating_sub(trim[m.index()]);
+                trim[m.index()] = 0;
+            }
+        }
+        if !ctx.any_globally(any_death) {
+            return (alive, rounds);
+        }
+    }
+}
+
+/// Distributed *push-style* pagerank with residuals — the dual of
+/// [`pagerank`] ("both push-style and pull-style implementations are
+/// available in D-Ligra", §5.1).
+///
+/// Nodes accumulate `rank` by draining a `residual`: applying a node moves
+/// its residual into its rank and pushes `d * residual / out-degree` to its
+/// out-neighbors' residuals. A master's out-edges are split across hosts
+/// under vertex-cuts, so the push value is *broadcast* to the mirrors that
+/// hold out-edges and the pushed residuals are *reduced* back to masters —
+/// the mirror-image communication pattern of the pull version.
+///
+/// Converges to the same fixpoint as [`pagerank`]; `cfg.tolerance` bounds
+/// the total residual left unapplied.
+pub fn pagerank_push<T: Transport + ?Sized>(
+    lg: &LocalGraph,
+    ctx: &mut GluonContext<'_, T>,
+    cfg: PagerankConfig,
+    engine: EngineKind,
+) -> (Vec<f64>, u32) {
+    let n = lg.num_proxies() as usize;
+    let total_nodes = f64::from(lg.global_nodes().max(1));
+    // Apply threshold: leave at most `tolerance` total residual unapplied.
+    let eps = cfg.tolerance / total_nodes;
+
+    // Global out-degrees, as in the pull version.
+    let mut gdeg: Vec<u32> = (0..n).map(|l| lg.out_degree(Lid(l as u32))).collect();
+    let mut deg_bits = DenseBitset::new(lg.num_proxies());
+    deg_bits.set_all();
+    {
+        let mut field = SumField::new(&mut gdeg);
+        ctx.sync(
+            WriteLocation::Source,
+            ReadLocation::Source,
+            &mut field,
+            &mut deg_bits,
+        );
+    }
+
+    let mut rank = vec![0.0f64; n];
+    // Sum-field contract: masters carry the initial mass, mirrors identity.
+    let mut residual = vec![0.0f64; n];
+    for m in lg.masters() {
+        residual[m.index()] = (1.0 - cfg.damping) / total_nodes;
+    }
+    let mut to_push = vec![0.0f64; n];
+    let mut device = IrglEngine::new(Default::default());
+    let max_rounds = cfg.max_iters.saturating_mul(20).max(100);
+    let mut rounds = 0u32;
+    loop {
+        rounds += 1;
+        // 1. Apply at masters whose residual is worth draining.
+        let mut push_bits = DenseBitset::new(lg.num_proxies());
+        for m in lg.masters() {
+            let r = residual[m.index()];
+            if r > eps {
+                rank[m.index()] += r;
+                residual[m.index()] = 0.0;
+                let deg = f64::from(gdeg[m.index()].max(1));
+                to_push[m.index()] = cfg.damping * r / deg;
+                push_bits.set(m);
+            }
+        }
+        // 2. Ship the push value to the mirrors holding out-edges.
+        {
+            let mut field = CopyField::new(&mut to_push);
+            ctx.sync_broadcast(ReadLocation::Source, &mut field, &mut push_bits);
+        }
+        // 3. Push along local out-edges into local residuals.
+        let mut res_bits = DenseBitset::new(lg.num_proxies());
+        let frontier: Vec<Lid> = push_bits.iter().collect();
+        ctx.add_work(frontier.iter().map(|&v| u64::from(lg.out_degree(v))).sum());
+        let push_from = |v: Lid, residual: &mut [f64], bits: &mut DenseBitset| {
+            let share = to_push[v.index()];
+            if share == 0.0 {
+                return;
+            }
+            for e in lg.out_edges(v) {
+                residual[e.dst.index()] += share;
+                bits.set(e.dst);
+            }
+        };
+        match engine {
+            EngineKind::Ligra => {
+                struct PushOp<'a> {
+                    to_push: &'a [f64],
+                    residual: &'a mut [f64],
+                    bits: &'a mut DenseBitset,
+                }
+                impl EdgeOp for PushOp<'_> {
+                    fn update(&mut self, src: Lid, dst: Lid, _w: u32) -> bool {
+                        self.residual[dst.index()] += self.to_push[src.index()];
+                        self.bits.set(dst);
+                        true
+                    }
+                }
+                let subset = VertexSubset::from_members(frontier);
+                let mut op = PushOp {
+                    to_push: &to_push,
+                    residual: &mut residual,
+                    bits: &mut res_bits,
+                };
+                let _ = ligra::edge_map(lg, &subset, &mut op, Direction::Push);
+            }
+            EngineKind::Galois => {
+                gluon_engines::galois::do_all(frontier, |v| {
+                    push_from(v, &mut residual, &mut res_bits);
+                });
+            }
+            EngineKind::Irgl => {
+                let _ = device.kernel(lg, &frontier, |v, _, _| {
+                    push_from(v, &mut residual, &mut res_bits);
+                });
+            }
+        }
+        // 4. Reduce pushed residuals to masters.
+        {
+            let mut field = SumField::new(&mut residual);
+            ctx.sync_reduce(WriteLocation::Destination, &mut field, &mut res_bits);
+        }
+        // 5. Quiesce when no master holds an appliable residual.
+        let local_active = lg.masters().any(|m| residual[m.index()] > eps);
+        if !ctx.any_globally(local_active) || rounds >= max_rounds {
+            return (rank, rounds);
+        }
+    }
+}
+
+/// Distributed single-source betweenness centrality (Brandes), an extension
+/// beyond the paper's four benchmarks (it is part of the real D-Galois
+/// application suite).
+///
+/// BC is the one workload here whose *backward* phase moves data against
+/// edge direction: per-level dependency sums are written at edge *sources*
+/// and read at edge *destinations*, exercising the
+/// `WriteAtSource`/`ReadAtDestination` sync patterns that the four forward
+/// benchmarks never use.
+///
+/// Returns per-proxy dependency values `delta_s(v)` and the number of BFS
+/// levels.
+pub fn betweenness_source<T: Transport + ?Sized>(
+    lg: &LocalGraph,
+    ctx: &mut GluonContext<'_, T>,
+    source: Gid,
+) -> (Vec<f64>, u32) {
+    let n = lg.num_proxies() as usize;
+    let caps = lg.num_proxies();
+    let mut dist = vec![INFINITY; n];
+    let mut sigma = vec![0.0f64; n];
+
+    // Seed: the master of the source holds sigma 1; ship the canonical
+    // sigma to every proxy of the source before the first level.
+    let mut seed_bits = DenseBitset::new(caps);
+    if let Some(s) = lg.lid(source) {
+        dist[s.index()] = 0;
+        if lg.is_master(s) {
+            sigma[s.index()] = 1.0;
+            seed_bits.set(s);
+        }
+    }
+    {
+        let mut field = CopyField::new(&mut sigma);
+        ctx.sync_broadcast(ReadLocation::Any, &mut field, &mut seed_bits);
+    }
+
+    // ---- Forward phase: level-synchronous BFS with path counting. ----
+    let mut level = 0u32;
+    loop {
+        // Expansion: discover level + 1 through local frontier edges. The
+        // dist field is read at *both* ends later (the sigma pass checks
+        // destinations), so it broadcasts to every mirror.
+        let mut dist_bits = DenseBitset::new(caps);
+        let frontier: Vec<Lid> = lg.proxies().filter(|&v| dist[v.index()] == level).collect();
+        ctx.add_work(frontier.iter().map(|&v| u64::from(lg.out_degree(v))).sum());
+        for &v in &frontier {
+            for e in lg.out_edges(v) {
+                if dist[e.dst.index()] > level + 1 {
+                    dist[e.dst.index()] = level + 1;
+                    dist_bits.set(e.dst);
+                }
+            }
+        }
+        {
+            let mut field = MinField::new(&mut dist);
+            ctx.sync(
+                WriteLocation::Destination,
+                ReadLocation::Any,
+                &mut field,
+                &mut dist_bits,
+            );
+        }
+        // Path counting: each local edge from level to level + 1 forwards
+        // sigma. Partial sums reduce to masters, canonical values broadcast
+        // everywhere (the backward phase reads sigma at both ends too).
+        let mut sig_bits = DenseBitset::new(caps);
+        // Re-derive: the sync may have revealed remotely-discovered
+        // level-`level` proxies.
+        let frontier: Vec<Lid> =
+            lg.proxies().filter(|&v| dist[v.index()] == level).collect();
+        ctx.add_work(frontier.iter().map(|&v| u64::from(lg.out_degree(v))).sum());
+        for &v in &frontier {
+            let sv = sigma[v.index()];
+            if sv == 0.0 {
+                continue;
+            }
+            for e in lg.out_edges(v) {
+                if dist[e.dst.index()] == level + 1 {
+                    sigma[e.dst.index()] += sv;
+                    sig_bits.set(e.dst);
+                }
+            }
+        }
+        {
+            let mut field = SumField::new(&mut sigma);
+            ctx.sync_reduce(WriteLocation::Destination, &mut field, &mut sig_bits);
+        }
+        let mut bcast_bits = DenseBitset::new(caps);
+        for m in lg.masters() {
+            if dist[m.index()] == level + 1 {
+                bcast_bits.set(m);
+            }
+        }
+        let frontier_nonempty = !bcast_bits.is_empty();
+        {
+            let mut field = CopyField::new(&mut sigma);
+            ctx.sync_broadcast(ReadLocation::Any, &mut field, &mut bcast_bits);
+        }
+        if !ctx.any_globally(frontier_nonempty) {
+            break;
+        }
+        level += 1;
+    }
+    let deepest = level; // nodes exist at levels 0..=deepest
+
+    // ---- Backward phase: dependency accumulation, deepest-first. ----
+    let mut delta = vec![0.0f64; n];
+    let mut l = deepest;
+    loop {
+        // Partial dependency sums at every proxy of a level-l node that
+        // holds outgoing edges — written at edge *sources*.
+        let mut delta_bits = DenseBitset::new(caps);
+        let level_nodes: Vec<Lid> =
+            lg.proxies().filter(|&v| dist[v.index()] == l).collect();
+        ctx.add_work(level_nodes.iter().map(|&v| u64::from(lg.out_degree(v))).sum());
+        for &v in &level_nodes {
+            let sv = sigma[v.index()];
+            if sv == 0.0 {
+                continue;
+            }
+            let mut acc = 0.0f64;
+            for e in lg.out_edges(v) {
+                let u = e.dst.index();
+                if dist[u] == l + 1 && sigma[u] > 0.0 {
+                    acc += sv / sigma[u] * (1.0 + delta[u]);
+                }
+            }
+            if acc != 0.0 {
+                delta[v.index()] += acc;
+                delta_bits.set(v);
+            }
+        }
+        // Reduce source-side partials to masters, then ship the canonical
+        // dependency to the proxies that will read it as an edge
+        // destination one level up.
+        {
+            let mut field = SumField::new(&mut delta);
+            ctx.sync_reduce(WriteLocation::Source, &mut field, &mut delta_bits);
+        }
+        let mut bcast_bits = DenseBitset::new(caps);
+        for m in lg.masters() {
+            if dist[m.index()] == l && delta[m.index()] != 0.0 {
+                bcast_bits.set(m);
+            }
+        }
+        {
+            let mut field = CopyField::new(&mut delta);
+            ctx.sync_broadcast(ReadLocation::Destination, &mut field, &mut bcast_bits);
+        }
+        if l == 0 {
+            break;
+        }
+        l -= 1;
+    }
+    if let Some(s) = lg.lid(source) {
+        delta[s.index()] = 0.0;
+    }
+    (delta, deepest)
+}
+
+/// Distributed delta-stepping SSSP: like [`sssp`] with the Galois engine,
+/// but within each BSP round the host drains its work in ascending
+/// distance order (bucket width `delta`) instead of FIFO, doing fewer
+/// wasted relaxations on weighted graphs — the Lonestar scheduler married
+/// to Gluon rounds. Returns per-proxy distances and the round count.
+pub fn sssp_delta<T: Transport + ?Sized>(
+    lg: &LocalGraph,
+    ctx: &mut GluonContext<'_, T>,
+    source: Gid,
+    delta: u32,
+) -> (Vec<u32>, u32) {
+    let n = lg.num_proxies();
+    let mut dist = vec![INFINITY; n as usize];
+    let mut active = DenseBitset::new(n);
+    if let Some(s) = lg.lid(source) {
+        dist[s.index()] = 0;
+        active.set(s);
+    }
+    let mut rounds = 0u32;
+    loop {
+        rounds += 1;
+        let mut changed = DenseBitset::new(n);
+        let seeds: Vec<(Lid, u32)> = active
+            .iter()
+            .map(|v| (v, dist[v.index()]))
+            .filter(|&(_, d)| d != INFINITY)
+            .collect();
+        let mut work = 0u64;
+        gluon_engines::galois::for_each_prioritized(n, delta, seeds, |v, prio, wl| {
+            if prio > dist[v.index()] {
+                return; // improved since it was queued
+            }
+            work += u64::from(lg.out_degree(v));
+            let dv = dist[v.index()];
+            for e in lg.out_edges(v) {
+                let nd = dv.saturating_add(e.weight);
+                if nd < dist[e.dst.index()] {
+                    dist[e.dst.index()] = nd;
+                    changed.set(e.dst);
+                    wl.push(e.dst, nd);
+                }
+            }
+        });
+        ctx.add_work(work);
+        active = changed;
+        let mut field = MinField::new(&mut dist);
+        ctx.sync(
+            WriteLocation::Destination,
+            ReadLocation::Source,
+            &mut field,
+            &mut active,
+        );
+        if !ctx.any_globally(!active.is_empty()) {
+            return (dist, rounds);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn copy_field_reports_changes() {
+        let mut data = vec![1u32, 2];
+        let mut f = CopyField::new(&mut data);
+        assert!(!f.reduce(Lid(0), 1));
+        assert!(f.reduce(Lid(0), 9));
+        assert_eq!(f.extract(Lid(0)), 9);
+        f.reset(Lid(0));
+        assert_eq!(f.extract(Lid(0)), 9);
+    }
+
+    #[test]
+    fn pagerank_config_defaults_match_paper() {
+        let cfg = PagerankConfig::default();
+        assert_eq!(cfg.damping, 0.85);
+        assert_eq!(cfg.max_iters, 100);
+    }
+}

@@ -1,0 +1,409 @@
+//! End-to-end drivers: partition, run, gather, aggregate.
+//!
+//! [`run`] executes one benchmark configuration — algorithm × engine ×
+//! partitioning policy × optimization level × host count — on the simulated
+//! cluster and returns globally assembled labels plus the statistics the
+//! paper's tables and figures report.
+
+use crate::apps::{self, PagerankConfig};
+use crate::reference::symmetrize;
+use crate::{Algorithm, EngineKind};
+use gluon::{GluonContext, OptLevel, RunStats, SyncStats};
+use gluon_graph::{max_out_degree_node, Csr, Gid};
+use gluon_net::{run_cluster_with_stats, Communicator, CostModel, NetStats, StatsSnapshot};
+use gluon_partition::{partition_on_host, LocalGraph, PartitionStats, Policy};
+use std::time::Instant;
+
+/// One benchmark configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct DistConfig {
+    /// Number of simulated hosts.
+    pub hosts: usize,
+    /// Partitioning policy.
+    pub policy: Policy,
+    /// Communication optimization level.
+    pub opts: OptLevel,
+    /// Shared-memory compute engine.
+    pub engine: EngineKind,
+}
+
+impl DistConfig {
+    /// A sensible default: 4 hosts, CVC (the paper's at-scale choice),
+    /// full Gluon, the Galois engine.
+    pub fn new(hosts: usize) -> DistConfig {
+        DistConfig {
+            hosts,
+            policy: Policy::Cvc,
+            opts: OptLevel::OSTI,
+            engine: EngineKind::Galois,
+        }
+    }
+}
+
+/// Everything one run produces.
+#[derive(Clone, Debug)]
+pub struct DistOutcome {
+    /// Per-global-node integer labels (bfs/sssp distances, cc labels);
+    /// empty for pagerank.
+    pub int_labels: Vec<u32>,
+    /// Per-global-node ranks (pagerank only).
+    pub ranks: Vec<f64>,
+    /// BSP rounds (or pagerank iterations) executed.
+    pub rounds: u32,
+    /// Aggregated compute/communication statistics.
+    pub run: RunStats,
+    /// Per-host raw statistics (phase-aligned).
+    pub host_stats: Vec<SyncStats>,
+    /// Maximum per-host wall-clock of the algorithm proper (seconds),
+    /// excluding partitioning.
+    pub algo_secs: f64,
+    /// Maximum per-host wall-clock of partitioning + graph construction.
+    pub partition_secs: f64,
+    /// Partition quality of the configuration.
+    pub partition: PartitionStats,
+    /// Whole-cluster traffic snapshot at the end of the run.
+    pub net: StatsSnapshot,
+}
+
+impl DistOutcome {
+    /// Total sync-phase communication volume in bytes.
+    pub fn comm_bytes(&self) -> u64 {
+        self.run.total_bytes
+    }
+
+    /// Projected end-to-end time on a real cluster: the BSP compute
+    /// critical path (modeled from work units — the simulated hosts share
+    /// physical cores, so wall-clock compute cannot show scaling) plus the
+    /// communication charged by the network cost model.
+    pub fn projected_secs(&self, model: &CostModel) -> f64 {
+        self.run
+            .projected_secs(model, gluon::DEFAULT_EDGES_PER_SEC, self.partition.num_hosts)
+    }
+}
+
+/// Runs one configuration of `algo` on `graph`.
+///
+/// bfs and sssp start from the maximum out-degree node (the paper's §5.1
+/// convention); cc symmetrizes the input first; pagerank uses
+/// [`PagerankConfig::default`]. See [`run_with`] for control over both.
+pub fn run(graph: &Csr, algo: Algorithm, cfg: &DistConfig) -> DistOutcome {
+    let source = max_out_degree_node(graph);
+    run_with(graph, algo, cfg, source, PagerankConfig::default())
+}
+
+/// As [`run`], with an explicit bfs/sssp source and pagerank settings.
+pub fn run_with(
+    graph: &Csr,
+    algo: Algorithm,
+    cfg: &DistConfig,
+    source: Gid,
+    pr: PagerankConfig,
+) -> DistOutcome {
+    let symmetric;
+    let input: &Csr = if algo == Algorithm::Cc {
+        symmetric = symmetrize(graph);
+        &symmetric
+    } else {
+        graph
+    };
+    let needs_transpose = algo == Algorithm::Pagerank || cfg.engine == EngineKind::Ligra;
+
+    let (per_host, stats) = run_cluster_with_stats(
+        cfg.hosts,
+        NetStats::new(cfg.hosts),
+        |ep| -> HostResult {
+            let comm = Communicator::new(ep);
+            let part_start = Instant::now();
+            let mut lg = partition_on_host(input, cfg.policy, &comm);
+            if needs_transpose {
+                lg.build_transpose();
+            }
+            comm.barrier();
+            let partition_secs = part_start.elapsed().as_secs_f64();
+            let mut ctx = GluonContext::new(&lg, &comm, cfg.opts);
+            ctx.reset_timer();
+            let algo_start = Instant::now();
+            let (ints, floats, rounds) = dispatch(&lg, &mut ctx, algo, cfg.engine, source, pr);
+            let algo_secs = algo_start.elapsed().as_secs_f64();
+            let masters_int = gather_masters(&lg, &ints);
+            let masters_f64 = gather_masters(&lg, &floats);
+            HostResult {
+                masters_int,
+                masters_f64,
+                rounds,
+                stats: ctx.into_stats(),
+                algo_secs,
+                partition_secs,
+                partition: lg,
+            }
+        },
+    );
+
+    let n = input.num_nodes() as usize;
+    let mut int_labels = Vec::new();
+    let mut ranks = Vec::new();
+    if algo == Algorithm::Pagerank {
+        ranks = vec![0.0; n];
+        for h in &per_host {
+            for &(gid, v) in &h.masters_f64 {
+                ranks[gid as usize] = v;
+            }
+        }
+    } else {
+        int_labels = vec![u32::MAX; n];
+        for h in &per_host {
+            for &(gid, v) in &h.masters_int {
+                int_labels[gid as usize] = v;
+            }
+        }
+    }
+    let host_stats: Vec<SyncStats> = per_host.iter().map(|h| h.stats.clone()).collect();
+    let partitions: Vec<LocalGraph> = per_host.iter().map(|h| h.partition.clone()).collect();
+    DistOutcome {
+        int_labels,
+        ranks,
+        rounds: per_host.iter().map(|h| h.rounds).max().unwrap_or(0),
+        run: RunStats::aggregate(&host_stats),
+        host_stats,
+        algo_secs: per_host.iter().map(|h| h.algo_secs).fold(0.0, f64::max),
+        partition_secs: per_host
+            .iter()
+            .map(|h| h.partition_secs)
+            .fold(0.0, f64::max),
+        partition: PartitionStats::of(&partitions),
+        net: stats.snapshot(),
+    }
+}
+
+struct HostResult {
+    masters_int: Vec<(u32, u32)>,
+    masters_f64: Vec<(u32, f64)>,
+    rounds: u32,
+    stats: SyncStats,
+    algo_secs: f64,
+    partition_secs: f64,
+    partition: LocalGraph,
+}
+
+fn dispatch<T: gluon_net::Transport + ?Sized>(
+    lg: &LocalGraph,
+    ctx: &mut GluonContext<'_, T>,
+    algo: Algorithm,
+    engine: EngineKind,
+    source: Gid,
+    pr: PagerankConfig,
+) -> (Vec<u32>, Vec<f64>, u32) {
+    match algo {
+        Algorithm::Bfs => {
+            let (d, rounds) = apps::bfs(lg, ctx, source, engine);
+            (d, Vec::new(), rounds)
+        }
+        Algorithm::Sssp => {
+            let (d, rounds) = apps::sssp(lg, ctx, source, engine);
+            (d, Vec::new(), rounds)
+        }
+        Algorithm::Cc => {
+            let (l, rounds) = apps::cc(lg, ctx, engine);
+            (l, Vec::new(), rounds)
+        }
+        Algorithm::Pagerank => {
+            let (r, iters) = apps::pagerank(lg, ctx, pr, engine);
+            (Vec::new(), r, iters)
+        }
+    }
+}
+
+fn gather_masters<V: Copy>(lg: &LocalGraph, values: &[V]) -> Vec<(u32, V)> {
+    if values.is_empty() {
+        return Vec::new();
+    }
+    lg.masters()
+        .map(|m| (lg.gid(m).0, values[m.index()]))
+        .collect()
+}
+
+/// Runs distributed k-core membership (see [`apps::kcore`]): `int_labels`
+/// holds 1 for nodes in the k-core of the undirected view, else 0.
+///
+/// The input is symmetrized internally, like cc.
+pub fn run_kcore(graph: &Csr, cfg: &DistConfig, k: u32) -> DistOutcome {
+    let input = symmetrize(graph);
+    let (per_host, stats) = run_cluster_with_stats(
+        cfg.hosts,
+        NetStats::new(cfg.hosts),
+        |ep| -> HostResult {
+            let comm = Communicator::new(ep);
+            let part_start = Instant::now();
+            let lg = partition_on_host(&input, cfg.policy, &comm);
+            comm.barrier();
+            let partition_secs = part_start.elapsed().as_secs_f64();
+            let mut ctx = GluonContext::new(&lg, &comm, cfg.opts);
+            ctx.reset_timer();
+            let algo_start = Instant::now();
+            let (alive, rounds) = apps::kcore(&lg, &mut ctx, k, cfg.engine);
+            let algo_secs = algo_start.elapsed().as_secs_f64();
+            let masters_int = gather_masters(&lg, &alive);
+            HostResult {
+                masters_int,
+                masters_f64: Vec::new(),
+                rounds,
+                stats: ctx.into_stats(),
+                algo_secs,
+                partition_secs,
+                partition: lg,
+            }
+        },
+    );
+    let n = input.num_nodes() as usize;
+    let mut int_labels = vec![0u32; n];
+    for h in &per_host {
+        for &(gid, v) in &h.masters_int {
+            int_labels[gid as usize] = v;
+        }
+    }
+    let host_stats: Vec<SyncStats> = per_host.iter().map(|h| h.stats.clone()).collect();
+    let partitions: Vec<LocalGraph> = per_host.iter().map(|h| h.partition.clone()).collect();
+    DistOutcome {
+        int_labels,
+        ranks: Vec::new(),
+        rounds: per_host.iter().map(|h| h.rounds).max().unwrap_or(0),
+        run: RunStats::aggregate(&host_stats),
+        host_stats,
+        algo_secs: per_host.iter().map(|h| h.algo_secs).fold(0.0, f64::max),
+        partition_secs: per_host
+            .iter()
+            .map(|h| h.partition_secs)
+            .fold(0.0, f64::max),
+        partition: PartitionStats::of(&partitions),
+        net: stats.snapshot(),
+    }
+}
+
+/// Runs distributed single-source betweenness centrality (see
+/// [`apps::betweenness_source`]); `ranks` holds the per-node dependency
+/// values, `rounds` the number of BFS levels.
+pub fn run_betweenness(graph: &Csr, cfg: &DistConfig, source: Gid) -> DistOutcome {
+    let (per_host, stats) = run_cluster_with_stats(
+        cfg.hosts,
+        NetStats::new(cfg.hosts),
+        |ep| -> HostResult {
+            let comm = Communicator::new(ep);
+            let part_start = Instant::now();
+            let lg = partition_on_host(graph, cfg.policy, &comm);
+            comm.barrier();
+            let partition_secs = part_start.elapsed().as_secs_f64();
+            let mut ctx = GluonContext::new(&lg, &comm, cfg.opts);
+            ctx.reset_timer();
+            let algo_start = Instant::now();
+            let (delta, levels) = apps::betweenness_source(&lg, &mut ctx, source);
+            let algo_secs = algo_start.elapsed().as_secs_f64();
+            let masters_f64 = gather_masters(&lg, &delta);
+            HostResult {
+                masters_int: Vec::new(),
+                masters_f64,
+                rounds: levels,
+                stats: ctx.into_stats(),
+                algo_secs,
+                partition_secs,
+                partition: lg,
+            }
+        },
+    );
+    let n = graph.num_nodes() as usize;
+    let mut ranks = vec![0.0; n];
+    for h in &per_host {
+        for &(gid, v) in &h.masters_f64 {
+            ranks[gid as usize] = v;
+        }
+    }
+    let host_stats: Vec<SyncStats> = per_host.iter().map(|h| h.stats.clone()).collect();
+    let partitions: Vec<LocalGraph> = per_host.iter().map(|h| h.partition.clone()).collect();
+    DistOutcome {
+        int_labels: Vec::new(),
+        ranks,
+        rounds: per_host.iter().map(|h| h.rounds).max().unwrap_or(0),
+        run: RunStats::aggregate(&host_stats),
+        host_stats,
+        algo_secs: per_host.iter().map(|h| h.algo_secs).fold(0.0, f64::max),
+        partition_secs: per_host
+            .iter()
+            .map(|h| h.partition_secs)
+            .fold(0.0, f64::max),
+        partition: PartitionStats::of(&partitions),
+        net: stats.snapshot(),
+    }
+}
+
+/// Runs BFS on a *heterogeneous* cluster: host `h` computes with
+/// `engines[h]` — e.g. CPU hosts running the Galois engine next to emulated
+/// GPU hosts running the IrGL engine, the deployment of the paper's
+/// Figure 1. The sync substrate is engine-agnostic, so mixing engines needs
+/// no special handling: every host still alternates compute and the same
+/// collective sync sequence.
+///
+/// # Panics
+///
+/// Panics if `engines` is empty.
+pub fn run_heterogeneous_bfs(
+    graph: &Csr,
+    policy: Policy,
+    opts: OptLevel,
+    engines: &[EngineKind],
+    source: Gid,
+) -> DistOutcome {
+    assert!(!engines.is_empty(), "need at least one host");
+    let hosts = engines.len();
+    let (per_host, stats) = run_cluster_with_stats(
+        hosts,
+        NetStats::new(hosts),
+        |ep| -> HostResult {
+            let comm = Communicator::new(ep);
+            let part_start = Instant::now();
+            let mut lg = partition_on_host(graph, policy, &comm);
+            let engine = engines[comm.rank()];
+            if engine == EngineKind::Ligra {
+                lg.build_transpose();
+            }
+            comm.barrier();
+            let partition_secs = part_start.elapsed().as_secs_f64();
+            let mut ctx = GluonContext::new(&lg, &comm, opts);
+            ctx.reset_timer();
+            let algo_start = Instant::now();
+            let (dist, rounds) = apps::bfs(&lg, &mut ctx, source, engine);
+            let algo_secs = algo_start.elapsed().as_secs_f64();
+            let masters_int = gather_masters(&lg, &dist);
+            HostResult {
+                masters_int,
+                masters_f64: Vec::new(),
+                rounds,
+                stats: ctx.into_stats(),
+                algo_secs,
+                partition_secs,
+                partition: lg,
+            }
+        },
+    );
+    let n = graph.num_nodes() as usize;
+    let mut int_labels = vec![u32::MAX; n];
+    for h in &per_host {
+        for &(gid, v) in &h.masters_int {
+            int_labels[gid as usize] = v;
+        }
+    }
+    let host_stats: Vec<SyncStats> = per_host.iter().map(|h| h.stats.clone()).collect();
+    let partitions: Vec<LocalGraph> = per_host.iter().map(|h| h.partition.clone()).collect();
+    DistOutcome {
+        int_labels,
+        ranks: Vec::new(),
+        rounds: per_host.iter().map(|h| h.rounds).max().unwrap_or(0),
+        run: RunStats::aggregate(&host_stats),
+        host_stats,
+        algo_secs: per_host.iter().map(|h| h.algo_secs).fold(0.0, f64::max),
+        partition_secs: per_host
+            .iter()
+            .map(|h| h.partition_secs)
+            .fold(0.0, f64::max),
+        partition: PartitionStats::of(&partitions),
+        net: stats.snapshot(),
+    }
+}

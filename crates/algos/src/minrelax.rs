@@ -1,0 +1,128 @@
+//! Shared push-style min-relaxation driver for bfs, sssp, and cc.
+//!
+//! All three benchmarks are monotone label-lowering computations: an active
+//! node pushes `f(label, edge_weight)` along its outgoing edges and a
+//! destination keeps the minimum. They differ only in `f` (bfs: `l + 1`,
+//! sssp: `l + w`, cc: `l`). The driver runs BSP rounds — engine-specific
+//! local compute, then a `WriteAtDestination / ReadAtSource` Gluon sync —
+//! until global quiescence.
+
+use crate::EngineKind;
+use gluon::{DenseBitset, GluonContext, MinField, ReadLocation, WriteLocation};
+use gluon_engines::irgl::IrglEngine;
+use gluon_engines::ligra::{self, Direction, EdgeOp, VertexSubset};
+use gluon_graph::Lid;
+use gluon_net::Transport;
+use gluon_partition::LocalGraph;
+
+/// The label-relaxation rule: candidate label for the destination given the
+/// source label and edge weight. Must be monotone (never below the source
+/// label for positive weights).
+pub(crate) type RelaxFn = fn(u32, u32) -> u32;
+
+struct RelaxOp<'a> {
+    labels: &'a mut [u32],
+    relax: RelaxFn,
+    changed: &'a mut DenseBitset,
+}
+
+impl EdgeOp for RelaxOp<'_> {
+    fn update(&mut self, src: Lid, dst: Lid, weight: u32) -> bool {
+        let candidate = (self.relax)(self.labels[src.index()], weight);
+        if candidate < self.labels[dst.index()] {
+            self.labels[dst.index()] = candidate;
+            self.changed.set(dst);
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// Runs min-relaxation rounds to global quiescence; `labels` and `active`
+/// must be initialized by the caller (labels seeded, active bits set for
+/// the seeds). Returns the number of BSP rounds executed.
+pub(crate) fn run<T: Transport + ?Sized>(
+    lg: &LocalGraph,
+    ctx: &mut GluonContext<'_, T>,
+    labels: &mut [u32],
+    active: &mut DenseBitset,
+    engine: EngineKind,
+    relax: RelaxFn,
+) -> u32 {
+    let n = lg.num_proxies();
+    assert_eq!(labels.len(), n as usize, "one label per proxy");
+    let mut rounds = 0u32;
+    let mut device = IrglEngine::new(Default::default());
+    loop {
+        rounds += 1;
+        // Work model: edges examined this round = out-degrees of the
+        // processed nodes (per-engine accounting below).
+        let mut changed = DenseBitset::new(n);
+        match engine {
+            EngineKind::Ligra => {
+                // Level-synchronous: one edgeMap per round, updates visible
+                // next round only (within the host too).
+                let frontier = VertexSubset::from_bitset(active.clone());
+                let work: u64 = frontier
+                    .iter()
+                    .map(|v| u64::from(lg.out_degree(v)))
+                    .sum();
+                ctx.add_work(work);
+                let mut op = RelaxOp {
+                    labels,
+                    relax,
+                    changed: &mut changed,
+                };
+                let _ = ligra::edge_map(lg, &frontier, &mut op, Direction::Auto);
+            }
+            EngineKind::Galois => {
+                // Asynchronous within the round: chaotic relaxation until
+                // local quiescence (the D-Galois hybrid of §5.4).
+                let mut work = 0u64;
+                gluon_engines::galois::for_each(n, active.iter(), |v, wl| {
+                    work += u64::from(lg.out_degree(v));
+                    let lv = labels[v.index()];
+                    for e in lg.out_edges(v) {
+                        let candidate = relax(lv, e.weight);
+                        if candidate < labels[e.dst.index()] {
+                            labels[e.dst.index()] = candidate;
+                            changed.set(e.dst);
+                            wl.push(e.dst);
+                        }
+                    }
+                });
+                ctx.add_work(work);
+            }
+            EngineKind::Irgl => {
+                // One bulk kernel sweep per round; updates visible within
+                // the sweep (GPU atomics semantics).
+                let worklist: Vec<Lid> = active.iter().collect();
+                let before = device.stats().edges_traversed;
+                let _ = device.kernel(lg, &worklist, |v, lg, out| {
+                    let lv = labels[v.index()];
+                    for e in lg.out_edges(v) {
+                        let candidate = relax(lv, e.weight);
+                        if candidate < labels[e.dst.index()] {
+                            labels[e.dst.index()] = candidate;
+                            changed.set(e.dst);
+                            out.push(e.dst);
+                        }
+                    }
+                });
+                ctx.add_work(device.stats().edges_traversed - before);
+            }
+        }
+        *active = changed;
+        let mut field = MinField::new(labels);
+        ctx.sync(
+            WriteLocation::Destination,
+            ReadLocation::Source,
+            &mut field,
+            active,
+        );
+        if !ctx.any_globally(!active.is_empty()) {
+            return rounds;
+        }
+    }
+}

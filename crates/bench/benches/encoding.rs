@@ -1,0 +1,57 @@
+//! Microbenchmarks of the §4.2 metadata encodings: dense / bit-vector /
+//! indices modes versus the (global-ID, value) baseline, across update
+//! densities.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gluon::encode::{decode_memoized, encode_gid_values, encode_memoized};
+use gluon_graph::Gid;
+use std::hint::black_box;
+
+fn bench_encode(c: &mut Criterion) {
+    let list_len = 100_000usize;
+    let mut group = c.benchmark_group("encode");
+    for density_pct in [1u32, 10, 50, 100] {
+        let stride = (100 / density_pct).max(1) as usize;
+        let updated: Vec<u32> = (0..list_len as u32).step_by(stride).collect();
+        group.bench_with_input(
+            BenchmarkId::new("memoized", density_pct),
+            &updated,
+            |b, updated| {
+                b.iter(|| {
+                    let msg = encode_memoized(list_len, updated, |p| p as u32);
+                    black_box(msg.len())
+                })
+            },
+        );
+        let pairs: Vec<(Gid, u32)> = updated.iter().map(|&p| (Gid(p), p)).collect();
+        group.bench_with_input(
+            BenchmarkId::new("gid-values", density_pct),
+            &pairs,
+            |b, pairs| {
+                b.iter(|| {
+                    let msg = encode_gid_values(pairs);
+                    black_box(msg.len())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_decode(c: &mut Criterion) {
+    let list_len = 100_000usize;
+    let updated: Vec<u32> = (0..list_len as u32).step_by(10).collect();
+    let msg = encode_memoized(list_len, &updated, |p| p as u32);
+    c.bench_function("decode/memoized-bitvec", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            decode_memoized::<u32>(&msg, list_len, &mut |pos, v| {
+                acc += pos as u64 + u64::from(v);
+            });
+            black_box(acc)
+        })
+    });
+}
+
+criterion_group!(benches, bench_encode, bench_decode);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Microbenchmarks of §4.1: the cost of the memoization handshake and the
+//! per-message saving from dropping address translation (positional apply
+//! versus global-ID hashmap lookups).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gluon::MemoTable;
+use gluon_graph::gen;
+use gluon_net::{run_cluster, Communicator};
+use gluon_partition::{partition_all, partition_on_host, Policy};
+use std::collections::HashMap;
+use std::hint::black_box;
+
+fn bench_handshake(c: &mut Criterion) {
+    let g = gen::rmat(12, 8, Default::default(), 77);
+    c.bench_function("memoization/handshake-4-hosts", |b| {
+        b.iter(|| {
+            let tables = run_cluster(4, |ep| {
+                let comm = Communicator::new(ep);
+                let lg = partition_on_host(&g, Policy::Cvc, &comm);
+                MemoTable::exchange(&lg, &comm).total_entries()
+            });
+            black_box(tables)
+        })
+    });
+}
+
+fn bench_translation(c: &mut Criterion) {
+    // The receive-side work per sync message: positional (memoized) apply
+    // versus hashmap-based global-to-local translation (UNOPT).
+    let g = gen::rmat(14, 8, Default::default(), 78);
+    let lg = partition_all(&g, 4, Policy::Cvc).remove(0);
+    let gids: Vec<u32> = lg.masters().map(|m| lg.gid(m).0).collect();
+    let lids: Vec<u32> = lg.masters().map(|m| m.0).collect();
+    let map: HashMap<u32, u32> = gids.iter().copied().zip(lids.iter().copied()).collect();
+    let mut labels = vec![0u64; lg.num_proxies() as usize];
+
+    c.bench_function("translation/positional-memoized", |b| {
+        b.iter(|| {
+            for (i, &lid) in lids.iter().enumerate() {
+                labels[lid as usize] += i as u64;
+            }
+            black_box(labels[0])
+        })
+    });
+    c.bench_function("translation/gid-hashmap-unopt", |b| {
+        b.iter(|| {
+            for (i, gid) in gids.iter().enumerate() {
+                let lid = map[gid];
+                labels[lid as usize] += i as u64;
+            }
+            black_box(labels[0])
+        })
+    });
+}
+
+criterion_group!(benches, bench_handshake, bench_translation);
+criterion_main!(benches);

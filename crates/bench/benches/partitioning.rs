@@ -1,0 +1,24 @@
+//! Microbenchmarks of the partitioning policies (§3.1): time to produce
+//! all partitions of an rmat graph under each strategy.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gluon_graph::gen;
+use gluon_partition::{partition_all, PartitionStats, Policy};
+use std::hint::black_box;
+
+fn bench_policies(c: &mut Criterion) {
+    let g = gen::rmat(13, 8, Default::default(), 99);
+    let mut group = c.benchmark_group("partition-8-hosts");
+    for policy in Policy::ALL {
+        group.bench_with_input(BenchmarkId::from_parameter(policy), &policy, |b, &p| {
+            b.iter(|| {
+                let parts = partition_all(&g, 8, p);
+                black_box(PartitionStats::of(&parts).replication_factor)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_policies);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Table 1: inputs and their key properties.
+//!
+//! Prints |V|, |E|, |E|/|V|, max out-degree and max in-degree for every
+//! benchmark input, next to the paper input each one stands in for.
+
+use gluon_bench::{report, scale_from_args, suite, Table};
+use gluon_graph::GraphStats;
+
+fn main() {
+    let scale = scale_from_args();
+    let mut table = Table::new(vec![
+        "input",
+        "stands in for",
+        "|V|",
+        "|E|",
+        "|E|/|V|",
+        "max Dout",
+        "max Din",
+    ]);
+    for bg in suite(scale) {
+        let s = GraphStats::of(&bg.graph);
+        table.row(vec![
+            bg.name.to_owned(),
+            bg.paper_name.to_owned(),
+            s.num_nodes.to_string(),
+            s.num_edges.to_string(),
+            format!("{:.0}", s.avg_degree),
+            s.max_out_degree.to_string(),
+            s.max_in_degree.to_string(),
+        ]);
+    }
+    table.print("Table 1: inputs and their key properties");
+    println!();
+    println!(
+        "Paper shape to check: rmat inputs have extreme max out-degree, web \
+         crawls extreme max in-degree, twitter is dense (|E|/|V| ~ 35)."
+    );
+    let _ = report::secs(0.0);
+}

@@ -1,0 +1,85 @@
+//! Table 4: execution time on a single host — the overhead the Gluon layer
+//! adds to the shared-memory engines.
+//!
+//! Columns: plain Ligra and Galois engines (no substrate at all), their
+//! D-counterparts pinned to one host (full Gluon layer, no actual
+//! communication partners), and Gemini on one host.
+
+use gluon_algos::{driver, Algorithm, DistConfig, EngineKind};
+use gluon_bench::{inputs, report, scale_from_args, singlehost, Table};
+use gluon_gemini::GeminiAlgo;
+use gluon_graph::{max_out_degree_node, Csr};
+use gluon_partition::Policy;
+
+fn d_system_secs(graph: &Csr, algo: Algorithm, engine: EngineKind) -> f64 {
+    let cfg = DistConfig {
+        hosts: 1,
+        policy: Policy::Oec,
+        opts: Default::default(),
+        engine,
+    };
+    driver::run(graph, algo, &cfg).algo_secs
+}
+
+fn gemini_secs(graph: &Csr, algo: Algorithm) -> f64 {
+    let src = max_out_degree_node(graph);
+    let ga = match algo {
+        Algorithm::Bfs => GeminiAlgo::Bfs(src),
+        Algorithm::Sssp => GeminiAlgo::Sssp(src),
+        Algorithm::Cc => GeminiAlgo::Cc,
+        Algorithm::Pagerank => GeminiAlgo::Pagerank(0.85, 1e-6, 100),
+    };
+    let input = if algo == Algorithm::Cc {
+        gluon_algos::reference::symmetrize(graph)
+    } else {
+        graph.clone()
+    };
+    gluon_gemini::run(&input, 1, ga).algo_secs
+}
+
+fn main() {
+    let scale = scale_from_args();
+    let graphs = [inputs::twitter(scale), inputs::rmat_large(scale)];
+    let mut table = Table::new(vec![
+        "input", "bench", "ligra", "d-ligra", "galois", "d-galois", "gemini",
+    ]);
+    let mut overheads = Vec::new();
+    for bg in &graphs {
+        for algo in Algorithm::ALL {
+            let weighted;
+            let graph: &Csr = if algo == Algorithm::Sssp {
+                weighted = bg.weighted();
+                &weighted
+            } else {
+                &bg.graph
+            };
+            let src = max_out_degree_node(graph);
+            let ligra = singlehost::run_shared(graph, algo, EngineKind::Ligra, src).secs;
+            let galois = singlehost::run_shared(graph, algo, EngineKind::Galois, src).secs;
+            let d_ligra = d_system_secs(graph, algo, EngineKind::Ligra);
+            let d_galois = d_system_secs(graph, algo, EngineKind::Galois);
+            let gemini = gemini_secs(graph, algo);
+            overheads.push(d_ligra / ligra.max(1e-9));
+            overheads.push(d_galois / galois.max(1e-9));
+            table.row(vec![
+                bg.name.to_owned(),
+                algo.name().to_owned(),
+                report::secs(ligra),
+                report::secs(d_ligra),
+                report::secs(galois),
+                report::secs(d_galois),
+                report::secs(gemini),
+            ]);
+        }
+    }
+    table.print("Table 4: execution time (s) on a single host");
+    println!();
+    println!(
+        "geomean D-system / plain-engine time ratio: {:.2}x",
+        report::geomean(overheads)
+    );
+    println!(
+        "Paper shape to check: the D-systems are competitive with the plain \
+         shared-memory engines on one host (small Gluon-layer overhead)."
+    );
+}

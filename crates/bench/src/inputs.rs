@@ -1,0 +1,145 @@
+//! The benchmark input suite: scaled stand-ins for the paper's Table 1.
+//!
+//! The paper evaluates on rmat26/rmat28/kron30 (synthetic scale-free),
+//! twitter40 (social), and clueweb12/wdc12 (web crawls). Absolute sizes are
+//! scaled to laptop memory; the *shape* — degree skew, density, in/out
+//! asymmetry — is preserved by the generators (see
+//! `gluon_graph::gen`). EXPERIMENTS.md records the mapping.
+
+use gluon_graph::{gen, Csr, RmatProbs};
+
+/// Harness scale: `Full` for the recorded results, `Quick` for smoke runs.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Scale {
+    /// Tiny graphs; seconds end-to-end.
+    Quick,
+    /// The recorded configuration.
+    Full,
+}
+
+/// One benchmark input: our name, the paper input it stands in for, and
+/// the graph itself.
+#[derive(Clone, Debug)]
+pub struct BenchGraph {
+    /// Name used in harness output (e.g. `rmat16`).
+    pub name: &'static str,
+    /// The paper input this stands in for (e.g. `rmat28`).
+    pub paper_name: &'static str,
+    /// The generated graph.
+    pub graph: Csr,
+}
+
+impl BenchGraph {
+    /// A weighted copy for sssp (weights 1..=100, deterministic).
+    pub fn weighted(&self) -> Csr {
+        gen::with_random_weights(&self.graph, 100, 0xC0FFEE)
+    }
+}
+
+fn scaled(scale: Scale, full: u32, quick: u32) -> u32 {
+    match scale {
+        Scale::Full => full,
+        Scale::Quick => quick,
+    }
+}
+
+/// The synthetic stand-in for rmat26 (the paper's smaller rmat input).
+pub fn rmat_small(scale: Scale) -> BenchGraph {
+    let s = scaled(scale, 14, 9);
+    BenchGraph {
+        name: "rmat14",
+        paper_name: "rmat26",
+        graph: gen::rmat(s, 16, RmatProbs::GRAPH500, 26),
+    }
+}
+
+/// The stand-in for rmat28.
+pub fn rmat_large(scale: Scale) -> BenchGraph {
+    let s = scaled(scale, 16, 10);
+    BenchGraph {
+        name: "rmat16",
+        paper_name: "rmat28",
+        graph: gen::rmat(s, 16, RmatProbs::GRAPH500, 28),
+    }
+}
+
+/// The stand-in for kron30.
+pub fn kron(scale: Scale) -> BenchGraph {
+    let s = scaled(scale, 17, 10);
+    BenchGraph {
+        name: "kron17",
+        paper_name: "kron30",
+        graph: gen::kronecker(s, 16, 30),
+    }
+}
+
+/// The stand-in for twitter40 (denser, skew on both degree directions).
+pub fn twitter(scale: Scale) -> BenchGraph {
+    let n = scaled(scale, 40_000, 2_000);
+    BenchGraph {
+        name: "twitter-like",
+        paper_name: "twitter40",
+        graph: gen::twitter_like(n, 35, 40),
+    }
+}
+
+/// The stand-in for clueweb12 (huge in-degree hubs, bounded out-degree).
+pub fn web(scale: Scale) -> BenchGraph {
+    let n = scaled(scale, 80_000, 3_000);
+    BenchGraph {
+        name: "web-like",
+        paper_name: "clueweb12",
+        graph: gen::web_like(n, 22, 1.9, 12),
+    }
+}
+
+/// The stand-in for wdc12 (the largest crawl).
+pub fn wdc(scale: Scale) -> BenchGraph {
+    let n = scaled(scale, 150_000, 4_000);
+    BenchGraph {
+        name: "wdc-like",
+        paper_name: "wdc12",
+        graph: gen::web_like(n, 18, 2.0, 13),
+    }
+}
+
+/// The full input suite in the paper's Table 1 order.
+pub fn suite(scale: Scale) -> Vec<BenchGraph> {
+    vec![
+        rmat_small(scale),
+        twitter(scale),
+        rmat_large(scale),
+        kron(scale),
+        web(scale),
+        wdc(scale),
+    ]
+}
+
+/// The three inputs used for the scaling studies (Figure 8/9's rmat28,
+/// kron30, clueweb12).
+pub fn scaling_suite(scale: Scale) -> Vec<BenchGraph> {
+    vec![rmat_large(scale), kron(scale), web(scale)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_suite_is_small_and_complete() {
+        let graphs = suite(Scale::Quick);
+        assert_eq!(graphs.len(), 6);
+        for g in &graphs {
+            assert!(g.graph.num_nodes() > 0, "{}", g.name);
+            assert!(g.graph.num_edges() > 0, "{}", g.name);
+            assert!(g.graph.num_nodes() <= 1 << 12, "{} too big for quick", g.name);
+        }
+    }
+
+    #[test]
+    fn weighted_copy_has_weights() {
+        let g = rmat_small(Scale::Quick);
+        assert!(!g.graph.is_weighted());
+        assert!(g.weighted().is_weighted());
+    }
+}

@@ -1,0 +1,27 @@
+//! Shared support for the benchmark harness that regenerates every table
+//! and figure of the Gluon paper.
+//!
+//! Each paper artifact has a binary in `src/bin` (`table1` … `table5`,
+//! `fig8` … `fig10`); this library provides the scaled-down input suite
+//! standing in for the paper's graphs, plus plain-text table rendering and
+//! small numeric helpers. Run a binary with `--quick` for a fast smoke
+//! configuration.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod inputs;
+pub mod report;
+pub mod singlehost;
+
+pub use inputs::{suite, BenchGraph, Scale};
+pub use report::{geomean, Table};
+
+/// Parses harness CLI arguments (currently just `--quick`).
+pub fn scale_from_args() -> Scale {
+    if std::env::args().any(|a| a == "--quick") {
+        Scale::Quick
+    } else {
+        Scale::Full
+    }
+}

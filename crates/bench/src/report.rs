@@ -1,0 +1,174 @@
+//! Plain-text table rendering and numeric helpers for harness output.
+
+/// A simple aligned-column text table.
+///
+/// # Examples
+///
+/// ```
+/// use gluon_bench::Table;
+///
+/// let mut t = Table::new(vec!["input", "time (s)"]);
+/// t.row(vec!["rmat16".into(), "0.42".into()]);
+/// let text = t.render();
+/// assert!(text.contains("rmat16"));
+/// assert!(text.contains("time (s)"));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(headers: Vec<&str>) -> Table {
+        Table {
+            headers: headers.into_iter().map(str::to_owned).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count differs from the header count.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Table {
+        assert_eq!(cells.len(), self.headers.len(), "cell count mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (c, cell) in row.iter().enumerate() {
+                widths[c] = widths[c].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String]| -> String {
+            let mut line = String::new();
+            for c in 0..cols {
+                if c > 0 {
+                    line.push_str("  ");
+                }
+                line.push_str(&format!("{:<width$}", cells[c], width = widths[c]));
+            }
+            line.trim_end().to_owned()
+        };
+        out.push_str(&fmt_row(&self.headers));
+        out.push('\n');
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders and prints to stdout with a caption.
+    pub fn print(&self, caption: &str) {
+        println!("\n## {caption}\n");
+        print!("{}", self.render());
+    }
+}
+
+/// Geometric mean of positive values (ignores non-finite or non-positive
+/// entries, matching how the paper aggregates speedups).
+pub fn geomean(values: impl IntoIterator<Item = f64>) -> f64 {
+    let mut log_sum = 0.0f64;
+    let mut count = 0usize;
+    for v in values {
+        if v.is_finite() && v > 0.0 {
+            log_sum += v.ln();
+            count += 1;
+        }
+    }
+    if count == 0 {
+        return f64::NAN;
+    }
+    (log_sum / count as f64).exp()
+}
+
+/// Formats seconds with adaptive precision.
+pub fn secs(t: f64) -> String {
+    if t >= 100.0 {
+        format!("{t:.0}")
+    } else if t >= 1.0 {
+        format!("{t:.2}")
+    } else {
+        format!("{t:.4}")
+    }
+}
+
+/// Formats a byte count in human units.
+pub fn bytes(b: u64) -> String {
+    const KB: f64 = 1024.0;
+    let bf = b as f64;
+    if bf >= KB * KB * KB {
+        format!("{:.2}GB", bf / (KB * KB * KB))
+    } else if bf >= KB * KB {
+        format!("{:.2}MB", bf / (KB * KB))
+    } else if bf >= KB {
+        format!("{:.1}KB", bf / KB)
+    } else {
+        format!("{b}B")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_of_equal_values_is_that_value() {
+        assert!((geomean([3.0, 3.0, 3.0]) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geomean_skips_invalid_entries() {
+        let g = geomean([2.0, 8.0, f64::NAN, 0.0, -1.0]);
+        assert!((g - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geomean_of_nothing_is_nan() {
+        assert!(geomean([]).is_nan());
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(vec!["a", "bbbb"]);
+        t.row(vec!["xxxxx".into(), "1".into()]);
+        let r = t.render();
+        let lines: Vec<&str> = r.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("a "));
+        assert!(lines[2].starts_with("xxxxx"));
+    }
+
+    #[test]
+    #[should_panic(expected = "cell count mismatch")]
+    fn table_rejects_ragged_rows() {
+        Table::new(vec!["a"]).row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn byte_formatting() {
+        assert_eq!(bytes(512), "512B");
+        assert_eq!(bytes(2048), "2.0KB");
+        assert!(bytes(3 * 1024 * 1024).contains("MB"));
+    }
+
+    #[test]
+    fn secs_formatting_is_adaptive() {
+        assert_eq!(secs(0.125), "0.1250");
+        assert_eq!(secs(12.5), "12.50");
+        assert_eq!(secs(123.4), "123");
+    }
+}

@@ -1,0 +1,503 @@
+//! The per-host Gluon runtime: setup, the sync call, and termination
+//! detection.
+
+use crate::bitset::DenseBitset;
+use crate::comm_tags::{sync_tag, SYNC_TAG_WINDOW};
+use crate::encode::{
+    decode_gid_values, decode_memoized, encode_gid_values, encode_memoized, WireMode,
+};
+use crate::field::FieldSync;
+use crate::memo::{FlagFilter, MemoTable};
+use crate::opts::OptLevel;
+use crate::stats::{PhaseStats, SyncStats};
+use gluon_graph::{Gid, HostId, Lid};
+use gluon_net::{Communicator, Transport};
+use gluon_partition::LocalGraph;
+use std::time::Instant;
+
+/// Where the operator *writes* the synchronized field, relative to edge
+/// direction (the paper's `WriteAtSource` / `WriteAtDestination` tags).
+///
+/// Gluon derives the reduce pattern from this: only mirror proxies that can
+/// have been written need their partial values shipped to the master.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum WriteLocation {
+    /// Written at edge sources (reverse/backward operators).
+    Source,
+    /// Written at edge destinations (push operators writing out-neighbors,
+    /// pull operators writing the active node).
+    Destination,
+    /// No exploitable structure: any proxy may have been written.
+    Any,
+}
+
+/// Where the operator *reads* the synchronized field in the next round
+/// (the paper's `ReadAtSource` / `ReadAtDestination` tags).
+///
+/// Gluon derives the broadcast pattern from this: only mirror proxies that
+/// will be read need the master's canonical value.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum ReadLocation {
+    /// Read at edge sources (push operators reading the active node, pull
+    /// operators reading in-neighbors).
+    Source,
+    /// Read at edge destinations.
+    Destination,
+    /// No exploitable structure: any proxy may be read.
+    Any,
+}
+
+impl WriteLocation {
+    /// Mirror subset that may have been written and therefore must reduce.
+    fn filter(self, structural: bool) -> FlagFilter {
+        if !structural {
+            return FlagFilter::All;
+        }
+        match self {
+            // Written at destinations => only mirrors with local incoming
+            // edges can hold partial values.
+            WriteLocation::Destination => FlagFilter::MirrorHasIn,
+            WriteLocation::Source => FlagFilter::MirrorHasOut,
+            WriteLocation::Any => FlagFilter::All,
+        }
+    }
+}
+
+impl ReadLocation {
+    /// Mirror subset that will be read and therefore must hear a broadcast.
+    fn filter(self, structural: bool) -> FlagFilter {
+        if !structural {
+            return FlagFilter::All;
+        }
+        match self {
+            // Read at sources => only mirrors with local outgoing edges
+            // will be consulted.
+            ReadLocation::Source => FlagFilter::MirrorHasOut,
+            ReadLocation::Destination => FlagFilter::MirrorHasIn,
+            ReadLocation::Any => FlagFilter::All,
+        }
+    }
+}
+
+fn filter_index(f: FlagFilter) -> usize {
+    match f {
+        FlagFilter::All => 0,
+        FlagFilter::MirrorHasIn => 1,
+        FlagFilter::MirrorHasOut => 2,
+    }
+}
+
+/// The per-host Gluon runtime handle.
+///
+/// Create one per host after partitioning (the constructor runs the
+/// memoization handshake of §4.1), then alternate between local compute —
+/// using any shared-memory engine — and [`GluonContext::sync`] calls.
+///
+/// # Examples
+///
+/// See the crate-level docs for a complete distributed BFS.
+pub struct GluonContext<'a, T: Transport + ?Sized> {
+    graph: &'a LocalGraph,
+    comm: &'a Communicator<'a, T>,
+    opts: OptLevel,
+    memo: MemoTable,
+    /// `[filter][remote] -> agreed mirror-side list`, precomputed.
+    mirror_lists: [Vec<Vec<Lid>>; 3],
+    /// `[filter][remote] -> agreed master-side list`, precomputed.
+    master_lists: [Vec<Vec<Lid>>; 3],
+    stats: SyncStats,
+    seq: u32,
+    mark: Instant,
+    pending_work: u64,
+}
+
+impl<'a, T: Transport + ?Sized> GluonContext<'a, T> {
+    /// Sets up the runtime: exchanges memoization metadata with every other
+    /// host and precomputes the agreed proxy lists.
+    ///
+    /// All hosts must call this collectively.
+    pub fn new(graph: &'a LocalGraph, comm: &'a Communicator<'a, T>, opts: OptLevel) -> Self {
+        let start = Instant::now();
+        let bytes_before = comm.transport().stats().snapshot();
+        let memo = MemoTable::exchange(graph, comm);
+        let n = comm.world_size();
+        let mut mirror_lists: [Vec<Vec<Lid>>; 3] = Default::default();
+        let mut master_lists: [Vec<Vec<Lid>>; 3] = Default::default();
+        for f in [FlagFilter::All, FlagFilter::MirrorHasIn, FlagFilter::MirrorHasOut] {
+            let fi = filter_index(f);
+            mirror_lists[fi] = (0..n).map(|h| memo.mirror_list(h, f)).collect();
+            master_lists[fi] = (0..n).map(|h| memo.master_list(h, f)).collect();
+        }
+        let memo_secs = start.elapsed().as_secs_f64();
+        let rank = comm.rank();
+        let snap = comm.transport().stats().snapshot();
+        let memo_bytes: u64 = (0..n)
+            .map(|dst| snap.bytes_between(rank, dst) - bytes_before.bytes_between(rank, dst))
+            .sum();
+        // Everyone finishes setup before any compute begins, like the real
+        // system's graph-construction barrier.
+        comm.barrier();
+        GluonContext {
+            graph,
+            comm,
+            opts,
+            memo,
+            mirror_lists,
+            master_lists,
+            stats: SyncStats {
+                memo_secs,
+                memo_bytes,
+                ..Default::default()
+            },
+            seq: 0,
+            mark: Instant::now(),
+            pending_work: 0,
+        }
+    }
+
+    /// The local partition this context synchronizes.
+    pub fn graph(&self) -> &'a LocalGraph {
+        self.graph
+    }
+
+    /// This host's rank.
+    pub fn rank(&self) -> HostId {
+        self.comm.rank()
+    }
+
+    /// Number of hosts.
+    pub fn world_size(&self) -> usize {
+        self.comm.world_size()
+    }
+
+    /// The optimization level in force.
+    pub fn opts(&self) -> OptLevel {
+        self.opts
+    }
+
+    /// The memoization table (for inspection and tests).
+    pub fn memo(&self) -> &MemoTable {
+        &self.memo
+    }
+
+    /// Statistics accumulated so far.
+    pub fn stats(&self) -> &SyncStats {
+        &self.stats
+    }
+
+    /// Consumes the context, returning its statistics.
+    pub fn into_stats(self) -> SyncStats {
+        self.stats
+    }
+
+    /// Restarts the compute clock; call when timed work begins (e.g. after
+    /// untimed initialization).
+    pub fn reset_timer(&mut self) {
+        self.mark = Instant::now();
+    }
+
+    /// Reports abstract compute work (edges traversed) done since the last
+    /// phase. Engines call this so that compute time can be *modeled* even
+    /// though the simulated hosts share physical cores; the amount is
+    /// attributed to the next phase's [`crate::PhaseStats::work_units`].
+    pub fn add_work(&mut self, units: u64) {
+        self.pending_work += units;
+    }
+
+    /// The blocking synchronization call (§3.3): reconciles the proxies of
+    /// every node whose bit is set in `updated`, running the reduce pattern
+    /// and then the broadcast pattern as the write/read locations and the
+    /// partitioning policy's structural invariants require.
+    ///
+    /// `updated` is the field-specific dirty set maintained by the compute
+    /// engine ("LocalFrontier" in the paper's Figure 4). On return it holds
+    /// the proxies that are *active* for the next round: bits of mirrors
+    /// whose values were shipped and reset are cleared; bits of masters
+    /// changed by an incoming reduction and of mirrors rewritten by a
+    /// broadcast are set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `updated` is not sized to the proxy count.
+    pub fn sync<F: FieldSync>(
+        &mut self,
+        write: WriteLocation,
+        read: ReadLocation,
+        field: &mut F,
+        updated: &mut DenseBitset,
+    ) {
+        self.sync_impl(Some(write), Some(read), field, updated);
+    }
+
+    /// Runs only the reduce pattern (mirrors → masters). For fields that
+    /// are consumed at the master (e.g. pull-style pagerank partial sums)
+    /// and never read back at mirrors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `updated` is not sized to the proxy count.
+    pub fn sync_reduce<F: FieldSync>(
+        &mut self,
+        write: WriteLocation,
+        field: &mut F,
+        updated: &mut DenseBitset,
+    ) {
+        self.sync_impl(Some(write), None, field, updated);
+    }
+
+    /// Runs only the broadcast pattern (masters → mirrors). For fields that
+    /// are written only at masters (e.g. pagerank ranks applied after a
+    /// reduction) and read at mirrors next round.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `updated` is not sized to the proxy count.
+    pub fn sync_broadcast<F: FieldSync>(
+        &mut self,
+        read: ReadLocation,
+        field: &mut F,
+        updated: &mut DenseBitset,
+    ) {
+        self.sync_impl(None, Some(read), field, updated);
+    }
+
+    fn sync_impl<F: FieldSync>(
+        &mut self,
+        write: Option<WriteLocation>,
+        read: Option<ReadLocation>,
+        field: &mut F,
+        updated: &mut DenseBitset,
+    ) {
+        assert_eq!(
+            updated.capacity(),
+            self.graph.num_proxies(),
+            "dirty set must cover every proxy"
+        );
+        let compute_secs = self.mark.elapsed().as_secs_f64();
+        let start = Instant::now();
+        let before = self.host_sent_snapshot();
+
+        let seq = self.seq;
+        self.seq = self.seq.wrapping_add(1);
+        const { assert!(SYNC_TAG_WINDOW > 2, "tag window") };
+        let structural = self.opts.structural;
+
+        if let Some(w) = write {
+            let fr = filter_index(w.filter(structural));
+            self.send_pattern(seq, 0, PatternRole::MirrorToMaster, fr, field, updated);
+            self.recv_pattern(seq, 0, PatternRole::MirrorToMaster, fr, field, updated);
+        }
+        if let Some(r) = read {
+            let fb = filter_index(r.filter(structural));
+            self.send_pattern(seq, 1, PatternRole::MasterToMirror, fb, field, updated);
+            self.recv_pattern(seq, 1, PatternRole::MasterToMirror, fb, field, updated);
+        }
+
+        let after = self.host_sent_snapshot();
+        self.stats.phases.push(PhaseStats {
+            compute_secs,
+            comm_secs: start.elapsed().as_secs_f64(),
+            bytes_sent: after.0 - before.0,
+            messages_sent: after.1 - before.1,
+            work_units: std::mem::take(&mut self.pending_work),
+        });
+        self.mark = Instant::now();
+    }
+
+    /// Distributed termination detection: true iff `local_active` is true on
+    /// any host. Timed as communication.
+    pub fn any_globally(&mut self, local_active: bool) -> bool {
+        let compute_secs = self.mark.elapsed().as_secs_f64();
+        let start = Instant::now();
+        let any = self.comm.any(local_active);
+        self.stats.phases.push(PhaseStats {
+            compute_secs,
+            comm_secs: start.elapsed().as_secs_f64(),
+            bytes_sent: 0,
+            messages_sent: 0,
+            work_units: std::mem::take(&mut self.pending_work),
+        });
+        self.mark = Instant::now();
+        any
+    }
+
+    /// Global sum over hosts (e.g. pagerank residual norms). Timed as
+    /// communication.
+    pub fn sum_globally(&mut self, local: f64) -> f64 {
+        let compute_secs = self.mark.elapsed().as_secs_f64();
+        let start = Instant::now();
+        let sum = self.comm.all_reduce_f64(local, |a, b| a + b);
+        self.stats.phases.push(PhaseStats {
+            compute_secs,
+            comm_secs: start.elapsed().as_secs_f64(),
+            bytes_sent: 0,
+            messages_sent: 0,
+            work_units: std::mem::take(&mut self.pending_work),
+        });
+        self.mark = Instant::now();
+        sum
+    }
+
+    fn host_sent_snapshot(&self) -> (u64, u64) {
+        let snap = self.comm.transport().stats().snapshot();
+        let rank = self.rank();
+        let n = self.world_size();
+        let bytes = (0..n).map(|d| snap.bytes_between(rank, d)).sum();
+        let msgs = (0..n).map(|d| snap.messages[rank * n + d]).sum();
+        (bytes, msgs)
+    }
+
+    fn send_pattern<F: FieldSync>(
+        &mut self,
+        seq: u32,
+        pat: u32,
+        role: PatternRole,
+        filter_idx: usize,
+        field: &mut F,
+        updated: &mut DenseBitset,
+    ) {
+        let rank = self.rank();
+        let temporal = self.opts.temporal;
+        for h in 0..self.world_size() {
+            if h == rank {
+                continue;
+            }
+            let list: &[Lid] = match role {
+                PatternRole::MirrorToMaster => &self.mirror_lists[filter_idx][h],
+                PatternRole::MasterToMirror => &self.master_lists[filter_idx][h],
+            };
+            if list.is_empty() {
+                continue;
+            }
+            let mut updated_pos: Vec<u32> = Vec::new();
+            for (i, &lid) in list.iter().enumerate() {
+                if updated.test(lid) {
+                    updated_pos.push(i as u32);
+                }
+            }
+            let payload = if temporal {
+                encode_memoized(list.len(), &updated_pos, |p| field.extract(list[p]))
+            } else {
+                let pairs: Vec<(Gid, F::Value)> = updated_pos
+                    .iter()
+                    .map(|&p| {
+                        let lid = list[p as usize];
+                        (self.graph.gid(lid), field.extract(lid))
+                    })
+                    .collect();
+                encode_gid_values(&pairs)
+            };
+            if role == PatternRole::MirrorToMaster {
+                // The shipped values now live at the master; reset the
+                // local copies to the reduction identity and deactivate.
+                // Dense mode ships *every* list entry, so reset them all.
+                if temporal && WireMode::of(&payload) == WireMode::Dense {
+                    for &lid in list {
+                        field.reset(lid);
+                        updated.clear(lid);
+                    }
+                } else {
+                    for &p in &updated_pos {
+                        field.reset(list[p as usize]);
+                        updated.clear(list[p as usize]);
+                    }
+                }
+            }
+            self.comm.transport().send(h, sync_tag(seq, pat), payload);
+        }
+    }
+
+    fn recv_pattern<F: FieldSync>(
+        &mut self,
+        seq: u32,
+        pat: u32,
+        role: PatternRole,
+        filter_idx: usize,
+        field: &mut F,
+        updated: &mut DenseBitset,
+    ) {
+        let rank = self.rank();
+        let temporal = self.opts.temporal;
+        for h in 0..self.world_size() {
+            if h == rank {
+                continue;
+            }
+            // I receive exactly when the sender's list toward me is
+            // non-empty; by the memoization agreement that is my master (or
+            // mirror) list for `h` under the same filter.
+            let list: &[Lid] = match role {
+                PatternRole::MirrorToMaster => &self.master_lists[filter_idx][h],
+                PatternRole::MasterToMirror => &self.mirror_lists[filter_idx][h],
+            };
+            if list.is_empty() {
+                continue;
+            }
+            let payload = self.comm.transport().recv(h, sync_tag(seq, pat));
+            match role {
+                PatternRole::MirrorToMaster => {
+                    // I am the master side: combine partial values.
+                    if temporal {
+                        decode_memoized::<F::Value>(&payload, list.len(), &mut |pos, v| {
+                            let lid = list[pos];
+                            if field.reduce(lid, v) {
+                                updated.set(lid);
+                            }
+                        });
+                    } else {
+                        decode_gid_values::<F::Value>(&payload, &mut |gid, v| {
+                            let lid = self
+                                .graph
+                                .lid(gid)
+                                .expect("reduced node is mastered here");
+                            if field.reduce(lid, v) {
+                                updated.set(lid);
+                            }
+                        });
+                    }
+                }
+                PatternRole::MasterToMirror => {
+                    // I am the mirror side: adopt canonical values. The bit
+                    // is set even when the value is unchanged: under
+                    // general vertex-cuts a mirror with outgoing edges may
+                    // have *originated* this update — its dirty bit was
+                    // cleared when the reduce shipped it, but its local
+                    // out-edges still have to see the value, so the
+                    // broadcast must re-activate it.
+                    if temporal {
+                        decode_memoized::<F::Value>(&payload, list.len(), &mut |pos, v| {
+                            let lid = list[pos];
+                            field.set(lid, v);
+                            updated.set(lid);
+                        });
+                    } else {
+                        decode_gid_values::<F::Value>(&payload, &mut |gid, v| {
+                            let lid = self
+                                .graph
+                                .lid(gid)
+                                .expect("broadcast node has a proxy here");
+                            field.set(lid, v);
+                            updated.set(lid);
+                        });
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl<T: Transport + ?Sized> std::fmt::Debug for GluonContext<'_, T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GluonContext")
+            .field("rank", &self.rank())
+            .field("world_size", &self.world_size())
+            .field("opts", &self.opts)
+            .field("phases", &self.stats.num_phases())
+            .finish()
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum PatternRole {
+    MirrorToMaster,
+    MasterToMirror,
+}

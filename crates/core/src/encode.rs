@@ -1,0 +1,330 @@
+//! Compact metadata encodings for updated values (§4.2).
+//!
+//! When memoization (§4.1) is on, two hosts share an agreed, ordered list of
+//! proxies; a sync message only has to say *which positions* of that list
+//! carry values. Gluon picks, per message, the cheapest of four encodings:
+//!
+//! | mode | when | wire layout |
+//! |---|---|---|
+//! | [`WireMode::Empty`] | no updates | mode byte only |
+//! | [`WireMode::Dense`] | updates dense | values of *all* list entries |
+//! | [`WireMode::Bitvec`] | updates sparse | bit per list entry + set values |
+//! | [`WireMode::Indices`] | very sparse | `u32` count, `u32` positions, values |
+//!
+//! "The number of bits set in the bit-vector is used to determine which mode
+//! yields the smallest message size. A byte in the sent message indicates
+//! which mode was selected."
+//!
+//! Without memoization there is no agreed list; [`encode_gid_values`]
+//! produces the classic `(global-ID, value)` pair stream other systems use
+//! ([`WireMode::GidValues`]).
+
+use crate::value::SyncValue;
+use bytes::{BufMut, Bytes, BytesMut};
+use gluon_graph::Gid;
+
+/// Wire encoding selected for one sync message.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[repr(u8)]
+pub enum WireMode {
+    /// No updates at all.
+    Empty = 0,
+    /// Values of every list entry, no metadata.
+    Dense = 1,
+    /// Bit-vector over the list plus values of set entries.
+    Bitvec = 2,
+    /// Explicit `u32` positions plus values.
+    Indices = 3,
+    /// `(global-ID, value)` pairs — the non-memoized fallback.
+    GidValues = 4,
+}
+
+impl WireMode {
+    /// Parses a mode byte.
+    pub fn from_byte(b: u8) -> Option<WireMode> {
+        match b {
+            0 => Some(WireMode::Empty),
+            1 => Some(WireMode::Dense),
+            2 => Some(WireMode::Bitvec),
+            3 => Some(WireMode::Indices),
+            4 => Some(WireMode::GidValues),
+            _ => None,
+        }
+    }
+
+    /// The mode byte of an encoded payload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `payload` is empty or carries an unknown mode byte.
+    pub fn of(payload: &[u8]) -> WireMode {
+        WireMode::from_byte(*payload.first().expect("payload has a mode byte"))
+            .expect("known wire mode")
+    }
+}
+
+/// Projected sizes of each encoding, used to pick the smallest.
+fn mode_sizes<V: SyncValue>(list_len: usize, k: usize) -> [(WireMode, usize); 3] {
+    let v = V::WIRE_BYTES;
+    [
+        (WireMode::Dense, 1 + list_len * v),
+        (WireMode::Bitvec, 1 + list_len.div_ceil(8) + k * v),
+        (WireMode::Indices, 1 + 4 + k * 4 + k * v),
+    ]
+}
+
+/// Encodes the update set `updated` (sorted positions into the agreed list
+/// of `list_len` entries) choosing the smallest wire mode.
+///
+/// `value_at(pos)` must return the current value of list entry `pos`; dense
+/// mode reads *every* position, the sparse modes only the updated ones.
+///
+/// # Examples
+///
+/// ```
+/// use gluon::encode::{decode_memoized, encode_memoized, WireMode};
+///
+/// let values = [10u32, 20, 30, 40];
+/// let msg = encode_memoized(4, &[1, 3], |p| values[p]);
+/// let mut got = Vec::new();
+/// decode_memoized::<u32>(&msg, 4, &mut |pos, v| got.push((pos, v)));
+/// assert_eq!(got, vec![(1, 20), (3, 40)]);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `updated` is not sorted or contains a position `>= list_len`.
+pub fn encode_memoized<V: SyncValue>(
+    list_len: usize,
+    updated: &[u32],
+    value_at: impl Fn(usize) -> V,
+) -> Bytes {
+    debug_assert!(updated.windows(2).all(|w| w[0] < w[1]), "positions sorted");
+    assert!(
+        updated.last().is_none_or(|&p| (p as usize) < list_len),
+        "update position out of list range"
+    );
+    let k = updated.len();
+    if k == 0 {
+        return Bytes::from_static(&[WireMode::Empty as u8]);
+    }
+    let (mode, size) = mode_sizes::<V>(list_len, k)
+        .into_iter()
+        .min_by_key(|&(_, s)| s)
+        .expect("three candidate modes");
+    let mut buf = BytesMut::with_capacity(size);
+    buf.put_u8(mode as u8);
+    match mode {
+        WireMode::Dense => {
+            for pos in 0..list_len {
+                value_at(pos).write_to(&mut buf);
+            }
+        }
+        WireMode::Bitvec => {
+            let mut bits = vec![0u8; list_len.div_ceil(8)];
+            for &p in updated {
+                bits[p as usize / 8] |= 1 << (p % 8);
+            }
+            buf.put_slice(&bits);
+            for &p in updated {
+                value_at(p as usize).write_to(&mut buf);
+            }
+        }
+        WireMode::Indices => {
+            buf.put_u32_le(k as u32);
+            for &p in updated {
+                buf.put_u32_le(p);
+            }
+            for &p in updated {
+                value_at(p as usize).write_to(&mut buf);
+            }
+        }
+        WireMode::Empty | WireMode::GidValues => unreachable!("not size candidates"),
+    }
+    debug_assert_eq!(buf.len(), size);
+    buf.freeze()
+}
+
+/// Decodes a payload produced by [`encode_memoized`], calling
+/// `apply(position, value)` for every carried entry.
+///
+/// # Panics
+///
+/// Panics on truncated or malformed payloads and on [`WireMode::GidValues`]
+/// payloads (those go through [`decode_gid_values`]).
+pub fn decode_memoized<V: SyncValue>(
+    payload: &[u8],
+    list_len: usize,
+    apply: &mut impl FnMut(usize, V),
+) {
+    let mode = WireMode::of(payload);
+    let body = &payload[1..];
+    let v = V::WIRE_BYTES;
+    match mode {
+        WireMode::Empty => assert!(body.is_empty(), "empty message with a body"),
+        WireMode::Dense => {
+            assert_eq!(body.len(), list_len * v, "dense body size");
+            for pos in 0..list_len {
+                apply(pos, V::read_from(&body[pos * v..]));
+            }
+        }
+        WireMode::Bitvec => {
+            let nbytes = list_len.div_ceil(8);
+            let (bits, values) = body.split_at(nbytes);
+            let mut cursor = 0usize;
+            for pos in 0..list_len {
+                if bits[pos / 8] & (1 << (pos % 8)) != 0 {
+                    apply(pos, V::read_from(&values[cursor..]));
+                    cursor += v;
+                }
+            }
+            assert_eq!(cursor, values.len(), "bitvec popcount matches values");
+        }
+        WireMode::Indices => {
+            let k = u32::from_le_bytes(body[..4].try_into().expect("count")) as usize;
+            let (positions, values) = body[4..].split_at(k * 4);
+            assert_eq!(values.len(), k * v, "indices value section size");
+            for i in 0..k {
+                let p =
+                    u32::from_le_bytes(positions[i * 4..i * 4 + 4].try_into().expect("position"))
+                        as usize;
+                assert!(p < list_len, "decoded position out of range");
+                apply(p, V::read_from(&values[i * v..]));
+            }
+        }
+        WireMode::GidValues => panic!("gid-value payload passed to memoized decoder"),
+    }
+}
+
+/// Encodes `(global-ID, value)` pairs — the non-memoized wire format that
+/// UNOPT/OSI use (and that systems like PowerGraph and Gemini always use).
+pub fn encode_gid_values<V: SyncValue>(pairs: &[(Gid, V)]) -> Bytes {
+    let mut buf = BytesMut::with_capacity(1 + pairs.len() * (4 + V::WIRE_BYTES));
+    buf.put_u8(WireMode::GidValues as u8);
+    for &(gid, v) in pairs {
+        buf.put_u32_le(gid.0);
+        v.write_to(&mut buf);
+    }
+    buf.freeze()
+}
+
+/// Decodes a payload produced by [`encode_gid_values`].
+///
+/// # Panics
+///
+/// Panics on malformed payloads or a non-[`WireMode::GidValues`] mode byte.
+pub fn decode_gid_values<V: SyncValue>(payload: &[u8], apply: &mut impl FnMut(Gid, V)) {
+    assert_eq!(WireMode::of(payload), WireMode::GidValues, "wire mode");
+    let body = &payload[1..];
+    let stride = 4 + V::WIRE_BYTES;
+    assert_eq!(body.len() % stride, 0, "gid-value body size");
+    for chunk in body.chunks_exact(stride) {
+        let gid = Gid(u32::from_le_bytes(chunk[..4].try_into().expect("gid")));
+        apply(gid, V::read_from(&chunk[4..]));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(list_len: usize, updated: &[u32]) -> (WireMode, Vec<(usize, u32)>) {
+        let value_at = |p: usize| (p as u32 + 1) * 11;
+        let msg = encode_memoized(list_len, updated, value_at);
+        let mode = WireMode::of(&msg);
+        let mut got = Vec::new();
+        decode_memoized::<u32>(&msg, list_len, &mut |pos, v| got.push((pos, v)));
+        (mode, got)
+    }
+
+    #[test]
+    fn empty_update_set_sends_one_byte() {
+        let msg = encode_memoized::<u32>(100, &[], |_| unreachable!());
+        assert_eq!(msg.len(), 1);
+        assert_eq!(WireMode::of(&msg), WireMode::Empty);
+        decode_memoized::<u32>(&msg, 100, &mut |_, _| panic!("no entries"));
+    }
+
+    #[test]
+    fn dense_updates_choose_dense_mode() {
+        let updated: Vec<u32> = (0..100).collect();
+        let (mode, got) = round_trip(100, &updated);
+        assert_eq!(mode, WireMode::Dense);
+        assert_eq!(got.len(), 100);
+        assert_eq!(got[7], (7, 88));
+    }
+
+    #[test]
+    fn sparse_updates_choose_bitvec_mode() {
+        let updated: Vec<u32> = (0..100).step_by(5).collect(); // 20 of 100
+        let (mode, got) = round_trip(100, &updated);
+        assert_eq!(mode, WireMode::Bitvec);
+        assert_eq!(got.len(), 20);
+        assert!(got.iter().all(|&(p, v)| v == (p as u32 + 1) * 11));
+    }
+
+    #[test]
+    fn very_sparse_updates_choose_indices_mode() {
+        let (mode, got) = round_trip(10_000, &[3, 9_876]);
+        assert_eq!(mode, WireMode::Indices);
+        assert_eq!(got, vec![(3, 44), (9_876, 9_877 * 11)]);
+    }
+
+    #[test]
+    fn selected_mode_is_never_larger_than_alternatives() {
+        for list_len in [1usize, 7, 64, 129, 1000] {
+            for stride in [1usize, 2, 3, 10, 50] {
+                let updated: Vec<u32> =
+                    (0..list_len as u32).step_by(stride).collect();
+                let msg = encode_memoized(list_len, &updated, |p| p as u64);
+                for (_, size) in mode_sizes::<u64>(list_len, updated.len()) {
+                    assert!(
+                        msg.len() <= size,
+                        "len={list_len} stride={stride}: {} > {size}",
+                        msg.len()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gid_values_round_trip() {
+        let pairs = vec![(Gid(5), 0.25f64), (Gid(900), -1.5)];
+        let msg = encode_gid_values(&pairs);
+        assert_eq!(WireMode::of(&msg), WireMode::GidValues);
+        let mut got = Vec::new();
+        decode_gid_values::<f64>(&msg, &mut |g, v| got.push((g, v)));
+        assert_eq!(got, pairs);
+    }
+
+    #[test]
+    fn gid_values_cost_more_than_memoized_bitvec() {
+        // The §4.1/§4.2 claim: dropping global-IDs roughly halves volume for
+        // 32-bit labels.
+        let list_len = 1000usize;
+        let updated: Vec<u32> = (0..200).collect();
+        let memo = encode_memoized(list_len, &updated, |p| p as u32);
+        let pairs: Vec<(Gid, u32)> = updated.iter().map(|&p| (Gid(p), p)).collect();
+        let gid = encode_gid_values(&pairs);
+        assert!(
+            (memo.len() as f64) < 0.7 * gid.len() as f64,
+            "memo {} vs gid {}",
+            memo.len(),
+            gid.len()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "out of list range")]
+    fn rejects_out_of_range_position() {
+        let _ = encode_memoized(4, &[4], |_| 0u32);
+    }
+
+    #[test]
+    #[should_panic(expected = "gid-value payload")]
+    fn memoized_decoder_rejects_gid_mode() {
+        let msg = encode_gid_values(&[(Gid(0), 1u32)]);
+        decode_memoized::<u32>(&msg, 1, &mut |_, _| {});
+    }
+}

@@ -1,0 +1,128 @@
+//! Optimization levels (the UNOPT / OSI / OTI / OSTI knobs of Figure 10).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Which communication optimizations are enabled.
+///
+/// * `structural` (§3): exploit partitioning invariants — skip or restrict
+///   the reduce/broadcast patterns to the mirror subsets that can actually
+///   have been written or will actually be read.
+/// * `temporal` (§4): exploit the temporal invariance of the partitioning —
+///   memoize address translation so that messages carry no global-IDs, and
+///   encode update metadata compactly (dense / bit-vector / indices).
+///
+/// # Examples
+///
+/// ```
+/// use gluon::OptLevel;
+///
+/// assert_eq!("osti".parse::<OptLevel>().unwrap(), OptLevel::OSTI);
+/// assert!(OptLevel::OSTI.structural && OptLevel::OSTI.temporal);
+/// assert!(!OptLevel::UNOPT.structural && !OptLevel::UNOPT.temporal);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct OptLevel {
+    /// Exploit structural invariants of the partitioning policy.
+    pub structural: bool,
+    /// Exploit temporal invariance (memoization + metadata encoding).
+    pub temporal: bool,
+}
+
+impl OptLevel {
+    /// Both optimizations off: the gather-apply-scatter baseline that sends
+    /// global-IDs with every value.
+    pub const UNOPT: OptLevel = OptLevel {
+        structural: false,
+        temporal: false,
+    };
+    /// Structural invariants only.
+    pub const OSI: OptLevel = OptLevel {
+        structural: true,
+        temporal: false,
+    };
+    /// Temporal invariance only.
+    pub const OTI: OptLevel = OptLevel {
+        structural: false,
+        temporal: true,
+    };
+    /// Both on: standard Gluon.
+    pub const OSTI: OptLevel = OptLevel {
+        structural: true,
+        temporal: true,
+    };
+
+    /// The four levels in the paper's presentation order.
+    pub const ALL: [OptLevel; 4] = [Self::UNOPT, Self::OSI, Self::OTI, Self::OSTI];
+
+    /// Lowercase name (`unopt`, `osi`, `oti`, `osti`).
+    pub fn name(self) -> &'static str {
+        match (self.structural, self.temporal) {
+            (false, false) => "unopt",
+            (true, false) => "osi",
+            (false, true) => "oti",
+            (true, true) => "osti",
+        }
+    }
+}
+
+impl Default for OptLevel {
+    /// The default is full Gluon ([`OptLevel::OSTI`]).
+    fn default() -> Self {
+        OptLevel::OSTI
+    }
+}
+
+impl fmt::Display for OptLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for OptLevel {
+    type Err = ParseOptLevelError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "unopt" => Ok(OptLevel::UNOPT),
+            "osi" => Ok(OptLevel::OSI),
+            "oti" => Ok(OptLevel::OTI),
+            "osti" => Ok(OptLevel::OSTI),
+            _ => Err(ParseOptLevelError(s.to_owned())),
+        }
+    }
+}
+
+/// Error parsing an [`OptLevel`] name.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ParseOptLevelError(String);
+
+impl fmt::Display for ParseOptLevelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown optimization level {:?}, expected unopt/osi/oti/osti",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for ParseOptLevelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip() {
+        for level in OptLevel::ALL {
+            assert_eq!(level.name().parse::<OptLevel>().expect("parses"), level);
+        }
+        assert!("best".parse::<OptLevel>().is_err());
+    }
+
+    #[test]
+    fn default_is_full_gluon() {
+        assert_eq!(OptLevel::default(), OptLevel::OSTI);
+    }
+}

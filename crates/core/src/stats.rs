@@ -1,0 +1,214 @@
+//! Per-host execution statistics gathered by the Gluon runtime.
+//!
+//! The paper's evaluation methodology (§5.6): measure per-round compute
+//! time, take the maximum across hosts per round, sum over rounds; report
+//! the rest of execution as (non-overlapping) communication, together with
+//! the total communication volume. [`SyncStats`] records exactly the
+//! per-host inputs of that computation; the bench harness aggregates.
+
+use serde::{Deserialize, Serialize};
+
+/// Default modeled CSR-traversal throughput of one host (edges per
+/// second), used when projecting compute time from work units. Roughly a
+/// modern server core streaming a CSR; override per call as needed.
+pub const DEFAULT_EDGES_PER_SEC: f64 = 4.0e8;
+
+/// Statistics of one sync phase (one `sync` call on one host).
+#[derive(Clone, Copy, PartialEq, Debug, Default, Serialize, Deserialize)]
+pub struct PhaseStats {
+    /// Compute time since the previous phase ended (seconds).
+    pub compute_secs: f64,
+    /// Time spent inside the sync call (seconds).
+    pub comm_secs: f64,
+    /// Payload bytes this host sent during the phase.
+    pub bytes_sent: u64,
+    /// Messages this host sent during the phase.
+    pub messages_sent: u64,
+    /// Abstract compute work performed since the previous phase (edges
+    /// traversed, reported by the engine via `GluonContext::add_work`).
+    /// Used to *model* compute time when wall-clock is meaningless (the
+    /// simulated hosts share cores).
+    pub work_units: u64,
+}
+
+/// Accumulated per-host statistics for a whole run.
+#[derive(Clone, PartialEq, Debug, Default, Serialize, Deserialize)]
+pub struct SyncStats {
+    /// One entry per sync phase, in order. SPMD programs call sync in
+    /// lock-step, so phase `i` aligns across hosts.
+    pub phases: Vec<PhaseStats>,
+    /// Setup cost of the memoization handshake (seconds).
+    pub memo_secs: f64,
+    /// Bytes sent during the memoization handshake.
+    pub memo_bytes: u64,
+}
+
+impl SyncStats {
+    /// Number of sync phases executed.
+    pub fn num_phases(&self) -> usize {
+        self.phases.len()
+    }
+
+    /// Total compute seconds on this host.
+    pub fn compute_secs(&self) -> f64 {
+        self.phases.iter().map(|p| p.compute_secs).sum()
+    }
+
+    /// Total communication seconds on this host.
+    pub fn comm_secs(&self) -> f64 {
+        self.phases.iter().map(|p| p.comm_secs).sum()
+    }
+
+    /// Total payload bytes sent from this host during sync phases.
+    pub fn bytes_sent(&self) -> u64 {
+        self.phases.iter().map(|p| p.bytes_sent).sum()
+    }
+
+    /// Total messages sent from this host during sync phases.
+    pub fn messages_sent(&self) -> u64 {
+        self.phases.iter().map(|p| p.messages_sent).sum()
+    }
+
+    /// Total work units performed on this host.
+    pub fn work_units(&self) -> u64 {
+        self.phases.iter().map(|p| p.work_units).sum()
+    }
+}
+
+/// Cluster-level aggregation of per-host [`SyncStats`], following the
+/// paper's methodology.
+#[derive(Clone, Copy, PartialEq, Debug, Default, Serialize, Deserialize)]
+pub struct RunStats {
+    /// Sum over phases of the per-phase *maximum* compute time across
+    /// hosts (load imbalance shows up here).
+    pub max_compute_secs: f64,
+    /// Sum over phases of the per-phase *mean* compute time across hosts.
+    pub mean_compute_secs: f64,
+    /// Largest per-host total communication time.
+    pub comm_secs: f64,
+    /// Total bytes sent by all hosts in sync phases.
+    pub total_bytes: u64,
+    /// Total sync messages sent by all hosts.
+    pub total_messages: u64,
+    /// Number of aligned sync phases.
+    pub phases: usize,
+    /// Sum over phases of the per-phase *maximum* work across hosts — the
+    /// BSP critical path in work units (load imbalance included).
+    pub max_work_units: u64,
+    /// Total work across all hosts.
+    pub total_work_units: u64,
+}
+
+impl RunStats {
+    /// Aggregates the per-host statistics of one SPMD run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hosts` is empty or phase counts disagree (a broken SPMD
+    /// program).
+    pub fn aggregate(hosts: &[SyncStats]) -> RunStats {
+        assert!(!hosts.is_empty(), "no host stats");
+        let phases = hosts[0].num_phases();
+        assert!(
+            hosts.iter().all(|h| h.num_phases() == phases),
+            "hosts disagree on phase count: {:?}",
+            hosts.iter().map(SyncStats::num_phases).collect::<Vec<_>>()
+        );
+        let mut max_compute = 0.0;
+        let mut mean_compute = 0.0;
+        let mut max_work = 0u64;
+        for i in 0..phases {
+            let times = hosts.iter().map(|h| h.phases[i].compute_secs);
+            max_compute += times.clone().fold(0.0f64, f64::max);
+            mean_compute += times.sum::<f64>() / hosts.len() as f64;
+            max_work += hosts
+                .iter()
+                .map(|h| h.phases[i].work_units)
+                .max()
+                .unwrap_or(0);
+        }
+        RunStats {
+            max_compute_secs: max_compute,
+            mean_compute_secs: mean_compute,
+            comm_secs: hosts
+                .iter()
+                .map(SyncStats::comm_secs)
+                .fold(0.0f64, f64::max),
+            total_bytes: hosts.iter().map(SyncStats::bytes_sent).sum(),
+            total_messages: hosts.iter().map(SyncStats::messages_sent).sum(),
+            phases,
+            max_work_units: max_work,
+            total_work_units: hosts.iter().map(SyncStats::work_units).sum(),
+        }
+    }
+
+    /// Projects the end-to-end time of this run on a real cluster: the BSP
+    /// compute critical path (work units at `edges_per_sec` per host) plus
+    /// the communication charged by the network cost model.
+    pub fn projected_secs(
+        &self,
+        model: &gluon_net::CostModel,
+        edges_per_sec: f64,
+        hosts: usize,
+    ) -> f64 {
+        let compute = self.max_work_units as f64 / edges_per_sec;
+        let per_host_bytes = self.total_bytes as f64 / hosts.max(1) as f64;
+        let per_host_msgs = self.total_messages as f64 / hosts.max(1) as f64;
+        compute + per_host_msgs * model.alpha_secs + per_host_bytes * model.beta_secs_per_byte
+    }
+
+    /// The paper's load-imbalance estimate: max compute / mean compute.
+    pub fn imbalance(&self) -> f64 {
+        if self.mean_compute_secs > 0.0 {
+            self.max_compute_secs / self.mean_compute_secs
+        } else {
+            1.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn host(phases: &[(f64, f64, u64)]) -> SyncStats {
+        SyncStats {
+            phases: phases
+                .iter()
+                .map(|&(c, m, b)| PhaseStats {
+                    compute_secs: c,
+                    comm_secs: m,
+                    bytes_sent: b,
+                    messages_sent: 1,
+                    work_units: b,
+                })
+                .collect(),
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn aggregate_takes_per_phase_maximum() {
+        let a = host(&[(1.0, 0.1, 10), (2.0, 0.1, 10)]);
+        let b = host(&[(3.0, 0.2, 20), (1.0, 0.3, 20)]);
+        let run = RunStats::aggregate(&[a, b]);
+        assert!((run.max_compute_secs - 5.0).abs() < 1e-12); // max(1,3)+max(2,1)
+        assert!((run.mean_compute_secs - 3.5).abs() < 1e-12); // 2 + 1.5
+        assert_eq!(run.total_bytes, 60);
+        assert_eq!(run.phases, 2);
+    }
+
+    #[test]
+    fn imbalance_ratio() {
+        let a = host(&[(4.0, 0.0, 0)]);
+        let b = host(&[(1.0, 0.0, 0)]);
+        let run = RunStats::aggregate(&[a, b]);
+        assert!((run.imbalance() - 4.0 / 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "disagree on phase count")]
+    fn mismatched_phases_panic() {
+        let _ = RunStats::aggregate(&[host(&[(1.0, 0.0, 0)]), host(&[])]);
+    }
+}

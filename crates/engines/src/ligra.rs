@@ -1,0 +1,337 @@
+//! A Ligra-style frontier engine (Shun & Blelloch, PPoPP'13).
+//!
+//! Ligra programs are built from `edgeMap` — apply an update function to
+//! every edge leaving the current frontier and collect the newly activated
+//! destinations — and `vertexMap`. The engine's trademark is *direction
+//! optimization*: when the frontier is large, it switches from pushing along
+//! out-edges to pulling along in-edges, which lets destinations stop early.
+//!
+//! This engine runs on one host's [`LocalGraph`]; plugged into
+//! [`gluon::GluonContext::sync`] between rounds it becomes the paper's
+//! **D-Ligra**. It is single-threaded per host because the simulated cluster
+//! already dedicates one OS thread per host.
+
+use gluon::DenseBitset;
+use gluon_graph::Lid;
+use gluon_partition::LocalGraph;
+
+/// A set of active proxies, kept sparse (list) or dense (bit set) depending
+/// on size — Ligra's `vertexSubset`.
+#[derive(Clone, Debug)]
+pub enum VertexSubset {
+    /// Explicit list of members (ascending, deduplicated).
+    Sparse(Vec<Lid>),
+    /// One bit per proxy.
+    Dense(DenseBitset),
+}
+
+impl VertexSubset {
+    /// The empty subset (sparse).
+    pub fn empty() -> VertexSubset {
+        VertexSubset::Sparse(Vec::new())
+    }
+
+    /// Builds a sparse subset from members (sorted + deduplicated here).
+    pub fn from_members(mut members: Vec<Lid>) -> VertexSubset {
+        members.sort_unstable();
+        members.dedup();
+        VertexSubset::Sparse(members)
+    }
+
+    /// Wraps a dirty bit set produced by a Gluon sync.
+    pub fn from_bitset(bits: DenseBitset) -> VertexSubset {
+        VertexSubset::Dense(bits)
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        match self {
+            VertexSubset::Sparse(v) => v.len(),
+            VertexSubset::Dense(b) => b.count_ones() as usize,
+        }
+    }
+
+    /// Whether the subset is empty.
+    pub fn is_empty(&self) -> bool {
+        match self {
+            VertexSubset::Sparse(v) => v.is_empty(),
+            VertexSubset::Dense(b) => b.is_empty(),
+        }
+    }
+
+    /// Iterates over members in ascending order.
+    pub fn iter(&self) -> Box<dyn Iterator<Item = Lid> + '_> {
+        match self {
+            VertexSubset::Sparse(v) => Box::new(v.iter().copied()),
+            VertexSubset::Dense(b) => Box::new(b.iter()),
+        }
+    }
+
+    /// Materializes the subset as a bit set of `capacity` bits (Gluon's
+    /// dirty-set input).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a member exceeds `capacity`.
+    pub fn to_bitset(&self, capacity: u32) -> DenseBitset {
+        match self {
+            VertexSubset::Sparse(v) => {
+                let mut b = DenseBitset::new(capacity);
+                for &m in v {
+                    b.set(m);
+                }
+                b
+            }
+            VertexSubset::Dense(b) => {
+                assert_eq!(b.capacity(), capacity, "bitset capacity mismatch");
+                b.clone()
+            }
+        }
+    }
+
+    /// Membership test (O(log n) sparse, O(1) dense).
+    pub fn contains(&self, lid: Lid) -> bool {
+        match self {
+            VertexSubset::Sparse(v) => v.binary_search(&lid).is_ok(),
+            VertexSubset::Dense(b) => b.test(lid),
+        }
+    }
+}
+
+/// Traversal direction for [`edge_map`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Direction {
+    /// Choose per call using Ligra's frontier-size heuristic.
+    #[default]
+    Auto,
+    /// Always push along out-edges of the frontier.
+    Push,
+    /// Always pull along in-edges of candidate destinations (requires the
+    /// transpose, see [`LocalGraph::build_transpose`]).
+    Pull,
+}
+
+/// The edge update functor of `edgeMap` (Ligra's `F`).
+pub trait EdgeOp {
+    /// Applies the operator to edge `(src, dst)`; returns true when `dst`
+    /// was newly activated by this update.
+    fn update(&mut self, src: Lid, dst: Lid, weight: u32) -> bool;
+
+    /// Whether `dst` still wants updates (Ligra's `C`); pull traversals
+    /// skip or stop early on nodes where this is false. Defaults to true.
+    fn cond(&self, _dst: Lid) -> bool {
+        true
+    }
+}
+
+/// Fraction of local edges above which [`Direction::Auto`] switches to
+/// pull (Ligra uses |E|/20).
+const PULL_THRESHOLD_DENOM: u64 = 20;
+
+/// Applies `op` to every edge leaving `frontier` and returns the subset of
+/// newly activated destinations — Ligra's `edgeMap`.
+///
+/// # Panics
+///
+/// Panics if a pull traversal is requested (or auto-selected) before
+/// [`LocalGraph::build_transpose`] was called.
+pub fn edge_map(
+    graph: &LocalGraph,
+    frontier: &VertexSubset,
+    op: &mut impl EdgeOp,
+    direction: Direction,
+) -> VertexSubset {
+    let dir = match direction {
+        Direction::Auto => {
+            let frontier_degree: u64 = frontier
+                .iter()
+                .map(|l| u64::from(graph.out_degree(l)))
+                .sum();
+            let size = frontier.len() as u64 + frontier_degree;
+            if graph.has_transpose() && size > graph.num_local_edges() / PULL_THRESHOLD_DENOM {
+                Direction::Pull
+            } else {
+                Direction::Push
+            }
+        }
+        d => d,
+    };
+    match dir {
+        Direction::Push => edge_map_push(graph, frontier, op),
+        Direction::Pull => edge_map_pull(graph, frontier, op),
+        Direction::Auto => unreachable!("resolved above"),
+    }
+}
+
+fn edge_map_push(
+    graph: &LocalGraph,
+    frontier: &VertexSubset,
+    op: &mut impl EdgeOp,
+) -> VertexSubset {
+    let mut next = Vec::new();
+    let mut added = DenseBitset::new(graph.num_proxies());
+    for src in frontier.iter() {
+        for e in graph.out_edges(src) {
+            if op.cond(e.dst) && op.update(src, e.dst, e.weight) && !added.test(e.dst) {
+                added.set(e.dst);
+                next.push(e.dst);
+            }
+        }
+    }
+    VertexSubset::from_members(next)
+}
+
+fn edge_map_pull(
+    graph: &LocalGraph,
+    frontier: &VertexSubset,
+    op: &mut impl EdgeOp,
+) -> VertexSubset {
+    // Pull wants O(1) membership tests on the frontier.
+    let dense_frontier;
+    let frontier: &VertexSubset = match frontier {
+        VertexSubset::Sparse(_) => {
+            dense_frontier =
+                VertexSubset::Dense(frontier.to_bitset(graph.num_proxies()));
+            &dense_frontier
+        }
+        VertexSubset::Dense(_) => frontier,
+    };
+    let mut next = Vec::new();
+    for dst in graph.proxies() {
+        if !op.cond(dst) {
+            continue;
+        }
+        let mut activated = false;
+        for e in graph.in_edges(dst) {
+            let src = e.dst; // in_edges reports the source in `dst`
+            if frontier.contains(src) && op.update(src, dst, e.weight) {
+                activated = true;
+            }
+            if !op.cond(dst) {
+                break; // Ligra's early exit once dst is satisfied
+            }
+        }
+        if activated {
+            next.push(dst);
+        }
+    }
+    VertexSubset::from_members(next)
+}
+
+/// Applies `keep` to every member; returns the subset where it was true —
+/// Ligra's `vertexMap` with filtering.
+pub fn vertex_map(subset: &VertexSubset, mut keep: impl FnMut(Lid) -> bool) -> VertexSubset {
+    VertexSubset::from_members(subset.iter().filter(|&l| keep(l)).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gluon_graph::gen;
+    use gluon_partition::{partition_all, Policy};
+
+    struct BfsOp<'a> {
+        dist: &'a mut [u32],
+        level: u32,
+    }
+
+    impl EdgeOp for BfsOp<'_> {
+        fn update(&mut self, _src: Lid, dst: Lid, _w: u32) -> bool {
+            if self.dist[dst.index()] == u32::MAX {
+                self.dist[dst.index()] = self.level;
+                true
+            } else {
+                false
+            }
+        }
+
+        fn cond(&self, dst: Lid) -> bool {
+            self.dist[dst.index()] == u32::MAX
+        }
+    }
+
+    fn single_host(graph: &gluon_graph::Csr) -> LocalGraph {
+        let mut p = partition_all(graph, 1, Policy::Oec);
+        let mut lg = p.remove(0);
+        lg.build_transpose();
+        lg
+    }
+
+    fn bfs_with(direction: Direction) -> Vec<u32> {
+        let g = gen::rmat(7, 6, Default::default(), 9);
+        let lg = single_host(&g);
+        let mut dist = vec![u32::MAX; lg.num_proxies() as usize];
+        let start = Lid(0);
+        dist[start.index()] = 0;
+        let mut frontier = VertexSubset::from_members(vec![start]);
+        let mut level = 1;
+        while !frontier.is_empty() {
+            let mut op = BfsOp {
+                dist: &mut dist,
+                level,
+            };
+            frontier = edge_map(&lg, &frontier, &mut op, direction);
+            level += 1;
+        }
+        dist
+    }
+
+    #[test]
+    fn push_and_pull_agree_on_bfs() {
+        let push = bfs_with(Direction::Push);
+        let pull = bfs_with(Direction::Pull);
+        let auto = bfs_with(Direction::Auto);
+        assert_eq!(push, pull);
+        assert_eq!(push, auto);
+        assert!(push.iter().any(|&d| d != u32::MAX && d > 0));
+    }
+
+    #[test]
+    fn subset_round_trips_through_bitset() {
+        let s = VertexSubset::from_members(vec![Lid(5), Lid(1), Lid(5), Lid(9)]);
+        assert_eq!(s.len(), 3);
+        let bits = s.to_bitset(16);
+        let back = VertexSubset::from_bitset(bits);
+        assert_eq!(back.len(), 3);
+        assert!(back.contains(Lid(1)) && back.contains(Lid(5)) && back.contains(Lid(9)));
+        assert!(!back.contains(Lid(2)));
+    }
+
+    #[test]
+    fn vertex_map_filters() {
+        let s = VertexSubset::from_members((0..10).map(Lid).collect());
+        let evens = vertex_map(&s, |l| l.0 % 2 == 0);
+        assert_eq!(evens.len(), 5);
+        assert!(evens.iter().all(|l| l.0 % 2 == 0));
+    }
+
+    #[test]
+    fn edge_map_dedups_activations() {
+        // Node 0 and 1 both point at node 2: one activation only.
+        let g = gluon_graph::Csr::from_edge_list(3, &[(0, 2), (1, 2)]);
+        let lg = single_host(&g);
+        let mut dist = vec![u32::MAX; 3];
+        dist[0] = 0;
+        dist[1] = 0;
+        let frontier = VertexSubset::from_members(vec![Lid(0), Lid(1)]);
+        let mut op = BfsOp {
+            dist: &mut dist,
+            level: 1,
+        };
+        let next = edge_map(&lg, &frontier, &mut op, Direction::Push);
+        assert_eq!(next.len(), 1);
+    }
+
+    #[test]
+    fn empty_frontier_yields_empty_result() {
+        let g = gen::path(5);
+        let lg = single_host(&g);
+        let mut dist = vec![u32::MAX; 5];
+        let mut op = BfsOp {
+            dist: &mut dist,
+            level: 1,
+        };
+        let next = edge_map(&lg, &VertexSubset::empty(), &mut op, Direction::Push);
+        assert!(next.is_empty());
+    }
+}

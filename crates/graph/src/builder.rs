@@ -1,0 +1,177 @@
+//! Incremental construction of [`Csr`] graphs.
+
+use crate::csr::Csr;
+use crate::ids::Gid;
+
+/// Incremental builder for [`Csr`] graphs.
+///
+/// Collects edges in any order, then sorts them into CSR layout on
+/// [`GraphBuilder::build`]. Optionally deduplicates parallel edges (keeping
+/// the minimum weight, the natural choice for shortest-path inputs) and drops
+/// self loops.
+///
+/// # Examples
+///
+/// ```
+/// use gluon_graph::{GraphBuilder, Gid};
+///
+/// let mut b = GraphBuilder::new(3);
+/// b.add_edge(Gid(2), Gid(0), 7);
+/// b.add_edge(Gid(0), Gid(1), 1);
+/// let g = b.build();
+/// assert_eq!(g.num_edges(), 2);
+/// assert_eq!(g.out_edges(Gid(2)).next().unwrap().weight, 7);
+/// ```
+#[derive(Clone, Debug)]
+pub struct GraphBuilder {
+    num_nodes: u32,
+    edges: Vec<(u32, u32, u32)>,
+    dedup: bool,
+    drop_self_loops: bool,
+}
+
+impl GraphBuilder {
+    /// Creates a builder for a graph with `num_nodes` nodes.
+    pub fn new(num_nodes: u32) -> Self {
+        GraphBuilder {
+            num_nodes,
+            edges: Vec::new(),
+            dedup: false,
+            drop_self_loops: false,
+        }
+    }
+
+    /// Requests deduplication of parallel edges; the smallest weight wins.
+    pub fn dedup(&mut self) -> &mut Self {
+        self.dedup = true;
+        self
+    }
+
+    /// Requests removal of self loops.
+    pub fn drop_self_loops(&mut self) -> &mut Self {
+        self.drop_self_loops = true;
+        self
+    }
+
+    /// Adds one directed edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is `>= num_nodes`.
+    pub fn add_edge(&mut self, src: Gid, dst: Gid, weight: u32) -> &mut Self {
+        assert!(
+            src.0 < self.num_nodes && dst.0 < self.num_nodes,
+            "edge ({src}, {dst}) out of range for {} nodes",
+            self.num_nodes
+        );
+        self.edges.push((src.0, dst.0, weight));
+        self
+    }
+
+    /// Number of edges currently buffered (before dedup/self-loop filtering).
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Whether no edges have been added yet.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// Sorts buffered edges and produces the [`Csr`].
+    ///
+    /// The result is unweighted exactly when every added edge had weight 1.
+    pub fn build(&self) -> Csr {
+        let mut edges = self.edges.clone();
+        if self.drop_self_loops {
+            edges.retain(|&(s, d, _)| s != d);
+        }
+        edges.sort_unstable();
+        if self.dedup {
+            edges.dedup_by(|next, kept| {
+                // `kept` precedes `next`; identical endpoints keep the
+                // smaller weight, which sorts first.
+                kept.0 == next.0 && kept.1 == next.1
+            });
+        }
+        let n = self.num_nodes as usize;
+        let mut offsets = vec![0u64; n + 1];
+        for &(s, _, _) in &edges {
+            offsets[s as usize + 1] += 1;
+        }
+        for v in 0..n {
+            offsets[v + 1] += offsets[v];
+        }
+        let all_unit = edges.iter().all(|&(_, _, w)| w == 1);
+        let targets: Vec<u32> = edges.iter().map(|&(_, d, _)| d).collect();
+        let weights: Vec<u32> = if all_unit {
+            Vec::new()
+        } else {
+            edges.iter().map(|&(_, _, w)| w).collect()
+        };
+        Csr::from_parts(offsets, targets, weights)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_sorted_csr_from_unsorted_input() {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(Gid(3), Gid(0), 1);
+        b.add_edge(Gid(0), Gid(2), 1);
+        b.add_edge(Gid(0), Gid(1), 1);
+        let g = b.build();
+        let n0: Vec<_> = g.out_edges(Gid(0)).map(|e| e.dst.0).collect();
+        assert_eq!(n0, vec![1, 2]);
+        assert_eq!(g.out_degree(Gid(3)), 1);
+    }
+
+    #[test]
+    fn dedup_keeps_minimum_weight() {
+        let mut b = GraphBuilder::new(2);
+        b.dedup();
+        b.add_edge(Gid(0), Gid(1), 9);
+        b.add_edge(Gid(0), Gid(1), 3);
+        b.add_edge(Gid(0), Gid(1), 5);
+        let g = b.build();
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.out_edges(Gid(0)).next().unwrap().weight, 3);
+    }
+
+    #[test]
+    fn drop_self_loops_removes_them() {
+        let mut b = GraphBuilder::new(2);
+        b.drop_self_loops();
+        b.add_edge(Gid(0), Gid(0), 1);
+        b.add_edge(Gid(0), Gid(1), 1);
+        let g = b.build();
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn unit_weights_build_unweighted() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(Gid(0), Gid(1), 1);
+        assert!(!b.build().is_weighted());
+        b.add_edge(Gid(1), Gid(0), 2);
+        assert!(b.build().is_weighted());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range_edge() {
+        GraphBuilder::new(2).add_edge(Gid(0), Gid(2), 1);
+    }
+
+    #[test]
+    fn empty_builder_builds_empty_graph() {
+        let b = GraphBuilder::new(3);
+        assert!(b.is_empty());
+        let g = b.build();
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_edges(), 0);
+    }
+}

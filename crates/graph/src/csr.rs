@@ -1,0 +1,393 @@
+//! Compressed-sparse-row graph representation.
+//!
+//! [`Csr`] is the workhorse in-memory format used everywhere in this
+//! workspace: the whole input graph before partitioning, each host's local
+//! partition after partitioning, and the transposed (CSC) view used by
+//! pull-style operators are all `Csr` values.
+
+use crate::ids::Gid;
+use serde::{Deserialize, Serialize};
+
+/// An outgoing edge: destination node and weight.
+///
+/// Unweighted graphs report weight `1` for every edge.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash, Serialize, Deserialize)]
+pub struct Edge {
+    /// Destination node.
+    pub dst: Gid,
+    /// Edge weight (1 for unweighted graphs).
+    pub weight: u32,
+}
+
+/// A directed graph in compressed-sparse-row form.
+///
+/// Nodes are `0..num_nodes()` in the [`Gid`] space; edges of node `v` are
+/// stored contiguously and visited with [`Csr::out_edges`]. Weights are
+/// optional: unweighted graphs store no weight array and report weight 1.
+///
+/// # Examples
+///
+/// ```
+/// use gluon_graph::{Csr, Gid};
+///
+/// // Triangle 0 -> 1 -> 2 -> 0.
+/// let g = Csr::from_edge_list(3, &[(0, 1), (1, 2), (2, 0)]);
+/// assert_eq!(g.num_nodes(), 3);
+/// assert_eq!(g.num_edges(), 3);
+/// assert_eq!(g.out_degree(Gid(1)), 1);
+/// let targets: Vec<_> = g.out_edges(Gid(2)).map(|e| e.dst).collect();
+/// assert_eq!(targets, vec![Gid(0)]);
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+pub struct Csr {
+    /// `offsets[v]..offsets[v + 1]` is the edge range of node `v`.
+    offsets: Vec<u64>,
+    /// Flattened destination array.
+    targets: Vec<u32>,
+    /// Parallel weight array; empty means "all weights are 1".
+    weights: Vec<u32>,
+}
+
+impl Csr {
+    /// Creates an empty graph with `num_nodes` nodes and no edges.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// let g = gluon_graph::Csr::empty(5);
+    /// assert_eq!(g.num_nodes(), 5);
+    /// assert_eq!(g.num_edges(), 0);
+    /// ```
+    pub fn empty(num_nodes: u32) -> Self {
+        Csr {
+            offsets: vec![0; num_nodes as usize + 1],
+            targets: Vec::new(),
+            weights: Vec::new(),
+        }
+    }
+
+    /// Builds an unweighted graph from `(src, dst)` pairs.
+    ///
+    /// Edges may be given in any order; parallel edges and self loops are
+    /// kept. For weighted construction or deduplication use
+    /// [`crate::GraphBuilder`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if any endpoint is `>= num_nodes`.
+    pub fn from_edge_list(num_nodes: u32, edges: &[(u32, u32)]) -> Self {
+        let mut builder = crate::GraphBuilder::new(num_nodes);
+        for &(src, dst) in edges {
+            builder.add_edge(Gid(src), Gid(dst), 1);
+        }
+        builder.build()
+    }
+
+    /// Builds a weighted graph from `(src, dst, weight)` triples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any endpoint is `>= num_nodes`.
+    pub fn from_weighted_edge_list(num_nodes: u32, edges: &[(u32, u32, u32)]) -> Self {
+        let mut builder = crate::GraphBuilder::new(num_nodes);
+        for &(src, dst, w) in edges {
+            builder.add_edge(Gid(src), Gid(dst), w);
+        }
+        builder.build()
+    }
+
+    /// Assembles a graph directly from its parts.
+    ///
+    /// `weights` may be empty (all weights 1) or exactly one entry per edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the offsets are not monotonically non-decreasing, if the
+    /// last offset disagrees with `targets.len()`, if a target is out of
+    /// range, or if a non-empty `weights` has the wrong length.
+    pub fn from_parts(offsets: Vec<u64>, targets: Vec<u32>, weights: Vec<u32>) -> Self {
+        assert!(!offsets.is_empty(), "offsets must have num_nodes + 1 entries");
+        assert!(
+            offsets.windows(2).all(|w| w[0] <= w[1]),
+            "offsets must be non-decreasing"
+        );
+        assert_eq!(
+            *offsets.last().expect("non-empty") as usize,
+            targets.len(),
+            "last offset must equal the edge count"
+        );
+        let num_nodes = (offsets.len() - 1) as u64;
+        assert!(
+            targets.iter().all(|&t| (t as u64) < num_nodes),
+            "edge target out of range"
+        );
+        assert!(
+            weights.is_empty() || weights.len() == targets.len(),
+            "weights must be empty or one per edge"
+        );
+        Csr {
+            offsets,
+            targets,
+            weights,
+        }
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn num_nodes(&self) -> u32 {
+        (self.offsets.len() - 1) as u32
+    }
+
+    /// Number of directed edges.
+    #[inline]
+    pub fn num_edges(&self) -> u64 {
+        *self.offsets.last().expect("offsets is never empty")
+    }
+
+    /// Whether the graph carries explicit edge weights.
+    #[inline]
+    pub fn is_weighted(&self) -> bool {
+        !self.weights.is_empty()
+    }
+
+    /// Out-degree of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    #[inline]
+    pub fn out_degree(&self, node: Gid) -> u32 {
+        let v = node.index();
+        (self.offsets[v + 1] - self.offsets[v]) as u32
+    }
+
+    /// Iterates over the nodes of the graph.
+    pub fn nodes(&self) -> impl Iterator<Item = Gid> + '_ {
+        (0..self.num_nodes()).map(Gid)
+    }
+
+    /// Iterates over the outgoing edges of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn out_edges(&self, node: Gid) -> impl Iterator<Item = Edge> + '_ {
+        let v = node.index();
+        let range = self.offsets[v] as usize..self.offsets[v + 1] as usize;
+        let weighted = self.is_weighted();
+        range.map(move |e| Edge {
+            dst: Gid(self.targets[e]),
+            weight: if weighted { self.weights[e] } else { 1 },
+        })
+    }
+
+    /// Iterates over all edges as `(src, edge)` pairs in CSR order.
+    pub fn edges(&self) -> impl Iterator<Item = (Gid, Edge)> + '_ {
+        self.nodes()
+            .flat_map(move |src| self.out_edges(src).map(move |e| (src, e)))
+    }
+
+    /// Returns the transposed graph (every edge reversed, weights kept).
+    ///
+    /// The transpose is the CSC view used by pull-style operators: the
+    /// out-edges of `v` in the transpose are the in-edges of `v` here.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use gluon_graph::{Csr, Gid};
+    ///
+    /// let g = Csr::from_edge_list(3, &[(0, 1), (0, 2)]);
+    /// let t = g.transpose();
+    /// assert_eq!(t.out_degree(Gid(1)), 1);
+    /// assert_eq!(t.out_edges(Gid(1)).next().unwrap().dst, Gid(0));
+    /// ```
+    pub fn transpose(&self) -> Csr {
+        let n = self.num_nodes() as usize;
+        let mut counts = vec![0u64; n + 1];
+        for &t in &self.targets {
+            counts[t as usize + 1] += 1;
+        }
+        for v in 0..n {
+            counts[v + 1] += counts[v];
+        }
+        let offsets = counts.clone();
+        let mut cursor = counts;
+        let mut targets = vec![0u32; self.targets.len()];
+        let weighted = self.is_weighted();
+        let mut weights = if weighted {
+            vec![0u32; self.weights.len()]
+        } else {
+            Vec::new()
+        };
+        for (src, edge) in self.edges() {
+            let slot = cursor[edge.dst.index()] as usize;
+            cursor[edge.dst.index()] += 1;
+            targets[slot] = src.0;
+            if weighted {
+                weights[slot] = edge.weight;
+            }
+        }
+        Csr {
+            offsets,
+            targets,
+            weights,
+        }
+    }
+
+    /// In-degree array (one counter pass; no transpose materialized).
+    pub fn in_degrees(&self) -> Vec<u32> {
+        let mut degs = vec![0u32; self.num_nodes() as usize];
+        for &t in &self.targets {
+            degs[t as usize] += 1;
+        }
+        degs
+    }
+
+    /// Out-degree array.
+    pub fn out_degrees(&self) -> Vec<u32> {
+        self.offsets
+            .windows(2)
+            .map(|w| (w[1] - w[0]) as u32)
+            .collect()
+    }
+
+    /// Raw offsets array (`num_nodes + 1` entries).
+    pub fn offsets(&self) -> &[u64] {
+        &self.offsets
+    }
+
+    /// Raw target array (one entry per edge).
+    pub fn targets(&self) -> &[u32] {
+        &self.targets
+    }
+
+    /// Raw weight array (empty when unweighted).
+    pub fn weights(&self) -> &[u32] {
+        &self.weights
+    }
+
+    /// Returns a copy of this graph with all weights dropped.
+    pub fn to_unweighted(&self) -> Csr {
+        Csr {
+            offsets: self.offsets.clone(),
+            targets: self.targets.clone(),
+            weights: Vec::new(),
+        }
+    }
+
+    /// Returns a copy with weights assigned by `f(src, dst)`.
+    ///
+    /// Useful for turning generated unweighted graphs into sssp inputs.
+    pub fn with_weights(&self, mut f: impl FnMut(Gid, Gid) -> u32) -> Csr {
+        let mut weights = Vec::with_capacity(self.targets.len());
+        for (src, edge) in self.edges() {
+            weights.push(f(src, edge.dst));
+        }
+        Csr {
+            offsets: self.offsets.clone(),
+            targets: self.targets.clone(),
+            weights,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> Csr {
+        // 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3
+        Csr::from_edge_list(4, &[(0, 1), (0, 2), (1, 3), (2, 3)])
+    }
+
+    #[test]
+    fn empty_graph_has_no_edges() {
+        let g = Csr::empty(3);
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_edges(), 0);
+        for v in g.nodes() {
+            assert_eq!(g.out_degree(v), 0);
+        }
+    }
+
+    #[test]
+    fn degrees_match_edge_list() {
+        let g = diamond();
+        assert_eq!(g.out_degrees(), vec![2, 1, 1, 0]);
+        assert_eq!(g.in_degrees(), vec![0, 1, 1, 2]);
+    }
+
+    #[test]
+    fn transpose_reverses_every_edge() {
+        let g = diamond();
+        let t = g.transpose();
+        assert_eq!(t.num_edges(), g.num_edges());
+        let mut fwd: Vec<_> = g.edges().map(|(s, e)| (s.0, e.dst.0)).collect();
+        let mut rev: Vec<_> = t.edges().map(|(s, e)| (e.dst.0, s.0)).collect();
+        fwd.sort_unstable();
+        rev.sort_unstable();
+        assert_eq!(fwd, rev);
+    }
+
+    #[test]
+    fn double_transpose_is_identity_up_to_ordering() {
+        let g = diamond();
+        let tt = g.transpose().transpose();
+        let mut a: Vec<_> = g.edges().map(|(s, e)| (s.0, e.dst.0, e.weight)).collect();
+        let mut b: Vec<_> = tt.edges().map(|(s, e)| (s.0, e.dst.0, e.weight)).collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn transpose_keeps_weights() {
+        let g = Csr::from_weighted_edge_list(3, &[(0, 1, 10), (1, 2, 20)]);
+        let t = g.transpose();
+        let e: Vec<_> = t.out_edges(Gid(2)).collect();
+        assert_eq!(e.len(), 1);
+        assert_eq!(e[0].dst, Gid(1));
+        assert_eq!(e[0].weight, 20);
+    }
+
+    #[test]
+    fn unweighted_edges_report_weight_one() {
+        let g = diamond();
+        assert!(!g.is_weighted());
+        assert!(g.edges().all(|(_, e)| e.weight == 1));
+    }
+
+    #[test]
+    fn with_weights_assigns_per_edge() {
+        let g = diamond().with_weights(|s, d| s.0 * 10 + d.0);
+        assert!(g.is_weighted());
+        let w: Vec<_> = g.edges().map(|(_, e)| e.weight).collect();
+        assert_eq!(w, vec![1, 2, 13, 23]);
+    }
+
+    #[test]
+    fn self_loops_and_parallel_edges_are_kept() {
+        let g = Csr::from_edge_list(2, &[(0, 0), (0, 1), (0, 1)]);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.out_degree(Gid(0)), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-decreasing")]
+    fn from_parts_rejects_bad_offsets() {
+        let _ = Csr::from_parts(vec![0, 2, 1], vec![0, 1], Vec::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn from_parts_rejects_bad_target() {
+        let _ = Csr::from_parts(vec![0, 1], vec![5], Vec::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "one per edge")]
+    fn from_parts_rejects_bad_weights() {
+        let _ = Csr::from_parts(vec![0, 1, 1], vec![1], vec![1, 2]);
+    }
+}

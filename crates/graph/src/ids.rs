@@ -1,0 +1,125 @@
+//! Strongly-typed node identifiers.
+//!
+//! Distributed graph analytics juggles two id spaces: *global* ids name nodes
+//! of the input graph and are meaningful on every host, while *local* ids
+//! name proxies inside one host's partition and are meaningless anywhere
+//! else. Mixing the two spaces is the classic bug of this domain, so both are
+//! newtypes: the compiler rejects an accidental cross-space use, and the
+//! translation points ([`crate::Gid`] ↔ [`crate::Lid`]) become explicit and
+//! auditable.
+
+use core::fmt;
+use serde::{Deserialize, Serialize};
+
+/// A node id in the *global* (whole input graph) id space.
+///
+/// # Examples
+///
+/// ```
+/// use gluon_graph::Gid;
+///
+/// let g = Gid(7);
+/// assert_eq!(g.index(), 7);
+/// assert_eq!(format!("{g}"), "g7");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default, Serialize, Deserialize)]
+pub struct Gid(pub u32);
+
+/// A node id in one host's *local* (partition proxy) id space.
+///
+/// # Examples
+///
+/// ```
+/// use gluon_graph::Lid;
+///
+/// let l = Lid(3);
+/// assert_eq!(l.index(), 3);
+/// assert_eq!(format!("{l}"), "l3");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default, Serialize, Deserialize)]
+pub struct Lid(pub u32);
+
+macro_rules! id_impls {
+    ($ty:ident, $prefix:literal) => {
+        impl $ty {
+            /// Returns the id as a `usize`, suitable for indexing slices.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// Builds an id from a slice index.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `index` does not fit in `u32`.
+            #[inline]
+            pub fn from_index(index: usize) -> Self {
+                $ty(u32::try_from(index).expect("node index exceeds u32 range"))
+            }
+        }
+
+        impl fmt::Display for $ty {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<u32> for $ty {
+            fn from(raw: u32) -> Self {
+                $ty(raw)
+            }
+        }
+
+        impl From<$ty> for u32 {
+            fn from(id: $ty) -> u32 {
+                id.0
+            }
+        }
+    };
+}
+
+id_impls!(Gid, "g");
+id_impls!(Lid, "l");
+
+/// Identifier of a simulated host (cluster rank).
+pub type HostId = usize;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_through_index() {
+        for raw in [0u32, 1, 17, u32::MAX] {
+            assert_eq!(Gid::from_index(Gid(raw).index()), Gid(raw));
+            assert_eq!(Lid::from_index(Lid(raw).index()), Lid(raw));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds u32")]
+    fn from_index_rejects_oversized() {
+        let _ = Gid::from_index(u32::MAX as usize + 1);
+    }
+
+    #[test]
+    fn display_distinguishes_spaces() {
+        assert_eq!(Gid(4).to_string(), "g4");
+        assert_eq!(Lid(4).to_string(), "l4");
+    }
+
+    #[test]
+    fn conversions_to_and_from_u32() {
+        let g: Gid = 9u32.into();
+        assert_eq!(u32::from(g), 9);
+        let l: Lid = 9u32.into();
+        assert_eq!(u32::from(l), 9);
+    }
+
+    #[test]
+    fn ordering_follows_raw_value() {
+        assert!(Gid(1) < Gid(2));
+        assert!(Lid(0) < Lid(10));
+    }
+}

@@ -1,0 +1,324 @@
+//! Reading and writing graphs.
+//!
+//! Two formats are supported:
+//!
+//! * a plain-text edge list (`src dst [weight]` per line, `#` comments),
+//!   interoperable with most graph tooling, and
+//! * a little-endian binary CSR container (`GLUO` magic) that loads without
+//!   re-sorting — the moral equivalent of the `.gr` files the Galois
+//!   ecosystem distributes.
+
+use crate::csr::Csr;
+use std::error::Error;
+use std::fmt;
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Magic bytes of the binary container.
+const MAGIC: [u8; 4] = *b"GLUO";
+/// Container format version.
+const VERSION: u32 = 1;
+
+/// Error produced while reading a graph.
+#[derive(Debug)]
+pub enum ReadGraphError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The input violates the expected format; the message names the issue
+    /// and (for text input) the line number.
+    Format(String),
+}
+
+impl fmt::Display for ReadGraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReadGraphError::Io(e) => write!(f, "i/o error reading graph: {e}"),
+            ReadGraphError::Format(msg) => write!(f, "malformed graph input: {msg}"),
+        }
+    }
+}
+
+impl Error for ReadGraphError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ReadGraphError::Io(e) => Some(e),
+            ReadGraphError::Format(_) => None,
+        }
+    }
+}
+
+impl From<io::Error> for ReadGraphError {
+    fn from(e: io::Error) -> Self {
+        ReadGraphError::Io(e)
+    }
+}
+
+/// Writes `graph` as a text edge list.
+///
+/// The first non-comment line is `num_nodes num_edges`; every following line
+/// is `src dst` or `src dst weight`.
+///
+/// # Errors
+///
+/// Returns any underlying I/O error.
+pub fn write_edge_list<W: Write>(graph: &Csr, writer: W) -> io::Result<()> {
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "# gluon edge list")?;
+    writeln!(w, "{} {}", graph.num_nodes(), graph.num_edges())?;
+    for (src, edge) in graph.edges() {
+        if graph.is_weighted() {
+            writeln!(w, "{} {} {}", src.0, edge.dst.0, edge.weight)?;
+        } else {
+            writeln!(w, "{} {}", src.0, edge.dst.0)?;
+        }
+    }
+    w.flush()
+}
+
+/// Reads a text edge list produced by [`write_edge_list`] (or by hand).
+///
+/// A mut reference to any `R: BufRead` can be passed as the reader.
+///
+/// # Errors
+///
+/// Returns [`ReadGraphError::Format`] with the offending line number if a
+/// line cannot be parsed, an endpoint is out of range, or the header is
+/// missing; [`ReadGraphError::Io`] on I/O failure.
+pub fn read_edge_list<R: BufRead>(reader: R) -> Result<Csr, ReadGraphError> {
+    let mut lines = reader.lines();
+    let mut line_no = 0usize;
+    let header = loop {
+        line_no += 1;
+        match lines.next() {
+            None => {
+                return Err(ReadGraphError::Format("missing header line".into()));
+            }
+            Some(line) => {
+                let line = line?;
+                let trimmed = line.trim();
+                if trimmed.is_empty() || trimmed.starts_with('#') {
+                    continue;
+                }
+                break trimmed.to_owned();
+            }
+        }
+    };
+    let mut parts = header.split_whitespace();
+    let num_nodes: u32 = parse_field(parts.next(), "num_nodes", line_no)?;
+    let num_edges: u64 = parse_field(parts.next(), "num_edges", line_no)?;
+    let mut builder = crate::GraphBuilder::new(num_nodes);
+    for line in lines {
+        line_no += 1;
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut fields = trimmed.split_whitespace();
+        let src: u32 = parse_field(fields.next(), "src", line_no)?;
+        let dst: u32 = parse_field(fields.next(), "dst", line_no)?;
+        let weight: u32 = match fields.next() {
+            Some(tok) => tok.parse().map_err(|_| {
+                ReadGraphError::Format(format!("line {line_no}: bad weight {tok:?}"))
+            })?,
+            None => 1,
+        };
+        if src >= num_nodes || dst >= num_nodes {
+            return Err(ReadGraphError::Format(format!(
+                "line {line_no}: edge ({src}, {dst}) out of range for {num_nodes} nodes"
+            )));
+        }
+        builder.add_edge(crate::Gid(src), crate::Gid(dst), weight);
+    }
+    if builder.len() as u64 != num_edges {
+        return Err(ReadGraphError::Format(format!(
+            "header promised {num_edges} edges but found {}",
+            builder.len()
+        )));
+    }
+    Ok(builder.build())
+}
+
+fn parse_field<T: std::str::FromStr>(
+    token: Option<&str>,
+    name: &str,
+    line_no: usize,
+) -> Result<T, ReadGraphError> {
+    let tok =
+        token.ok_or_else(|| ReadGraphError::Format(format!("line {line_no}: missing {name}")))?;
+    tok.parse()
+        .map_err(|_| ReadGraphError::Format(format!("line {line_no}: bad {name} {tok:?}")))
+}
+
+/// Writes `graph` in the binary container format.
+///
+/// # Errors
+///
+/// Returns any underlying I/O error.
+pub fn write_binary<W: Write>(graph: &Csr, writer: W) -> io::Result<()> {
+    let mut w = BufWriter::new(writer);
+    w.write_all(&MAGIC)?;
+    w.write_all(&VERSION.to_le_bytes())?;
+    w.write_all(&graph.num_nodes().to_le_bytes())?;
+    w.write_all(&graph.num_edges().to_le_bytes())?;
+    w.write_all(&u8::from(graph.is_weighted()).to_le_bytes())?;
+    for &off in graph.offsets() {
+        w.write_all(&off.to_le_bytes())?;
+    }
+    for &t in graph.targets() {
+        w.write_all(&t.to_le_bytes())?;
+    }
+    for &wt in graph.weights() {
+        w.write_all(&wt.to_le_bytes())?;
+    }
+    w.flush()
+}
+
+/// Reads a binary container written by [`write_binary`].
+///
+/// # Errors
+///
+/// Returns [`ReadGraphError::Format`] on magic/version mismatch or truncated
+/// input; [`ReadGraphError::Io`] on I/O failure.
+pub fn read_binary<R: Read>(reader: R) -> Result<Csr, ReadGraphError> {
+    let mut r = BufReader::new(reader);
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if magic != MAGIC {
+        return Err(ReadGraphError::Format(format!(
+            "bad magic {magic:?}, expected {MAGIC:?}"
+        )));
+    }
+    let version = read_u32(&mut r)?;
+    if version != VERSION {
+        return Err(ReadGraphError::Format(format!(
+            "unsupported container version {version}"
+        )));
+    }
+    let num_nodes = read_u32(&mut r)?;
+    let num_edges = read_u64(&mut r)?;
+    let mut flag = [0u8; 1];
+    r.read_exact(&mut flag)?;
+    let weighted = flag[0] != 0;
+    let mut offsets = Vec::with_capacity(num_nodes as usize + 1);
+    for _ in 0..=num_nodes {
+        offsets.push(read_u64(&mut r)?);
+    }
+    let mut targets = Vec::with_capacity(num_edges as usize);
+    for _ in 0..num_edges {
+        targets.push(read_u32(&mut r)?);
+    }
+    let mut weights = Vec::new();
+    if weighted {
+        weights.reserve(num_edges as usize);
+        for _ in 0..num_edges {
+            weights.push(read_u32(&mut r)?);
+        }
+    }
+    if offsets.last().copied() != Some(num_edges) {
+        return Err(ReadGraphError::Format(
+            "offset table disagrees with edge count".into(),
+        ));
+    }
+    Ok(Csr::from_parts(offsets, targets, weights))
+}
+
+fn read_u32<R: Read>(r: &mut R) -> Result<u32, ReadGraphError> {
+    let mut buf = [0u8; 4];
+    r.read_exact(&mut buf)?;
+    Ok(u32::from_le_bytes(buf))
+}
+
+fn read_u64<R: Read>(r: &mut R) -> Result<u64, ReadGraphError> {
+    let mut buf = [0u8; 8];
+    r.read_exact(&mut buf)?;
+    Ok(u64::from_le_bytes(buf))
+}
+
+/// Convenience: writes the binary container to `path`.
+///
+/// # Errors
+///
+/// Returns any underlying I/O error.
+pub fn save<P: AsRef<Path>>(graph: &Csr, path: P) -> io::Result<()> {
+    write_binary(graph, std::fs::File::create(path)?)
+}
+
+/// Convenience: reads a binary container from `path`.
+///
+/// # Errors
+///
+/// See [`read_binary`].
+pub fn load<P: AsRef<Path>>(path: P) -> Result<Csr, ReadGraphError> {
+    read_binary(std::fs::File::open(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn edge_list_round_trip_unweighted() {
+        let g = gen::rmat(5, 4, crate::RmatProbs::GRAPH500, 21);
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).expect("write");
+        let back = read_edge_list(&buf[..]).expect("read");
+        assert_eq!(g, back);
+    }
+
+    #[test]
+    fn edge_list_round_trip_weighted() {
+        let g = gen::with_random_weights(&gen::grid(4, 5), 9, 3);
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).expect("write");
+        let back = read_edge_list(&buf[..]).expect("read");
+        assert_eq!(g, back);
+    }
+
+    #[test]
+    fn binary_round_trip() {
+        let g = gen::with_random_weights(&gen::rmat(6, 4, Default::default(), 8), 5, 1);
+        let mut buf = Vec::new();
+        write_binary(&g, &mut buf).expect("write");
+        let back = read_binary(&buf[..]).expect("read");
+        assert_eq!(g, back);
+    }
+
+    #[test]
+    fn text_reader_skips_comments_and_blank_lines() {
+        let text = "# comment\n\n3 2\n0 1\n# middle\n1 2\n";
+        let g = read_edge_list(text.as_bytes()).expect("read");
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn text_reader_rejects_out_of_range_edge() {
+        let err = read_edge_list("2 1\n0 5\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, ReadGraphError::Format(_)), "{err}");
+        assert!(err.to_string().contains("line 2"));
+    }
+
+    #[test]
+    fn text_reader_rejects_edge_count_mismatch() {
+        let err = read_edge_list("2 3\n0 1\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("promised 3 edges"));
+    }
+
+    #[test]
+    fn binary_reader_rejects_bad_magic() {
+        let err = read_binary(&b"NOPE
+            "[..]).unwrap_err();
+        assert!(err.to_string().contains("bad magic"));
+    }
+
+    #[test]
+    fn binary_reader_rejects_truncation() {
+        let g = gen::path(10);
+        let mut buf = Vec::new();
+        write_binary(&g, &mut buf).expect("write");
+        buf.truncate(buf.len() - 3);
+        assert!(read_binary(&buf[..]).is_err());
+    }
+}

@@ -1,0 +1,139 @@
+//! Whole-graph property summaries (the paper's Table 1 columns).
+
+use crate::csr::Csr;
+use crate::ids::Gid;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Summary statistics of a graph: the columns of the paper's Table 1.
+///
+/// # Examples
+///
+/// ```
+/// use gluon_graph::{gen, GraphStats};
+///
+/// let g = gen::star(11);
+/// let s = GraphStats::of(&g);
+/// assert_eq!(s.num_nodes, 11);
+/// assert_eq!(s.max_out_degree, 10);
+/// assert_eq!(s.max_in_degree, 1);
+/// ```
+#[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
+pub struct GraphStats {
+    /// |V|.
+    pub num_nodes: u32,
+    /// |E|.
+    pub num_edges: u64,
+    /// |E| / |V|.
+    pub avg_degree: f64,
+    /// Largest out-degree of any node.
+    pub max_out_degree: u32,
+    /// Largest in-degree of any node.
+    pub max_in_degree: u32,
+}
+
+impl GraphStats {
+    /// Computes the statistics of `graph`.
+    pub fn of(graph: &Csr) -> Self {
+        let dout = graph.out_degrees();
+        let din = graph.in_degrees();
+        GraphStats {
+            num_nodes: graph.num_nodes(),
+            num_edges: graph.num_edges(),
+            avg_degree: graph.num_edges() as f64 / f64::from(graph.num_nodes().max(1)),
+            max_out_degree: dout.iter().copied().max().unwrap_or(0),
+            max_in_degree: din.iter().copied().max().unwrap_or(0),
+        }
+    }
+}
+
+impl fmt::Display for GraphStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "|V|={} |E|={} |E|/|V|={:.1} maxDout={} maxDin={}",
+            self.num_nodes, self.num_edges, self.avg_degree, self.max_out_degree, self.max_in_degree
+        )
+    }
+}
+
+/// Returns the node with the maximum out-degree (ties broken by smaller id).
+///
+/// The paper uses this node as the bfs/sssp source ("the source nodes for bfs
+/// and sssp are the maximum out-degree node").
+///
+/// # Panics
+///
+/// Panics if the graph has no nodes.
+pub fn max_out_degree_node(graph: &Csr) -> Gid {
+    assert!(graph.num_nodes() > 0, "graph has no nodes");
+    let mut best = Gid(0);
+    let mut best_deg = graph.out_degree(best);
+    for v in graph.nodes().skip(1) {
+        let d = graph.out_degree(v);
+        if d > best_deg {
+            best = v;
+            best_deg = d;
+        }
+    }
+    best
+}
+
+/// Histogram of out-degrees in power-of-two buckets.
+///
+/// Bucket `i` counts nodes with out-degree in `[2^i, 2^(i+1))`; bucket 0 also
+/// counts degree-0 nodes. Useful for eyeballing the skew the generators are
+/// supposed to produce.
+pub fn degree_histogram(graph: &Csr) -> Vec<u64> {
+    let mut hist = Vec::new();
+    for d in graph.out_degrees() {
+        let bucket = if d <= 1 { 0 } else { (u32::BITS - d.leading_zeros() - 1) as usize };
+        if hist.len() <= bucket {
+            hist.resize(bucket + 1, 0);
+        }
+        hist[bucket] += 1;
+    }
+    hist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn stats_of_star() {
+        let s = GraphStats::of(&gen::star(5));
+        assert_eq!(s.num_edges, 4);
+        assert!((s.avg_degree - 0.8).abs() < 1e-12);
+        assert_eq!(s.max_out_degree, 4);
+        assert_eq!(s.max_in_degree, 1);
+    }
+
+    #[test]
+    fn source_node_is_the_hub() {
+        let g = gen::star(9);
+        assert_eq!(max_out_degree_node(&g), Gid(0));
+    }
+
+    #[test]
+    fn source_node_prefers_smaller_id_on_tie() {
+        let g = Csr::from_edge_list(4, &[(1, 0), (2, 0)]);
+        assert_eq!(max_out_degree_node(&g), Gid(1));
+    }
+
+    #[test]
+    fn histogram_buckets_sum_to_node_count() {
+        let g = gen::rmat(8, 8, Default::default(), 4);
+        let hist = degree_histogram(&g);
+        assert_eq!(hist.iter().sum::<u64>(), u64::from(g.num_nodes()));
+    }
+
+    #[test]
+    fn display_mentions_all_fields() {
+        let s = GraphStats::of(&gen::path(3));
+        let text = s.to_string();
+        assert!(text.contains("|V|=3"));
+        assert!(text.contains("|E|=2"));
+    }
+}

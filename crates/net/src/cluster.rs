@@ -1,0 +1,116 @@
+//! SPMD cluster simulation: one OS thread per host.
+
+use crate::stats::NetStats;
+use crate::transport::{MemoryTransport, Transport};
+use std::thread;
+
+/// Runs `program` once per simulated host, in parallel, and returns the
+/// per-host results in rank order.
+///
+/// This is the `mpirun` of the workspace: the closure receives that host's
+/// [`MemoryTransport`] endpoint and executes the same program on every rank.
+///
+/// # Examples
+///
+/// ```
+/// use gluon_net::{run_cluster, Communicator, Transport};
+///
+/// let totals = run_cluster(4, |ep| {
+///     let comm = Communicator::new(ep);
+///     comm.all_reduce_u64(1, |a, b| a + b)
+/// });
+/// assert_eq!(totals, vec![4, 4, 4, 4]);
+/// ```
+///
+/// # Panics
+///
+/// Panics if any host's program panics (the panic is propagated).
+pub fn run_cluster<R, F>(world_size: usize, program: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(&MemoryTransport) -> R + Send + Sync,
+{
+    run_cluster_with_stats(world_size, NetStats::new(world_size), program).0
+}
+
+/// As [`run_cluster`], but with caller-provided counters; returns the
+/// results together with the stats so callers can inspect traffic.
+///
+/// # Panics
+///
+/// Panics if any host's program panics, or if `stats` was sized for a
+/// different world size.
+pub fn run_cluster_with_stats<R, F>(
+    world_size: usize,
+    stats: NetStats,
+    program: F,
+) -> (Vec<R>, NetStats)
+where
+    R: Send,
+    F: Fn(&MemoryTransport) -> R + Send + Sync,
+{
+    let endpoints = MemoryTransport::cluster_with_stats(world_size, stats.clone());
+    let results = thread::scope(|s| {
+        let program = &program;
+        let handles: Vec<_> = endpoints
+            .iter()
+            .map(|ep| {
+                thread::Builder::new()
+                    .name(format!("host-{}", ep.rank()))
+                    .spawn_scoped(s, move || program(ep))
+                    .expect("spawn host thread")
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(r) => r,
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
+            .collect()
+    });
+    (results, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comm::Communicator;
+    use crate::transport::Transport;
+
+    #[test]
+    fn results_are_in_rank_order() {
+        let ranks = run_cluster(5, |ep| ep.rank());
+        assert_eq!(ranks, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn stats_are_returned() {
+        let (_, stats) = run_cluster_with_stats(3, NetStats::new(3), |ep| {
+            let comm = Communicator::new(ep);
+            comm.all_gather(bytes::Bytes::from_static(b"xy"));
+        });
+        // Each host sends its 2-byte payload to the 2 others.
+        assert_eq!(stats.total_bytes(), 3 * 2 * 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "deliberate")]
+    fn panics_propagate() {
+        run_cluster(2, |ep| {
+            if ep.rank() == 1 {
+                panic!("deliberate");
+            }
+        });
+    }
+
+    #[test]
+    fn single_host_cluster_works() {
+        let out = run_cluster(1, |ep| {
+            let comm = Communicator::new(ep);
+            comm.barrier();
+            comm.all_reduce_u64(9, |a, b| a + b)
+        });
+        assert_eq!(out, vec![9]);
+    }
+}

@@ -1,0 +1,487 @@
+//! Collective operations built on the point-to-point [`Transport`].
+//!
+//! The Gluon runtime needs a handful of collectives: barriers between BSP
+//! rounds, all-reduce for termination detection, all-gather for memoization
+//! metadata exchange, and the all-to-all value exchange of the sync phase
+//! itself. They are implemented here from `send`/`recv` so that the byte
+//! counters see *all* traffic, including control traffic.
+//!
+//! # Tag space
+//!
+//! User code owns tags `0 .. 2^24`; the collectives use the range above
+//! [`COLLECTIVE_TAG_BASE`], further salted with a per-communicator epoch so
+//! that two interleaved collectives can never steal each other's packets.
+
+use crate::transport::Transport;
+use bytes::{BufMut, Bytes, BytesMut};
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// First tag reserved for collective-internal traffic.
+pub const COLLECTIVE_TAG_BASE: u32 = 1 << 24;
+
+/// Maximum user tag (exclusive).
+pub const MAX_USER_TAG: u32 = COLLECTIVE_TAG_BASE;
+
+/// Collectives over a [`Transport`].
+///
+/// Every host of the cluster must construct its communicator over its own
+/// endpoint and then call the *same sequence* of collectives — the usual
+/// SPMD contract.
+///
+/// # Examples
+///
+/// ```
+/// use gluon_net::{Communicator, MemoryTransport, Transport};
+/// use std::thread;
+///
+/// let eps = MemoryTransport::cluster(4);
+/// thread::scope(|s| {
+///     for ep in &eps {
+///         s.spawn(move || {
+///             let comm = Communicator::new(ep);
+///             let sum = comm.all_reduce_u64(ep.rank() as u64 + 1, |a, b| a + b);
+///             assert_eq!(sum, 1 + 2 + 3 + 4);
+///         });
+///     }
+/// });
+/// ```
+#[derive(Debug)]
+pub struct Communicator<'t, T: Transport + ?Sized> {
+    transport: &'t T,
+    epoch: AtomicU32,
+}
+
+impl<'t, T: Transport + ?Sized> Communicator<'t, T> {
+    /// Wraps a transport endpoint.
+    pub fn new(transport: &'t T) -> Self {
+        Communicator {
+            transport,
+            epoch: AtomicU32::new(0),
+        }
+    }
+
+    /// This host's rank.
+    pub fn rank(&self) -> usize {
+        self.transport.rank()
+    }
+
+    /// Cluster size.
+    pub fn world_size(&self) -> usize {
+        self.transport.world_size()
+    }
+
+    /// The underlying transport.
+    pub fn transport(&self) -> &'t T {
+        self.transport
+    }
+
+    fn next_epoch(&self) -> u32 {
+        // 128 epochs in flight is far more than BSP lock-step allows.
+        self.epoch.fetch_add(1, Ordering::Relaxed) % 128
+    }
+
+    fn tag(epoch: u32, step: u32) -> u32 {
+        COLLECTIVE_TAG_BASE + epoch * 64 + step
+    }
+
+    /// Dissemination barrier: returns only after every host has entered.
+    pub fn barrier(&self) {
+        let n = self.world_size();
+        if n == 1 {
+            return;
+        }
+        let rank = self.rank();
+        let epoch = self.next_epoch();
+        let mut step = 0u32;
+        let mut distance = 1usize;
+        while distance < n {
+            let to = (rank + distance) % n;
+            let from = (rank + n - distance % n) % n;
+            self.transport.send(to, Self::tag(epoch, step), Bytes::new());
+            let _ = self.transport.recv(from, Self::tag(epoch, step));
+            distance *= 2;
+            step += 1;
+        }
+    }
+
+    /// All-reduce over opaque fixed-size byte payloads.
+    ///
+    /// `combine(acc, other)` must be associative and commutative. Every host
+    /// receives the same result.
+    ///
+    /// Uses recursive doubling on power-of-two cluster sizes (log₂ n
+    /// rounds, the classic MPI algorithm) and falls back to a
+    /// gather-to-root + broadcast star otherwise.
+    pub fn all_reduce_bytes(&self, value: Bytes, combine: impl Fn(Bytes, Bytes) -> Bytes) -> Bytes {
+        let n = self.world_size();
+        if n == 1 {
+            return value;
+        }
+        let rank = self.rank();
+        let epoch = self.next_epoch();
+        if n.is_power_of_two() {
+            // Recursive doubling: at step k exchange with the partner that
+            // differs in bit k; both sides hold the combined value after.
+            let mut acc = value;
+            let mut step = 0u32;
+            let mut distance = 1usize;
+            while distance < n {
+                let partner = rank ^ distance;
+                self.transport
+                    .send(partner, Self::tag(epoch, step), acc.clone());
+                let other = self.transport.recv(partner, Self::tag(epoch, step));
+                // Combine in rank order so non-commutative float effects
+                // are at least deterministic per pair.
+                acc = if rank < partner {
+                    combine(acc, other)
+                } else {
+                    combine(other, acc)
+                };
+                distance <<= 1;
+                step += 1;
+            }
+            return acc;
+        }
+        // Gather to rank 0, combine, then broadcast back.
+        if rank == 0 {
+            let mut acc = value;
+            for src in 1..n {
+                let other = self.transport.recv(src, Self::tag(epoch, 0));
+                acc = combine(acc, other);
+            }
+            for dst in 1..n {
+                self.transport.send(dst, Self::tag(epoch, 1), acc.clone());
+            }
+            acc
+        } else {
+            self.transport.send(0, Self::tag(epoch, 0), value);
+            self.transport.recv(0, Self::tag(epoch, 1))
+        }
+    }
+
+    /// All-reduce of a `u64` with the given combiner.
+    pub fn all_reduce_u64(&self, value: u64, combine: impl Fn(u64, u64) -> u64) -> u64 {
+        let out = self.all_reduce_bytes(Bytes::copy_from_slice(&value.to_le_bytes()), |a, b| {
+            let va = u64::from_le_bytes(a[..8].try_into().expect("8-byte payload"));
+            let vb = u64::from_le_bytes(b[..8].try_into().expect("8-byte payload"));
+            Bytes::copy_from_slice(&combine(va, vb).to_le_bytes())
+        });
+        u64::from_le_bytes(out[..8].try_into().expect("8-byte payload"))
+    }
+
+    /// All-reduce of an `f64` with the given combiner.
+    pub fn all_reduce_f64(&self, value: f64, combine: impl Fn(f64, f64) -> f64) -> f64 {
+        f64::from_bits(self.all_reduce_u64(value.to_bits(), |a, b| {
+            combine(f64::from_bits(a), f64::from_bits(b)).to_bits()
+        }))
+    }
+
+    /// Returns true iff `flag` is true on *any* host (distributed OR) —
+    /// Gluon's termination-detection primitive.
+    pub fn any(&self, flag: bool) -> bool {
+        self.all_reduce_u64(u64::from(flag), |a, b| a | b) != 0
+    }
+
+    /// Returns true iff `flag` is true on *every* host (distributed AND).
+    pub fn all(&self, flag: bool) -> bool {
+        self.all_reduce_u64(u64::from(flag), |a, b| a & b) != 0
+    }
+
+    /// Every host contributes one payload; everyone receives all payloads in
+    /// rank order.
+    pub fn all_gather(&self, value: Bytes) -> Vec<Bytes> {
+        let n = self.world_size();
+        let rank = self.rank();
+        let epoch = self.next_epoch();
+        for dst in 0..n {
+            if dst != rank {
+                self.transport.send(dst, Self::tag(epoch, 2), value.clone());
+            }
+        }
+        let mut out = Vec::with_capacity(n);
+        for src in 0..n {
+            if src == rank {
+                out.push(value.clone());
+            } else {
+                out.push(self.transport.recv(src, Self::tag(epoch, 2)));
+            }
+        }
+        out
+    }
+
+    /// Personalized all-to-all: `outgoing[d]` goes to host `d`; the return
+    /// value holds one payload from every host, in rank order.
+    ///
+    /// This is the workhorse of the Gluon sync phase. Empty payloads are
+    /// legal and still exchanged (the paper's "send an empty message" mode);
+    /// byte counters record them as zero-byte messages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `outgoing.len() != world_size()`.
+    pub fn all_to_all(&self, outgoing: Vec<Bytes>) -> Vec<Bytes> {
+        let n = self.world_size();
+        assert_eq!(outgoing.len(), n, "need exactly one payload per host");
+        let rank = self.rank();
+        let epoch = self.next_epoch();
+        let mut incoming: Vec<Option<Bytes>> = vec![None; n];
+        for (dst, payload) in outgoing.into_iter().enumerate() {
+            if dst == rank {
+                incoming[rank] = Some(payload);
+            } else {
+                self.transport.send(dst, Self::tag(epoch, 3), payload);
+            }
+        }
+        for (src, slot) in incoming.iter_mut().enumerate() {
+            if src != rank {
+                *slot = Some(self.transport.recv(src, Self::tag(epoch, 3)));
+            }
+        }
+        incoming
+            .into_iter()
+            .map(|m| m.expect("filled for every rank"))
+            .collect()
+    }
+
+    /// Broadcast from `root` to all hosts (binomial tree, log₂ n rounds).
+    pub fn broadcast_from(&self, root: usize, value: Option<Bytes>) -> Bytes {
+        let n = self.world_size();
+        let rank = self.rank();
+        let epoch = self.next_epoch();
+        // Work in a rotated rank space where the root is 0; each holder at
+        // "virtual" rank r forwards to r + 2^k once it has the value.
+        let vrank = (rank + n - root % n) % n;
+        let v = if vrank == 0 {
+            value.expect("root must supply the broadcast value")
+        } else {
+            // Receive from the sender responsible for this virtual rank:
+            // the holder whose highest set bit we extend.
+            let bit = 1usize << (usize::BITS - 1 - vrank.leading_zeros()) as usize;
+            let vsrc = vrank - bit;
+            let src = (vsrc + root) % n;
+            let step = bit.trailing_zeros();
+            self.transport.recv(src, Self::tag(epoch, 4 + step))
+        };
+        // Forward to virtual ranks vrank + 2^k for each k above our own
+        // highest bit, while they are in range.
+        let start_bit = if vrank == 0 {
+            1usize
+        } else {
+            1usize << (usize::BITS - vrank.leading_zeros()) as usize
+        };
+        let mut bit = start_bit;
+        while vrank + bit < n {
+            let dst = (vrank + bit + root) % n;
+            let step = bit.trailing_zeros();
+            self.transport.send(dst, Self::tag(epoch, 4 + step), v.clone());
+            bit <<= 1;
+        }
+        v
+    }
+
+    /// Sums per-host `u64` vectors element-wise across the cluster.
+    ///
+    /// # Panics
+    ///
+    /// Panics on hosts whose vector lengths disagree.
+    pub fn all_reduce_sum_vec(&self, values: &[u64]) -> Vec<u64> {
+        let mut buf = BytesMut::with_capacity(values.len() * 8);
+        for v in values {
+            buf.put_u64_le(*v);
+        }
+        let out = self.all_reduce_bytes(buf.freeze(), |a, b| {
+            assert_eq!(a.len(), b.len(), "vector lengths disagree across hosts");
+            let mut acc = BytesMut::with_capacity(a.len());
+            for (ca, cb) in a.chunks_exact(8).zip(b.chunks_exact(8)) {
+                let va = u64::from_le_bytes(ca.try_into().expect("8-byte chunk"));
+                let vb = u64::from_le_bytes(cb.try_into().expect("8-byte chunk"));
+                acc.put_u64_le(va + vb);
+            }
+            acc.freeze()
+        });
+        out.chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().expect("8-byte chunk")))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::MemoryTransport;
+    use std::thread;
+
+    fn on_cluster<R: Send>(n: usize, f: impl Fn(&MemoryTransport) -> R + Sync) -> Vec<R> {
+        let eps = MemoryTransport::cluster(n);
+        thread::scope(|s| {
+            let handles: Vec<_> = eps.iter().map(|ep| s.spawn(|| f(ep))).collect();
+            handles.into_iter().map(|h| h.join().expect("no panic")).collect()
+        })
+    }
+
+    #[test]
+    fn barrier_completes_on_various_sizes() {
+        for n in [1, 2, 3, 5, 8] {
+            on_cluster(n, |ep| {
+                let comm = Communicator::new(ep);
+                for _ in 0..3 {
+                    comm.barrier();
+                }
+            });
+        }
+    }
+
+    #[test]
+    fn all_reduce_sum_and_max() {
+        let sums = on_cluster(5, |ep| {
+            let comm = Communicator::new(ep);
+            comm.all_reduce_u64(ep.rank() as u64, |a, b| a + b)
+        });
+        assert!(sums.iter().all(|&s| s == 10));
+        let maxes = on_cluster(5, |ep| {
+            let comm = Communicator::new(ep);
+            comm.all_reduce_u64(ep.rank() as u64 * 7, u64::max)
+        });
+        assert!(maxes.iter().all(|&m| m == 28));
+    }
+
+    #[test]
+    fn all_reduce_f64_min() {
+        let mins = on_cluster(4, |ep| {
+            let comm = Communicator::new(ep);
+            comm.all_reduce_f64(1.0 / (ep.rank() as f64 + 1.0), f64::min)
+        });
+        assert!(mins.iter().all(|&m| (m - 0.25).abs() < 1e-12));
+    }
+
+    #[test]
+    fn any_and_all() {
+        let anys = on_cluster(4, |ep| {
+            let comm = Communicator::new(ep);
+            comm.any(ep.rank() == 2)
+        });
+        assert!(anys.iter().all(|&x| x));
+        let alls = on_cluster(4, |ep| {
+            let comm = Communicator::new(ep);
+            comm.all(ep.rank() != 2)
+        });
+        assert!(alls.iter().all(|&x| !x));
+    }
+
+    #[test]
+    fn all_gather_orders_by_rank() {
+        let out = on_cluster(3, |ep| {
+            let comm = Communicator::new(ep);
+            let mine = Bytes::copy_from_slice(&[ep.rank() as u8]);
+            comm.all_gather(mine)
+        });
+        for gathered in out {
+            let ranks: Vec<u8> = gathered.iter().map(|b| b[0]).collect();
+            assert_eq!(ranks, vec![0, 1, 2]);
+        }
+    }
+
+    #[test]
+    fn all_to_all_personalizes() {
+        let out = on_cluster(3, |ep| {
+            let comm = Communicator::new(ep);
+            let outgoing = (0..3)
+                .map(|dst| Bytes::copy_from_slice(&[ep.rank() as u8, dst as u8]))
+                .collect();
+            comm.all_to_all(outgoing)
+        });
+        for (rank, incoming) in out.into_iter().enumerate() {
+            for (src, payload) in incoming.into_iter().enumerate() {
+                assert_eq!(payload[0] as usize, src);
+                assert_eq!(payload[1] as usize, rank);
+            }
+        }
+    }
+
+    #[test]
+    fn all_to_all_with_empty_payloads() {
+        let out = on_cluster(4, |ep| {
+            let comm = Communicator::new(ep);
+            comm.all_to_all(vec![Bytes::new(); 4])
+        });
+        assert!(out.iter().all(|v| v.iter().all(|b| b.is_empty())));
+    }
+
+    #[test]
+    fn broadcast_reaches_everyone() {
+        let out = on_cluster(4, |ep| {
+            let comm = Communicator::new(ep);
+            let v = (ep.rank() == 2).then(|| Bytes::from_static(b"root"));
+            comm.broadcast_from(2, v)
+        });
+        assert!(out.iter().all(|b| &b[..] == b"root"));
+    }
+
+    #[test]
+    fn vector_sum_reduces_elementwise() {
+        let out = on_cluster(3, |ep| {
+            let comm = Communicator::new(ep);
+            comm.all_reduce_sum_vec(&[ep.rank() as u64, 10])
+        });
+        assert!(out.iter().all(|v| v == &vec![3, 30]));
+    }
+
+    #[test]
+    fn recursive_doubling_matches_star_reduce() {
+        // Power-of-two sizes take the recursive-doubling path; results must
+        // be identical on every host and equal to the sequential fold.
+        for n in [2usize, 4, 8, 16] {
+            let sums = on_cluster(n, |ep| {
+                let comm = Communicator::new(ep);
+                comm.all_reduce_u64((ep.rank() as u64 + 1) * 3, |a, b| a + b)
+            });
+            let expect: u64 = (1..=n as u64).map(|r| r * 3).sum();
+            assert!(sums.iter().all(|&s| s == expect), "n={n}: {sums:?}");
+        }
+    }
+
+    #[test]
+    fn float_all_reduce_is_bitwise_identical_across_hosts() {
+        let out = on_cluster(8, |ep| {
+            let comm = Communicator::new(ep);
+            comm.all_reduce_f64(0.1 * (ep.rank() as f64 + 1.0), |a, b| a + b)
+        });
+        assert!(out.windows(2).all(|w| w[0].to_bits() == w[1].to_bits()));
+    }
+
+    #[test]
+    fn binomial_broadcast_from_every_root() {
+        for n in [1usize, 2, 3, 5, 8, 13] {
+            for root in 0..n {
+                let out = on_cluster(n, |ep| {
+                    let comm = Communicator::new(ep);
+                    let v = (ep.rank() == root)
+                        .then(|| Bytes::copy_from_slice(&[root as u8, 0xAB]));
+                    comm.broadcast_from(root, v)
+                });
+                assert!(
+                    out.iter().all(|b| b[..] == [root as u8, 0xAB]),
+                    "n={n} root={root}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn interleaved_collectives_do_not_cross_talk() {
+        let out = on_cluster(4, |ep| {
+            let comm = Communicator::new(ep);
+            let mut results = Vec::new();
+            for round in 0..10u64 {
+                comm.barrier();
+                results.push(comm.all_reduce_u64(round + ep.rank() as u64, |a, b| a + b));
+            }
+            results
+        });
+        for host in out {
+            for (round, sum) in host.into_iter().enumerate() {
+                assert_eq!(sum, 4 * round as u64 + 6);
+            }
+        }
+    }
+}

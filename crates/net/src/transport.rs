@@ -1,0 +1,369 @@
+//! Point-to-point message transport.
+//!
+//! [`Transport`] is the narrow waist the rest of the workspace programs
+//! against — the role MPI/LCI play in the paper (Figure 1 shows Gluon
+//! sitting on "Network (LCI/MPI)"). The only implementation here is the
+//! in-memory [`MemoryTransport`], which simulates a cluster with one OS
+//! thread per host; a real MPI binding would slot in behind the same trait.
+//!
+//! Matching semantics mirror MPI two-sided messaging: a receive names a
+//! `(source, tag)` pair, messages between a given pair of hosts with the
+//! same tag are delivered in FIFO order, and messages with different tags
+//! may be consumed out of order (they are buffered until asked for).
+
+use crate::stats::NetStats;
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use std::collections::{HashMap, VecDeque};
+
+/// A received message: sending rank plus payload.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Envelope {
+    /// Rank of the sending host.
+    pub src: usize,
+    /// Multiplexing tag chosen by the sender.
+    pub tag: u32,
+    /// Payload bytes.
+    pub payload: Bytes,
+}
+
+/// Two-sided point-to-point messaging between the hosts of a cluster.
+///
+/// All methods may be called concurrently from multiple threads of one host.
+pub trait Transport: Send + Sync {
+    /// This host's rank in `0..world_size()`.
+    fn rank(&self) -> usize;
+
+    /// Number of hosts in the cluster.
+    fn world_size(&self) -> usize;
+
+    /// Sends `payload` to host `dst` with multiplexing tag `tag`.
+    ///
+    /// Sends are asynchronous and never block. Sending to self is allowed
+    /// (the message is delivered through the normal path).
+    fn send(&self, dst: usize, tag: u32, payload: Bytes);
+
+    /// Blocks until a message from `src` with tag `tag` arrives and returns
+    /// its payload.
+    fn recv(&self, src: usize, tag: u32) -> Bytes;
+
+    /// Blocks until a message with tag `tag` arrives from *any* host.
+    fn recv_any(&self, tag: u32) -> Envelope;
+
+    /// Communication counters for the whole cluster.
+    fn stats(&self) -> &NetStats;
+}
+
+type Packet = (usize, u32, Bytes);
+
+/// One host's endpoint of the in-memory cluster transport.
+///
+/// Created in bulk by [`MemoryTransport::cluster`]; every endpoint can reach
+/// every other through unbounded FIFO channels.
+///
+/// # Examples
+///
+/// ```
+/// use gluon_net::{MemoryTransport, Transport};
+/// use bytes::Bytes;
+///
+/// let mut eps = MemoryTransport::cluster(2);
+/// let b = eps.pop().unwrap();
+/// let a = eps.pop().unwrap();
+/// a.send(1, 7, Bytes::from_static(b"hi"));
+/// assert_eq!(&b.recv(0, 7)[..], b"hi");
+/// ```
+#[derive(Debug)]
+pub struct MemoryTransport {
+    rank: usize,
+    world_size: usize,
+    senders: Vec<Sender<Packet>>,
+    receiver: Receiver<Packet>,
+    /// Messages that arrived but did not match the pending `recv`.
+    stash: Mutex<HashMap<(usize, u32), VecDeque<Bytes>>>,
+    /// Stash for `recv_any`, keyed by tag only.
+    stash_any: Mutex<HashMap<u32, VecDeque<(usize, Bytes)>>>,
+    stats: NetStats,
+}
+
+impl MemoryTransport {
+    /// Creates the endpoints of a fully connected in-memory cluster of
+    /// `world_size` hosts, returned in rank order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `world_size` is zero.
+    pub fn cluster(world_size: usize) -> Vec<MemoryTransport> {
+        Self::cluster_with_stats(world_size, NetStats::new(world_size))
+    }
+
+    /// As [`MemoryTransport::cluster`], with caller-provided counters (e.g.
+    /// history-recording ones).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `world_size` is zero or disagrees with `stats`.
+    pub fn cluster_with_stats(world_size: usize, stats: NetStats) -> Vec<MemoryTransport> {
+        assert!(world_size > 0, "cluster needs at least one host");
+        assert_eq!(
+            stats.world_size(),
+            world_size,
+            "stats sized for a different cluster"
+        );
+        let mut senders = Vec::with_capacity(world_size);
+        let mut receivers = Vec::with_capacity(world_size);
+        for _ in 0..world_size {
+            let (tx, rx) = unbounded::<Packet>();
+            senders.push(tx);
+            receivers.push(rx);
+        }
+        receivers
+            .into_iter()
+            .enumerate()
+            .map(|(rank, receiver)| MemoryTransport {
+                rank,
+                world_size,
+                senders: senders.clone(),
+                receiver,
+                stash: Mutex::new(HashMap::new()),
+                stash_any: Mutex::new(HashMap::new()),
+                stats: stats.clone(),
+            })
+            .collect()
+    }
+
+    /// Pulls one packet from the wire into the appropriate stash, blocking
+    /// until something arrives.
+    ///
+    /// # Panics
+    ///
+    /// Panics if all peer endpoints were dropped while a receive is pending
+    /// (a deadlocked or crashed cluster).
+    fn pump(&self) {
+        let (src, tag, payload) = self
+            .receiver
+            .recv()
+            .expect("cluster peers disconnected while receiving");
+        // A packet serves either a (src, tag) recv or a tag-only recv_any;
+        // file it under both indexes and let whichever recv runs first take
+        // it, removing it from the twin index.
+        self.stash
+            .lock()
+            .entry((src, tag))
+            .or_default()
+            .push_back(payload.clone());
+        self.stash_any
+            .lock()
+            .entry(tag)
+            .or_default()
+            .push_back((src, payload));
+    }
+
+    fn take_exact(&self, src: usize, tag: u32) -> Option<Bytes> {
+        let mut stash = self.stash.lock();
+        let queue = stash.get_mut(&(src, tag))?;
+        let payload = queue.pop_front()?;
+        if queue.is_empty() {
+            stash.remove(&(src, tag));
+        }
+        // Remove the twin entry from the any-index.
+        let mut any = self.stash_any.lock();
+        if let Some(q) = any.get_mut(&tag) {
+            if let Some(pos) = q
+                .iter()
+                .position(|(s, p)| *s == src && Bytes::ptr_eq_len(p, &payload))
+            {
+                q.remove(pos);
+            }
+            if q.is_empty() {
+                any.remove(&tag);
+            }
+        }
+        Some(payload)
+    }
+
+    fn take_any(&self, tag: u32) -> Option<(usize, Bytes)> {
+        let mut any = self.stash_any.lock();
+        let queue = any.get_mut(&tag)?;
+        let (src, payload) = queue.pop_front()?;
+        if queue.is_empty() {
+            any.remove(&tag);
+        }
+        drop(any);
+        let mut stash = self.stash.lock();
+        if let Some(q) = stash.get_mut(&(src, tag)) {
+            if let Some(pos) = q.iter().position(|p| Bytes::ptr_eq_len(p, &payload)) {
+                q.remove(pos);
+            }
+            if q.is_empty() {
+                stash.remove(&(src, tag));
+            }
+        }
+        Some((src, payload))
+    }
+}
+
+/// Identity comparison helper for de-duplicating the two stash indexes.
+trait PtrEqLen {
+    fn ptr_eq_len(a: &Bytes, b: &Bytes) -> bool;
+}
+
+impl PtrEqLen for Bytes {
+    fn ptr_eq_len(a: &Bytes, b: &Bytes) -> bool {
+        a.as_ptr() == b.as_ptr() && a.len() == b.len()
+    }
+}
+
+impl Transport for MemoryTransport {
+    fn rank(&self) -> usize {
+        self.rank
+    }
+
+    fn world_size(&self) -> usize {
+        self.world_size
+    }
+
+    fn send(&self, dst: usize, tag: u32, payload: Bytes) {
+        assert!(dst < self.world_size, "destination rank out of range");
+        self.stats
+            .record_send(self.rank, dst, tag, payload.len() as u64);
+        self.senders[dst]
+            .send((self.rank, tag, payload))
+            .expect("receiver endpoint dropped");
+    }
+
+    fn recv(&self, src: usize, tag: u32) -> Bytes {
+        assert!(src < self.world_size, "source rank out of range");
+        loop {
+            if let Some(payload) = self.take_exact(src, tag) {
+                return payload;
+            }
+            self.pump();
+        }
+    }
+
+    fn recv_any(&self, tag: u32) -> Envelope {
+        loop {
+            if let Some((src, payload)) = self.take_any(tag) {
+                return Envelope { src, tag, payload };
+            }
+            self.pump();
+        }
+    }
+
+    fn stats(&self) -> &NetStats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn point_to_point_delivery() {
+        let mut eps = MemoryTransport::cluster(2);
+        let b = eps.pop().expect("two endpoints");
+        let a = eps.pop().expect("two endpoints");
+        a.send(1, 1, Bytes::from_static(b"x"));
+        assert_eq!(&b.recv(0, 1)[..], b"x");
+    }
+
+    #[test]
+    fn fifo_per_tag() {
+        let mut eps = MemoryTransport::cluster(2);
+        let b = eps.pop().expect("two endpoints");
+        let a = eps.pop().expect("two endpoints");
+        a.send(1, 1, Bytes::from_static(b"first"));
+        a.send(1, 1, Bytes::from_static(b"second"));
+        assert_eq!(&b.recv(0, 1)[..], b"first");
+        assert_eq!(&b.recv(0, 1)[..], b"second");
+    }
+
+    #[test]
+    fn different_tags_consumed_out_of_order() {
+        let mut eps = MemoryTransport::cluster(2);
+        let b = eps.pop().expect("two endpoints");
+        let a = eps.pop().expect("two endpoints");
+        a.send(1, 1, Bytes::from_static(b"one"));
+        a.send(1, 2, Bytes::from_static(b"two"));
+        // Ask for tag 2 first; tag 1 must be stashed, not lost.
+        assert_eq!(&b.recv(0, 2)[..], b"two");
+        assert_eq!(&b.recv(0, 1)[..], b"one");
+    }
+
+    #[test]
+    fn recv_any_takes_from_either_source() {
+        let mut eps = MemoryTransport::cluster(3);
+        let c = eps.pop().expect("three endpoints");
+        let b = eps.pop().expect("three endpoints");
+        let a = eps.pop().expect("three endpoints");
+        a.send(2, 5, Bytes::from_static(b"from a"));
+        b.send(2, 5, Bytes::from_static(b"from b"));
+        let mut seen = vec![c.recv_any(5).src, c.recv_any(5).src];
+        seen.sort_unstable();
+        assert_eq!(seen, vec![0, 1]);
+    }
+
+    #[test]
+    fn recv_any_and_recv_share_one_message_pool() {
+        let mut eps = MemoryTransport::cluster(2);
+        let b = eps.pop().expect("two endpoints");
+        let a = eps.pop().expect("two endpoints");
+        a.send(1, 3, Bytes::from_static(b"only"));
+        let env = b.recv_any(3);
+        assert_eq!(env.src, 0);
+        // The message must not be receivable twice.
+        a.send(1, 3, Bytes::from_static(b"next"));
+        assert_eq!(&b.recv(0, 3)[..], b"next");
+    }
+
+    #[test]
+    fn self_send_works() {
+        let mut eps = MemoryTransport::cluster(1);
+        let a = eps.pop().expect("one endpoint");
+        a.send(0, 0, Bytes::from_static(b"me"));
+        assert_eq!(&a.recv(0, 0)[..], b"me");
+    }
+
+    #[test]
+    fn cross_thread_ping_pong() {
+        let mut eps = MemoryTransport::cluster(2);
+        let b = eps.pop().expect("two endpoints");
+        let a = eps.pop().expect("two endpoints");
+        thread::scope(|s| {
+            s.spawn(|| {
+                for i in 0..100u32 {
+                    a.send(1, 0, Bytes::copy_from_slice(&i.to_le_bytes()));
+                    let echo = a.recv(1, 1);
+                    assert_eq!(&echo[..], &i.to_le_bytes());
+                }
+            });
+            s.spawn(|| {
+                for _ in 0..100 {
+                    let m = b.recv(0, 0);
+                    b.send(0, 1, m);
+                }
+            });
+        });
+    }
+
+    #[test]
+    fn stats_count_payload_bytes() {
+        let mut eps = MemoryTransport::cluster(2);
+        let _b = eps.pop().expect("two endpoints");
+        let a = eps.pop().expect("two endpoints");
+        a.send(1, 0, Bytes::from_static(b"12345"));
+        assert_eq!(a.stats().total_bytes(), 5);
+        assert_eq!(a.stats().total_messages(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn send_to_bad_rank_panics() {
+        let eps = MemoryTransport::cluster(1);
+        eps[0].send(3, 0, Bytes::new());
+    }
+}

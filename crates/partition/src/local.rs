@@ -1,0 +1,335 @@
+//! One host's partition of the distributed graph.
+
+use gluon_graph::{Csr, Gid, HostId, Lid};
+use crate::policy::Policy;
+use std::collections::HashMap;
+
+/// A local edge: destination proxy and weight.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct LocalEdge {
+    /// Destination proxy (local id).
+    pub dst: Lid,
+    /// Edge weight (1 when unweighted).
+    pub weight: u32,
+}
+
+/// One host's partitioned graph: a CSR over *proxies* plus the bookkeeping
+/// that relates proxies to the global graph.
+///
+/// Invariants (checked by [`crate::invariants::check_local_graph`]):
+///
+/// * proxies `0..num_masters()` are masters, the rest are mirrors;
+/// * both ranges are sorted by global id;
+/// * every edge connects two proxies of this host (paper invariant (b));
+/// * the master of every node this host owns is present even if isolated.
+#[derive(Clone, Debug)]
+pub struct LocalGraph {
+    host: HostId,
+    num_hosts: usize,
+    policy: Policy,
+    global_nodes: u32,
+    global_edges: u64,
+    /// Local topology over Lid space (reusing the CSR layout).
+    graph: Csr,
+    /// Lazily built transpose for pull-style operators.
+    transpose: Option<Box<Csr>>,
+    /// lid -> gid.
+    gids: Vec<Gid>,
+    /// gid -> lid for proxies present here.
+    lids: HashMap<Gid, Lid>,
+    /// lid -> host owning the master proxy.
+    owner: Vec<HostId>,
+    num_masters: u32,
+    /// lid -> has at least one local outgoing edge.
+    has_out: Vec<bool>,
+    /// lid -> has at least one local incoming edge.
+    has_in: Vec<bool>,
+}
+
+impl LocalGraph {
+    /// Assembles a local graph; used by [`crate::build`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parts disagree in length or ordering (masters first,
+    /// each range sorted by gid).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_parts(
+        host: HostId,
+        num_hosts: usize,
+        policy: Policy,
+        global_nodes: u32,
+        global_edges: u64,
+        graph: Csr,
+        gids: Vec<Gid>,
+        owner: Vec<HostId>,
+        num_masters: u32,
+    ) -> Self {
+        assert_eq!(graph.num_nodes() as usize, gids.len(), "gids per proxy");
+        assert_eq!(gids.len(), owner.len(), "owner per proxy");
+        assert!(num_masters as usize <= gids.len(), "masters within range");
+        assert!(
+            gids[..num_masters as usize].windows(2).all(|w| w[0] < w[1]),
+            "masters must be sorted by gid"
+        );
+        assert!(
+            gids[num_masters as usize..]
+                .windows(2)
+                .all(|w| w[0] < w[1]),
+            "mirrors must be sorted by gid"
+        );
+        assert!(
+            owner[..num_masters as usize].iter().all(|&o| o == host),
+            "master proxies must be owned locally"
+        );
+        assert!(
+            owner[num_masters as usize..].iter().all(|&o| o != host),
+            "mirror proxies must be owned remotely"
+        );
+        let lids: HashMap<Gid, Lid> = gids
+            .iter()
+            .enumerate()
+            .map(|(i, &g)| (g, Lid::from_index(i)))
+            .collect();
+        assert_eq!(lids.len(), gids.len(), "duplicate gid among proxies");
+        let has_out = graph.out_degrees().iter().map(|&d| d > 0).collect();
+        let has_in = graph.in_degrees().iter().map(|&d| d > 0).collect();
+        LocalGraph {
+            host,
+            num_hosts,
+            policy,
+            global_nodes,
+            global_edges,
+            graph,
+            transpose: None,
+            gids,
+            lids,
+            owner,
+            num_masters,
+            has_out,
+            has_in,
+        }
+    }
+
+    /// This host's rank.
+    pub fn host(&self) -> HostId {
+        self.host
+    }
+
+    /// Number of hosts in the partitioning.
+    pub fn num_hosts(&self) -> usize {
+        self.num_hosts
+    }
+
+    /// Policy that produced this partition.
+    pub fn policy(&self) -> Policy {
+        self.policy
+    }
+
+    /// |V| of the *global* graph.
+    pub fn global_nodes(&self) -> u32 {
+        self.global_nodes
+    }
+
+    /// |E| of the *global* graph.
+    pub fn global_edges(&self) -> u64 {
+        self.global_edges
+    }
+
+    /// Number of proxies on this host (masters + mirrors).
+    pub fn num_proxies(&self) -> u32 {
+        self.graph.num_nodes()
+    }
+
+    /// Number of master proxies.
+    pub fn num_masters(&self) -> u32 {
+        self.num_masters
+    }
+
+    /// Number of mirror proxies.
+    pub fn num_mirrors(&self) -> u32 {
+        self.num_proxies() - self.num_masters
+    }
+
+    /// Number of edges assigned to this host.
+    pub fn num_local_edges(&self) -> u64 {
+        self.graph.num_edges()
+    }
+
+    /// Iterates over all proxies.
+    pub fn proxies(&self) -> impl Iterator<Item = Lid> {
+        (0..self.num_proxies()).map(Lid)
+    }
+
+    /// Iterates over master proxies (the contiguous prefix).
+    pub fn masters(&self) -> impl Iterator<Item = Lid> {
+        (0..self.num_masters).map(Lid)
+    }
+
+    /// Iterates over mirror proxies (the contiguous suffix).
+    pub fn mirrors(&self) -> impl Iterator<Item = Lid> {
+        (self.num_masters..self.num_proxies()).map(Lid)
+    }
+
+    /// Whether `lid` is a master proxy.
+    #[inline]
+    pub fn is_master(&self, lid: Lid) -> bool {
+        lid.0 < self.num_masters
+    }
+
+    /// Host owning the master proxy of `lid`.
+    #[inline]
+    pub fn owner_of(&self, lid: Lid) -> HostId {
+        self.owner[lid.index()]
+    }
+
+    /// Global id of proxy `lid`.
+    #[inline]
+    pub fn gid(&self, lid: Lid) -> Gid {
+        self.gids[lid.index()]
+    }
+
+    /// Local id of global node `gid`, if this host has a proxy for it.
+    #[inline]
+    pub fn lid(&self, gid: Gid) -> Option<Lid> {
+        self.lids.get(&gid).copied()
+    }
+
+    /// Whether proxy `lid` has at least one local outgoing edge.
+    #[inline]
+    pub fn has_local_out_edges(&self, lid: Lid) -> bool {
+        self.has_out[lid.index()]
+    }
+
+    /// Whether proxy `lid` has at least one local incoming edge.
+    #[inline]
+    pub fn has_local_in_edges(&self, lid: Lid) -> bool {
+        self.has_in[lid.index()]
+    }
+
+    /// Local out-degree of proxy `lid`.
+    #[inline]
+    pub fn out_degree(&self, lid: Lid) -> u32 {
+        self.graph.out_degree(Gid(lid.0))
+    }
+
+    /// Iterates over local outgoing edges of proxy `lid`.
+    pub fn out_edges(&self, lid: Lid) -> impl Iterator<Item = LocalEdge> + '_ {
+        self.graph.out_edges(Gid(lid.0)).map(|e| LocalEdge {
+            dst: Lid(e.dst.0),
+            weight: e.weight,
+        })
+    }
+
+    /// Iterates over local incoming edges of proxy `lid` as
+    /// `(source, weight)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless [`LocalGraph::build_transpose`] ran first.
+    pub fn in_edges(&self, lid: Lid) -> impl Iterator<Item = LocalEdge> + '_ {
+        let t = self
+            .transpose
+            .as_ref()
+            .expect("call build_transpose() before using in_edges()");
+        t.out_edges(Gid(lid.0)).map(|e| LocalEdge {
+            dst: Lid(e.dst.0),
+            weight: e.weight,
+        })
+    }
+
+    /// Materializes the transposed topology so [`LocalGraph::in_edges`]
+    /// works. Idempotent.
+    pub fn build_transpose(&mut self) {
+        if self.transpose.is_none() {
+            self.transpose = Some(Box::new(self.graph.transpose()));
+        }
+    }
+
+    /// Whether the transpose is already materialized.
+    pub fn has_transpose(&self) -> bool {
+        self.transpose.is_some()
+    }
+
+    /// The raw local topology (Lid space packed as a [`Csr`]).
+    pub fn topology(&self) -> &Csr {
+        &self.graph
+    }
+
+    /// Mirror proxies whose master lives on `remote`, in gid order.
+    ///
+    /// This list is exactly what the memoization handshake of §4.1 sends to
+    /// `remote` at startup.
+    pub fn mirrors_on(&self, remote: HostId) -> Vec<Lid> {
+        self.mirrors()
+            .filter(|&m| self.owner_of(m) == remote)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::partition_all;
+    use gluon_graph::gen;
+
+    fn sample() -> Vec<LocalGraph> {
+        let g = gen::rmat(6, 4, Default::default(), 3);
+        partition_all(&g, 3, Policy::Oec)
+    }
+
+    #[test]
+    fn masters_precede_mirrors() {
+        for lg in sample() {
+            for m in lg.masters() {
+                assert!(lg.is_master(m));
+                assert_eq!(lg.owner_of(m), lg.host());
+            }
+            for m in lg.mirrors() {
+                assert!(!lg.is_master(m));
+                assert_ne!(lg.owner_of(m), lg.host());
+            }
+        }
+    }
+
+    #[test]
+    fn gid_lid_round_trip() {
+        for lg in sample() {
+            for p in lg.proxies() {
+                assert_eq!(lg.lid(lg.gid(p)), Some(p));
+            }
+            assert_eq!(lg.lid(Gid(u32::MAX)), None);
+        }
+    }
+
+    #[test]
+    fn in_edges_requires_transpose() {
+        let mut parts = sample();
+        let lg = &mut parts[0];
+        assert!(!lg.has_transpose());
+        lg.build_transpose();
+        assert!(lg.has_transpose());
+        // In-edge sources must themselves have the proxy as an out-target.
+        for p in lg.proxies() {
+            for ie in lg.in_edges(p) {
+                assert!(lg.out_edges(ie.dst).any(|oe| oe.dst == p));
+            }
+        }
+    }
+
+    #[test]
+    fn mirrors_on_partitions_the_mirror_set() {
+        for lg in sample() {
+            let mut total = 0;
+            for h in 0..lg.num_hosts() {
+                let ms = lg.mirrors_on(h);
+                if h == lg.host() {
+                    assert!(ms.is_empty());
+                }
+                assert!(ms.windows(2).all(|w| lg.gid(w[0]) < lg.gid(w[1])));
+                total += ms.len();
+            }
+            assert_eq!(total, lg.num_mirrors() as usize);
+        }
+    }
+}

@@ -1,0 +1,118 @@
+//! Partition quality metrics (replication factor, balance).
+//!
+//! §5.2 of the paper compares policies by *replication factor* — the average
+//! number of proxies per node — and reports that CVC keeps it at ~2–8 on 128
+//! and 256 hosts while Gemini's edge-cut reaches ~4–25. These metrics are
+//! what the Table 2 harness prints.
+
+use crate::local::LocalGraph;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Aggregate quality metrics of one partitioning.
+#[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
+pub struct PartitionStats {
+    /// Number of hosts.
+    pub num_hosts: usize,
+    /// |V| of the global graph.
+    pub global_nodes: u32,
+    /// |E| of the global graph.
+    pub global_edges: u64,
+    /// Total proxies across hosts.
+    pub total_proxies: u64,
+    /// Average proxies per node (≥ 1).
+    pub replication_factor: f64,
+    /// max/mean of per-host edge counts (1.0 = perfectly balanced).
+    pub edge_imbalance: f64,
+    /// max/mean of per-host proxy counts.
+    pub proxy_imbalance: f64,
+    /// Largest per-host edge count.
+    pub max_host_edges: u64,
+    /// Largest per-host proxy count.
+    pub max_host_proxies: u64,
+}
+
+impl PartitionStats {
+    /// Computes metrics over one host-set of partitions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parts` is empty.
+    pub fn of(parts: &[LocalGraph]) -> Self {
+        assert!(!parts.is_empty(), "no partitions");
+        let num_hosts = parts.len();
+        let global_nodes = parts[0].global_nodes();
+        let global_edges = parts[0].global_edges();
+        let proxies: Vec<u64> = parts.iter().map(|p| u64::from(p.num_proxies())).collect();
+        let edges: Vec<u64> = parts.iter().map(|p| p.num_local_edges()).collect();
+        let total_proxies: u64 = proxies.iter().sum();
+        let mean_edges = edges.iter().sum::<u64>() as f64 / num_hosts as f64;
+        let mean_proxies = total_proxies as f64 / num_hosts as f64;
+        PartitionStats {
+            num_hosts,
+            global_nodes,
+            global_edges,
+            total_proxies,
+            replication_factor: total_proxies as f64 / f64::from(global_nodes.max(1)),
+            edge_imbalance: edges.iter().copied().max().unwrap_or(0) as f64 / mean_edges.max(1.0),
+            proxy_imbalance: proxies.iter().copied().max().unwrap_or(0) as f64
+                / mean_proxies.max(1.0),
+            max_host_edges: edges.iter().copied().max().unwrap_or(0),
+            max_host_proxies: proxies.iter().copied().max().unwrap_or(0),
+        }
+    }
+}
+
+impl fmt::Display for PartitionStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "hosts={} rep={:.2} edge-imb={:.2} proxy-imb={:.2}",
+            self.num_hosts, self.replication_factor, self.edge_imbalance, self.proxy_imbalance
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::partition_all;
+    use crate::policy::Policy;
+    use gluon_graph::gen;
+
+    #[test]
+    fn single_host_has_replication_one() {
+        let g = gen::rmat(6, 4, Default::default(), 1);
+        let s = PartitionStats::of(&partition_all(&g, 1, Policy::Oec));
+        assert!((s.replication_factor - 1.0).abs() < 1e-12);
+        assert!((s.edge_imbalance - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn replication_grows_with_hosts() {
+        let g = gen::rmat(8, 8, Default::default(), 2);
+        let r2 = PartitionStats::of(&partition_all(&g, 2, Policy::Oec)).replication_factor;
+        let r8 = PartitionStats::of(&partition_all(&g, 8, Policy::Oec)).replication_factor;
+        assert!(r8 > r2, "r2={r2} r8={r8}");
+    }
+
+    #[test]
+    fn cvc_replication_beats_edge_cut_on_skewed_graphs_at_scale() {
+        // The §5.2 claim the paper makes against Gemini.
+        let g = gen::twitter_like(4000, 16, 3);
+        let hosts = 16;
+        let cvc = PartitionStats::of(&partition_all(&g, hosts, Policy::Cvc)).replication_factor;
+        let oec = PartitionStats::of(&partition_all(&g, hosts, Policy::Oec)).replication_factor;
+        assert!(
+            cvc < oec,
+            "expected CVC ({cvc:.2}) below OEC ({oec:.2}) at {hosts} hosts"
+        );
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let g = gen::path(10);
+        let s = PartitionStats::of(&partition_all(&g, 2, Policy::Oec));
+        assert!(s.to_string().contains("hosts=2"));
+    }
+}

@@ -1,0 +1,80 @@
+//! Distributed betweenness centrality against the Brandes oracle — the
+//! workload that exercises the WriteAtSource / ReadAtDestination sync
+//! patterns.
+
+use gluon_suite::algos::{driver, reference, DistConfig, EngineKind};
+use gluon_suite::graph::{gen, max_out_degree_node, Csr, Gid};
+use gluon_suite::partition::Policy;
+use gluon_suite::substrate::OptLevel;
+
+fn check_bc(graph: &Csr, source: Gid, cfg: &DistConfig) {
+    let out = driver::run_betweenness(graph, cfg, source);
+    let oracle = reference::betweenness_source(graph, source);
+    for (v, (got, want)) in out.ranks.iter().zip(&oracle).enumerate() {
+        assert!(
+            (got - want).abs() < 1e-9,
+            "node {v}: {got} vs {want} {cfg:?}"
+        );
+    }
+}
+
+#[test]
+fn bc_on_small_structured_graphs() {
+    // Diamond: two shortest paths 0 -> 3; each intermediate carries half
+    // the pair dependency of (0, 3).
+    let diamond = Csr::from_edge_list(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]);
+    let oracle = reference::betweenness_source(&diamond, Gid(0));
+    assert!((oracle[1] - 0.5).abs() < 1e-12);
+    assert!((oracle[2] - 0.5).abs() < 1e-12);
+    for hosts in [1, 2, 3] {
+        check_bc(&diamond, Gid(0), &DistConfig::new(hosts));
+    }
+    check_bc(&gen::path(20), Gid(0), &DistConfig::new(3));
+    check_bc(&gen::binary_tree(5), Gid(0), &DistConfig::new(4));
+}
+
+#[test]
+fn bc_matches_oracle_across_policies() {
+    let g = gen::rmat(8, 8, Default::default(), 81);
+    let source = max_out_degree_node(&g);
+    for policy in Policy::ALL {
+        check_bc(
+            &g,
+            source,
+            &DistConfig {
+                hosts: 4,
+                policy,
+                opts: OptLevel::OSTI,
+                engine: EngineKind::Galois,
+            },
+        );
+    }
+}
+
+#[test]
+fn bc_matches_oracle_across_opt_levels() {
+    let g = gen::twitter_like(1_000, 10, 82);
+    let source = max_out_degree_node(&g);
+    for opts in OptLevel::ALL {
+        check_bc(
+            &g,
+            source,
+            &DistConfig {
+                hosts: 3,
+                policy: Policy::Hvc,
+                opts,
+                engine: EngineKind::Galois,
+            },
+        );
+    }
+}
+
+#[test]
+fn bc_handles_unreachable_regions() {
+    // Two disjoint chains; the second never contributes.
+    let g = Csr::from_edge_list(8, &[(0, 1), (1, 2), (2, 3), (4, 5), (5, 6)]);
+    check_bc(&g, Gid(0), &DistConfig::new(4));
+    let oracle = reference::betweenness_source(&g, Gid(0));
+    assert_eq!(oracle[4], 0.0);
+    assert_eq!(oracle[1], 2.0); // 1 lies on the paths to 2 and to 3
+}

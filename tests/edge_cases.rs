@@ -1,0 +1,224 @@
+//! Failure-injection and degenerate-input tests: empty partitions,
+//! isolated nodes, self loops, duplicate edges, unreachable sources,
+//! more hosts than nodes, and out-of-order message consumption.
+
+use bytes::Bytes;
+use gluon_suite::algos::{driver, reference, Algorithm, DistConfig, EngineKind};
+use gluon_suite::graph::{gen, Csr, Gid};
+use gluon_suite::net::{run_cluster, Communicator, MemoryTransport, Transport};
+use gluon_suite::partition::Policy;
+use gluon_suite::substrate::OptLevel;
+
+fn all_cfgs(hosts: usize) -> impl Iterator<Item = DistConfig> {
+    [Policy::Oec, Policy::Cvc, Policy::Hvc]
+        .into_iter()
+        .map(move |policy| DistConfig {
+            hosts,
+            policy,
+            opts: OptLevel::OSTI,
+            engine: EngineKind::Galois,
+        })
+}
+
+#[test]
+fn graph_with_no_edges() {
+    let g = Csr::empty(20);
+    for cfg in all_cfgs(4) {
+        let out = driver::run(&g, Algorithm::Bfs, &cfg);
+        let mut expect = vec![u32::MAX; 20];
+        expect[0] = 0; // max-out-degree source defaults to node 0
+        assert_eq!(out.int_labels, expect);
+        let cc = driver::run(&g, Algorithm::Cc, &cfg);
+        assert_eq!(cc.int_labels, (0..20).collect::<Vec<_>>());
+    }
+}
+
+#[test]
+fn single_node_graph() {
+    let g = Csr::empty(1);
+    for cfg in all_cfgs(3) {
+        let out = driver::run(&g, Algorithm::Bfs, &cfg);
+        assert_eq!(out.int_labels, vec![0]);
+        let pr = driver::run(&g, Algorithm::Pagerank, &cfg);
+        // An edgeless node converges to the base rank (1 - d) / N = 0.15;
+        // dangling mass is not redistributed (see `reference::pagerank`).
+        assert!((pr.ranks[0] - 0.15).abs() < 1e-6, "base rank only");
+    }
+}
+
+#[test]
+fn more_hosts_than_nodes() {
+    let g = gen::path(3);
+    for cfg in all_cfgs(8) {
+        let out = driver::run(&g, Algorithm::Bfs, &cfg);
+        assert_eq!(out.int_labels, reference::bfs(&g, Gid(0)));
+    }
+}
+
+#[test]
+fn self_loops_and_duplicate_edges() {
+    let g = Csr::from_weighted_edge_list(
+        4,
+        &[
+            (0, 0, 5), // self loop
+            (0, 1, 3),
+            (0, 1, 1), // duplicate with a better weight
+            (1, 2, 2),
+            (2, 2, 1), // self loop
+        ],
+    );
+    for cfg in all_cfgs(3) {
+        let out = driver::run_with(&g, Algorithm::Sssp, &cfg, Gid(0), Default::default());
+        assert_eq!(out.int_labels, reference::sssp(&g, Gid(0)));
+        assert_eq!(out.int_labels, vec![0, 1, 3, u32::MAX]);
+    }
+}
+
+#[test]
+fn unreachable_source_component() {
+    // Source reaches nothing; everything stays at infinity except itself.
+    let mut edges = vec![(1u32, 2u32), (2, 3), (3, 1)];
+    edges.push((4, 4));
+    let g = Csr::from_edge_list(5, &edges);
+    for cfg in all_cfgs(2) {
+        let out = driver::run_with(&g, Algorithm::Bfs, &cfg, Gid(0), Default::default());
+        assert_eq!(out.int_labels[0], 0);
+        assert!(out.int_labels[1..].iter().all(|&d| d == u32::MAX));
+    }
+}
+
+#[test]
+fn isolated_hub_free_graph_with_every_engine() {
+    // Half the nodes isolated: masters with no proxies elsewhere.
+    let mut edges = Vec::new();
+    for v in 0..20u32 {
+        edges.push((v, v + 1));
+    }
+    let g = Csr::from_edge_list(64, &edges);
+    for engine in EngineKind::ALL {
+        let cfg = DistConfig {
+            hosts: 4,
+            policy: Policy::Cvc,
+            opts: OptLevel::OSTI,
+            engine,
+        };
+        let out = driver::run_with(&g, Algorithm::Bfs, &cfg, Gid(0), Default::default());
+        assert_eq!(out.int_labels, reference::bfs(&g, Gid(0)), "{engine}");
+    }
+}
+
+#[test]
+fn transport_tolerates_out_of_order_consumption() {
+    // A host that consumes tags in reverse order must still see every
+    // message exactly once — the stash layer the BSP phases rely on.
+    let results = run_cluster(2, |ep| {
+        if ep.rank() == 0 {
+            for tag in 0..10u32 {
+                ep.send(1, tag, Bytes::copy_from_slice(&[tag as u8]));
+            }
+            Vec::new()
+        } else {
+            (0..10u32)
+                .rev()
+                .map(|tag| ep.recv(0, tag)[0])
+                .collect::<Vec<u8>>()
+        }
+    });
+    assert_eq!(results[1], vec![9, 8, 7, 6, 5, 4, 3, 2, 1, 0]);
+}
+
+#[test]
+fn interleaved_sync_and_collectives_do_not_cross_talk() {
+    // Mixing user-tag traffic with collectives in the same round stays
+    // correctly matched (tag-space separation).
+    let sums = run_cluster(3, |ep| {
+        let comm = Communicator::new(ep);
+        let mut total = 0u64;
+        for round in 0..20u64 {
+            let next = (ep.rank() + 1) % 3;
+            let prev = (ep.rank() + 2) % 3;
+            ep.send(next, 7, Bytes::copy_from_slice(&round.to_le_bytes()));
+            total += comm.all_reduce_u64(1, |a, b| a + b);
+            let got = ep.recv(prev, 7);
+            assert_eq!(u64::from_le_bytes(got[..8].try_into().unwrap()), round);
+            comm.barrier();
+        }
+        total
+    });
+    assert!(sums.iter().all(|&s| s == 60));
+}
+
+#[test]
+fn zero_byte_payloads_are_delivered() {
+    let out = run_cluster(2, |ep| {
+        if ep.rank() == 0 {
+            ep.send(1, 0, Bytes::new());
+            0
+        } else {
+            ep.recv(0, 0).len()
+        }
+    });
+    assert_eq!(out[1], 0);
+}
+
+#[test]
+fn dist_config_debug_and_helpers() {
+    let cfg = DistConfig::new(4);
+    let text = format!("{cfg:?}");
+    assert!(text.contains("Cvc"));
+    assert!(text.contains("hosts: 4"));
+    let _ = MemoryTransport::cluster(1);
+}
+
+/// The whole stack — partitioning handshake, memoization, sync phases,
+/// termination — survives a transport that delays and reorders deliveries
+/// across streams (per-stream FIFO preserved, as real NICs guarantee).
+#[test]
+fn full_bfs_survives_message_jitter() {
+    use gluon_suite::algos::apps;
+    use gluon_suite::algos::EngineKind;
+    use gluon_suite::net::JitterTransport;
+    use gluon_suite::partition::partition_on_host;
+    use gluon_suite::substrate::GluonContext;
+
+    let g = gen::rmat(7, 8, Default::default(), 123);
+    let source = gluon_suite::graph::max_out_degree_node(&g);
+    let oracle = reference::bfs(&g, source);
+    for trial in 0..3u64 {
+        let endpoints = MemoryTransport::cluster(4);
+        let jittered: Vec<_> = endpoints
+            .into_iter()
+            .enumerate()
+            .map(|(rank, ep)| JitterTransport::new(ep, trial * 100 + rank as u64))
+            .collect();
+        let per_host = std::thread::scope(|s| {
+            let handles: Vec<_> = jittered
+                .iter()
+                .map(|ep| {
+                    let g = &g;
+                    s.spawn(move || {
+                        let comm = Communicator::new(ep);
+                        let lg = partition_on_host(g, Policy::Cvc, &comm);
+                        let mut ctx =
+                            GluonContext::new(&lg, &comm, OptLevel::OSTI);
+                        let (dist, _) = apps::bfs(&lg, &mut ctx, source, EngineKind::Galois);
+                        lg.masters()
+                            .map(|m| (lg.gid(m).0, dist[m.index()]))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("no panic"))
+                .collect::<Vec<_>>()
+        });
+        let mut got = vec![u32::MAX; g.num_nodes() as usize];
+        for host in per_host {
+            for (gid, d) in host {
+                got[gid as usize] = d;
+            }
+        }
+        assert_eq!(got, oracle, "trial {trial}");
+    }
+}

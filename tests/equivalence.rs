@@ -1,0 +1,149 @@
+//! Cross-crate equivalence tests: every distributed configuration must
+//! produce the same answers as the single-host reference oracles.
+
+use gluon_suite::algos::{driver, reference, Algorithm, DistConfig, EngineKind};
+use gluon_suite::graph::{gen, max_out_degree_node, Csr};
+use gluon_suite::partition::Policy;
+use gluon_suite::substrate::OptLevel;
+
+fn check(graph: &Csr, algo: Algorithm, cfg: &DistConfig) {
+    let out = driver::run(graph, algo, cfg);
+    match algo {
+        Algorithm::Bfs => {
+            let oracle = reference::bfs(graph, max_out_degree_node(graph));
+            assert_eq!(out.int_labels, oracle, "bfs {cfg:?}");
+        }
+        Algorithm::Sssp => {
+            let oracle = reference::sssp(graph, max_out_degree_node(graph));
+            assert_eq!(out.int_labels, oracle, "sssp {cfg:?}");
+        }
+        Algorithm::Cc => {
+            assert_eq!(out.int_labels, reference::cc(graph), "cc {cfg:?}");
+        }
+        Algorithm::Pagerank => {
+            let (oracle, _) = reference::pagerank(graph, 0.85, 1e-6, 100);
+            for (i, (got, want)) in out.ranks.iter().zip(&oracle).enumerate() {
+                assert!(
+                    (got - want).abs() < 1e-6,
+                    "pr node {i}: {got} vs {want} {cfg:?}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn full_matrix_on_rmat() {
+    // algorithms x engines x policies at a fixed host count and the
+    // default optimization level.
+    let base = gen::rmat(8, 8, Default::default(), 100);
+    let weighted = gen::with_random_weights(&base, 50, 4);
+    for algo in Algorithm::ALL {
+        let graph = if algo == Algorithm::Sssp {
+            &weighted
+        } else {
+            &base
+        };
+        for engine in EngineKind::ALL {
+            for policy in Policy::ALL {
+                check(
+                    graph,
+                    algo,
+                    &DistConfig {
+                        hosts: 3,
+                        policy,
+                        opts: OptLevel::OSTI,
+                        engine,
+                    },
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn all_optimization_levels_agree() {
+    let base = gen::twitter_like(3_000, 12, 8);
+    let weighted = gen::with_random_weights(&base, 50, 5);
+    for algo in Algorithm::ALL {
+        let graph = if algo == Algorithm::Sssp {
+            &weighted
+        } else {
+            &base
+        };
+        for opts in OptLevel::ALL {
+            for policy in [Policy::Oec, Policy::Cvc, Policy::Hvc] {
+                check(
+                    graph,
+                    algo,
+                    &DistConfig {
+                        hosts: 4,
+                        policy,
+                        opts,
+                        engine: EngineKind::Galois,
+                    },
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn host_count_sweep() {
+    let g = gen::web_like(2_000, 10, 2.0, 9);
+    for hosts in [1, 2, 3, 5, 8, 13] {
+        for algo in [Algorithm::Bfs, Algorithm::Cc] {
+            check(
+                &g,
+                algo,
+                &DistConfig {
+                    hosts,
+                    policy: Policy::Cvc,
+                    opts: OptLevel::OSTI,
+                    engine: EngineKind::Ligra,
+                },
+            );
+        }
+    }
+}
+
+#[test]
+fn kron_input_with_irgl_engine() {
+    let g = gen::kronecker(9, 8, 77);
+    for algo in [Algorithm::Bfs, Algorithm::Cc, Algorithm::Pagerank] {
+        check(
+            &g,
+            algo,
+            &DistConfig {
+                hosts: 4,
+                policy: Policy::Iec,
+                opts: OptLevel::OSTI,
+                engine: EngineKind::Irgl,
+            },
+        );
+    }
+}
+
+#[test]
+fn structured_graphs_across_policies() {
+    for graph in [
+        gen::path(50),
+        gen::cycle(40),
+        gen::star(60),
+        gen::binary_tree(6),
+        gen::grid(8, 9),
+    ] {
+        for policy in Policy::ALL {
+            check(
+                &graph,
+                Algorithm::Bfs,
+                &DistConfig {
+                    hosts: 3,
+                    policy,
+                    opts: OptLevel::OSTI,
+                    engine: EngineKind::Galois,
+                },
+            );
+        }
+    }
+}

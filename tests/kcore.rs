@@ -1,0 +1,74 @@
+//! Distributed k-core against the peeling oracle, across engines, policies
+//! and k values.
+
+use gluon_suite::algos::{driver, reference, DistConfig, EngineKind};
+use gluon_suite::graph::{gen, Csr};
+use gluon_suite::partition::Policy;
+use gluon_suite::substrate::OptLevel;
+
+fn check_kcore(graph: &Csr, k: u32, cfg: &DistConfig) {
+    let out = driver::run_kcore(graph, cfg, k);
+    let core = reference::kcore(graph);
+    for (v, (&alive, &core_num)) in out.int_labels.iter().zip(&core).enumerate() {
+        let expect = u32::from(core_num >= k);
+        assert_eq!(alive, expect, "node {v} (core {core_num}, k {k}) {cfg:?}");
+    }
+}
+
+#[test]
+fn kcore_matches_oracle_on_rmat() {
+    let g = gen::rmat(8, 8, Default::default(), 61);
+    for k in [1, 2, 4, 8, 16] {
+        check_kcore(&g, k, &DistConfig::new(4));
+    }
+}
+
+#[test]
+fn kcore_across_engines_and_policies() {
+    let g = gen::twitter_like(1_500, 10, 62);
+    for engine in EngineKind::ALL {
+        for policy in [Policy::Oec, Policy::Cvc, Policy::Hvc] {
+            check_kcore(
+                &g,
+                3,
+                &DistConfig {
+                    hosts: 3,
+                    policy,
+                    opts: OptLevel::OSTI,
+                    engine,
+                },
+            );
+        }
+    }
+}
+
+#[test]
+fn kcore_across_opt_levels() {
+    let g = gen::rmat(7, 6, Default::default(), 63);
+    for opts in OptLevel::ALL {
+        check_kcore(
+            &g,
+            2,
+            &DistConfig {
+                hosts: 4,
+                policy: Policy::Cvc,
+                opts,
+                engine: EngineKind::Galois,
+            },
+        );
+    }
+}
+
+#[test]
+fn kcore_extremes() {
+    let g = gen::complete(8);
+    // Complete graph on 8 nodes: everyone has undirected degree 7.
+    let all = driver::run_kcore(&g, &DistConfig::new(2), 7);
+    assert!(all.int_labels.iter().all(|&a| a == 1));
+    let none = driver::run_kcore(&g, &DistConfig::new(2), 8);
+    assert!(none.int_labels.iter().all(|&a| a == 0));
+    // k = 0 keeps everything, including isolated nodes.
+    let iso = Csr::empty(5);
+    let keep = driver::run_kcore(&iso, &DistConfig::new(2), 0);
+    assert!(keep.int_labels.iter().all(|&a| a == 1));
+}

@@ -1,0 +1,177 @@
+//! Property-based tests over the core invariants of the system.
+
+use gluon_suite::algos::{driver, reference, Algorithm, DistConfig, EngineKind};
+use gluon_suite::graph::{Csr, Gid};
+use gluon_suite::partition::{check_local_graph, check_partitions, partition_all, Policy};
+use gluon_suite::substrate::encode::{
+    decode_gid_values, decode_memoized, encode_gid_values, encode_memoized, WireMode,
+};
+use gluon_suite::substrate::OptLevel;
+use proptest::prelude::*;
+
+/// Arbitrary small directed graphs as (node count, edge list).
+fn arb_graph() -> impl Strategy<Value = Csr> {
+    (2u32..60).prop_flat_map(|n| {
+        let edges = proptest::collection::vec((0..n, 0..n, 1u32..20), 0..200);
+        edges.prop_map(move |es| Csr::from_weighted_edge_list(n, &es))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn partitions_preserve_every_invariant(graph in arb_graph(), hosts in 1usize..6) {
+        for policy in Policy::ALL {
+            let parts = partition_all(&graph, hosts, policy);
+            for p in &parts {
+                check_local_graph(p).expect("local invariants");
+            }
+            check_partitions(&parts).expect("global invariants");
+        }
+    }
+
+    #[test]
+    fn transpose_is_an_involution(graph in arb_graph()) {
+        let tt = graph.transpose().transpose();
+        let mut a: Vec<_> = graph.edges().map(|(s, e)| (s.0, e.dst.0, e.weight)).collect();
+        let mut b: Vec<_> = tt.edges().map(|(s, e)| (s.0, e.dst.0, e.weight)).collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn memoized_encoding_round_trips(
+        list_len in 1usize..500,
+        seed_positions in proptest::collection::btree_set(0u32..500, 0..120),
+    ) {
+        let updated: Vec<u32> = seed_positions
+            .into_iter()
+            .filter(|&p| (p as usize) < list_len)
+            .collect();
+        let value_at = |p: usize| (p as u64) * 3 + 1;
+        let msg = encode_memoized(list_len, &updated, value_at);
+        let mut got = Vec::new();
+        decode_memoized::<u64>(&msg, list_len, &mut |pos, v| got.push((pos, v)));
+        // Every updated position must come back with its value; dense mode
+        // may add extra (but correct) positions.
+        prop_assert!(got.iter().all(|&(p, v)| v == value_at(p)));
+        let got_pos: std::collections::BTreeSet<usize> = got.iter().map(|&(p, _)| p).collect();
+        for &u in &updated {
+            prop_assert!(got_pos.contains(&(u as usize)), "missing {u}");
+        }
+        if WireMode::of(&msg) != WireMode::Dense {
+            prop_assert_eq!(got.len(), updated.len());
+        }
+    }
+
+    #[test]
+    fn memoized_encoding_never_beats_itself(
+        list_len in 1usize..300,
+        stride in 1usize..50,
+    ) {
+        // The chosen mode must be no larger than the bit-vector encoding,
+        // which is never larger than ~list_len/8 + k * value bytes.
+        let updated: Vec<u32> = (0..list_len as u32).step_by(stride).collect();
+        let msg = encode_memoized(list_len, &updated, |p| p as u32);
+        let bitvec_size = 1 + list_len.div_ceil(8) + updated.len() * 4;
+        prop_assert!(msg.len() <= bitvec_size);
+    }
+
+    #[test]
+    fn gid_value_encoding_round_trips(
+        pairs in proptest::collection::vec((0u32..10_000, any::<u32>()), 0..200),
+    ) {
+        let typed: Vec<(Gid, u32)> = pairs.iter().map(|&(g, v)| (Gid(g), v)).collect();
+        let msg = encode_gid_values(&typed);
+        let mut got = Vec::new();
+        decode_gid_values::<u32>(&msg, &mut |g, v| got.push((g, v)));
+        prop_assert_eq!(got, typed);
+    }
+
+    #[test]
+    fn distributed_bfs_matches_oracle_on_arbitrary_graphs(
+        graph in arb_graph(),
+        hosts in 1usize..5,
+        source_raw in 0u32..60,
+    ) {
+        let source = Gid(source_raw % graph.num_nodes());
+        let cfg = DistConfig {
+            hosts,
+            policy: Policy::Cvc,
+            opts: OptLevel::OSTI,
+            engine: EngineKind::Galois,
+        };
+        let out = driver::run_with(
+            &graph,
+            Algorithm::Bfs,
+            &cfg,
+            source,
+            Default::default(),
+        );
+        // bfs on the weighted graph still walks hop counts.
+        let oracle = reference::bfs(&graph, source);
+        prop_assert_eq!(out.int_labels, oracle);
+    }
+
+    #[test]
+    fn distributed_cc_matches_oracle_on_arbitrary_graphs(
+        graph in arb_graph(),
+        hosts in 1usize..5,
+    ) {
+        let cfg = DistConfig {
+            hosts,
+            policy: Policy::Hvc,
+            opts: OptLevel::OSTI,
+            engine: EngineKind::Irgl,
+        };
+        let out = driver::run(&graph, Algorithm::Cc, &cfg);
+        prop_assert_eq!(out.int_labels, reference::cc(&graph));
+    }
+
+    #[test]
+    fn gemini_bfs_matches_oracle_on_arbitrary_graphs(
+        graph in arb_graph(),
+        hosts in 1usize..5,
+        source_raw in 0u32..60,
+    ) {
+        let source = Gid(source_raw % graph.num_nodes());
+        let out = gluon_suite::gemini::run(
+            &graph,
+            hosts,
+            gluon_suite::gemini::GeminiAlgo::Bfs(source),
+        );
+        prop_assert_eq!(out.int_labels, reference::bfs(&graph, source));
+    }
+
+    #[test]
+    fn distributed_kcore_matches_oracle_on_arbitrary_graphs(
+        graph in arb_graph(),
+        hosts in 1usize..5,
+        k in 0u32..6,
+    ) {
+        let cfg = DistConfig {
+            hosts,
+            policy: Policy::Cvc,
+            opts: OptLevel::OSTI,
+            engine: EngineKind::Galois,
+        };
+        let out = driver::run_kcore(&graph, &cfg, k);
+        let core = reference::kcore(&graph);
+        for (v, (&alive, &c)) in out.int_labels.iter().zip(&core).enumerate() {
+            prop_assert_eq!(alive, u32::from(c >= k), "node {} k {}", v, k);
+        }
+    }
+
+    #[test]
+    fn replication_factor_at_least_one(graph in arb_graph(), hosts in 1usize..6) {
+        for policy in Policy::ALL {
+            let stats = gluon_suite::partition::PartitionStats::of(
+                &partition_all(&graph, hosts, policy),
+            );
+            prop_assert!(stats.replication_factor >= 1.0 - 1e-12);
+            prop_assert!(stats.replication_factor <= hosts as f64 + 1e-12);
+        }
+    }
+}
