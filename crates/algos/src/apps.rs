@@ -567,8 +567,7 @@ pub fn betweenness_source<T: Transport + ?Sized>(
         let mut sig_bits = DenseBitset::new(caps);
         // Re-derive: the sync may have revealed remotely-discovered
         // level-`level` proxies.
-        let frontier: Vec<Lid> =
-            lg.proxies().filter(|&v| dist[v.index()] == level).collect();
+        let frontier: Vec<Lid> = lg.proxies().filter(|&v| dist[v.index()] == level).collect();
         ctx.add_work(frontier.iter().map(|&v| u64::from(lg.out_degree(v))).sum());
         for &v in &frontier {
             let sv = sigma[v.index()];
@@ -611,9 +610,13 @@ pub fn betweenness_source<T: Transport + ?Sized>(
         // Partial dependency sums at every proxy of a level-l node that
         // holds outgoing edges — written at edge *sources*.
         let mut delta_bits = DenseBitset::new(caps);
-        let level_nodes: Vec<Lid> =
-            lg.proxies().filter(|&v| dist[v.index()] == l).collect();
-        ctx.add_work(level_nodes.iter().map(|&v| u64::from(lg.out_degree(v))).sum());
+        let level_nodes: Vec<Lid> = lg.proxies().filter(|&v| dist[v.index()] == l).collect();
+        ctx.add_work(
+            level_nodes
+                .iter()
+                .map(|&v| u64::from(lg.out_degree(v)))
+                .sum(),
+        );
         for &v in &level_nodes {
             let sv = sigma[v.index()];
             if sv == 0.0 {

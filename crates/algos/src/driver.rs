@@ -4,13 +4,22 @@
 //! partitioning policy × optimization level × host count — on the simulated
 //! cluster and returns globally assembled labels plus the statistics the
 //! paper's tables and figures report.
+//!
+//! Every driver also has a `*_wrapped` variant that first passes each
+//! host's endpoint through a caller-supplied transport wrapper, so the
+//! full algorithm suite can run over jittered, faulty, or reliable
+//! transport stacks (e.g.
+//! `ReliableTransport::over(FaultyTransport::new(..))` for chaos testing).
 
 use crate::apps::{self, PagerankConfig};
 use crate::reference::symmetrize;
 use crate::{Algorithm, EngineKind};
 use gluon::{GluonContext, OptLevel, RunStats, SyncStats};
 use gluon_graph::{max_out_degree_node, Csr, Gid};
-use gluon_net::{run_cluster_with_stats, Communicator, CostModel, NetStats, StatsSnapshot};
+use gluon_net::{
+    run_cluster_wrapped, Communicator, CostModel, MemoryTransport, NetStats, StatsSnapshot,
+    Transport,
+};
 use gluon_partition::{partition_on_host, LocalGraph, PartitionStats, Policy};
 use std::time::Instant;
 
@@ -76,8 +85,11 @@ impl DistOutcome {
     /// physical cores, so wall-clock compute cannot show scaling) plus the
     /// communication charged by the network cost model.
     pub fn projected_secs(&self, model: &CostModel) -> f64 {
-        self.run
-            .projected_secs(model, gluon::DEFAULT_EDGES_PER_SEC, self.partition.num_hosts)
+        self.run.projected_secs(
+            model,
+            gluon::DEFAULT_EDGES_PER_SEC,
+            self.partition.num_hosts,
+        )
     }
 }
 
@@ -99,6 +111,30 @@ pub fn run_with(
     source: Gid,
     pr: PagerankConfig,
 ) -> DistOutcome {
+    run_with_wrapped(graph, algo, cfg, source, pr, |ep| ep)
+}
+
+/// As [`run`], but every host's endpoint is first passed through `wrap`,
+/// so the whole run uses the wrapped transport stack.
+pub fn run_wrapped<W: Transport>(
+    graph: &Csr,
+    algo: Algorithm,
+    cfg: &DistConfig,
+    wrap: impl Fn(MemoryTransport) -> W + Send + Sync,
+) -> DistOutcome {
+    let source = max_out_degree_node(graph);
+    run_with_wrapped(graph, algo, cfg, source, PagerankConfig::default(), wrap)
+}
+
+/// As [`run_with`], over a wrapped transport stack.
+pub fn run_with_wrapped<W: Transport>(
+    graph: &Csr,
+    algo: Algorithm,
+    cfg: &DistConfig,
+    source: Gid,
+    pr: PagerankConfig,
+    wrap: impl Fn(MemoryTransport) -> W + Send + Sync,
+) -> DistOutcome {
     let symmetric;
     let input: &Csr = if algo == Algorithm::Cc {
         symmetric = symmetrize(graph);
@@ -107,53 +143,176 @@ pub fn run_with(
         graph
     };
     let needs_transpose = algo == Algorithm::Pagerank || cfg.engine == EngineKind::Ligra;
+    let (per_host, stats) = run_cluster_wrapped(cfg.hosts, NetStats::new(cfg.hosts), wrap, |net| {
+        host_program(
+            net,
+            input,
+            cfg.policy,
+            cfg.opts,
+            &|_| needs_transpose,
+            &|lg, ctx| dispatch(lg, ctx, algo, cfg.engine, source, pr),
+        )
+    });
+    assemble(input.num_nodes() as usize, u32::MAX, per_host, stats)
+}
 
-    let (per_host, stats) = run_cluster_with_stats(
-        cfg.hosts,
-        NetStats::new(cfg.hosts),
-        |ep| -> HostResult {
-            let comm = Communicator::new(ep);
-            let part_start = Instant::now();
-            let mut lg = partition_on_host(input, cfg.policy, &comm);
-            if needs_transpose {
-                lg.build_transpose();
-            }
-            comm.barrier();
-            let partition_secs = part_start.elapsed().as_secs_f64();
-            let mut ctx = GluonContext::new(&lg, &comm, cfg.opts);
-            ctx.reset_timer();
-            let algo_start = Instant::now();
-            let (ints, floats, rounds) = dispatch(&lg, &mut ctx, algo, cfg.engine, source, pr);
-            let algo_secs = algo_start.elapsed().as_secs_f64();
-            let masters_int = gather_masters(&lg, &ints);
-            let masters_f64 = gather_masters(&lg, &floats);
-            HostResult {
-                masters_int,
-                masters_f64,
-                rounds,
-                stats: ctx.into_stats(),
-                algo_secs,
-                partition_secs,
-                partition: lg,
-            }
+/// Runs distributed k-core membership (see [`apps::kcore`]): `int_labels`
+/// holds 1 for nodes in the k-core of the undirected view, else 0.
+///
+/// The input is symmetrized internally, like cc.
+pub fn run_kcore(graph: &Csr, cfg: &DistConfig, k: u32) -> DistOutcome {
+    run_kcore_wrapped(graph, cfg, k, |ep| ep)
+}
+
+/// As [`run_kcore`], over a wrapped transport stack.
+pub fn run_kcore_wrapped<W: Transport>(
+    graph: &Csr,
+    cfg: &DistConfig,
+    k: u32,
+    wrap: impl Fn(MemoryTransport) -> W + Send + Sync,
+) -> DistOutcome {
+    let input = symmetrize(graph);
+    let (per_host, stats) = run_cluster_wrapped(cfg.hosts, NetStats::new(cfg.hosts), wrap, |net| {
+        host_program(net, &input, cfg.policy, cfg.opts, &|_| false, &|lg, ctx| {
+            let (alive, rounds) = apps::kcore(lg, ctx, k, cfg.engine);
+            (alive, Vec::new(), rounds)
+        })
+    });
+    assemble(input.num_nodes() as usize, 0, per_host, stats)
+}
+
+/// Runs distributed single-source betweenness centrality (see
+/// [`apps::betweenness_source`]); `ranks` holds the per-node dependency
+/// values, `rounds` the number of BFS levels.
+pub fn run_betweenness(graph: &Csr, cfg: &DistConfig, source: Gid) -> DistOutcome {
+    run_betweenness_wrapped(graph, cfg, source, |ep| ep)
+}
+
+/// As [`run_betweenness`], over a wrapped transport stack.
+pub fn run_betweenness_wrapped<W: Transport>(
+    graph: &Csr,
+    cfg: &DistConfig,
+    source: Gid,
+    wrap: impl Fn(MemoryTransport) -> W + Send + Sync,
+) -> DistOutcome {
+    let (per_host, stats) = run_cluster_wrapped(cfg.hosts, NetStats::new(cfg.hosts), wrap, |net| {
+        host_program(net, graph, cfg.policy, cfg.opts, &|_| false, &|lg, ctx| {
+            let (delta, levels) = apps::betweenness_source(lg, ctx, source);
+            (Vec::new(), delta, levels)
+        })
+    });
+    assemble(graph.num_nodes() as usize, u32::MAX, per_host, stats)
+}
+
+/// Runs BFS on a *heterogeneous* cluster: host `h` computes with
+/// `engines[h]` — e.g. CPU hosts running the Galois engine next to emulated
+/// GPU hosts running the IrGL engine, the deployment of the paper's
+/// Figure 1. The sync substrate is engine-agnostic, so mixing engines needs
+/// no special handling: every host still alternates compute and the same
+/// collective sync sequence.
+///
+/// # Panics
+///
+/// Panics if `engines` is empty.
+pub fn run_heterogeneous_bfs(
+    graph: &Csr,
+    policy: Policy,
+    opts: OptLevel,
+    engines: &[EngineKind],
+    source: Gid,
+) -> DistOutcome {
+    assert!(!engines.is_empty(), "need at least one host");
+    let hosts = engines.len();
+    let (per_host, stats) = run_cluster_wrapped(
+        hosts,
+        NetStats::new(hosts),
+        |ep| ep,
+        |net| {
+            host_program(
+                net,
+                graph,
+                policy,
+                opts,
+                &|rank| engines[rank] == EngineKind::Ligra,
+                &|lg, ctx| {
+                    let (dist, rounds) = apps::bfs(lg, ctx, source, engines[ctx.rank()]);
+                    (dist, Vec::new(), rounds)
+                },
+            )
         },
     );
+    assemble(graph.num_nodes() as usize, u32::MAX, per_host, stats)
+}
 
-    let n = input.num_nodes() as usize;
+struct HostResult {
+    masters_int: Vec<(u32, u32)>,
+    masters_f64: Vec<(u32, f64)>,
+    rounds: u32,
+    stats: SyncStats,
+    algo_secs: f64,
+    partition_secs: f64,
+    partition: LocalGraph,
+}
+
+/// What one host's compute body yields: integer labels, float labels
+/// (either may be empty), and the number of rounds it ran.
+type HostLabels = (Vec<u32>, Vec<f64>, u32);
+
+/// The SPMD body every driver shares: partition, set up the Gluon runtime,
+/// run `compute`, and gather this host's master labels.
+fn host_program<T: Transport>(
+    net: &T,
+    input: &Csr,
+    policy: Policy,
+    opts: OptLevel,
+    transpose: &(dyn Fn(usize) -> bool + Sync),
+    compute: &(dyn Fn(&LocalGraph, &mut GluonContext<'_, T>) -> HostLabels + Sync),
+) -> HostResult {
+    let comm = Communicator::new(net);
+    let part_start = Instant::now();
+    let mut lg = partition_on_host(input, policy, &comm);
+    if transpose(comm.rank()) {
+        lg.build_transpose();
+    }
+    comm.barrier();
+    let partition_secs = part_start.elapsed().as_secs_f64();
+    let mut ctx = GluonContext::new(&lg, &comm, opts);
+    ctx.reset_timer();
+    let algo_start = Instant::now();
+    let (ints, floats, rounds) = compute(&lg, &mut ctx);
+    let algo_secs = algo_start.elapsed().as_secs_f64();
+    let masters_int = gather_masters(&lg, &ints);
+    let masters_f64 = gather_masters(&lg, &floats);
+    HostResult {
+        masters_int,
+        masters_f64,
+        rounds,
+        stats: ctx.into_stats(),
+        algo_secs,
+        partition_secs,
+        partition: lg,
+    }
+}
+
+/// Stitches per-host master labels into global vectors and aggregates the
+/// statistics. `int_default` fills nodes no host reported (only relevant
+/// while assembling integer labels).
+fn assemble(n: usize, int_default: u32, per_host: Vec<HostResult>, stats: NetStats) -> DistOutcome {
     let mut int_labels = Vec::new();
+    if per_host.iter().any(|h| !h.masters_int.is_empty()) {
+        int_labels = vec![int_default; n];
+        for h in &per_host {
+            for &(gid, v) in &h.masters_int {
+                int_labels[gid as usize] = v;
+            }
+        }
+    }
     let mut ranks = Vec::new();
-    if algo == Algorithm::Pagerank {
+    if per_host.iter().any(|h| !h.masters_f64.is_empty()) {
         ranks = vec![0.0; n];
         for h in &per_host {
             for &(gid, v) in &h.masters_f64 {
                 ranks[gid as usize] = v;
-            }
-        }
-    } else {
-        int_labels = vec![u32::MAX; n];
-        for h in &per_host {
-            for &(gid, v) in &h.masters_int {
-                int_labels[gid as usize] = v;
             }
         }
     }
@@ -175,24 +334,14 @@ pub fn run_with(
     }
 }
 
-struct HostResult {
-    masters_int: Vec<(u32, u32)>,
-    masters_f64: Vec<(u32, f64)>,
-    rounds: u32,
-    stats: SyncStats,
-    algo_secs: f64,
-    partition_secs: f64,
-    partition: LocalGraph,
-}
-
-fn dispatch<T: gluon_net::Transport + ?Sized>(
+fn dispatch<T: Transport + ?Sized>(
     lg: &LocalGraph,
     ctx: &mut GluonContext<'_, T>,
     algo: Algorithm,
     engine: EngineKind,
     source: Gid,
     pr: PagerankConfig,
-) -> (Vec<u32>, Vec<f64>, u32) {
+) -> HostLabels {
     match algo {
         Algorithm::Bfs => {
             let (d, rounds) = apps::bfs(lg, ctx, source, engine);
@@ -220,190 +369,4 @@ fn gather_masters<V: Copy>(lg: &LocalGraph, values: &[V]) -> Vec<(u32, V)> {
     lg.masters()
         .map(|m| (lg.gid(m).0, values[m.index()]))
         .collect()
-}
-
-/// Runs distributed k-core membership (see [`apps::kcore`]): `int_labels`
-/// holds 1 for nodes in the k-core of the undirected view, else 0.
-///
-/// The input is symmetrized internally, like cc.
-pub fn run_kcore(graph: &Csr, cfg: &DistConfig, k: u32) -> DistOutcome {
-    let input = symmetrize(graph);
-    let (per_host, stats) = run_cluster_with_stats(
-        cfg.hosts,
-        NetStats::new(cfg.hosts),
-        |ep| -> HostResult {
-            let comm = Communicator::new(ep);
-            let part_start = Instant::now();
-            let lg = partition_on_host(&input, cfg.policy, &comm);
-            comm.barrier();
-            let partition_secs = part_start.elapsed().as_secs_f64();
-            let mut ctx = GluonContext::new(&lg, &comm, cfg.opts);
-            ctx.reset_timer();
-            let algo_start = Instant::now();
-            let (alive, rounds) = apps::kcore(&lg, &mut ctx, k, cfg.engine);
-            let algo_secs = algo_start.elapsed().as_secs_f64();
-            let masters_int = gather_masters(&lg, &alive);
-            HostResult {
-                masters_int,
-                masters_f64: Vec::new(),
-                rounds,
-                stats: ctx.into_stats(),
-                algo_secs,
-                partition_secs,
-                partition: lg,
-            }
-        },
-    );
-    let n = input.num_nodes() as usize;
-    let mut int_labels = vec![0u32; n];
-    for h in &per_host {
-        for &(gid, v) in &h.masters_int {
-            int_labels[gid as usize] = v;
-        }
-    }
-    let host_stats: Vec<SyncStats> = per_host.iter().map(|h| h.stats.clone()).collect();
-    let partitions: Vec<LocalGraph> = per_host.iter().map(|h| h.partition.clone()).collect();
-    DistOutcome {
-        int_labels,
-        ranks: Vec::new(),
-        rounds: per_host.iter().map(|h| h.rounds).max().unwrap_or(0),
-        run: RunStats::aggregate(&host_stats),
-        host_stats,
-        algo_secs: per_host.iter().map(|h| h.algo_secs).fold(0.0, f64::max),
-        partition_secs: per_host
-            .iter()
-            .map(|h| h.partition_secs)
-            .fold(0.0, f64::max),
-        partition: PartitionStats::of(&partitions),
-        net: stats.snapshot(),
-    }
-}
-
-/// Runs distributed single-source betweenness centrality (see
-/// [`apps::betweenness_source`]); `ranks` holds the per-node dependency
-/// values, `rounds` the number of BFS levels.
-pub fn run_betweenness(graph: &Csr, cfg: &DistConfig, source: Gid) -> DistOutcome {
-    let (per_host, stats) = run_cluster_with_stats(
-        cfg.hosts,
-        NetStats::new(cfg.hosts),
-        |ep| -> HostResult {
-            let comm = Communicator::new(ep);
-            let part_start = Instant::now();
-            let lg = partition_on_host(graph, cfg.policy, &comm);
-            comm.barrier();
-            let partition_secs = part_start.elapsed().as_secs_f64();
-            let mut ctx = GluonContext::new(&lg, &comm, cfg.opts);
-            ctx.reset_timer();
-            let algo_start = Instant::now();
-            let (delta, levels) = apps::betweenness_source(&lg, &mut ctx, source);
-            let algo_secs = algo_start.elapsed().as_secs_f64();
-            let masters_f64 = gather_masters(&lg, &delta);
-            HostResult {
-                masters_int: Vec::new(),
-                masters_f64,
-                rounds: levels,
-                stats: ctx.into_stats(),
-                algo_secs,
-                partition_secs,
-                partition: lg,
-            }
-        },
-    );
-    let n = graph.num_nodes() as usize;
-    let mut ranks = vec![0.0; n];
-    for h in &per_host {
-        for &(gid, v) in &h.masters_f64 {
-            ranks[gid as usize] = v;
-        }
-    }
-    let host_stats: Vec<SyncStats> = per_host.iter().map(|h| h.stats.clone()).collect();
-    let partitions: Vec<LocalGraph> = per_host.iter().map(|h| h.partition.clone()).collect();
-    DistOutcome {
-        int_labels: Vec::new(),
-        ranks,
-        rounds: per_host.iter().map(|h| h.rounds).max().unwrap_or(0),
-        run: RunStats::aggregate(&host_stats),
-        host_stats,
-        algo_secs: per_host.iter().map(|h| h.algo_secs).fold(0.0, f64::max),
-        partition_secs: per_host
-            .iter()
-            .map(|h| h.partition_secs)
-            .fold(0.0, f64::max),
-        partition: PartitionStats::of(&partitions),
-        net: stats.snapshot(),
-    }
-}
-
-/// Runs BFS on a *heterogeneous* cluster: host `h` computes with
-/// `engines[h]` — e.g. CPU hosts running the Galois engine next to emulated
-/// GPU hosts running the IrGL engine, the deployment of the paper's
-/// Figure 1. The sync substrate is engine-agnostic, so mixing engines needs
-/// no special handling: every host still alternates compute and the same
-/// collective sync sequence.
-///
-/// # Panics
-///
-/// Panics if `engines` is empty.
-pub fn run_heterogeneous_bfs(
-    graph: &Csr,
-    policy: Policy,
-    opts: OptLevel,
-    engines: &[EngineKind],
-    source: Gid,
-) -> DistOutcome {
-    assert!(!engines.is_empty(), "need at least one host");
-    let hosts = engines.len();
-    let (per_host, stats) = run_cluster_with_stats(
-        hosts,
-        NetStats::new(hosts),
-        |ep| -> HostResult {
-            let comm = Communicator::new(ep);
-            let part_start = Instant::now();
-            let mut lg = partition_on_host(graph, policy, &comm);
-            let engine = engines[comm.rank()];
-            if engine == EngineKind::Ligra {
-                lg.build_transpose();
-            }
-            comm.barrier();
-            let partition_secs = part_start.elapsed().as_secs_f64();
-            let mut ctx = GluonContext::new(&lg, &comm, opts);
-            ctx.reset_timer();
-            let algo_start = Instant::now();
-            let (dist, rounds) = apps::bfs(&lg, &mut ctx, source, engine);
-            let algo_secs = algo_start.elapsed().as_secs_f64();
-            let masters_int = gather_masters(&lg, &dist);
-            HostResult {
-                masters_int,
-                masters_f64: Vec::new(),
-                rounds,
-                stats: ctx.into_stats(),
-                algo_secs,
-                partition_secs,
-                partition: lg,
-            }
-        },
-    );
-    let n = graph.num_nodes() as usize;
-    let mut int_labels = vec![u32::MAX; n];
-    for h in &per_host {
-        for &(gid, v) in &h.masters_int {
-            int_labels[gid as usize] = v;
-        }
-    }
-    let host_stats: Vec<SyncStats> = per_host.iter().map(|h| h.stats.clone()).collect();
-    let partitions: Vec<LocalGraph> = per_host.iter().map(|h| h.partition.clone()).collect();
-    DistOutcome {
-        int_labels,
-        ranks: Vec::new(),
-        rounds: per_host.iter().map(|h| h.rounds).max().unwrap_or(0),
-        run: RunStats::aggregate(&host_stats),
-        host_stats,
-        algo_secs: per_host.iter().map(|h| h.algo_secs).fold(0.0, f64::max),
-        partition_secs: per_host
-            .iter()
-            .map(|h| h.partition_secs)
-            .fold(0.0, f64::max),
-        partition: PartitionStats::of(&partitions),
-        net: stats.snapshot(),
-    }
 }

@@ -188,10 +188,7 @@ mod tests {
         let out = driver::run(&g, Algorithm::Pagerank, &cfg);
         let (oracle, _) = reference::pagerank(&g, 0.85, 1e-6, 100);
         for (got, want) in out.ranks.iter().zip(&oracle) {
-            assert!(
-                (got - want).abs() < 1e-6,
-                "rank mismatch: {got} vs {want}"
-            );
+            assert!((got - want).abs() < 1e-6, "rank mismatch: {got} vs {want}");
         }
     }
 

@@ -64,10 +64,7 @@ pub(crate) fn run<T: Transport + ?Sized>(
                 // Level-synchronous: one edgeMap per round, updates visible
                 // next round only (within the host too).
                 let frontier = VertexSubset::from_bitset(active.clone());
-                let work: u64 = frontier
-                    .iter()
-                    .map(|v| u64::from(lg.out_degree(v)))
-                    .sum();
+                let work: u64 = frontier.iter().map(|v| u64::from(lg.out_degree(v))).sum();
                 ctx.add_work(work);
                 let mut op = RelaxOp {
                     labels,

@@ -196,8 +196,7 @@ pub fn betweenness_source(graph: &Csr, source: Gid) -> Vec<f64> {
         for e in graph.out_edges(Gid(v)) {
             let u = e.dst.index();
             if dist[u] == dv + 1 && sigma[u] > 0.0 {
-                delta[v as usize] +=
-                    sigma[v as usize] / sigma[u] * (1.0 + delta[u]);
+                delta[v as usize] += sigma[v as usize] / sigma[u] * (1.0 + delta[u]);
             }
         }
     }

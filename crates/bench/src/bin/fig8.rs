@@ -15,6 +15,7 @@ struct Point {
     projected_secs: f64,
     wall_secs: f64,
     comm_bytes: u64,
+    retx_bytes: u64,
     rounds: u32,
 }
 
@@ -30,6 +31,7 @@ fn gluon_point(graph: &Csr, algo: Algorithm, engine: EngineKind, hosts: usize) -
         projected_secs: out.projected_secs(&CostModel::REPRO),
         wall_secs: out.algo_secs,
         comm_bytes: out.run.total_bytes,
+        retx_bytes: out.net.retransmit_bytes,
         rounds: out.rounds,
     }
 }
@@ -49,11 +51,14 @@ fn gemini_point(graph: &Csr, algo: Algorithm, hosts: usize) -> Point {
     };
     let out = gluon_gemini::run(&input, hosts, ga);
     Point {
-        projected_secs: out
-            .run
-            .projected_secs(&CostModel::REPRO, gluon::DEFAULT_EDGES_PER_SEC, hosts),
+        projected_secs: out.run.projected_secs(
+            &CostModel::REPRO,
+            gluon::DEFAULT_EDGES_PER_SEC,
+            hosts,
+        ),
         wall_secs: out.algo_secs,
         comm_bytes: out.run.total_bytes,
+        retx_bytes: 0, // gemini runs on the bare in-memory transport
         rounds: out.rounds,
     }
 }
@@ -67,7 +72,15 @@ fn main() {
     };
     let graphs = inputs::scaling_suite(scale);
     let mut table = Table::new(vec![
-        "input", "bench", "system", "hosts", "proj time (s)", "wall (s)", "comm volume", "rounds",
+        "input",
+        "bench",
+        "system",
+        "hosts",
+        "proj time (s)",
+        "wall (s)",
+        "comm volume",
+        "retx",
+        "rounds",
     ]);
     for bg in &graphs {
         for algo in Algorithm::ALL {
@@ -80,7 +93,10 @@ fn main() {
             };
             for &hosts in host_counts {
                 for (system, point) in [
-                    ("d-ligra", gluon_point(graph, algo, EngineKind::Ligra, hosts)),
+                    (
+                        "d-ligra",
+                        gluon_point(graph, algo, EngineKind::Ligra, hosts),
+                    ),
                     (
                         "d-galois",
                         gluon_point(graph, algo, EngineKind::Galois, hosts),
@@ -95,6 +111,7 @@ fn main() {
                         report::secs(point.projected_secs),
                         report::secs(point.wall_secs),
                         report::bytes(point.comm_bytes),
+                        report::bytes(point.retx_bytes),
                         point.rounds.to_string(),
                     ]);
                 }

@@ -20,7 +20,13 @@ fn main() {
     };
     let graphs = [inputs::rmat_large(scale), inputs::kron(scale)];
     let mut table = Table::new(vec![
-        "input", "bench", "gpus", "proj time (s)", "wall (s)", "comm volume", "rounds",
+        "input",
+        "bench",
+        "gpus",
+        "proj time (s)",
+        "wall (s)",
+        "comm volume",
+        "rounds",
     ]);
     let mut speedups = Vec::new();
     for bg in &graphs {

@@ -53,10 +53,7 @@ fn main() {
                 .map(|&(_, p)| run_policy(graph, algo, p))
                 .collect();
             let oec_like = times[0];
-            let best_flexible = times[1..]
-                .iter()
-                .copied()
-                .fold(f64::INFINITY, f64::min);
+            let best_flexible = times[1..].iter().copied().fold(f64::INFINITY, f64::min);
             best_vs_oec.push(oec_like / best_flexible);
             let mut row = vec![bg.name.to_owned(), algo.name().to_owned()];
             row.extend(times.iter().map(|&t| report::secs(t)));

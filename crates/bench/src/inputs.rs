@@ -132,7 +132,11 @@ mod tests {
         for g in &graphs {
             assert!(g.graph.num_nodes() > 0, "{}", g.name);
             assert!(g.graph.num_edges() > 0, "{}", g.name);
-            assert!(g.graph.num_nodes() <= 1 << 12, "{} too big for quick", g.name);
+            assert!(
+                g.graph.num_nodes() <= 1 << 12,
+                "{} too big for quick",
+                g.name
+            );
         }
     }
 

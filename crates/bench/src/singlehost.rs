@@ -77,7 +77,12 @@ impl EdgeOp for RelaxOp<'_> {
     }
 }
 
-fn minrelax(lg: &LocalGraph, engine: EngineKind, seed: Seed, relax: fn(u32, u32) -> u32) -> SharedRun {
+fn minrelax(
+    lg: &LocalGraph,
+    engine: EngineKind,
+    seed: Seed,
+    relax: fn(u32, u32) -> u32,
+) -> SharedRun {
     let n = lg.num_proxies();
     let (mut labels, seeds): (Vec<u32>, Vec<Lid>) = match seed {
         Seed::Source(s) => {

@@ -49,7 +49,11 @@ impl DenseBitset {
     /// Panics if `lid` is out of range.
     #[inline]
     pub fn set(&mut self, lid: Lid) {
-        assert!(lid.0 < self.capacity, "{lid} beyond capacity {}", self.capacity);
+        assert!(
+            lid.0 < self.capacity,
+            "{lid} beyond capacity {}",
+            self.capacity
+        );
         self.words[lid.index() / 64] |= 1u64 << (lid.index() % 64);
     }
 
@@ -60,7 +64,11 @@ impl DenseBitset {
     /// Panics if `lid` is out of range.
     #[inline]
     pub fn clear(&mut self, lid: Lid) {
-        assert!(lid.0 < self.capacity, "{lid} beyond capacity {}", self.capacity);
+        assert!(
+            lid.0 < self.capacity,
+            "{lid} beyond capacity {}",
+            self.capacity
+        );
         self.words[lid.index() / 64] &= !(1u64 << (lid.index() % 64));
     }
 
@@ -71,7 +79,11 @@ impl DenseBitset {
     /// Panics if `lid` is out of range.
     #[inline]
     pub fn test(&self, lid: Lid) -> bool {
-        assert!(lid.0 < self.capacity, "{lid} beyond capacity {}", self.capacity);
+        assert!(
+            lid.0 < self.capacity,
+            "{lid} beyond capacity {}",
+            self.capacity
+        );
         self.words[lid.index() / 64] & (1u64 << (lid.index() % 64)) != 0
     }
 

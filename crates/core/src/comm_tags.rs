@@ -18,7 +18,11 @@ pub const SYNC_TAG_WINDOW: u32 = 1024;
 /// 1 = broadcast).
 pub fn sync_tag(seq: u32, pat: u32) -> u32 {
     debug_assert!(pat < 2);
-    SYNC_TAG_BASE + (seq % SYNC_TAG_WINDOW) * 2 + pat
+    let tag = SYNC_TAG_BASE + (seq % SYNC_TAG_WINDOW) * 2 + pat;
+    // Every tag Gluon itself uses must stay in the user range; the space
+    // above it belongs to collectives and the reliability layer.
+    gluon_net::assert_user_tag(tag);
+    tag
 }
 
 #[cfg(test)]

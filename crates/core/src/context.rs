@@ -11,7 +11,7 @@ use crate::memo::{FlagFilter, MemoTable};
 use crate::opts::OptLevel;
 use crate::stats::{PhaseStats, SyncStats};
 use gluon_graph::{Gid, HostId, Lid};
-use gluon_net::{Communicator, Transport};
+use gluon_net::{Communicator, NetError, Transport};
 use gluon_partition::LocalGraph;
 use std::time::Instant;
 
@@ -123,7 +123,11 @@ impl<'a, T: Transport + ?Sized> GluonContext<'a, T> {
         let n = comm.world_size();
         let mut mirror_lists: [Vec<Vec<Lid>>; 3] = Default::default();
         let mut master_lists: [Vec<Vec<Lid>>; 3] = Default::default();
-        for f in [FlagFilter::All, FlagFilter::MirrorHasIn, FlagFilter::MirrorHasOut] {
+        for f in [
+            FlagFilter::All,
+            FlagFilter::MirrorHasIn,
+            FlagFilter::MirrorHasOut,
+        ] {
             let fi = filter_index(f);
             mirror_lists[fi] = (0..n).map(|h| memo.mirror_list(h, f)).collect();
             master_lists[fi] = (0..n).map(|h| memo.master_list(h, f)).collect();
@@ -226,7 +230,27 @@ impl<'a, T: Transport + ?Sized> GluonContext<'a, T> {
         field: &mut F,
         updated: &mut DenseBitset,
     ) {
-        self.sync_impl(Some(write), Some(read), field, updated);
+        self.try_sync(write, read, field, updated)
+            .unwrap_or_else(|e| panic!("sync failed: {e}"));
+    }
+
+    /// As [`GluonContext::sync`], surfacing network failure as an error
+    /// instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError`] if a peer becomes unreachable mid-sync. The
+    /// error is terminal for the run: local field state may have been
+    /// partially reconciled, so the caller should abandon the computation
+    /// (or restart it), not retry the call.
+    pub fn try_sync<F: FieldSync>(
+        &mut self,
+        write: WriteLocation,
+        read: ReadLocation,
+        field: &mut F,
+        updated: &mut DenseBitset,
+    ) -> Result<(), NetError> {
+        self.sync_impl(Some(write), Some(read), field, updated)
     }
 
     /// Runs only the reduce pattern (mirrors → masters). For fields that
@@ -242,7 +266,23 @@ impl<'a, T: Transport + ?Sized> GluonContext<'a, T> {
         field: &mut F,
         updated: &mut DenseBitset,
     ) {
-        self.sync_impl(Some(write), None, field, updated);
+        self.try_sync_reduce(write, field, updated)
+            .unwrap_or_else(|e| panic!("sync (reduce) failed: {e}"));
+    }
+
+    /// As [`GluonContext::sync_reduce`], surfacing network failure as an
+    /// error (see [`GluonContext::try_sync`] for the error contract).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError`] if a peer becomes unreachable mid-sync.
+    pub fn try_sync_reduce<F: FieldSync>(
+        &mut self,
+        write: WriteLocation,
+        field: &mut F,
+        updated: &mut DenseBitset,
+    ) -> Result<(), NetError> {
+        self.sync_impl(Some(write), None, field, updated)
     }
 
     /// Runs only the broadcast pattern (masters → mirrors). For fields that
@@ -258,7 +298,23 @@ impl<'a, T: Transport + ?Sized> GluonContext<'a, T> {
         field: &mut F,
         updated: &mut DenseBitset,
     ) {
-        self.sync_impl(None, Some(read), field, updated);
+        self.try_sync_broadcast(read, field, updated)
+            .unwrap_or_else(|e| panic!("sync (broadcast) failed: {e}"));
+    }
+
+    /// As [`GluonContext::sync_broadcast`], surfacing network failure as an
+    /// error (see [`GluonContext::try_sync`] for the error contract).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError`] if a peer becomes unreachable mid-sync.
+    pub fn try_sync_broadcast<F: FieldSync>(
+        &mut self,
+        read: ReadLocation,
+        field: &mut F,
+        updated: &mut DenseBitset,
+    ) -> Result<(), NetError> {
+        self.sync_impl(None, Some(read), field, updated)
     }
 
     fn sync_impl<F: FieldSync>(
@@ -267,7 +323,7 @@ impl<'a, T: Transport + ?Sized> GluonContext<'a, T> {
         read: Option<ReadLocation>,
         field: &mut F,
         updated: &mut DenseBitset,
-    ) {
+    ) -> Result<(), NetError> {
         assert_eq!(
             updated.capacity(),
             self.graph.num_proxies(),
@@ -284,13 +340,13 @@ impl<'a, T: Transport + ?Sized> GluonContext<'a, T> {
 
         if let Some(w) = write {
             let fr = filter_index(w.filter(structural));
-            self.send_pattern(seq, 0, PatternRole::MirrorToMaster, fr, field, updated);
-            self.recv_pattern(seq, 0, PatternRole::MirrorToMaster, fr, field, updated);
+            self.send_pattern(seq, 0, PatternRole::MirrorToMaster, fr, field, updated)?;
+            self.recv_pattern(seq, 0, PatternRole::MirrorToMaster, fr, field, updated)?;
         }
         if let Some(r) = read {
             let fb = filter_index(r.filter(structural));
-            self.send_pattern(seq, 1, PatternRole::MasterToMirror, fb, field, updated);
-            self.recv_pattern(seq, 1, PatternRole::MasterToMirror, fb, field, updated);
+            self.send_pattern(seq, 1, PatternRole::MasterToMirror, fb, field, updated)?;
+            self.recv_pattern(seq, 1, PatternRole::MasterToMirror, fb, field, updated)?;
         }
 
         let after = self.host_sent_snapshot();
@@ -302,14 +358,26 @@ impl<'a, T: Transport + ?Sized> GluonContext<'a, T> {
             work_units: std::mem::take(&mut self.pending_work),
         });
         self.mark = Instant::now();
+        Ok(())
     }
 
     /// Distributed termination detection: true iff `local_active` is true on
     /// any host. Timed as communication.
     pub fn any_globally(&mut self, local_active: bool) -> bool {
+        self.try_any_globally(local_active)
+            .unwrap_or_else(|e| panic!("termination detection failed: {e}"))
+    }
+
+    /// As [`GluonContext::any_globally`], surfacing network failure as an
+    /// error.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError`] if a peer becomes unreachable.
+    pub fn try_any_globally(&mut self, local_active: bool) -> Result<bool, NetError> {
         let compute_secs = self.mark.elapsed().as_secs_f64();
         let start = Instant::now();
-        let any = self.comm.any(local_active);
+        let any = self.comm.try_any(local_active)?;
         self.stats.phases.push(PhaseStats {
             compute_secs,
             comm_secs: start.elapsed().as_secs_f64(),
@@ -318,15 +386,26 @@ impl<'a, T: Transport + ?Sized> GluonContext<'a, T> {
             work_units: std::mem::take(&mut self.pending_work),
         });
         self.mark = Instant::now();
-        any
+        Ok(any)
     }
 
     /// Global sum over hosts (e.g. pagerank residual norms). Timed as
     /// communication.
     pub fn sum_globally(&mut self, local: f64) -> f64 {
+        self.try_sum_globally(local)
+            .unwrap_or_else(|e| panic!("global sum failed: {e}"))
+    }
+
+    /// As [`GluonContext::sum_globally`], surfacing network failure as an
+    /// error.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError`] if a peer becomes unreachable.
+    pub fn try_sum_globally(&mut self, local: f64) -> Result<f64, NetError> {
         let compute_secs = self.mark.elapsed().as_secs_f64();
         let start = Instant::now();
-        let sum = self.comm.all_reduce_f64(local, |a, b| a + b);
+        let sum = self.comm.try_all_reduce_f64(local, |a, b| a + b)?;
         self.stats.phases.push(PhaseStats {
             compute_secs,
             comm_secs: start.elapsed().as_secs_f64(),
@@ -335,7 +414,7 @@ impl<'a, T: Transport + ?Sized> GluonContext<'a, T> {
             work_units: std::mem::take(&mut self.pending_work),
         });
         self.mark = Instant::now();
-        sum
+        Ok(sum)
     }
 
     fn host_sent_snapshot(&self) -> (u64, u64) {
@@ -355,7 +434,7 @@ impl<'a, T: Transport + ?Sized> GluonContext<'a, T> {
         filter_idx: usize,
         field: &mut F,
         updated: &mut DenseBitset,
-    ) {
+    ) -> Result<(), NetError> {
         let rank = self.rank();
         let temporal = self.opts.temporal;
         for h in 0..self.world_size() {
@@ -403,8 +482,11 @@ impl<'a, T: Transport + ?Sized> GluonContext<'a, T> {
                     }
                 }
             }
-            self.comm.transport().send(h, sync_tag(seq, pat), payload);
+            self.comm
+                .transport()
+                .try_send(h, sync_tag(seq, pat), payload)?;
         }
+        Ok(())
     }
 
     fn recv_pattern<F: FieldSync>(
@@ -415,7 +497,7 @@ impl<'a, T: Transport + ?Sized> GluonContext<'a, T> {
         filter_idx: usize,
         field: &mut F,
         updated: &mut DenseBitset,
-    ) {
+    ) -> Result<(), NetError> {
         let rank = self.rank();
         let temporal = self.opts.temporal;
         for h in 0..self.world_size() {
@@ -432,7 +514,7 @@ impl<'a, T: Transport + ?Sized> GluonContext<'a, T> {
             if list.is_empty() {
                 continue;
             }
-            let payload = self.comm.transport().recv(h, sync_tag(seq, pat));
+            let payload = self.comm.transport().try_recv(h, sync_tag(seq, pat))?;
             match role {
                 PatternRole::MirrorToMaster => {
                     // I am the master side: combine partial values.
@@ -445,10 +527,7 @@ impl<'a, T: Transport + ?Sized> GluonContext<'a, T> {
                         });
                     } else {
                         decode_gid_values::<F::Value>(&payload, &mut |gid, v| {
-                            let lid = self
-                                .graph
-                                .lid(gid)
-                                .expect("reduced node is mastered here");
+                            let lid = self.graph.lid(gid).expect("reduced node is mastered here");
                             if field.reduce(lid, v) {
                                 updated.set(lid);
                             }
@@ -482,6 +561,7 @@ impl<'a, T: Transport + ?Sized> GluonContext<'a, T> {
                 }
             }
         }
+        Ok(())
     }
 }
 

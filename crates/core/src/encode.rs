@@ -274,8 +274,7 @@ mod tests {
     fn selected_mode_is_never_larger_than_alternatives() {
         for list_len in [1usize, 7, 64, 129, 1000] {
             for stride in [1usize, 2, 3, 10, 50] {
-                let updated: Vec<u32> =
-                    (0..list_len as u32).step_by(stride).collect();
+                let updated: Vec<u32> = (0..list_len as u32).step_by(stride).collect();
                 let msg = encode_memoized(list_len, &updated, |p| p as u64);
                 for (_, size) in mode_sizes::<u64>(list_len, updated.len()) {
                     assert!(

@@ -14,10 +14,10 @@
 //! appear on the wire again.
 
 use crate::comm_tags::MEMO_TAG;
+use bytes::{BufMut, Bytes, BytesMut};
 use gluon_graph::{HostId, Lid};
 use gluon_net::{Communicator, Transport};
 use gluon_partition::LocalGraph;
-use bytes::{BufMut, Bytes, BytesMut};
 
 /// One proxy in an agreed list: the local id on *this* host plus the
 /// structural flags of the **mirror** proxy (identical on both sides of the
@@ -203,8 +203,11 @@ mod tests {
                 if a == b {
                     continue;
                 }
-                for filter in [FlagFilter::All, FlagFilter::MirrorHasIn, FlagFilter::MirrorHasOut]
-                {
+                for filter in [
+                    FlagFilter::All,
+                    FlagFilter::MirrorHasIn,
+                    FlagFilter::MirrorHasOut,
+                ] {
                     let mine = memo_a.mirror_list(b, filter);
                     let theirs = memo_b.master_list(a, filter);
                     let gids_a: Vec<_> = mine.iter().map(|&l| lg_a.gid(l)).collect();

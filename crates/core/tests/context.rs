@@ -2,8 +2,7 @@
 //! algorithm layer.
 
 use gluon::{
-    DenseBitset, GluonContext, MaxField, MinField, OptLevel, ReadLocation, SumField,
-    WriteLocation,
+    DenseBitset, GluonContext, MaxField, MinField, OptLevel, ReadLocation, SumField, WriteLocation,
 };
 use gluon_graph::{gen, Gid, Lid};
 use gluon_net::{run_cluster, Communicator};

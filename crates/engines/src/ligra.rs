@@ -190,8 +190,7 @@ fn edge_map_pull(
     let dense_frontier;
     let frontier: &VertexSubset = match frontier {
         VertexSubset::Sparse(_) => {
-            dense_frontier =
-                VertexSubset::Dense(frontier.to_bitset(graph.num_proxies()));
+            dense_frontier = VertexSubset::Dense(frontier.to_bitset(graph.num_proxies()));
             &dense_frontier
         }
         VertexSubset::Dense(_) => frontier,

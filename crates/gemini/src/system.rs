@@ -242,9 +242,8 @@ impl<'a, T: Transport> GeminiHost<'a, T> {
                 .iter()
                 .map(|v| u64::from(part.out_degree(Gid(v.0))))
                 .sum();
-            let global_active_edges = self.phase(|h| {
-                h.comm.all_reduce_u64(local_active_edges, |a, b| a + b)
-            });
+            let global_active_edges =
+                self.phase(|h| h.comm.all_reduce_u64(local_active_edges, |a, b| a + b));
             let dense = global_active_edges > part.global_edges() / DENSE_THRESHOLD_DENOM;
             let mut changed = DenseBitset::new(n);
             if dense {
@@ -253,10 +252,8 @@ impl<'a, T: Transport> GeminiHost<'a, T> {
                 // Dense round: refresh replicas everywhere, then pull at
                 // owned nodes.
                 self.phase(|h| {
-                    let pairs: Vec<(u32, u32)> = dirty
-                        .iter()
-                        .map(|v| (v.0, labels[v.index()]))
-                        .collect();
+                    let pairs: Vec<(u32, u32)> =
+                        dirty.iter().map(|v| (v.0, labels[v.index()])).collect();
                     dirty.clear_all();
                     let payload = encode_pairs_u32(&pairs);
                     for dst in 0..h.comm.world_size() {
@@ -364,8 +361,7 @@ impl<'a, T: Transport> GeminiHost<'a, T> {
             self.add_work(self.part.num_pull_edges());
             // Refresh replicas with the ranks owners changed last round.
             self.phase(|h| {
-                let pairs: Vec<(u32, f64)> =
-                    dirty.iter().map(|v| (v.0, rank[v.index()])).collect();
+                let pairs: Vec<(u32, f64)> = dirty.iter().map(|v| (v.0, rank[v.index()])).collect();
                 dirty.clear_all();
                 let payload = encode_pairs_f64(&pairs);
                 for dst in 0..h.comm.world_size() {

@@ -106,7 +106,10 @@ impl Csr {
     /// last offset disagrees with `targets.len()`, if a target is out of
     /// range, or if a non-empty `weights` has the wrong length.
     pub fn from_parts(offsets: Vec<u64>, targets: Vec<u32>, weights: Vec<u32>) -> Self {
-        assert!(!offsets.is_empty(), "offsets must have num_nodes + 1 entries");
+        assert!(
+            !offsets.is_empty(),
+            "offsets must have num_nodes + 1 entries"
+        );
         assert!(
             offsets.windows(2).all(|w| w[0] <= w[1]),
             "offsets must be non-decreasing"

@@ -22,7 +22,9 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(g.index(), 7);
 /// assert_eq!(format!("{g}"), "g7");
 /// ```
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default, Serialize, Deserialize)]
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default, Serialize, Deserialize,
+)]
 pub struct Gid(pub u32);
 
 /// A node id in one host's *local* (partition proxy) id space.
@@ -36,7 +38,9 @@ pub struct Gid(pub u32);
 /// assert_eq!(l.index(), 3);
 /// assert_eq!(format!("{l}"), "l3");
 /// ```
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default, Serialize, Deserialize)]
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default, Serialize, Deserialize,
+)]
 pub struct Lid(pub u32);
 
 macro_rules! id_impls {

@@ -308,8 +308,11 @@ mod tests {
 
     #[test]
     fn binary_reader_rejects_bad_magic() {
-        let err = read_binary(&b"NOPE
-            "[..]).unwrap_err();
+        let err = read_binary(
+            &b"NOPE
+            "[..],
+        )
+        .unwrap_err();
         assert!(err.to_string().contains("bad magic"));
     }
 

@@ -52,7 +52,11 @@ impl fmt::Display for GraphStats {
         write!(
             f,
             "|V|={} |E|={} |E|/|V|={:.1} maxDout={} maxDin={}",
-            self.num_nodes, self.num_edges, self.avg_degree, self.max_out_degree, self.max_in_degree
+            self.num_nodes,
+            self.num_edges,
+            self.avg_degree,
+            self.max_out_degree,
+            self.max_in_degree
         )
     }
 }
@@ -87,7 +91,11 @@ pub fn max_out_degree_node(graph: &Csr) -> Gid {
 pub fn degree_histogram(graph: &Csr) -> Vec<u64> {
     let mut hist = Vec::new();
     for d in graph.out_degrees() {
-        let bucket = if d <= 1 { 0 } else { (u32::BITS - d.leading_zeros() - 1) as usize };
+        let bucket = if d <= 1 {
+            0
+        } else {
+            (u32::BITS - d.leading_zeros() - 1) as usize
+        };
         if hist.len() <= bucket {
             hist.resize(bucket + 1, 0);
         }

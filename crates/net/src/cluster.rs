@@ -72,6 +72,72 @@ where
     (results, stats)
 }
 
+/// As [`run_cluster_with_stats`], but each host's endpoint is first passed
+/// through `wrap`, so the whole cluster runs over a wrapped transport stack
+/// (jitter, fault injection, reliability, or any composition of them).
+///
+/// Endpoints are moved into `wrap` (wrappers own their inner transport),
+/// so `program` receives the wrapped transport by reference.
+///
+/// # Examples
+///
+/// ```
+/// use gluon_net::{run_cluster_wrapped, Communicator, JitterTransport,
+///                 NetStats, Transport};
+///
+/// let (totals, _stats) = run_cluster_wrapped(
+///     3,
+///     NetStats::new(3),
+///     |ep| JitterTransport::new(ep, 7),
+///     |net| Communicator::new(net).all_reduce_u64(1, |a, b| a + b),
+/// );
+/// assert_eq!(totals, vec![3, 3, 3]);
+/// ```
+///
+/// # Panics
+///
+/// Panics if any host's program panics, or if `stats` was sized for a
+/// different world size.
+pub fn run_cluster_wrapped<W, R, WrapF, ProgF>(
+    world_size: usize,
+    stats: NetStats,
+    wrap: WrapF,
+    program: ProgF,
+) -> (Vec<R>, NetStats)
+where
+    W: Transport,
+    R: Send,
+    WrapF: Fn(MemoryTransport) -> W + Send + Sync,
+    ProgF: Fn(&W) -> R + Send + Sync,
+{
+    let endpoints = MemoryTransport::cluster_with_stats(world_size, stats.clone());
+    let results = thread::scope(|s| {
+        let wrap = &wrap;
+        let program = &program;
+        let handles: Vec<_> = endpoints
+            .into_iter()
+            .map(|ep| {
+                let rank = ep.rank();
+                thread::Builder::new()
+                    .name(format!("host-{rank}"))
+                    .spawn_scoped(s, move || {
+                        let net = wrap(ep);
+                        program(&net)
+                    })
+                    .expect("spawn host thread")
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(r) => r,
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
+            .collect()
+    });
+    (results, stats)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -102,6 +168,29 @@ mod tests {
                 panic!("deliberate");
             }
         });
+    }
+
+    #[test]
+    fn wrapped_cluster_survives_a_lossy_network() {
+        use crate::fault::{FaultCounters, FaultPlan, FaultyTransport};
+        use crate::reliable::ReliableTransport;
+
+        let counters = FaultCounters::new();
+        let (sums, _) = run_cluster_wrapped(
+            3,
+            NetStats::new(3),
+            |ep| {
+                let seed = 17 + ep.rank() as u64;
+                ReliableTransport::over(FaultyTransport::new(
+                    ep,
+                    FaultPlan::lossy(seed),
+                    counters.clone(),
+                ))
+            },
+            |net| Communicator::new(net).all_reduce_u64(net.rank() as u64 + 1, |a, b| a + b),
+        );
+        assert_eq!(sums, vec![6, 6, 6]);
+        assert!(counters.total() > 0, "the lossy plan must have fired");
     }
 
     #[test]

@@ -12,6 +12,7 @@
 //! [`COLLECTIVE_TAG_BASE`], further salted with a per-communicator epoch so
 //! that two interleaved collectives can never steal each other's packets.
 
+use crate::error::NetError;
 use crate::transport::Transport;
 use bytes::{BufMut, Bytes, BytesMut};
 use std::sync::atomic::{AtomicU32, Ordering};
@@ -21,6 +22,16 @@ pub const COLLECTIVE_TAG_BASE: u32 = 1 << 24;
 
 /// Maximum user tag (exclusive).
 pub const MAX_USER_TAG: u32 = COLLECTIVE_TAG_BASE;
+
+/// Debug-checks that `tag` is a legal *user* tag (below [`MAX_USER_TAG`]),
+/// i.e. cannot collide with collective or reliability traffic. Call this
+/// at every boundary that accepts a tag from application code.
+pub fn assert_user_tag(tag: u32) {
+    debug_assert!(
+        tag < MAX_USER_TAG,
+        "user tag {tag:#x} intrudes on the reserved tag space (>= {MAX_USER_TAG:#x})"
+    );
+}
 
 /// Collectives over a [`Transport`].
 ///
@@ -81,14 +92,26 @@ impl<'t, T: Transport + ?Sized> Communicator<'t, T> {
     }
 
     fn tag(epoch: u32, step: u32) -> u32 {
+        // The collective tag space is [COLLECTIVE_TAG_BASE, RELIABLE_TAG):
+        // 128 epochs x 64 steps fits with room to spare, but keep the
+        // contract checked in debug builds.
+        debug_assert!(
+            step < 64,
+            "collective step {step} overflows the epoch stride"
+        );
+        debug_assert!(epoch < 128, "collective epoch {epoch} out of range");
         COLLECTIVE_TAG_BASE + epoch * 64 + step
     }
 
     /// Dissemination barrier: returns only after every host has entered.
-    pub fn barrier(&self) {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError`] if a peer becomes unreachable.
+    pub fn try_barrier(&self) -> Result<(), NetError> {
         let n = self.world_size();
         if n == 1 {
-            return;
+            return Ok(());
         }
         let rank = self.rank();
         let epoch = self.next_epoch();
@@ -97,11 +120,19 @@ impl<'t, T: Transport + ?Sized> Communicator<'t, T> {
         while distance < n {
             let to = (rank + distance) % n;
             let from = (rank + n - distance % n) % n;
-            self.transport.send(to, Self::tag(epoch, step), Bytes::new());
-            let _ = self.transport.recv(from, Self::tag(epoch, step));
+            self.transport
+                .try_send(to, Self::tag(epoch, step), Bytes::new())?;
+            let _ = self.transport.try_recv(from, Self::tag(epoch, step))?;
             distance *= 2;
             step += 1;
         }
+        Ok(())
+    }
+
+    /// As [`Communicator::try_barrier`], panicking on network failure.
+    pub fn barrier(&self) {
+        self.try_barrier()
+            .unwrap_or_else(|e| panic!("barrier failed: {e}"));
     }
 
     /// All-reduce over opaque fixed-size byte payloads.
@@ -112,10 +143,18 @@ impl<'t, T: Transport + ?Sized> Communicator<'t, T> {
     /// Uses recursive doubling on power-of-two cluster sizes (log₂ n
     /// rounds, the classic MPI algorithm) and falls back to a
     /// gather-to-root + broadcast star otherwise.
-    pub fn all_reduce_bytes(&self, value: Bytes, combine: impl Fn(Bytes, Bytes) -> Bytes) -> Bytes {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError`] if a peer becomes unreachable.
+    pub fn try_all_reduce_bytes(
+        &self,
+        value: Bytes,
+        combine: impl Fn(Bytes, Bytes) -> Bytes,
+    ) -> Result<Bytes, NetError> {
         let n = self.world_size();
         if n == 1 {
-            return value;
+            return Ok(value);
         }
         let rank = self.rank();
         let epoch = self.next_epoch();
@@ -128,8 +167,8 @@ impl<'t, T: Transport + ?Sized> Communicator<'t, T> {
             while distance < n {
                 let partner = rank ^ distance;
                 self.transport
-                    .send(partner, Self::tag(epoch, step), acc.clone());
-                let other = self.transport.recv(partner, Self::tag(epoch, step));
+                    .try_send(partner, Self::tag(epoch, step), acc.clone())?;
+                let other = self.transport.try_recv(partner, Self::tag(epoch, step))?;
                 // Combine in rank order so non-commutative float effects
                 // are at least deterministic per pair.
                 acc = if rank < partner {
@@ -140,62 +179,130 @@ impl<'t, T: Transport + ?Sized> Communicator<'t, T> {
                 distance <<= 1;
                 step += 1;
             }
-            return acc;
+            return Ok(acc);
         }
         // Gather to rank 0, combine, then broadcast back.
         if rank == 0 {
             let mut acc = value;
             for src in 1..n {
-                let other = self.transport.recv(src, Self::tag(epoch, 0));
+                let other = self.transport.try_recv(src, Self::tag(epoch, 0))?;
                 acc = combine(acc, other);
             }
             for dst in 1..n {
-                self.transport.send(dst, Self::tag(epoch, 1), acc.clone());
+                self.transport
+                    .try_send(dst, Self::tag(epoch, 1), acc.clone())?;
             }
-            acc
+            Ok(acc)
         } else {
-            self.transport.send(0, Self::tag(epoch, 0), value);
-            self.transport.recv(0, Self::tag(epoch, 1))
+            self.transport.try_send(0, Self::tag(epoch, 0), value)?;
+            self.transport.try_recv(0, Self::tag(epoch, 1))
         }
     }
 
+    /// As [`Communicator::try_all_reduce_bytes`], panicking on network
+    /// failure.
+    pub fn all_reduce_bytes(&self, value: Bytes, combine: impl Fn(Bytes, Bytes) -> Bytes) -> Bytes {
+        self.try_all_reduce_bytes(value, combine)
+            .unwrap_or_else(|e| panic!("all-reduce failed: {e}"))
+    }
+
     /// All-reduce of a `u64` with the given combiner.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError`] if a peer becomes unreachable.
+    pub fn try_all_reduce_u64(
+        &self,
+        value: u64,
+        combine: impl Fn(u64, u64) -> u64,
+    ) -> Result<u64, NetError> {
+        let out =
+            self.try_all_reduce_bytes(Bytes::copy_from_slice(&value.to_le_bytes()), |a, b| {
+                let va = u64::from_le_bytes(a[..8].try_into().expect("8-byte payload"));
+                let vb = u64::from_le_bytes(b[..8].try_into().expect("8-byte payload"));
+                Bytes::copy_from_slice(&combine(va, vb).to_le_bytes())
+            })?;
+        Ok(u64::from_le_bytes(
+            out[..8].try_into().expect("8-byte payload"),
+        ))
+    }
+
+    /// As [`Communicator::try_all_reduce_u64`], panicking on network
+    /// failure.
     pub fn all_reduce_u64(&self, value: u64, combine: impl Fn(u64, u64) -> u64) -> u64 {
-        let out = self.all_reduce_bytes(Bytes::copy_from_slice(&value.to_le_bytes()), |a, b| {
-            let va = u64::from_le_bytes(a[..8].try_into().expect("8-byte payload"));
-            let vb = u64::from_le_bytes(b[..8].try_into().expect("8-byte payload"));
-            Bytes::copy_from_slice(&combine(va, vb).to_le_bytes())
-        });
-        u64::from_le_bytes(out[..8].try_into().expect("8-byte payload"))
+        self.try_all_reduce_u64(value, combine)
+            .unwrap_or_else(|e| panic!("all-reduce failed: {e}"))
     }
 
     /// All-reduce of an `f64` with the given combiner.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError`] if a peer becomes unreachable.
+    pub fn try_all_reduce_f64(
+        &self,
+        value: f64,
+        combine: impl Fn(f64, f64) -> f64,
+    ) -> Result<f64, NetError> {
+        Ok(f64::from_bits(
+            self.try_all_reduce_u64(value.to_bits(), |a, b| {
+                combine(f64::from_bits(a), f64::from_bits(b)).to_bits()
+            })?,
+        ))
+    }
+
+    /// As [`Communicator::try_all_reduce_f64`], panicking on network
+    /// failure.
     pub fn all_reduce_f64(&self, value: f64, combine: impl Fn(f64, f64) -> f64) -> f64 {
-        f64::from_bits(self.all_reduce_u64(value.to_bits(), |a, b| {
-            combine(f64::from_bits(a), f64::from_bits(b)).to_bits()
-        }))
+        self.try_all_reduce_f64(value, combine)
+            .unwrap_or_else(|e| panic!("all-reduce failed: {e}"))
     }
 
     /// Returns true iff `flag` is true on *any* host (distributed OR) —
     /// Gluon's termination-detection primitive.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError`] if a peer becomes unreachable.
+    pub fn try_any(&self, flag: bool) -> Result<bool, NetError> {
+        Ok(self.try_all_reduce_u64(u64::from(flag), |a, b| a | b)? != 0)
+    }
+
+    /// As [`Communicator::try_any`], panicking on network failure.
     pub fn any(&self, flag: bool) -> bool {
-        self.all_reduce_u64(u64::from(flag), |a, b| a | b) != 0
+        self.try_any(flag)
+            .unwrap_or_else(|e| panic!("distributed OR failed: {e}"))
     }
 
     /// Returns true iff `flag` is true on *every* host (distributed AND).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError`] if a peer becomes unreachable.
+    pub fn try_all(&self, flag: bool) -> Result<bool, NetError> {
+        Ok(self.try_all_reduce_u64(u64::from(flag), |a, b| a & b)? != 0)
+    }
+
+    /// As [`Communicator::try_all`], panicking on network failure.
     pub fn all(&self, flag: bool) -> bool {
-        self.all_reduce_u64(u64::from(flag), |a, b| a & b) != 0
+        self.try_all(flag)
+            .unwrap_or_else(|e| panic!("distributed AND failed: {e}"))
     }
 
     /// Every host contributes one payload; everyone receives all payloads in
     /// rank order.
-    pub fn all_gather(&self, value: Bytes) -> Vec<Bytes> {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError`] if a peer becomes unreachable.
+    pub fn try_all_gather(&self, value: Bytes) -> Result<Vec<Bytes>, NetError> {
         let n = self.world_size();
         let rank = self.rank();
         let epoch = self.next_epoch();
         for dst in 0..n {
             if dst != rank {
-                self.transport.send(dst, Self::tag(epoch, 2), value.clone());
+                self.transport
+                    .try_send(dst, Self::tag(epoch, 2), value.clone())?;
             }
         }
         let mut out = Vec::with_capacity(n);
@@ -203,10 +310,16 @@ impl<'t, T: Transport + ?Sized> Communicator<'t, T> {
             if src == rank {
                 out.push(value.clone());
             } else {
-                out.push(self.transport.recv(src, Self::tag(epoch, 2)));
+                out.push(self.transport.try_recv(src, Self::tag(epoch, 2))?);
             }
         }
-        out
+        Ok(out)
+    }
+
+    /// As [`Communicator::try_all_gather`], panicking on network failure.
+    pub fn all_gather(&self, value: Bytes) -> Vec<Bytes> {
+        self.try_all_gather(value)
+            .unwrap_or_else(|e| panic!("all-gather failed: {e}"))
     }
 
     /// Personalized all-to-all: `outgoing[d]` goes to host `d`; the return
@@ -216,10 +329,14 @@ impl<'t, T: Transport + ?Sized> Communicator<'t, T> {
     /// legal and still exchanged (the paper's "send an empty message" mode);
     /// byte counters record them as zero-byte messages.
     ///
+    /// # Errors
+    ///
+    /// Returns [`NetError`] if a peer becomes unreachable.
+    ///
     /// # Panics
     ///
     /// Panics if `outgoing.len() != world_size()`.
-    pub fn all_to_all(&self, outgoing: Vec<Bytes>) -> Vec<Bytes> {
+    pub fn try_all_to_all(&self, outgoing: Vec<Bytes>) -> Result<Vec<Bytes>, NetError> {
         let n = self.world_size();
         assert_eq!(outgoing.len(), n, "need exactly one payload per host");
         let rank = self.rank();
@@ -229,22 +346,32 @@ impl<'t, T: Transport + ?Sized> Communicator<'t, T> {
             if dst == rank {
                 incoming[rank] = Some(payload);
             } else {
-                self.transport.send(dst, Self::tag(epoch, 3), payload);
+                self.transport.try_send(dst, Self::tag(epoch, 3), payload)?;
             }
         }
         for (src, slot) in incoming.iter_mut().enumerate() {
             if src != rank {
-                *slot = Some(self.transport.recv(src, Self::tag(epoch, 3)));
+                *slot = Some(self.transport.try_recv(src, Self::tag(epoch, 3))?);
             }
         }
-        incoming
+        Ok(incoming
             .into_iter()
             .map(|m| m.expect("filled for every rank"))
-            .collect()
+            .collect())
+    }
+
+    /// As [`Communicator::try_all_to_all`], panicking on network failure.
+    pub fn all_to_all(&self, outgoing: Vec<Bytes>) -> Vec<Bytes> {
+        self.try_all_to_all(outgoing)
+            .unwrap_or_else(|e| panic!("all-to-all failed: {e}"))
     }
 
     /// Broadcast from `root` to all hosts (binomial tree, log₂ n rounds).
-    pub fn broadcast_from(&self, root: usize, value: Option<Bytes>) -> Bytes {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError`] if a peer becomes unreachable.
+    pub fn try_broadcast_from(&self, root: usize, value: Option<Bytes>) -> Result<Bytes, NetError> {
         let n = self.world_size();
         let rank = self.rank();
         let epoch = self.next_epoch();
@@ -260,7 +387,7 @@ impl<'t, T: Transport + ?Sized> Communicator<'t, T> {
             let vsrc = vrank - bit;
             let src = (vsrc + root) % n;
             let step = bit.trailing_zeros();
-            self.transport.recv(src, Self::tag(epoch, 4 + step))
+            self.transport.try_recv(src, Self::tag(epoch, 4 + step))?
         };
         // Forward to virtual ranks vrank + 2^k for each k above our own
         // highest bit, while they are in range.
@@ -273,23 +400,35 @@ impl<'t, T: Transport + ?Sized> Communicator<'t, T> {
         while vrank + bit < n {
             let dst = (vrank + bit + root) % n;
             let step = bit.trailing_zeros();
-            self.transport.send(dst, Self::tag(epoch, 4 + step), v.clone());
+            self.transport
+                .try_send(dst, Self::tag(epoch, 4 + step), v.clone())?;
             bit <<= 1;
         }
-        v
+        Ok(v)
+    }
+
+    /// As [`Communicator::try_broadcast_from`], panicking on network
+    /// failure.
+    pub fn broadcast_from(&self, root: usize, value: Option<Bytes>) -> Bytes {
+        self.try_broadcast_from(root, value)
+            .unwrap_or_else(|e| panic!("broadcast from host {root} failed: {e}"))
     }
 
     /// Sums per-host `u64` vectors element-wise across the cluster.
     ///
+    /// # Errors
+    ///
+    /// Returns [`NetError`] if a peer becomes unreachable.
+    ///
     /// # Panics
     ///
     /// Panics on hosts whose vector lengths disagree.
-    pub fn all_reduce_sum_vec(&self, values: &[u64]) -> Vec<u64> {
+    pub fn try_all_reduce_sum_vec(&self, values: &[u64]) -> Result<Vec<u64>, NetError> {
         let mut buf = BytesMut::with_capacity(values.len() * 8);
         for v in values {
             buf.put_u64_le(*v);
         }
-        let out = self.all_reduce_bytes(buf.freeze(), |a, b| {
+        let out = self.try_all_reduce_bytes(buf.freeze(), |a, b| {
             assert_eq!(a.len(), b.len(), "vector lengths disagree across hosts");
             let mut acc = BytesMut::with_capacity(a.len());
             for (ca, cb) in a.chunks_exact(8).zip(b.chunks_exact(8)) {
@@ -298,10 +437,18 @@ impl<'t, T: Transport + ?Sized> Communicator<'t, T> {
                 acc.put_u64_le(va + vb);
             }
             acc.freeze()
-        });
-        out.chunks_exact(8)
+        })?;
+        Ok(out
+            .chunks_exact(8)
             .map(|c| u64::from_le_bytes(c.try_into().expect("8-byte chunk")))
-            .collect()
+            .collect())
+    }
+
+    /// As [`Communicator::try_all_reduce_sum_vec`], panicking on network
+    /// failure.
+    pub fn all_reduce_sum_vec(&self, values: &[u64]) -> Vec<u64> {
+        self.try_all_reduce_sum_vec(values)
+            .unwrap_or_else(|e| panic!("vector all-reduce failed: {e}"))
     }
 }
 
@@ -315,7 +462,10 @@ mod tests {
         let eps = MemoryTransport::cluster(n);
         thread::scope(|s| {
             let handles: Vec<_> = eps.iter().map(|ep| s.spawn(|| f(ep))).collect();
-            handles.into_iter().map(|h| h.join().expect("no panic")).collect()
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("no panic"))
+                .collect()
         })
     }
 
@@ -455,8 +605,8 @@ mod tests {
             for root in 0..n {
                 let out = on_cluster(n, |ep| {
                     let comm = Communicator::new(ep);
-                    let v = (ep.rank() == root)
-                        .then(|| Bytes::copy_from_slice(&[root as u8, 0xAB]));
+                    let v =
+                        (ep.rank() == root).then(|| Bytes::copy_from_slice(&[root as u8, 0xAB]));
                     comm.broadcast_from(root, v)
                 });
                 assert!(

@@ -1,0 +1,62 @@
+//! Transport-level errors.
+//!
+//! The in-memory [`crate::MemoryTransport`] cannot fail, but the reliability
+//! layer ([`crate::ReliableTransport`]) can exhaust its retransmission
+//! budget against a lossy or dead peer. That condition is surfaced as a
+//! [`NetError`] through the `try_*` methods of [`crate::Transport`] so that
+//! callers — ultimately the Gluon sync paths — can degrade gracefully
+//! instead of blocking forever or panicking.
+
+use std::fmt;
+
+/// Errors surfaced by fallible transport operations.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum NetError {
+    /// A peer did not acknowledge traffic within the retry budget, or a
+    /// receive waited longer than the configured budget with no progress.
+    /// The peer is presumed crashed, partitioned away, or stalled.
+    PeerUnreachable {
+        /// Rank of the unresponsive peer.
+        peer: usize,
+        /// Retransmission attempts (or receive budget, as retries) spent
+        /// before giving up.
+        retries: u32,
+    },
+}
+
+impl NetError {
+    /// The peer this error concerns.
+    pub fn peer(&self) -> usize {
+        match self {
+            NetError::PeerUnreachable { peer, .. } => *peer,
+        }
+    }
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::PeerUnreachable { peer, retries } => write!(
+                f,
+                "peer {peer} unreachable after {retries} retransmission attempts"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_peer() {
+        let e = NetError::PeerUnreachable {
+            peer: 3,
+            retries: 7,
+        };
+        assert!(e.to_string().contains("peer 3"));
+        assert_eq!(e.peer(), 3);
+    }
+}

@@ -1,0 +1,662 @@
+//! Lossy-network fault injection.
+//!
+//! [`FaultyTransport`] wraps any [`Transport`] and deterministically
+//! injects the failures a real datacenter network exhibits: dropped
+//! messages, duplicated messages, payload corruption (bit flips), and
+//! per-peer delivery delays. The injected fault mix is configured by a
+//! [`FaultPlan`] — background probabilities plus targeted [`FaultRule`]s
+//! like "drop the 3rd message on tag T to host H" — and every injected
+//! fault is counted in shared [`FaultCounters`] so tests can prove the
+//! faults actually fired.
+//!
+//! Determinism: each endpoint draws from its own generator seeded from
+//! `plan.seed` mixed with the endpoint's rank, so a given (plan, rank)
+//! replays the same per-send decisions run after run. (Across a
+//! multi-threaded cluster the *interleaving* of sends still varies, so a
+//! fault lands on the same send *index*, not necessarily the same wall
+//! -clock moment.)
+//!
+//! Ordering caveat: a delayed message is released after later sends, so
+//! `FaultyTransport` — unlike [`crate::JitterTransport`] — does **not**
+//! preserve per-`(destination, tag)` FIFO order, and dropped messages
+//! never arrive at all. Bare protocols are not expected to survive this
+//! wrapper; stack [`crate::ReliableTransport`] on top to restore exactly
+//! -once in-order delivery.
+//!
+//! Self-sends (`dst == rank`) bypass injection entirely: loopback traffic
+//! never traverses the NIC on a real host either.
+
+use crate::stats::NetStats;
+use crate::transport::{Envelope, Transport};
+use bytes::Bytes;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// What to do to a send that a rule or a probability draw selected.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FaultAction {
+    /// Discard the message; it never reaches the wire.
+    Drop,
+    /// Deliver the message twice.
+    Duplicate,
+    /// Flip one payload bit (no-op on empty payloads).
+    Corrupt,
+    /// Hold the message back and release it after later sends (breaks
+    /// per-stream FIFO order).
+    Delay,
+}
+
+/// A targeted fault: applied to sends matching every given criterion.
+///
+/// `None` criteria match everything, so `FaultRule::nth(3, Drop)` drops
+/// every 3rd-in-stream message while
+/// `FaultRule { peer: Some(1), .. }` restricts it to messages bound for
+/// host 1. Rules are checked in order; the first match wins and
+/// suppresses the probabilistic draws.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct FaultRule {
+    /// Destination rank to match (`None` = any).
+    pub peer: Option<usize>,
+    /// Tag to match (`None` = any).
+    pub tag: Option<u32>,
+    /// 1-based index within the matched `(peer, tag)` stream (`None` =
+    /// every matching send).
+    pub nth: Option<u64>,
+    /// The fault to inject.
+    pub action: FaultAction,
+}
+
+impl FaultRule {
+    /// A rule applying `action` to every send.
+    pub fn always(action: FaultAction) -> FaultRule {
+        FaultRule {
+            peer: None,
+            tag: None,
+            nth: None,
+            action,
+        }
+    }
+
+    /// A rule applying `action` to the `nth` (1-based) send of each
+    /// matching stream.
+    pub fn nth(nth: u64, action: FaultAction) -> FaultRule {
+        FaultRule {
+            nth: Some(nth),
+            ..FaultRule::always(action)
+        }
+    }
+
+    /// Restricts the rule to sends bound for `peer`.
+    pub fn to_peer(self, peer: usize) -> FaultRule {
+        FaultRule {
+            peer: Some(peer),
+            ..self
+        }
+    }
+
+    /// Restricts the rule to sends on `tag`.
+    pub fn on_tag(self, tag: u32) -> FaultRule {
+        FaultRule {
+            tag: Some(tag),
+            ..self
+        }
+    }
+
+    fn matches(&self, dst: usize, tag: u32, stream_index: u64) -> bool {
+        self.peer.is_none_or(|p| p == dst)
+            && self.tag.is_none_or(|t| t == tag)
+            && self.nth.is_none_or(|n| n == stream_index)
+    }
+}
+
+/// Fault mix for a [`FaultyTransport`]: background probabilities (checked
+/// in the order drop, duplicate, corrupt, delay from one uniform draw, so
+/// the rates are exact and must sum to at most 1) plus targeted rules.
+#[derive(Clone, Debug)]
+pub struct FaultPlan {
+    /// Seed for the per-endpoint fault generators.
+    pub seed: u64,
+    /// Probability a send is dropped.
+    pub drop_rate: f64,
+    /// Probability a send is delivered twice.
+    pub duplicate_rate: f64,
+    /// Probability one payload bit is flipped.
+    pub corrupt_rate: f64,
+    /// Probability a send is delayed past later sends.
+    pub delay_rate: f64,
+    /// Targeted rules, checked before the probabilistic draws.
+    pub rules: Vec<FaultRule>,
+}
+
+impl FaultPlan {
+    /// A plan injecting no faults at all (useful as a builder base).
+    pub fn none(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            drop_rate: 0.0,
+            duplicate_rate: 0.0,
+            corrupt_rate: 0.0,
+            delay_rate: 0.0,
+            rules: Vec::new(),
+        }
+    }
+
+    /// A representatively nasty network: 10% drops, 5% duplicates, 5%
+    /// corruption, 10% delays.
+    pub fn lossy(seed: u64) -> FaultPlan {
+        FaultPlan {
+            drop_rate: 0.10,
+            duplicate_rate: 0.05,
+            corrupt_rate: 0.05,
+            delay_rate: 0.10,
+            ..FaultPlan::none(seed)
+        }
+    }
+
+    /// Sets the drop probability.
+    pub fn with_drop_rate(mut self, rate: f64) -> FaultPlan {
+        self.drop_rate = rate;
+        self
+    }
+
+    /// Sets the duplication probability.
+    pub fn with_duplicate_rate(mut self, rate: f64) -> FaultPlan {
+        self.duplicate_rate = rate;
+        self
+    }
+
+    /// Sets the corruption probability.
+    pub fn with_corrupt_rate(mut self, rate: f64) -> FaultPlan {
+        self.corrupt_rate = rate;
+        self
+    }
+
+    /// Sets the delay probability.
+    pub fn with_delay_rate(mut self, rate: f64) -> FaultPlan {
+        self.delay_rate = rate;
+        self
+    }
+
+    /// Appends a targeted rule.
+    pub fn with_rule(mut self, rule: FaultRule) -> FaultPlan {
+        self.rules.push(rule);
+        self
+    }
+
+    fn validate(&self) {
+        let total = self.drop_rate + self.duplicate_rate + self.corrupt_rate + self.delay_rate;
+        assert!(
+            (0.0..=1.0).contains(&total)
+                && self.drop_rate >= 0.0
+                && self.duplicate_rate >= 0.0
+                && self.corrupt_rate >= 0.0
+                && self.delay_rate >= 0.0,
+            "fault rates must be non-negative and sum to at most 1 (got {total})"
+        );
+    }
+}
+
+/// Counts of faults actually injected; shared (cheaply clonable) so one
+/// set of counters can aggregate over every endpoint of a cluster.
+#[derive(Clone, Debug, Default)]
+pub struct FaultCounters {
+    inner: Arc<FaultCountersInner>,
+}
+
+#[derive(Debug, Default)]
+struct FaultCountersInner {
+    dropped: AtomicU64,
+    duplicated: AtomicU64,
+    corrupted: AtomicU64,
+    delayed: AtomicU64,
+}
+
+impl FaultCounters {
+    /// Fresh zeroed counters.
+    pub fn new() -> FaultCounters {
+        FaultCounters::default()
+    }
+
+    /// Messages discarded.
+    pub fn dropped(&self) -> u64 {
+        self.inner.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Messages delivered twice.
+    pub fn duplicated(&self) -> u64 {
+        self.inner.duplicated.load(Ordering::Relaxed)
+    }
+
+    /// Messages with a flipped payload bit.
+    pub fn corrupted(&self) -> u64 {
+        self.inner.corrupted.load(Ordering::Relaxed)
+    }
+
+    /// Messages released out of order.
+    pub fn delayed(&self) -> u64 {
+        self.inner.delayed.load(Ordering::Relaxed)
+    }
+
+    /// Total injected faults of any kind.
+    pub fn total(&self) -> u64 {
+        self.dropped() + self.duplicated() + self.corrupted() + self.delayed()
+    }
+}
+
+/// A held-back (delayed) message and how many further sends it outlasts.
+#[derive(Debug)]
+struct Held {
+    dst: usize,
+    tag: u32,
+    payload: Bytes,
+    /// Released when this reaches zero (or on any receive/flush).
+    sends_left: u32,
+}
+
+/// Deterministic fault-injecting wrapper around any [`Transport`].
+///
+/// # Examples
+///
+/// ```
+/// use gluon_net::{FaultAction, FaultCounters, FaultPlan, FaultRule,
+///                 FaultyTransport, MemoryTransport, Transport};
+/// use bytes::Bytes;
+///
+/// let mut eps = MemoryTransport::cluster(2);
+/// let b = eps.pop().unwrap();
+/// let plan = FaultPlan::none(7)
+///     .with_rule(FaultRule::nth(2, FaultAction::Drop).on_tag(5));
+/// let counters = FaultCounters::new();
+/// let a = FaultyTransport::new(eps.pop().unwrap(), plan, counters.clone());
+/// a.send(1, 5, Bytes::from_static(b"arrives"));
+/// a.send(1, 5, Bytes::from_static(b"dropped"));
+/// a.send(1, 5, Bytes::from_static(b"arrives too"));
+/// assert_eq!(&b.recv(0, 5)[..], b"arrives");
+/// assert_eq!(&b.recv(0, 5)[..], b"arrives too");
+/// assert_eq!(counters.dropped(), 1);
+/// ```
+#[derive(Debug)]
+pub struct FaultyTransport<T: Transport> {
+    inner: T,
+    plan: FaultPlan,
+    counters: FaultCounters,
+    /// Injection on/off switch; when disarmed every send passes through
+    /// untouched (used to fault only part of a run, e.g. after setup).
+    armed: AtomicBool,
+    rng: Mutex<u64>,
+    /// 1-based send count per `(dst, tag)` stream, for `nth` rules.
+    stream_counts: Mutex<HashMap<(usize, u32), u64>>,
+    held: Mutex<Vec<Held>>,
+}
+
+/// Anything still held is released when the wrapper goes away, so a host
+/// whose last action was a (delayed) send cannot starve its peers.
+impl<T: Transport> Drop for FaultyTransport<T> {
+    fn drop(&mut self) {
+        self.release_all();
+    }
+}
+
+impl<T: Transport> FaultyTransport<T> {
+    /// Wraps `inner` with the given plan, reporting injections into
+    /// `counters` (share one `FaultCounters` across a cluster's endpoints
+    /// to aggregate).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan's rates are negative or sum to more than 1.
+    pub fn new(inner: T, plan: FaultPlan, counters: FaultCounters) -> FaultyTransport<T> {
+        plan.validate();
+        // Mix the rank in so endpoints draw distinct sequences.
+        let seed = plan.seed ^ (inner.rank() as u64).wrapping_mul(0xA24B_AED4_963E_E407);
+        FaultyTransport {
+            inner,
+            plan,
+            counters,
+            armed: AtomicBool::new(true),
+            rng: Mutex::new(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1),
+            stream_counts: Mutex::new(HashMap::new()),
+            held: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The wrapped transport.
+    pub fn inner(&self) -> &T {
+        &self.inner
+    }
+
+    /// The shared fault counters.
+    pub fn counters(&self) -> &FaultCounters {
+        &self.counters
+    }
+
+    /// Starts injecting faults (the initial state).
+    pub fn arm(&self) {
+        self.armed.store(true, Ordering::SeqCst);
+    }
+
+    /// Stops injecting faults; sends pass through untouched until
+    /// [`FaultyTransport::arm`] is called.
+    pub fn disarm(&self) {
+        self.armed.store(false, Ordering::SeqCst);
+    }
+
+    fn next_rand(&self) -> u64 {
+        let mut state = self.rng.lock();
+        // xorshift64*: cheap, deterministic, good enough for fault draws.
+        let mut x = *state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        *state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn next_unit(&self) -> f64 {
+        // 53 uniform mantissa bits -> [0, 1).
+        (self.next_rand() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Ages held messages by one send and releases the expired ones.
+    fn age_held(&self) {
+        let expired: Vec<Held> = {
+            let mut held = self.held.lock();
+            for h in held.iter_mut() {
+                h.sends_left = h.sends_left.saturating_sub(1);
+            }
+            let (out, keep) = std::mem::take(&mut *held)
+                .into_iter()
+                .partition(|h| h.sends_left == 0);
+            *held = keep;
+            out
+        };
+        for h in expired {
+            self.inner.send(h.dst, h.tag, h.payload);
+        }
+    }
+
+    /// Releases every held message immediately.
+    fn release_all(&self) {
+        let drained = std::mem::take(&mut *self.held.lock());
+        for h in drained {
+            self.inner.send(h.dst, h.tag, h.payload);
+        }
+    }
+
+    /// Picks what to do with one send, consulting rules then rates.
+    fn decide(&self, dst: usize, tag: u32) -> Option<FaultAction> {
+        let stream_index = {
+            let mut counts = self.stream_counts.lock();
+            let c = counts.entry((dst, tag)).or_insert(0);
+            *c += 1;
+            *c
+        };
+        if let Some(rule) = self
+            .plan
+            .rules
+            .iter()
+            .find(|r| r.matches(dst, tag, stream_index))
+        {
+            return Some(rule.action);
+        }
+        let r = self.next_unit();
+        let mut band = self.plan.drop_rate;
+        if r < band {
+            return Some(FaultAction::Drop);
+        }
+        band += self.plan.duplicate_rate;
+        if r < band {
+            return Some(FaultAction::Duplicate);
+        }
+        band += self.plan.corrupt_rate;
+        if r < band {
+            return Some(FaultAction::Corrupt);
+        }
+        band += self.plan.delay_rate;
+        if r < band {
+            return Some(FaultAction::Delay);
+        }
+        None
+    }
+
+    fn counter(&self, action: FaultAction) -> &AtomicU64 {
+        match action {
+            FaultAction::Drop => &self.counters.inner.dropped,
+            FaultAction::Duplicate => &self.counters.inner.duplicated,
+            FaultAction::Corrupt => &self.counters.inner.corrupted,
+            FaultAction::Delay => &self.counters.inner.delayed,
+        }
+    }
+}
+
+impl<T: Transport> Transport for FaultyTransport<T> {
+    fn rank(&self) -> usize {
+        self.inner.rank()
+    }
+
+    fn world_size(&self) -> usize {
+        self.inner.world_size()
+    }
+
+    fn send(&self, dst: usize, tag: u32, payload: Bytes) {
+        // Loopback traffic never crosses the NIC: pass it through.
+        if dst == self.inner.rank() || !self.armed.load(Ordering::SeqCst) {
+            self.inner.send(dst, tag, payload);
+            return;
+        }
+        self.age_held();
+        match self.decide(dst, tag) {
+            None => self.inner.send(dst, tag, payload),
+            Some(FaultAction::Drop) => {
+                self.counter(FaultAction::Drop)
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+            Some(FaultAction::Duplicate) => {
+                self.counter(FaultAction::Duplicate)
+                    .fetch_add(1, Ordering::Relaxed);
+                self.inner.send(dst, tag, payload.clone());
+                self.inner.send(dst, tag, payload);
+            }
+            Some(FaultAction::Corrupt) => {
+                if payload.is_empty() {
+                    // Nothing to flip; deliver unchanged and do not claim
+                    // a corruption happened.
+                    self.inner.send(dst, tag, payload);
+                    return;
+                }
+                self.counter(FaultAction::Corrupt)
+                    .fetch_add(1, Ordering::Relaxed);
+                let mut bytes = payload.to_vec();
+                let bit = (self.next_rand() % (bytes.len() as u64 * 8)) as usize;
+                bytes[bit / 8] ^= 1 << (bit % 8);
+                self.inner.send(dst, tag, Bytes::from(bytes));
+            }
+            Some(FaultAction::Delay) => {
+                self.counter(FaultAction::Delay)
+                    .fetch_add(1, Ordering::Relaxed);
+                self.held.lock().push(Held {
+                    dst,
+                    tag,
+                    payload,
+                    sends_left: 1 + (self.next_rand() % 4) as u32,
+                });
+            }
+        }
+    }
+
+    fn recv(&self, src: usize, tag: u32) -> Bytes {
+        self.release_all();
+        self.inner.recv(src, tag)
+    }
+
+    fn recv_any(&self, tag: u32) -> Envelope {
+        self.release_all();
+        self.inner.recv_any(tag)
+    }
+
+    fn recv_any_timeout(&self, tag: u32, timeout: Duration) -> Option<Envelope> {
+        self.release_all();
+        self.inner.recv_any_timeout(tag, timeout)
+    }
+
+    fn stats(&self) -> &NetStats {
+        self.inner.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::MemoryTransport;
+
+    fn pair() -> (MemoryTransport, MemoryTransport) {
+        let mut eps = MemoryTransport::cluster(2);
+        let b = eps.pop().expect("two endpoints");
+        let a = eps.pop().expect("two endpoints");
+        (a, b)
+    }
+
+    #[test]
+    fn disarmed_wrapper_is_transparent() {
+        let (a, b) = pair();
+        let counters = FaultCounters::new();
+        let a = FaultyTransport::new(a, FaultPlan::none(1).with_drop_rate(1.0), counters.clone());
+        a.disarm();
+        for i in 0..20u32 {
+            a.send(1, 0, Bytes::copy_from_slice(&i.to_le_bytes()));
+        }
+        for i in 0..20u32 {
+            assert_eq!(&b.recv(0, 0)[..4], &i.to_le_bytes());
+        }
+        assert_eq!(counters.total(), 0);
+    }
+
+    #[test]
+    fn drop_rate_one_discards_everything() {
+        let (a, b) = pair();
+        let counters = FaultCounters::new();
+        let plan = FaultPlan::none(3).with_drop_rate(1.0);
+        let a = FaultyTransport::new(a, plan, counters.clone());
+        for _ in 0..10 {
+            a.send(1, 0, Bytes::from_static(b"gone"));
+        }
+        assert_eq!(counters.dropped(), 10);
+        // Out-of-band proof nothing arrived: a disarmed marker message is
+        // the first (and only) thing the receiver sees.
+        a.disarm();
+        a.send(1, 0, Bytes::from_static(b"marker"));
+        assert_eq!(&b.recv(0, 0)[..], b"marker");
+    }
+
+    #[test]
+    fn corruption_flips_exactly_one_bit() {
+        let (a, b) = pair();
+        let counters = FaultCounters::new();
+        let plan = FaultPlan::none(5).with_corrupt_rate(1.0);
+        let a = FaultyTransport::new(a, plan, counters.clone());
+        let original = [0u8; 16];
+        a.send(1, 0, Bytes::copy_from_slice(&original));
+        let got = b.recv(0, 0);
+        let flipped: u32 = got.iter().map(|byte| byte.count_ones()).sum();
+        assert_eq!(flipped, 1, "exactly one bit must differ");
+        assert_eq!(counters.corrupted(), 1);
+    }
+
+    #[test]
+    fn duplicates_deliver_twice() {
+        let (a, b) = pair();
+        let counters = FaultCounters::new();
+        let plan = FaultPlan::none(5).with_duplicate_rate(1.0);
+        let a = FaultyTransport::new(a, plan, counters.clone());
+        a.send(1, 9, Bytes::from_static(b"twin"));
+        assert_eq!(&b.recv(0, 9)[..], b"twin");
+        assert_eq!(&b.recv(0, 9)[..], b"twin");
+        assert_eq!(counters.duplicated(), 1);
+    }
+
+    #[test]
+    fn delays_release_on_later_sends_or_recv() {
+        let (a, b) = pair();
+        let counters = FaultCounters::new();
+        let plan = FaultPlan::none(11).with_delay_rate(1.0);
+        let a = FaultyTransport::new(a, plan, counters.clone());
+        for i in 0..30u32 {
+            a.send(1, 0, Bytes::copy_from_slice(&i.to_le_bytes()));
+        }
+        // Entering a receive on the faulty endpoint releases stragglers.
+        a.recv_any_timeout(99, Duration::from_millis(1));
+        let mut got: Vec<u32> = (0..30)
+            .map(|_| u32::from_le_bytes(b.recv(0, 0)[..4].try_into().expect("4 bytes")))
+            .collect();
+        got.sort_unstable();
+        assert_eq!(got, (0..30).collect::<Vec<_>>());
+        assert_eq!(counters.delayed(), 30);
+    }
+
+    #[test]
+    fn targeted_rule_beats_rates_and_counts_streams_separately() {
+        let (a, b) = pair();
+        let counters = FaultCounters::new();
+        let plan = FaultPlan::none(2).with_rule(FaultRule::nth(2, FaultAction::Drop).on_tag(7));
+        let a = FaultyTransport::new(a, plan, counters.clone());
+        for _ in 0..3 {
+            a.send(1, 7, Bytes::from_static(b"t7"));
+            a.send(1, 8, Bytes::from_static(b"t8"));
+        }
+        // Tag 8 is untouched; tag 7 lost only its 2nd message.
+        for _ in 0..3 {
+            assert_eq!(&b.recv(0, 8)[..], b"t8");
+        }
+        assert_eq!(&b.recv(0, 7)[..], b"t7");
+        assert_eq!(&b.recv(0, 7)[..], b"t7");
+        assert_eq!(counters.dropped(), 1);
+    }
+
+    #[test]
+    fn self_sends_are_never_faulted() {
+        let mut eps = MemoryTransport::cluster(1);
+        let counters = FaultCounters::new();
+        let a = FaultyTransport::new(
+            eps.pop().expect("one endpoint"),
+            FaultPlan::none(1).with_drop_rate(1.0),
+            counters.clone(),
+        );
+        a.send(0, 0, Bytes::from_static(b"loopback"));
+        assert_eq!(&a.recv(0, 0)[..], b"loopback");
+        assert_eq!(counters.total(), 0);
+    }
+
+    #[test]
+    fn decisions_are_deterministic_in_seed() {
+        let run = |seed: u64| -> (u64, u64, u64, u64) {
+            let (a, _b) = pair();
+            let counters = FaultCounters::new();
+            let a = FaultyTransport::new(a, FaultPlan::lossy(seed), counters.clone());
+            for i in 0..200u32 {
+                a.send(1, i % 3, Bytes::from_static(b"payload"));
+            }
+            (
+                counters.dropped(),
+                counters.duplicated(),
+                counters.corrupted(),
+                counters.delayed(),
+            )
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(1), run(2), "different seeds should differ");
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to at most 1")]
+    fn over_unit_rates_are_rejected() {
+        let (a, _b) = pair();
+        FaultyTransport::new(
+            a,
+            FaultPlan::none(0).with_drop_rate(0.7).with_delay_rate(0.5),
+            FaultCounters::new(),
+        );
+    }
+}

@@ -101,7 +101,7 @@ impl<T: Transport> Transport for JitterTransport<T> {
             let (d, t, p) = held.remove(pos);
             self.inner.send(d, t, p);
         }
-        let delay = self.next_rand() % 2 == 0 && held.len() < self.max_held;
+        let delay = self.next_rand().is_multiple_of(2) && held.len() < self.max_held;
         if delay {
             held.push((dst, tag, payload));
             return;
@@ -110,7 +110,7 @@ impl<T: Transport> Transport for JitterTransport<T> {
         // Not delaying this one: randomly release one straggler too.
         self.inner.send(dst, tag, payload);
         let mut held = self.held.lock();
-        if !held.is_empty() && self.next_rand() % 2 == 0 {
+        if !held.is_empty() && self.next_rand().is_multiple_of(2) {
             let pick = (self.next_rand() % held.len() as u64) as usize;
             let (d, t, p) = held.swap_remove(pick);
             drop(held);
@@ -126,6 +126,11 @@ impl<T: Transport> Transport for JitterTransport<T> {
     fn recv_any(&self, tag: u32) -> Envelope {
         self.flush();
         self.inner.recv_any(tag)
+    }
+
+    fn recv_any_timeout(&self, tag: u32, timeout: std::time::Duration) -> Option<Envelope> {
+        self.flush();
+        self.inner.recv_any_timeout(tag, timeout)
     }
 
     fn stats(&self) -> &NetStats {

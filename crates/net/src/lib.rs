@@ -29,13 +29,19 @@
 mod cluster;
 mod comm;
 mod cost;
+mod error;
+mod fault;
 mod jitter;
+mod reliable;
 mod stats;
 mod transport;
 
-pub use cluster::{run_cluster, run_cluster_with_stats};
-pub use comm::{Communicator, COLLECTIVE_TAG_BASE, MAX_USER_TAG};
+pub use cluster::{run_cluster, run_cluster_with_stats, run_cluster_wrapped};
+pub use comm::{assert_user_tag, Communicator, COLLECTIVE_TAG_BASE, MAX_USER_TAG};
 pub use cost::CostModel;
+pub use error::NetError;
+pub use fault::{FaultAction, FaultCounters, FaultPlan, FaultRule, FaultyTransport};
 pub use jitter::JitterTransport;
+pub use reliable::{ReliableTransport, RetryPolicy, RELIABLE_TAG};
 pub use stats::{NetStats, SendRecord, StatsDelta, StatsSnapshot};
 pub use transport::{Envelope, MemoryTransport, Transport};

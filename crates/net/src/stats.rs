@@ -23,6 +23,17 @@ struct StatsInner {
     world_size: usize,
     bytes: Vec<AtomicU64>,
     messages: Vec<AtomicU64>,
+    /// Wire bytes sent again by the reliability layer (frame bytes,
+    /// headers included). These are *also* in the matrices above — every
+    /// retransmission crosses the wire — but are broken out so reports can
+    /// show how much traffic was recovery rather than payload.
+    retransmit_bytes: AtomicU64,
+    /// Frames retransmitted by the reliability layer.
+    retransmit_messages: AtomicU64,
+    /// Duplicate frames the reliability layer received and discarded.
+    dup_suppressed: AtomicU64,
+    /// Frames that failed their checksum on receive.
+    corruption_detected: AtomicU64,
     /// Per-host-pair log is optional; the matrix above is always on.
     history: Mutex<Vec<SendRecord>>,
     record_history: bool,
@@ -63,6 +74,14 @@ pub struct StatsSnapshot {
     pub messages: Vec<u64>,
     /// Hosts per side of the matrices.
     pub world_size: usize,
+    /// Wire bytes retransmitted by the reliability layer at snapshot time.
+    pub retransmit_bytes: u64,
+    /// Frames retransmitted by the reliability layer at snapshot time.
+    pub retransmit_messages: u64,
+    /// Duplicate frames suppressed on receive at snapshot time.
+    pub dup_suppressed: u64,
+    /// Checksum failures detected on receive at snapshot time.
+    pub corruption_detected: u64,
 }
 
 /// Difference between two snapshots.
@@ -76,6 +95,14 @@ pub struct StatsDelta {
     pub max_host_bytes: u64,
     /// Largest per-host outgoing message count.
     pub max_host_messages: u64,
+    /// Wire bytes retransmitted by the reliability layer in the interval.
+    pub retransmit_bytes: u64,
+    /// Frames retransmitted by the reliability layer in the interval.
+    pub retransmit_messages: u64,
+    /// Duplicate frames suppressed on receive in the interval.
+    pub dup_suppressed: u64,
+    /// Checksum failures detected on receive in the interval.
+    pub corruption_detected: u64,
 }
 
 impl NetStats {
@@ -93,6 +120,10 @@ impl NetStats {
                 world_size,
                 bytes: (0..n).map(|_| AtomicU64::new(0)).collect(),
                 messages: (0..n).map(|_| AtomicU64::new(0)).collect(),
+                retransmit_bytes: AtomicU64::new(0),
+                retransmit_messages: AtomicU64::new(0),
+                dup_suppressed: AtomicU64::new(0),
+                corruption_detected: AtomicU64::new(0),
                 history: Mutex::new(Vec::new()),
                 record_history,
             }),
@@ -125,6 +156,50 @@ impl NetStats {
         }
     }
 
+    /// Records one frame of `bytes` wire bytes retransmitted by the
+    /// reliability layer. (The frame is also counted by the regular
+    /// [`NetStats::record_send`] path when it crosses the wire again.)
+    pub fn record_retransmit(&self, bytes: u64) {
+        self.inner
+            .retransmit_bytes
+            .fetch_add(bytes, Ordering::Relaxed);
+        self.inner
+            .retransmit_messages
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one duplicate frame suppressed on receive.
+    pub fn record_dup_suppressed(&self) {
+        self.inner.dup_suppressed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one checksum failure detected on receive.
+    pub fn record_corruption_detected(&self) {
+        self.inner
+            .corruption_detected
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Wire bytes retransmitted by the reliability layer so far.
+    pub fn retransmit_bytes(&self) -> u64 {
+        self.inner.retransmit_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Frames retransmitted by the reliability layer so far.
+    pub fn retransmit_messages(&self) -> u64 {
+        self.inner.retransmit_messages.load(Ordering::Relaxed)
+    }
+
+    /// Duplicate frames suppressed on receive so far.
+    pub fn dup_suppressed(&self) -> u64 {
+        self.inner.dup_suppressed.load(Ordering::Relaxed)
+    }
+
+    /// Checksum failures detected on receive so far.
+    pub fn corruption_detected(&self) -> u64 {
+        self.inner.corruption_detected.load(Ordering::Relaxed)
+    }
+
     /// Copies the counters.
     pub fn snapshot(&self) -> StatsSnapshot {
         StatsSnapshot {
@@ -141,6 +216,10 @@ impl NetStats {
                 .map(|a| a.load(Ordering::Relaxed))
                 .collect(),
             world_size: self.inner.world_size,
+            retransmit_bytes: self.retransmit_bytes(),
+            retransmit_messages: self.retransmit_messages(),
+            dup_suppressed: self.dup_suppressed(),
+            corruption_detected: self.corruption_detected(),
         }
     }
 
@@ -230,6 +309,22 @@ impl StatsSnapshot {
             total_messages,
             max_host_bytes,
             max_host_messages,
+            retransmit_bytes: self
+                .retransmit_bytes
+                .checked_sub(earlier.retransmit_bytes)
+                .expect("snapshot taken before `earlier`"),
+            retransmit_messages: self
+                .retransmit_messages
+                .checked_sub(earlier.retransmit_messages)
+                .expect("snapshot taken before `earlier`"),
+            dup_suppressed: self
+                .dup_suppressed
+                .checked_sub(earlier.dup_suppressed)
+                .expect("snapshot taken before `earlier`"),
+            corruption_detected: self
+                .corruption_detected
+                .checked_sub(earlier.corruption_detected)
+                .expect("snapshot taken before `earlier`"),
         }
     }
 }
@@ -284,6 +379,23 @@ mod tests {
         let quiet = NetStats::new(2);
         quiet.record_send(0, 1, 9, 4);
         assert!(quiet.history().is_empty());
+    }
+
+    #[test]
+    fn reliability_counters_flow_into_deltas() {
+        let s = NetStats::new(2);
+        let before = s.snapshot();
+        s.record_retransmit(40);
+        s.record_retransmit(2);
+        s.record_dup_suppressed();
+        s.record_corruption_detected();
+        assert_eq!(s.retransmit_bytes(), 42);
+        assert_eq!(s.retransmit_messages(), 2);
+        let d = s.snapshot().since(&before);
+        assert_eq!(d.retransmit_bytes, 42);
+        assert_eq!(d.retransmit_messages, 2);
+        assert_eq!(d.dup_suppressed, 1);
+        assert_eq!(d.corruption_detected, 1);
     }
 
     #[test]

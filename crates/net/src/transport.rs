@@ -11,11 +11,13 @@
 //! same tag are delivered in FIFO order, and messages with different tags
 //! may be consumed out of order (they are buffered until asked for).
 
+use crate::error::NetError;
 use crate::stats::NetStats;
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
 use std::collections::{HashMap, VecDeque};
+use std::time::{Duration, Instant};
 
 /// A received message: sending rank plus payload.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -51,6 +53,33 @@ pub trait Transport: Send + Sync {
     /// Blocks until a message with tag `tag` arrives from *any* host.
     fn recv_any(&self, tag: u32) -> Envelope;
 
+    /// Waits up to `timeout` for a message with tag `tag` from any host.
+    ///
+    /// Returns `None` if nothing arrived in time. A zero timeout polls:
+    /// already-buffered messages are still returned. This is the primitive
+    /// that lets a reliability layer interleave retransmission timers with
+    /// receiving, so every implementation must provide it.
+    fn recv_any_timeout(&self, tag: u32, timeout: Duration) -> Option<Envelope>;
+
+    /// Fallible [`Transport::send`].
+    ///
+    /// The base transports cannot fail; the reliability layer overrides
+    /// this to report a peer that exhausted its retransmission budget.
+    fn try_send(&self, dst: usize, tag: u32, payload: Bytes) -> Result<(), NetError> {
+        self.send(dst, tag, payload);
+        Ok(())
+    }
+
+    /// Fallible [`Transport::recv`].
+    fn try_recv(&self, src: usize, tag: u32) -> Result<Bytes, NetError> {
+        Ok(self.recv(src, tag))
+    }
+
+    /// Fallible [`Transport::recv_any`].
+    fn try_recv_any(&self, tag: u32) -> Result<Envelope, NetError> {
+        Ok(self.recv_any(tag))
+    }
+
     /// Communication counters for the whole cluster.
     fn stats(&self) -> &NetStats;
 }
@@ -69,8 +98,8 @@ type Packet = (usize, u32, Bytes);
 /// use bytes::Bytes;
 ///
 /// let mut eps = MemoryTransport::cluster(2);
-/// let b = eps.pop().unwrap();
-/// let a = eps.pop().unwrap();
+/// let b = eps.pop().expect("endpoint for host 1");
+/// let a = eps.pop().expect("endpoint for host 0");
 /// a.send(1, 7, Bytes::from_static(b"hi"));
 /// assert_eq!(&b.recv(0, 7)[..], b"hi");
 /// ```
@@ -141,13 +170,17 @@ impl MemoryTransport {
     /// Panics if all peer endpoints were dropped while a receive is pending
     /// (a deadlocked or crashed cluster).
     fn pump(&self) {
-        let (src, tag, payload) = self
+        let packet = self
             .receiver
             .recv()
-            .expect("cluster peers disconnected while receiving");
-        // A packet serves either a (src, tag) recv or a tag-only recv_any;
-        // file it under both indexes and let whichever recv runs first take
-        // it, removing it from the twin index.
+            .expect("cluster peers disconnected while a receive was pending");
+        self.file(packet);
+    }
+
+    /// Files one wire packet into the twin stash indexes. A packet serves
+    /// either a `(src, tag)` recv or a tag-only recv_any; whichever recv
+    /// runs first takes it, removing it from the twin index.
+    fn file(&self, (src, tag, payload): Packet) {
         self.stash
             .lock()
             .entry((src, tag))
@@ -228,9 +261,11 @@ impl Transport for MemoryTransport {
         assert!(dst < self.world_size, "destination rank out of range");
         self.stats
             .record_send(self.rank, dst, tag, payload.len() as u64);
-        self.senders[dst]
-            .send((self.rank, tag, payload))
-            .expect("receiver endpoint dropped");
+        // A send to a departed endpoint vanishes silently, like a packet to
+        // a crashed host on a real network. This matters during teardown: a
+        // reliability layer may still be retransmitting to a peer whose
+        // thread already finished and dropped its endpoint.
+        let _ = self.senders[dst].send((self.rank, tag, payload));
     }
 
     fn recv(&self, src: usize, tag: u32) -> Bytes {
@@ -249,6 +284,32 @@ impl Transport for MemoryTransport {
                 return Envelope { src, tag, payload };
             }
             self.pump();
+        }
+    }
+
+    fn recv_any_timeout(&self, tag: u32, timeout: Duration) -> Option<Envelope> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            // Drain everything already on the wire first, so that a
+            // zero-timeout call still observes packets that have arrived —
+            // the reliability layer polls this way to collect ACKs without
+            // waiting.
+            while let Ok(packet) = self.receiver.try_recv() {
+                self.file(packet);
+            }
+            if let Some((src, payload)) = self.take_any(tag) {
+                return Some(Envelope { src, tag, payload });
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            match self.receiver.recv_timeout(deadline - now) {
+                Ok(packet) => self.file(packet),
+                // Timed out, or every peer endpoint is gone: either way
+                // nothing more can arrive within the deadline.
+                Err(_) => return None,
+            }
         }
     }
 

@@ -156,18 +156,11 @@ mod tests {
         let weights: Vec<u32> = (0..1000).map(|v| (v * 7919) % 50).collect();
         let m = BlockMap::balanced(&weights, 8);
         let totals: Vec<u64> = (0..8)
-            .map(|b| {
-                m.range(b)
-                    .map(|v| u64::from(weights[v as usize]) + 1)
-                    .sum()
-            })
+            .map(|b| m.range(b).map(|v| u64::from(weights[v as usize]) + 1).sum())
             .collect();
         let max = *totals.iter().max().expect("non-empty");
         let min = *totals.iter().min().expect("non-empty");
-        assert!(
-            max < 2 * min.max(1),
-            "imbalanced blocks: {totals:?}"
-        );
+        assert!(max < 2 * min.max(1), "imbalanced blocks: {totals:?}");
     }
 
     #[test]

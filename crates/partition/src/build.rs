@@ -111,7 +111,11 @@ fn edge_slice(
 }
 
 fn decode_edges(payload: &Bytes, out: &mut Vec<(u32, u32, u32)>) {
-    assert_eq!(payload.len() % 12, 0, "edge payload must be 12-byte triples");
+    assert_eq!(
+        payload.len() % 12,
+        0,
+        "edge payload must be 12-byte triples"
+    );
     for chunk in payload.chunks_exact(12) {
         let src = u32::from_le_bytes(chunk[0..4].try_into().expect("4 bytes"));
         let dst = u32::from_le_bytes(chunk[4..8].try_into().expect("4 bytes"));

@@ -146,11 +146,9 @@ mod tests {
                 for hosts in [1, 2, 4, 5] {
                     let parts = partition_all(&g, hosts, policy);
                     for p in &parts {
-                        check_local_graph(p)
-                            .unwrap_or_else(|e| panic!("{policy} x{hosts}: {e}"));
+                        check_local_graph(p).unwrap_or_else(|e| panic!("{policy} x{hosts}: {e}"));
                     }
-                    check_partitions(&parts)
-                        .unwrap_or_else(|e| panic!("{policy} x{hosts}: {e}"));
+                    check_partitions(&parts).unwrap_or_else(|e| panic!("{policy} x{hosts}: {e}"));
                 }
             }
         }

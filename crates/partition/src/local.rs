@@ -1,7 +1,7 @@
 //! One host's partition of the distributed graph.
 
-use gluon_graph::{Csr, Gid, HostId, Lid};
 use crate::policy::Policy;
+use gluon_graph::{Csr, Gid, HostId, Lid};
 use std::collections::HashMap;
 
 /// A local edge: destination proxy and weight.
@@ -73,9 +73,7 @@ impl LocalGraph {
             "masters must be sorted by gid"
         );
         assert!(
-            gids[num_masters as usize..]
-                .windows(2)
-                .all(|w| w[0] < w[1]),
+            gids[num_masters as usize..].windows(2).all(|w| w[0] < w[1]),
             "mirrors must be sorted by gid"
         );
         assert!(

@@ -270,8 +270,7 @@ fn fennel_assignment(graph: &Csr, num_hosts: usize) -> Vec<u32> {
             if loads[h] >= cap {
                 continue;
             }
-            let score =
-                scores[h] - alpha * gamma / 2.0 * (loads[h] as f64).powf(gamma - 1.0);
+            let score = scores[h] - alpha * gamma / 2.0 * (loads[h] as f64).powf(gamma - 1.0);
             if score > best_score {
                 best_score = score;
                 best = h;
@@ -360,10 +359,8 @@ mod tests {
     fn hvc_splits_hub_in_edges_by_source() {
         let g = gen::star(64).transpose(); // node 0 has in-degree 63: a hub
         let ctx = PolicyCtx::new(Policy::Hvc, &g, 4);
-        let hosts: std::collections::HashSet<_> = g
-            .edges()
-            .map(|(s, e)| ctx.host_of_edge(s, e.dst))
-            .collect();
+        let hosts: std::collections::HashSet<_> =
+            g.edges().map(|(s, e)| ctx.host_of_edge(s, e.dst)).collect();
         assert!(hosts.len() > 1, "hub in-edges should be split across hosts");
     }
 

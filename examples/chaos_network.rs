@@ -1,0 +1,98 @@
+//! Running the benchmark suite over a hostile network.
+//!
+//! Demonstrates the transport-wrapper stack: pagerank on 4 simulated hosts
+//! where every wire frame risks being dropped, duplicated, corrupted, or
+//! delayed — and the reliability layer makes the result bit-identical to a
+//! fault-free run anyway. Then the failure mode: a total blackout, which
+//! surfaces as a clean `PeerUnreachable` error instead of a hang.
+//!
+//! Run with: `cargo run --release --example chaos_network`
+
+use gluon_suite::algos::{driver, Algorithm, DistConfig};
+use gluon_suite::graph::gen;
+use gluon_suite::net::{
+    run_cluster_wrapped, Communicator, FaultAction, FaultCounters, FaultPlan, FaultRule,
+    FaultyTransport, NetStats, ReliableTransport, RetryPolicy,
+};
+use std::time::{Duration, Instant};
+
+fn main() {
+    let graph = gen::rmat(10, 8, Default::default(), 7);
+    let cfg = DistConfig::new(4);
+
+    // Fault-free baseline.
+    let clean = driver::run(&graph, Algorithm::Pagerank, &cfg);
+
+    // The same computation over a 10%-drop / 5%-dup / 5%-corrupt / 10%-delay
+    // wire, repaired underneath the substrate by go-back-N reliability.
+    let counters = FaultCounters::new();
+    let chaotic = driver::run_wrapped(&graph, Algorithm::Pagerank, &cfg, |ep| {
+        ReliableTransport::over(FaultyTransport::new(
+            ep,
+            FaultPlan::lossy(42),
+            counters.clone(),
+        ))
+    });
+
+    let identical = clean
+        .ranks
+        .iter()
+        .zip(&chaotic.ranks)
+        .all(|(a, b)| a.to_bits() == b.to_bits());
+    println!(
+        "pagerank over a lossy wire ({} nodes, 4 hosts):",
+        graph.num_nodes()
+    );
+    println!(
+        "  faults injected : {:>6} ({} dropped, {} duplicated, {} corrupted, {} delayed)",
+        counters.total(),
+        counters.dropped(),
+        counters.duplicated(),
+        counters.corrupted(),
+        counters.delayed()
+    );
+    println!(
+        "  retransmitted   : {:>6} frames / {} bytes",
+        chaotic.net.retransmit_messages, chaotic.net.retransmit_bytes
+    );
+    println!("  dup suppressed  : {:>6}", chaotic.net.dup_suppressed);
+    println!("  crc rejections  : {:>6}", chaotic.net.corruption_detected);
+    println!("  bit-identical   : {identical}");
+    assert!(identical, "reliability layer failed to hide the chaos");
+
+    // Total blackout: every frame vanishes. The run must fail fast with a
+    // PeerUnreachable error, not hang the cluster.
+    let started = Instant::now();
+    let fail_fast = RetryPolicy {
+        initial_rto: Duration::from_micros(500),
+        max_retries: 6,
+        recv_budget: Duration::from_millis(500),
+        ..RetryPolicy::default()
+    };
+    let (results, _) = run_cluster_wrapped(
+        2,
+        NetStats::new(2),
+        move |ep| {
+            let wire = FaultyTransport::new(
+                ep,
+                FaultPlan::none(1).with_rule(FaultRule::always(FaultAction::Drop)),
+                FaultCounters::new(),
+            );
+            wire.disarm(); // healthy during setup...
+            ReliableTransport::with_policy(wire, fail_fast)
+        },
+        |net| {
+            let comm = Communicator::new(net);
+            comm.try_barrier().expect("wire is healthy during setup");
+            net.inner().arm(); // ...then the network dies
+            comm.try_all_reduce_u64(1, u64::wrapping_add)
+        },
+    );
+    println!("\ntotal blackout on a 2-host cluster:");
+    for (rank, res) in results.iter().enumerate() {
+        match res {
+            Ok(v) => println!("  host {rank}: unexpectedly succeeded with {v}"),
+            Err(e) => println!("  host {rank}: error after {:?}: {e}", started.elapsed()),
+        }
+    }
+}

@@ -32,13 +32,7 @@ fn main() {
     for (h, e) in engines.iter().enumerate() {
         println!("  host {h}: {e}");
     }
-    let out = driver::run_heterogeneous_bfs(
-        &graph,
-        Policy::Cvc,
-        OptLevel::OSTI,
-        &engines,
-        source,
-    );
+    let out = driver::run_heterogeneous_bfs(&graph, Policy::Cvc, OptLevel::OSTI, &engines, source);
     let oracle = reference::bfs(&graph, source);
     assert_eq!(out.int_labels, oracle, "heterogeneous result must match");
     println!(

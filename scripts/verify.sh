@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Full verification gate for the workspace. Everything a PR must pass:
+#
+#   1. release build of every crate;
+#   2. the whole test suite (unit + integration + doc tests), including
+#      the default-on `chaos` lossy-network matrix;
+#   3. rustfmt, as a check only;
+#   4. clippy across the workspace with warnings denied.
+#
+# Usage: scripts/verify.sh [--fast]
+#   --fast  skip the release build and run tests without the chaos
+#           feature (quick pre-push sanity loop).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+FAST=0
+if [[ "${1:-}" == "--fast" ]]; then
+    FAST=1
+fi
+
+if [[ "$FAST" == "0" ]]; then
+    echo "==> cargo build --release"
+    cargo build --release
+    echo "==> cargo test -q (chaos matrix included)"
+    cargo test -q
+else
+    echo "==> cargo test -q --no-default-features (chaos matrix skipped)"
+    cargo test -q --workspace --no-default-features
+fi
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "verify: all gates passed"

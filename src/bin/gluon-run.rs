@@ -56,10 +56,12 @@ fn parse_args() -> Options {
     };
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
-        let mut value = |name: &str| args.next().unwrap_or_else(|| {
-            eprintln!("missing value for {name}");
-            usage()
-        });
+        let mut value = |name: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                usage()
+            })
+        };
         match flag.as_str() {
             "--algo" => opts.algo = value("--algo"),
             "--engine" => {
@@ -188,7 +190,11 @@ fn main() -> ExitCode {
         "input: |V|={} |E|={}{}",
         graph.num_nodes(),
         graph.num_edges(),
-        if graph.is_weighted() { " (weighted)" } else { "" }
+        if graph.is_weighted() {
+            " (weighted)"
+        } else {
+            ""
+        }
     );
     let out = match algo {
         Some(a) => driver::run(&graph, a, &cfg),

@@ -26,11 +26,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+/// The Gluon communication substrate (re-export of the `gluon` crate).
+pub use gluon as substrate;
 pub use gluon_algos as algos;
 pub use gluon_engines as engines;
 pub use gluon_gemini as gemini;
 pub use gluon_graph as graph;
 pub use gluon_net as net;
 pub use gluon_partition as partition;
-/// The Gluon communication substrate (re-export of the `gluon` crate).
-pub use gluon as substrate;

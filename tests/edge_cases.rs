@@ -199,8 +199,7 @@ fn full_bfs_survives_message_jitter() {
                     s.spawn(move || {
                         let comm = Communicator::new(ep);
                         let lg = partition_on_host(g, Policy::Cvc, &comm);
-                        let mut ctx =
-                            GluonContext::new(&lg, &comm, OptLevel::OSTI);
+                        let mut ctx = GluonContext::new(&lg, &comm, OptLevel::OSTI);
                         let (dist, _) = apps::bfs(&lg, &mut ctx, source, EngineKind::Galois);
                         lg.masters()
                             .map(|m| (lg.gid(m).0, dist[m.index()]))

@@ -24,13 +24,7 @@ fn every_engine_mix_matches_the_oracle() {
     ];
     for engines in mixes {
         for policy in [Policy::Oec, Policy::Cvc, Policy::Hvc] {
-            let out = driver::run_heterogeneous_bfs(
-                &g,
-                policy,
-                OptLevel::OSTI,
-                engines,
-                source,
-            );
+            let out = driver::run_heterogeneous_bfs(&g, policy, OptLevel::OSTI, engines, source);
             assert_eq!(out.int_labels, oracle, "{engines:?} {policy}");
         }
     }

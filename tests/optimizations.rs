@@ -148,14 +148,21 @@ fn replication_shapes_match_section_5_2() {
     // replication on skewed graphs at larger host counts.
     let g = gen::twitter_like(6_000, 16, 36);
     let hosts = 16;
-    let cvc = gluon_suite::partition::PartitionStats::of(
-        &gluon_suite::partition::partition_all(&g, hosts, Policy::Cvc),
-    )
+    let cvc = gluon_suite::partition::PartitionStats::of(&gluon_suite::partition::partition_all(
+        &g,
+        hosts,
+        Policy::Cvc,
+    ))
     .replication_factor;
-    let oec = gluon_suite::partition::PartitionStats::of(
-        &gluon_suite::partition::partition_all(&g, hosts, Policy::Oec),
-    )
+    let oec = gluon_suite::partition::PartitionStats::of(&gluon_suite::partition::partition_all(
+        &g,
+        hosts,
+        Policy::Oec,
+    ))
     .replication_factor;
     assert!(cvc < oec, "CVC {cvc:.2} vs OEC {oec:.2}");
-    assert!(cvc < hosts as f64 / 2.0, "CVC replication too high: {cvc:.2}");
+    assert!(
+        cvc < hosts as f64 / 2.0,
+        "CVC replication too high: {cvc:.2}"
+    );
 }

@@ -1,0 +1,151 @@
+//! Minimal offline stand-in for the `criterion` crate.
+//!
+//! Implements the harness subset the workspace's benches use:
+//! [`Criterion`], benchmark groups, [`BenchmarkId`], `Bencher::iter`, and
+//! the `criterion_group!`/`criterion_main!` macros. Instead of the real
+//! crate's statistical sampling it runs each benchmark body a fixed small
+//! number of iterations and prints the mean wall time — enough to execute
+//! every bench end-to-end and report an order-of-magnitude figure.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::Instant;
+
+/// Iterations per benchmark body (kept small: this harness measures
+/// roughly, it does not sample statistically).
+const ITERATIONS: u32 = 20;
+
+/// Benchmark driver handed to `criterion_group!` targets.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Runs a single named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher { mean_nanos: 0.0 };
+        f(&mut b);
+        report(name, b.mean_nanos);
+        self
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one parameterized benchmark within the group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher { mean_nanos: 0.0 };
+        f(&mut b, input);
+        report(&format!("{}/{}", self.name, id.label), b.mean_nanos);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark within a group.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id combining a function name and a parameter.
+    pub fn new(name: impl Into<String>, param: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            label: format!("{}/{}", name.into(), param),
+        }
+    }
+
+    /// An id that is just the parameter.
+    pub fn from_parameter(param: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            label: param.to_string(),
+        }
+    }
+}
+
+/// Timer handed to each benchmark body.
+pub struct Bencher {
+    mean_nanos: f64,
+}
+
+impl Bencher {
+    /// Times `f` over a fixed number of iterations.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..ITERATIONS {
+            std::hint::black_box(f());
+        }
+        self.mean_nanos = start.elapsed().as_nanos() as f64 / f64::from(ITERATIONS);
+    }
+}
+
+fn report(label: &str, mean_nanos: f64) {
+    if mean_nanos >= 1_000_000.0 {
+        println!("bench {label:<50} {:>10.3} ms", mean_nanos / 1_000_000.0);
+    } else if mean_nanos >= 1_000.0 {
+        println!("bench {label:<50} {:>10.3} us", mean_nanos / 1_000.0);
+    } else {
+        println!("bench {label:<50} {mean_nanos:>10.1} ns");
+    }
+}
+
+/// Bundles benchmark functions into a group runner, mirroring the real
+/// crate's macro shape.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emits `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_and_function_benches_run() {
+        let mut c = Criterion::default();
+        c.bench_function("smoke/add", |b| b.iter(|| 1 + 1));
+        let mut g = c.benchmark_group("smoke-group");
+        g.bench_with_input(BenchmarkId::new("mul", 3), &3u32, |b, &x| b.iter(|| x * x));
+        g.bench_with_input(BenchmarkId::from_parameter(4), &4u32, |b, &x| {
+            b.iter(|| x + x)
+        });
+        g.finish();
+    }
+}

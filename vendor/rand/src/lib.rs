@@ -1,0 +1,189 @@
+//! Minimal offline stand-in for the `rand` crate.
+//!
+//! Provides the subset the workspace uses: `rngs::StdRng`, seeded via
+//! [`SeedableRng::seed_from_u64`], with [`Rng::gen`] for `f64` in `[0, 1)`
+//! and [`Rng::gen_range`] over integer ranges.
+//!
+//! `StdRng` here is splitmix64 rather than the real crate's ChaCha12 —
+//! every consumer in this workspace only needs a deterministic,
+//! well-mixed sequence, not cryptographic quality, and all tests are
+//! self-consistent against this generator.
+
+#![forbid(unsafe_code)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Seeding interface (subset).
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed, deterministically.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Integer types that [`Rng::gen_range`] can produce.
+pub trait UniformInt: Copy {
+    /// Widens to `u64` for uniform arithmetic.
+    fn to_u64(self) -> u64;
+    /// Narrows from `u64`; the value is guaranteed in range by the caller.
+    fn from_u64(v: u64) -> Self;
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl UniformInt for $t {
+            fn to_u64(self) -> u64 {
+                self as u64
+            }
+            fn from_u64(v: u64) -> $t {
+                v as $t
+            }
+        }
+    )*};
+}
+
+impl_uniform_int!(u8, u16, u32, u64, usize);
+
+/// Range shapes accepted by [`Rng::gen_range`].
+pub trait SampleRange {
+    /// The produced value type.
+    type Sample;
+    /// Draws one uniform value from the range.
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> Self::Sample;
+}
+
+impl<T: UniformInt> SampleRange for Range<T> {
+    type Sample = T;
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = (self.start.to_u64(), self.end.to_u64());
+        assert!(lo < hi, "cannot sample from an empty range");
+        T::from_u64(lo + rng.next_u64() % (hi - lo))
+    }
+}
+
+impl<T: UniformInt> SampleRange for RangeInclusive<T> {
+    type Sample = T;
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = (self.start().to_u64(), self.end().to_u64());
+        assert!(lo <= hi, "cannot sample from an empty range");
+        let span = (hi - lo).wrapping_add(1);
+        if span == 0 {
+            // Full u64 range: every draw is already uniform.
+            return T::from_u64(rng.next_u64());
+        }
+        T::from_u64(lo + rng.next_u64() % span)
+    }
+}
+
+/// Values producible by [`Rng::gen`].
+pub trait Standard {
+    /// Draws one value from the unit/full distribution.
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+        // 53 uniform mantissa bits -> [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for u32 {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> u32 {
+        rng.next_u64() as u32
+    }
+}
+
+impl Standard for u64 {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Random value generation interface (subset).
+pub trait Rng {
+    /// Produces the next raw 64 bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Draws a value of type `T` (e.g. `f64` uniform in `[0, 1)`).
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// Draws a uniform value from `range`.
+    fn gen_range<S: SampleRange>(&mut self, range: S) -> S::Sample
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// Deterministic 64-bit generator (splitmix64).
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> StdRng {
+            StdRng { state: seed }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_in_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..16 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn unit_floats_stay_in_range() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let f: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..1000 {
+            let v = rng.gen_range(3u32..10);
+            assert!((3..10).contains(&v));
+            let w = rng.gen_range(5usize..=5);
+            assert_eq!(w, 5);
+        }
+    }
+}

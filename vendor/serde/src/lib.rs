@@ -1,0 +1,20 @@
+//! Minimal offline stand-in for the `serde` crate.
+//!
+//! The workspace tags value types with `#[derive(Serialize, Deserialize)]`
+//! for downstream tooling, but all actual wire encoding is hand-rolled in
+//! `substrate::encode`. This stub keeps those derives compiling: the
+//! traits are empty markers with blanket impls, and the derive macros
+//! (re-exported from the `serde_derive` stub) expand to nothing.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+impl<T: ?Sized> Serialize for T {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}

@@ -1,0 +1,21 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on plain-old-data types
+//! but never actually serializes through serde (the wire format is
+//! hand-rolled in `substrate::encode`). These derives therefore expand to
+//! nothing: the `serde` stub's traits are blanket-implemented, so the
+//! attribute only needs to be accepted, not acted on.
+
+use proc_macro::TokenStream;
+
+/// No-op derive for `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op derive for `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
