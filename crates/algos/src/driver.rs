@@ -21,6 +21,7 @@ use gluon_net::{
     Transport,
 };
 use gluon_partition::{partition_on_host, LocalGraph, PartitionStats, Policy};
+use gluon_trace::Tracer;
 use std::time::Instant;
 
 /// One benchmark configuration.
@@ -85,11 +86,7 @@ impl DistOutcome {
     /// physical cores, so wall-clock compute cannot show scaling) plus the
     /// communication charged by the network cost model.
     pub fn projected_secs(&self, model: &CostModel) -> f64 {
-        self.run.projected_secs(
-            model,
-            gluon::DEFAULT_EDGES_PER_SEC,
-            self.partition.num_hosts,
-        )
+        self.run.projected_secs(model, gluon::DEFAULT_EDGES_PER_SEC)
     }
 }
 
@@ -135,6 +132,38 @@ pub fn run_with_wrapped<W: Transport>(
     pr: PagerankConfig,
     wrap: impl Fn(MemoryTransport) -> W + Send + Sync,
 ) -> DistOutcome {
+    run_with_wrapped_traced(graph, algo, cfg, source, pr, wrap, &Tracer::disabled())
+}
+
+/// As [`run`], recording micro-stage spans and sync metrics into `tracer`
+/// (size it with `Tracer::new(cfg.hosts)`). After the run, export with
+/// `tracer.chrome_trace_json()` or `tracer.summary(..)`.
+pub fn run_traced(graph: &Csr, algo: Algorithm, cfg: &DistConfig, tracer: &Tracer) -> DistOutcome {
+    let source = max_out_degree_node(graph);
+    run_with_wrapped_traced(
+        graph,
+        algo,
+        cfg,
+        source,
+        PagerankConfig::default(),
+        |ep| ep,
+        tracer,
+    )
+}
+
+/// The fully general driver: explicit source and pagerank settings, a
+/// wrapped transport stack, and span tracing. All other `run*` entry
+/// points funnel here.
+#[allow(clippy::too_many_arguments)]
+pub fn run_with_wrapped_traced<W: Transport>(
+    graph: &Csr,
+    algo: Algorithm,
+    cfg: &DistConfig,
+    source: Gid,
+    pr: PagerankConfig,
+    wrap: impl Fn(MemoryTransport) -> W + Send + Sync,
+    tracer: &Tracer,
+) -> DistOutcome {
     let symmetric;
     let input: &Csr = if algo == Algorithm::Cc {
         symmetric = symmetrize(graph);
@@ -149,6 +178,7 @@ pub fn run_with_wrapped<W: Transport>(
             input,
             cfg.policy,
             cfg.opts,
+            tracer,
             &|_| needs_transpose,
             &|lg, ctx| dispatch(lg, ctx, algo, cfg.engine, source, pr),
         )
@@ -171,12 +201,31 @@ pub fn run_kcore_wrapped<W: Transport>(
     k: u32,
     wrap: impl Fn(MemoryTransport) -> W + Send + Sync,
 ) -> DistOutcome {
+    run_kcore_traced(graph, cfg, k, wrap, &Tracer::disabled())
+}
+
+/// As [`run_kcore_wrapped`], recording spans into `tracer`.
+pub fn run_kcore_traced<W: Transport>(
+    graph: &Csr,
+    cfg: &DistConfig,
+    k: u32,
+    wrap: impl Fn(MemoryTransport) -> W + Send + Sync,
+    tracer: &Tracer,
+) -> DistOutcome {
     let input = symmetrize(graph);
     let (per_host, stats) = run_cluster_wrapped(cfg.hosts, NetStats::new(cfg.hosts), wrap, |net| {
-        host_program(net, &input, cfg.policy, cfg.opts, &|_| false, &|lg, ctx| {
-            let (alive, rounds) = apps::kcore(lg, ctx, k, cfg.engine);
-            (alive, Vec::new(), rounds)
-        })
+        host_program(
+            net,
+            &input,
+            cfg.policy,
+            cfg.opts,
+            tracer,
+            &|_| false,
+            &|lg, ctx| {
+                let (alive, rounds) = apps::kcore(lg, ctx, k, cfg.engine);
+                (alive, Vec::new(), rounds)
+            },
+        )
     });
     assemble(input.num_nodes() as usize, 0, per_host, stats)
 }
@@ -195,11 +244,30 @@ pub fn run_betweenness_wrapped<W: Transport>(
     source: Gid,
     wrap: impl Fn(MemoryTransport) -> W + Send + Sync,
 ) -> DistOutcome {
+    run_betweenness_traced(graph, cfg, source, wrap, &Tracer::disabled())
+}
+
+/// As [`run_betweenness_wrapped`], recording spans into `tracer`.
+pub fn run_betweenness_traced<W: Transport>(
+    graph: &Csr,
+    cfg: &DistConfig,
+    source: Gid,
+    wrap: impl Fn(MemoryTransport) -> W + Send + Sync,
+    tracer: &Tracer,
+) -> DistOutcome {
     let (per_host, stats) = run_cluster_wrapped(cfg.hosts, NetStats::new(cfg.hosts), wrap, |net| {
-        host_program(net, graph, cfg.policy, cfg.opts, &|_| false, &|lg, ctx| {
-            let (delta, levels) = apps::betweenness_source(lg, ctx, source);
-            (Vec::new(), delta, levels)
-        })
+        host_program(
+            net,
+            graph,
+            cfg.policy,
+            cfg.opts,
+            tracer,
+            &|_| false,
+            &|lg, ctx| {
+                let (delta, levels) = apps::betweenness_source(lg, ctx, source);
+                (Vec::new(), delta, levels)
+            },
+        )
     });
     assemble(graph.num_nodes() as usize, u32::MAX, per_host, stats)
 }
@@ -233,6 +301,7 @@ pub fn run_heterogeneous_bfs(
                 graph,
                 policy,
                 opts,
+                &Tracer::disabled(),
                 &|rank| engines[rank] == EngineKind::Ligra,
                 &|lg, ctx| {
                     let (dist, rounds) = apps::bfs(lg, ctx, source, engines[ctx.rank()]);
@@ -265,10 +334,11 @@ fn host_program<T: Transport>(
     input: &Csr,
     policy: Policy,
     opts: OptLevel,
+    tracer: &Tracer,
     transpose: &(dyn Fn(usize) -> bool + Sync),
     compute: &(dyn Fn(&LocalGraph, &mut GluonContext<'_, T>) -> HostLabels + Sync),
 ) -> HostResult {
-    let comm = Communicator::new(net);
+    let comm = Communicator::with_tracer(net, tracer.clone());
     let part_start = Instant::now();
     let mut lg = partition_on_host(input, policy, &comm);
     if transpose(comm.rank()) {

@@ -12,13 +12,15 @@
 
 use gluon::encode::{encode_memoized, WireMode};
 use gluon::{FlagFilter, MemoTable, OptLevel};
-use gluon_algos::{driver, Algorithm, DistConfig, EngineKind};
-use gluon_bench::{inputs, report, scale_from_args, Table};
+use gluon_algos::{driver, Algorithm, DistConfig, EngineKind, PagerankConfig};
+use gluon_bench::{inputs, report, scale_from_args, trace_path_from_args, Table};
+use gluon_graph::max_out_degree_node;
 use gluon_net::{
     run_cluster, Communicator, CostModel, FaultCounters, FaultPlan, FaultyTransport,
     ReliableTransport,
 };
 use gluon_partition::{partition_on_host, Policy};
+use gluon_trace::{ChromeTraceBuilder, Tracer};
 
 fn wire_mode_crossover() {
     let list_len = 10_000usize;
@@ -142,7 +144,7 @@ fn structural_subsets() {
     );
 }
 
-fn chaos_overhead() {
+fn chaos_overhead(chrome: &mut Option<ChromeTraceBuilder>) {
     let scale = scale_from_args();
     let bg = inputs::rmat_large(scale);
     let cfg = DistConfig {
@@ -167,9 +169,27 @@ fn chaos_overhead() {
             .with_drop_rate(drop)
             .with_corrupt_rate(drop / 2.0)
             .with_duplicate_rate(drop / 2.0);
-        let out = driver::run_wrapped(&bg.graph, Algorithm::Pagerank, &cfg, |ep| {
-            ReliableTransport::over(FaultyTransport::new(ep, plan.clone(), counters.clone()))
-        });
+        // When tracing, each drop rate becomes its own process track and
+        // the reliability layer tags every retransmission in it.
+        let tracer = match chrome {
+            Some(_) => Tracer::new(cfg.hosts),
+            None => Tracer::disabled(),
+        };
+        let out = driver::run_with_wrapped_traced(
+            &bg.graph,
+            Algorithm::Pagerank,
+            &cfg,
+            max_out_degree_node(&bg.graph),
+            PagerankConfig::default(),
+            |ep| {
+                ReliableTransport::over(FaultyTransport::new(ep, plan.clone(), counters.clone()))
+                    .with_tracer(tracer.clone())
+            },
+            &tracer,
+        );
+        if let Some(chrome) = chrome {
+            chrome.add(&format!("chaos drop={:.0}%", drop * 100.0), &tracer);
+        }
         // The reliability layer must hide every fault: same ranks, same
         // iteration count, only the wire traffic differs.
         let identical = out.rounds == clean.rounds
@@ -204,8 +224,16 @@ fn chaos_overhead() {
 }
 
 fn main() {
+    let trace_path = trace_path_from_args();
+    let mut chrome = trace_path.as_ref().map(|_| ChromeTraceBuilder::new());
     wire_mode_crossover();
     cvc_grid_shapes();
     structural_subsets();
-    chaos_overhead();
+    chaos_overhead(&mut chrome);
+    if let (Some(path), Some(chrome)) = (&trace_path, chrome) {
+        std::fs::write(path, chrome.finish())
+            .unwrap_or_else(|e| panic!("cannot write trace to {path}: {e}"));
+        println!();
+        println!("Chrome trace written to {path} (load via chrome://tracing or Perfetto).");
+    }
 }

@@ -5,11 +5,12 @@
 //! (stand-ins for rmat28, kron30, clueweb12) and all four benchmarks.
 
 use gluon_algos::{driver, Algorithm, DistConfig, EngineKind};
-use gluon_bench::{inputs, report, scale_from_args, Scale, Table};
+use gluon_bench::{inputs, report, scale_from_args, trace_path_from_args, Scale, Table};
 use gluon_gemini::GeminiAlgo;
 use gluon_graph::{max_out_degree_node, Csr};
 use gluon_net::CostModel;
 use gluon_partition::Policy;
+use gluon_trace::{ChromeTraceBuilder, Tracer};
 
 struct Point {
     projected_secs: f64,
@@ -19,14 +20,20 @@ struct Point {
     rounds: u32,
 }
 
-fn gluon_point(graph: &Csr, algo: Algorithm, engine: EngineKind, hosts: usize) -> Point {
+fn gluon_point(
+    graph: &Csr,
+    algo: Algorithm,
+    engine: EngineKind,
+    hosts: usize,
+    tracer: &Tracer,
+) -> Point {
     let cfg = DistConfig {
         hosts,
         policy: Policy::Cvc,
         opts: Default::default(),
         engine,
     };
-    let out = driver::run(graph, algo, &cfg);
+    let out = driver::run_traced(graph, algo, &cfg, tracer);
     Point {
         projected_secs: out.projected_secs(&CostModel::REPRO),
         wall_secs: out.algo_secs,
@@ -51,11 +58,9 @@ fn gemini_point(graph: &Csr, algo: Algorithm, hosts: usize) -> Point {
     };
     let out = gluon_gemini::run(&input, hosts, ga);
     Point {
-        projected_secs: out.run.projected_secs(
-            &CostModel::REPRO,
-            gluon::DEFAULT_EDGES_PER_SEC,
-            hosts,
-        ),
+        projected_secs: out
+            .run
+            .projected_secs(&CostModel::REPRO, gluon::DEFAULT_EDGES_PER_SEC),
         wall_secs: out.algo_secs,
         comm_bytes: out.run.total_bytes,
         retx_bytes: 0, // gemini runs on the bare in-memory transport
@@ -65,6 +70,8 @@ fn gemini_point(graph: &Csr, algo: Algorithm, hosts: usize) -> Point {
 
 fn main() {
     let scale = scale_from_args();
+    let trace_path = trace_path_from_args();
+    let mut chrome = trace_path.as_ref().map(|_| ChromeTraceBuilder::new());
     let host_counts: &[usize] = if scale == Scale::Quick {
         &[1, 2, 4]
     } else {
@@ -92,17 +99,26 @@ fn main() {
                 &bg.graph
             };
             for &hosts in host_counts {
-                for (system, point) in [
-                    (
-                        "d-ligra",
-                        gluon_point(graph, algo, EngineKind::Ligra, hosts),
-                    ),
-                    (
-                        "d-galois",
-                        gluon_point(graph, algo, EngineKind::Galois, hosts),
-                    ),
-                    ("gemini", gemini_point(graph, algo, hosts)),
+                for (system, engine) in [
+                    ("d-ligra", Some(EngineKind::Ligra)),
+                    ("d-galois", Some(EngineKind::Galois)),
+                    ("gemini", None),
                 ] {
+                    // Gemini runs on its own stack, which is untraced.
+                    let tracer = match (&chrome, engine) {
+                        (Some(_), Some(_)) => Tracer::new(hosts),
+                        _ => Tracer::disabled(),
+                    };
+                    let point = match engine {
+                        Some(engine) => gluon_point(graph, algo, engine, hosts, &tracer),
+                        None => gemini_point(graph, algo, hosts),
+                    };
+                    if let (Some(chrome), true) = (&mut chrome, tracer.is_enabled()) {
+                        chrome.add(
+                            &format!("{}/{}/{}/{}h", bg.name, algo.name(), system, hosts),
+                            &tracer,
+                        );
+                    }
                     table.row(vec![
                         bg.name.to_owned(),
                         algo.name().to_owned(),
@@ -119,6 +135,12 @@ fn main() {
         }
     }
     table.print("Figure 8(a)+(b): strong scaling — time series and communication volume");
+    if let (Some(path), Some(chrome)) = (&trace_path, chrome) {
+        std::fs::write(path, chrome.finish())
+            .unwrap_or_else(|e| panic!("cannot write trace to {path}: {e}"));
+        println!();
+        println!("Chrome trace written to {path} (load via chrome://tracing or Perfetto).");
+    }
     println!();
     println!(
         "Paper shape to check: D-Galois beats Gemini nearly everywhere and \

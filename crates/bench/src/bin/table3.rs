@@ -52,9 +52,7 @@ fn best_gemini(graph: &Csr, algo: Algorithm, hosts: &[usize]) -> (f64, usize) {
                 graph.clone()
             };
             let out = gluon_gemini::run(&input, h, ga);
-            let projected = out
-                .run
-                .projected_secs(&model, gluon::DEFAULT_EDGES_PER_SEC, h);
+            let projected = out.run.projected_secs(&model, gluon::DEFAULT_EDGES_PER_SEC);
             (projected, h)
         })
         .min_by(|a, b| a.0.partial_cmp(&b.0).expect("finite times"))

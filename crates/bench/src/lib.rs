@@ -25,3 +25,20 @@ pub fn scale_from_args() -> Scale {
         Scale::Full
     }
 }
+
+/// Parses the `--trace <out.json>` argument: the output path for a Chrome
+/// trace-event recording of the harness's instrumented runs, or `None`
+/// when tracing was not requested.
+///
+/// # Panics
+///
+/// Panics if `--trace` is the last argument (it requires a path).
+pub fn trace_path_from_args() -> Option<String> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--trace" {
+            return Some(args.next().expect("--trace requires an output path"));
+        }
+    }
+    None
+}

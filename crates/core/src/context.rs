@@ -13,6 +13,7 @@ use crate::stats::{PhaseStats, SyncStats};
 use gluon_graph::{Gid, HostId, Lid};
 use gluon_net::{Communicator, NetError, Transport};
 use gluon_partition::LocalGraph;
+use gluon_trace::{Stage, Tracer, SETUP_PHASE};
 use std::time::Instant;
 
 /// Where the operator *writes* the synchronized field, relative to edge
@@ -106,9 +107,94 @@ pub struct GluonContext<'a, T: Transport + ?Sized> {
     /// `[filter][remote] -> agreed master-side list`, precomputed.
     master_lists: [Vec<Vec<Lid>>; 3],
     stats: SyncStats,
+    tracer: Tracer,
     seq: u32,
     mark: Instant,
     pending_work: u64,
+}
+
+/// Splits one sync call into contiguous timed segments, each emitted as a
+/// child span. Exactly one segment is open at any moment between `begin`
+/// and `finish`, so the segment durations partition the whole interval —
+/// which is what lets the runtime *define* a traced phase's `comm_secs` as
+/// their sum and keep the "children sum to the parent" invariant exact
+/// (up to float accumulation).
+///
+/// Disabled tracers make every method a no-op behind one `Option` check.
+struct Segmenter {
+    inner: Option<SegState>,
+}
+
+struct SegState {
+    tracer: Tracer,
+    host: usize,
+    phase: u32,
+    start_ns: u64,
+    last_wall: Instant,
+    last_ns: u64,
+    cur: (Stage, Option<usize>),
+}
+
+impl Segmenter {
+    /// Starts segmenting with an initial open stage (so even a phase that
+    /// never switches stages gets one covering child span).
+    fn begin(tracer: &Tracer, host: usize, phase: u32, first: Stage) -> Segmenter {
+        Segmenter {
+            inner: tracer.is_enabled().then(|| {
+                let start_ns = tracer.now_ns();
+                SegState {
+                    tracer: tracer.clone(),
+                    host,
+                    phase,
+                    start_ns,
+                    last_wall: Instant::now(),
+                    last_ns: start_ns,
+                    cur: (first, None),
+                }
+            }),
+        }
+    }
+
+    fn enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Closes the open segment and opens the next one.
+    #[inline]
+    fn stage(&mut self, stage: Stage, peer: Option<usize>) {
+        let Some(st) = &mut self.inner else { return };
+        st.cut();
+        st.cur = (stage, peer);
+    }
+
+    /// Closes the final segment and emits the parent span; returns the
+    /// total nanoseconds covered (None when tracing is disabled).
+    fn finish(self) -> Option<u64> {
+        let mut st = self.inner?;
+        st.cut();
+        let total = st.last_ns - st.start_ns;
+        st.tracer
+            .record_span(st.host, st.phase, Stage::Sync, None, st.start_ns, total);
+        Some(total)
+    }
+}
+
+impl SegState {
+    fn cut(&mut self) {
+        let now = Instant::now();
+        let now_ns = self.last_ns + now.duration_since(self.last_wall).as_nanos() as u64;
+        let (stage, peer) = self.cur;
+        self.tracer.record_span(
+            self.host,
+            self.phase,
+            stage,
+            peer,
+            self.last_ns,
+            now_ns - self.last_ns,
+        );
+        self.last_wall = now;
+        self.last_ns = now_ns;
+    }
 }
 
 impl<'a, T: Transport + ?Sized> GluonContext<'a, T> {
@@ -117,6 +203,8 @@ impl<'a, T: Transport + ?Sized> GluonContext<'a, T> {
     ///
     /// All hosts must call this collectively.
     pub fn new(graph: &'a LocalGraph, comm: &'a Communicator<'a, T>, opts: OptLevel) -> Self {
+        let tracer = comm.tracer().clone();
+        let memo_start_ns = tracer.now_ns();
         let start = Instant::now();
         let bytes_before = comm.transport().stats().snapshot();
         let memo = MemoTable::exchange(graph, comm);
@@ -141,6 +229,14 @@ impl<'a, T: Transport + ?Sized> GluonContext<'a, T> {
         // Everyone finishes setup before any compute begins, like the real
         // system's graph-construction barrier.
         comm.barrier();
+        tracer.record_span(
+            rank,
+            SETUP_PHASE,
+            Stage::Memo,
+            None,
+            memo_start_ns,
+            (memo_secs * 1e9) as u64,
+        );
         GluonContext {
             graph,
             comm,
@@ -153,6 +249,7 @@ impl<'a, T: Transport + ?Sized> GluonContext<'a, T> {
                 memo_bytes,
                 ..Default::default()
             },
+            tracer,
             seq: 0,
             mark: Instant::now(),
             pending_work: 0,
@@ -187,6 +284,13 @@ impl<'a, T: Transport + ?Sized> GluonContext<'a, T> {
     /// Statistics accumulated so far.
     pub fn stats(&self) -> &SyncStats {
         &self.stats
+    }
+
+    /// The tracer this context records spans into (adopted from the
+    /// communicator; disabled unless the communicator was built with
+    /// [`Communicator::with_tracer`]).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
     }
 
     /// Consumes the context, returning its statistics.
@@ -338,21 +442,63 @@ impl<'a, T: Transport + ?Sized> GluonContext<'a, T> {
         const { assert!(SYNC_TAG_WINDOW > 2, "tag window") };
         let structural = self.opts.structural;
 
+        let phase_idx = self.stats.phases.len() as u32;
+        let mut seg = Segmenter::begin(&self.tracer, self.rank(), phase_idx, Stage::Extract);
+
         if let Some(w) = write {
             let fr = filter_index(w.filter(structural));
-            self.send_pattern(seq, 0, PatternRole::MirrorToMaster, fr, field, updated)?;
-            self.recv_pattern(seq, 0, PatternRole::MirrorToMaster, fr, field, updated)?;
+            self.send_pattern(
+                seq,
+                0,
+                PatternRole::MirrorToMaster,
+                fr,
+                field,
+                updated,
+                &mut seg,
+            )?;
+            self.recv_pattern(
+                seq,
+                0,
+                PatternRole::MirrorToMaster,
+                fr,
+                field,
+                updated,
+                &mut seg,
+            )?;
         }
         if let Some(r) = read {
             let fb = filter_index(r.filter(structural));
-            self.send_pattern(seq, 1, PatternRole::MasterToMirror, fb, field, updated)?;
-            self.recv_pattern(seq, 1, PatternRole::MasterToMirror, fb, field, updated)?;
+            self.send_pattern(
+                seq,
+                1,
+                PatternRole::MasterToMirror,
+                fb,
+                field,
+                updated,
+                &mut seg,
+            )?;
+            self.recv_pattern(
+                seq,
+                1,
+                PatternRole::MasterToMirror,
+                fb,
+                field,
+                updated,
+                &mut seg,
+            )?;
         }
 
+        // When traced, the phase's comm time is *defined* as the span of
+        // the segment clock, so child spans sum to it exactly; untraced
+        // phases keep the plain wall-clock measurement.
+        let traced_ns = seg.finish();
         let after = self.host_sent_snapshot();
         self.stats.phases.push(PhaseStats {
             compute_secs,
-            comm_secs: start.elapsed().as_secs_f64(),
+            comm_secs: match traced_ns {
+                Some(ns) => ns as f64 / 1e9,
+                None => start.elapsed().as_secs_f64(),
+            },
             bytes_sent: after.0 - before.0,
             messages_sent: after.1 - before.1,
             work_units: std::mem::take(&mut self.pending_work),
@@ -377,10 +523,16 @@ impl<'a, T: Transport + ?Sized> GluonContext<'a, T> {
     pub fn try_any_globally(&mut self, local_active: bool) -> Result<bool, NetError> {
         let compute_secs = self.mark.elapsed().as_secs_f64();
         let start = Instant::now();
+        let phase_idx = self.stats.phases.len() as u32;
+        let seg = Segmenter::begin(&self.tracer, self.rank(), phase_idx, Stage::Collective);
         let any = self.comm.try_any(local_active)?;
+        let traced_ns = seg.finish();
         self.stats.phases.push(PhaseStats {
             compute_secs,
-            comm_secs: start.elapsed().as_secs_f64(),
+            comm_secs: match traced_ns {
+                Some(ns) => ns as f64 / 1e9,
+                None => start.elapsed().as_secs_f64(),
+            },
             bytes_sent: 0,
             messages_sent: 0,
             work_units: std::mem::take(&mut self.pending_work),
@@ -405,10 +557,16 @@ impl<'a, T: Transport + ?Sized> GluonContext<'a, T> {
     pub fn try_sum_globally(&mut self, local: f64) -> Result<f64, NetError> {
         let compute_secs = self.mark.elapsed().as_secs_f64();
         let start = Instant::now();
+        let phase_idx = self.stats.phases.len() as u32;
+        let seg = Segmenter::begin(&self.tracer, self.rank(), phase_idx, Stage::Collective);
         let sum = self.comm.try_all_reduce_f64(local, |a, b| a + b)?;
+        let traced_ns = seg.finish();
         self.stats.phases.push(PhaseStats {
             compute_secs,
-            comm_secs: start.elapsed().as_secs_f64(),
+            comm_secs: match traced_ns {
+                Some(ns) => ns as f64 / 1e9,
+                None => start.elapsed().as_secs_f64(),
+            },
             bytes_sent: 0,
             messages_sent: 0,
             work_units: std::mem::take(&mut self.pending_work),
@@ -426,6 +584,7 @@ impl<'a, T: Transport + ?Sized> GluonContext<'a, T> {
         (bytes, msgs)
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn send_pattern<F: FieldSync>(
         &mut self,
         seq: u32,
@@ -434,9 +593,11 @@ impl<'a, T: Transport + ?Sized> GluonContext<'a, T> {
         filter_idx: usize,
         field: &mut F,
         updated: &mut DenseBitset,
+        seg: &mut Segmenter,
     ) -> Result<(), NetError> {
         let rank = self.rank();
         let temporal = self.opts.temporal;
+        let field_name = std::any::type_name::<F>();
         for h in 0..self.world_size() {
             if h == rank {
                 continue;
@@ -448,6 +609,7 @@ impl<'a, T: Transport + ?Sized> GluonContext<'a, T> {
             if list.is_empty() {
                 continue;
             }
+            seg.stage(Stage::Extract, Some(h));
             let mut updated_pos: Vec<u32> = Vec::new();
             for (i, &lid) in list.iter().enumerate() {
                 if updated.test(lid) {
@@ -455,8 +617,12 @@ impl<'a, T: Transport + ?Sized> GluonContext<'a, T> {
                 }
             }
             let payload = if temporal {
+                seg.stage(Stage::Encode, Some(h));
                 encode_memoized(list.len(), &updated_pos, |p| field.extract(list[p]))
             } else {
+                // Without temporal invariance every update must be
+                // re-translated to global IDs — the cost §4.1 memoizes away.
+                seg.stage(Stage::MemoTranslate, Some(h));
                 let pairs: Vec<(Gid, F::Value)> = updated_pos
                     .iter()
                     .map(|&p| {
@@ -464,12 +630,16 @@ impl<'a, T: Transport + ?Sized> GluonContext<'a, T> {
                         (self.graph.gid(lid), field.extract(lid))
                     })
                     .collect();
+                seg.stage(Stage::Encode, Some(h));
                 encode_gid_values(&pairs)
             };
+            self.tracer.record_wire_mode(field_name, payload[0]);
+            self.tracer.record_message_size(payload.len());
             if role == PatternRole::MirrorToMaster {
                 // The shipped values now live at the master; reset the
                 // local copies to the reduction identity and deactivate.
                 // Dense mode ships *every* list entry, so reset them all.
+                seg.stage(Stage::Reset, Some(h));
                 if temporal && WireMode::of(&payload) == WireMode::Dense {
                     for &lid in list {
                         field.reset(lid);
@@ -482,6 +652,7 @@ impl<'a, T: Transport + ?Sized> GluonContext<'a, T> {
                     }
                 }
             }
+            seg.stage(Stage::Send, Some(h));
             self.comm
                 .transport()
                 .try_send(h, sync_tag(seq, pat), payload)?;
@@ -489,6 +660,7 @@ impl<'a, T: Transport + ?Sized> GluonContext<'a, T> {
         Ok(())
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn recv_pattern<F: FieldSync>(
         &mut self,
         seq: u32,
@@ -497,6 +669,7 @@ impl<'a, T: Transport + ?Sized> GluonContext<'a, T> {
         filter_idx: usize,
         field: &mut F,
         updated: &mut DenseBitset,
+        seg: &mut Segmenter,
     ) -> Result<(), NetError> {
         let rank = self.rank();
         let temporal = self.opts.temporal;
@@ -514,7 +687,73 @@ impl<'a, T: Transport + ?Sized> GluonContext<'a, T> {
             if list.is_empty() {
                 continue;
             }
+            seg.stage(Stage::RecvWait, Some(h));
             let payload = self.comm.transport().try_recv(h, sync_tag(seq, pat))?;
+            if seg.enabled() {
+                // Traced path: decode into a scratch list first so the
+                // decode and apply stages get separate spans; the untraced
+                // path below fuses them to keep the hot loop allocation-free.
+                seg.stage(Stage::Decode, Some(h));
+                match role {
+                    PatternRole::MirrorToMaster => {
+                        if temporal {
+                            let mut entries: Vec<(usize, F::Value)> = Vec::new();
+                            decode_memoized::<F::Value>(&payload, list.len(), &mut |pos, v| {
+                                entries.push((pos, v));
+                            });
+                            seg.stage(Stage::Apply, Some(h));
+                            for (pos, v) in entries {
+                                let lid = list[pos];
+                                if field.reduce(lid, v) {
+                                    updated.set(lid);
+                                }
+                            }
+                        } else {
+                            let mut entries: Vec<(Gid, F::Value)> = Vec::new();
+                            decode_gid_values::<F::Value>(&payload, &mut |gid, v| {
+                                entries.push((gid, v));
+                            });
+                            seg.stage(Stage::Apply, Some(h));
+                            for (gid, v) in entries {
+                                let lid =
+                                    self.graph.lid(gid).expect("reduced node is mastered here");
+                                if field.reduce(lid, v) {
+                                    updated.set(lid);
+                                }
+                            }
+                        }
+                    }
+                    PatternRole::MasterToMirror => {
+                        if temporal {
+                            let mut entries: Vec<(usize, F::Value)> = Vec::new();
+                            decode_memoized::<F::Value>(&payload, list.len(), &mut |pos, v| {
+                                entries.push((pos, v));
+                            });
+                            seg.stage(Stage::Apply, Some(h));
+                            for (pos, v) in entries {
+                                let lid = list[pos];
+                                field.set(lid, v);
+                                updated.set(lid);
+                            }
+                        } else {
+                            let mut entries: Vec<(Gid, F::Value)> = Vec::new();
+                            decode_gid_values::<F::Value>(&payload, &mut |gid, v| {
+                                entries.push((gid, v));
+                            });
+                            seg.stage(Stage::Apply, Some(h));
+                            for (gid, v) in entries {
+                                let lid = self
+                                    .graph
+                                    .lid(gid)
+                                    .expect("broadcast node has a proxy here");
+                                field.set(lid, v);
+                                updated.set(lid);
+                            }
+                        }
+                    }
+                }
+                continue;
+            }
             match role {
                 PatternRole::MirrorToMaster => {
                     // I am the master side: combine partial values.

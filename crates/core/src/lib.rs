@@ -88,3 +88,6 @@ pub use memo::{FlagFilter, MemoTable, ProxyEntry};
 pub use opts::{OptLevel, ParseOptLevelError};
 pub use stats::{PhaseStats, RunStats, SyncStats, DEFAULT_EDGES_PER_SEC};
 pub use value::SyncValue;
+
+/// Structured tracing for the sync stack (re-exported `gluon-trace`).
+pub use gluon_trace as trace;

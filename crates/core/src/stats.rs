@@ -90,6 +90,11 @@ pub struct RunStats {
     pub total_bytes: u64,
     /// Total sync messages sent by all hosts.
     pub total_messages: u64,
+    /// Largest per-host total of sent bytes — the communication bottleneck
+    /// host's load, which bounds BSP progress when traffic is skewed.
+    pub max_host_bytes: u64,
+    /// Largest per-host total of sent messages.
+    pub max_host_messages: u64,
     /// Number of aligned sync phases.
     pub phases: usize,
     /// Sum over phases of the per-phase *maximum* work across hosts — the
@@ -136,6 +141,12 @@ impl RunStats {
                 .fold(0.0f64, f64::max),
             total_bytes: hosts.iter().map(SyncStats::bytes_sent).sum(),
             total_messages: hosts.iter().map(SyncStats::messages_sent).sum(),
+            max_host_bytes: hosts.iter().map(SyncStats::bytes_sent).max().unwrap_or(0),
+            max_host_messages: hosts
+                .iter()
+                .map(SyncStats::messages_sent)
+                .max()
+                .unwrap_or(0),
             phases,
             max_work_units: max_work,
             total_work_units: hosts.iter().map(SyncStats::work_units).sum(),
@@ -145,16 +156,17 @@ impl RunStats {
     /// Projects the end-to-end time of this run on a real cluster: the BSP
     /// compute critical path (work units at `edges_per_sec` per host) plus
     /// the communication charged by the network cost model.
-    pub fn projected_secs(
-        &self,
-        model: &gluon_net::CostModel,
-        edges_per_sec: f64,
-        hosts: usize,
-    ) -> f64 {
+    ///
+    /// Communication is charged at the *bottleneck* host — the one that
+    /// sent the most bytes/messages — because BSP rounds cannot complete
+    /// until the busiest host drains its send queue. Dividing cluster
+    /// totals evenly would average a hot host's traffic away and
+    /// underestimate skewed runs.
+    pub fn projected_secs(&self, model: &gluon_net::CostModel, edges_per_sec: f64) -> f64 {
         let compute = self.max_work_units as f64 / edges_per_sec;
-        let per_host_bytes = self.total_bytes as f64 / hosts.max(1) as f64;
-        let per_host_msgs = self.total_messages as f64 / hosts.max(1) as f64;
-        compute + per_host_msgs * model.alpha_secs + per_host_bytes * model.beta_secs_per_byte
+        compute
+            + self.max_host_messages as f64 * model.alpha_secs
+            + self.max_host_bytes as f64 * model.beta_secs_per_byte
     }
 
     /// The paper's load-imbalance estimate: max compute / mean compute.
@@ -210,5 +222,37 @@ mod tests {
     #[should_panic(expected = "disagree on phase count")]
     fn mismatched_phases_panic() {
         let _ = RunStats::aggregate(&[host(&[(1.0, 0.0, 0)]), host(&[])]);
+    }
+
+    #[test]
+    fn projection_charges_the_bottleneck_host() {
+        // Skewed traffic: host a sends 1 MB, three silent peers send
+        // nothing. The projection must charge the full 1 MB — the BSP
+        // round cannot finish before the hot host drains its queue — not
+        // the 256 KB an even split across 4 hosts would pretend.
+        let hot = 1_000_000u64;
+        let a = host(&[(0.0, 0.0, hot)]);
+        let quiet = host(&[(0.0, 0.0, 0)]);
+        let run = RunStats::aggregate(&[a, quiet.clone(), quiet.clone(), quiet]);
+        assert_eq!(run.total_bytes, hot);
+        assert_eq!(run.max_host_bytes, hot);
+        assert_eq!(run.max_host_messages, 1);
+
+        let model = gluon_net::CostModel {
+            alpha_secs: 0.0,
+            beta_secs_per_byte: 1e-9,
+        };
+        let projected = run.projected_secs(&model, f64::INFINITY);
+        // Bottleneck charge: 1 MB * 1 ns/byte = 1 ms, not 0.25 ms.
+        assert!((projected - hot as f64 * 1e-9).abs() < 1e-15);
+
+        // Uniform traffic is unchanged by the fix: max == total / hosts.
+        let even = RunStats::aggregate(&[
+            host(&[(0.0, 0.0, 100)]),
+            host(&[(0.0, 0.0, 100)]),
+            host(&[(0.0, 0.0, 100)]),
+            host(&[(0.0, 0.0, 100)]),
+        ]);
+        assert_eq!(even.max_host_bytes * 4, even.total_bytes);
     }
 }

@@ -15,7 +15,9 @@
 use crate::error::NetError;
 use crate::transport::Transport;
 use bytes::{BufMut, Bytes, BytesMut};
+use gluon_trace::Tracer;
 use std::sync::atomic::{AtomicU32, Ordering};
+use std::time::Instant;
 
 /// First tag reserved for collective-internal traffic.
 pub const COLLECTIVE_TAG_BASE: u32 = 1 << 24;
@@ -60,15 +62,29 @@ pub fn assert_user_tag(tag: u32) {
 pub struct Communicator<'t, T: Transport + ?Sized> {
     transport: &'t T,
     epoch: AtomicU32,
+    tracer: Tracer,
 }
 
 impl<'t, T: Transport + ?Sized> Communicator<'t, T> {
     /// Wraps a transport endpoint.
     pub fn new(transport: &'t T) -> Self {
+        Communicator::with_tracer(transport, Tracer::disabled())
+    }
+
+    /// Wraps a transport endpoint with a [`Tracer`]: barriers report their
+    /// wait time to it, and runtimes built on this communicator (e.g.
+    /// `GluonContext`) adopt it for span recording.
+    pub fn with_tracer(transport: &'t T, tracer: Tracer) -> Self {
         Communicator {
             transport,
             epoch: AtomicU32::new(0),
+            tracer,
         }
+    }
+
+    /// The tracer threaded through this communicator (disabled by default).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
     }
 
     /// This host's rank.
@@ -115,6 +131,7 @@ impl<'t, T: Transport + ?Sized> Communicator<'t, T> {
         }
         let rank = self.rank();
         let epoch = self.next_epoch();
+        let entered = self.tracer.is_enabled().then(Instant::now);
         let mut step = 0u32;
         let mut distance = 1usize;
         while distance < n {
@@ -125,6 +142,10 @@ impl<'t, T: Transport + ?Sized> Communicator<'t, T> {
             let _ = self.transport.try_recv(from, Self::tag(epoch, step))?;
             distance *= 2;
             step += 1;
+        }
+        if let Some(entered) = entered {
+            self.tracer
+                .add_barrier_wait(entered.elapsed().as_nanos() as u64);
         }
         Ok(())
     }

@@ -43,5 +43,5 @@ pub use error::NetError;
 pub use fault::{FaultAction, FaultCounters, FaultPlan, FaultRule, FaultyTransport};
 pub use jitter::JitterTransport;
 pub use reliable::{ReliableTransport, RetryPolicy, RELIABLE_TAG};
-pub use stats::{NetStats, SendRecord, StatsDelta, StatsSnapshot};
+pub use stats::{NetStats, SendRecord, StatsDelta, StatsSnapshot, DEFAULT_HISTORY_CAPACITY};
 pub use transport::{Envelope, MemoryTransport, Transport};

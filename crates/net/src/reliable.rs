@@ -38,6 +38,7 @@ use crate::error::NetError;
 use crate::stats::NetStats;
 use crate::transport::{Envelope, Transport};
 use bytes::Bytes;
+use gluon_trace::Tracer;
 use parking_lot::Mutex;
 use std::collections::{HashMap, VecDeque};
 use std::time::{Duration, Instant};
@@ -171,6 +172,7 @@ struct State {
 pub struct ReliableTransport<T: Transport> {
     inner: T,
     policy: RetryPolicy,
+    tracer: Tracer,
     state: Mutex<State>,
 }
 
@@ -196,6 +198,7 @@ impl<T: Transport> ReliableTransport<T> {
         ReliableTransport {
             inner,
             policy,
+            tracer: Tracer::disabled(),
             state: Mutex::new(State {
                 out: (0..world)
                     .map(|_| OutPeer {
@@ -218,6 +221,15 @@ impl<T: Transport> ReliableTransport<T> {
                 dead: vec![false; world],
             }),
         }
+    }
+
+    /// Attaches a [`Tracer`]: retransmissions, suppressed duplicates, and
+    /// CRC rejections are then tagged as distinct instant events in the
+    /// trace, distinguishing recovery traffic from first-transmission
+    /// traffic in chaos runs.
+    pub fn with_tracer(mut self, tracer: Tracer) -> ReliableTransport<T> {
+        self.tracer = tracer;
+        self
     }
 
     /// The wrapped transport.
@@ -304,6 +316,8 @@ impl<T: Transport> ReliableTransport<T> {
     fn retransmit(&self, o: &mut OutPeer, peer: usize) {
         for (_, frame) in &o.unacked {
             self.inner.stats().record_retransmit(frame.len() as u64);
+            self.tracer
+                .record_event(self.inner.rank(), "retransmit", peer, frame.len() as u64);
             self.inner.send(peer, RELIABLE_TAG, frame.clone());
         }
         o.last_tx = Instant::now();
@@ -348,6 +362,8 @@ impl<T: Transport> ReliableTransport<T> {
     /// go-back retransmission of whatever we are missing.
     fn on_corrupt(&self, st: &mut State, src: usize) {
         self.inner.stats().record_corruption_detected();
+        self.tracer
+            .record_event(self.inner.rank(), "corruption_detected", src, 0);
         self.nack_gap(st, src);
     }
 
@@ -364,6 +380,12 @@ impl<T: Transport> ReliableTransport<T> {
             self.send_ctrl(src, KIND_ACK, st.inc[src].expected);
         } else if seq < expected {
             self.inner.stats().record_dup_suppressed();
+            self.tracer.record_event(
+                self.inner.rank(),
+                "dup_suppressed",
+                src,
+                payload.len() as u64,
+            );
             // Re-ACK so the sender stops resending this prefix.
             self.send_ctrl(src, KIND_ACK, expected);
         } else {

@@ -7,8 +7,14 @@
 
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// Default capacity of the send-history ring buffer. Long chaos runs can
+/// log millions of sends; keeping only the most recent ~64K bounds memory
+/// while retaining enough tail for debugging.
+pub const DEFAULT_HISTORY_CAPACITY: usize = 1 << 16;
 
 /// Shared, thread-safe communication counters for one cluster run.
 ///
@@ -34,9 +40,13 @@ struct StatsInner {
     dup_suppressed: AtomicU64,
     /// Frames that failed their checksum on receive.
     corruption_detected: AtomicU64,
-    /// Per-host-pair log is optional; the matrix above is always on.
-    history: Mutex<Vec<SendRecord>>,
+    /// Per-host-pair log is optional; the matrix above is always on. The
+    /// log is a bounded ring: once `history_capacity` records are held,
+    /// each new record evicts the oldest and bumps `dropped_records`.
+    history: Mutex<VecDeque<SendRecord>>,
     record_history: bool,
+    history_capacity: usize,
+    dropped_records: AtomicU64,
 }
 
 /// One logged send (only when history recording is enabled).
@@ -112,8 +122,24 @@ impl NetStats {
     }
 
     /// Creates counters that additionally log every send (costly; tests
-    /// and debugging only).
+    /// and debugging only), keeping the most recent
+    /// [`DEFAULT_HISTORY_CAPACITY`] records.
     pub fn with_history(world_size: usize, record_history: bool) -> Self {
+        Self::with_history_capacity(world_size, record_history, DEFAULT_HISTORY_CAPACITY)
+    }
+
+    /// Like [`NetStats::with_history`] but with an explicit bound on how
+    /// many send records are retained. Once full, each new record evicts
+    /// the oldest; [`NetStats::dropped_records`] counts the evictions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `record_history` is set and `capacity` is zero.
+    pub fn with_history_capacity(world_size: usize, record_history: bool, capacity: usize) -> Self {
+        assert!(
+            !record_history || capacity > 0,
+            "history capacity must be positive when recording"
+        );
         let n = world_size * world_size;
         NetStats {
             inner: Arc::new(StatsInner {
@@ -124,8 +150,10 @@ impl NetStats {
                 retransmit_messages: AtomicU64::new(0),
                 dup_suppressed: AtomicU64::new(0),
                 corruption_detected: AtomicU64::new(0),
-                history: Mutex::new(Vec::new()),
+                history: Mutex::new(VecDeque::new()),
                 record_history,
+                history_capacity: capacity,
+                dropped_records: AtomicU64::new(0),
             }),
         }
     }
@@ -147,7 +175,12 @@ impl NetStats {
         self.inner.bytes[idx].fetch_add(bytes, Ordering::Relaxed);
         self.inner.messages[idx].fetch_add(1, Ordering::Relaxed);
         if self.inner.record_history {
-            self.inner.history.lock().push(SendRecord {
+            let mut history = self.inner.history.lock();
+            if history.len() == self.inner.history_capacity {
+                history.pop_front();
+                self.inner.dropped_records.fetch_add(1, Ordering::Relaxed);
+            }
+            history.push_back(SendRecord {
                 src,
                 dst,
                 tag,
@@ -223,10 +256,18 @@ impl NetStats {
         }
     }
 
-    /// Returns the logged send records (empty unless history recording was
-    /// enabled at construction).
+    /// Returns the logged send records, oldest retained first (empty
+    /// unless history recording was enabled at construction). When the run
+    /// outgrew the ring capacity, this is the most recent window only —
+    /// check [`NetStats::dropped_records`].
     pub fn history(&self) -> Vec<SendRecord> {
-        self.inner.history.lock().clone()
+        self.inner.history.lock().iter().copied().collect()
+    }
+
+    /// Number of send records evicted from the history ring because the
+    /// run produced more than the configured capacity.
+    pub fn dropped_records(&self) -> u64 {
+        self.inner.dropped_records.load(Ordering::Relaxed)
     }
 
     /// Total bytes sent so far across all host pairs.
@@ -382,6 +423,36 @@ mod tests {
     }
 
     #[test]
+    fn history_ring_wraps_and_counts_drops() {
+        let s = NetStats::with_history_capacity(2, true, 4);
+        for i in 0..10u64 {
+            s.record_send(0, 1, i as u32, i);
+        }
+        let h = s.history();
+        // Only the 4 most recent records survive, oldest retained first.
+        assert_eq!(h.len(), 4);
+        assert_eq!(h.iter().map(|r| r.bytes).collect::<Vec<_>>(), [6, 7, 8, 9]);
+        assert_eq!(s.dropped_records(), 6);
+        // The matrices are unaffected by eviction.
+        assert_eq!(s.total_messages(), 10);
+        assert_eq!(s.total_bytes(), (0..10).sum::<u64>());
+    }
+
+    #[test]
+    fn history_below_capacity_drops_nothing() {
+        let s = NetStats::with_history_capacity(2, true, 4);
+        s.record_send(0, 1, 0, 1);
+        assert_eq!(s.history().len(), 1);
+        assert_eq!(s.dropped_records(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_history_rejected() {
+        let _ = NetStats::with_history_capacity(2, true, 0);
+    }
+
+    #[test]
     fn reliability_counters_flow_into_deltas() {
         let s = NetStats::new(2);
         let before = s.snapshot();
@@ -396,6 +467,48 @@ mod tests {
         assert_eq!(d.retransmit_messages, 2);
         assert_eq!(d.dup_suppressed, 1);
         assert_eq!(d.corruption_detected, 1);
+    }
+
+    #[test]
+    fn reliability_deltas_from_nonzero_baseline() {
+        // Per-phase accounting must subtract a baseline snapshot taken
+        // mid-run, not assume the counters start at zero.
+        let s = NetStats::new(2);
+        s.record_retransmit(100);
+        s.record_retransmit(100);
+        s.record_dup_suppressed();
+        s.record_dup_suppressed();
+        s.record_dup_suppressed();
+        s.record_corruption_detected();
+        let mid = s.snapshot();
+        assert_eq!(mid.retransmit_bytes, 200);
+        assert_eq!(mid.retransmit_messages, 2);
+        assert_eq!(mid.dup_suppressed, 3);
+        assert_eq!(mid.corruption_detected, 1);
+
+        s.record_retransmit(7);
+        s.record_corruption_detected();
+        s.record_corruption_detected();
+        let d = s.snapshot().since(&mid);
+        assert_eq!(d.retransmit_bytes, 7);
+        assert_eq!(d.retransmit_messages, 1);
+        assert_eq!(d.dup_suppressed, 0);
+        assert_eq!(d.corruption_detected, 2);
+
+        // A quiet interval deltas to zero on every reliability counter.
+        let after = s.snapshot();
+        let quiet = s.snapshot().since(&after);
+        assert_eq!(quiet, StatsDelta::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "snapshot taken before")]
+    fn reversed_reliability_snapshots_panic() {
+        let s = NetStats::new(2);
+        s.record_retransmit(1);
+        let later = s.snapshot();
+        let s2 = NetStats::new(2);
+        let _ = s2.snapshot().since(&later);
     }
 
     #[test]

@@ -1,0 +1,126 @@
+//! Plain-text per-run summary exporter.
+
+use crate::{Stage, Tracer, NUM_SIZE_BUCKETS, NUM_WIRE_MODES};
+use std::fmt::Write as _;
+
+const MODE_NAMES: [&str; NUM_WIRE_MODES] = ["empty", "dense", "bitvec", "indices", "gid_values"];
+
+/// Renders the per-run summary: stage totals, wire-mode histogram,
+/// message-size histogram, and reliability/overflow counters.
+pub(crate) fn render(tracer: &Tracer, label: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "== trace summary: {label} ==");
+    if !tracer.is_enabled() {
+        let _ = writeln!(out, "(tracing disabled)");
+        return out;
+    }
+
+    let spans = tracer.spans();
+    let mut counts = [0u64; Stage::ALL.len()];
+    let mut totals_ns = [0u64; Stage::ALL.len()];
+    for s in &spans {
+        counts[s.stage as usize] += 1;
+        totals_ns[s.stage as usize] += s.dur_ns;
+    }
+    let _ = writeln!(out, "{:<16} {:>10} {:>14}", "stage", "spans", "total secs");
+    for stage in Stage::ALL {
+        let i = stage as usize;
+        if counts[i] == 0 {
+            continue;
+        }
+        let _ = writeln!(
+            out,
+            "{:<16} {:>10} {:>14.6}",
+            stage.name(),
+            counts[i],
+            totals_ns[i] as f64 / 1e9
+        );
+    }
+
+    let modes = tracer.wire_mode_histogram();
+    if !modes.is_empty() {
+        let _ = writeln!(out, "-- wire modes (messages per field) --");
+        let _ = write!(out, "{:<28}", "field");
+        for name in MODE_NAMES {
+            let _ = write!(out, " {name:>10}");
+        }
+        out.push('\n');
+        for (field, hist) in &modes {
+            let _ = write!(out, "{field:<28}");
+            for count in hist {
+                let _ = write!(out, " {count:>10}");
+            }
+            out.push('\n');
+        }
+    }
+
+    let sizes = tracer.message_size_histogram();
+    if sizes.iter().any(|&c| c > 0) {
+        let _ = writeln!(out, "-- message sizes (log2 buckets) --");
+        for (bucket, &count) in sizes.iter().enumerate() {
+            if count == 0 {
+                continue;
+            }
+            let lo = 1u64 << bucket;
+            let hi = (1u64 << (bucket + 1)) - 1;
+            let range = if bucket == 0 {
+                "0-1 B".to_owned()
+            } else if bucket == NUM_SIZE_BUCKETS - 1 {
+                format!(">={lo} B")
+            } else {
+                format!("{lo}-{hi} B")
+            };
+            let _ = writeln!(out, "{range:<16} {count:>10}");
+        }
+    }
+
+    let _ = writeln!(
+        out,
+        "barrier wait: {:.6}s  retransmits: {}  dups suppressed: {}  dropped spans: {}",
+        tracer.barrier_wait_secs(),
+        tracer.retransmit_events(),
+        tracer.dup_events(),
+        tracer.dropped_spans()
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_summary_says_so() {
+        let s = Tracer::disabled().summary("x");
+        assert!(s.contains("trace summary: x"));
+        assert!(s.contains("(tracing disabled)"));
+    }
+
+    #[test]
+    fn summary_covers_all_recorded_sections() {
+        let t = Tracer::new(1);
+        t.record_span(0, 0, Stage::Encode, None, 0, 2_000_000_000);
+        t.record_span(0, 0, Stage::Send, Some(0), 0, 500_000_000);
+        t.record_wire_mode("MinField<u32>", 3);
+        t.record_message_size(300);
+        t.record_event(0, "retransmit", 0, 64);
+        t.add_barrier_wait(1_000_000);
+        let s = t.summary("bfs");
+        assert!(s.contains("trace summary: bfs"), "{s}");
+        assert!(s.contains("encode"));
+        assert!(s.contains("2.000000"));
+        assert!(s.contains("wire modes"));
+        assert!(s.contains("MinField<u32>"));
+        assert!(s.contains("indices"));
+        assert!(s.contains("256-511 B"));
+        assert!(s.contains("retransmits: 1"));
+    }
+
+    #[test]
+    fn empty_enabled_summary_omits_optional_sections() {
+        let s = Tracer::new(1).summary("idle");
+        assert!(!s.contains("wire modes"));
+        assert!(!s.contains("message sizes"));
+        assert!(s.contains("barrier wait: 0.000000s"));
+    }
+}

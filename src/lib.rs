@@ -10,7 +10,9 @@
 //! * [`engines`] — Ligra/Galois/IrGL-style compute engines
 //!   ([`gluon_engines`]);
 //! * [`algos`] — the distributed benchmarks and drivers ([`gluon_algos`]);
-//! * [`gemini`] — the Gemini baseline system ([`gluon_gemini`]).
+//! * [`gemini`] — the Gemini baseline system ([`gluon_gemini`]);
+//! * [`trace`] — structured span tracing and per-phase metrics
+//!   ([`gluon_trace`]).
 //!
 //! # Examples
 //!
@@ -34,3 +36,4 @@ pub use gluon_gemini as gemini;
 pub use gluon_graph as graph;
 pub use gluon_net as net;
 pub use gluon_partition as partition;
+pub use gluon_trace as trace;

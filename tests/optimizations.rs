@@ -5,8 +5,12 @@
 use gluon_suite::algos::{driver, Algorithm, DistConfig, EngineKind};
 use gluon_suite::gemini::{self, GeminiAlgo};
 use gluon_suite::graph::{gen, max_out_degree_node};
-use gluon_suite::partition::Policy;
-use gluon_suite::substrate::OptLevel;
+use gluon_suite::net::{run_cluster, Communicator};
+use gluon_suite::partition::{partition_on_host, Policy};
+use gluon_suite::substrate::{
+    DenseBitset, GluonContext, MinField, OptLevel, ReadLocation, WriteLocation,
+};
+use gluon_suite::trace::Tracer;
 
 fn bytes_for(opts: OptLevel, policy: Policy, algo: Algorithm) -> u64 {
     let g = gen::twitter_like(4_000, 16, 31);
@@ -140,6 +144,57 @@ fn gluon_beats_gemini_on_volume_for_every_benchmark() {
             gem_bytes.run.total_bytes
         );
     }
+}
+
+#[test]
+fn sparse_round_never_picks_dense_encoding() {
+    // §4.2: the substrate picks the smallest encoding per message. In a
+    // round where each host updates at most one mirror of a long mirror
+    // list, the per-field wire-mode histogram must show only the compact
+    // encodings — empty, bitvec, or indices — and never a dense value list.
+    let g = gen::twitter_like(4_000, 16, 37);
+    let hosts = 4;
+    let tracer = Tracer::new(hosts);
+    run_cluster(hosts, |ep| {
+        let comm = Communicator::with_tracer(ep, tracer.clone());
+        let lg = partition_on_host(&g, Policy::Cvc, &comm);
+        let mut ctx = GluonContext::new(&lg, &comm, OptLevel::OTI);
+        let n = lg.num_proxies();
+        let mut vals = vec![u32::MAX; n as usize];
+        let mut bits = DenseBitset::new(n);
+        // Mark exactly one updated mirror, picked from the remote with the
+        // largest mirror list so dense would be maximally wasteful.
+        let pick = (0..hosts)
+            .filter(|&h| h != lg.host())
+            .max_by_key(|&h| lg.mirrors_on(h).len())
+            .and_then(|h| lg.mirrors_on(h).first().copied());
+        if let Some(m) = pick {
+            vals[m.index()] = lg.host() as u32;
+            bits.set(m);
+        }
+        let mut field = MinField::new(&mut vals);
+        ctx.sync(
+            WriteLocation::Destination,
+            ReadLocation::Source,
+            &mut field,
+            &mut bits,
+        );
+    });
+    let hist = tracer.wire_mode_histogram();
+    assert!(!hist.is_empty(), "sync recorded no wire modes");
+    // Mode counts are indexed [empty, dense, bitvec, indices, gid_values].
+    let mut compact = 0u64;
+    for (field, counts) in &hist {
+        assert_eq!(
+            counts[1], 0,
+            "{field}: a sparse round must never pick Dense ({counts:?})"
+        );
+        compact += counts[2] + counts[3];
+    }
+    assert!(
+        compact > 0,
+        "expected bitvec/indices messages, got {hist:?}"
+    );
 }
 
 #[test]
