@@ -4,16 +4,23 @@
 //! one [`LocalGraph`] with the chosen engine and synchronizes through the
 //! given [`GluonContext`]. Labels are returned per *proxy*; masters hold
 //! the canonical values (use [`crate::driver`] to gather global vectors).
+//!
+//! Local compute runs on the context's [`gluon::Pool`] wherever a kernel
+//! is wide enough to chunk; every kernel keeps the map/combine discipline
+//! (parallel candidate sweep over immutable state, sequential
+//! in-chunk-order apply) so results are bit-identical at any thread count —
+//! including the floating-point sums in pagerank.
 
 use crate::minrelax;
 use crate::reference::INFINITY;
 use crate::EngineKind;
 use gluon::{
-    DenseBitset, FieldSync, GluonContext, MinField, ReadLocation, SumField, SyncValue,
+    DenseBitset, FieldSync, GluonContext, MinField, ReadLocation, SumField, SyncSpec, SyncValue,
     WriteLocation,
 };
+use gluon_engines::galois;
 use gluon_engines::irgl::IrglEngine;
-use gluon_engines::ligra::{self, Direction, EdgeOp, VertexSubset};
+use gluon_engines::ligra::{self, VertexSubset};
 use gluon_graph::{Gid, Lid};
 use gluon_net::Transport;
 use gluon_partition::LocalGraph;
@@ -55,6 +62,27 @@ impl<T: SyncValue> FieldSync for CopyField<'_, T> {
         self.data[lid.index()] = value;
     }
 }
+
+// The sync patterns the applications below use, named so the tracer's
+// per-field wire-mode histogram reads as field names instead of Rust type
+// paths.
+const OUT_DEGREE: SyncSpec =
+    SyncSpec::full(WriteLocation::Source, ReadLocation::Source).named("out_degree");
+const CONTRIB: SyncSpec = SyncSpec::reduce(WriteLocation::Destination).named("contrib");
+const RANK: SyncSpec = SyncSpec::broadcast(ReadLocation::Source).named("rank");
+const DEGREE: SyncSpec = SyncSpec::reduce(WriteLocation::Source).named("degree");
+const ALIVE: SyncSpec = SyncSpec::broadcast(ReadLocation::Any).named("alive");
+const TRIM: SyncSpec = SyncSpec::reduce(WriteLocation::Destination).named("trim");
+const TO_PUSH: SyncSpec = SyncSpec::broadcast(ReadLocation::Source).named("to_push");
+const RESIDUAL: SyncSpec = SyncSpec::reduce(WriteLocation::Destination).named("residual");
+const SIGMA_BCAST: SyncSpec = SyncSpec::broadcast(ReadLocation::Any).named("sigma");
+const DIST_BOTH: SyncSpec =
+    SyncSpec::full(WriteLocation::Destination, ReadLocation::Any).named("dist");
+const SIGMA_REDUCE: SyncSpec = SyncSpec::reduce(WriteLocation::Destination).named("sigma");
+const DELTA_REDUCE: SyncSpec = SyncSpec::reduce(WriteLocation::Source).named("delta");
+const DELTA_BCAST: SyncSpec = SyncSpec::broadcast(ReadLocation::Destination).named("delta");
+const DIST_PUSH: SyncSpec =
+    SyncSpec::full(WriteLocation::Destination, ReadLocation::Source).named("dist");
 
 /// Distributed BFS from `source`. Returns per-proxy distances and the
 /// number of BSP rounds.
@@ -162,82 +190,101 @@ pub fn pagerank<T: Transport + ?Sized>(
     deg_bits.set_all();
     {
         let mut field = SumField::new(&mut gdeg);
-        ctx.sync(
-            WriteLocation::Source,
-            ReadLocation::Source,
-            &mut field,
-            &mut deg_bits,
-        );
+        ctx.sync(&OUT_DEGREE, &mut field, &mut deg_bits);
     }
 
     let mut rank = vec![1.0 / total_nodes; n];
     let mut contrib = vec![0.0f64; n];
+    let pool = ctx.pool().clone();
     let mut device = IrglEngine::new(Default::default());
     let mut iters = 0u32;
     while iters < cfg.max_iters {
         iters += 1;
-        // Work model: a pull iteration scans every local in-edge once.
-        ctx.add_work(lg.num_local_edges());
         // Pull phase: partial contribution sums at every proxy with local
         // in-edges. `contrib` is assigned (not accumulated) per round.
+        // Chunk weights charge the pool meter one unit per in-edge
+        // scanned; each destination's sum folds in in-edge order, so the
+        // f64 result is bit-identical at any thread count.
         let mut contrib_bits = DenseBitset::new(lg.num_proxies());
-        let pull_into = |v: Lid, contrib: &mut [f64], bits: &mut DenseBitset| {
-            if !lg.has_local_in_edges(v) {
-                return;
-            }
-            let mut sum = 0.0f64;
-            for e in lg.in_edges(v) {
-                let u = e.dst; // in_edges reports the source here
-                sum += rank[u.index()] / f64::from(gdeg[u.index()].max(1));
-            }
-            contrib[v.index()] = sum;
-            bits.set(v);
-        };
         match engine {
             EngineKind::Ligra => {
                 // Dense-frontier pull edgeMap: every source is live.
-                struct PullOp<'a> {
-                    rank: &'a [f64],
-                    gdeg: &'a [u32],
-                    contrib: &'a mut [f64],
-                    bits: &'a mut DenseBitset,
-                }
-                impl EdgeOp for PullOp<'_> {
-                    fn update(&mut self, src: Lid, dst: Lid, _w: u32) -> bool {
-                        self.contrib[dst.index()] +=
-                            self.rank[src.index()] / f64::from(self.gdeg[src.index()].max(1));
-                        self.bits.set(dst);
-                        true
-                    }
-                }
                 contrib.fill(0.0);
                 let mut all = DenseBitset::new(lg.num_proxies());
                 all.set_all();
                 let frontier = VertexSubset::from_bitset(all);
-                let mut op = PullOp {
-                    rank: &rank,
-                    gdeg: &gdeg,
-                    contrib: &mut contrib,
-                    bits: &mut contrib_bits,
-                };
-                let _ = ligra::edge_map(lg, &frontier, &mut op, Direction::Pull);
+                let got = ligra::edge_map_pull_par(
+                    lg,
+                    &frontier,
+                    &pool,
+                    &mut contrib,
+                    |src, _dst, _w, cur| {
+                        Some(*cur + rank[src.index()] / f64::from(gdeg[src.index()].max(1)))
+                    },
+                );
+                for v in got.iter() {
+                    contrib_bits.set(v);
+                }
             }
             EngineKind::Galois => {
-                gluon_engines::galois::do_all(lg.proxies(), |v| {
-                    pull_into(v, &mut contrib, &mut contrib_bits);
-                });
+                let proxies: Vec<Lid> = lg.proxies().collect();
+                let chunks = galois::do_all_chunked(
+                    &pool,
+                    &proxies,
+                    |v| lg.in_edges(v).count() as u64,
+                    |chunk| {
+                        let mut out: Vec<(Lid, f64)> = Vec::new();
+                        for &v in chunk {
+                            if !lg.has_local_in_edges(v) {
+                                continue;
+                            }
+                            let mut sum = 0.0f64;
+                            for e in lg.in_edges(v) {
+                                let u = e.dst; // in_edges reports the source here
+                                sum += rank[u.index()] / f64::from(gdeg[u.index()].max(1));
+                            }
+                            out.push((v, sum));
+                        }
+                        out
+                    },
+                );
+                for chunk in chunks {
+                    for (v, sum) in chunk {
+                        contrib[v.index()] = sum;
+                        contrib_bits.set(v);
+                    }
+                }
             }
             EngineKind::Irgl => {
-                device.kernel_all(lg, |v, _| {
-                    pull_into(v, &mut contrib, &mut contrib_bits);
-                });
+                let worklist: Vec<Lid> = lg.proxies().collect();
+                let _ = device.kernel_par(
+                    lg,
+                    &pool,
+                    &worklist,
+                    |v, lg, out| {
+                        if !lg.has_local_in_edges(v) {
+                            return;
+                        }
+                        let mut sum = 0.0f64;
+                        for e in lg.in_edges(v) {
+                            let u = e.dst;
+                            sum += rank[u.index()] / f64::from(gdeg[u.index()].max(1));
+                        }
+                        out.push(v, sum);
+                    },
+                    |v, sum| {
+                        contrib[v.index()] = sum;
+                        contrib_bits.set(v);
+                        true
+                    },
+                );
             }
         }
         // Reduce partial sums to masters; the contributions are consumed
         // there, so no broadcast of `contrib` is ever needed.
         {
             let mut field = SumField::new(&mut contrib);
-            ctx.sync_reduce(WriteLocation::Destination, &mut field, &mut contrib_bits);
+            ctx.sync(&CONTRIB, &mut field, &mut contrib_bits);
         }
         // Apply at masters and measure the local L1 change.
         let mut rank_bits = DenseBitset::new(lg.num_proxies());
@@ -256,7 +303,7 @@ pub fn pagerank<T: Transport + ?Sized>(
         // sources next round.
         {
             let mut field = CopyField::new(&mut rank);
-            ctx.sync_broadcast(ReadLocation::Source, &mut field, &mut rank_bits);
+            ctx.sync(&RANK, &mut field, &mut rank_bits);
         }
         if ctx.sum_globally(local_delta) < cfg.tolerance {
             break;
@@ -290,10 +337,11 @@ pub fn kcore<T: Transport + ?Sized>(
     deg_bits.set_all();
     {
         let mut field = SumField::new(&mut degree);
-        ctx.sync_reduce(WriteLocation::Source, &mut field, &mut deg_bits);
+        ctx.sync(&DEGREE, &mut field, &mut deg_bits);
     }
     let mut alive: Vec<u32> = vec![1; n];
     let mut trim: Vec<u32> = vec![0; n];
+    let pool = ctx.pool().clone();
     let mut device = IrglEngine::new(Default::default());
     let mut rounds = 0u32;
     loop {
@@ -311,53 +359,69 @@ pub fn kcore<T: Transport + ?Sized>(
         // 2. Tell the mirrors (they hold part of the dead node's edges).
         {
             let mut field = CopyField::new(&mut alive);
-            ctx.sync_broadcast(ReadLocation::Any, &mut field, &mut newly_dead);
+            ctx.sync(&ALIVE, &mut field, &mut newly_dead);
         }
-        // 3. Every newly dead proxy trims its local neighbors.
+        // 3. Every newly dead proxy trims its local neighbors. The chunked
+        // sweep is metered by out-degree.
         let mut trim_bits = DenseBitset::new(lg.num_proxies());
         let dead_list: Vec<Lid> = newly_dead.iter().collect();
-        ctx.add_work(dead_list.iter().map(|&v| u64::from(lg.out_degree(v))).sum());
-        let trim_edges = |v: Lid, trim: &mut [u32], bits: &mut DenseBitset| {
-            for e in lg.out_edges(v) {
-                trim[e.dst.index()] += 1;
-                bits.set(e.dst);
-            }
-        };
         match engine {
             EngineKind::Ligra => {
-                struct TrimOp<'a> {
-                    trim: &'a mut [u32],
-                    bits: &'a mut DenseBitset,
-                }
-                impl EdgeOp for TrimOp<'_> {
-                    fn update(&mut self, _src: Lid, dst: Lid, _w: u32) -> bool {
-                        self.trim[dst.index()] += 1;
-                        self.bits.set(dst);
-                        true
-                    }
-                }
                 let frontier = VertexSubset::from_members(dead_list);
-                let mut op = TrimOp {
-                    trim: &mut trim,
-                    bits: &mut trim_bits,
-                };
-                let _ = ligra::edge_map(lg, &frontier, &mut op, Direction::Push);
+                let _ = ligra::edge_map_push_par(
+                    lg,
+                    &frontier,
+                    &pool,
+                    |_src, _dst, _w| Some(1u32),
+                    |dst, inc| {
+                        trim[dst.index()] += inc;
+                        trim_bits.set(dst);
+                        true
+                    },
+                );
             }
             EngineKind::Galois => {
-                gluon_engines::galois::do_all(dead_list, |v| {
-                    trim_edges(v, &mut trim, &mut trim_bits);
-                });
+                let chunks = galois::do_all_chunked(
+                    &pool,
+                    &dead_list,
+                    |v| u64::from(lg.out_degree(v)),
+                    |chunk| {
+                        let mut out: Vec<Lid> = Vec::new();
+                        for &v in chunk {
+                            out.extend(lg.out_edges(v).map(|e| e.dst));
+                        }
+                        out
+                    },
+                );
+                for chunk in chunks {
+                    for dst in chunk {
+                        trim[dst.index()] += 1;
+                        trim_bits.set(dst);
+                    }
+                }
             }
             EngineKind::Irgl => {
-                let _ = device.kernel(lg, &dead_list, |v, _, _| {
-                    trim_edges(v, &mut trim, &mut trim_bits);
-                });
+                let _ = device.kernel_par(
+                    lg,
+                    &pool,
+                    &dead_list,
+                    |v, lg, out| {
+                        for e in lg.out_edges(v) {
+                            out.push(e.dst, 1u32);
+                        }
+                    },
+                    |dst, inc| {
+                        trim[dst.index()] += inc;
+                        trim_bits.set(dst);
+                        true
+                    },
+                );
             }
         }
         // 4. Collect the trims at the masters and apply.
         {
             let mut field = SumField::new(&mut trim);
-            ctx.sync_reduce(WriteLocation::Destination, &mut field, &mut trim_bits);
+            ctx.sync(&TRIM, &mut field, &mut trim_bits);
         }
         for m in lg.masters() {
             if trim[m.index()] > 0 {
@@ -401,12 +465,7 @@ pub fn pagerank_push<T: Transport + ?Sized>(
     deg_bits.set_all();
     {
         let mut field = SumField::new(&mut gdeg);
-        ctx.sync(
-            WriteLocation::Source,
-            ReadLocation::Source,
-            &mut field,
-            &mut deg_bits,
-        );
+        ctx.sync(&OUT_DEGREE, &mut field, &mut deg_bits);
     }
 
     let mut rank = vec![0.0f64; n];
@@ -416,6 +475,7 @@ pub fn pagerank_push<T: Transport + ?Sized>(
         residual[m.index()] = (1.0 - cfg.damping) / total_nodes;
     }
     let mut to_push = vec![0.0f64; n];
+    let pool = ctx.pool().clone();
     let mut device = IrglEngine::new(Default::default());
     let max_rounds = cfg.max_iters.saturating_mul(20).max(100);
     let mut rounds = 0u32;
@@ -436,59 +496,83 @@ pub fn pagerank_push<T: Transport + ?Sized>(
         // 2. Ship the push value to the mirrors holding out-edges.
         {
             let mut field = CopyField::new(&mut to_push);
-            ctx.sync_broadcast(ReadLocation::Source, &mut field, &mut push_bits);
+            ctx.sync(&TO_PUSH, &mut field, &mut push_bits);
         }
-        // 3. Push along local out-edges into local residuals.
+        // 3. Push along local out-edges into local residuals. Candidates
+        // apply in frontier order (ascending lids), so the f64 residual
+        // sums fold in the same order at any thread count.
         let mut res_bits = DenseBitset::new(lg.num_proxies());
         let frontier: Vec<Lid> = push_bits.iter().collect();
-        ctx.add_work(frontier.iter().map(|&v| u64::from(lg.out_degree(v))).sum());
-        let push_from = |v: Lid, residual: &mut [f64], bits: &mut DenseBitset| {
-            let share = to_push[v.index()];
-            if share == 0.0 {
-                return;
-            }
-            for e in lg.out_edges(v) {
-                residual[e.dst.index()] += share;
-                bits.set(e.dst);
-            }
-        };
         match engine {
             EngineKind::Ligra => {
-                struct PushOp<'a> {
-                    to_push: &'a [f64],
-                    residual: &'a mut [f64],
-                    bits: &'a mut DenseBitset,
-                }
-                impl EdgeOp for PushOp<'_> {
-                    fn update(&mut self, src: Lid, dst: Lid, _w: u32) -> bool {
-                        self.residual[dst.index()] += self.to_push[src.index()];
-                        self.bits.set(dst);
-                        true
-                    }
-                }
                 let subset = VertexSubset::from_members(frontier);
-                let mut op = PushOp {
-                    to_push: &to_push,
-                    residual: &mut residual,
-                    bits: &mut res_bits,
-                };
-                let _ = ligra::edge_map(lg, &subset, &mut op, Direction::Push);
+                let _ = ligra::edge_map_push_par(
+                    lg,
+                    &subset,
+                    &pool,
+                    |src, _dst, _w| {
+                        let share = to_push[src.index()];
+                        (share != 0.0).then_some(share)
+                    },
+                    |dst, share| {
+                        residual[dst.index()] += share;
+                        res_bits.set(dst);
+                        true
+                    },
+                );
             }
             EngineKind::Galois => {
-                gluon_engines::galois::do_all(frontier, |v| {
-                    push_from(v, &mut residual, &mut res_bits);
-                });
+                let chunks = galois::do_all_chunked(
+                    &pool,
+                    &frontier,
+                    |v| u64::from(lg.out_degree(v)),
+                    |chunk| {
+                        let mut out: Vec<(Lid, f64)> = Vec::new();
+                        for &v in chunk {
+                            let share = to_push[v.index()];
+                            if share == 0.0 {
+                                continue;
+                            }
+                            for e in lg.out_edges(v) {
+                                out.push((e.dst, share));
+                            }
+                        }
+                        out
+                    },
+                );
+                for chunk in chunks {
+                    for (dst, share) in chunk {
+                        residual[dst.index()] += share;
+                        res_bits.set(dst);
+                    }
+                }
             }
             EngineKind::Irgl => {
-                let _ = device.kernel(lg, &frontier, |v, _, _| {
-                    push_from(v, &mut residual, &mut res_bits);
-                });
+                let _ = device.kernel_par(
+                    lg,
+                    &pool,
+                    &frontier,
+                    |v, lg, out| {
+                        let share = to_push[v.index()];
+                        if share == 0.0 {
+                            return;
+                        }
+                        for e in lg.out_edges(v) {
+                            out.push(e.dst, share);
+                        }
+                    },
+                    |dst, share| {
+                        residual[dst.index()] += share;
+                        res_bits.set(dst);
+                        true
+                    },
+                );
             }
         }
         // 4. Reduce pushed residuals to masters.
         {
             let mut field = SumField::new(&mut residual);
-            ctx.sync_reduce(WriteLocation::Destination, &mut field, &mut res_bits);
+            ctx.sync(&RESIDUAL, &mut field, &mut res_bits);
         }
         // 5. Quiesce when no master holds an appliable residual.
         let local_active = lg.masters().any(|m| residual[m.index()] > eps);
@@ -532,7 +616,7 @@ pub fn betweenness_source<T: Transport + ?Sized>(
     }
     {
         let mut field = CopyField::new(&mut sigma);
-        ctx.sync_broadcast(ReadLocation::Any, &mut field, &mut seed_bits);
+        ctx.sync(&SIGMA_BCAST, &mut field, &mut seed_bits);
     }
 
     // ---- Forward phase: level-synchronous BFS with path counting. ----
@@ -554,12 +638,7 @@ pub fn betweenness_source<T: Transport + ?Sized>(
         }
         {
             let mut field = MinField::new(&mut dist);
-            ctx.sync(
-                WriteLocation::Destination,
-                ReadLocation::Any,
-                &mut field,
-                &mut dist_bits,
-            );
+            ctx.sync(&DIST_BOTH, &mut field, &mut dist_bits);
         }
         // Path counting: each local edge from level to level + 1 forwards
         // sigma. Partial sums reduce to masters, canonical values broadcast
@@ -583,7 +662,7 @@ pub fn betweenness_source<T: Transport + ?Sized>(
         }
         {
             let mut field = SumField::new(&mut sigma);
-            ctx.sync_reduce(WriteLocation::Destination, &mut field, &mut sig_bits);
+            ctx.sync(&SIGMA_REDUCE, &mut field, &mut sig_bits);
         }
         let mut bcast_bits = DenseBitset::new(caps);
         for m in lg.masters() {
@@ -594,7 +673,7 @@ pub fn betweenness_source<T: Transport + ?Sized>(
         let frontier_nonempty = !bcast_bits.is_empty();
         {
             let mut field = CopyField::new(&mut sigma);
-            ctx.sync_broadcast(ReadLocation::Any, &mut field, &mut bcast_bits);
+            ctx.sync(&SIGMA_BCAST, &mut field, &mut bcast_bits);
         }
         if !ctx.any_globally(frontier_nonempty) {
             break;
@@ -639,7 +718,7 @@ pub fn betweenness_source<T: Transport + ?Sized>(
         // destination one level up.
         {
             let mut field = SumField::new(&mut delta);
-            ctx.sync_reduce(WriteLocation::Source, &mut field, &mut delta_bits);
+            ctx.sync(&DELTA_REDUCE, &mut field, &mut delta_bits);
         }
         let mut bcast_bits = DenseBitset::new(caps);
         for m in lg.masters() {
@@ -649,7 +728,7 @@ pub fn betweenness_source<T: Transport + ?Sized>(
         }
         {
             let mut field = CopyField::new(&mut delta);
-            ctx.sync_broadcast(ReadLocation::Destination, &mut field, &mut bcast_bits);
+            ctx.sync(&DELTA_BCAST, &mut field, &mut bcast_bits);
         }
         if l == 0 {
             break;
@@ -708,12 +787,7 @@ pub fn sssp_delta<T: Transport + ?Sized>(
         ctx.add_work(work);
         active = changed;
         let mut field = MinField::new(&mut dist);
-        ctx.sync(
-            WriteLocation::Destination,
-            ReadLocation::Source,
-            &mut field,
-            &mut active,
-        );
+        ctx.sync(&DIST_PUSH, &mut field, &mut active);
         if !ctx.any_globally(!active.is_empty()) {
             return (dist, rounds);
         }

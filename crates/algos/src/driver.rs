@@ -1,20 +1,30 @@
 //! End-to-end drivers: partition, run, gather, aggregate.
 //!
-//! [`run`] executes one benchmark configuration — algorithm × engine ×
-//! partitioning policy × optimization level × host count — on the simulated
-//! cluster and returns globally assembled labels plus the statistics the
-//! paper's tables and figures report.
+//! [`Run`] is the single entry point: a builder that executes one
+//! benchmark configuration — algorithm × engine × partitioning policy ×
+//! optimization level × host count × intra-host thread count — on the
+//! simulated cluster and returns globally assembled labels plus the
+//! statistics the paper's tables and figures report.
 //!
-//! Every driver also has a `*_wrapped` variant that first passes each
-//! host's endpoint through a caller-supplied transport wrapper, so the
-//! full algorithm suite can run over jittered, faulty, or reliable
-//! transport stacks (e.g.
-//! `ReliableTransport::over(FaultyTransport::new(..))` for chaos testing).
+//! ```ignore
+//! let out = Run::new(&graph, Algorithm::Bfs)
+//!     .hosts(4)
+//!     .policy(Policy::Cvc)
+//!     .opt_level(OptLevel::OSTI)
+//!     .threads(4)
+//!     .launch();
+//! ```
+//!
+//! `.transport(|ep| …)` threads every host's endpoint through a wrapper,
+//! so the full suite can run over jittered, faulty, or reliable transport
+//! stacks (e.g. `ReliableTransport::over(FaultyTransport::new(..))` for
+//! chaos testing); `.tracer(&t)` records micro-stage spans. The old
+//! `run_*` free functions survive as deprecated shims over the builder.
 
 use crate::apps::{self, PagerankConfig};
 use crate::reference::symmetrize;
 use crate::{Algorithm, EngineKind};
-use gluon::{GluonContext, OptLevel, RunStats, SyncStats};
+use gluon::{GluonContext, OptLevel, Pool, RunStats, SyncStats};
 use gluon_graph::{max_out_degree_node, Csr, Gid};
 use gluon_net::{
     run_cluster_wrapped, Communicator, CostModel, MemoryTransport, NetStats, StatsSnapshot,
@@ -88,19 +98,269 @@ impl DistOutcome {
     pub fn projected_secs(&self, model: &CostModel) -> f64 {
         self.run.projected_secs(model, gluon::DEFAULT_EDGES_PER_SEC)
     }
+
+    /// As [`projected_secs`](Self::projected_secs), with each host's
+    /// compute spread over `cores` cores (bounded by the measured
+    /// critical path of its parallel phases).
+    pub fn projected_secs_with_cores(&self, model: &CostModel, cores: usize) -> f64 {
+        self.run
+            .projected_secs_with_cores(model, gluon::DEFAULT_EDGES_PER_SEC, cores)
+    }
+}
+
+/// What a [`Run`] computes.
+#[derive(Clone, Copy, Debug)]
+enum Workload {
+    /// One of the four paper benchmarks.
+    Algo(Algorithm),
+    /// k-core membership with the given k (input symmetrized internally).
+    Kcore(u32),
+    /// Single-source betweenness centrality.
+    Betweenness,
+}
+
+/// The identity transport wrapper the builder starts with.
+fn identity(ep: MemoryTransport) -> MemoryTransport {
+    ep
+}
+
+/// Builder for one distributed run. Construct with [`Run::new`],
+/// [`Run::kcore`], or [`Run::betweenness`]; chain settings; finish with
+/// [`launch`](Run::launch).
+#[derive(Debug)]
+pub struct Run<'g, W = MemoryTransport, F = fn(MemoryTransport) -> MemoryTransport>
+where
+    W: Transport,
+    F: Fn(MemoryTransport) -> W + Send + Sync,
+{
+    graph: &'g Csr,
+    workload: Workload,
+    hosts: usize,
+    policy: Policy,
+    opts: OptLevel,
+    engine: EngineKind,
+    source: Option<Gid>,
+    pr: PagerankConfig,
+    threads: usize,
+    tracer: Tracer,
+    wrap: F,
+}
+
+impl<'g> Run<'g> {
+    /// A run of one of the four paper benchmarks with the defaults of
+    /// [`DistConfig::new`]: 4 hosts, CVC, OSTI, the Galois engine, one
+    /// compute thread per host. bfs/sssp default to the maximum
+    /// out-degree source (the paper's §5.1 convention); cc symmetrizes
+    /// the input internally.
+    pub fn new(graph: &'g Csr, algo: Algorithm) -> Run<'g> {
+        Run::with_workload(graph, Workload::Algo(algo))
+    }
+
+    /// A k-core membership run (see [`apps::kcore`]): `int_labels` holds
+    /// 1 for nodes in the k-core of the undirected view, else 0. The
+    /// input is symmetrized internally, like cc.
+    pub fn kcore(graph: &'g Csr, k: u32) -> Run<'g> {
+        Run::with_workload(graph, Workload::Kcore(k))
+    }
+
+    /// A single-source betweenness-centrality run (see
+    /// [`apps::betweenness_source`]): `ranks` holds the per-node
+    /// dependency values, `rounds` the number of BFS levels.
+    pub fn betweenness(graph: &'g Csr, source: Gid) -> Run<'g> {
+        let mut run = Run::with_workload(graph, Workload::Betweenness);
+        run.source = Some(source);
+        run
+    }
+
+    fn with_workload(graph: &'g Csr, workload: Workload) -> Run<'g> {
+        let defaults = DistConfig::new(4);
+        Run {
+            graph,
+            workload,
+            hosts: defaults.hosts,
+            policy: defaults.policy,
+            opts: defaults.opts,
+            engine: defaults.engine,
+            source: None,
+            pr: PagerankConfig::default(),
+            threads: 1,
+            tracer: Tracer::disabled(),
+            wrap: identity,
+        }
+    }
+}
+
+impl<'g, W, F> Run<'g, W, F>
+where
+    W: Transport,
+    F: Fn(MemoryTransport) -> W + Send + Sync,
+{
+    /// Number of simulated hosts.
+    #[must_use]
+    pub fn hosts(mut self, hosts: usize) -> Self {
+        self.hosts = hosts;
+        self
+    }
+
+    /// Partitioning policy.
+    #[must_use]
+    pub fn policy(mut self, policy: Policy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Communication optimization level.
+    #[must_use]
+    pub fn opt_level(mut self, opts: OptLevel) -> Self {
+        self.opts = opts;
+        self
+    }
+
+    /// Shared-memory compute engine.
+    #[must_use]
+    pub fn engine(mut self, engine: EngineKind) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Sets hosts, policy, optimization level, and engine at once.
+    #[must_use]
+    pub fn config(mut self, cfg: &DistConfig) -> Self {
+        self.hosts = cfg.hosts;
+        self.policy = cfg.policy;
+        self.opts = cfg.opts;
+        self.engine = cfg.engine;
+        self
+    }
+
+    /// Source node for bfs/sssp/betweenness (default: the maximum
+    /// out-degree node).
+    #[must_use]
+    pub fn source(mut self, source: Gid) -> Self {
+        self.source = Some(source);
+        self
+    }
+
+    /// Pagerank settings (damping, tolerance, iteration cap).
+    #[must_use]
+    pub fn pagerank(mut self, pr: PagerankConfig) -> Self {
+        self.pr = pr;
+        self
+    }
+
+    /// Number of intra-host compute threads. Results are bit-identical
+    /// at any value — the deterministic pool chunks work on fixed
+    /// boundaries and combines per-chunk results in order.
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Records micro-stage spans and sync metrics into `tracer` (size it
+    /// with `Tracer::new(hosts)`). After the run, export with
+    /// `tracer.chrome_trace_json()` or `tracer.summary(..)`.
+    #[must_use]
+    pub fn tracer(mut self, tracer: &Tracer) -> Self {
+        self.tracer = tracer.clone();
+        self
+    }
+
+    /// Threads every host's endpoint through `wrap`, so the whole run
+    /// uses the wrapped transport stack.
+    #[must_use]
+    pub fn transport<W2, F2>(self, wrap: F2) -> Run<'g, W2, F2>
+    where
+        W2: Transport,
+        F2: Fn(MemoryTransport) -> W2 + Send + Sync,
+    {
+        Run {
+            graph: self.graph,
+            workload: self.workload,
+            hosts: self.hosts,
+            policy: self.policy,
+            opts: self.opts,
+            engine: self.engine,
+            source: self.source,
+            pr: self.pr,
+            threads: self.threads,
+            tracer: self.tracer,
+            wrap,
+        }
+    }
+
+    /// Executes the run on the simulated cluster.
+    pub fn launch(self) -> DistOutcome {
+        let Run {
+            graph,
+            workload,
+            hosts,
+            policy,
+            opts,
+            engine,
+            source,
+            pr,
+            threads,
+            tracer,
+            wrap,
+        } = self;
+        let source = source.unwrap_or_else(|| max_out_degree_node(graph));
+        let symmetric;
+        let (input, int_default): (&Csr, u32) = match workload {
+            Workload::Algo(Algorithm::Cc) | Workload::Kcore(_) => {
+                symmetric = symmetrize(graph);
+                (
+                    &symmetric,
+                    if matches!(workload, Workload::Kcore(_)) {
+                        0
+                    } else {
+                        u32::MAX
+                    },
+                )
+            }
+            _ => (graph, u32::MAX),
+        };
+        let needs_transpose = match workload {
+            Workload::Algo(algo) => algo == Algorithm::Pagerank || engine == EngineKind::Ligra,
+            Workload::Kcore(_) | Workload::Betweenness => false,
+        };
+        let compute = |lg: &LocalGraph, ctx: &mut GluonContext<'_, W>| -> HostLabels {
+            match workload {
+                Workload::Algo(algo) => dispatch(lg, ctx, algo, engine, source, pr),
+                Workload::Kcore(k) => {
+                    let (alive, rounds) = apps::kcore(lg, ctx, k, engine);
+                    (alive, Vec::new(), rounds)
+                }
+                Workload::Betweenness => {
+                    let (delta, levels) = apps::betweenness_source(lg, ctx, source);
+                    (Vec::new(), delta, levels)
+                }
+            }
+        };
+        let (per_host, stats) = run_cluster_wrapped(hosts, NetStats::new(hosts), wrap, |net| {
+            host_program(
+                net,
+                input,
+                policy,
+                opts,
+                threads,
+                &tracer,
+                &|_| needs_transpose,
+                &compute,
+            )
+        });
+        assemble(input.num_nodes() as usize, int_default, per_host, stats)
+    }
 }
 
 /// Runs one configuration of `algo` on `graph`.
-///
-/// bfs and sssp start from the maximum out-degree node (the paper's §5.1
-/// convention); cc symmetrizes the input first; pagerank uses
-/// [`PagerankConfig::default`]. See [`run_with`] for control over both.
+#[deprecated(note = "use `Run::new(graph, algo).config(cfg).launch()`")]
 pub fn run(graph: &Csr, algo: Algorithm, cfg: &DistConfig) -> DistOutcome {
-    let source = max_out_degree_node(graph);
-    run_with(graph, algo, cfg, source, PagerankConfig::default())
+    Run::new(graph, algo).config(cfg).launch()
 }
 
 /// As [`run`], with an explicit bfs/sssp source and pagerank settings.
+#[deprecated(note = "use `Run::new(..).source(..).pagerank(..).launch()`")]
 pub fn run_with(
     graph: &Csr,
     algo: Algorithm,
@@ -108,22 +368,26 @@ pub fn run_with(
     source: Gid,
     pr: PagerankConfig,
 ) -> DistOutcome {
-    run_with_wrapped(graph, algo, cfg, source, pr, |ep| ep)
+    Run::new(graph, algo)
+        .config(cfg)
+        .source(source)
+        .pagerank(pr)
+        .launch()
 }
 
-/// As [`run`], but every host's endpoint is first passed through `wrap`,
-/// so the whole run uses the wrapped transport stack.
+/// As [`run`], over a wrapped transport stack.
+#[deprecated(note = "use `Run::new(..).transport(wrap).launch()`")]
 pub fn run_wrapped<W: Transport>(
     graph: &Csr,
     algo: Algorithm,
     cfg: &DistConfig,
     wrap: impl Fn(MemoryTransport) -> W + Send + Sync,
 ) -> DistOutcome {
-    let source = max_out_degree_node(graph);
-    run_with_wrapped(graph, algo, cfg, source, PagerankConfig::default(), wrap)
+    Run::new(graph, algo).config(cfg).transport(wrap).launch()
 }
 
 /// As [`run_with`], over a wrapped transport stack.
+#[deprecated(note = "use `Run::new(..).source(..).pagerank(..).transport(wrap).launch()`")]
 pub fn run_with_wrapped<W: Transport>(
     graph: &Csr,
     algo: Algorithm,
@@ -132,28 +396,25 @@ pub fn run_with_wrapped<W: Transport>(
     pr: PagerankConfig,
     wrap: impl Fn(MemoryTransport) -> W + Send + Sync,
 ) -> DistOutcome {
-    run_with_wrapped_traced(graph, algo, cfg, source, pr, wrap, &Tracer::disabled())
+    Run::new(graph, algo)
+        .config(cfg)
+        .source(source)
+        .pagerank(pr)
+        .transport(wrap)
+        .launch()
 }
 
-/// As [`run`], recording micro-stage spans and sync metrics into `tracer`
-/// (size it with `Tracer::new(cfg.hosts)`). After the run, export with
-/// `tracer.chrome_trace_json()` or `tracer.summary(..)`.
+/// As [`run`], recording micro-stage spans into `tracer`.
+#[deprecated(note = "use `Run::new(..).tracer(tracer).launch()`")]
 pub fn run_traced(graph: &Csr, algo: Algorithm, cfg: &DistConfig, tracer: &Tracer) -> DistOutcome {
-    let source = max_out_degree_node(graph);
-    run_with_wrapped_traced(
-        graph,
-        algo,
-        cfg,
-        source,
-        PagerankConfig::default(),
-        |ep| ep,
-        tracer,
-    )
+    Run::new(graph, algo).config(cfg).tracer(tracer).launch()
 }
 
 /// The fully general driver: explicit source and pagerank settings, a
-/// wrapped transport stack, and span tracing. All other `run*` entry
-/// points funnel here.
+/// wrapped transport stack, and span tracing.
+#[deprecated(
+    note = "use `Run::new(..)` with `.source/.pagerank/.transport/.tracer` and `.launch()`"
+)]
 #[allow(clippy::too_many_arguments)]
 pub fn run_with_wrapped_traced<W: Transport>(
     graph: &Csr,
@@ -164,47 +425,34 @@ pub fn run_with_wrapped_traced<W: Transport>(
     wrap: impl Fn(MemoryTransport) -> W + Send + Sync,
     tracer: &Tracer,
 ) -> DistOutcome {
-    let symmetric;
-    let input: &Csr = if algo == Algorithm::Cc {
-        symmetric = symmetrize(graph);
-        &symmetric
-    } else {
-        graph
-    };
-    let needs_transpose = algo == Algorithm::Pagerank || cfg.engine == EngineKind::Ligra;
-    let (per_host, stats) = run_cluster_wrapped(cfg.hosts, NetStats::new(cfg.hosts), wrap, |net| {
-        host_program(
-            net,
-            input,
-            cfg.policy,
-            cfg.opts,
-            tracer,
-            &|_| needs_transpose,
-            &|lg, ctx| dispatch(lg, ctx, algo, cfg.engine, source, pr),
-        )
-    });
-    assemble(input.num_nodes() as usize, u32::MAX, per_host, stats)
+    Run::new(graph, algo)
+        .config(cfg)
+        .source(source)
+        .pagerank(pr)
+        .tracer(tracer)
+        .transport(wrap)
+        .launch()
 }
 
-/// Runs distributed k-core membership (see [`apps::kcore`]): `int_labels`
-/// holds 1 for nodes in the k-core of the undirected view, else 0.
-///
-/// The input is symmetrized internally, like cc.
+/// Runs distributed k-core membership.
+#[deprecated(note = "use `Run::kcore(graph, k).config(cfg).launch()`")]
 pub fn run_kcore(graph: &Csr, cfg: &DistConfig, k: u32) -> DistOutcome {
-    run_kcore_wrapped(graph, cfg, k, |ep| ep)
+    Run::kcore(graph, k).config(cfg).launch()
 }
 
 /// As [`run_kcore`], over a wrapped transport stack.
+#[deprecated(note = "use `Run::kcore(..).transport(wrap).launch()`")]
 pub fn run_kcore_wrapped<W: Transport>(
     graph: &Csr,
     cfg: &DistConfig,
     k: u32,
     wrap: impl Fn(MemoryTransport) -> W + Send + Sync,
 ) -> DistOutcome {
-    run_kcore_traced(graph, cfg, k, wrap, &Tracer::disabled())
+    Run::kcore(graph, k).config(cfg).transport(wrap).launch()
 }
 
 /// As [`run_kcore_wrapped`], recording spans into `tracer`.
+#[deprecated(note = "use `Run::kcore(..).transport(wrap).tracer(tracer).launch()`")]
 pub fn run_kcore_traced<W: Transport>(
     graph: &Csr,
     cfg: &DistConfig,
@@ -212,42 +460,35 @@ pub fn run_kcore_traced<W: Transport>(
     wrap: impl Fn(MemoryTransport) -> W + Send + Sync,
     tracer: &Tracer,
 ) -> DistOutcome {
-    let input = symmetrize(graph);
-    let (per_host, stats) = run_cluster_wrapped(cfg.hosts, NetStats::new(cfg.hosts), wrap, |net| {
-        host_program(
-            net,
-            &input,
-            cfg.policy,
-            cfg.opts,
-            tracer,
-            &|_| false,
-            &|lg, ctx| {
-                let (alive, rounds) = apps::kcore(lg, ctx, k, cfg.engine);
-                (alive, Vec::new(), rounds)
-            },
-        )
-    });
-    assemble(input.num_nodes() as usize, 0, per_host, stats)
+    Run::kcore(graph, k)
+        .config(cfg)
+        .tracer(tracer)
+        .transport(wrap)
+        .launch()
 }
 
-/// Runs distributed single-source betweenness centrality (see
-/// [`apps::betweenness_source`]); `ranks` holds the per-node dependency
-/// values, `rounds` the number of BFS levels.
+/// Runs distributed single-source betweenness centrality.
+#[deprecated(note = "use `Run::betweenness(graph, source).config(cfg).launch()`")]
 pub fn run_betweenness(graph: &Csr, cfg: &DistConfig, source: Gid) -> DistOutcome {
-    run_betweenness_wrapped(graph, cfg, source, |ep| ep)
+    Run::betweenness(graph, source).config(cfg).launch()
 }
 
 /// As [`run_betweenness`], over a wrapped transport stack.
+#[deprecated(note = "use `Run::betweenness(..).transport(wrap).launch()`")]
 pub fn run_betweenness_wrapped<W: Transport>(
     graph: &Csr,
     cfg: &DistConfig,
     source: Gid,
     wrap: impl Fn(MemoryTransport) -> W + Send + Sync,
 ) -> DistOutcome {
-    run_betweenness_traced(graph, cfg, source, wrap, &Tracer::disabled())
+    Run::betweenness(graph, source)
+        .config(cfg)
+        .transport(wrap)
+        .launch()
 }
 
 /// As [`run_betweenness_wrapped`], recording spans into `tracer`.
+#[deprecated(note = "use `Run::betweenness(..).transport(wrap).tracer(tracer).launch()`")]
 pub fn run_betweenness_traced<W: Transport>(
     graph: &Csr,
     cfg: &DistConfig,
@@ -255,21 +496,11 @@ pub fn run_betweenness_traced<W: Transport>(
     wrap: impl Fn(MemoryTransport) -> W + Send + Sync,
     tracer: &Tracer,
 ) -> DistOutcome {
-    let (per_host, stats) = run_cluster_wrapped(cfg.hosts, NetStats::new(cfg.hosts), wrap, |net| {
-        host_program(
-            net,
-            graph,
-            cfg.policy,
-            cfg.opts,
-            tracer,
-            &|_| false,
-            &|lg, ctx| {
-                let (delta, levels) = apps::betweenness_source(lg, ctx, source);
-                (Vec::new(), delta, levels)
-            },
-        )
-    });
-    assemble(graph.num_nodes() as usize, u32::MAX, per_host, stats)
+    Run::betweenness(graph, source)
+        .config(cfg)
+        .tracer(tracer)
+        .transport(wrap)
+        .launch()
 }
 
 /// Runs BFS on a *heterogeneous* cluster: host `h` computes with
@@ -301,6 +532,7 @@ pub fn run_heterogeneous_bfs(
                 graph,
                 policy,
                 opts,
+                1,
                 &Tracer::disabled(),
                 &|rank| engines[rank] == EngineKind::Ligra,
                 &|lg, ctx| {
@@ -327,13 +559,16 @@ struct HostResult {
 /// (either may be empty), and the number of rounds it ran.
 type HostLabels = (Vec<u32>, Vec<f64>, u32);
 
-/// The SPMD body every driver shares: partition, set up the Gluon runtime,
-/// run `compute`, and gather this host's master labels.
+/// The SPMD body every driver shares: partition, set up the Gluon runtime
+/// (with a `threads`-wide deterministic pool), run `compute`, and gather
+/// this host's master labels.
+#[allow(clippy::too_many_arguments)] // private SPMD plumbing, one call site
 fn host_program<T: Transport>(
     net: &T,
     input: &Csr,
     policy: Policy,
     opts: OptLevel,
+    threads: usize,
     tracer: &Tracer,
     transpose: &(dyn Fn(usize) -> bool + Sync),
     compute: &(dyn Fn(&LocalGraph, &mut GluonContext<'_, T>) -> HostLabels + Sync),
@@ -346,7 +581,7 @@ fn host_program<T: Transport>(
     }
     comm.barrier();
     let partition_secs = part_start.elapsed().as_secs_f64();
-    let mut ctx = GluonContext::new(&lg, &comm, opts);
+    let mut ctx = GluonContext::new(&lg, &comm, opts).with_pool(Pool::new(threads));
     ctx.reset_timer();
     let algo_start = Instant::now();
     let (ints, floats, rounds) = compute(&lg, &mut ctx);

@@ -5,16 +5,16 @@
 //! (push-style, data-driven) — each runnable with any of the three compute
 //! engines (Ligra, Galois, IrGL styles), any partitioning policy, any
 //! optimization level, and any simulated host count. Single-host
-//! [`reference`] oracles validate every configuration.
+//! [`mod@reference`] oracles validate every configuration.
 //!
 //! # Examples
 //!
 //! ```
-//! use gluon_algos::{driver, reference, Algorithm, DistConfig};
+//! use gluon_algos::{reference, Algorithm, Run};
 //! use gluon_graph::{gen, max_out_degree_node};
 //!
 //! let g = gen::rmat(7, 8, Default::default(), 1);
-//! let out = driver::run(&g, Algorithm::Bfs, &DistConfig::new(4));
+//! let out = Run::new(&g, Algorithm::Bfs).hosts(4).launch();
 //! let oracle = reference::bfs(&g, max_out_degree_node(&g));
 //! assert_eq!(out.int_labels, oracle);
 //! ```
@@ -28,9 +28,9 @@ mod minrelax;
 pub mod reference;
 
 pub use apps::{CopyField, PagerankConfig};
-pub use driver::{
-    run, run_betweenness, run_heterogeneous_bfs, run_kcore, run_with, DistConfig, DistOutcome,
-};
+#[allow(deprecated)]
+pub use driver::{run, run_betweenness, run_kcore, run_with};
+pub use driver::{run_heterogeneous_bfs, DistConfig, DistOutcome, Run};
 
 /// The shared-memory engine computing each host's partition.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -111,7 +111,7 @@ mod tests {
     use gluon_partition::Policy;
 
     fn check_bfs(cfg: &DistConfig, g: &gluon_graph::Csr) {
-        let out = driver::run(g, Algorithm::Bfs, cfg);
+        let out = Run::new(g, Algorithm::Bfs).config(cfg).launch();
         let oracle = reference::bfs(g, max_out_degree_node(g));
         assert_eq!(out.int_labels, oracle, "{cfg:?}");
     }
@@ -167,8 +167,7 @@ mod tests {
     #[test]
     fn sssp_matches_oracle() {
         let g = gluon_graph::with_random_weights(&gen::rmat(7, 6, Default::default(), 8), 7, 2);
-        let cfg = DistConfig::new(4);
-        let out = driver::run(&g, Algorithm::Sssp, &cfg);
+        let out = Run::new(&g, Algorithm::Sssp).hosts(4).launch();
         let oracle = reference::sssp(&g, max_out_degree_node(&g));
         assert_eq!(out.int_labels, oracle);
     }
@@ -176,16 +175,14 @@ mod tests {
     #[test]
     fn cc_matches_oracle() {
         let g = gen::rmat(7, 4, Default::default(), 9);
-        let cfg = DistConfig::new(4);
-        let out = driver::run(&g, Algorithm::Cc, &cfg);
+        let out = Run::new(&g, Algorithm::Cc).hosts(4).launch();
         assert_eq!(out.int_labels, reference::cc(&g));
     }
 
     #[test]
     fn pagerank_matches_oracle_within_tolerance() {
         let g = gen::rmat(7, 6, Default::default(), 10);
-        let cfg = DistConfig::new(3);
-        let out = driver::run(&g, Algorithm::Pagerank, &cfg);
+        let out = Run::new(&g, Algorithm::Pagerank).hosts(3).launch();
         let (oracle, _) = reference::pagerank(&g, 0.85, 1e-6, 100);
         for (got, want) in out.ranks.iter().zip(&oracle) {
             assert!((got - want).abs() < 1e-6, "rank mismatch: {got} vs {want}");
@@ -203,8 +200,12 @@ mod tests {
             opts: OptLevel::OSTI,
             engine,
         };
-        let ligra = driver::run(&g, Algorithm::Bfs, &mk(EngineKind::Ligra));
-        let galois = driver::run(&g, Algorithm::Bfs, &mk(EngineKind::Galois));
+        let ligra = Run::new(&g, Algorithm::Bfs)
+            .config(&mk(EngineKind::Ligra))
+            .launch();
+        let galois = Run::new(&g, Algorithm::Bfs)
+            .config(&mk(EngineKind::Galois))
+            .launch();
         assert!(
             galois.rounds < ligra.rounds / 4,
             "galois {} vs ligra {}",

@@ -6,11 +6,32 @@
 //! sssp: `l + w`, cc: `l`). The driver runs BSP rounds — engine-specific
 //! local compute, then a `WriteAtDestination / ReadAtSource` Gluon sync —
 //! until global quiescence.
+//!
+//! # Determinism
+//!
+//! Every engine path drives the context's [`gluon::Pool`] and is
+//! bit-identical at any thread count:
+//!
+//! - **Ligra** keeps the direction heuristic (which depends only on the
+//!   frontier) and runs snapshot (Jacobi) sweeps: candidates are computed
+//!   from the previous round's labels and applied in chunk order. A
+//!   relaxation is no longer visible to later edges of the same sweep, so
+//!   round counts can differ from an in-sweep-visible execution, but the
+//!   fixpoint labels cannot (monotone min-relaxation has a unique one).
+//! - **Galois** runs deterministic bulk *sub-rounds* to local quiescence:
+//!   sweep the local frontier on the pool, apply the candidate chunks in
+//!   order, repeat until no label improves. This reaches exactly the local
+//!   fixpoint FIFO chaotic relaxation reaches, with the same changed set
+//!   (a label changed iff its final value beats its initial one), so outer
+//!   round counts and wire traffic match the sequential engine.
+//! - **IrGL** launches one snapshot kernel per round
+//!   ([`IrglEngine::kernel_par`]), with device work counters unchanged.
 
 use crate::EngineKind;
-use gluon::{DenseBitset, GluonContext, MinField, ReadLocation, WriteLocation};
+use gluon::{DenseBitset, GluonContext, MinField, ReadLocation, SyncSpec, WriteLocation};
 use gluon_engines::irgl::IrglEngine;
-use gluon_engines::ligra::{self, Direction, EdgeOp, VertexSubset};
+use gluon_engines::ligra::{Direction, VertexSubset};
+use gluon_engines::{galois, ligra};
 use gluon_graph::Lid;
 use gluon_net::Transport;
 use gluon_partition::LocalGraph;
@@ -20,24 +41,10 @@ use gluon_partition::LocalGraph;
 /// label for positive weights).
 pub(crate) type RelaxFn = fn(u32, u32) -> u32;
 
-struct RelaxOp<'a> {
-    labels: &'a mut [u32],
-    relax: RelaxFn,
-    changed: &'a mut DenseBitset,
-}
-
-impl EdgeOp for RelaxOp<'_> {
-    fn update(&mut self, src: Lid, dst: Lid, weight: u32) -> bool {
-        let candidate = (self.relax)(self.labels[src.index()], weight);
-        if candidate < self.labels[dst.index()] {
-            self.labels[dst.index()] = candidate;
-            self.changed.set(dst);
-            true
-        } else {
-            false
-        }
-    }
-}
+/// The sync pattern of every push-style min-relaxation: written at edge
+/// destinations, read at edge sources next round.
+const SPEC: SyncSpec =
+    SyncSpec::full(WriteLocation::Destination, ReadLocation::Source).named("minrelax");
 
 /// Runs min-relaxation rounds to global quiescence; `labels` and `active`
 /// must be initialized by the caller (labels seeded, active bits set for
@@ -52,72 +59,132 @@ pub(crate) fn run<T: Transport + ?Sized>(
 ) -> u32 {
     let n = lg.num_proxies();
     assert_eq!(labels.len(), n as usize, "one label per proxy");
+    let pool = ctx.pool().clone();
     let mut rounds = 0u32;
     let mut device = IrglEngine::new(Default::default());
     loop {
         rounds += 1;
-        // Work model: edges examined this round = out-degrees of the
-        // processed nodes (per-engine accounting below).
+        // Work model: edges examined this round are metered by the pool
+        // (chunk weights = degrees), absorbed into the next phase's stats.
         let mut changed = DenseBitset::new(n);
         match engine {
             EngineKind::Ligra => {
-                // Level-synchronous: one edgeMap per round, updates visible
-                // next round only (within the host too).
+                // Level-synchronous snapshot sweep: one edgeMap per round,
+                // candidates from the previous labels, applied in chunk
+                // order.
                 let frontier = VertexSubset::from_bitset(active.clone());
-                let work: u64 = frontier.iter().map(|v| u64::from(lg.out_degree(v))).sum();
-                ctx.add_work(work);
-                let mut op = RelaxOp {
-                    labels,
-                    relax,
-                    changed: &mut changed,
-                };
-                let _ = ligra::edge_map(lg, &frontier, &mut op, Direction::Auto);
+                let prev = labels.to_vec();
+                match ligra::choose_direction(lg, &frontier, Direction::Auto) {
+                    Direction::Pull => {
+                        let got = ligra::edge_map_pull_par(
+                            lg,
+                            &frontier,
+                            &pool,
+                            labels,
+                            |src, _dst, w, cur| {
+                                let candidate = relax(prev[src.index()], w);
+                                (candidate < *cur).then_some(candidate)
+                            },
+                        );
+                        for dst in got.iter() {
+                            changed.set(dst);
+                        }
+                    }
+                    _ => {
+                        let _ = ligra::edge_map_push_par(
+                            lg,
+                            &frontier,
+                            &pool,
+                            |src, dst, w| {
+                                let candidate = relax(prev[src.index()], w);
+                                (candidate < prev[dst.index()]).then_some(candidate)
+                            },
+                            |dst, candidate| {
+                                if candidate < labels[dst.index()] {
+                                    labels[dst.index()] = candidate;
+                                    changed.set(dst);
+                                    true
+                                } else {
+                                    false
+                                }
+                            },
+                        );
+                    }
+                }
             }
             EngineKind::Galois => {
-                // Asynchronous within the round: chaotic relaxation until
-                // local quiescence (the D-Galois hybrid of §5.4).
-                let mut work = 0u64;
-                gluon_engines::galois::for_each(n, active.iter(), |v, wl| {
-                    work += u64::from(lg.out_degree(v));
-                    let lv = labels[v.index()];
-                    for e in lg.out_edges(v) {
-                        let candidate = relax(lv, e.weight);
-                        if candidate < labels[e.dst.index()] {
-                            labels[e.dst.index()] = candidate;
-                            changed.set(e.dst);
-                            wl.push(e.dst);
+                // Deterministic bulk sub-rounds to local quiescence (the
+                // D-Galois hybrid of §5.4 with a determinism contract).
+                let mut frontier: Vec<Lid> = active.iter().collect();
+                while !frontier.is_empty() {
+                    let labels_ref: &[u32] = labels;
+                    let chunks = galois::do_all_chunked(
+                        &pool,
+                        &frontier,
+                        |v| u64::from(lg.out_degree(v)),
+                        |chunk| {
+                            let mut out: Vec<(Lid, u32)> = Vec::new();
+                            for &v in chunk {
+                                let lv = labels_ref[v.index()];
+                                for e in lg.out_edges(v) {
+                                    let candidate = relax(lv, e.weight);
+                                    if candidate < labels_ref[e.dst.index()] {
+                                        out.push((e.dst, candidate));
+                                    }
+                                }
+                            }
+                            out
+                        },
+                    );
+                    let mut next: Vec<Lid> = Vec::new();
+                    let mut queued = DenseBitset::new(n);
+                    for chunk in chunks {
+                        for (dst, candidate) in chunk {
+                            if candidate < labels[dst.index()] {
+                                labels[dst.index()] = candidate;
+                                changed.set(dst);
+                                if !queued.test(dst) {
+                                    queued.set(dst);
+                                    next.push(dst);
+                                }
+                            }
                         }
                     }
-                });
-                ctx.add_work(work);
+                    frontier = next;
+                }
             }
             EngineKind::Irgl => {
-                // One bulk kernel sweep per round; updates visible within
-                // the sweep (GPU atomics semantics).
+                // One bulk snapshot kernel per round.
                 let worklist: Vec<Lid> = active.iter().collect();
-                let before = device.stats().edges_traversed;
-                let _ = device.kernel(lg, &worklist, |v, lg, out| {
-                    let lv = labels[v.index()];
-                    for e in lg.out_edges(v) {
-                        let candidate = relax(lv, e.weight);
-                        if candidate < labels[e.dst.index()] {
-                            labels[e.dst.index()] = candidate;
-                            changed.set(e.dst);
-                            out.push(e.dst);
+                let prev = labels.to_vec();
+                let _ = device.kernel_par(
+                    lg,
+                    &pool,
+                    &worklist,
+                    |v, lg, out| {
+                        let lv = prev[v.index()];
+                        for e in lg.out_edges(v) {
+                            let candidate = relax(lv, e.weight);
+                            if candidate < prev[e.dst.index()] {
+                                out.push(e.dst, candidate);
+                            }
                         }
-                    }
-                });
-                ctx.add_work(device.stats().edges_traversed - before);
+                    },
+                    |dst, candidate| {
+                        if candidate < labels[dst.index()] {
+                            labels[dst.index()] = candidate;
+                            changed.set(dst);
+                            true
+                        } else {
+                            false
+                        }
+                    },
+                );
             }
         }
         *active = changed;
         let mut field = MinField::new(labels);
-        ctx.sync(
-            WriteLocation::Destination,
-            ReadLocation::Source,
-            &mut field,
-            active,
-        );
+        ctx.sync(&SPEC, &mut field, active);
         if !ctx.any_globally(!active.is_empty()) {
             return rounds;
         }

@@ -164,8 +164,8 @@ pub fn symmetrize(graph: &Csr) -> Csr {
 }
 
 /// Single-source betweenness-centrality dependencies (Brandes): for each
-/// node `v`, the dependency `delta_s(v) = sum over shortest paths from
-/// `source` passing through `v`" of the pair-dependency, computed on the
+/// node `v`, the dependency `delta_s(v)` is the sum of the pair-dependency
+/// over shortest paths from `source` passing through `v`, computed on the
 /// unweighted directed graph. `delta[source] = 0`.
 pub fn betweenness_source(graph: &Csr, source: Gid) -> Vec<f64> {
     let n = graph.num_nodes() as usize;

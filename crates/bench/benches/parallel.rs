@@ -1,0 +1,95 @@
+//! Intra-host parallel scaling of the deterministic pool (the tentpole
+//! measurement): pagerank on the rmat18 stand-in at 1/2/4/8 threads on a
+//! single host, reporting the *measured* speedup — sequential work over the
+//! critical path of the pool's weight-balanced chunk assignment. The
+//! simulated cluster shares physical cores between hosts, so wall clock
+//! cannot show intra-host scaling; the metered critical path can, and it
+//! reflects the real chunk imbalance of the skewed input rather than an
+//! assumed ideal.
+//!
+//! The `b.iter` micro-benchmark at the end times the pool primitive itself
+//! (a weighted chunked map over a degree-skewed weight profile), which *is*
+//! meaningful wall-clock.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gluon::Pool;
+use gluon_algos::{driver, Algorithm, DistConfig, PagerankConfig};
+use gluon_bench::inputs;
+use gluon_graph::{gen, RmatProbs};
+use std::hint::black_box;
+
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+/// The acceptance input: a genuine scale-18 rmat (262k vertices), bigger
+/// than the Table 1 stand-ins so the per-host chunk count is realistic.
+fn rmat18() -> inputs::BenchGraph {
+    inputs::BenchGraph {
+        name: "rmat18",
+        paper_name: "rmat28",
+        graph: gen::rmat(18, 8, RmatProbs::GRAPH500, 28),
+    }
+}
+
+fn speedup_at(graph: &inputs::BenchGraph, algo: Algorithm, threads: usize) -> f64 {
+    let pr = PagerankConfig {
+        max_iters: 5,
+        ..Default::default()
+    };
+    let out = driver::Run::new(&graph.graph, algo)
+        .config(&DistConfig::new(1))
+        .pagerank(pr)
+        .threads(threads)
+        .launch();
+    out.run.parallel_speedup()
+}
+
+fn bench_scaling(_c: &mut Criterion) {
+    println!("\nintra-host scaling (measured speedup = seq work / critical path)");
+    println!(
+        "{:<8} {:>8} {:>12} {:>12}",
+        "input", "threads", "pagerank", "bfs"
+    );
+    let g = rmat18();
+    for threads in THREADS {
+        let pr = speedup_at(&g, Algorithm::Pagerank, threads);
+        let bfs = speedup_at(&g, Algorithm::Bfs, threads);
+        println!("{:<8} {:>8} {:>11.2}x {:>11.2}x", g.name, threads, pr, bfs);
+        if threads == 1 {
+            assert!((pr - 1.0).abs() < 1e-9, "sequential run must report 1.0");
+        }
+        if threads == 4 {
+            assert!(
+                pr >= 2.0,
+                "acceptance: pagerank/{} at 4 threads must show >= 2x, got {pr:.2}x",
+                g.name
+            );
+        }
+    }
+}
+
+fn bench_pool_primitive(c: &mut Criterion) {
+    // Wall-clock for the primitive itself: a weighted chunked reduction
+    // over a skewed per-element weight profile (rmat-like degree shape).
+    let g = rmat18();
+    let degrees: Vec<u64> = (0..g.graph.num_nodes())
+        .map(|v| g.graph.out_degree(gluon_graph::Gid(v)) as u64)
+        .collect();
+    for threads in [1usize, 4] {
+        let pool = Pool::new(threads);
+        c.bench_function(&format!("pool/weighted-reduce/{threads}t"), |b| {
+            b.iter(|| {
+                let total = pool.reduce(
+                    degrees.len(),
+                    0u64,
+                    |r| degrees[r].iter().sum(),
+                    |a, b| a + b,
+                );
+                black_box(total)
+            })
+        });
+        let _ = pool.drain_work();
+    }
+}
+
+criterion_group!(benches, bench_scaling, bench_pool_primitive);
+criterion_main!(benches);

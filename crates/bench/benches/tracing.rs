@@ -53,12 +53,25 @@ fn bench_traced_run(c: &mut Criterion) {
     let cfg = DistConfig::new(2);
     let mut group = c.benchmark_group("bfs-run");
     group.bench_with_input(criterion::BenchmarkId::new("untraced", "2h"), &g, |b, g| {
-        b.iter(|| black_box(driver::run(g, Algorithm::Bfs, &cfg).rounds))
+        b.iter(|| {
+            black_box(
+                driver::Run::new(g, Algorithm::Bfs)
+                    .config(&cfg)
+                    .launch()
+                    .rounds,
+            )
+        })
     });
     group.bench_with_input(criterion::BenchmarkId::new("traced", "2h"), &g, |b, g| {
         b.iter(|| {
             let t = Tracer::new(cfg.hosts);
-            black_box(driver::run_traced(g, Algorithm::Bfs, &cfg, &t).rounds)
+            black_box(
+                driver::Run::new(g, Algorithm::Bfs)
+                    .config(&cfg)
+                    .tracer(&t)
+                    .launch()
+                    .rounds,
+            )
         })
     });
     group.finish();
@@ -70,8 +83,11 @@ fn guard_zero_cost(_c: &mut Criterion) {
     // 1. Counter identity: a disabled tracer must not perturb the run.
     let g = gen::rmat(8, 8, Default::default(), 9);
     let cfg = DistConfig::new(2);
-    let plain = driver::run(&g, Algorithm::Bfs, &cfg);
-    let disabled = driver::run_traced(&g, Algorithm::Bfs, &cfg, &Tracer::disabled());
+    let plain = driver::Run::new(&g, Algorithm::Bfs).config(&cfg).launch();
+    let disabled = driver::Run::new(&g, Algorithm::Bfs)
+        .config(&cfg)
+        .tracer(&Tracer::disabled())
+        .launch();
     assert_eq!(plain.run.total_bytes, disabled.run.total_bytes);
     assert_eq!(plain.run.total_messages, disabled.run.total_messages);
     assert_eq!(plain.int_labels, disabled.int_labels);

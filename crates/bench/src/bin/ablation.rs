@@ -82,7 +82,9 @@ fn cvc_grid_shapes() {
             opts: OptLevel::OSTI,
             engine: EngineKind::Galois,
         };
-        let out = driver::run(&bg.graph, Algorithm::Cc, &cfg);
+        let out = driver::Run::new(&bg.graph, Algorithm::Cc)
+            .config(&cfg)
+            .launch();
         table.row(vec![
             label.to_owned(),
             report::bytes(out.run.total_bytes),
@@ -153,7 +155,9 @@ fn chaos_overhead(chrome: &mut Option<ChromeTraceBuilder>) {
         opts: OptLevel::OSTI,
         engine: EngineKind::Galois,
     };
-    let clean = driver::run(&bg.graph, Algorithm::Pagerank, &cfg);
+    let clean = driver::Run::new(&bg.graph, Algorithm::Pagerank)
+        .config(&cfg)
+        .launch();
     let mut table = Table::new(vec![
         "drop rate",
         "wire bytes",
@@ -175,18 +179,16 @@ fn chaos_overhead(chrome: &mut Option<ChromeTraceBuilder>) {
             Some(_) => Tracer::new(cfg.hosts),
             None => Tracer::disabled(),
         };
-        let out = driver::run_with_wrapped_traced(
-            &bg.graph,
-            Algorithm::Pagerank,
-            &cfg,
-            max_out_degree_node(&bg.graph),
-            PagerankConfig::default(),
-            |ep| {
+        let out = driver::Run::new(&bg.graph, Algorithm::Pagerank)
+            .config(&cfg)
+            .source(max_out_degree_node(&bg.graph))
+            .pagerank(PagerankConfig::default())
+            .tracer(&tracer)
+            .transport(|ep| {
                 ReliableTransport::over(FaultyTransport::new(ep, plan.clone(), counters.clone()))
                     .with_tracer(tracer.clone())
-            },
-            &tracer,
-        );
+            })
+            .launch();
         if let Some(chrome) = chrome {
             chrome.add(&format!("chaos drop={:.0}%", drop * 100.0), &tracer);
         }

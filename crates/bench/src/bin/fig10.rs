@@ -97,7 +97,7 @@ fn main() {
                     opts,
                     engine: panel.engine,
                 };
-                let out = driver::run(graph, algo, &cfg);
+                let out = driver::Run::new(graph, algo).config(&cfg).launch();
                 let compute = out.run.max_work_units as f64 / gluon::DEFAULT_EDGES_PER_SEC;
                 let per_host_bytes = out.run.total_bytes as f64 / panel.hosts as f64;
                 let per_host_msgs = out.run.total_messages as f64 / panel.hosts as f64;

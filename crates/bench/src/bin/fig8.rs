@@ -33,7 +33,10 @@ fn gluon_point(
         opts: Default::default(),
         engine,
     };
-    let out = driver::run_traced(graph, algo, &cfg, tracer);
+    let out = driver::Run::new(graph, algo)
+        .config(&cfg)
+        .tracer(tracer)
+        .launch();
     Point {
         projected_secs: out.projected_secs(&CostModel::REPRO),
         wall_secs: out.algo_secs,

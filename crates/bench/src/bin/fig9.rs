@@ -47,7 +47,7 @@ fn main() {
                     opts: Default::default(),
                     engine: EngineKind::Irgl,
                 };
-                let out = driver::run(graph, algo, &cfg);
+                let out = driver::Run::new(graph, algo).config(&cfg).launch();
                 let projected = out.projected_secs(&CostModel::REPRO);
                 if gpus == device_counts[0] {
                     first = Some(projected);

@@ -27,7 +27,7 @@ fn best_gluon(graph: &Csr, algo: Algorithm, engine: EngineKind, hosts: &[usize])
                 opts: Default::default(),
                 engine,
             };
-            let out = driver::run(graph, algo, &cfg);
+            let out = driver::Run::new(graph, algo).config(&cfg).launch();
             (out.projected_secs(&model), h)
         })
         .min_by(|a, b| a.0.partial_cmp(&b.0).expect("finite times"))

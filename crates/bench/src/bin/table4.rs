@@ -4,11 +4,17 @@
 //! Columns: plain Ligra and Galois engines (no substrate at all), their
 //! D-counterparts pinned to one host (full Gluon layer, no actual
 //! communication partners), and Gemini on one host.
+//!
+//! A second table reports intra-host scaling: the measured speedup (pool
+//! sequential work over the critical path of its weight-balanced chunk
+//! assignment) at 1/2/4/8 threads, plus the cost model's projected runtime
+//! with that many cores per host.
 
 use gluon_algos::{driver, Algorithm, DistConfig, EngineKind};
 use gluon_bench::{inputs, report, scale_from_args, singlehost, Table};
 use gluon_gemini::GeminiAlgo;
 use gluon_graph::{max_out_degree_node, Csr};
+use gluon_net::CostModel;
 use gluon_partition::Policy;
 
 fn d_system_secs(graph: &Csr, algo: Algorithm, engine: EngineKind) -> f64 {
@@ -18,7 +24,10 @@ fn d_system_secs(graph: &Csr, algo: Algorithm, engine: EngineKind) -> f64 {
         opts: Default::default(),
         engine,
     };
-    driver::run(graph, algo, &cfg).algo_secs
+    driver::Run::new(graph, algo)
+        .config(&cfg)
+        .launch()
+        .algo_secs
 }
 
 fn gemini_secs(graph: &Csr, algo: Algorithm) -> f64 {
@@ -81,5 +90,48 @@ fn main() {
     println!(
         "Paper shape to check: the D-systems are competitive with the plain \
          shared-memory engines on one host (small Gluon-layer overhead)."
+    );
+
+    println!();
+    let mut scaling = Table::new(vec!["input", "bench", "threads", "speedup", "projected"]);
+    let mut four_thread = Vec::new();
+    for bg in &graphs {
+        for algo in [Algorithm::Pagerank, Algorithm::Bfs] {
+            let weighted;
+            let graph: &Csr = if algo == Algorithm::Sssp {
+                weighted = bg.weighted();
+                &weighted
+            } else {
+                &bg.graph
+            };
+            for threads in [1usize, 2, 4, 8] {
+                let out = driver::Run::new(graph, algo)
+                    .config(&DistConfig {
+                        hosts: 1,
+                        policy: Policy::Oec,
+                        opts: Default::default(),
+                        engine: EngineKind::Galois,
+                    })
+                    .threads(threads)
+                    .launch();
+                let speedup = out.run.parallel_speedup();
+                if threads == 4 && algo == Algorithm::Pagerank {
+                    four_thread.push(speedup);
+                }
+                scaling.row(vec![
+                    bg.name.to_owned(),
+                    algo.name().to_owned(),
+                    threads.to_string(),
+                    format!("{speedup:.2}x"),
+                    report::secs(out.projected_secs_with_cores(&CostModel::REPRO, threads)),
+                ]);
+            }
+        }
+    }
+    scaling.print("Table 4b: intra-host scaling (measured speedup and projected runtime)");
+    println!();
+    println!(
+        "geomean pagerank speedup at 4 threads: {:.2}x (acceptance floor: 2x)",
+        report::geomean(four_thread)
     );
 }

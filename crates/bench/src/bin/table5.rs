@@ -16,7 +16,10 @@ fn run_policy(graph: &Csr, algo: Algorithm, policy: Policy) -> f64 {
         opts: Default::default(),
         engine: EngineKind::Irgl,
     };
-    driver::run(graph, algo, &cfg).projected_secs(&CostModel::REPRO)
+    driver::Run::new(graph, algo)
+        .config(&cfg)
+        .launch()
+        .projected_secs(&CostModel::REPRO)
 }
 
 fn main() {

@@ -10,6 +10,7 @@ use crate::field::FieldSync;
 use crate::memo::{FlagFilter, MemoTable};
 use crate::opts::OptLevel;
 use crate::stats::{PhaseStats, SyncStats};
+use gluon_exec::Pool;
 use gluon_graph::{Gid, HostId, Lid};
 use gluon_net::{Communicator, NetError, Transport};
 use gluon_partition::LocalGraph;
@@ -88,6 +89,76 @@ fn filter_index(f: FlagFilter) -> usize {
     }
 }
 
+/// A synchronization specification: *where* the operator wrote the field,
+/// *where* the next round reads it, and optional field metadata — the
+/// bundle every [`GluonContext::sync`] call needs.
+///
+/// A spec with both locations set runs reduce then broadcast; a
+/// reduce-only or broadcast-only spec runs a single pattern. Construct
+/// specs once (they are `const`) and reuse them across rounds:
+///
+/// ```
+/// use gluon::{ReadLocation, SyncSpec, WriteLocation};
+///
+/// // The push min-relaxation pattern of bfs/sssp/cc.
+/// const PUSH: SyncSpec =
+///     SyncSpec::full(WriteLocation::Destination, ReadLocation::Source).named("dist");
+/// assert_eq!(PUSH.write, Some(WriteLocation::Destination));
+///
+/// // Partial sums consumed at the master: reduce only.
+/// const PARTIALS: SyncSpec = SyncSpec::reduce(WriteLocation::Destination);
+/// assert_eq!(PARTIALS.read, None);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct SyncSpec {
+    /// Where the operator writes the field (None: skip the reduce
+    /// pattern).
+    pub write: Option<WriteLocation>,
+    /// Where the field is read next round (None: skip the broadcast
+    /// pattern).
+    pub read: Option<ReadLocation>,
+    /// Field name used in trace output (wire-mode histograms); defaults to
+    /// the [`FieldSync`] implementor's type name.
+    pub name: Option<&'static str>,
+}
+
+impl SyncSpec {
+    /// Reduce then broadcast — the full sync of the paper's Figure 4.
+    pub const fn full(write: WriteLocation, read: ReadLocation) -> SyncSpec {
+        SyncSpec {
+            write: Some(write),
+            read: Some(read),
+            name: None,
+        }
+    }
+
+    /// Reduce only (mirrors → masters): for fields consumed at the master
+    /// and never read back at mirrors.
+    pub const fn reduce(write: WriteLocation) -> SyncSpec {
+        SyncSpec {
+            write: Some(write),
+            read: None,
+            name: None,
+        }
+    }
+
+    /// Broadcast only (masters → mirrors): for fields written only at
+    /// masters and read at mirrors next round.
+    pub const fn broadcast(read: ReadLocation) -> SyncSpec {
+        SyncSpec {
+            write: None,
+            read: Some(read),
+            name: None,
+        }
+    }
+
+    /// Attaches a field name for trace output.
+    pub const fn named(mut self, name: &'static str) -> SyncSpec {
+        self.name = Some(name);
+        self
+    }
+}
+
 /// The per-host Gluon runtime handle.
 ///
 /// Create one per host after partitioning (the constructor runs the
@@ -111,6 +182,8 @@ pub struct GluonContext<'a, T: Transport + ?Sized> {
     seq: u32,
     mark: Instant,
     pending_work: u64,
+    pending_crit_work: u64,
+    pool: Pool,
 }
 
 /// Splits one sync call into contiguous timed segments, each emitted as a
@@ -253,7 +326,29 @@ impl<'a, T: Transport + ?Sized> GluonContext<'a, T> {
             seq: 0,
             mark: Instant::now(),
             pending_work: 0,
+            pending_crit_work: 0,
+            pool: Pool::sequential(),
         }
+    }
+
+    /// Installs an intra-host worker pool (builder style). The pool drives
+    /// the sync hot path's extract/encode/decode stages and is what engines
+    /// obtain through [`GluonContext::pool`]; the default is sequential.
+    #[must_use]
+    pub fn with_pool(mut self, pool: Pool) -> Self {
+        self.pool = pool;
+        self
+    }
+
+    /// Replaces the intra-host worker pool.
+    pub fn set_pool(&mut self, pool: Pool) {
+        self.pool = pool;
+    }
+
+    /// The intra-host worker pool (clone it to hand to an engine; clones
+    /// share the work meter).
+    pub fn pool(&self) -> &Pool {
+        &self.pool
     }
 
     /// The local partition this context synchronizes.
@@ -309,7 +404,27 @@ impl<'a, T: Transport + ?Sized> GluonContext<'a, T> {
     /// though the simulated hosts share physical cores; the amount is
     /// attributed to the next phase's [`crate::PhaseStats::work_units`].
     pub fn add_work(&mut self, units: u64) {
-        self.pending_work += units;
+        self.add_work_split(units, units);
+    }
+
+    /// Reports pre-measured parallel work: `seq` units of total work whose
+    /// critical path under the current pool was `crit` units. Sequential
+    /// kernels have `crit == seq`; [`GluonContext::add_work`] is that
+    /// shorthand. Work metered by the context's own [`Pool`] is absorbed
+    /// automatically at each phase boundary and must not be re-reported.
+    pub fn add_work_split(&mut self, seq: u64, crit: u64) {
+        self.pending_work += seq;
+        self.pending_crit_work += crit;
+    }
+
+    /// Drains pending work (explicit reports plus the pool's meter) for
+    /// attribution to the phase being recorded.
+    fn take_pending_work(&mut self) -> (u64, u64) {
+        let w = self.pool.drain_work();
+        (
+            std::mem::take(&mut self.pending_work) + w.seq,
+            std::mem::take(&mut self.pending_crit_work) + w.crit,
+        )
     }
 
     /// The blocking synchronization call (§3.3): reconciles the proxies of
@@ -326,15 +441,16 @@ impl<'a, T: Transport + ?Sized> GluonContext<'a, T> {
     ///
     /// # Panics
     ///
-    /// Panics if `updated` is not sized to the proxy count.
+    /// Panics if `updated` is not sized to the proxy count, or on network
+    /// failure ([`GluonContext::try_sync`] surfaces that as an error
+    /// instead).
     pub fn sync<F: FieldSync>(
         &mut self,
-        write: WriteLocation,
-        read: ReadLocation,
+        spec: &SyncSpec,
         field: &mut F,
         updated: &mut DenseBitset,
     ) {
-        self.try_sync(write, read, field, updated)
+        self.try_sync(spec, field, updated)
             .unwrap_or_else(|e| panic!("sync failed: {e}"));
     }
 
@@ -349,82 +465,7 @@ impl<'a, T: Transport + ?Sized> GluonContext<'a, T> {
     /// (or restart it), not retry the call.
     pub fn try_sync<F: FieldSync>(
         &mut self,
-        write: WriteLocation,
-        read: ReadLocation,
-        field: &mut F,
-        updated: &mut DenseBitset,
-    ) -> Result<(), NetError> {
-        self.sync_impl(Some(write), Some(read), field, updated)
-    }
-
-    /// Runs only the reduce pattern (mirrors → masters). For fields that
-    /// are consumed at the master (e.g. pull-style pagerank partial sums)
-    /// and never read back at mirrors.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `updated` is not sized to the proxy count.
-    pub fn sync_reduce<F: FieldSync>(
-        &mut self,
-        write: WriteLocation,
-        field: &mut F,
-        updated: &mut DenseBitset,
-    ) {
-        self.try_sync_reduce(write, field, updated)
-            .unwrap_or_else(|e| panic!("sync (reduce) failed: {e}"));
-    }
-
-    /// As [`GluonContext::sync_reduce`], surfacing network failure as an
-    /// error (see [`GluonContext::try_sync`] for the error contract).
-    ///
-    /// # Errors
-    ///
-    /// Returns [`NetError`] if a peer becomes unreachable mid-sync.
-    pub fn try_sync_reduce<F: FieldSync>(
-        &mut self,
-        write: WriteLocation,
-        field: &mut F,
-        updated: &mut DenseBitset,
-    ) -> Result<(), NetError> {
-        self.sync_impl(Some(write), None, field, updated)
-    }
-
-    /// Runs only the broadcast pattern (masters → mirrors). For fields that
-    /// are written only at masters (e.g. pagerank ranks applied after a
-    /// reduction) and read at mirrors next round.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `updated` is not sized to the proxy count.
-    pub fn sync_broadcast<F: FieldSync>(
-        &mut self,
-        read: ReadLocation,
-        field: &mut F,
-        updated: &mut DenseBitset,
-    ) {
-        self.try_sync_broadcast(read, field, updated)
-            .unwrap_or_else(|e| panic!("sync (broadcast) failed: {e}"));
-    }
-
-    /// As [`GluonContext::sync_broadcast`], surfacing network failure as an
-    /// error (see [`GluonContext::try_sync`] for the error contract).
-    ///
-    /// # Errors
-    ///
-    /// Returns [`NetError`] if a peer becomes unreachable mid-sync.
-    pub fn try_sync_broadcast<F: FieldSync>(
-        &mut self,
-        read: ReadLocation,
-        field: &mut F,
-        updated: &mut DenseBitset,
-    ) -> Result<(), NetError> {
-        self.sync_impl(None, Some(read), field, updated)
-    }
-
-    fn sync_impl<F: FieldSync>(
-        &mut self,
-        write: Option<WriteLocation>,
-        read: Option<ReadLocation>,
+        spec: &SyncSpec,
         field: &mut F,
         updated: &mut DenseBitset,
     ) -> Result<(), NetError> {
@@ -441,17 +482,19 @@ impl<'a, T: Transport + ?Sized> GluonContext<'a, T> {
         self.seq = self.seq.wrapping_add(1);
         const { assert!(SYNC_TAG_WINDOW > 2, "tag window") };
         let structural = self.opts.structural;
+        let field_name = spec.name.unwrap_or_else(std::any::type_name::<F>);
 
         let phase_idx = self.stats.phases.len() as u32;
         let mut seg = Segmenter::begin(&self.tracer, self.rank(), phase_idx, Stage::Extract);
 
-        if let Some(w) = write {
+        if let Some(w) = spec.write {
             let fr = filter_index(w.filter(structural));
             self.send_pattern(
                 seq,
                 0,
                 PatternRole::MirrorToMaster,
                 fr,
+                field_name,
                 field,
                 updated,
                 &mut seg,
@@ -466,13 +509,14 @@ impl<'a, T: Transport + ?Sized> GluonContext<'a, T> {
                 &mut seg,
             )?;
         }
-        if let Some(r) = read {
+        if let Some(r) = spec.read {
             let fb = filter_index(r.filter(structural));
             self.send_pattern(
                 seq,
                 1,
                 PatternRole::MasterToMirror,
                 fb,
+                field_name,
                 field,
                 updated,
                 &mut seg,
@@ -493,6 +537,7 @@ impl<'a, T: Transport + ?Sized> GluonContext<'a, T> {
         // phases keep the plain wall-clock measurement.
         let traced_ns = seg.finish();
         let after = self.host_sent_snapshot();
+        let (work_units, crit_work_units) = self.take_pending_work();
         self.stats.phases.push(PhaseStats {
             compute_secs,
             comm_secs: match traced_ns {
@@ -501,7 +546,8 @@ impl<'a, T: Transport + ?Sized> GluonContext<'a, T> {
             },
             bytes_sent: after.0 - before.0,
             messages_sent: after.1 - before.1,
-            work_units: std::mem::take(&mut self.pending_work),
+            work_units,
+            crit_work_units,
         });
         self.mark = Instant::now();
         Ok(())
@@ -527,6 +573,7 @@ impl<'a, T: Transport + ?Sized> GluonContext<'a, T> {
         let seg = Segmenter::begin(&self.tracer, self.rank(), phase_idx, Stage::Collective);
         let any = self.comm.try_any(local_active)?;
         let traced_ns = seg.finish();
+        let (work_units, crit_work_units) = self.take_pending_work();
         self.stats.phases.push(PhaseStats {
             compute_secs,
             comm_secs: match traced_ns {
@@ -535,7 +582,8 @@ impl<'a, T: Transport + ?Sized> GluonContext<'a, T> {
             },
             bytes_sent: 0,
             messages_sent: 0,
-            work_units: std::mem::take(&mut self.pending_work),
+            work_units,
+            crit_work_units,
         });
         self.mark = Instant::now();
         Ok(any)
@@ -561,6 +609,7 @@ impl<'a, T: Transport + ?Sized> GluonContext<'a, T> {
         let seg = Segmenter::begin(&self.tracer, self.rank(), phase_idx, Stage::Collective);
         let sum = self.comm.try_all_reduce_f64(local, |a, b| a + b)?;
         let traced_ns = seg.finish();
+        let (work_units, crit_work_units) = self.take_pending_work();
         self.stats.phases.push(PhaseStats {
             compute_secs,
             comm_secs: match traced_ns {
@@ -569,7 +618,8 @@ impl<'a, T: Transport + ?Sized> GluonContext<'a, T> {
             },
             bytes_sent: 0,
             messages_sent: 0,
-            work_units: std::mem::take(&mut self.pending_work),
+            work_units,
+            crit_work_units,
         });
         self.mark = Instant::now();
         Ok(sum)
@@ -591,13 +641,17 @@ impl<'a, T: Transport + ?Sized> GluonContext<'a, T> {
         pat: u32,
         role: PatternRole,
         filter_idx: usize,
+        field_name: &'static str,
         field: &mut F,
         updated: &mut DenseBitset,
         seg: &mut Segmenter,
     ) -> Result<(), NetError> {
+        if self.pool.is_parallel() {
+            return self
+                .send_pattern_par(seq, pat, role, filter_idx, field_name, field, updated, seg);
+        }
         let rank = self.rank();
         let temporal = self.opts.temporal;
-        let field_name = std::any::type_name::<F>();
         for h in 0..self.world_size() {
             if h == rank {
                 continue;
@@ -660,6 +714,93 @@ impl<'a, T: Transport + ?Sized> GluonContext<'a, T> {
         Ok(())
     }
 
+    /// Parallel send side: per-peer dirty-set scans, extraction, and
+    /// encoding are independent reads of the field and the proxy lists, so
+    /// each peer's payload is built on a pool worker; the mutating tail
+    /// (reset, trace, send) then runs sequentially in rank order, producing
+    /// byte-for-byte the payloads and counters of the sequential path.
+    #[allow(clippy::too_many_arguments)]
+    fn send_pattern_par<F: FieldSync>(
+        &mut self,
+        seq: u32,
+        pat: u32,
+        role: PatternRole,
+        filter_idx: usize,
+        field_name: &'static str,
+        field: &mut F,
+        updated: &mut DenseBitset,
+        seg: &mut Segmenter,
+    ) -> Result<(), NetError> {
+        let rank = self.rank();
+        let temporal = self.opts.temporal;
+        let lists = match role {
+            PatternRole::MirrorToMaster => &self.mirror_lists[filter_idx],
+            PatternRole::MasterToMirror => &self.master_lists[filter_idx],
+        };
+        // One Extract segment covers the whole concurrent extract+encode
+        // region: per-peer wall-clock attribution is meaningless when the
+        // peers' payloads are built at the same time.
+        seg.stage(Stage::Extract, None);
+        let graph = self.graph;
+        let field_ref: &F = field;
+        let updated_ref: &DenseBitset = updated;
+        let prepared = self.pool.map_per(self.comm.world_size(), |h| {
+            if h == rank {
+                return None;
+            }
+            let list: &[Lid] = &lists[h];
+            if list.is_empty() {
+                return None;
+            }
+            let mut updated_pos: Vec<u32> = Vec::new();
+            for (i, &lid) in list.iter().enumerate() {
+                if updated_ref.test(lid) {
+                    updated_pos.push(i as u32);
+                }
+            }
+            let payload = if temporal {
+                encode_memoized(list.len(), &updated_pos, |p| field_ref.extract(list[p]))
+            } else {
+                let pairs: Vec<(Gid, F::Value)> = updated_pos
+                    .iter()
+                    .map(|&p| {
+                        let lid = list[p as usize];
+                        (graph.gid(lid), field_ref.extract(lid))
+                    })
+                    .collect();
+                encode_gid_values(&pairs)
+            };
+            Some((updated_pos, payload))
+        });
+        for (h, prep) in prepared.into_iter().enumerate() {
+            let Some((updated_pos, payload)) = prep else {
+                continue;
+            };
+            self.tracer.record_wire_mode(field_name, payload[0]);
+            self.tracer.record_message_size(payload.len());
+            if role == PatternRole::MirrorToMaster {
+                seg.stage(Stage::Reset, Some(h));
+                let list: &[Lid] = &lists[h];
+                if temporal && WireMode::of(&payload) == WireMode::Dense {
+                    for &lid in list {
+                        field.reset(lid);
+                        updated.clear(lid);
+                    }
+                } else {
+                    for &p in &updated_pos {
+                        field.reset(list[p as usize]);
+                        updated.clear(list[p as usize]);
+                    }
+                }
+            }
+            seg.stage(Stage::Send, Some(h));
+            self.comm
+                .transport()
+                .try_send(h, sync_tag(seq, pat), payload)?;
+        }
+        Ok(())
+    }
+
     #[allow(clippy::too_many_arguments)]
     fn recv_pattern<F: FieldSync>(
         &mut self,
@@ -671,6 +812,9 @@ impl<'a, T: Transport + ?Sized> GluonContext<'a, T> {
         updated: &mut DenseBitset,
         seg: &mut Segmenter,
     ) -> Result<(), NetError> {
+        if self.pool.is_parallel() {
+            return self.recv_pattern_par(seq, pat, role, filter_idx, field, updated, seg);
+        }
         let rank = self.rank();
         let temporal = self.opts.temporal;
         for h in 0..self.world_size() {
@@ -796,6 +940,79 @@ impl<'a, T: Transport + ?Sized> GluonContext<'a, T> {
                             field.set(lid, v);
                             updated.set(lid);
                         });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Parallel receive side: payloads are collected from peers in rank
+    /// order (receive order is fixed by the protocol, not by the pool),
+    /// decoded concurrently into per-peer `(lid, value)` staging buffers,
+    /// then applied sequentially in rank order — the same combination
+    /// order as the sequential path, so reductions over non-associative
+    /// values (floats) stay bit-identical at any thread count.
+    #[allow(clippy::too_many_arguments)]
+    fn recv_pattern_par<F: FieldSync>(
+        &mut self,
+        seq: u32,
+        pat: u32,
+        role: PatternRole,
+        filter_idx: usize,
+        field: &mut F,
+        updated: &mut DenseBitset,
+        seg: &mut Segmenter,
+    ) -> Result<(), NetError> {
+        let rank = self.rank();
+        let n = self.world_size();
+        let temporal = self.opts.temporal;
+        let lists = match role {
+            PatternRole::MirrorToMaster => &self.master_lists[filter_idx],
+            PatternRole::MasterToMirror => &self.mirror_lists[filter_idx],
+        };
+        let mut payloads: Vec<Option<bytes::Bytes>> = vec![None; n];
+        for h in 0..n {
+            if h == rank || lists[h].is_empty() {
+                continue;
+            }
+            seg.stage(Stage::RecvWait, Some(h));
+            payloads[h] = Some(self.comm.transport().try_recv(h, sync_tag(seq, pat))?);
+        }
+        seg.stage(Stage::Decode, None);
+        let graph = self.graph;
+        let decoded: Vec<Vec<(Lid, F::Value)>> = self.pool.map_per(n, |h| {
+            let Some(payload) = &payloads[h] else {
+                return Vec::new();
+            };
+            let list: &[Lid] = &lists[h];
+            let mut entries: Vec<(Lid, F::Value)> = Vec::new();
+            if temporal {
+                decode_memoized::<F::Value>(payload, list.len(), &mut |pos, v| {
+                    entries.push((list[pos], v));
+                });
+            } else {
+                decode_gid_values::<F::Value>(payload, &mut |gid, v| {
+                    let lid = graph.lid(gid).expect("synced node has a proxy here");
+                    entries.push((lid, v));
+                });
+            }
+            entries
+        });
+        seg.stage(Stage::Apply, None);
+        for entries in decoded {
+            match role {
+                PatternRole::MirrorToMaster => {
+                    for (lid, v) in entries {
+                        if field.reduce(lid, v) {
+                            updated.set(lid);
+                        }
+                    }
+                }
+                PatternRole::MasterToMirror => {
+                    for (lid, v) in entries {
+                        field.set(lid, v);
+                        updated.set(lid);
                     }
                 }
             }

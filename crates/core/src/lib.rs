@@ -19,10 +19,16 @@
 //! against the substrate (the engine crates offer higher-level front-ends):
 //!
 //! ```
-//! use gluon::{DenseBitset, GluonContext, MinField, OptLevel, ReadLocation, WriteLocation};
+//! use gluon::{
+//!     DenseBitset, GluonContext, MinField, OptLevel, ReadLocation, SyncSpec, WriteLocation,
+//! };
 //! use gluon_graph::{gen, max_out_degree_node};
 //! use gluon_net::{run_cluster, Communicator};
 //! use gluon_partition::{partition_on_host, Policy};
+//!
+//! // Push operators write at edge destinations and read at sources.
+//! const DIST: SyncSpec =
+//!     SyncSpec::full(WriteLocation::Destination, ReadLocation::Source).named("dist");
 //!
 //! let g = gen::rmat(7, 8, Default::default(), 42);
 //! let source = max_out_degree_node(&g);
@@ -49,7 +55,7 @@
 //!         }
 //!         active = next;
 //!         let mut field = MinField::new(&mut dist);
-//!         ctx.sync(WriteLocation::Destination, ReadLocation::Source, &mut field, &mut active);
+//!         ctx.sync(&DIST, &mut field, &mut active);
 //!         if !ctx.any_globally(!active.is_empty()) {
 //!             break;
 //!         }
@@ -81,8 +87,8 @@ mod opts;
 mod stats;
 mod value;
 
-pub use bitset::DenseBitset;
-pub use context::{GluonContext, ReadLocation, WriteLocation};
+pub use bitset::{DenseBitset, Iter as BitsetIter};
+pub use context::{GluonContext, ReadLocation, SyncSpec, WriteLocation};
 pub use field::{init_field, FieldSync, MaxField, MinField, PairMinField, SumField, Zero};
 pub use memo::{FlagFilter, MemoTable, ProxyEntry};
 pub use opts::{OptLevel, ParseOptLevelError};
@@ -91,3 +97,7 @@ pub use value::SyncValue;
 
 /// Structured tracing for the sync stack (re-exported `gluon-trace`).
 pub use gluon_trace as trace;
+
+/// Deterministic intra-host worker pool (re-exported `gluon-exec`).
+pub use gluon_exec as exec;
+pub use gluon_exec::{Pool, WorkSplit, CHUNK};

@@ -29,6 +29,12 @@ pub struct PhaseStats {
     /// Used to *model* compute time when wall-clock is meaningless (the
     /// simulated hosts share cores).
     pub work_units: u64,
+    /// Critical-path work units of the phase under the host's worker pool:
+    /// the largest per-worker share of `work_units` given the pool's
+    /// deterministic chunk assignment. Equals `work_units` for sequential
+    /// phases; the ratio `work_units / crit_work_units` is the *measured*
+    /// intra-host speedup of the phase.
+    pub crit_work_units: u64,
 }
 
 /// Accumulated per-host statistics for a whole run.
@@ -73,6 +79,12 @@ impl SyncStats {
     pub fn work_units(&self) -> u64 {
         self.phases.iter().map(|p| p.work_units).sum()
     }
+
+    /// Total critical-path work units on this host (see
+    /// [`PhaseStats::crit_work_units`]).
+    pub fn crit_work_units(&self) -> u64 {
+        self.phases.iter().map(|p| p.crit_work_units).sum()
+    }
 }
 
 /// Cluster-level aggregation of per-host [`SyncStats`], following the
@@ -102,6 +114,11 @@ pub struct RunStats {
     pub max_work_units: u64,
     /// Total work across all hosts.
     pub total_work_units: u64,
+    /// Sum over phases of the per-phase maximum *critical-path* work
+    /// across hosts: the BSP critical path when every host uses its worker
+    /// pool. `max_work_units / max_crit_work_units` is the run's measured
+    /// intra-host speedup.
+    pub max_crit_work_units: u64,
 }
 
 impl RunStats {
@@ -122,6 +139,7 @@ impl RunStats {
         let mut max_compute = 0.0;
         let mut mean_compute = 0.0;
         let mut max_work = 0u64;
+        let mut max_crit = 0u64;
         for i in 0..phases {
             let times = hosts.iter().map(|h| h.phases[i].compute_secs);
             max_compute += times.clone().fold(0.0f64, f64::max);
@@ -129,6 +147,11 @@ impl RunStats {
             max_work += hosts
                 .iter()
                 .map(|h| h.phases[i].work_units)
+                .max()
+                .unwrap_or(0);
+            max_crit += hosts
+                .iter()
+                .map(|h| h.phases[i].crit_work_units)
                 .max()
                 .unwrap_or(0);
         }
@@ -150,6 +173,7 @@ impl RunStats {
             phases,
             max_work_units: max_work,
             total_work_units: hosts.iter().map(SyncStats::work_units).sum(),
+            max_crit_work_units: max_crit,
         }
     }
 
@@ -167,6 +191,45 @@ impl RunStats {
         compute
             + self.max_host_messages as f64 * model.alpha_secs
             + self.max_host_bytes as f64 * model.beta_secs_per_byte
+    }
+
+    /// As [`RunStats::projected_secs`], with `cores_per_host` physical
+    /// cores available to each host's worker pool.
+    ///
+    /// Compute is charged as the larger of two lower bounds: the *measured*
+    /// critical path of the run's chunked kernels (which already reflects
+    /// per-phase parallel efficiency — chunk imbalance shows up here, not
+    /// an assumed ideal speedup) and the total work divided by the core
+    /// count (no machine can beat perfect scaling). With `cores_per_host
+    /// = 1` this degenerates to [`RunStats::projected_secs`].
+    pub fn projected_secs_with_cores(
+        &self,
+        model: &gluon_net::CostModel,
+        edges_per_sec: f64,
+        cores_per_host: usize,
+    ) -> f64 {
+        let cores = cores_per_host.max(1) as f64;
+        let crit = if self.max_crit_work_units > 0 {
+            self.max_crit_work_units as f64
+        } else {
+            // Runs recorded before pools existed: fall back to sequential.
+            self.max_work_units as f64
+        };
+        let compute = crit.max(self.max_work_units as f64 / cores) / edges_per_sec;
+        compute
+            + self.max_host_messages as f64 * model.alpha_secs
+            + self.max_host_bytes as f64 * model.beta_secs_per_byte
+    }
+
+    /// Measured intra-host parallel speedup of the run's compute critical
+    /// path: sequential work over pooled critical-path work (1.0 when no
+    /// critical-path data was recorded).
+    pub fn parallel_speedup(&self) -> f64 {
+        if self.max_crit_work_units == 0 {
+            1.0
+        } else {
+            self.max_work_units as f64 / self.max_crit_work_units as f64
+        }
     }
 
     /// The paper's load-imbalance estimate: max compute / mean compute.
@@ -193,6 +256,7 @@ mod tests {
                     bytes_sent: b,
                     messages_sent: 1,
                     work_units: b,
+                    crit_work_units: b,
                 })
                 .collect(),
             ..Default::default()
@@ -222,6 +286,36 @@ mod tests {
     #[should_panic(expected = "disagree on phase count")]
     fn mismatched_phases_panic() {
         let _ = RunStats::aggregate(&[host(&[(1.0, 0.0, 0)]), host(&[])]);
+    }
+
+    #[test]
+    fn cores_projection_uses_the_measured_critical_path() {
+        // One phase: 1000 work units, measured critical path 400 (so the
+        // pool achieved 2.5x, not the ideal 4x).
+        let h = SyncStats {
+            phases: vec![PhaseStats {
+                work_units: 1000,
+                crit_work_units: 400,
+                ..Default::default()
+            }],
+            ..Default::default()
+        };
+        let run = RunStats::aggregate(&[h]);
+        assert!((run.parallel_speedup() - 2.5).abs() < 1e-12);
+        let model = gluon_net::CostModel {
+            alpha_secs: 0.0,
+            beta_secs_per_byte: 0.0,
+        };
+        // 4 cores: charged at the measured 400, not the assumed 250.
+        let t4 = run.projected_secs_with_cores(&model, 1.0, 4);
+        assert!((t4 - 400.0).abs() < 1e-12);
+        // 2 cores: perfect scaling (500) beats the measured path, so the
+        // work/cores lower bound dominates.
+        let t2 = run.projected_secs_with_cores(&model, 1.0, 2);
+        assert!((t2 - 500.0).abs() < 1e-12);
+        // 1 core degenerates to the sequential projection.
+        let t1 = run.projected_secs_with_cores(&model, 1.0, 1);
+        assert!((t1 - run.projected_secs(&model, 1.0)).abs() < 1e-12);
     }
 
     #[test]

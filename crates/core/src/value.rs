@@ -7,7 +7,10 @@ use bytes::{BufMut, BytesMut};
 /// Implementations are fixed-size little-endian encodings; the sync layer
 /// relies on [`SyncValue::WIRE_BYTES`] to slice incoming payloads without
 /// any per-value framing.
-pub trait SyncValue: Copy + PartialEq + Send + std::fmt::Debug + 'static {
+///
+/// Values are `Send + Sync` so the parallel sync path can extract and
+/// encode them from worker threads.
+pub trait SyncValue: Copy + PartialEq + Send + Sync + std::fmt::Debug + 'static {
     /// Encoded size in bytes.
     const WIRE_BYTES: usize;
 

@@ -2,7 +2,8 @@
 //! algorithm layer.
 
 use gluon::{
-    DenseBitset, GluonContext, MaxField, MinField, OptLevel, ReadLocation, SumField, WriteLocation,
+    DenseBitset, GluonContext, MaxField, MinField, OptLevel, ReadLocation, SumField, SyncSpec,
+    WriteLocation,
 };
 use gluon_graph::{gen, Gid, Lid};
 use gluon_net::{run_cluster, Communicator};
@@ -36,7 +37,7 @@ fn reduce_only_sums_partials_at_masters() {
             let mut bits = DenseBitset::new(n);
             bits.set_all();
             let mut field = SumField::new(&mut counts);
-            ctx.sync_reduce(WriteLocation::Any, &mut field, &mut bits);
+            ctx.sync(&SyncSpec::reduce(WriteLocation::Any), &mut field, &mut bits);
             lg.masters()
                 .map(|m| (lg.gid(m).0, counts[m.index()]))
                 .collect::<Vec<_>>()
@@ -62,7 +63,11 @@ fn broadcast_only_propagates_master_values() {
             bits.set(m);
         }
         let mut field = MinField::new(&mut vals);
-        ctx.sync_broadcast(ReadLocation::Any, &mut field, &mut bits);
+        ctx.sync(
+            &SyncSpec::broadcast(ReadLocation::Any),
+            &mut field,
+            &mut bits,
+        );
         // After broadcast every proxy must hold its gid.
         lg.proxies()
             .map(|p| vals[p.index()] == lg.gid(p).0)
@@ -84,7 +89,11 @@ fn max_reduction_takes_largest_mirror_value() {
             bits.set(p);
         }
         let mut field = MaxField::new(&mut vals);
-        ctx.sync(WriteLocation::Any, ReadLocation::Any, &mut field, &mut bits);
+        ctx.sync(
+            &SyncSpec::full(WriteLocation::Any, ReadLocation::Any),
+            &mut field,
+            &mut bits,
+        );
         lg.masters()
             .map(|m| (lg.gid(m).0, vals[m.index()]))
             .collect::<Vec<_>>()
@@ -118,8 +127,7 @@ fn stats_record_one_phase_per_sync() {
         for _ in 0..3 {
             let mut field = MinField::new(&mut vals);
             ctx.sync(
-                WriteLocation::Destination,
-                ReadLocation::Source,
+                &SyncSpec::full(WriteLocation::Destination, ReadLocation::Source),
                 &mut field,
                 &mut bits,
             );
@@ -148,8 +156,7 @@ fn unopt_and_osti_reach_identical_fixpoints() {
             }
             let mut field = MinField::new(&mut vals);
             ctx.sync(
-                WriteLocation::Destination,
-                ReadLocation::Source,
+                &SyncSpec::full(WriteLocation::Destination, ReadLocation::Source),
                 &mut field,
                 &mut bits,
             );
@@ -190,13 +197,13 @@ fn sum_field_dense_retransmission_does_not_double_count() {
         }
         {
             let mut field = SumField::new(&mut vals);
-            ctx.sync_reduce(WriteLocation::Any, &mut field, &mut bits);
+            ctx.sync(&SyncSpec::reduce(WriteLocation::Any), &mut field, &mut bits);
         }
         // Second sync with no new contributions; resets must guarantee
         // nothing is re-sent (or re-sent as zero).
         {
             let mut field = SumField::new(&mut vals);
-            ctx.sync_reduce(WriteLocation::Any, &mut field, &mut bits);
+            ctx.sync(&SyncSpec::reduce(WriteLocation::Any), &mut field, &mut bits);
         }
         lg.masters()
             .map(|m| (lg.gid(m).0, vals[m.index()]))
@@ -228,8 +235,7 @@ fn single_host_context_syncs_are_no_ops() {
         bits.set_all();
         let mut field = MinField::new(&mut vals);
         ctx.sync(
-            WriteLocation::Destination,
-            ReadLocation::Source,
+            &SyncSpec::full(WriteLocation::Destination, ReadLocation::Source),
             &mut field,
             &mut bits,
         );

@@ -9,6 +9,7 @@
 //! (it needs 2–4x fewer rounds than level-synchronous engines).
 
 use gluon::DenseBitset;
+use gluon_exec::Pool;
 use gluon_graph::Lid;
 
 /// The engine's work queue: FIFO with membership filtering, so a node is
@@ -106,6 +107,28 @@ pub fn do_all(items: impl IntoIterator<Item = Lid>, mut op: impl FnMut(Lid)) -> 
         applied += 1;
     }
     applied
+}
+
+/// Deterministic parallel `do_all`: applies `map` to fixed
+/// [`gluon_exec::CHUNK`]-sized slices of `items` on `pool` and returns the
+/// per-chunk results in ascending chunk order for the caller to fold
+/// sequentially. `map` reads only immutable shared state (`Fn + Sync`);
+/// `weight` meters one item's work (typically its out-degree) into the
+/// pool's seq/critical-path counters. Deterministic local quiescence is
+/// built on top of this: sweep the frontier in bulk, apply the candidate
+/// chunks in order, repeat until no label changes — monotone operators
+/// reach the same fixpoint FIFO chaotic relaxation does.
+pub fn do_all_chunked<R: Send>(
+    pool: &Pool,
+    items: &[Lid],
+    weight: impl Fn(Lid) -> u64 + Sync,
+    map: impl Fn(&[Lid]) -> R + Sync,
+) -> Vec<R> {
+    pool.map_chunks_weighted(
+        items.len(),
+        |r| items[r].iter().map(|&l| weight(l)).sum(),
+        |r| map(&items[r]),
+    )
 }
 
 /// A delta-stepping priority worklist (Meyer & Sanders): work items carry a
@@ -338,6 +361,69 @@ mod tests {
         assert_eq!(dist, dist2);
         // Prioritized scheduling should not do more work than FIFO.
         assert!(applied <= applied_fifo + 5, "{applied} vs {applied_fifo}");
+    }
+
+    #[test]
+    fn do_all_chunked_sweeps_reach_the_fifo_fixpoint_at_any_thread_count() {
+        // Deterministic bulk sub-rounds (sweep -> ordered apply -> repeat)
+        // must land on the same labels as FIFO chaotic relaxation.
+        let g = gluon_graph::with_random_weights(&gen::rmat(7, 6, Default::default(), 4), 4, 7);
+        let mut parts = partition_all(&g, 1, Policy::Oec);
+        let lg = parts.remove(0);
+        let n = lg.num_proxies();
+        let mut fifo = vec![u32::MAX; n as usize];
+        fifo[0] = 0;
+        for_each(n, [Lid(0)], |v, wl| {
+            let dv = fifo[v.index()];
+            for e in lg.out_edges(v) {
+                let nd = dv.saturating_add(e.weight);
+                if nd < fifo[e.dst.index()] {
+                    fifo[e.dst.index()] = nd;
+                    wl.push(e.dst);
+                }
+            }
+        });
+        for threads in [1, 2, 5, 8] {
+            let pool = Pool::new(threads);
+            let mut dist = vec![u32::MAX; n as usize];
+            dist[0] = 0;
+            let mut frontier = vec![Lid(0)];
+            while !frontier.is_empty() {
+                let chunks = do_all_chunked(
+                    &pool,
+                    &frontier,
+                    |v| u64::from(lg.out_degree(v)),
+                    |chunk| {
+                        let mut out = Vec::new();
+                        for &v in chunk {
+                            let dv = dist[v.index()];
+                            for e in lg.out_edges(v) {
+                                let nd = dv.saturating_add(e.weight);
+                                if nd < dist[e.dst.index()] {
+                                    out.push((e.dst, nd));
+                                }
+                            }
+                        }
+                        out
+                    },
+                );
+                let mut next = Vec::new();
+                let mut queued = DenseBitset::new(n);
+                for chunk in chunks {
+                    for (dst, nd) in chunk {
+                        if nd < dist[dst.index()] {
+                            dist[dst.index()] = nd;
+                            if !queued.test(dst) {
+                                queued.set(dst);
+                                next.push(dst);
+                            }
+                        }
+                    }
+                }
+                frontier = next;
+            }
+            assert_eq!(dist, fifo, "threads = {threads}");
+        }
     }
 
     #[test]

@@ -19,6 +19,7 @@
 //! wall-clock onto GPU-like throughput numbers for the benchmark harness.
 
 use gluon::DenseBitset;
+use gluon_exec::Pool;
 use gluon_graph::Lid;
 use gluon_partition::LocalGraph;
 use serde::{Deserialize, Serialize};
@@ -59,6 +60,21 @@ pub struct DeviceStats {
     pub nodes_visited: u64,
     /// Edge traversals across all kernels.
     pub edges_traversed: u64,
+}
+
+/// Per-chunk candidate buffer for [`IrglEngine::kernel_par`]: workers
+/// propose `(lid, value)` updates here instead of writing shared state.
+#[derive(Debug)]
+pub struct KernelCandidates<V> {
+    entries: Vec<(Lid, V)>,
+}
+
+impl<V> KernelCandidates<V> {
+    /// Proposes `value` for `lid`; the engine applies proposals in
+    /// worklist order after the parallel sweep.
+    pub fn push(&mut self, lid: Lid, value: V) {
+        self.entries.push((lid, value));
+    }
 }
 
 /// Collects the next worklist during a data-driven kernel.
@@ -143,6 +159,57 @@ impl IrglEngine {
             self.stats.edges_traversed += u64::from(graph.out_degree(lid));
             op(lid, graph, &mut out);
         }
+        self.stats.kernels += 1;
+        out.next
+    }
+
+    /// Deterministic parallel data-driven kernel: worklist chunks run on
+    /// `pool` workers, each producing `(lid, value)` candidates from
+    /// immutable shared state via `op`; `apply` then folds the candidates
+    /// sequentially in worklist order (`true` = newly activated, collected
+    /// into the deduplicated next worklist). Unlike [`IrglEngine::kernel`],
+    /// updates are *not* visible within the sweep — snapshot semantics, as
+    /// on a multi-SM launch without cross-block ordering. Work counters
+    /// advance exactly as in [`IrglEngine::kernel`].
+    pub fn kernel_par<V: Send>(
+        &mut self,
+        graph: &LocalGraph,
+        pool: &Pool,
+        worklist: &[Lid],
+        op: impl Fn(Lid, &LocalGraph, &mut KernelCandidates<V>) + Sync,
+        mut apply: impl FnMut(Lid, V) -> bool,
+    ) -> Vec<Lid> {
+        let chunks = pool.map_chunks_weighted(
+            worklist.len(),
+            |r| {
+                worklist[r]
+                    .iter()
+                    .map(|&l| u64::from(graph.out_degree(l)))
+                    .sum()
+            },
+            |r| {
+                let mut cands = KernelCandidates {
+                    entries: Vec::new(),
+                };
+                for &lid in &worklist[r] {
+                    op(lid, graph, &mut cands);
+                }
+                cands.entries
+            },
+        );
+        let mut out = KernelOutput::new(graph.num_proxies());
+        for entries in chunks {
+            for (lid, v) in entries {
+                if apply(lid, v) {
+                    out.push(lid);
+                }
+            }
+        }
+        self.stats.nodes_visited += worklist.len() as u64;
+        self.stats.edges_traversed += worklist
+            .iter()
+            .map(|&l| u64::from(graph.out_degree(l)))
+            .sum::<u64>();
         self.stats.kernels += 1;
         out.next
     }
@@ -241,6 +308,52 @@ mod tests {
         assert_eq!(s.nodes_visited, 10);
         assert_eq!(s.edges_traversed, 9);
         assert!(dev.projected_device_secs() > 0.0);
+    }
+
+    #[test]
+    fn kernel_par_is_thread_count_invariant_and_counts_work() {
+        let g = gen::rmat(7, 6, Default::default(), 11);
+        let lg = partition_all(&g, 1, Policy::Oec).remove(0);
+        let run = |threads: usize| {
+            let pool = Pool::new(threads);
+            let mut dev = IrglEngine::new(Default::default());
+            let mut dist = vec![u32::MAX; lg.num_proxies() as usize];
+            dist[0] = 0;
+            let mut wl = vec![Lid(0)];
+            while !wl.is_empty() {
+                let prev = dist.clone();
+                wl = dev.kernel_par(
+                    &lg,
+                    &pool,
+                    &wl,
+                    |v, lg, out| {
+                        let lv = prev[v.index()];
+                        for e in lg.out_edges(v) {
+                            let nd = lv.saturating_add(1);
+                            if nd < prev[e.dst.index()] {
+                                out.push(e.dst, nd);
+                            }
+                        }
+                    },
+                    |dst, nd| {
+                        if nd < dist[dst.index()] {
+                            dist[dst.index()] = nd;
+                            true
+                        } else {
+                            false
+                        }
+                    },
+                );
+            }
+            (dist, dev.stats())
+        };
+        let (seq, seq_stats) = run(1);
+        assert!(seq_stats.kernels > 1 && seq_stats.edges_traversed > 0);
+        for t in [2, 5, 8] {
+            let (par, par_stats) = run(t);
+            assert_eq!(par, seq, "threads = {t}");
+            assert_eq!(par_stats, seq_stats, "threads = {t}");
+        }
     }
 
     #[test]

@@ -8,10 +8,13 @@
 //!
 //! This engine runs on one host's [`LocalGraph`]; plugged into
 //! [`gluon::GluonContext::sync`] between rounds it becomes the paper's
-//! **D-Ligra**. It is single-threaded per host because the simulated cluster
-//! already dedicates one OS thread per host.
+//! **D-Ligra**. The classic `edgeMap` runs on the host thread; the
+//! `*_par` variants drive a deterministic [`Pool`] for intra-host
+//! parallelism (candidates from immutable state, applied in chunk order,
+//! bit-identical at any thread count).
 
-use gluon::DenseBitset;
+use gluon::{BitsetIter, DenseBitset};
+use gluon_exec::Pool;
 use gluon_graph::Lid;
 use gluon_partition::LocalGraph;
 
@@ -60,11 +63,38 @@ impl VertexSubset {
     }
 
     /// Iterates over members in ascending order.
-    pub fn iter(&self) -> Box<dyn Iterator<Item = Lid> + '_> {
+    pub fn iter(&self) -> SubsetIter<'_> {
         match self {
-            VertexSubset::Sparse(v) => Box::new(v.iter().copied()),
-            VertexSubset::Dense(b) => Box::new(b.iter()),
+            VertexSubset::Sparse(v) => SubsetIter::Sparse(v.iter().copied()),
+            VertexSubset::Dense(b) => SubsetIter::Dense(b.iter()),
         }
+    }
+
+    /// Applies `f` to fixed [`gluon_exec::CHUNK`]-sized slices of the member
+    /// list on `pool`, returning per-chunk results in ascending chunk order
+    /// for the caller to fold sequentially. `weight` meters one member's
+    /// work (typically its degree). Dense subsets materialize their member
+    /// list first, so chunk boundaries are identical whichever
+    /// representation the subset happens to be in.
+    pub fn for_each_chunked<R: Send>(
+        &self,
+        pool: &Pool,
+        weight: impl Fn(Lid) -> u64 + Sync,
+        f: impl Fn(&[Lid]) -> R + Sync,
+    ) -> Vec<R> {
+        let owned;
+        let members: &[Lid] = match self {
+            VertexSubset::Sparse(v) => v,
+            VertexSubset::Dense(b) => {
+                owned = b.iter().collect::<Vec<Lid>>();
+                &owned
+            }
+        };
+        pool.map_chunks_weighted(
+            members.len(),
+            |r| members[r].iter().map(|&l| weight(l)).sum(),
+            |r| f(&members[r]),
+        )
     }
 
     /// Materializes the subset as a bit set of `capacity` bits (Gluon's
@@ -95,6 +125,37 @@ impl VertexSubset {
             VertexSubset::Sparse(v) => v.binary_search(&lid).is_ok(),
             VertexSubset::Dense(b) => b.test(lid),
         }
+    }
+}
+
+/// Concrete iterator over the members of a [`VertexSubset`], ascending
+/// (what [`VertexSubset::iter`] returns — no boxing, so tight frontier
+/// loops inline).
+#[derive(Clone, Debug)]
+pub enum SubsetIter<'a> {
+    /// Members of a sparse subset.
+    Sparse(std::iter::Copied<std::slice::Iter<'a, Lid>>),
+    /// Set bits of a dense subset.
+    Dense(BitsetIter<'a>),
+}
+
+impl Iterator for SubsetIter<'_> {
+    type Item = Lid;
+
+    fn next(&mut self) -> Option<Lid> {
+        match self {
+            SubsetIter::Sparse(it) => it.next(),
+            SubsetIter::Dense(it) => it.next(),
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a VertexSubset {
+    type Item = Lid;
+    type IntoIter = SubsetIter<'a>;
+
+    fn into_iter(self) -> SubsetIter<'a> {
+        self.iter()
     }
 }
 
@@ -141,7 +202,23 @@ pub fn edge_map(
     op: &mut impl EdgeOp,
     direction: Direction,
 ) -> VertexSubset {
-    let dir = match direction {
+    match choose_direction(graph, frontier, direction) {
+        Direction::Push => edge_map_push(graph, frontier, op),
+        Direction::Pull => edge_map_pull(graph, frontier, op),
+        Direction::Auto => unreachable!("resolved by choose_direction"),
+    }
+}
+
+/// Resolves [`Direction::Auto`] with Ligra's frontier-size heuristic
+/// (never returns `Auto`). The decision depends only on the frontier and
+/// the graph — not on the thread count — so parallel and sequential runs
+/// traverse in the same direction every round.
+pub fn choose_direction(
+    graph: &LocalGraph,
+    frontier: &VertexSubset,
+    direction: Direction,
+) -> Direction {
+    match direction {
         Direction::Auto => {
             let frontier_degree: u64 = frontier
                 .iter()
@@ -155,11 +232,6 @@ pub fn edge_map(
             }
         }
         d => d,
-    };
-    match dir {
-        Direction::Push => edge_map_push(graph, frontier, op),
-        Direction::Pull => edge_map_pull(graph, frontier, op),
-        Direction::Auto => unreachable!("resolved above"),
     }
 }
 
@@ -215,6 +287,115 @@ fn edge_map_pull(
         }
     }
     VertexSubset::from_members(next)
+}
+
+/// Deterministic parallel push `edgeMap`: frontier chunks produce
+/// `(dst, value)` candidates on the pool via `candidate`, which reads only
+/// immutable shared state (snapshot/Jacobi semantics — an update is *not*
+/// visible to later edges of the same sweep, unlike [`edge_map`]'s
+/// sequential push); `apply` then folds the candidates sequentially in
+/// chunk order, making the result bit-identical at any thread count.
+/// Returns the destinations `apply` reported as newly activated,
+/// deduplicated in application order.
+pub fn edge_map_push_par<V: Send>(
+    graph: &LocalGraph,
+    frontier: &VertexSubset,
+    pool: &Pool,
+    candidate: impl Fn(Lid, Lid, u32) -> Option<V> + Sync,
+    mut apply: impl FnMut(Lid, V) -> bool,
+) -> VertexSubset {
+    let chunks = frontier.for_each_chunked(
+        pool,
+        |l| u64::from(graph.out_degree(l)),
+        |members| {
+            let mut out: Vec<(Lid, V)> = Vec::new();
+            for &src in members {
+                for e in graph.out_edges(src) {
+                    if let Some(v) = candidate(src, e.dst, e.weight) {
+                        out.push((e.dst, v));
+                    }
+                }
+            }
+            out
+        },
+    );
+    let mut next = Vec::new();
+    let mut added = DenseBitset::new(graph.num_proxies());
+    for chunk in chunks {
+        for (dst, v) in chunk {
+            if apply(dst, v) && !added.test(dst) {
+                added.set(dst);
+                next.push(dst);
+            }
+        }
+    }
+    VertexSubset::from_members(next)
+}
+
+/// Deterministic parallel pull `edgeMap`: `labels` is split into fixed
+/// chunks of *destination* slots, each handed exclusively to one pool
+/// worker ([`Pool::map_chunks_mut`] — disjoint slices, no write races).
+/// A worker scans its destinations' in-edges against the frontier and
+/// folds improvements into the slot **in in-edge order**, the same order
+/// the sequential pull visits them; `relax(src, dst, weight, current)`
+/// returns the improved value or `None`. Source values must come from a
+/// caller-held snapshot (capture it in `relax`), which is what makes the
+/// sweep order-free. Returns the activated destinations, ascending.
+///
+/// # Panics
+///
+/// Panics if the transpose is absent or `labels` is not one slot per
+/// proxy.
+pub fn edge_map_pull_par<T: Send>(
+    graph: &LocalGraph,
+    frontier: &VertexSubset,
+    pool: &Pool,
+    labels: &mut [T],
+    relax: impl Fn(Lid, Lid, u32, &T) -> Option<T> + Sync,
+) -> VertexSubset {
+    assert!(graph.has_transpose(), "pull requires the transpose");
+    assert_eq!(
+        labels.len(),
+        graph.num_proxies() as usize,
+        "one label slot per proxy"
+    );
+    // Pull wants O(1) membership tests on the frontier.
+    let dense_frontier;
+    let frontier: &VertexSubset = match frontier {
+        VertexSubset::Sparse(_) => {
+            dense_frontier = VertexSubset::Dense(frontier.to_bitset(graph.num_proxies()));
+            &dense_frontier
+        }
+        VertexSubset::Dense(_) => frontier,
+    };
+    let activated = pool.map_chunks_mut(
+        labels,
+        |r| {
+            r.map(|i| graph.in_edges(Lid(i as u32)).count() as u64)
+                .sum()
+        },
+        |start, chunk| {
+            let mut activated: Vec<Lid> = Vec::new();
+            for (i, slot) in chunk.iter_mut().enumerate() {
+                let dst = Lid((start + i) as u32);
+                let mut any = false;
+                for e in graph.in_edges(dst) {
+                    let src = e.dst; // in_edges reports the source in `dst`
+                    if frontier.contains(src) {
+                        if let Some(nv) = relax(src, dst, e.weight, slot) {
+                            *slot = nv;
+                            any = true;
+                        }
+                    }
+                }
+                if any {
+                    activated.push(dst);
+                }
+            }
+            activated
+        },
+    );
+    VertexSubset::from_members(activated.into_iter().flatten().collect())
 }
 
 /// Applies `keep` to every member; returns the subset where it was true —
@@ -319,6 +500,67 @@ mod tests {
         };
         let next = edge_map(&lg, &frontier, &mut op, Direction::Push);
         assert_eq!(next.len(), 1);
+    }
+
+    fn bfs_par(threads: usize, direction: Direction) -> Vec<u32> {
+        let g = gen::rmat(7, 6, Default::default(), 9);
+        let lg = single_host(&g);
+        let pool = gluon_exec::Pool::new(threads);
+        let mut dist = vec![u32::MAX; lg.num_proxies() as usize];
+        dist[0] = 0;
+        let mut frontier = VertexSubset::from_members(vec![Lid(0)]);
+        let mut level = 1;
+        while !frontier.is_empty() {
+            let prev = dist.clone();
+            frontier = match direction {
+                Direction::Pull => {
+                    edge_map_pull_par(&lg, &frontier, &pool, &mut dist, |src, _dst, _w, cur| {
+                        (prev[src.index()] != u32::MAX && level < *cur).then_some(level)
+                    })
+                }
+                _ => edge_map_push_par(
+                    &lg,
+                    &frontier,
+                    &pool,
+                    |src, dst, _w| {
+                        (prev[src.index()] != u32::MAX && prev[dst.index()] == u32::MAX)
+                            .then_some(level)
+                    },
+                    |dst, v| {
+                        if v < dist[dst.index()] {
+                            dist[dst.index()] = v;
+                            true
+                        } else {
+                            false
+                        }
+                    },
+                ),
+            };
+            level += 1;
+        }
+        dist
+    }
+
+    #[test]
+    fn parallel_edge_map_matches_sequential_at_any_thread_count() {
+        let oracle = bfs_with(Direction::Push);
+        for dir in [Direction::Push, Direction::Pull] {
+            let seq = bfs_par(1, dir);
+            assert_eq!(seq, oracle, "{dir:?} fixpoint");
+            for t in [2, 5, 8] {
+                assert_eq!(bfs_par(t, dir), seq, "{dir:?} threads={t}");
+            }
+        }
+    }
+
+    #[test]
+    fn for_each_chunked_has_representation_independent_chunks() {
+        let members: Vec<Lid> = (0..1500).filter(|i| i % 3 != 0).map(Lid).collect();
+        let sparse = VertexSubset::from_members(members.clone());
+        let dense = VertexSubset::from_bitset(sparse.to_bitset(1500));
+        let pool = gluon_exec::Pool::new(4);
+        let by = |s: &VertexSubset| s.for_each_chunked(&pool, |_| 1, |c| c.to_vec());
+        assert_eq!(by(&sparse), by(&dense));
     }
 
     #[test]

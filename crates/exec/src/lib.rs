@@ -1,0 +1,533 @@
+//! Deterministic intra-host parallel runtime.
+//!
+//! The paper's hosts are 68-core KNL nodes and GPUs: every engine loop and
+//! every sync micro-stage runs *parallel* inside a host. This crate supplies
+//! the worker pool the simulated hosts use for that second level of
+//! parallelism — with one non-negotiable contract:
+//!
+//! > **Determinism.** Every pool operation produces results bit-identical
+//! > to the sequential execution, at any thread count.
+//!
+//! Three mechanisms enforce it:
+//!
+//! 1. **Fixed chunk boundaries.** Index ranges are split into fixed-width
+//!    chunks whose width depends only on the range length (64-aligned,
+//!    at most [`CHUNK`] elements) — never on the thread count — so the
+//!    unit of scheduling never depends on parallelism.
+//! 2. **Deterministic assignment.** Chunks are dealt to workers by a
+//!    deterministic longest-processing-time greedy on their declared
+//!    weights (ties broken by chunk index); no work stealing, no racing
+//!    for chunks. Assignment cannot affect results — only the critical
+//!    path — because of mechanism 3.
+//! 3. **In-order combination.** Workers only *produce* per-chunk results
+//!    from immutable shared state; the pool hands them back in ascending
+//!    chunk order and callers fold/apply them sequentially, so floating
+//!    point accumulation order matches the sequential loop exactly.
+//!
+//! The pool also meters work: each metered call records the *sequential*
+//! work (sum of chunk weights) and the *critical-path* work (the largest
+//! per-worker share under the deterministic assignment). Their ratio is the
+//! **measured** speedup of that call — it reflects the actual chunk
+//! imbalance of the workload, not an assumed ideal — and feeds the cost
+//! model's `cores_per_host` projection. This matters because the simulated
+//! cluster shares physical cores between hosts, so wall-clock cannot show
+//! intra-host scaling; the critical path under the real assignment can.
+//!
+//! Threads are crossbeam-style scoped threads, spawned per call: pool
+//! lifetime management would buy little here (the chunked loops dominate),
+//! and scoped spawning keeps the closures free to borrow the caller's
+//! stack.
+//!
+//! # Examples
+//!
+//! ```
+//! use gluon_exec::Pool;
+//!
+//! let data: Vec<u64> = (0..10_000).collect();
+//! let pool = Pool::new(4);
+//! // Per-chunk partial sums, combined in chunk order.
+//! let total = pool.reduce(data.len(), 0u64, |r| data[r].iter().sum(), |a, b| a + b);
+//! assert_eq!(total, data.iter().sum::<u64>());
+//! // Bit-identical to any other thread count.
+//! assert_eq!(
+//!     total,
+//!     Pool::sequential().reduce(data.len(), 0u64, |r| data[r].iter().sum(), |a, b| a + b)
+//! );
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::Range;
+use std::sync::{Arc, Mutex};
+
+/// Maximum chunk width (elements per chunk) for all chunked operations.
+///
+/// A multiple of 64 so chunk boundaries align with `DenseBitset` words, and
+/// small enough that skewed graphs still split into many chunks per host.
+/// The actual width of a given call is derived from the range length alone
+/// (see [`chunk_width`]); widths are part of the determinism contract: they
+/// must never depend on the thread count.
+pub const CHUNK: usize = 512;
+
+/// Minimum chunk width: one `DenseBitset` word.
+const MIN_CHUNK: usize = 64;
+
+/// The chunk width used for a range of `len` elements: the largest
+/// 64-aligned width in `[64, CHUNK]` that still yields ~64+ chunks.
+///
+/// Depending only on `len` (and never on the thread count) keeps chunk
+/// boundaries — and therefore combination order — identical across thread
+/// counts; shrinking the width on small ranges keeps skewed weight
+/// distributions (one hub-heavy chunk) from swallowing the whole critical
+/// path.
+pub fn chunk_width(len: usize) -> usize {
+    ((len / MIN_CHUNK) / MIN_CHUNK * MIN_CHUNK).clamp(MIN_CHUNK, CHUNK)
+}
+
+/// Work metered by one pool (accumulated across calls until drained).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct WorkSplit {
+    /// Total work units (sum over chunks of their weights) — what a
+    /// sequential execution performs.
+    pub seq: u64,
+    /// Critical-path work units: the largest per-worker share under the
+    /// deterministic weight-balanced assignment. Equals `seq` when the
+    /// pool is sequential.
+    pub crit: u64,
+}
+
+impl WorkSplit {
+    fn add(&mut self, other: WorkSplit) {
+        self.seq += other.seq;
+        self.crit += other.crit;
+    }
+
+    /// Measured speedup of the metered work: `seq / crit` (1.0 when no
+    /// work was metered).
+    pub fn speedup(&self) -> f64 {
+        if self.crit == 0 {
+            1.0
+        } else {
+            self.seq as f64 / self.crit as f64
+        }
+    }
+}
+
+/// A deterministic worker pool for one simulated host.
+///
+/// Cloning shares the meter (clones meter into the same accumulator), so a
+/// context and the engines it drives can hold the same pool.
+#[derive(Clone, Debug)]
+pub struct Pool {
+    threads: usize,
+    meter: Arc<Mutex<WorkSplit>>,
+}
+
+impl Default for Pool {
+    fn default() -> Self {
+        Pool::sequential()
+    }
+}
+
+impl Pool {
+    /// Creates a pool with `threads` workers (clamped to at least 1).
+    pub fn new(threads: usize) -> Pool {
+        Pool {
+            threads: threads.max(1),
+            meter: Arc::new(Mutex::new(WorkSplit::default())),
+        }
+    }
+
+    /// The single-threaded pool: every operation runs inline.
+    pub fn sequential() -> Pool {
+        Pool::new(1)
+    }
+
+    /// Number of workers.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Whether more than one worker is configured.
+    pub fn is_parallel(&self) -> bool {
+        self.threads > 1
+    }
+
+    /// Returns and resets the work metered since the last drain.
+    pub fn drain_work(&self) -> WorkSplit {
+        std::mem::take(&mut self.meter.lock().expect("meter poisoned"))
+    }
+
+    /// Reads the work metered since the last drain, without resetting.
+    pub fn metered_work(&self) -> WorkSplit {
+        *self.meter.lock().expect("meter poisoned")
+    }
+
+    fn record(&self, split: WorkSplit) {
+        self.meter.lock().expect("meter poisoned").add(split);
+    }
+
+    /// The fixed chunk ranges covering `0..len`.
+    fn chunk_ranges(len: usize) -> impl Iterator<Item = Range<usize>> {
+        let width = chunk_width(len);
+        (0..len.div_ceil(width)).map(move |i| i * width..((i + 1) * width).min(len))
+    }
+
+    /// Deals chunks to workers: longest-processing-time greedy over the
+    /// declared chunk weights, ties broken by worker load, then bucket
+    /// size, then worker index — fully deterministic. Meters the sequential
+    /// total and the resulting critical path (the heaviest worker share).
+    ///
+    /// The assignment only decides *who computes* each chunk; results are
+    /// recombined by chunk index, so this cannot affect what is computed.
+    fn assign(&self, weights: &[u64]) -> Vec<Vec<usize>> {
+        let mut order: Vec<usize> = (0..weights.len()).collect();
+        order.sort_by_key(|&i| (std::cmp::Reverse(weights[i]), i));
+        let mut buckets: Vec<Vec<usize>> = (0..self.threads).map(|_| Vec::new()).collect();
+        let mut loads = vec![0u64; self.threads];
+        for i in order {
+            let w = (0..self.threads)
+                .min_by_key(|&w| (loads[w], buckets[w].len(), w))
+                .expect("at least one worker");
+            loads[w] += weights[i];
+            buckets[w].push(i);
+        }
+        self.record(WorkSplit {
+            seq: weights.iter().sum(),
+            crit: loads.iter().copied().max().unwrap_or(0),
+        });
+        buckets
+    }
+
+    /// Chunked parallel map with metered weights: applies `f` to each fixed
+    /// chunk of `0..len` and returns the results in ascending chunk order.
+    ///
+    /// `weight(range)` is the work-unit cost of a chunk (e.g. the out-degree
+    /// sum of its vertices); the pool meters the sequential total and the
+    /// critical path of the weight-balanced assignment. `f` must read only
+    /// shared immutable state — the `Fn + Sync` bounds enforce this — which
+    /// is what makes the result independent of the thread count.
+    pub fn map_chunks_weighted<R: Send>(
+        &self,
+        len: usize,
+        weight: impl Fn(Range<usize>) -> u64 + Sync,
+        f: impl Fn(Range<usize>) -> R + Sync,
+    ) -> Vec<R> {
+        let num_chunks = len.div_ceil(chunk_width(len));
+        let weights: Vec<u64> = Self::chunk_ranges(len).map(weight).collect();
+        let buckets = self.assign(&weights);
+        if !self.is_parallel() || num_chunks <= 1 {
+            return Self::chunk_ranges(len).map(f).collect();
+        }
+        let width = chunk_width(len);
+        let f = &f;
+        let run = move |bucket: &[usize]| {
+            bucket
+                .iter()
+                .map(|&i| (i, f(i * width..((i + 1) * width).min(len))))
+                .collect::<Vec<(usize, R)>>()
+        };
+        let mut per_worker: Vec<Vec<(usize, R)>> = crossbeam::thread::scope(|s| {
+            let handles: Vec<_> = buckets[1..]
+                .iter()
+                .map(|bucket| s.spawn(move || run(bucket)))
+                .collect();
+            let mine = run(&buckets[0]);
+            let mut all = vec![mine];
+            all.extend(
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("worker panicked")),
+            );
+            all
+        });
+        // Reassemble in ascending chunk order (in-order combination).
+        let mut out: Vec<Option<R>> = (0..num_chunks).map(|_| None).collect();
+        for bucket in &mut per_worker {
+            for (i, r) in bucket.drain(..) {
+                out[i] = Some(r);
+            }
+        }
+        out.into_iter().map(|r| r.expect("chunk covered")).collect()
+    }
+
+    /// As [`Pool::map_chunks_weighted`] with each chunk weighted by its
+    /// element count.
+    pub fn map_chunks<R: Send>(&self, len: usize, f: impl Fn(Range<usize>) -> R + Sync) -> Vec<R> {
+        self.map_chunks_weighted(len, |r| r.len() as u64, f)
+    }
+
+    /// Chunked parallel reduction: maps each fixed chunk with `map`, then
+    /// folds the per-chunk results **in ascending chunk order** with
+    /// `combine` starting from `identity` — the in-order combination that
+    /// keeps floating-point reductions bit-identical to the sequential
+    /// loop.
+    pub fn reduce<R: Send>(
+        &self,
+        len: usize,
+        identity: R,
+        map: impl Fn(Range<usize>) -> R + Sync,
+        mut combine: impl FnMut(R, R) -> R,
+    ) -> R {
+        self.map_chunks(len, map)
+            .into_iter()
+            .fold(identity, &mut combine)
+    }
+
+    /// Chunked parallel mutation: splits `data` into fixed chunks, runs
+    /// `f(chunk_start, chunk)` on each — workers own **disjoint** slices,
+    /// so no write races are possible — and returns the per-chunk results
+    /// in ascending chunk order.
+    ///
+    /// `weight` meters each chunk by its range within `data` (e.g. in-degree
+    /// sums for a pull kernel writing per-destination slots).
+    pub fn map_chunks_mut<T: Send, R: Send>(
+        &self,
+        data: &mut [T],
+        weight: impl Fn(Range<usize>) -> u64 + Sync,
+        f: impl Fn(usize, &mut [T]) -> R + Sync,
+    ) -> Vec<R> {
+        let len = data.len();
+        let width = chunk_width(len);
+        let num_chunks = len.div_ceil(width);
+        let weights: Vec<u64> = Self::chunk_ranges(len).map(weight).collect();
+        let buckets = self.assign(&weights);
+        if !self.is_parallel() || num_chunks <= 1 {
+            return data
+                .chunks_mut(width)
+                .enumerate()
+                .map(|(i, c)| f(i * width, c))
+                .collect();
+        }
+        let mut owner = vec![0usize; num_chunks];
+        for (w, bucket) in buckets.iter().enumerate() {
+            for &i in bucket {
+                owner[i] = w;
+            }
+        }
+        let mut per_worker: Vec<Vec<(usize, &mut [T])>> =
+            (0..self.threads).map(|_| Vec::new()).collect();
+        for (i, chunk) in data.chunks_mut(width).enumerate() {
+            per_worker[owner[i]].push((i, chunk));
+        }
+        let f = &f;
+        let mut results: Vec<Vec<(usize, R)>> = crossbeam::thread::scope(|s| {
+            let mut buckets = per_worker.into_iter();
+            let mine = buckets.next().expect("at least one worker");
+            let handles: Vec<_> = buckets
+                .map(|work| {
+                    s.spawn(move || {
+                        work.into_iter()
+                            .map(|(i, c)| (i, f(i * width, c)))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            let own: Vec<(usize, R)> = mine
+                .into_iter()
+                .map(|(i, c)| (i, f(i * width, c)))
+                .collect();
+            let mut all = vec![own];
+            all.extend(
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("worker panicked")),
+            );
+            all
+        });
+        let mut out: Vec<Option<R>> = (0..num_chunks).map(|_| None).collect();
+        for bucket in &mut results {
+            for (i, r) in bucket.drain(..) {
+                out[i] = Some(r);
+            }
+        }
+        out.into_iter().map(|r| r.expect("chunk covered")).collect()
+    }
+
+    /// One task per index `0..n`, results in index order — for small fixed
+    /// fan-outs like per-peer extract/encode in the sync hot path. Not
+    /// metered (sync work is accounted as communication, not compute).
+    pub fn map_per<R: Send>(&self, n: usize, f: impl Fn(usize) -> R + Sync) -> Vec<R> {
+        if !self.is_parallel() || n <= 1 {
+            return (0..n).map(f).collect();
+        }
+        let f = &f;
+        let mut per_worker: Vec<Vec<(usize, R)>> = crossbeam::thread::scope(|s| {
+            let handles: Vec<_> = (1..self.threads.min(n))
+                .map(|w| {
+                    s.spawn(move || {
+                        (w..n)
+                            .step_by(self.threads)
+                            .map(|i| (i, f(i)))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            let mine: Vec<(usize, R)> = (0..n).step_by(self.threads).map(|i| (i, f(i))).collect();
+            let mut all = vec![mine];
+            all.extend(
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("worker panicked")),
+            );
+            all
+        });
+        let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        for bucket in &mut per_worker {
+            for (i, r) in bucket.drain(..) {
+                out[i] = Some(r);
+            }
+        }
+        out.into_iter().map(|r| r.expect("index covered")).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunk_boundaries_are_thread_independent() {
+        // The per-chunk results (not just the fold) must agree across
+        // thread counts: same boundaries, same order.
+        let len = 3 * CHUNK + 17;
+        let seq = Pool::sequential().map_chunks(len, |r| (r.start, r.end));
+        for t in [2, 3, 8] {
+            assert_eq!(Pool::new(t).map_chunks(len, |r| (r.start, r.end)), seq);
+        }
+        let width = chunk_width(len);
+        assert_eq!(seq.len(), len.div_ceil(width));
+        assert_eq!(*seq.last().unwrap(), ((seq.len() - 1) * width, len));
+        for (i, &(start, end)) in seq.iter().enumerate() {
+            assert_eq!(start, i * width);
+            assert!(end <= len);
+        }
+    }
+
+    #[test]
+    fn chunk_width_is_aligned_and_bounded() {
+        for len in [0, 1, 63, 64, 1553, 4096, 100_000, 1 << 20] {
+            let w = chunk_width(len);
+            assert_eq!(w % 64, 0, "len {len}: width {w} not word-aligned");
+            assert!((64..=CHUNK).contains(&w), "len {len}: width {w}");
+        }
+        // Large ranges saturate at the maximum width; small ones split
+        // finely enough that one worker cannot be handed everything.
+        assert_eq!(chunk_width(1 << 20), CHUNK);
+        assert_eq!(chunk_width(1553), 64);
+    }
+
+    #[test]
+    fn float_reduction_is_bit_identical_across_thread_counts() {
+        // Pathological float mix where re-association visibly changes the
+        // result; in-order combination must keep it stable.
+        let data: Vec<f64> = (0..(4 * CHUNK))
+            .map(|i| {
+                if i % 3 == 0 {
+                    1e16
+                } else {
+                    1.0 + i as f64 * 1e-3
+                }
+            })
+            .collect();
+        let run = |t: usize| {
+            Pool::new(t).reduce(
+                data.len(),
+                0.0f64,
+                |r| data[r].iter().fold(0.0f64, |a, b| a + b),
+                |a, b| a + b,
+            )
+        };
+        let seq = run(1);
+        for t in [2, 5, 8] {
+            assert_eq!(seq.to_bits(), run(t).to_bits(), "threads = {t}");
+        }
+    }
+
+    #[test]
+    fn map_chunks_mut_writes_disjoint_slices() {
+        let mut data = vec![0u32; 2 * CHUNK + 100];
+        let touched: Vec<usize> = Pool::new(4)
+            .map_chunks_mut(
+                &mut data,
+                |r| r.len() as u64,
+                |start, chunk| {
+                    for (i, v) in chunk.iter_mut().enumerate() {
+                        *v = (start + i) as u32;
+                    }
+                    chunk.len()
+                },
+            )
+            .into_iter()
+            .collect();
+        assert_eq!(touched.iter().sum::<usize>(), data.len());
+        for (i, &v) in data.iter().enumerate() {
+            assert_eq!(v as usize, i);
+        }
+    }
+
+    #[test]
+    fn meter_records_seq_and_critical_path() {
+        let pool = Pool::new(2);
+        // Two chunks with weights 10 and 30: seq 40, worker shares {10, 30}.
+        let len = 2 * MIN_CHUNK;
+        assert_eq!(chunk_width(len), MIN_CHUNK);
+        let _ = pool.map_chunks_weighted(len, |r| if r.start == 0 { 10 } else { 30 }, |_| ());
+        let w = pool.drain_work();
+        assert_eq!(w, WorkSplit { seq: 40, crit: 30 });
+        assert!((w.speedup() - 40.0 / 30.0).abs() < 1e-12);
+        // Drained.
+        assert_eq!(pool.drain_work(), WorkSplit::default());
+    }
+
+    #[test]
+    fn weighted_assignment_bounds_crit_by_heaviest_chunk() {
+        // Eight chunks, one hub chunk of weight 100 and seven of weight 10:
+        // the greedy assignment must isolate the hub so the critical path
+        // is the hub chunk, not hub + round-robin extras.
+        let len = 8 * MIN_CHUNK;
+        let pool = Pool::new(4);
+        let _ = pool.map_chunks_weighted(len, |r| if r.start == 0 { 100 } else { 10 }, |_| ());
+        let w = pool.drain_work();
+        assert_eq!(
+            w,
+            WorkSplit {
+                seq: 170,
+                crit: 100
+            }
+        );
+    }
+
+    #[test]
+    fn sequential_pool_has_crit_equal_seq() {
+        let pool = Pool::sequential();
+        let _ = pool.map_chunks(3 * CHUNK, |_| ());
+        let w = pool.drain_work();
+        assert_eq!(w.seq, w.crit);
+        assert_eq!(w.seq, 3 * CHUNK as u64);
+    }
+
+    #[test]
+    fn map_per_preserves_index_order() {
+        for t in [1, 3, 7] {
+            let out = Pool::new(t).map_per(13, |i| i * i);
+            assert_eq!(out, (0..13).map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn cloned_pools_share_the_meter() {
+        let pool = Pool::new(2);
+        let clone = pool.clone();
+        let _ = clone.map_chunks(CHUNK, |_| ());
+        assert_eq!(pool.metered_work().seq, CHUNK as u64);
+    }
+
+    #[test]
+    fn empty_range_is_fine() {
+        let pool = Pool::new(4);
+        assert!(pool.map_chunks(0, |_| ()).is_empty());
+        assert_eq!(pool.reduce(0, 7u32, |_| 1, |a, b| a + b), 7);
+    }
+}

@@ -72,12 +72,12 @@ mod tests {
     fn gemini_sends_more_bytes_than_gluon_at_scale() {
         // The core claim of Figure 8b: Gluon's optimizations cut volume
         // versus Gemini on the same workload.
-        use gluon_algos::{driver, Algorithm, DistConfig};
+        use gluon_algos::{Algorithm, Run};
         let g = gen::twitter_like(2000, 16, 5);
         let hosts = 8;
         let src = max_out_degree_node(&g);
         let gem = run(&g, hosts, GeminiAlgo::Bfs(src));
-        let glu = driver::run(&g, Algorithm::Bfs, &DistConfig::new(hosts));
+        let glu = Run::new(&g, Algorithm::Bfs).hosts(hosts).launch();
         assert!(
             gem.run.total_bytes > glu.run.total_bytes,
             "gemini {} vs gluon {}",

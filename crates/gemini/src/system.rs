@@ -201,7 +201,8 @@ impl<'a, T: Transport> GeminiHost<'a, T> {
             comm_secs: start.elapsed().as_secs_f64(),
             bytes_sent: after.0 - before.0,
             messages_sent: after.1 - before.1,
-            work_units: std::mem::take(&mut self.pending_work),
+            work_units: self.pending_work,
+            crit_work_units: std::mem::take(&mut self.pending_work),
         });
         self.mark = Instant::now();
         out

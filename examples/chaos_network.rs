@@ -21,18 +21,23 @@ fn main() {
     let cfg = DistConfig::new(4);
 
     // Fault-free baseline.
-    let clean = driver::run(&graph, Algorithm::Pagerank, &cfg);
+    let clean = driver::Run::new(&graph, Algorithm::Pagerank)
+        .config(&cfg)
+        .launch();
 
     // The same computation over a 10%-drop / 5%-dup / 5%-corrupt / 10%-delay
     // wire, repaired underneath the substrate by go-back-N reliability.
     let counters = FaultCounters::new();
-    let chaotic = driver::run_wrapped(&graph, Algorithm::Pagerank, &cfg, |ep| {
-        ReliableTransport::over(FaultyTransport::new(
-            ep,
-            FaultPlan::lossy(42),
-            counters.clone(),
-        ))
-    });
+    let chaotic = driver::Run::new(&graph, Algorithm::Pagerank)
+        .config(&cfg)
+        .transport(|ep| {
+            ReliableTransport::over(FaultyTransport::new(
+                ep,
+                FaultPlan::lossy(42),
+                counters.clone(),
+            ))
+        })
+        .launch();
 
     let identical = clean
         .ranks

@@ -37,7 +37,9 @@ fn main() {
             opts: OptLevel::OSTI,
             engine: EngineKind::Galois,
         };
-        let out = driver::run(&graph, Algorithm::Bfs, &cfg);
+        let out = driver::Run::new(&graph, Algorithm::Bfs)
+            .config(&cfg)
+            .launch();
         println!(
             "{:<12} {:>11.2} {:>10.2} {:>12} {:>14} {:>8}",
             policy.to_string(),

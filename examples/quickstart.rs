@@ -18,7 +18,9 @@ fn main() {
     // 2. Run distributed BFS: 4 hosts, CVC partitioning, full Gluon
     //    optimizations (all defaults of DistConfig).
     let cfg = DistConfig::new(4);
-    let out = driver::run(&graph, Algorithm::Bfs, &cfg);
+    let out = driver::Run::new(&graph, Algorithm::Bfs)
+        .config(&cfg)
+        .launch();
 
     // 3. Check the answer against the shared-memory oracle.
     let source = max_out_degree_node(&graph);

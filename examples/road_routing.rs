@@ -34,7 +34,11 @@ fn main() {
             opts,
             engine: EngineKind::Galois,
         };
-        let out = driver::run_with(&roads, Algorithm::Sssp, &cfg, source, Default::default());
+        let out = driver::Run::new(&roads, Algorithm::Sssp)
+            .config(&cfg)
+            .source(source)
+            .pagerank(Default::default())
+            .launch();
         let correct = out.int_labels == oracle;
         println!(
             "{:<7} {:>12} {:>14} {:>8} {:>10}",

@@ -23,29 +23,30 @@ fn main() {
     // Clean run: every sync phase decomposes into micro-stage child spans
     // whose durations sum exactly to the phase's recorded comm time.
     let clean_tracer = Tracer::new(cfg.hosts);
-    let clean = driver::run_traced(&graph, Algorithm::Bfs, &cfg, &clean_tracer);
+    let clean = driver::Run::new(&graph, Algorithm::Bfs)
+        .config(&cfg)
+        .tracer(&clean_tracer)
+        .launch();
     println!("{}", clean_tracer.summary("bfs / clean transport"));
 
     // Chaos run: the reliability layer tags every retransmission,
     // suppressed duplicate, and CRC rejection as an instant event.
     let chaos_tracer = Tracer::new(cfg.hosts);
     let counters = FaultCounters::new();
-    let chaotic = driver::run_with_wrapped_traced(
-        &graph,
-        Algorithm::Bfs,
-        &cfg,
-        gluon_suite::graph::max_out_degree_node(&graph),
-        Default::default(),
-        |ep| {
+    let chaotic = driver::Run::new(&graph, Algorithm::Bfs)
+        .config(&cfg)
+        .source(gluon_suite::graph::max_out_degree_node(&graph))
+        .pagerank(Default::default())
+        .tracer(&chaos_tracer)
+        .transport(|ep| {
             ReliableTransport::over(FaultyTransport::new(
                 ep,
                 FaultPlan::lossy(42),
                 counters.clone(),
             ))
             .with_tracer(chaos_tracer.clone())
-        },
-        &chaos_tracer,
-    );
+        })
+        .launch();
     println!("{}", chaos_tracer.summary("bfs / reliable-over-faulty"));
 
     assert_eq!(

@@ -21,7 +21,9 @@ fn main() {
     for engine in EngineKind::ALL {
         let mut cfg = DistConfig::new(4);
         cfg.engine = engine;
-        let out = driver::run(&graph, Algorithm::Pagerank, &cfg);
+        let out = driver::Run::new(&graph, Algorithm::Pagerank)
+            .config(&cfg)
+            .launch();
         println!(
             "{:<9} {:>3} iterations  {:>12} bytes  {:>7.1} ms compute",
             engine.to_string(),

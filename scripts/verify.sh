@@ -4,12 +4,15 @@
 #   1. release build of every crate;
 #   2. the whole test suite (unit + integration + doc tests), including
 #      the default-on `chaos` lossy-network matrix;
-#   3. rustfmt, as a check only;
-#   4. clippy across the workspace with warnings denied.
+#   3. the determinism matrix (threads × algorithms × policies,
+#      bit-identical results and wire counters) under --release;
+#   4. rustfmt, as a check only;
+#   5. clippy across the workspace with warnings denied;
+#   6. rustdoc with warnings denied (missing docs on public API fail).
 #
 # Usage: scripts/verify.sh [--fast]
-#   --fast  skip the release build and run tests without the chaos
-#           feature (quick pre-push sanity loop).
+#   --fast  skip the release build, the release determinism matrix, and
+#           the chaos feature (quick pre-push sanity loop).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -23,6 +26,8 @@ if [[ "$FAST" == "0" ]]; then
     cargo build --release
     echo "==> cargo test -q (chaos matrix included)"
     cargo test -q
+    echo "==> cargo test --release --test determinism (thread-count invariance)"
+    cargo test -q --release --test determinism
 else
     echo "==> cargo test -q --no-default-features (chaos matrix skipped)"
     cargo test -q --workspace --no-default-features
@@ -33,5 +38,8 @@ cargo fmt --check
 
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo doc --no-deps (warnings denied)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet
 
 echo "verify: all gates passed"

@@ -197,8 +197,8 @@ fn main() -> ExitCode {
         }
     );
     let out = match algo {
-        Some(a) => driver::run(&graph, a, &cfg),
-        None => driver::run_kcore(&graph, &cfg, o.k),
+        Some(a) => driver::Run::new(&graph, a).config(&cfg).launch(),
+        None => driver::Run::kcore(&graph, o.k).config(&cfg).launch(),
     };
     println!("rounds: {}", out.rounds);
     println!(

@@ -21,7 +21,7 @@
 //! use gluon_suite::graph::gen;
 //!
 //! let g = gen::rmat(6, 4, Default::default(), 3);
-//! let out = driver::run(&g, Algorithm::Bfs, &DistConfig::new(2));
+//! let out = driver::Run::new(&g, Algorithm::Bfs).config(&DistConfig::new(2)).launch();
 //! assert_eq!(out.int_labels.len(), g.num_nodes() as usize);
 //! ```
 

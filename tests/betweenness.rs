@@ -8,7 +8,7 @@ use gluon_suite::partition::Policy;
 use gluon_suite::substrate::OptLevel;
 
 fn check_bc(graph: &Csr, source: Gid, cfg: &DistConfig) {
-    let out = driver::run_betweenness(graph, cfg, source);
+    let out = driver::Run::betweenness(graph, source).config(cfg).launch();
     let oracle = reference::betweenness_source(graph, source);
     for (v, (got, want)) in out.ranks.iter().zip(&oracle).enumerate() {
         assert!(

@@ -89,9 +89,14 @@ fn bfs_is_bit_identical_under_chaos() {
     let src = max_out_degree_node(&g);
     check_chaos_matrix(
         "bfs",
-        |cfg| driver::run(&g, Algorithm::Bfs, cfg),
+        |cfg| driver::Run::new(&g, Algorithm::Bfs).config(cfg).launch(),
         |cfg, wrap| {
-            driver::run_with_wrapped(&g, Algorithm::Bfs, cfg, src, Default::default(), wrap)
+            driver::Run::new(&g, Algorithm::Bfs)
+                .config(cfg)
+                .source(src)
+                .pagerank(Default::default())
+                .transport(wrap)
+                .launch()
         },
     );
 }
@@ -102,9 +107,14 @@ fn sssp_is_bit_identical_under_chaos() {
     let src = max_out_degree_node(&g);
     check_chaos_matrix(
         "sssp",
-        |cfg| driver::run(&g, Algorithm::Sssp, cfg),
+        |cfg| driver::Run::new(&g, Algorithm::Sssp).config(cfg).launch(),
         |cfg, wrap| {
-            driver::run_with_wrapped(&g, Algorithm::Sssp, cfg, src, Default::default(), wrap)
+            driver::Run::new(&g, Algorithm::Sssp)
+                .config(cfg)
+                .source(src)
+                .pagerank(Default::default())
+                .transport(wrap)
+                .launch()
         },
     );
 }
@@ -114,8 +124,13 @@ fn cc_is_bit_identical_under_chaos() {
     let g = chaos_graph();
     check_chaos_matrix(
         "cc",
-        |cfg| driver::run(&g, Algorithm::Cc, cfg),
-        |cfg, wrap| driver::run_wrapped(&g, Algorithm::Cc, cfg, wrap),
+        |cfg| driver::Run::new(&g, Algorithm::Cc).config(cfg).launch(),
+        |cfg, wrap| {
+            driver::Run::new(&g, Algorithm::Cc)
+                .config(cfg)
+                .transport(wrap)
+                .launch()
+        },
     );
 }
 
@@ -124,8 +139,17 @@ fn pagerank_is_bit_identical_under_chaos() {
     let g = chaos_graph();
     check_chaos_matrix(
         "pagerank",
-        |cfg| driver::run(&g, Algorithm::Pagerank, cfg),
-        |cfg, wrap| driver::run_wrapped(&g, Algorithm::Pagerank, cfg, wrap),
+        |cfg| {
+            driver::Run::new(&g, Algorithm::Pagerank)
+                .config(cfg)
+                .launch()
+        },
+        |cfg, wrap| {
+            driver::Run::new(&g, Algorithm::Pagerank)
+                .config(cfg)
+                .transport(wrap)
+                .launch()
+        },
     );
 }
 
@@ -134,8 +158,13 @@ fn kcore_is_bit_identical_under_chaos() {
     let g = chaos_graph();
     check_chaos_matrix(
         "kcore",
-        |cfg| driver::run_kcore(&g, cfg, 3),
-        |cfg, wrap| driver::run_kcore_wrapped(&g, cfg, 3, wrap),
+        |cfg| driver::Run::kcore(&g, 3).config(cfg).launch(),
+        |cfg, wrap| {
+            driver::Run::kcore(&g, 3)
+                .config(cfg)
+                .transport(wrap)
+                .launch()
+        },
     );
 }
 
@@ -145,8 +174,13 @@ fn betweenness_is_bit_identical_under_chaos() {
     let src = max_out_degree_node(&g);
     check_chaos_matrix(
         "bc",
-        |cfg| driver::run_betweenness(&g, cfg, src),
-        |cfg, wrap| driver::run_betweenness_wrapped(&g, cfg, src, wrap),
+        |cfg| driver::Run::betweenness(&g, src).config(cfg).launch(),
+        |cfg, wrap| {
+            driver::Run::betweenness(&g, src)
+                .config(cfg)
+                .transport(wrap)
+                .launch()
+        },
     );
 }
 
@@ -263,18 +297,23 @@ fn heavy_reordering_alone_is_also_bit_identical() {
         opts: OptLevel::OSTI,
         engine: EngineKind::Galois,
     };
-    let baseline = driver::run(&g, Algorithm::Pagerank, &cfg);
+    let baseline = driver::Run::new(&g, Algorithm::Pagerank)
+        .config(&cfg)
+        .launch();
     for seed in SEEDS {
         let counters = FaultCounters::new();
-        let out = driver::run_wrapped(&g, Algorithm::Pagerank, &cfg, |ep| {
-            ReliableTransport::over(FaultyTransport::new(
-                ep,
-                FaultPlan::none(seed)
-                    .with_delay_rate(0.3)
-                    .with_duplicate_rate(0.1),
-                counters.clone(),
-            ))
-        });
+        let out = driver::Run::new(&g, Algorithm::Pagerank)
+            .config(&cfg)
+            .transport(|ep| {
+                ReliableTransport::over(FaultyTransport::new(
+                    ep,
+                    FaultPlan::none(seed)
+                        .with_delay_rate(0.3)
+                        .with_duplicate_rate(0.1),
+                    counters.clone(),
+                ))
+            })
+            .launch();
         assert!(counters.delayed() > 0, "seed {seed}: nothing was reordered");
         assert!(
             counters.duplicated() > 0,

@@ -24,11 +24,11 @@ fn all_cfgs(hosts: usize) -> impl Iterator<Item = DistConfig> {
 fn graph_with_no_edges() {
     let g = Csr::empty(20);
     for cfg in all_cfgs(4) {
-        let out = driver::run(&g, Algorithm::Bfs, &cfg);
+        let out = driver::Run::new(&g, Algorithm::Bfs).config(&cfg).launch();
         let mut expect = vec![u32::MAX; 20];
         expect[0] = 0; // max-out-degree source defaults to node 0
         assert_eq!(out.int_labels, expect);
-        let cc = driver::run(&g, Algorithm::Cc, &cfg);
+        let cc = driver::Run::new(&g, Algorithm::Cc).config(&cfg).launch();
         assert_eq!(cc.int_labels, (0..20).collect::<Vec<_>>());
     }
 }
@@ -37,9 +37,11 @@ fn graph_with_no_edges() {
 fn single_node_graph() {
     let g = Csr::empty(1);
     for cfg in all_cfgs(3) {
-        let out = driver::run(&g, Algorithm::Bfs, &cfg);
+        let out = driver::Run::new(&g, Algorithm::Bfs).config(&cfg).launch();
         assert_eq!(out.int_labels, vec![0]);
-        let pr = driver::run(&g, Algorithm::Pagerank, &cfg);
+        let pr = driver::Run::new(&g, Algorithm::Pagerank)
+            .config(&cfg)
+            .launch();
         // An edgeless node converges to the base rank (1 - d) / N = 0.15;
         // dangling mass is not redistributed (see `reference::pagerank`).
         assert!((pr.ranks[0] - 0.15).abs() < 1e-6, "base rank only");
@@ -50,7 +52,7 @@ fn single_node_graph() {
 fn more_hosts_than_nodes() {
     let g = gen::path(3);
     for cfg in all_cfgs(8) {
-        let out = driver::run(&g, Algorithm::Bfs, &cfg);
+        let out = driver::Run::new(&g, Algorithm::Bfs).config(&cfg).launch();
         assert_eq!(out.int_labels, reference::bfs(&g, Gid(0)));
     }
 }
@@ -68,7 +70,11 @@ fn self_loops_and_duplicate_edges() {
         ],
     );
     for cfg in all_cfgs(3) {
-        let out = driver::run_with(&g, Algorithm::Sssp, &cfg, Gid(0), Default::default());
+        let out = driver::Run::new(&g, Algorithm::Sssp)
+            .config(&cfg)
+            .source(Gid(0))
+            .pagerank(Default::default())
+            .launch();
         assert_eq!(out.int_labels, reference::sssp(&g, Gid(0)));
         assert_eq!(out.int_labels, vec![0, 1, 3, u32::MAX]);
     }
@@ -81,7 +87,11 @@ fn unreachable_source_component() {
     edges.push((4, 4));
     let g = Csr::from_edge_list(5, &edges);
     for cfg in all_cfgs(2) {
-        let out = driver::run_with(&g, Algorithm::Bfs, &cfg, Gid(0), Default::default());
+        let out = driver::Run::new(&g, Algorithm::Bfs)
+            .config(&cfg)
+            .source(Gid(0))
+            .pagerank(Default::default())
+            .launch();
         assert_eq!(out.int_labels[0], 0);
         assert!(out.int_labels[1..].iter().all(|&d| d == u32::MAX));
     }
@@ -102,7 +112,11 @@ fn isolated_hub_free_graph_with_every_engine() {
             opts: OptLevel::OSTI,
             engine,
         };
-        let out = driver::run_with(&g, Algorithm::Bfs, &cfg, Gid(0), Default::default());
+        let out = driver::Run::new(&g, Algorithm::Bfs)
+            .config(&cfg)
+            .source(Gid(0))
+            .pagerank(Default::default())
+            .launch();
         assert_eq!(out.int_labels, reference::bfs(&g, Gid(0)), "{engine}");
     }
 }

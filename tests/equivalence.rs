@@ -7,7 +7,7 @@ use gluon_suite::partition::Policy;
 use gluon_suite::substrate::OptLevel;
 
 fn check(graph: &Csr, algo: Algorithm, cfg: &DistConfig) {
-    let out = driver::run(graph, algo, cfg);
+    let out = driver::Run::new(graph, algo).config(cfg).launch();
     match algo {
         Algorithm::Bfs => {
             let oracle = reference::bfs(graph, max_out_degree_node(graph));

@@ -7,7 +7,7 @@ use gluon_suite::partition::Policy;
 use gluon_suite::substrate::OptLevel;
 
 fn check_kcore(graph: &Csr, k: u32, cfg: &DistConfig) {
-    let out = driver::run_kcore(graph, cfg, k);
+    let out = driver::Run::kcore(graph, k).config(cfg).launch();
     let core = reference::kcore(graph);
     for (v, (&alive, &core_num)) in out.int_labels.iter().zip(&core).enumerate() {
         let expect = u32::from(core_num >= k);
@@ -63,12 +63,18 @@ fn kcore_across_opt_levels() {
 fn kcore_extremes() {
     let g = gen::complete(8);
     // Complete graph on 8 nodes: everyone has undirected degree 7.
-    let all = driver::run_kcore(&g, &DistConfig::new(2), 7);
+    let all = driver::Run::kcore(&g, 7)
+        .config(&DistConfig::new(2))
+        .launch();
     assert!(all.int_labels.iter().all(|&a| a == 1));
-    let none = driver::run_kcore(&g, &DistConfig::new(2), 8);
+    let none = driver::Run::kcore(&g, 8)
+        .config(&DistConfig::new(2))
+        .launch();
     assert!(none.int_labels.iter().all(|&a| a == 0));
     // k = 0 keeps everything, including isolated nodes.
     let iso = Csr::empty(5);
-    let keep = driver::run_kcore(&iso, &DistConfig::new(2), 0);
+    let keep = driver::Run::kcore(&iso, 0)
+        .config(&DistConfig::new(2))
+        .launch();
     assert!(keep.int_labels.iter().all(|&a| a == 1));
 }

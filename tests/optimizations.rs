@@ -8,7 +8,7 @@ use gluon_suite::graph::{gen, max_out_degree_node};
 use gluon_suite::net::{run_cluster, Communicator};
 use gluon_suite::partition::{partition_on_host, Policy};
 use gluon_suite::substrate::{
-    DenseBitset, GluonContext, MinField, OptLevel, ReadLocation, WriteLocation,
+    DenseBitset, GluonContext, MinField, OptLevel, ReadLocation, SyncSpec, WriteLocation,
 };
 use gluon_suite::trace::Tracer;
 
@@ -20,7 +20,11 @@ fn bytes_for(opts: OptLevel, policy: Policy, algo: Algorithm) -> u64 {
         opts,
         engine: EngineKind::Galois,
     };
-    driver::run(&g, algo, &cfg).run.total_bytes
+    driver::Run::new(&g, algo)
+        .config(&cfg)
+        .launch()
+        .run
+        .total_bytes
 }
 
 #[test]
@@ -49,8 +53,12 @@ fn structural_invariants_eliminate_oec_broadcast() {
         opts,
         engine: EngineKind::Galois,
     };
-    let unopt = driver::run(&g, Algorithm::Bfs, &mk(OptLevel::UNOPT));
-    let osi = driver::run(&g, Algorithm::Bfs, &mk(OptLevel::OSI));
+    let unopt = driver::Run::new(&g, Algorithm::Bfs)
+        .config(&mk(OptLevel::UNOPT))
+        .launch();
+    let osi = driver::Run::new(&g, Algorithm::Bfs)
+        .config(&mk(OptLevel::OSI))
+        .launch();
     assert!(
         osi.run.total_messages <= unopt.run.total_messages / 2 + 4,
         "OSI messages {} vs UNOPT {}",
@@ -86,7 +94,9 @@ fn memoization_overhead_is_bounded() {
         opts: OptLevel::OSTI,
         engine: EngineKind::Galois,
     };
-    let out = driver::run(&g, Algorithm::Pagerank, &cfg);
+    let out = driver::Run::new(&g, Algorithm::Pagerank)
+        .config(&cfg)
+        .launch();
     let memo_bytes: u64 = out.host_stats.iter().map(|h| h.memo_bytes).sum();
     assert!(
         (memo_bytes as f64) < 0.25 * out.run.total_bytes as f64,
@@ -107,8 +117,12 @@ fn cvc_reduces_fan_out_versus_unopt_broadcast() {
         opts,
         engine: EngineKind::Galois,
     };
-    let unopt = driver::run(&g, Algorithm::Cc, &mk(OptLevel::UNOPT));
-    let osti = driver::run(&g, Algorithm::Cc, &mk(OptLevel::OSTI));
+    let unopt = driver::Run::new(&g, Algorithm::Cc)
+        .config(&mk(OptLevel::UNOPT))
+        .launch();
+    let osti = driver::Run::new(&g, Algorithm::Cc)
+        .config(&mk(OptLevel::OSTI))
+        .launch();
     let max_fan = |out: &gluon_suite::algos::DistOutcome| {
         (0..hosts).map(|h| out.net.fan_out(h)).max().unwrap_or(0)
     };
@@ -136,7 +150,9 @@ fn gluon_beats_gemini_on_volume_for_every_benchmark() {
                 &g,
             ),
         };
-        let glu = driver::run(input, algo, &DistConfig::new(hosts));
+        let glu = driver::Run::new(input, algo)
+            .config(&DistConfig::new(hosts))
+            .launch();
         assert!(
             glu.run.total_bytes < gem_bytes.run.total_bytes,
             "{algo}: gluon {} vs gemini {}",
@@ -173,12 +189,8 @@ fn sparse_round_never_picks_dense_encoding() {
             bits.set(m);
         }
         let mut field = MinField::new(&mut vals);
-        ctx.sync(
-            WriteLocation::Destination,
-            ReadLocation::Source,
-            &mut field,
-            &mut bits,
-        );
+        let spec = SyncSpec::full(WriteLocation::Destination, ReadLocation::Source);
+        ctx.sync(&spec, &mut field, &mut bits);
     });
     let hist = tracer.wire_mode_histogram();
     assert!(!hist.is_empty(), "sync recorded no wire modes");

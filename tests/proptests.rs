@@ -103,13 +103,7 @@ proptest! {
             opts: OptLevel::OSTI,
             engine: EngineKind::Galois,
         };
-        let out = driver::run_with(
-            &graph,
-            Algorithm::Bfs,
-            &cfg,
-            source,
-            Default::default(),
-        );
+        let out = driver::Run::new(&graph, Algorithm::Bfs).config(&cfg).source(source).pagerank(Default::default()).launch();
         // bfs on the weighted graph still walks hop counts.
         let oracle = reference::bfs(&graph, source);
         prop_assert_eq!(out.int_labels, oracle);
@@ -126,7 +120,7 @@ proptest! {
             opts: OptLevel::OSTI,
             engine: EngineKind::Irgl,
         };
-        let out = driver::run(&graph, Algorithm::Cc, &cfg);
+        let out = driver::Run::new(&graph, Algorithm::Cc).config(&cfg).launch();
         prop_assert_eq!(out.int_labels, reference::cc(&graph));
     }
 
@@ -157,7 +151,7 @@ proptest! {
             opts: OptLevel::OSTI,
             engine: EngineKind::Galois,
         };
-        let out = driver::run_kcore(&graph, &cfg, k);
+        let out = driver::Run::kcore(&graph, k).config(&cfg).launch();
         let core = reference::kcore(&graph);
         for (v, (&alive, &c)) in out.int_labels.iter().zip(&core).enumerate() {
             prop_assert_eq!(alive, u32::from(c >= k), "node {} k {}", v, k);

@@ -5,7 +5,7 @@ use gluon_suite::graph::{gen, Csr, Gid};
 use gluon_suite::net::{run_cluster, Communicator};
 use gluon_suite::partition::{partition_on_host, Policy};
 use gluon_suite::substrate::{
-    DenseBitset, GluonContext, MinField, OptLevel, ReadLocation, WriteLocation,
+    DenseBitset, GluonContext, MinField, OptLevel, ReadLocation, SyncSpec, WriteLocation,
 };
 
 /// Regression: under a general vertex-cut (HVC/UVC), a mirror with both
@@ -25,7 +25,7 @@ fn broadcast_reactivates_originating_mirror() {
             opts: OptLevel::OSTI,
             engine,
         };
-        let out = driver::run(&g, Algorithm::Cc, &cfg);
+        let out = driver::Run::new(&g, Algorithm::Cc).config(&cfg).launch();
         assert_eq!(out.int_labels, reference::cc(&sym), "{engine}");
     }
 }
@@ -56,12 +56,8 @@ fn sync_leaves_active_set_semantics() {
             }
         }
         let mut field = MinField::new(&mut dist);
-        ctx.sync(
-            WriteLocation::Destination,
-            ReadLocation::Source,
-            &mut field,
-            &mut bits,
-        );
+        let spec = SyncSpec::full(WriteLocation::Destination, ReadLocation::Source);
+        ctx.sync(&spec, &mut field, &mut bits);
         let active: Vec<u32> = bits.iter().map(|l| lg.gid(l).0).collect();
         let labels: Vec<(u32, u32)> = lg
             .proxies()
@@ -102,7 +98,11 @@ fn wire_modes_all_agree() {
                 opts,
                 engine: EngineKind::Galois,
             };
-            let out = driver::run_with(&g, Algorithm::Bfs, &cfg, Gid(0), Default::default());
+            let out = driver::Run::new(&g, Algorithm::Bfs)
+                .config(&cfg)
+                .source(Gid(0))
+                .pagerank(Default::default())
+                .launch();
             match &reference_labels {
                 None => reference_labels = Some(out.int_labels),
                 Some(r) => assert_eq!(&out.int_labels, r, "{opts}"),
@@ -142,12 +142,8 @@ fn context_is_reusable_across_runs() {
                 }
                 bits = changed;
                 let mut field = MinField::new(&mut dist);
-                ctx.sync(
-                    WriteLocation::Destination,
-                    ReadLocation::Source,
-                    &mut field,
-                    &mut bits,
-                );
+                let spec = SyncSpec::full(WriteLocation::Destination, ReadLocation::Source);
+                ctx.sync(&spec, &mut field, &mut bits);
                 if !ctx.any_globally(!bits.is_empty()) {
                     break;
                 }

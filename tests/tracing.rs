@@ -42,16 +42,27 @@ fn span_sums_match_comm_secs_for_every_algorithm() {
     let cfg = DistConfig::new(4);
     for algo in Algorithm::ALL {
         let tracer = Tracer::new(cfg.hosts);
-        let out = driver::run_traced(&g, algo, &cfg, &tracer);
+        let out = driver::Run::new(&g, algo)
+            .config(&cfg)
+            .tracer(&tracer)
+            .launch();
         assert!(out.rounds > 0);
         assert_span_sums(&tracer, &out, algo.name());
     }
     // The auxiliary kernels run through the same instrumented sync path.
     let tracer = Tracer::new(cfg.hosts);
-    let out = driver::run_kcore_traced(&g, &cfg, 2, |ep| ep, &tracer);
+    let out = driver::Run::kcore(&g, 2)
+        .config(&cfg)
+        .tracer(&tracer)
+        .transport(|ep| ep)
+        .launch();
     assert_span_sums(&tracer, &out, "kcore");
     let tracer = Tracer::new(cfg.hosts);
-    let out = driver::run_betweenness_traced(&g, &cfg, max_out_degree_node(&g), |ep| ep, &tracer);
+    let out = driver::Run::betweenness(&g, max_out_degree_node(&g))
+        .config(&cfg)
+        .tracer(&tracer)
+        .transport(|ep| ep)
+        .launch();
     assert_span_sums(&tracer, &out, "betweenness");
 }
 
@@ -60,7 +71,10 @@ fn setup_and_collective_spans_are_recorded() {
     let g = gen::rmat(7, 6, Default::default(), 3);
     let cfg = DistConfig::new(4);
     let tracer = Tracer::new(cfg.hosts);
-    driver::run_traced(&g, Algorithm::Bfs, &cfg, &tracer);
+    driver::Run::new(&g, Algorithm::Bfs)
+        .config(&cfg)
+        .tracer(&tracer)
+        .launch();
     let spans = tracer.spans();
     for host in 0..cfg.hosts {
         assert!(
@@ -84,9 +98,12 @@ fn setup_and_collective_spans_are_recorded() {
 fn disabled_tracer_leaves_counters_bit_identical() {
     let g = gen::rmat(8, 8, Default::default(), 11);
     let cfg = DistConfig::new(3);
-    let plain = driver::run(&g, Algorithm::Sssp, &cfg);
+    let plain = driver::Run::new(&g, Algorithm::Sssp).config(&cfg).launch();
     let disabled = Tracer::disabled();
-    let traced = driver::run_traced(&g, Algorithm::Sssp, &cfg, &disabled);
+    let traced = driver::Run::new(&g, Algorithm::Sssp)
+        .config(&cfg)
+        .tracer(&disabled)
+        .launch();
     assert_eq!(plain.run.total_bytes, traced.run.total_bytes);
     assert_eq!(plain.run.total_messages, traced.run.total_messages);
     assert_eq!(plain.run.max_host_bytes, traced.run.max_host_bytes);
@@ -110,25 +127,23 @@ fn disabled_tracer_leaves_counters_bit_identical() {
 fn chaos_runs_tag_retransmissions_in_the_trace() {
     let g = gen::rmat(8, 8, Default::default(), 21);
     let cfg = DistConfig::new(4);
-    let clean = driver::run(&g, Algorithm::Bfs, &cfg);
+    let clean = driver::Run::new(&g, Algorithm::Bfs).config(&cfg).launch();
     let tracer = Tracer::new(cfg.hosts);
     let counters = FaultCounters::new();
-    let out = driver::run_with_wrapped_traced(
-        &g,
-        Algorithm::Bfs,
-        &cfg,
-        max_out_degree_node(&g),
-        Default::default(),
-        |ep| {
+    let out = driver::Run::new(&g, Algorithm::Bfs)
+        .config(&cfg)
+        .source(max_out_degree_node(&g))
+        .pagerank(Default::default())
+        .tracer(&tracer)
+        .transport(|ep| {
             ReliableTransport::over(FaultyTransport::new(
                 ep,
                 FaultPlan::lossy(7),
                 counters.clone(),
             ))
             .with_tracer(tracer.clone())
-        },
-        &tracer,
-    );
+        })
+        .launch();
     assert_eq!(out.int_labels, clean.int_labels, "chaos changed results");
     assert!(counters.total() > 0, "fault plan injected nothing");
     assert!(
@@ -351,22 +366,20 @@ fn exported_chrome_trace_validates_against_the_schema() {
     let cfg = DistConfig::new(3);
     let tracer = Tracer::new(cfg.hosts);
     let counters = FaultCounters::new();
-    driver::run_with_wrapped_traced(
-        &g,
-        Algorithm::Bfs,
-        &cfg,
-        max_out_degree_node(&g),
-        Default::default(),
-        |ep| {
+    driver::Run::new(&g, Algorithm::Bfs)
+        .config(&cfg)
+        .source(max_out_degree_node(&g))
+        .pagerank(Default::default())
+        .tracer(&tracer)
+        .transport(|ep| {
             ReliableTransport::over(FaultyTransport::new(
                 ep,
                 FaultPlan::lossy(3),
                 counters.clone(),
             ))
             .with_tracer(tracer.clone())
-        },
-        &tracer,
-    );
+        })
+        .launch();
     let mut chrome = ChromeTraceBuilder::new();
     chrome.add("bfs \"chaos\" run", &tracer); // exercise name escaping
     let doc = Parser::parse(&chrome.finish());

@@ -1,11 +1,23 @@
 //! Minimal offline stand-in for the `crossbeam` crate.
 //!
-//! Provides the `channel` subset the workspace uses: an unbounded MPMC
-//! channel whose `Sender`/`Receiver` are both `Send + Sync`, with
-//! blocking, timed, and non-blocking receives plus disconnect detection.
-//! Built on `std::sync::{Mutex, Condvar}`.
+//! Provides the subset the workspace uses:
+//!
+//! * `channel` — an unbounded MPMC channel whose `Sender`/`Receiver` are
+//!   both `Send + Sync`, with blocking, timed, and non-blocking receives
+//!   plus disconnect detection. Built on `std::sync::{Mutex, Condvar}`.
+//! * `thread` — scoped threads (`crossbeam::thread::scope`), delegating to
+//!   `std::thread::scope` (stabilized in Rust 1.63, so the standard
+//!   library provides the exact guarantee crossbeam pioneered: spawned
+//!   threads may borrow from the enclosing stack frame and are joined
+//!   before `scope` returns).
 
 #![forbid(unsafe_code)]
+
+/// Scoped threads: spawn threads that borrow from the caller's stack and
+/// are guaranteed joined when the scope ends.
+pub mod thread {
+    pub use std::thread::{scope, Scope, ScopedJoinHandle};
+}
 
 /// Multi-producer multi-consumer FIFO channels.
 pub mod channel {

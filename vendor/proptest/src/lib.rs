@@ -234,7 +234,7 @@ pub mod collection {
     use std::collections::BTreeSet;
     use std::ops::Range;
 
-    /// See [`vec`].
+    /// See [`fn@vec`].
     pub struct VecStrategy<S> {
         element: S,
         size: Range<usize>,
