@@ -47,7 +47,8 @@ fn bench_decode(c: &mut Criterion) {
             let mut acc = 0u64;
             decode_memoized::<u32>(&msg, list_len, &mut |pos, v| {
                 acc += pos as u64 + u64::from(v);
-            });
+            })
+            .expect("own encoding decodes");
             black_box(acc)
         })
     });

@@ -23,7 +23,7 @@ fn bench_record_calls(c: &mut Criterion) {
             b.iter(|| {
                 for i in 0..1_000u64 {
                     t.record_span(0, 0, Stage::Encode, None, i, 1);
-                    t.record_wire_mode("bench", 3);
+                    t.record_wire_mode("bench", 3, 64);
                     t.record_message_size(64);
                 }
                 black_box(t.is_enabled())
@@ -38,7 +38,7 @@ fn bench_record_calls(c: &mut Criterion) {
             b.iter(|| {
                 for i in 0..1_000u64 {
                     t.record_span(0, 0, Stage::Encode, None, i, 1);
-                    t.record_wire_mode("bench", 3);
+                    t.record_wire_mode("bench", 3, 64);
                     t.record_message_size(64);
                 }
                 black_box(t.is_enabled())

@@ -10,7 +10,7 @@
 //! 4. lossy-network overhead — the retransmission tax the reliability
 //!    layer pays, and the cost model charges, as the drop rate grows.
 
-use gluon::encode::{encode_memoized, WireMode};
+use gluon::encode::{candidate_sizes, encode_memoized, WireMode};
 use gluon::{FlagFilter, MemoTable, OptLevel};
 use gluon_algos::{driver, Algorithm, DistConfig, EngineKind, PagerankConfig};
 use gluon_bench::{inputs, report, scale_from_args, trace_path_from_args, Table};
@@ -28,9 +28,12 @@ fn wire_mode_crossover() {
         "updated %",
         "chosen mode",
         "chosen bytes",
-        "dense bytes",
-        "bitvec bytes",
-        "indices bytes",
+        "dense",
+        "bitvec",
+        "indices",
+        "idx_delta",
+        "run_len",
+        "all-equal (same_*)",
     ]);
     for pct in [0u32, 1, 2, 5, 10, 20, 40, 60, 80, 100] {
         let k = (list_len as u32 * pct / 100) as usize;
@@ -38,22 +41,35 @@ fn wire_mode_crossover() {
             None => Vec::new(),
             Some(stride) => (0..list_len as u32).step_by(stride.max(1)).collect(),
         };
-        let k = updated.len();
         let chosen = encode_memoized(list_len, &updated, |p| p as u32);
-        let dense = 1 + list_len * 4;
-        let bitvec = 1 + list_len.div_ceil(8) + k * 4;
-        let indices = 1 + 4 + k * 8;
+        let sizes: std::collections::HashMap<WireMode, usize> =
+            candidate_sizes::<u32>(list_len, &updated, true, true)
+                .into_iter()
+                .collect();
+        let size_of = |m: WireMode| sizes.get(&m).map_or_else(|| "-".into(), |s| s.to_string());
+        // What a broadcast of one identical value would cost: the cheaper
+        // of the two same-value layouts.
+        let same = sizes
+            .get(&WireMode::SameIndicesDelta)
+            .into_iter()
+            .chain(sizes.get(&WireMode::SameRunLength))
+            .min()
+            .map_or_else(|| "-".into(), |s| s.to_string());
         table.row(vec![
             pct.to_string(),
             format!("{:?}", WireMode::of(&chosen)),
             chosen.len().to_string(),
-            dense.to_string(),
-            bitvec.to_string(),
-            indices.to_string(),
+            size_of(WireMode::Dense),
+            size_of(WireMode::Bitvec),
+            size_of(WireMode::Indices),
+            size_of(WireMode::IndicesDelta),
+            size_of(WireMode::RunLength),
+            same,
         ]);
     }
     table.print(
-        "Ablation 1: §4.2 wire-mode selection by update density (10k-entry list, u32 values)",
+        "Ablation 1: wire-mode selection by update density (10k-entry list, u32 values) — \
+         the paper's §4.2 modes plus the codec-v2 compressed candidates",
     );
 }
 

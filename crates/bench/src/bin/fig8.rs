@@ -3,19 +3,30 @@
 //! (a) total execution time and (b) communication volume for D-Ligra,
 //! D-Galois, and Gemini across the host sweep, on the three scaling inputs
 //! (stand-ins for rmat28, kron30, clueweb12) and all four benchmarks.
+//!
+//! Every Gluon row is run twice: once with the codec-v2 compressed wire
+//! modes (the default) and once restricted to the codec-v1 modes
+//! (`OptLevel::without_compression`). The second run is the pre-codec-v2
+//! baseline; the table reports both volumes and their ratio, and the run
+//! asserts the two are bit-identical in every computed label.
 
+use gluon::OptLevel;
 use gluon_algos::{driver, Algorithm, DistConfig, EngineKind};
 use gluon_bench::{inputs, report, scale_from_args, trace_path_from_args, Scale, Table};
 use gluon_gemini::GeminiAlgo;
 use gluon_graph::{max_out_degree_node, Csr};
 use gluon_net::CostModel;
 use gluon_partition::Policy;
-use gluon_trace::{ChromeTraceBuilder, Tracer};
+use gluon_trace::{ChromeTraceBuilder, Tracer, MODE_NAMES, NUM_WIRE_MODES};
+use std::collections::BTreeMap;
 
 struct Point {
     projected_secs: f64,
     wall_secs: f64,
     comm_bytes: u64,
+    /// Volume of the same run under the codec-v1 wire modes; `None` for
+    /// systems that do not use the Gluon codec (Gemini).
+    baseline_bytes: Option<u64>,
     retx_bytes: u64,
     rounds: u32,
 }
@@ -30,17 +41,45 @@ fn gluon_point(
     let cfg = DistConfig {
         hosts,
         policy: Policy::Cvc,
-        opts: Default::default(),
+        opts: OptLevel::default(),
         engine,
     };
     let out = driver::Run::new(graph, algo)
         .config(&cfg)
         .tracer(tracer)
         .launch();
+    // The codec-v1 baseline: identical run with the compressed candidates
+    // off. Compression must never change what is computed — only how the
+    // update metadata travels.
+    let base_cfg = DistConfig {
+        hosts,
+        policy: Policy::Cvc,
+        opts: OptLevel::default().without_compression(),
+        engine,
+    };
+    let base = driver::Run::new(graph, algo).config(&base_cfg).launch();
+    assert_eq!(
+        out.rounds, base.rounds,
+        "compression changed the round count ({algo:?}, {hosts} hosts)"
+    );
+    assert_eq!(
+        out.int_labels, base.int_labels,
+        "compression changed integer labels ({algo:?}, {hosts} hosts)"
+    );
+    assert!(
+        out.ranks.len() == base.ranks.len()
+            && out
+                .ranks
+                .iter()
+                .zip(&base.ranks)
+                .all(|(a, b)| a.to_bits() == b.to_bits()),
+        "compression changed pagerank bits ({algo:?}, {hosts} hosts)"
+    );
     Point {
         projected_secs: out.projected_secs(&CostModel::REPRO),
         wall_secs: out.algo_secs,
         comm_bytes: out.run.total_bytes,
+        baseline_bytes: Some(base.run.total_bytes),
         retx_bytes: out.net.retransmit_bytes,
         rounds: out.rounds,
     }
@@ -66,7 +105,8 @@ fn gemini_point(graph: &Csr, algo: Algorithm, hosts: usize) -> Point {
             .projected_secs(&CostModel::REPRO, gluon::DEFAULT_EDGES_PER_SEC),
         wall_secs: out.algo_secs,
         comm_bytes: out.run.total_bytes,
-        retx_bytes: 0, // gemini runs on the bare in-memory transport
+        baseline_bytes: None, // gemini does not use the Gluon codec
+        retx_bytes: 0,        // gemini runs on the bare in-memory transport
         rounds: out.rounds,
     }
 }
@@ -89,9 +129,19 @@ fn main() {
         "proj time (s)",
         "wall (s)",
         "comm volume",
+        "v1 baseline",
+        "ratio",
         "retx",
         "rounds",
     ]);
+    // Payload bytes per wire mode, summed over every Gluon row, keyed by
+    // the synced field.
+    let mut mode_bytes: BTreeMap<String, [u64; NUM_WIRE_MODES]> = BTreeMap::new();
+    // The codec-v2 acceptance gate: at least one multi-host sparse
+    // workload (bfs or cc) must move strictly fewer bytes than the v1
+    // baseline.
+    let mut sparse_wins = 0usize;
+    let mut sparse_rows = 0usize;
     for bg in &graphs {
         for algo in Algorithm::ALL {
             let weighted;
@@ -107,20 +157,43 @@ fn main() {
                     ("d-galois", Some(EngineKind::Galois)),
                     ("gemini", None),
                 ] {
-                    // Gemini runs on its own stack, which is untraced.
-                    let tracer = match (&chrome, engine) {
-                        (Some(_), Some(_)) => Tracer::new(hosts),
-                        _ => Tracer::disabled(),
+                    // Gluon rows are always traced so the per-mode byte
+                    // breakdown below covers the whole sweep; Gemini runs
+                    // on its own untraced stack.
+                    let tracer = match engine {
+                        Some(_) => Tracer::new(hosts),
+                        None => Tracer::disabled(),
                     };
                     let point = match engine {
                         Some(engine) => gluon_point(graph, algo, engine, hosts, &tracer),
                         None => gemini_point(graph, algo, hosts),
                     };
+                    for (field, bytes) in tracer.wire_mode_bytes() {
+                        let acc = mode_bytes.entry(field).or_insert([0; NUM_WIRE_MODES]);
+                        for (a, b) in acc.iter_mut().zip(bytes) {
+                            *a += b;
+                        }
+                    }
                     if let (Some(chrome), true) = (&mut chrome, tracer.is_enabled()) {
                         chrome.add(
                             &format!("{}/{}/{}/{}h", bg.name, algo.name(), system, hosts),
                             &tracer,
                         );
+                    }
+                    let (baseline, ratio) = match point.baseline_bytes {
+                        Some(base) => (
+                            report::bytes(base),
+                            format!("{:.2}x", base as f64 / point.comm_bytes.max(1) as f64),
+                        ),
+                        None => ("-".to_owned(), "-".to_owned()),
+                    };
+                    if matches!(algo, Algorithm::Bfs | Algorithm::Cc) && hosts > 1 {
+                        if let Some(base) = point.baseline_bytes {
+                            sparse_rows += 1;
+                            if point.comm_bytes < base {
+                                sparse_wins += 1;
+                            }
+                        }
                     }
                     table.row(vec![
                         bg.name.to_owned(),
@@ -130,6 +203,8 @@ fn main() {
                         report::secs(point.projected_secs),
                         report::secs(point.wall_secs),
                         report::bytes(point.comm_bytes),
+                        baseline,
+                        ratio,
                         report::bytes(point.retx_bytes),
                         point.rounds.to_string(),
                     ]);
@@ -138,12 +213,40 @@ fn main() {
         }
     }
     table.print("Figure 8(a)+(b): strong scaling — time series and communication volume");
+
+    // Per-wire-mode byte breakdown across every Gluon row above.
+    let mut modes = Table::new({
+        let mut cols = vec!["field"];
+        cols.extend(MODE_NAMES);
+        cols.push("total");
+        cols
+    });
+    for (field, bytes) in &mode_bytes {
+        let mut row = vec![field.clone()];
+        row.extend(bytes.iter().map(|&b| report::bytes(b)));
+        row.push(report::bytes(bytes.iter().sum()));
+        modes.row(row);
+    }
+    println!();
+    modes.print("Figure 8(b) detail: payload bytes per wire mode (all Gluon rows)");
+
     if let (Some(path), Some(chrome)) = (&trace_path, chrome) {
         std::fs::write(path, chrome.finish())
             .unwrap_or_else(|e| panic!("cannot write trace to {path}: {e}"));
         println!();
         println!("Chrome trace written to {path} (load via chrome://tracing or Perfetto).");
     }
+    println!();
+    assert!(
+        sparse_wins > 0,
+        "codec v2 failed to beat the v1 baseline on any multi-host bfs/cc row \
+         ({sparse_rows} candidates)"
+    );
+    println!(
+        "Codec v2 check: every row bit-identical with compression on vs off; \
+         {sparse_wins}/{sparse_rows} multi-host bfs/cc rows moved strictly fewer \
+         bytes than the codec-v1 baseline."
+    );
     println!();
     println!(
         "Paper shape to check: D-Galois beats Gemini nearly everywhere and \

@@ -4,7 +4,8 @@
 use crate::bitset::DenseBitset;
 use crate::comm_tags::{sync_tag, SYNC_TAG_WINDOW};
 use crate::encode::{
-    decode_gid_values, decode_memoized, encode_gid_values, encode_memoized, WireMode,
+    decode_gid_values, decode_memoized, encode_gid_values, encode_memoized_with, DecodeError,
+    WireMode,
 };
 use crate::field::FieldSync;
 use crate::memo::{FlagFilter, MemoTable};
@@ -16,6 +17,59 @@ use gluon_net::{Communicator, NetError, Transport};
 use gluon_partition::LocalGraph;
 use gluon_trace::{Stage, Tracer, SETUP_PHASE};
 use std::time::Instant;
+
+/// One peer's decoded update batch: the `(local id, value)` entries its
+/// payload carried, or the decode failure to surface for that peer.
+type DecodedBatch<V> = Result<Vec<(Lid, V)>, DecodeError>;
+
+/// Why a [`GluonContext::try_sync`] call failed.
+///
+/// Network failure (a peer declared dead by the reliability layer) and
+/// decode failure (a received payload that does not parse — a corrupted
+/// frame on an unprotected transport, or a peer speaking a different wire
+/// format) both leave the field partially reconciled: the error is
+/// terminal for the run, not retryable, but it *is* survivable — the host
+/// thread gets the error instead of aborting, and every decode failure is
+/// counted in [`crate::SyncStats::decode_errors`], in
+/// `gluon_net::NetStats`, and as a `decode_error` trace event.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SyncError {
+    /// A peer became unreachable mid-sync.
+    Net(NetError),
+    /// A received payload failed to decode.
+    Decode {
+        /// The peer whose payload was malformed.
+        peer: usize,
+        /// What was wrong with the bytes.
+        error: DecodeError,
+    },
+}
+
+impl std::fmt::Display for SyncError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SyncError::Net(e) => write!(f, "{e}"),
+            SyncError::Decode { peer, error } => {
+                write!(f, "undecodable sync payload from host {peer}: {error}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SyncError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SyncError::Net(e) => Some(e),
+            SyncError::Decode { error, .. } => Some(error),
+        }
+    }
+}
+
+impl From<NetError> for SyncError {
+    fn from(e: NetError) -> Self {
+        SyncError::Net(e)
+    }
+}
 
 /// Where the operator *writes* the synchronized field, relative to edge
 /// direction (the paper's `WriteAtSource` / `WriteAtDestination` tags).
@@ -442,8 +496,8 @@ impl<'a, T: Transport + ?Sized> GluonContext<'a, T> {
     /// # Panics
     ///
     /// Panics if `updated` is not sized to the proxy count, or on network
-    /// failure ([`GluonContext::try_sync`] surfaces that as an error
-    /// instead).
+    /// or decode failure ([`GluonContext::try_sync`] surfaces those as
+    /// errors instead).
     pub fn sync<F: FieldSync>(
         &mut self,
         spec: &SyncSpec,
@@ -454,21 +508,26 @@ impl<'a, T: Transport + ?Sized> GluonContext<'a, T> {
             .unwrap_or_else(|e| panic!("sync failed: {e}"));
     }
 
-    /// As [`GluonContext::sync`], surfacing network failure as an error
-    /// instead of panicking.
+    /// As [`GluonContext::sync`], surfacing network and decode failure as
+    /// an error instead of panicking.
     ///
     /// # Errors
     ///
-    /// Returns [`NetError`] if a peer becomes unreachable mid-sync. The
-    /// error is terminal for the run: local field state may have been
-    /// partially reconciled, so the caller should abandon the computation
-    /// (or restart it), not retry the call.
+    /// Returns [`SyncError::Net`] if a peer becomes unreachable mid-sync,
+    /// and [`SyncError::Decode`] if a received payload does not parse (a
+    /// corrupted frame on an unprotected transport — the reliability
+    /// layer's checksum normally drops those first). Either error is
+    /// terminal for the run: local field state may have been partially
+    /// reconciled, so the caller should abandon the computation (or
+    /// restart it), not retry the call. Decode failures are additionally
+    /// counted in [`crate::SyncStats::decode_errors`], in the transport's
+    /// `NetStats`, and as a `decode_error` trace event.
     pub fn try_sync<F: FieldSync>(
         &mut self,
         spec: &SyncSpec,
         field: &mut F,
         updated: &mut DenseBitset,
-    ) -> Result<(), NetError> {
+    ) -> Result<(), SyncError> {
         assert_eq!(
             updated.capacity(),
             self.graph.num_proxies(),
@@ -625,6 +684,17 @@ impl<'a, T: Transport + ?Sized> GluonContext<'a, T> {
         Ok(sum)
     }
 
+    /// Books one undecodable payload from `peer` into every counter that
+    /// tracks it (per-host stats, transport-level `NetStats`, trace event
+    /// stream) and builds the terminal [`SyncError::Decode`].
+    fn decode_failed(&mut self, peer: usize, payload_len: usize, error: DecodeError) -> SyncError {
+        self.stats.decode_errors += 1;
+        self.comm.transport().stats().record_decode_error();
+        self.tracer
+            .record_event(self.rank(), "decode_error", peer, payload_len as u64);
+        SyncError::Decode { peer, error }
+    }
+
     fn host_sent_snapshot(&self) -> (u64, u64) {
         let snap = self.comm.transport().stats().snapshot();
         let rank = self.rank();
@@ -645,13 +715,14 @@ impl<'a, T: Transport + ?Sized> GluonContext<'a, T> {
         field: &mut F,
         updated: &mut DenseBitset,
         seg: &mut Segmenter,
-    ) -> Result<(), NetError> {
+    ) -> Result<(), SyncError> {
         if self.pool.is_parallel() {
             return self
                 .send_pattern_par(seq, pat, role, filter_idx, field_name, field, updated, seg);
         }
         let rank = self.rank();
         let temporal = self.opts.temporal;
+        let compress = self.opts.compress;
         for h in 0..self.world_size() {
             if h == rank {
                 continue;
@@ -672,7 +743,12 @@ impl<'a, T: Transport + ?Sized> GluonContext<'a, T> {
             }
             let payload = if temporal {
                 seg.stage(Stage::Encode, Some(h));
-                encode_memoized(list.len(), &updated_pos, |p| field.extract(list[p]))
+                encode_memoized_with(
+                    list.len(),
+                    &updated_pos,
+                    |p| field.extract(list[p]),
+                    compress,
+                )
             } else {
                 // Without temporal invariance every update must be
                 // re-translated to global IDs — the cost §4.1 memoizes away.
@@ -687,7 +763,8 @@ impl<'a, T: Transport + ?Sized> GluonContext<'a, T> {
                 seg.stage(Stage::Encode, Some(h));
                 encode_gid_values(&pairs)
             };
-            self.tracer.record_wire_mode(field_name, payload[0]);
+            self.tracer
+                .record_wire_mode(field_name, payload[0], payload.len() as u64);
             self.tracer.record_message_size(payload.len());
             if role == PatternRole::MirrorToMaster {
                 // The shipped values now live at the master; reset the
@@ -730,9 +807,10 @@ impl<'a, T: Transport + ?Sized> GluonContext<'a, T> {
         field: &mut F,
         updated: &mut DenseBitset,
         seg: &mut Segmenter,
-    ) -> Result<(), NetError> {
+    ) -> Result<(), SyncError> {
         let rank = self.rank();
         let temporal = self.opts.temporal;
+        let compress = self.opts.compress;
         let lists = match role {
             PatternRole::MirrorToMaster => &self.mirror_lists[filter_idx],
             PatternRole::MasterToMirror => &self.master_lists[filter_idx],
@@ -759,7 +837,12 @@ impl<'a, T: Transport + ?Sized> GluonContext<'a, T> {
                 }
             }
             let payload = if temporal {
-                encode_memoized(list.len(), &updated_pos, |p| field_ref.extract(list[p]))
+                encode_memoized_with(
+                    list.len(),
+                    &updated_pos,
+                    |p| field_ref.extract(list[p]),
+                    compress,
+                )
             } else {
                 let pairs: Vec<(Gid, F::Value)> = updated_pos
                     .iter()
@@ -776,7 +859,8 @@ impl<'a, T: Transport + ?Sized> GluonContext<'a, T> {
             let Some((updated_pos, payload)) = prep else {
                 continue;
             };
-            self.tracer.record_wire_mode(field_name, payload[0]);
+            self.tracer
+                .record_wire_mode(field_name, payload[0], payload.len() as u64);
             self.tracer.record_message_size(payload.len());
             if role == PatternRole::MirrorToMaster {
                 seg.stage(Stage::Reset, Some(h));
@@ -811,12 +895,13 @@ impl<'a, T: Transport + ?Sized> GluonContext<'a, T> {
         field: &mut F,
         updated: &mut DenseBitset,
         seg: &mut Segmenter,
-    ) -> Result<(), NetError> {
+    ) -> Result<(), SyncError> {
         if self.pool.is_parallel() {
             return self.recv_pattern_par(seq, pat, role, filter_idx, field, updated, seg);
         }
         let rank = self.rank();
         let temporal = self.opts.temporal;
+        let graph = self.graph;
         for h in 0..self.world_size() {
             if h == rank {
                 continue;
@@ -842,9 +927,13 @@ impl<'a, T: Transport + ?Sized> GluonContext<'a, T> {
                     PatternRole::MirrorToMaster => {
                         if temporal {
                             let mut entries: Vec<(usize, F::Value)> = Vec::new();
-                            decode_memoized::<F::Value>(&payload, list.len(), &mut |pos, v| {
-                                entries.push((pos, v));
-                            });
+                            let res =
+                                decode_memoized::<F::Value>(&payload, list.len(), &mut |pos, v| {
+                                    entries.push((pos, v));
+                                });
+                            if let Err(e) = res {
+                                return Err(self.decode_failed(h, payload.len(), e));
+                            }
                             seg.stage(Stage::Apply, Some(h));
                             for (pos, v) in entries {
                                 let lid = list[pos];
@@ -854,13 +943,21 @@ impl<'a, T: Transport + ?Sized> GluonContext<'a, T> {
                             }
                         } else {
                             let mut entries: Vec<(Gid, F::Value)> = Vec::new();
-                            decode_gid_values::<F::Value>(&payload, &mut |gid, v| {
+                            let res = decode_gid_values::<F::Value>(&payload, &mut |gid, v| {
                                 entries.push((gid, v));
                             });
+                            if let Err(e) = res {
+                                return Err(self.decode_failed(h, payload.len(), e));
+                            }
                             seg.stage(Stage::Apply, Some(h));
                             for (gid, v) in entries {
-                                let lid =
-                                    self.graph.lid(gid).expect("reduced node is mastered here");
+                                let Some(lid) = graph.lid(gid) else {
+                                    return Err(self.decode_failed(
+                                        h,
+                                        payload.len(),
+                                        DecodeError::UnknownGid(gid.0),
+                                    ));
+                                };
                                 if field.reduce(lid, v) {
                                     updated.set(lid);
                                 }
@@ -870,9 +967,13 @@ impl<'a, T: Transport + ?Sized> GluonContext<'a, T> {
                     PatternRole::MasterToMirror => {
                         if temporal {
                             let mut entries: Vec<(usize, F::Value)> = Vec::new();
-                            decode_memoized::<F::Value>(&payload, list.len(), &mut |pos, v| {
-                                entries.push((pos, v));
-                            });
+                            let res =
+                                decode_memoized::<F::Value>(&payload, list.len(), &mut |pos, v| {
+                                    entries.push((pos, v));
+                                });
+                            if let Err(e) = res {
+                                return Err(self.decode_failed(h, payload.len(), e));
+                            }
                             seg.stage(Stage::Apply, Some(h));
                             for (pos, v) in entries {
                                 let lid = list[pos];
@@ -881,15 +982,21 @@ impl<'a, T: Transport + ?Sized> GluonContext<'a, T> {
                             }
                         } else {
                             let mut entries: Vec<(Gid, F::Value)> = Vec::new();
-                            decode_gid_values::<F::Value>(&payload, &mut |gid, v| {
+                            let res = decode_gid_values::<F::Value>(&payload, &mut |gid, v| {
                                 entries.push((gid, v));
                             });
+                            if let Err(e) = res {
+                                return Err(self.decode_failed(h, payload.len(), e));
+                            }
                             seg.stage(Stage::Apply, Some(h));
                             for (gid, v) in entries {
-                                let lid = self
-                                    .graph
-                                    .lid(gid)
-                                    .expect("broadcast node has a proxy here");
+                                let Some(lid) = graph.lid(gid) else {
+                                    return Err(self.decode_failed(
+                                        h,
+                                        payload.len(),
+                                        DecodeError::UnknownGid(gid.0),
+                                    ));
+                                };
                                 field.set(lid, v);
                                 updated.set(lid);
                             }
@@ -898,7 +1005,14 @@ impl<'a, T: Transport + ?Sized> GluonContext<'a, T> {
                 }
                 continue;
             }
-            match role {
+            // Untraced path: fuse decode and apply to keep the hot loop
+            // allocation-free. A mid-payload decode error can leave some
+            // entries already applied — acceptable because every decode
+            // error is terminal for the run. Unknown-GID lookups cannot
+            // early-return from inside the closure, so they latch into
+            // `bad_gid` and surface right after.
+            let mut bad_gid: Option<Gid> = None;
+            let res = match role {
                 PatternRole::MirrorToMaster => {
                     // I am the master side: combine partial values.
                     if temporal {
@@ -907,14 +1021,21 @@ impl<'a, T: Transport + ?Sized> GluonContext<'a, T> {
                             if field.reduce(lid, v) {
                                 updated.set(lid);
                             }
-                        });
+                        })
                     } else {
                         decode_gid_values::<F::Value>(&payload, &mut |gid, v| {
-                            let lid = self.graph.lid(gid).expect("reduced node is mastered here");
-                            if field.reduce(lid, v) {
-                                updated.set(lid);
+                            if bad_gid.is_some() {
+                                return;
                             }
-                        });
+                            match graph.lid(gid) {
+                                Some(lid) => {
+                                    if field.reduce(lid, v) {
+                                        updated.set(lid);
+                                    }
+                                }
+                                None => bad_gid = Some(gid),
+                            }
+                        })
                     }
                 }
                 PatternRole::MasterToMirror => {
@@ -930,18 +1051,29 @@ impl<'a, T: Transport + ?Sized> GluonContext<'a, T> {
                             let lid = list[pos];
                             field.set(lid, v);
                             updated.set(lid);
-                        });
+                        })
                     } else {
                         decode_gid_values::<F::Value>(&payload, &mut |gid, v| {
-                            let lid = self
-                                .graph
-                                .lid(gid)
-                                .expect("broadcast node has a proxy here");
-                            field.set(lid, v);
-                            updated.set(lid);
-                        });
+                            if bad_gid.is_some() {
+                                return;
+                            }
+                            match graph.lid(gid) {
+                                Some(lid) => {
+                                    field.set(lid, v);
+                                    updated.set(lid);
+                                }
+                                None => bad_gid = Some(gid),
+                            }
+                        })
                     }
                 }
+            };
+            let res = res.and(match bad_gid {
+                Some(g) => Err(DecodeError::UnknownGid(g.0)),
+                None => Ok(()),
+            });
+            if let Err(e) = res {
+                return Err(self.decode_failed(h, payload.len(), e));
             }
         }
         Ok(())
@@ -963,7 +1095,7 @@ impl<'a, T: Transport + ?Sized> GluonContext<'a, T> {
         field: &mut F,
         updated: &mut DenseBitset,
         seg: &mut Segmenter,
-    ) -> Result<(), NetError> {
+    ) -> Result<(), SyncError> {
         let rank = self.rank();
         let n = self.world_size();
         let temporal = self.opts.temporal;
@@ -981,26 +1113,44 @@ impl<'a, T: Transport + ?Sized> GluonContext<'a, T> {
         }
         seg.stage(Stage::Decode, None);
         let graph = self.graph;
-        let decoded: Vec<Vec<(Lid, F::Value)>> = self.pool.map_per(n, |h| {
+        let decoded: Vec<DecodedBatch<F::Value>> = self.pool.map_per(n, |h| {
             let Some(payload) = &payloads[h] else {
-                return Vec::new();
+                return Ok(Vec::new());
             };
             let list: &[Lid] = &lists[h];
             let mut entries: Vec<(Lid, F::Value)> = Vec::new();
             if temporal {
                 decode_memoized::<F::Value>(payload, list.len(), &mut |pos, v| {
                     entries.push((list[pos], v));
-                });
+                })?;
             } else {
+                let mut bad_gid: Option<Gid> = None;
                 decode_gid_values::<F::Value>(payload, &mut |gid, v| {
-                    let lid = graph.lid(gid).expect("synced node has a proxy here");
-                    entries.push((lid, v));
-                });
+                    if bad_gid.is_some() {
+                        return;
+                    }
+                    match graph.lid(gid) {
+                        Some(lid) => entries.push((lid, v)),
+                        None => bad_gid = Some(gid),
+                    }
+                })?;
+                if let Some(g) = bad_gid {
+                    return Err(DecodeError::UnknownGid(g.0));
+                }
             }
-            entries
+            Ok(entries)
         });
         seg.stage(Stage::Apply, None);
-        for entries in decoded {
+        // Apply in rank order; the first malformed payload in rank order
+        // wins, so the surfaced error does not depend on worker scheduling.
+        for (h, entries) in decoded.into_iter().enumerate() {
+            let entries = match entries {
+                Ok(entries) => entries,
+                Err(e) => {
+                    let len = payloads[h].as_ref().map_or(0, |p| p.len());
+                    return Err(self.decode_failed(h, len, e));
+                }
+            };
             match role {
                 PatternRole::MirrorToMaster => {
                     for (lid, v) in entries {

@@ -9,9 +9,11 @@
 //! composes the reduce and broadcast communication patterns required by the
 //! partitioning policy's structural invariants (§3), memoizes address
 //! translation so no global-IDs travel with values (§4.1), and encodes
-//! update metadata in the cheapest of four wire modes (§4.2). Each
-//! optimization can be toggled via [`OptLevel`] (the UNOPT/OSI/OTI/OSTI
-//! configurations of the paper's Figure 10).
+//! update metadata in the cheapest wire mode — the paper's four modes
+//! (§4.2) plus the codec-v2 compressed candidates (delta-coded index
+//! lists, run-length bitvecs, same-value collapsing). Each optimization
+//! can be toggled via [`OptLevel`] (the UNOPT/OSI/OTI/OSTI configurations
+//! of the paper's Figure 10; `compress` gates codec v2).
 //!
 //! # Examples
 //!
@@ -88,7 +90,8 @@ mod stats;
 mod value;
 
 pub use bitset::{DenseBitset, Iter as BitsetIter};
-pub use context::{GluonContext, ReadLocation, SyncSpec, WriteLocation};
+pub use context::{GluonContext, ReadLocation, SyncError, SyncSpec, WriteLocation};
+pub use encode::DecodeError;
 pub use field::{init_field, FieldSync, MaxField, MinField, PairMinField, SumField, Zero};
 pub use memo::{FlagFilter, MemoTable, ProxyEntry};
 pub use opts::{OptLevel, ParseOptLevelError};

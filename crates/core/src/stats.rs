@@ -47,6 +47,10 @@ pub struct SyncStats {
     pub memo_secs: f64,
     /// Bytes sent during the memoization handshake.
     pub memo_bytes: u64,
+    /// Received sync payloads that failed to decode on this host. Each
+    /// incident also surfaced as a `SyncError::Decode` from the sync call
+    /// that hit it.
+    pub decode_errors: u64,
 }
 
 impl SyncStats {

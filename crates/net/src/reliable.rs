@@ -33,6 +33,18 @@
 //! Self-sends (`dst == rank`) never touch the wire: they are moved
 //! directly into the local delivery buffer, which is trivially
 //! exactly-once.
+//!
+//! # Corruption contract with the codec
+//!
+//! The CRC check here is the *first* line of defence: a frame mangled on
+//! the wire fails its checksum, is dropped, and is recovered by
+//! retransmission — the sync codec never sees the damage. Payloads that
+//! bypass this layer (a bare transport, or corruption introduced beyond
+//! the CRC) hit the codec's own validators instead, which surface them as
+//! [`gluon` `DecodeError`]s through `try_sync` rather than panicking. The
+//! chaos suite exercises both lines: corruption under `ReliableTransport`
+//! must stay bit-identical, corruption on a bare `FaultyTransport` must
+//! surface as counted decode errors.
 
 use crate::error::NetError;
 use crate::stats::NetStats;

@@ -40,6 +40,9 @@ struct StatsInner {
     dup_suppressed: AtomicU64,
     /// Frames that failed their checksum on receive.
     corruption_detected: AtomicU64,
+    /// Payloads that passed transport delivery but failed to decode at the
+    /// codec layer (recorded by the substrate's sync paths).
+    decode_errors: AtomicU64,
     /// Per-host-pair log is optional; the matrix above is always on. The
     /// log is a bounded ring: once `history_capacity` records are held,
     /// each new record evicts the oldest and bumps `dropped_records`.
@@ -92,6 +95,8 @@ pub struct StatsSnapshot {
     pub dup_suppressed: u64,
     /// Checksum failures detected on receive at snapshot time.
     pub corruption_detected: u64,
+    /// Codec-layer decode failures at snapshot time.
+    pub decode_errors: u64,
 }
 
 /// Difference between two snapshots.
@@ -113,6 +118,8 @@ pub struct StatsDelta {
     pub dup_suppressed: u64,
     /// Checksum failures detected on receive in the interval.
     pub corruption_detected: u64,
+    /// Codec-layer decode failures in the interval.
+    pub decode_errors: u64,
 }
 
 impl NetStats {
@@ -150,6 +157,7 @@ impl NetStats {
                 retransmit_messages: AtomicU64::new(0),
                 dup_suppressed: AtomicU64::new(0),
                 corruption_detected: AtomicU64::new(0),
+                decode_errors: AtomicU64::new(0),
                 history: Mutex::new(VecDeque::new()),
                 record_history,
                 history_capacity: capacity,
@@ -233,6 +241,17 @@ impl NetStats {
         self.inner.corruption_detected.load(Ordering::Relaxed)
     }
 
+    /// Records one payload that was delivered by the transport but failed
+    /// to decode at the codec layer.
+    pub fn record_decode_error(&self) {
+        self.inner.decode_errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Codec-layer decode failures recorded so far.
+    pub fn decode_errors(&self) -> u64 {
+        self.inner.decode_errors.load(Ordering::Relaxed)
+    }
+
     /// Copies the counters.
     pub fn snapshot(&self) -> StatsSnapshot {
         StatsSnapshot {
@@ -253,6 +272,7 @@ impl NetStats {
             retransmit_messages: self.retransmit_messages(),
             dup_suppressed: self.dup_suppressed(),
             corruption_detected: self.corruption_detected(),
+            decode_errors: self.decode_errors(),
         }
     }
 
@@ -366,6 +386,10 @@ impl StatsSnapshot {
                 .corruption_detected
                 .checked_sub(earlier.corruption_detected)
                 .expect("snapshot taken before `earlier`"),
+            decode_errors: self
+                .decode_errors
+                .checked_sub(earlier.decode_errors)
+                .expect("snapshot taken before `earlier`"),
         }
     }
 }
@@ -460,13 +484,17 @@ mod tests {
         s.record_retransmit(2);
         s.record_dup_suppressed();
         s.record_corruption_detected();
+        s.record_decode_error();
+        s.record_decode_error();
         assert_eq!(s.retransmit_bytes(), 42);
         assert_eq!(s.retransmit_messages(), 2);
+        assert_eq!(s.decode_errors(), 2);
         let d = s.snapshot().since(&before);
         assert_eq!(d.retransmit_bytes, 42);
         assert_eq!(d.retransmit_messages, 2);
         assert_eq!(d.dup_suppressed, 1);
         assert_eq!(d.corruption_detected, 1);
+        assert_eq!(d.decode_errors, 2);
     }
 
     #[test]

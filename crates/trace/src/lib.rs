@@ -42,7 +42,7 @@
 //! let t0 = tracer.now_ns();
 //! // ... do stage work ...
 //! tracer.record_span(0, 0, Stage::Encode, Some(1), t0, 1_500);
-//! tracer.record_wire_mode("MinField<u32>", 3); // Indices
+//! tracer.record_wire_mode("MinField<u32>", 3, 25); // Indices, 25 bytes
 //! let spans = tracer.spans();
 //! assert_eq!(spans.len(), 1);
 //! assert_eq!(spans[0].stage, Stage::Encode);
@@ -67,9 +67,24 @@ use std::time::Instant;
 /// memoization handshake) carry this sentinel phase index.
 pub const SETUP_PHASE: u32 = u32::MAX;
 
-/// Number of wire modes tracked by the per-field histogram (`Empty`,
-/// `Dense`, `Bitvec`, `Indices`, `GidValues` — the §4.2 mode bytes).
-pub const NUM_WIRE_MODES: usize = 5;
+/// Number of wire modes tracked by the per-field histogram: the §4.2 mode
+/// bytes (`Empty`, `Dense`, `Bitvec`, `Indices`, `GidValues`) plus the
+/// codec-v2 compressed modes (`IndicesDelta`, `RunLength`,
+/// `SameIndicesDelta`, `SameRunLength`).
+pub const NUM_WIRE_MODES: usize = 9;
+
+/// Display names of the wire modes, indexed by mode byte.
+pub const MODE_NAMES: [&str; NUM_WIRE_MODES] = [
+    "empty",
+    "dense",
+    "bitvec",
+    "indices",
+    "gid_values",
+    "idx_delta",
+    "run_len",
+    "same_idx",
+    "same_run",
+];
 
 /// Log₂ buckets of the message-size histogram (bucket `i` counts payloads
 /// with `floor(log2(len)) == i`; zero-length payloads land in bucket 0).
@@ -225,8 +240,8 @@ struct TracerInner {
     spans: Vec<Mutex<Ring<SpanEvent>>>,
     /// One instant-event ring per host.
     events: Vec<Mutex<Ring<InstantEvent>>>,
-    /// `field name -> histogram over the five §4.2 wire modes`.
-    wire_modes: Mutex<HashMap<&'static str, [u64; NUM_WIRE_MODES]>>,
+    /// `field name -> per-mode message and byte totals`.
+    wire_modes: Mutex<HashMap<&'static str, ModeTotals>>,
     /// Log₂ payload-size histogram across all sync messages.
     size_buckets: Vec<AtomicU64>,
     /// Cumulative time spent waiting in barriers, nanoseconds.
@@ -235,6 +250,16 @@ struct TracerInner {
     retransmit_events: AtomicU64,
     /// Duplicates suppressed.
     dup_events: AtomicU64,
+    /// Sync payloads that failed to decode.
+    decode_error_events: AtomicU64,
+}
+
+/// Per-field wire-mode totals: how many messages picked each mode and how
+/// many payload bytes they carried.
+#[derive(Clone, Copy, Debug, Default)]
+struct ModeTotals {
+    counts: [u64; NUM_WIRE_MODES],
+    bytes: [u64; NUM_WIRE_MODES],
 }
 
 /// The tracing handle threaded through the sync stack.
@@ -270,6 +295,7 @@ impl Tracer {
                 barrier_wait_ns: AtomicU64::new(0),
                 retransmit_events: AtomicU64::new(0),
                 dup_events: AtomicU64::new(0),
+                decode_error_events: AtomicU64::new(0),
             })),
         }
     }
@@ -341,6 +367,9 @@ impl Tracer {
             "dup_suppressed" => {
                 inner.dup_events.fetch_add(1, Ordering::Relaxed);
             }
+            "decode_error" => {
+                inner.decode_error_events.fetch_add(1, Ordering::Relaxed);
+            }
             _ => {}
         }
         let at_ns = inner.epoch.elapsed().as_nanos() as u64;
@@ -353,13 +382,17 @@ impl Tracer {
         });
     }
 
-    /// Counts one sync message whose payload selected wire mode byte
-    /// `mode` (0..=4, the §4.2 mode bytes) for the field named `field`.
+    /// Counts one sync message of `bytes` payload bytes whose payload
+    /// selected wire mode byte `mode` (0..=8: the §4.2 mode bytes plus the
+    /// codec-v2 compressed modes) for the field named `field`.
     #[inline]
-    pub fn record_wire_mode(&self, field: &'static str, mode: u8) {
+    pub fn record_wire_mode(&self, field: &'static str, mode: u8, bytes: u64) {
         let Some(inner) = &self.inner else { return };
         let idx = (mode as usize).min(NUM_WIRE_MODES - 1);
-        inner.wire_modes.lock().entry(field).or_default()[idx] += 1;
+        let mut modes = inner.wire_modes.lock();
+        let totals = modes.entry(field).or_default();
+        totals.counts[idx] += 1;
+        totals.bytes[idx] += bytes;
     }
 
     /// Counts one sync message of `len` payload bytes in the log₂
@@ -412,9 +445,9 @@ impl Tracer {
         inner.spans.iter().map(|m| m.lock().dropped).sum()
     }
 
-    /// The per-field wire-mode histogram: `field name -> counts` indexed
-    /// by the §4.2 mode byte (`Empty`, `Dense`, `Bitvec`, `Indices`,
-    /// `GidValues`). Keys are sorted for deterministic output.
+    /// The per-field wire-mode histogram: `field name -> message counts`
+    /// indexed by mode byte (see [`MODE_NAMES`]). Keys are sorted for
+    /// deterministic output.
     pub fn wire_mode_histogram(&self) -> Vec<(String, [u64; NUM_WIRE_MODES])> {
         let Some(inner) = &self.inner else {
             return Vec::new();
@@ -423,7 +456,24 @@ impl Tracer {
             .wire_modes
             .lock()
             .iter()
-            .map(|(k, v)| (short_type_name(k).to_owned(), *v))
+            .map(|(k, v)| (short_type_name(k).to_owned(), v.counts))
+            .collect();
+        rows.sort();
+        rows
+    }
+
+    /// As [`Tracer::wire_mode_histogram`], but totalling payload *bytes*
+    /// instead of message counts — the per-mode byte breakdown the bench
+    /// binaries report.
+    pub fn wire_mode_bytes(&self) -> Vec<(String, [u64; NUM_WIRE_MODES])> {
+        let Some(inner) = &self.inner else {
+            return Vec::new();
+        };
+        let mut rows: Vec<(String, [u64; NUM_WIRE_MODES])> = inner
+            .wire_modes
+            .lock()
+            .iter()
+            .map(|(k, v)| (short_type_name(k).to_owned(), v.bytes))
             .collect();
         rows.sort();
         rows
@@ -462,6 +512,14 @@ impl Tracer {
             .map_or(0, |i| i.dup_events.load(Ordering::Relaxed))
     }
 
+    /// Sync payloads that failed to decode (as observed by
+    /// [`Tracer::record_event`] with the `"decode_error"` name).
+    pub fn decode_error_events(&self) -> u64 {
+        self.inner
+            .as_ref()
+            .map_or(0, |i| i.decode_error_events.load(Ordering::Relaxed))
+    }
+
     /// Exports the recording as a standalone Chrome trace-event JSON
     /// document (load via `chrome://tracing` or Perfetto).
     pub fn chrome_trace_json(&self) -> String {
@@ -498,12 +556,14 @@ mod tests {
         assert_eq!(t.now_ns(), 0);
         t.record_span(0, 0, Stage::Encode, None, 0, 10);
         t.record_event(0, "retransmit", 1, 64);
-        t.record_wire_mode("f", 1);
+        t.record_wire_mode("f", 1, 9);
         t.record_message_size(128);
         t.add_barrier_wait(5);
         assert!(t.spans().is_empty());
         assert!(t.events().is_empty());
         assert!(t.wire_mode_histogram().is_empty());
+        assert!(t.wire_mode_bytes().is_empty());
+        assert_eq!(t.decode_error_events(), 0);
         assert_eq!(t.message_size_histogram(), [0; NUM_SIZE_BUCKETS]);
         assert_eq!(t.barrier_wait_secs(), 0.0);
         assert_eq!(t.dropped_spans(), 0);
@@ -550,14 +610,42 @@ mod tests {
     #[test]
     fn wire_mode_histogram_accumulates_per_field() {
         let t = Tracer::new(1);
-        t.record_wire_mode("core::MinField<u32>", 3);
-        t.record_wire_mode("core::MinField<u32>", 3);
-        t.record_wire_mode("core::MinField<u32>", 1);
-        t.record_wire_mode("SumField<f64>", 2);
+        t.record_wire_mode("core::MinField<u32>", 3, 25);
+        t.record_wire_mode("core::MinField<u32>", 3, 17);
+        t.record_wire_mode("core::MinField<u32>", 1, 401);
+        t.record_wire_mode("SumField<f64>", 2, 33);
+        t.record_wire_mode("SumField<f64>", 7, 6); // codec-v2 same_idx
         let h = t.wire_mode_histogram();
         assert_eq!(h.len(), 2);
-        assert_eq!(h[0], ("MinField<u32>".to_owned(), [0, 1, 0, 2, 0]));
-        assert_eq!(h[1], ("SumField<f64>".to_owned(), [0, 0, 1, 0, 0]));
+        assert_eq!(
+            h[0],
+            ("MinField<u32>".to_owned(), [0, 1, 0, 2, 0, 0, 0, 0, 0])
+        );
+        assert_eq!(
+            h[1],
+            ("SumField<f64>".to_owned(), [0, 0, 1, 0, 0, 0, 0, 1, 0])
+        );
+        let b = t.wire_mode_bytes();
+        assert_eq!(
+            b[0],
+            ("MinField<u32>".to_owned(), [0, 401, 0, 42, 0, 0, 0, 0, 0])
+        );
+        assert_eq!(
+            b[1],
+            ("SumField<f64>".to_owned(), [0, 0, 33, 0, 0, 0, 0, 6, 0])
+        );
+    }
+
+    #[test]
+    fn decode_errors_are_counted_like_reliability_events() {
+        let t = Tracer::new(2);
+        t.record_event(1, "decode_error", 0, 12);
+        t.record_event(1, "decode_error", 0, 3);
+        assert_eq!(t.decode_error_events(), 2);
+        let events = t.events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].name, "decode_error");
+        assert_eq!(events[0].bytes, 12);
     }
 
     #[test]

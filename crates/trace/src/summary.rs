@@ -1,9 +1,7 @@
 //! Plain-text per-run summary exporter.
 
-use crate::{Stage, Tracer, NUM_SIZE_BUCKETS, NUM_WIRE_MODES};
+use crate::{Stage, Tracer, MODE_NAMES, NUM_SIZE_BUCKETS};
 use std::fmt::Write as _;
-
-const MODE_NAMES: [&str; NUM_WIRE_MODES] = ["empty", "dense", "bitvec", "indices", "gid_values"];
 
 /// Renders the per-run summary: stage totals, wire-mode histogram,
 /// message-size histogram, and reliability/overflow counters.
@@ -52,6 +50,14 @@ pub(crate) fn render(tracer: &Tracer, label: &str) -> String {
             }
             out.push('\n');
         }
+        let _ = writeln!(out, "-- wire modes (payload bytes per field) --");
+        for (field, bytes) in &tracer.wire_mode_bytes() {
+            let _ = write!(out, "{field:<28}");
+            for b in bytes {
+                let _ = write!(out, " {b:>10}");
+            }
+            out.push('\n');
+        }
     }
 
     let sizes = tracer.message_size_histogram();
@@ -76,10 +82,11 @@ pub(crate) fn render(tracer: &Tracer, label: &str) -> String {
 
     let _ = writeln!(
         out,
-        "barrier wait: {:.6}s  retransmits: {}  dups suppressed: {}  dropped spans: {}",
+        "barrier wait: {:.6}s  retransmits: {}  dups suppressed: {}  decode errors: {}  dropped spans: {}",
         tracer.barrier_wait_secs(),
         tracer.retransmit_events(),
         tracer.dup_events(),
+        tracer.decode_error_events(),
         tracer.dropped_spans()
     );
     out
@@ -101,9 +108,10 @@ mod tests {
         let t = Tracer::new(1);
         t.record_span(0, 0, Stage::Encode, None, 0, 2_000_000_000);
         t.record_span(0, 0, Stage::Send, Some(0), 0, 500_000_000);
-        t.record_wire_mode("MinField<u32>", 3);
+        t.record_wire_mode("MinField<u32>", 3, 300);
         t.record_message_size(300);
         t.record_event(0, "retransmit", 0, 64);
+        t.record_event(0, "decode_error", 0, 12);
         t.add_barrier_wait(1_000_000);
         let s = t.summary("bfs");
         assert!(s.contains("trace summary: bfs"), "{s}");
@@ -114,6 +122,9 @@ mod tests {
         assert!(s.contains("indices"));
         assert!(s.contains("256-511 B"));
         assert!(s.contains("retransmits: 1"));
+        assert!(s.contains("decode errors: 1"));
+        assert!(s.contains("payload bytes per field"));
+        assert!(s.contains("same_run"));
     }
 
     #[test]

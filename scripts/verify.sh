@@ -6,9 +6,12 @@
 #      the default-on `chaos` lossy-network matrix;
 #   3. the determinism matrix (threads × algorithms × policies,
 #      bit-identical results and wire counters) under --release;
-#   4. rustfmt, as a check only;
-#   5. clippy across the workspace with warnings denied;
-#   6. rustdoc with warnings denied (missing docs on public API fail).
+#   4. the codec battery under --release: the differential oracle
+#      against the naive reference codec plus the fixed-seed fuzz smoke
+#      (truncations, bit flips, garbage — the decoder must never panic);
+#   5. rustfmt, as a check only;
+#   6. clippy across the workspace with warnings denied;
+#   7. rustdoc with warnings denied (missing docs on public API fail).
 #
 # Usage: scripts/verify.sh [--fast]
 #   --fast  skip the release build, the release determinism matrix, and
@@ -28,6 +31,8 @@ if [[ "$FAST" == "0" ]]; then
     cargo test -q
     echo "==> cargo test --release --test determinism (thread-count invariance)"
     cargo test -q --release --test determinism
+    echo "==> cargo test --release codec battery (differential oracle + fuzz smoke)"
+    cargo test -q --release --test codec_differential --test codec_fuzz --test codec_golden
 else
     echo "==> cargo test -q --no-default-features (chaos matrix skipped)"
     cargo test -q --workspace --no-default-features

@@ -17,7 +17,10 @@ use gluon_suite::net::{
     FaultyTransport, MemoryTransport, NetError, NetStats, ReliableTransport, RetryPolicy,
 };
 use gluon_suite::partition::{partition_on_host, Policy};
-use gluon_suite::substrate::{GluonContext, OptLevel};
+use gluon_suite::substrate::{
+    DenseBitset, GluonContext, MinField, OptLevel, SyncError, SyncSpec, WriteLocation,
+};
+use gluon_suite::trace::Tracer;
 use std::time::{Duration, Instant};
 
 const HOSTS: usize = 3;
@@ -329,4 +332,106 @@ fn heavy_reordering_alone_is_also_bit_identical() {
             "seed {seed}: reliability layer saw no anomalies"
         );
     }
+}
+
+/// Corruption *past* the CRC: the reliability layer normally drops a
+/// mangled frame before the codec ever sees it, so this test runs a bare
+/// `FaultyTransport` (no reliability wrapper) that flips one bit in every
+/// armed frame. Mangled sync payloads reach the decoder itself;
+/// `try_sync` must surface them as [`SyncError::Decode`] — never a panic,
+/// never a hang — and every incident must be counted identically by the
+/// context stats, the transport's `NetStats`, and the tracer.
+#[test]
+fn corrupted_frames_surface_as_decode_errors_not_panics() {
+    const ROUNDS: u32 = 12;
+    let g = gen::rmat(6, 6, Default::default(), 5);
+    let mut total_decode_errors = 0u64;
+    for seed in SEEDS {
+        let tracer = Tracer::new(2);
+        let counters = FaultCounters::new();
+        let (results, net_stats) = run_cluster_wrapped(
+            2,
+            NetStats::new(2),
+            |ep| {
+                let faulty = FaultyTransport::new(
+                    ep,
+                    FaultPlan::none(seed).with_corrupt_rate(1.0),
+                    counters.clone(),
+                );
+                // Partitioning and the memoization handshake run clean;
+                // only the sync payloads below get mangled.
+                faulty.disarm();
+                faulty
+            },
+            |net| {
+                let comm = Communicator::with_tracer(net, tracer.clone());
+                let lg = partition_on_host(&g, Policy::Cvc, &comm);
+                let mut ctx = GluonContext::new(&lg, &comm, OptLevel::OSTI);
+                comm.try_barrier().expect("disarmed warm-up barrier");
+                net.arm();
+                let n = lg.num_proxies();
+                let mut vals = vec![u32::MAX; n as usize];
+                // Reduce-only with no collectives while armed: both hosts
+                // run the same fixed round count in lock-step whatever
+                // errors occur, so nothing can deadlock.
+                let spec = SyncSpec::reduce(WriteLocation::Any).named("chaos");
+                let mut sync_errors = 0u64;
+                for round in 0..ROUNDS {
+                    let mut bits = DenseBitset::new(n);
+                    for h in 0..2 {
+                        for m in lg.mirrors_on(h) {
+                            // All-equal values steer the encoder into the
+                            // Same* modes, whose payloads are nearly all
+                            // metadata — so the injected bit flips mostly
+                            // land where the validators can see them.
+                            vals[m.index()] = round * 31;
+                            bits.set(m);
+                        }
+                    }
+                    let mut field = MinField::new(&mut vals);
+                    match ctx.try_sync(&spec, &mut field, &mut bits) {
+                        Ok(()) => {}
+                        Err(SyncError::Decode { peer, error }) => {
+                            assert_eq!(peer, 1 - comm.rank(), "blamed the wrong peer");
+                            // Every error renders without panicking.
+                            let _ = error.to_string();
+                            sync_errors += 1;
+                        }
+                        Err(SyncError::Net(e)) => {
+                            panic!("bare transport cannot fail, got {e}")
+                        }
+                    }
+                }
+                (ctx.stats().decode_errors, sync_errors)
+            },
+        );
+        assert!(
+            counters.corrupted() > 0,
+            "seed {seed}: nothing was corrupted"
+        );
+        let counted: u64 = results.iter().map(|&(c, _)| c).sum();
+        let surfaced: u64 = results.iter().map(|&(_, s)| s).sum();
+        assert_eq!(
+            counted, surfaced,
+            "seed {seed}: SyncStats decode_errors diverges from surfaced errors"
+        );
+        assert_eq!(
+            net_stats.decode_errors(),
+            counted,
+            "seed {seed}: NetStats decode_errors diverges from SyncStats"
+        );
+        assert_eq!(
+            tracer.decode_error_events(),
+            counted,
+            "seed {seed}: tracer decode_error events diverge from SyncStats"
+        );
+        total_decode_errors += counted;
+    }
+    // One flipped bit per frame lands in decoded-as-garbage values some of
+    // the time, but across all seeds and rounds the validators must have
+    // caught real corruption.
+    assert!(
+        total_decode_errors > 0,
+        "no corrupted frame was ever rejected by the decoder"
+    );
 }

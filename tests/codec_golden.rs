@@ -1,0 +1,199 @@
+//! Golden wire-format snapshots: one byte-exact fixture per wire mode.
+//!
+//! These hex strings are the *frozen* wire format. A failure here means
+//! the bytes Gluon puts on the wire changed — which silently breaks
+//! cross-version clusters — and must be treated as a format revision
+//! (bump the mode byte, keep the old decoder), not a test update.
+
+use gluon_suite::graph::Gid;
+use gluon_suite::substrate::encode::{
+    candidate_sizes, decode_gid_values, decode_memoized, encode_gid_values, encode_memoized,
+    encode_memoized_as, WireMode, NUM_WIRE_MODES,
+};
+
+fn hex(bytes: &[u8]) -> String {
+    bytes.iter().map(|b| format!("{b:02x}")).collect()
+}
+
+/// Asserts the payload matches the frozen hex and that the production
+/// decoder recovers exactly `expect` from it.
+fn check(payload: &[u8], golden_hex: &str, list_len: usize, expect: &[(usize, u32)]) {
+    assert_eq!(hex(payload), golden_hex, "wire format changed");
+    let mut got = Vec::new();
+    decode_memoized::<u32>(payload, list_len, &mut |p, v| got.push((p, v)))
+        .expect("golden payload decodes");
+    assert_eq!(got, expect);
+}
+
+#[test]
+fn empty_mode_golden() {
+    let msg = encode_memoized::<u32>(8, &[], |_| 0);
+    assert_eq!(WireMode::of(&msg), WireMode::Empty);
+    check(&msg, "00", 8, &[]);
+}
+
+#[test]
+fn dense_mode_golden() {
+    // mode 01, then the full value list little-endian.
+    let msg = encode_memoized(4, &[0, 1, 2, 3], |p| p as u32 + 1);
+    assert_eq!(WireMode::of(&msg), WireMode::Dense);
+    check(
+        &msg,
+        "0101000000020000000300000004000000",
+        4,
+        &[(0, 1), (1, 2), (2, 3), (3, 4)],
+    );
+}
+
+#[test]
+fn bitvec_mode_golden() {
+    // mode 02; bits LSB-first per byte: positions {0,3} -> 0x09,
+    // {8,15} -> 0x81; then the 4 updated values.
+    let msg = encode_memoized_as(WireMode::Bitvec, 16, &[0, 3, 8, 15], |p| p as u32 + 1)
+        .expect("bitvec applies");
+    check(
+        &msg,
+        "02098101000000040000000900000010000000",
+        16,
+        &[(0, 1), (3, 4), (8, 9), (15, 16)],
+    );
+}
+
+#[test]
+fn indices_mode_golden() {
+    // mode 03; u32-LE count, u32-LE positions, values.
+    let msg =
+        encode_memoized_as(WireMode::Indices, 16, &[2, 9], |p| p as u32 + 1).expect("applies");
+    check(
+        &msg,
+        "03020000000200000009000000030000000a000000",
+        16,
+        &[(2, 3), (9, 10)],
+    );
+}
+
+#[test]
+fn gid_values_mode_golden() {
+    // mode 04; (u32-LE gid, value) pairs.
+    let pairs = [(Gid(7), 0xAABB_CCDDu32), (Gid(300), 1)];
+    let msg = encode_gid_values(&pairs);
+    assert_eq!(hex(&msg), "0407000000ddccbbaa2c01000001000000");
+    let mut got = Vec::new();
+    decode_gid_values::<u32>(&msg, &mut |g, v| got.push((g, v))).expect("golden decodes");
+    assert_eq!(got, pairs);
+}
+
+#[test]
+fn indices_delta_mode_golden() {
+    // mode 05; varint count 02, varint first 03, varint gap 0x4d90
+    // (9876 - 3 - 1 = 9872 = LEB128 90 4d), then both values.
+    let msg = encode_memoized_as(WireMode::IndicesDelta, 10_000, &[3, 9_876], |p| {
+        p as u32 + 1
+    })
+    .expect("applies");
+    check(
+        &msg,
+        "050203904d0400000095260000",
+        10_000,
+        &[(3, 4), (9_876, 9_877)],
+    );
+    // This is also what the adaptive selector picks for so sparse a set.
+    let adaptive = encode_memoized(10_000, &[3, 9_876], |p| p as u32 + 1);
+    assert_eq!(hex(&adaptive), hex(&msg));
+}
+
+#[test]
+fn run_length_mode_golden() {
+    // mode 06; varint run count 02, runs [10 unset, 4 set], then the 4
+    // distinct values (the implicit unset tail is not encoded).
+    let updated: Vec<u32> = (10..14).collect();
+    let msg =
+        encode_memoized_as(WireMode::RunLength, 64, &updated, |p| p as u32 + 1).expect("applies");
+    check(
+        &msg,
+        "06020a040b0000000c0000000d0000000e000000",
+        64,
+        &[(10, 11), (11, 12), (12, 13), (13, 14)],
+    );
+}
+
+#[test]
+fn same_indices_delta_mode_golden() {
+    // mode 07; delta metadata as mode 05, then ONE shared value.
+    let msg = encode_memoized_as(WireMode::SameIndicesDelta, 10_000, &[3, 9_876], |_| 7u32)
+        .expect("applies");
+    check(&msg, "070203904d07000000", 10_000, &[(3, 7), (9_876, 7)]);
+}
+
+#[test]
+fn same_run_length_mode_golden() {
+    // mode 08; run metadata [10 unset, 190 set] (190 = LEB128 be 01), then
+    // one u64 value. The adaptive selector picks this for an all-equal
+    // broadcast, so no forcing is needed.
+    let updated: Vec<u32> = (10..200).collect();
+    let msg = encode_memoized(4_000, &updated, |_| 7u64);
+    assert_eq!(WireMode::of(&msg), WireMode::SameRunLength);
+    assert_eq!(hex(&msg), "08020abe010700000000000000");
+    let mut got = Vec::new();
+    decode_memoized::<u64>(&msg, 4_000, &mut |p, v| got.push((p, v))).expect("golden decodes");
+    assert_eq!(got.len(), 190);
+    assert!(got
+        .iter()
+        .enumerate()
+        .all(|(i, &(p, v))| p == i + 10 && v == 7));
+}
+
+#[test]
+fn mode_bytes_are_frozen() {
+    // The mode byte is the wire-format version tag; renumbering breaks
+    // every mixed-version cluster.
+    assert_eq!(NUM_WIRE_MODES, 9);
+    let frozen = [
+        (WireMode::Empty, 0u8, "empty"),
+        (WireMode::Dense, 1, "dense"),
+        (WireMode::Bitvec, 2, "bitvec"),
+        (WireMode::Indices, 3, "indices"),
+        (WireMode::GidValues, 4, "gid_values"),
+        (WireMode::IndicesDelta, 5, "idx_delta"),
+        (WireMode::RunLength, 6, "run_len"),
+        (WireMode::SameIndicesDelta, 7, "same_idx"),
+        (WireMode::SameRunLength, 8, "same_run"),
+    ];
+    for (mode, byte, name) in frozen {
+        assert_eq!(mode as u8, byte);
+        assert_eq!(WireMode::from_byte(byte), Some(mode));
+        assert_eq!(mode.name(), name);
+    }
+}
+
+#[test]
+fn adaptive_choice_is_minimal_over_a_dense_sweep() {
+    // Deterministic companion to the proptest in proptests.rs: for every
+    // small list and stride pattern, the chosen payload length equals the
+    // minimum over the published candidate table.
+    for list_len in 1usize..40 {
+        for stride in 1..=list_len {
+            for offset in 0..stride.min(3) {
+                let updated: Vec<u32> = (offset as u32..list_len as u32).step_by(stride).collect();
+                if updated.is_empty() {
+                    continue;
+                }
+                for same in [false, true] {
+                    let msg =
+                        encode_memoized(list_len, &updated, |p| if same { 9u32 } else { p as u32 });
+                    let identical = same || updated.len() == 1;
+                    let min = candidate_sizes::<u32>(list_len, &updated, identical, true)
+                        .into_iter()
+                        .map(|(_, s)| s)
+                        .min()
+                        .expect("candidates");
+                    assert_eq!(
+                        msg.len(),
+                        min,
+                        "len {list_len} stride {stride} offset {offset} same {same}"
+                    );
+                }
+            }
+        }
+    }
+}

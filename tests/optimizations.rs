@@ -31,9 +31,18 @@ fn bytes_for(opts: OptLevel, policy: Policy, algo: Algorithm) -> u64 {
 fn temporal_invariance_cuts_volume_roughly_in_half() {
     // §4.1: dropping 32-bit global-IDs from messages carrying 32-bit values
     // should halve the volume (paper: "reducing the communication volume by
-    // ~2x").
-    let unopt = bytes_for(OptLevel::UNOPT, Policy::Oec, Algorithm::Cc);
-    let oti = bytes_for(OptLevel::OTI, Policy::Oec, Algorithm::Cc);
+    // ~2x"). Codec-v2 compression is disabled on both sides so the ratio
+    // measures memoization alone, not the compressed wire modes.
+    let unopt = bytes_for(
+        OptLevel::UNOPT.without_compression(),
+        Policy::Oec,
+        Algorithm::Cc,
+    );
+    let oti = bytes_for(
+        OptLevel::OTI.without_compression(),
+        Policy::Oec,
+        Algorithm::Cc,
+    );
     let ratio = unopt as f64 / oti as f64;
     assert!(
         (1.5..4.0).contains(&ratio),
@@ -194,14 +203,15 @@ fn sparse_round_never_picks_dense_encoding() {
     });
     let hist = tracer.wire_mode_histogram();
     assert!(!hist.is_empty(), "sync recorded no wire modes");
-    // Mode counts are indexed [empty, dense, bitvec, indices, gid_values].
+    // Mode counts are indexed [empty, dense, bitvec, indices, gid_values,
+    // idx_delta, run_len, same_idx, same_run].
     let mut compact = 0u64;
     for (field, counts) in &hist {
         assert_eq!(
             counts[1], 0,
             "{field}: a sparse round must never pick Dense ({counts:?})"
         );
-        compact += counts[2] + counts[3];
+        compact += counts[2] + counts[3] + counts[5] + counts[6] + counts[7] + counts[8];
     }
     assert!(
         compact > 0,

@@ -4,7 +4,8 @@ use gluon_suite::algos::{driver, reference, Algorithm, DistConfig, EngineKind};
 use gluon_suite::graph::{Csr, Gid};
 use gluon_suite::partition::{check_local_graph, check_partitions, partition_all, Policy};
 use gluon_suite::substrate::encode::{
-    decode_gid_values, decode_memoized, encode_gid_values, encode_memoized, WireMode,
+    candidate_sizes, decode_gid_values, decode_memoized, encode_gid_values, encode_memoized,
+    WireMode,
 };
 use gluon_suite::substrate::OptLevel;
 use proptest::prelude::*;
@@ -53,7 +54,8 @@ proptest! {
         let value_at = |p: usize| (p as u64) * 3 + 1;
         let msg = encode_memoized(list_len, &updated, value_at);
         let mut got = Vec::new();
-        decode_memoized::<u64>(&msg, list_len, &mut |pos, v| got.push((pos, v)));
+        decode_memoized::<u64>(&msg, list_len, &mut |pos, v| got.push((pos, v)))
+            .expect("own encoding decodes");
         // Every updated position must come back with its value; dense mode
         // may add extra (but correct) positions.
         prop_assert!(got.iter().all(|&(p, v)| v == value_at(p)));
@@ -80,13 +82,40 @@ proptest! {
     }
 
     #[test]
+    fn adaptive_selection_picks_the_minimum_candidate(
+        list_len in 1usize..400,
+        seed_positions in proptest::collection::btree_set(0u32..400, 1..150),
+        same in any::<bool>(),
+    ) {
+        let mut updated: Vec<u32> = seed_positions
+            .into_iter()
+            .filter(|&p| (p as usize) < list_len)
+            .collect();
+        if updated.is_empty() {
+            // Position 0 always fits; keeps the list sorted and non-empty.
+            updated.push(0);
+        }
+        let value_at = |p: usize| if same { 7u32 } else { p as u32 + 1 };
+        let msg = encode_memoized(list_len, &updated, value_at);
+        // A single value is trivially "all equal" even when `same` is false.
+        let identical = same || updated.len() == 1;
+        let min = candidate_sizes::<u32>(list_len, &updated, identical, true)
+            .into_iter()
+            .map(|(_, size)| size)
+            .min()
+            .expect("at least one candidate");
+        prop_assert_eq!(msg.len(), min);
+    }
+
+    #[test]
     fn gid_value_encoding_round_trips(
         pairs in proptest::collection::vec((0u32..10_000, any::<u32>()), 0..200),
     ) {
         let typed: Vec<(Gid, u32)> = pairs.iter().map(|&(g, v)| (Gid(g), v)).collect();
         let msg = encode_gid_values(&typed);
         let mut got = Vec::new();
-        decode_gid_values::<u32>(&msg, &mut |g, v| got.push((g, v)));
+        decode_gid_values::<u32>(&msg, &mut |g, v| got.push((g, v)))
+            .expect("own encoding decodes");
         prop_assert_eq!(got, typed);
     }
 
