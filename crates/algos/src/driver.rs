@@ -18,8 +18,8 @@
 //! `.transport(|ep| …)` threads every host's endpoint through a wrapper,
 //! so the full suite can run over jittered, faulty, or reliable transport
 //! stacks (e.g. `ReliableTransport::over(FaultyTransport::new(..))` for
-//! chaos testing); `.tracer(&t)` records micro-stage spans. The old
-//! `run_*` free functions survive as deprecated shims over the builder.
+//! chaos testing); `.tracer(&t)` records micro-stage spans; `.arena(false)`
+//! disables the sync buffer arena (results are identical either way).
 
 use crate::apps::{self, PagerankConfig};
 use crate::reference::symmetrize;
@@ -143,6 +143,7 @@ where
     pr: PagerankConfig,
     threads: usize,
     tracer: Tracer,
+    arena: bool,
     wrap: F,
 }
 
@@ -185,6 +186,7 @@ impl<'g> Run<'g> {
             pr: PagerankConfig::default(),
             threads: 1,
             tracer: Tracer::disabled(),
+            arena: true,
             wrap: identity,
         }
     }
@@ -257,6 +259,16 @@ where
         self
     }
 
+    /// Enables or disables the per-field sync buffer arena (default: on).
+    /// The arena recycles encode/decode buffers across rounds so the
+    /// steady state allocates nothing; results are bit-identical either
+    /// way — disabling it only changes where buffers come from.
+    #[must_use]
+    pub fn arena(mut self, enabled: bool) -> Self {
+        self.arena = enabled;
+        self
+    }
+
     /// Records micro-stage spans and sync metrics into `tracer` (size it
     /// with `Tracer::new(hosts)`). After the run, export with
     /// `tracer.chrome_trace_json()` or `tracer.summary(..)`.
@@ -285,6 +297,7 @@ where
             pr: self.pr,
             threads: self.threads,
             tracer: self.tracer,
+            arena: self.arena,
             wrap,
         }
     }
@@ -302,6 +315,7 @@ where
             pr,
             threads,
             tracer,
+            arena,
             wrap,
         } = self;
         let source = source.unwrap_or_else(|| max_out_degree_node(graph));
@@ -344,6 +358,7 @@ where
                 policy,
                 opts,
                 threads,
+                arena,
                 &tracer,
                 &|_| needs_transpose,
                 &compute,
@@ -351,156 +366,6 @@ where
         });
         assemble(input.num_nodes() as usize, int_default, per_host, stats)
     }
-}
-
-/// Runs one configuration of `algo` on `graph`.
-#[deprecated(note = "use `Run::new(graph, algo).config(cfg).launch()`")]
-pub fn run(graph: &Csr, algo: Algorithm, cfg: &DistConfig) -> DistOutcome {
-    Run::new(graph, algo).config(cfg).launch()
-}
-
-/// As [`run`], with an explicit bfs/sssp source and pagerank settings.
-#[deprecated(note = "use `Run::new(..).source(..).pagerank(..).launch()`")]
-pub fn run_with(
-    graph: &Csr,
-    algo: Algorithm,
-    cfg: &DistConfig,
-    source: Gid,
-    pr: PagerankConfig,
-) -> DistOutcome {
-    Run::new(graph, algo)
-        .config(cfg)
-        .source(source)
-        .pagerank(pr)
-        .launch()
-}
-
-/// As [`run`], over a wrapped transport stack.
-#[deprecated(note = "use `Run::new(..).transport(wrap).launch()`")]
-pub fn run_wrapped<W: Transport>(
-    graph: &Csr,
-    algo: Algorithm,
-    cfg: &DistConfig,
-    wrap: impl Fn(MemoryTransport) -> W + Send + Sync,
-) -> DistOutcome {
-    Run::new(graph, algo).config(cfg).transport(wrap).launch()
-}
-
-/// As [`run_with`], over a wrapped transport stack.
-#[deprecated(note = "use `Run::new(..).source(..).pagerank(..).transport(wrap).launch()`")]
-pub fn run_with_wrapped<W: Transport>(
-    graph: &Csr,
-    algo: Algorithm,
-    cfg: &DistConfig,
-    source: Gid,
-    pr: PagerankConfig,
-    wrap: impl Fn(MemoryTransport) -> W + Send + Sync,
-) -> DistOutcome {
-    Run::new(graph, algo)
-        .config(cfg)
-        .source(source)
-        .pagerank(pr)
-        .transport(wrap)
-        .launch()
-}
-
-/// As [`run`], recording micro-stage spans into `tracer`.
-#[deprecated(note = "use `Run::new(..).tracer(tracer).launch()`")]
-pub fn run_traced(graph: &Csr, algo: Algorithm, cfg: &DistConfig, tracer: &Tracer) -> DistOutcome {
-    Run::new(graph, algo).config(cfg).tracer(tracer).launch()
-}
-
-/// The fully general driver: explicit source and pagerank settings, a
-/// wrapped transport stack, and span tracing.
-#[deprecated(
-    note = "use `Run::new(..)` with `.source/.pagerank/.transport/.tracer` and `.launch()`"
-)]
-#[allow(clippy::too_many_arguments)]
-pub fn run_with_wrapped_traced<W: Transport>(
-    graph: &Csr,
-    algo: Algorithm,
-    cfg: &DistConfig,
-    source: Gid,
-    pr: PagerankConfig,
-    wrap: impl Fn(MemoryTransport) -> W + Send + Sync,
-    tracer: &Tracer,
-) -> DistOutcome {
-    Run::new(graph, algo)
-        .config(cfg)
-        .source(source)
-        .pagerank(pr)
-        .tracer(tracer)
-        .transport(wrap)
-        .launch()
-}
-
-/// Runs distributed k-core membership.
-#[deprecated(note = "use `Run::kcore(graph, k).config(cfg).launch()`")]
-pub fn run_kcore(graph: &Csr, cfg: &DistConfig, k: u32) -> DistOutcome {
-    Run::kcore(graph, k).config(cfg).launch()
-}
-
-/// As [`run_kcore`], over a wrapped transport stack.
-#[deprecated(note = "use `Run::kcore(..).transport(wrap).launch()`")]
-pub fn run_kcore_wrapped<W: Transport>(
-    graph: &Csr,
-    cfg: &DistConfig,
-    k: u32,
-    wrap: impl Fn(MemoryTransport) -> W + Send + Sync,
-) -> DistOutcome {
-    Run::kcore(graph, k).config(cfg).transport(wrap).launch()
-}
-
-/// As [`run_kcore_wrapped`], recording spans into `tracer`.
-#[deprecated(note = "use `Run::kcore(..).transport(wrap).tracer(tracer).launch()`")]
-pub fn run_kcore_traced<W: Transport>(
-    graph: &Csr,
-    cfg: &DistConfig,
-    k: u32,
-    wrap: impl Fn(MemoryTransport) -> W + Send + Sync,
-    tracer: &Tracer,
-) -> DistOutcome {
-    Run::kcore(graph, k)
-        .config(cfg)
-        .tracer(tracer)
-        .transport(wrap)
-        .launch()
-}
-
-/// Runs distributed single-source betweenness centrality.
-#[deprecated(note = "use `Run::betweenness(graph, source).config(cfg).launch()`")]
-pub fn run_betweenness(graph: &Csr, cfg: &DistConfig, source: Gid) -> DistOutcome {
-    Run::betweenness(graph, source).config(cfg).launch()
-}
-
-/// As [`run_betweenness`], over a wrapped transport stack.
-#[deprecated(note = "use `Run::betweenness(..).transport(wrap).launch()`")]
-pub fn run_betweenness_wrapped<W: Transport>(
-    graph: &Csr,
-    cfg: &DistConfig,
-    source: Gid,
-    wrap: impl Fn(MemoryTransport) -> W + Send + Sync,
-) -> DistOutcome {
-    Run::betweenness(graph, source)
-        .config(cfg)
-        .transport(wrap)
-        .launch()
-}
-
-/// As [`run_betweenness_wrapped`], recording spans into `tracer`.
-#[deprecated(note = "use `Run::betweenness(..).transport(wrap).tracer(tracer).launch()`")]
-pub fn run_betweenness_traced<W: Transport>(
-    graph: &Csr,
-    cfg: &DistConfig,
-    source: Gid,
-    wrap: impl Fn(MemoryTransport) -> W + Send + Sync,
-    tracer: &Tracer,
-) -> DistOutcome {
-    Run::betweenness(graph, source)
-        .config(cfg)
-        .tracer(tracer)
-        .transport(wrap)
-        .launch()
 }
 
 /// Runs BFS on a *heterogeneous* cluster: host `h` computes with
@@ -533,6 +398,7 @@ pub fn run_heterogeneous_bfs(
                 policy,
                 opts,
                 1,
+                true,
                 &Tracer::disabled(),
                 &|rank| engines[rank] == EngineKind::Ligra,
                 &|lg, ctx| {
@@ -569,6 +435,7 @@ fn host_program<T: Transport>(
     policy: Policy,
     opts: OptLevel,
     threads: usize,
+    arena: bool,
     tracer: &Tracer,
     transpose: &(dyn Fn(usize) -> bool + Sync),
     compute: &(dyn Fn(&LocalGraph, &mut GluonContext<'_, T>) -> HostLabels + Sync),
@@ -581,7 +448,9 @@ fn host_program<T: Transport>(
     }
     comm.barrier();
     let partition_secs = part_start.elapsed().as_secs_f64();
-    let mut ctx = GluonContext::new(&lg, &comm, opts).with_pool(Pool::new(threads));
+    let mut ctx = GluonContext::new(&lg, &comm, opts)
+        .with_pool(Pool::new(threads))
+        .with_arena(arena);
     ctx.reset_timer();
     let algo_start = Instant::now();
     let (ints, floats, rounds) = compute(&lg, &mut ctx);

@@ -28,8 +28,6 @@ mod minrelax;
 pub mod reference;
 
 pub use apps::{CopyField, PagerankConfig};
-#[allow(deprecated)]
-pub use driver::{run, run_betweenness, run_kcore, run_with};
 pub use driver::{run_heterogeneous_bfs, DistConfig, DistOutcome, Run};
 
 /// The shared-memory engine computing each host's partition.

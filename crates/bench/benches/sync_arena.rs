@@ -1,0 +1,106 @@
+//! Pooled vs. unpooled steady-state sync: the arena acceptance bench.
+//!
+//! Runs bfs and pagerank end-to-end on the rmat16 stand-in across
+//! {OEC, CVC} × {1, 4} intra-host threads, once with the per-field sync
+//! buffer arena (the default) and once with `.arena(false)`, which routes
+//! the identical code path through fresh buffers every round. The two
+//! variants are bit-identical in every label and wire counter — the arena
+//! only changes where buffers come from — so the comparison isolates
+//! allocator pressure: pooled must not lose to unpooled across the matrix.
+//!
+//! Both workloads sync with full reduce+broadcast specs: every peer
+//! payload is rebuilt at a stable size each round, the steady state the
+//! arena's send-slot rings recycle without allocating (see
+//! `gluon::SyncArena`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gluon::OptLevel;
+use gluon_algos::{driver, Algorithm, DistConfig, EngineKind, PagerankConfig};
+use gluon_bench::inputs::{self, Scale};
+use gluon_bench::report;
+use gluon_graph::Csr;
+use gluon_partition::Policy;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Timed repetitions per cell (each is a full partition+run cycle).
+const REPS: u32 = 8;
+
+fn run_once(graph: &Csr, algo: Algorithm, policy: Policy, threads: usize, arena: bool) -> u32 {
+    let out = driver::Run::new(graph, algo)
+        .config(&DistConfig {
+            hosts: 4,
+            policy,
+            opts: OptLevel::default(),
+            engine: EngineKind::Galois,
+        })
+        .pagerank(PagerankConfig {
+            max_iters: 10,
+            ..Default::default()
+        })
+        .threads(threads)
+        .arena(arena)
+        .launch();
+    out.rounds
+}
+
+fn mean_secs(graph: &Csr, algo: Algorithm, policy: Policy, threads: usize, arena: bool) -> f64 {
+    run_once(graph, algo, policy, threads, arena); // warm-up (page-in, lazy init)
+    let start = Instant::now();
+    for _ in 0..REPS {
+        black_box(run_once(graph, algo, policy, threads, arena));
+    }
+    start.elapsed().as_secs_f64() / f64::from(REPS)
+}
+
+fn bench_matrix(_c: &mut Criterion) {
+    let bg = inputs::rmat_large(Scale::Quick);
+    println!("\nsync arena: pooled vs unpooled (end-to-end, 4 hosts, {REPS} reps/cell)");
+    println!(
+        "{:<10} {:<6} {:>8} {:>12} {:>12} {:>8}",
+        "bench", "policy", "threads", "pooled", "unpooled", "ratio"
+    );
+    let mut ratios = Vec::new();
+    for algo in [Algorithm::Bfs, Algorithm::Pagerank] {
+        for (policy, policy_name) in [(Policy::Oec, "oec"), (Policy::Cvc, "cvc")] {
+            for threads in [1usize, 4] {
+                let pooled = mean_secs(&bg.graph, algo, policy, threads, true);
+                let unpooled = mean_secs(&bg.graph, algo, policy, threads, false);
+                let ratio = pooled / unpooled.max(1e-12);
+                ratios.push(ratio);
+                println!(
+                    "{:<10} {:<6} {:>8} {:>11.3}ms {:>11.3}ms {:>7.2}x",
+                    algo.name(),
+                    policy_name,
+                    threads,
+                    pooled * 1e3,
+                    unpooled * 1e3,
+                    ratio,
+                );
+            }
+        }
+    }
+    let geo = report::geomean(ratios);
+    println!("geomean pooled/unpooled time ratio: {geo:.3}x (acceptance: <= 1.0 + noise)");
+    // Wall-clock on a loaded machine is noisy; gate on a margin generous
+    // enough to never flake yet tight enough to catch the arena becoming a
+    // systematic pessimization.
+    assert!(
+        geo <= 1.15,
+        "pooled sync is systematically slower than unpooled ({geo:.3}x geomean)"
+    );
+}
+
+fn bench_headline(c: &mut Criterion) {
+    // The headline cells through the criterion interface: bfs on CVC at 4
+    // threads, the configuration the paper's scaling study leans on.
+    let bg = inputs::rmat_large(Scale::Quick);
+    for (label, arena) in [("pooled", true), ("unpooled", false)] {
+        c.bench_function(&format!("sync_arena/bfs/cvc/4t/{label}"), |b| {
+            b.iter(|| black_box(run_once(&bg.graph, Algorithm::Bfs, Policy::Cvc, 4, arena)))
+        });
+    }
+}
+
+criterion_group!(benches, bench_matrix, bench_headline);
+criterion_main!(benches);

@@ -12,6 +12,7 @@
 
 use gluon::OptLevel;
 use gluon_algos::{driver, Algorithm, DistConfig, EngineKind};
+use gluon_bench::json::{self, Json};
 use gluon_bench::{inputs, report, scale_from_args, trace_path_from_args, Scale, Table};
 use gluon_gemini::GeminiAlgo;
 use gluon_graph::{max_out_degree_node, Csr};
@@ -137,6 +138,8 @@ fn main() {
     // Payload bytes per wire mode, summed over every Gluon row, keyed by
     // the synced field.
     let mut mode_bytes: BTreeMap<String, [u64; NUM_WIRE_MODES]> = BTreeMap::new();
+    // The same cells as the text table, as JSON for downstream tooling.
+    let mut json_rows: Vec<Json> = Vec::new();
     // The codec-v2 acceptance gate: at least one multi-host sparse
     // workload (bfs or cc) must move strictly fewer bytes than the v1
     // baseline.
@@ -195,6 +198,27 @@ fn main() {
                             }
                         }
                     }
+                    json_rows.push(Json::obj([
+                        ("input", Json::from(bg.name)),
+                        ("bench", Json::from(algo.name())),
+                        ("system", Json::from(system)),
+                        ("hosts", Json::from(hosts)),
+                        ("projected_secs", Json::from(point.projected_secs)),
+                        ("wall_secs", Json::from(point.wall_secs)),
+                        ("comm_bytes", Json::from(point.comm_bytes)),
+                        (
+                            "v1_baseline_bytes",
+                            point.baseline_bytes.map_or(Json::Null, Json::from),
+                        ),
+                        (
+                            "v1_ratio",
+                            point.baseline_bytes.map_or(Json::Null, |base| {
+                                Json::from(base as f64 / point.comm_bytes.max(1) as f64)
+                            }),
+                        ),
+                        ("retransmit_bytes", Json::from(point.retx_bytes)),
+                        ("rounds", Json::from(point.rounds)),
+                    ]));
                     table.row(vec![
                         bg.name.to_owned(),
                         algo.name().to_owned(),
@@ -229,6 +253,28 @@ fn main() {
     }
     println!();
     modes.print("Figure 8(b) detail: payload bytes per wire mode (all Gluon rows)");
+
+    let json_modes = Json::Obj(
+        mode_bytes
+            .iter()
+            .map(|(field, bytes)| {
+                let per_mode = MODE_NAMES
+                    .iter()
+                    .zip(bytes)
+                    .map(|(name, &b)| (name.to_string(), Json::from(b)));
+                (field.clone(), Json::obj(per_mode))
+            })
+            .collect(),
+    );
+    let written = json::write_results(
+        "fig8",
+        &Json::obj([
+            ("rows", Json::Arr(json_rows)),
+            ("wire_mode_bytes", json_modes),
+        ]),
+    );
+    println!();
+    println!("Machine-readable results written to {}.", written.display());
 
     if let (Some(path), Some(chrome)) = (&trace_path, chrome) {
         std::fs::write(path, chrome.finish())

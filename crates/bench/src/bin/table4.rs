@@ -11,6 +11,7 @@
 //! with that many cores per host.
 
 use gluon_algos::{driver, Algorithm, DistConfig, EngineKind};
+use gluon_bench::json::{self, Json};
 use gluon_bench::{inputs, report, scale_from_args, singlehost, Table};
 use gluon_gemini::GeminiAlgo;
 use gluon_graph::{max_out_degree_node, Csr};
@@ -53,6 +54,7 @@ fn main() {
         "input", "bench", "ligra", "d-ligra", "galois", "d-galois", "gemini",
     ]);
     let mut overheads = Vec::new();
+    let mut json_rows: Vec<Json> = Vec::new();
     for bg in &graphs {
         for algo in Algorithm::ALL {
             let weighted;
@@ -70,6 +72,17 @@ fn main() {
             let gemini = gemini_secs(graph, algo);
             overheads.push(d_ligra / ligra.max(1e-9));
             overheads.push(d_galois / galois.max(1e-9));
+            json_rows.push(Json::obj([
+                ("input", Json::from(bg.name)),
+                ("bench", Json::from(algo.name())),
+                ("ligra_secs", Json::from(ligra)),
+                ("d_ligra_secs", Json::from(d_ligra)),
+                ("galois_secs", Json::from(galois)),
+                ("d_galois_secs", Json::from(d_galois)),
+                ("gemini_secs", Json::from(gemini)),
+                ("d_ligra_overhead", Json::from(d_ligra / ligra.max(1e-9))),
+                ("d_galois_overhead", Json::from(d_galois / galois.max(1e-9))),
+            ]));
             table.row(vec![
                 bg.name.to_owned(),
                 algo.name().to_owned(),
@@ -95,6 +108,7 @@ fn main() {
     println!();
     let mut scaling = Table::new(vec!["input", "bench", "threads", "speedup", "projected"]);
     let mut four_thread = Vec::new();
+    let mut json_scaling: Vec<Json> = Vec::new();
     for bg in &graphs {
         for algo in [Algorithm::Pagerank, Algorithm::Bfs] {
             let weighted;
@@ -118,6 +132,16 @@ fn main() {
                 if threads == 4 && algo == Algorithm::Pagerank {
                     four_thread.push(speedup);
                 }
+                json_scaling.push(Json::obj([
+                    ("input", Json::from(bg.name)),
+                    ("bench", Json::from(algo.name())),
+                    ("threads", Json::from(threads)),
+                    ("speedup", Json::from(speedup)),
+                    (
+                        "projected_secs",
+                        Json::from(out.projected_secs_with_cores(&CostModel::REPRO, threads)),
+                    ),
+                ]));
                 scaling.row(vec![
                     bg.name.to_owned(),
                     algo.name().to_owned(),
@@ -134,4 +158,14 @@ fn main() {
         "geomean pagerank speedup at 4 threads: {:.2}x (acceptance floor: 2x)",
         report::geomean(four_thread)
     );
+
+    let written = json::write_results(
+        "table4",
+        &Json::obj([
+            ("rows", Json::Arr(json_rows)),
+            ("scaling", Json::Arr(json_scaling)),
+        ]),
+    );
+    println!();
+    println!("Machine-readable results written to {}.", written.display());
 }

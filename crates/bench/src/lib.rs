@@ -11,6 +11,7 @@
 #![warn(missing_docs)]
 
 pub mod inputs;
+pub mod json;
 pub mod report;
 pub mod singlehost;
 

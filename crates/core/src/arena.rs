@@ -1,0 +1,293 @@
+//! Per-(field, peer) reusable buffer pools for allocation-free
+//! steady-state sync.
+//!
+//! The paper's temporal invariance (§4.1) says the partitioning — and
+//! therefore every proxy list — never changes after setup. The memory-side
+//! consequence is that the *shapes* of all sync buffers are stable too:
+//! the dirty-position scan, the encode scratch, the wire payload, the
+//! decode staging — all of them reach a high-water size within a couple of
+//! rounds and never need to grow again. [`SyncArena`] exploits that by
+//! keeping every per-peer buffer alive between `sync` calls, keyed by
+//! `(field name, value type)`:
+//!
+//! * `updated_pos` — the positions of dirty proxies in the agreed list;
+//! * [`EncodeScratch`] / [`DecodeScratch`] — codec workspaces;
+//! * `entries` / `gid_pairs` — decoded `(lid, value)` staging and the
+//!   non-memoized global-ID translation table;
+//! * `send_slots` — the *wire payloads themselves*: a small ring of
+//!   recyclable [`Bytes`] per (peer, pattern). A payload handed to the
+//!   transport is consumed by the peer within a round or two; once the
+//!   consumer drops its handle, [`Bytes::try_unique_vec`] can reclaim
+//!   the allocation in place. Hosts are only loosely coupled — a peer
+//!   that receives from us without sending back can lag a round while
+//!   still holding our previous payload — so a single slot per pattern
+//!   is not enough: the ring grows (up to [`SLOT_RING_CAP`]) to the
+//!   observed in-flight depth, after which every round finds *some*
+//!   uniquely-held buffer to reuse. When every pooled buffer is still
+//!   held by a consumer the slot misses and a fresh buffer is allocated
+//!   — recycling is an optimization, never a correctness assumption.
+//!
+//! Checkout/checkin moves a whole [`FieldArena`] out of the arena for the
+//! duration of one sync call (leaving a cheap empty one in its slot), so
+//! the hot path borrows no type-erased storage. Both moves are
+//! allocation-free; the only allocations happen during the first
+//! [`ARENA_WARMUP_ROUNDS`] calls per field, while buffers grow to their
+//! high-water marks.
+//!
+//! Pooling **cannot** change results: a disabled arena routes every sync
+//! call through the *same* code path with a fresh (empty) `FieldArena`,
+//! so pooled and unpooled runs produce bit-identical payloads, counters,
+//! and labels — the property `tests/alloc_guard.rs` asserts.
+
+use crate::encode::{DecodeError, DecodeScratch, EncodeScratch};
+use bytes::Bytes;
+use gluon_graph::{Gid, Lid};
+use std::any::{Any, TypeId};
+
+/// Number of sync calls per field after which the steady state is
+/// expected: every pooled buffer has reached its high-water size, so
+/// subsequent rounds perform zero heap allocations (measured by the
+/// `alloc-meter` feature and asserted by the allocation guard).
+pub const ARENA_WARMUP_ROUNDS: u64 = 2;
+
+/// Maximum depth of one (peer, pattern) send-slot ring: the number of
+/// payload buffers kept alive waiting for consumers to release them.
+/// In-flight depth is bounded by how far two hosts can drift apart within
+/// the BSP structure (one round in practice, so rings saturate at 2); the
+/// cap only exists to bound memory if a consumer goes pathological.
+pub(crate) const SLOT_RING_CAP: usize = 8;
+
+/// Reusable per-peer scratch of one synchronized field.
+///
+/// Every buffer is cleared (never shrunk) between uses, so capacities
+/// ratchet up to their high-water marks during warm-up and stay there.
+pub(crate) struct PeerScratch<V> {
+    /// Positions (indices into the agreed proxy list) of dirty proxies.
+    pub updated_pos: Vec<u32>,
+    /// Encoder workspace (value packing, bitvec, run lengths).
+    pub enc: EncodeScratch,
+    /// Decoder workspace (position/run validation buffers).
+    pub dec: DecodeScratch,
+    /// Decoded `(lid, value)` staging for the receive side.
+    pub entries: Vec<(Lid, V)>,
+    /// Global-ID translation table for the non-memoized send path.
+    pub gid_pairs: Vec<(Gid, V)>,
+    /// Recyclable wire payloads: one small ring per pattern (0 = reduce,
+    /// 1 = broadcast — both can be in flight within a single round, so
+    /// they must not share buffers). Each ring holds every payload still
+    /// awaiting release by its consumer, capped at [`SLOT_RING_CAP`].
+    pub send_slots: [Vec<Bytes>; 2],
+    /// Per-call staging: the payload built (send side) or received
+    /// (receive side) for this peer. Always `None` between calls.
+    pub payload: Option<Bytes>,
+    /// Per-call staging: the decode failure of this peer's payload.
+    pub decode_err: Option<DecodeError>,
+    /// Per-call staging: whether the last built payload reused its slot's
+    /// allocation (a pool hit) or had to allocate fresh (a miss).
+    pub recycled: bool,
+}
+
+impl<V> Default for PeerScratch<V> {
+    fn default() -> Self {
+        PeerScratch {
+            updated_pos: Vec::new(),
+            enc: EncodeScratch::default(),
+            dec: DecodeScratch::default(),
+            entries: Vec::new(),
+            gid_pairs: Vec::new(),
+            send_slots: [Vec::new(), Vec::new()],
+            payload: None,
+            decode_err: None,
+            recycled: false,
+        }
+    }
+}
+
+impl<V> PeerScratch<V> {
+    /// Current pooled footprint of this peer's buffers, in bytes.
+    fn footprint_bytes(&self) -> usize {
+        self.updated_pos.capacity() * 4
+            + self.enc.capacity_bytes()
+            + self.dec.capacity_bytes()
+            + self.entries.capacity() * std::mem::size_of::<(Lid, V)>()
+            + self.gid_pairs.capacity() * std::mem::size_of::<(Gid, V)>()
+            + self
+                .send_slots
+                .iter()
+                .flat_map(|ring| ring.iter())
+                .map(|b| b.len())
+                .sum::<usize>()
+    }
+}
+
+/// All pooled buffers of one synchronized field: one [`PeerScratch`] per
+/// host, plus the field's round counter (which decides when the warm-up
+/// grace period ends).
+pub(crate) struct FieldArena<V> {
+    /// Indexed by peer rank; grown once to the world size.
+    pub peers: Vec<PeerScratch<V>>,
+    /// Number of sync calls this field has performed.
+    pub rounds: u64,
+}
+
+impl<V> Default for FieldArena<V> {
+    fn default() -> Self {
+        FieldArena {
+            peers: Vec::new(),
+            rounds: 0,
+        }
+    }
+}
+
+impl<V> FieldArena<V> {
+    /// Grows the peer table to `n` slots (warm-up only; a no-op after).
+    pub fn ensure_peers(&mut self, n: usize) {
+        if self.peers.len() < n {
+            self.peers.resize_with(n, PeerScratch::default);
+        }
+    }
+
+    /// Current pooled footprint of every peer's buffers, in bytes.
+    pub fn footprint_bytes(&self) -> usize {
+        self.peers.iter().map(PeerScratch::footprint_bytes).sum()
+    }
+}
+
+/// Per-field slot storage: the key identifies a field by its trace name
+/// and its wire value type (two fields may legitimately share a name, and
+/// then they share buffers — harmless, since every buffer is cleared and
+/// re-sized per call).
+type ArenaKey = (&'static str, TypeId);
+
+/// The per-context pool of per-field buffer arenas (see the module docs).
+///
+/// Owned by `GluonContext`; enabled by default and toggled with
+/// `GluonContext::with_arena`. Disabling does not change any result —
+/// every sync call runs the same code over a fresh, empty arena instead
+/// of a pooled one.
+pub struct SyncArena {
+    enabled: bool,
+    /// Linear scan keyed by `(name, value type)`: programs sync a handful
+    /// of fields, so a map would only add hashing to the hot path.
+    slots: Vec<(ArenaKey, Box<dyn Any + Send>)>,
+}
+
+impl SyncArena {
+    /// Creates an arena; a disabled arena hands out fresh buffers on
+    /// every checkout and drops them on checkin.
+    pub fn new(enabled: bool) -> Self {
+        SyncArena {
+            enabled,
+            slots: Vec::new(),
+        }
+    }
+
+    /// Whether buffers are pooled across sync calls.
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Number of distinct `(field, value type)` pools held.
+    pub fn num_fields(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Takes the pooled buffers of `name` out of the arena for one sync
+    /// call, leaving an empty `FieldArena` in the slot (a move, not an
+    /// allocation). First use of a field — or any use while disabled —
+    /// returns a fresh arena.
+    pub(crate) fn checkout<V: Send + 'static>(&mut self, name: &'static str) -> FieldArena<V> {
+        if !self.enabled {
+            return FieldArena::default();
+        }
+        let key = (name, TypeId::of::<V>());
+        if let Some((_, boxed)) = self.slots.iter_mut().find(|(k, _)| *k == key) {
+            if let Some(slot) = boxed.downcast_mut::<FieldArena<V>>() {
+                return std::mem::take(slot);
+            }
+        }
+        FieldArena::default()
+    }
+
+    /// Returns a field's buffers to the arena after a sync call. Boxes a
+    /// new slot on the field's first checkin (warm-up); every later
+    /// checkin is a plain move. Dropped immediately when disabled.
+    pub(crate) fn checkin<V: Send + 'static>(&mut self, name: &'static str, fa: FieldArena<V>) {
+        if !self.enabled {
+            return;
+        }
+        let key = (name, TypeId::of::<V>());
+        if let Some((_, boxed)) = self.slots.iter_mut().find(|(k, _)| *k == key) {
+            if let Some(slot) = boxed.downcast_mut::<FieldArena<V>>() {
+                *slot = fa;
+                return;
+            }
+        }
+        self.slots.push((key, Box::new(fa)));
+    }
+}
+
+impl std::fmt::Debug for SyncArena {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SyncArena")
+            .field("enabled", &self.enabled)
+            .field("fields", &self.slots.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checkout_round_trips_buffers() {
+        let mut arena = SyncArena::new(true);
+        let mut fa = arena.checkout::<u32>("dist");
+        fa.ensure_peers(4);
+        fa.peers[2].updated_pos.reserve(1000);
+        let cap = fa.peers[2].updated_pos.capacity();
+        assert!(cap >= 1000);
+        arena.checkin("dist", fa);
+        // Same field: the grown buffers come back.
+        let fa = arena.checkout::<u32>("dist");
+        assert_eq!(fa.peers.len(), 4);
+        assert_eq!(fa.peers[2].updated_pos.capacity(), cap);
+        arena.checkin("dist", fa);
+        assert_eq!(arena.num_fields(), 1);
+    }
+
+    #[test]
+    fn fields_are_isolated_by_name_and_type() {
+        let mut arena = SyncArena::new(true);
+        let mut fa = arena.checkout::<u32>("dist");
+        fa.ensure_peers(2);
+        arena.checkin("dist", fa);
+        // Different name: fresh buffers.
+        assert_eq!(arena.checkout::<u32>("rank").peers.len(), 0);
+        // Same name, different value type: also fresh.
+        assert_eq!(arena.checkout::<f64>("dist").peers.len(), 0);
+        // The original pool is untouched by the probes above.
+        assert_eq!(arena.checkout::<u32>("dist").peers.len(), 2);
+    }
+
+    #[test]
+    fn disabled_arena_pools_nothing() {
+        let mut arena = SyncArena::new(false);
+        let mut fa = arena.checkout::<u32>("dist");
+        fa.ensure_peers(8);
+        arena.checkin("dist", fa);
+        assert_eq!(arena.checkout::<u32>("dist").peers.len(), 0);
+        assert_eq!(arena.num_fields(), 0);
+        assert!(!arena.enabled());
+    }
+
+    #[test]
+    fn footprint_tracks_held_capacity() {
+        let mut fa = FieldArena::<u64>::default();
+        fa.ensure_peers(1);
+        assert_eq!(fa.footprint_bytes(), 0);
+        fa.peers[0].updated_pos.reserve_exact(16);
+        assert!(fa.footprint_bytes() >= 64);
+    }
+}

@@ -1,16 +1,19 @@
 //! The per-host Gluon runtime: setup, the sync call, and termination
 //! detection.
 
+use crate::arena::{FieldArena, PeerScratch, SyncArena, SLOT_RING_CAP};
 use crate::bitset::DenseBitset;
 use crate::comm_tags::{sync_tag, SYNC_TAG_WINDOW};
 use crate::encode::{
-    decode_gid_values, decode_memoized, encode_gid_values, encode_memoized_with, DecodeError,
-    WireMode,
+    decode_gid_values, decode_memoized_scratch, encode_gid_values_into, encode_memoized_into,
+    DecodeError, DecodeScratch, EncodeScratch, WireMode,
 };
 use crate::field::FieldSync;
 use crate::memo::{FlagFilter, MemoTable};
 use crate::opts::OptLevel;
 use crate::stats::{PhaseStats, SyncStats};
+use crate::value::SyncValue;
+use bytes::Bytes;
 use gluon_exec::Pool;
 use gluon_graph::{Gid, HostId, Lid};
 use gluon_net::{Communicator, NetError, Transport};
@@ -18,9 +21,10 @@ use gluon_partition::LocalGraph;
 use gluon_trace::{Stage, Tracer, SETUP_PHASE};
 use std::time::Instant;
 
-/// One peer's decoded update batch: the `(local id, value)` entries its
-/// payload carried, or the decode failure to surface for that peer.
-type DecodedBatch<V> = Result<Vec<(Lid, V)>, DecodeError>;
+/// Phase-record headroom reserved at setup so steady-state rounds never
+/// grow the phase log (one entry per sync or collective call; growth past
+/// this is still correct, merely no longer allocation-free).
+const PHASE_RESERVE: usize = 1024;
 
 /// Why a [`GluonContext::try_sync`] call failed.
 ///
@@ -238,6 +242,7 @@ pub struct GluonContext<'a, T: Transport + ?Sized> {
     pending_work: u64,
     pending_crit_work: u64,
     pool: Pool,
+    arena: SyncArena,
 }
 
 /// Splits one sync call into contiguous timed segments, each emitted as a
@@ -374,6 +379,7 @@ impl<'a, T: Transport + ?Sized> GluonContext<'a, T> {
             stats: SyncStats {
                 memo_secs,
                 memo_bytes,
+                phases: Vec::with_capacity(PHASE_RESERVE),
                 ..Default::default()
             },
             tracer,
@@ -382,6 +388,7 @@ impl<'a, T: Transport + ?Sized> GluonContext<'a, T> {
             pending_work: 0,
             pending_crit_work: 0,
             pool: Pool::sequential(),
+            arena: SyncArena::new(true),
         }
     }
 
@@ -403,6 +410,21 @@ impl<'a, T: Transport + ?Sized> GluonContext<'a, T> {
     /// share the work meter).
     pub fn pool(&self) -> &Pool {
         &self.pool
+    }
+
+    /// Enables or disables the cross-round sync buffer arena (builder
+    /// style; enabled by default). Disabling changes no result — every
+    /// sync call runs the identical code path over fresh buffers instead
+    /// of pooled ones — only the allocation profile.
+    #[must_use]
+    pub fn with_arena(mut self, enabled: bool) -> Self {
+        self.arena = SyncArena::new(enabled);
+        self
+    }
+
+    /// The sync buffer arena (for inspection and tests).
+    pub fn arena(&self) -> &SyncArena {
+        &self.arena
     }
 
     /// The local partition this context synchronizes.
@@ -535,7 +557,7 @@ impl<'a, T: Transport + ?Sized> GluonContext<'a, T> {
         );
         let compute_secs = self.mark.elapsed().as_secs_f64();
         let start = Instant::now();
-        let before = self.host_sent_snapshot();
+        let before = self.host_sent();
 
         let seq = self.seq;
         self.seq = self.seq.wrapping_add(1);
@@ -546,56 +568,33 @@ impl<'a, T: Transport + ?Sized> GluonContext<'a, T> {
         let phase_idx = self.stats.phases.len() as u32;
         let mut seg = Segmenter::begin(&self.tracer, self.rank(), phase_idx, Stage::Extract);
 
-        if let Some(w) = spec.write {
-            let fr = filter_index(w.filter(structural));
-            self.send_pattern(
-                seq,
-                0,
-                PatternRole::MirrorToMaster,
-                fr,
-                field_name,
-                field,
-                updated,
-                &mut seg,
-            )?;
-            self.recv_pattern(
-                seq,
-                0,
-                PatternRole::MirrorToMaster,
-                fr,
-                field,
-                updated,
-                &mut seg,
-            )?;
+        // Check the field's pooled buffers out for the duration of the two
+        // patterns (a move, not an allocation); check them back in before
+        // surfacing any error so one failed round cannot leak the pool.
+        let mut fa = self.arena.checkout::<F::Value>(field_name);
+        fa.ensure_peers(self.world_size());
+        #[cfg(feature = "alloc-meter")]
+        let metering = (fa.rounds >= crate::arena::ARENA_WARMUP_ROUNDS).then(gluon_meter::snapshot);
+        let res = self.run_sync_patterns(
+            spec, seq, structural, field_name, field, updated, &mut seg, &mut fa,
+        );
+        #[cfg(feature = "alloc-meter")]
+        if let Some(alloc_before) = metering {
+            self.stats.steady_state_allocs += gluon_meter::snapshot().allocs_since(&alloc_before);
         }
-        if let Some(r) = spec.read {
-            let fb = filter_index(r.filter(structural));
-            self.send_pattern(
-                seq,
-                1,
-                PatternRole::MasterToMirror,
-                fb,
-                field_name,
-                field,
-                updated,
-                &mut seg,
-            )?;
-            self.recv_pattern(
-                seq,
-                1,
-                PatternRole::MasterToMirror,
-                fb,
-                field,
-                updated,
-                &mut seg,
-            )?;
-        }
+        fa.rounds += 1;
+        self.comm
+            .transport()
+            .stats()
+            .record_pool_high_water(fa.footprint_bytes() as u64);
+        self.arena.checkin(field_name, fa);
+        res?;
 
         // When traced, the phase's comm time is *defined* as the span of
         // the segment clock, so child spans sum to it exactly; untraced
         // phases keep the plain wall-clock measurement.
         let traced_ns = seg.finish();
-        let after = self.host_sent_snapshot();
+        let after = self.host_sent();
         let (work_units, crit_work_units) = self.take_pending_work();
         self.stats.phases.push(PhaseStats {
             compute_secs,
@@ -695,13 +694,134 @@ impl<'a, T: Transport + ?Sized> GluonContext<'a, T> {
         SyncError::Decode { peer, error }
     }
 
-    fn host_sent_snapshot(&self) -> (u64, u64) {
-        let snap = self.comm.transport().stats().snapshot();
-        let rank = self.rank();
-        let n = self.world_size();
-        let bytes = (0..n).map(|d| snap.bytes_between(rank, d)).sum();
-        let msgs = (0..n).map(|d| snap.messages[rank * n + d]).sum();
-        (bytes, msgs)
+    /// The reduce-then-broadcast body of one sync call, operating on the
+    /// field's checked-out arena ([`GluonContext::try_sync`] owns the
+    /// checkout/checkin bracket around this).
+    #[allow(clippy::too_many_arguments)]
+    fn run_sync_patterns<F: FieldSync>(
+        &mut self,
+        spec: &SyncSpec,
+        seq: u32,
+        structural: bool,
+        field_name: &'static str,
+        field: &mut F,
+        updated: &mut DenseBitset,
+        seg: &mut Segmenter,
+        fa: &mut FieldArena<F::Value>,
+    ) -> Result<(), SyncError> {
+        if let Some(w) = spec.write {
+            let fr = filter_index(w.filter(structural));
+            self.send_pattern(
+                seq,
+                0,
+                PatternRole::MirrorToMaster,
+                fr,
+                field_name,
+                field,
+                updated,
+                seg,
+                fa,
+            )?;
+            self.recv_pattern(
+                seq,
+                0,
+                PatternRole::MirrorToMaster,
+                fr,
+                field,
+                updated,
+                seg,
+                fa,
+            )?;
+        }
+        if let Some(r) = spec.read {
+            let fb = filter_index(r.filter(structural));
+            self.send_pattern(
+                seq,
+                1,
+                PatternRole::MasterToMirror,
+                fb,
+                field_name,
+                field,
+                updated,
+                seg,
+                fa,
+            )?;
+            self.recv_pattern(
+                seq,
+                1,
+                PatternRole::MasterToMirror,
+                fb,
+                field,
+                updated,
+                seg,
+                fa,
+            )?;
+        }
+        Ok(())
+    }
+
+    /// Bytes and messages this host has sent so far, straight off the
+    /// transport's atomic counters (allocation-free; called twice per
+    /// sync round).
+    fn host_sent(&self) -> (u64, u64) {
+        self.comm.transport().stats().host_sent(self.rank())
+    }
+
+    /// The sequential per-peer tail of the send side — pool accounting,
+    /// trace records, the mirror reset, and the send itself — shared
+    /// verbatim by the sequential and parallel paths so both produce the
+    /// same counters and stage sequence in rank order.
+    #[allow(clippy::too_many_arguments)]
+    fn finish_send_peer<F: FieldSync>(
+        &self,
+        seq: u32,
+        pat: u32,
+        role: PatternRole,
+        field_name: &'static str,
+        temporal: bool,
+        h: usize,
+        list: &[Lid],
+        ps: &mut PeerScratch<F::Value>,
+        field: &mut F,
+        updated: &mut DenseBitset,
+        seg: &mut Segmenter,
+    ) -> Result<(), SyncError> {
+        let payload = ps.payload.take().expect("peer payload was prepared");
+        let stats = self.comm.transport().stats();
+        if ps.recycled {
+            stats.record_pool_hit();
+        } else {
+            stats.record_pool_miss();
+            if self.tracer.is_enabled() {
+                self.tracer
+                    .record_event(self.rank(), "arena_miss", h, payload.len() as u64);
+            }
+        }
+        self.tracer
+            .record_wire_mode(field_name, payload[0], payload.len() as u64);
+        self.tracer.record_message_size(payload.len());
+        if role == PatternRole::MirrorToMaster {
+            // The shipped values now live at the master; reset the
+            // local copies to the reduction identity and deactivate.
+            // Dense mode ships *every* list entry, so reset them all.
+            seg.stage(Stage::Reset, Some(h));
+            if temporal && WireMode::of(&payload) == WireMode::Dense {
+                for &lid in list {
+                    field.reset(lid);
+                    updated.clear(lid);
+                }
+            } else {
+                for &p in &ps.updated_pos {
+                    field.reset(list[p as usize]);
+                    updated.clear(list[p as usize]);
+                }
+            }
+        }
+        seg.stage(Stage::Send, Some(h));
+        self.comm
+            .transport()
+            .try_send(h, sync_tag(seq, pat), payload)?;
+        Ok(())
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -715,14 +835,18 @@ impl<'a, T: Transport + ?Sized> GluonContext<'a, T> {
         field: &mut F,
         updated: &mut DenseBitset,
         seg: &mut Segmenter,
+        fa: &mut FieldArena<F::Value>,
     ) -> Result<(), SyncError> {
         if self.pool.is_parallel() {
-            return self
-                .send_pattern_par(seq, pat, role, filter_idx, field_name, field, updated, seg);
+            return self.send_pattern_par(
+                seq, pat, role, filter_idx, field_name, field, updated, seg, fa,
+            );
         }
         let rank = self.rank();
         let temporal = self.opts.temporal;
         let compress = self.opts.compress;
+        let graph = self.graph;
+        let prewarm = self.arena.enabled() && fa.rounds < crate::arena::ARENA_WARMUP_ROUNDS;
         for h in 0..self.world_size() {
             if h == rank {
                 continue;
@@ -734,67 +858,40 @@ impl<'a, T: Transport + ?Sized> GluonContext<'a, T> {
             if list.is_empty() {
                 continue;
             }
-            seg.stage(Stage::Extract, Some(h));
-            let mut updated_pos: Vec<u32> = Vec::new();
-            for (i, &lid) in list.iter().enumerate() {
-                if updated.test(lid) {
-                    updated_pos.push(i as u32);
-                }
-            }
-            let payload = if temporal {
-                seg.stage(Stage::Encode, Some(h));
-                encode_memoized_with(
-                    list.len(),
-                    &updated_pos,
-                    |p| field.extract(list[p]),
-                    compress,
-                )
-            } else {
-                // Without temporal invariance every update must be
-                // re-translated to global IDs — the cost §4.1 memoizes away.
-                seg.stage(Stage::MemoTranslate, Some(h));
-                let pairs: Vec<(Gid, F::Value)> = updated_pos
-                    .iter()
-                    .map(|&p| {
-                        let lid = list[p as usize];
-                        (self.graph.gid(lid), field.extract(lid))
-                    })
-                    .collect();
-                seg.stage(Stage::Encode, Some(h));
-                encode_gid_values(&pairs)
-            };
-            self.tracer
-                .record_wire_mode(field_name, payload[0], payload.len() as u64);
-            self.tracer.record_message_size(payload.len());
-            if role == PatternRole::MirrorToMaster {
-                // The shipped values now live at the master; reset the
-                // local copies to the reduction identity and deactivate.
-                // Dense mode ships *every* list entry, so reset them all.
-                seg.stage(Stage::Reset, Some(h));
-                if temporal && WireMode::of(&payload) == WireMode::Dense {
-                    for &lid in list {
-                        field.reset(lid);
-                        updated.clear(lid);
-                    }
-                } else {
-                    for &p in &updated_pos {
-                        field.reset(list[p as usize]);
-                        updated.clear(list[p as usize]);
-                    }
-                }
-            }
-            seg.stage(Stage::Send, Some(h));
-            self.comm
-                .transport()
-                .try_send(h, sync_tag(seq, pat), payload)?;
+            prepare_send_peer::<F>(
+                graph,
+                temporal,
+                compress,
+                pat,
+                list,
+                field,
+                updated,
+                &mut fa.peers[h],
+                prewarm,
+                &mut |st| seg.stage(st, Some(h)),
+            );
+            self.finish_send_peer::<F>(
+                seq,
+                pat,
+                role,
+                field_name,
+                temporal,
+                h,
+                list,
+                &mut fa.peers[h],
+                field,
+                updated,
+                seg,
+            )?;
         }
         Ok(())
     }
 
     /// Parallel send side: per-peer dirty-set scans, extraction, and
     /// encoding are independent reads of the field and the proxy lists, so
-    /// each peer's payload is built on a pool worker; the mutating tail
-    /// (reset, trace, send) then runs sequentially in rank order, producing
+    /// each peer's payload is built on a pool worker directly into that
+    /// peer's arena scratch; the mutating tail (pool accounting, trace,
+    /// reset, send) then runs sequentially in rank order, producing
     /// byte-for-byte the payloads and counters of the sequential path.
     #[allow(clippy::too_many_arguments)]
     fn send_pattern_par<F: FieldSync>(
@@ -807,6 +904,7 @@ impl<'a, T: Transport + ?Sized> GluonContext<'a, T> {
         field: &mut F,
         updated: &mut DenseBitset,
         seg: &mut Segmenter,
+        fa: &mut FieldArena<F::Value>,
     ) -> Result<(), SyncError> {
         let rank = self.rank();
         let temporal = self.opts.temporal;
@@ -817,70 +915,51 @@ impl<'a, T: Transport + ?Sized> GluonContext<'a, T> {
         };
         // One Extract segment covers the whole concurrent extract+encode
         // region: per-peer wall-clock attribution is meaningless when the
-        // peers' payloads are built at the same time.
+        // peers' payloads are built at the same time (stage switching
+        // inside the workers is likewise suppressed).
         seg.stage(Stage::Extract, None);
         let graph = self.graph;
         let field_ref: &F = field;
         let updated_ref: &DenseBitset = updated;
-        let prepared = self.pool.map_per(self.comm.world_size(), |h| {
+        let prewarm = self.arena.enabled() && fa.rounds < crate::arena::ARENA_WARMUP_ROUNDS;
+        self.pool.for_each_scratch(&mut fa.peers, |h, ps| {
             if h == rank {
-                return None;
+                return;
             }
             let list: &[Lid] = &lists[h];
             if list.is_empty() {
-                return None;
+                return;
             }
-            let mut updated_pos: Vec<u32> = Vec::new();
-            for (i, &lid) in list.iter().enumerate() {
-                if updated_ref.test(lid) {
-                    updated_pos.push(i as u32);
-                }
-            }
-            let payload = if temporal {
-                encode_memoized_with(
-                    list.len(),
-                    &updated_pos,
-                    |p| field_ref.extract(list[p]),
-                    compress,
-                )
-            } else {
-                let pairs: Vec<(Gid, F::Value)> = updated_pos
-                    .iter()
-                    .map(|&p| {
-                        let lid = list[p as usize];
-                        (graph.gid(lid), field_ref.extract(lid))
-                    })
-                    .collect();
-                encode_gid_values(&pairs)
-            };
-            Some((updated_pos, payload))
+            prepare_send_peer::<F>(
+                graph,
+                temporal,
+                compress,
+                pat,
+                list,
+                field_ref,
+                updated_ref,
+                ps,
+                prewarm,
+                &mut |_| {},
+            );
         });
-        for (h, prep) in prepared.into_iter().enumerate() {
-            let Some((updated_pos, payload)) = prep else {
+        for (h, list) in lists.iter().enumerate() {
+            if h == rank || list.is_empty() {
                 continue;
-            };
-            self.tracer
-                .record_wire_mode(field_name, payload[0], payload.len() as u64);
-            self.tracer.record_message_size(payload.len());
-            if role == PatternRole::MirrorToMaster {
-                seg.stage(Stage::Reset, Some(h));
-                let list: &[Lid] = &lists[h];
-                if temporal && WireMode::of(&payload) == WireMode::Dense {
-                    for &lid in list {
-                        field.reset(lid);
-                        updated.clear(lid);
-                    }
-                } else {
-                    for &p in &updated_pos {
-                        field.reset(list[p as usize]);
-                        updated.clear(list[p as usize]);
-                    }
-                }
             }
-            seg.stage(Stage::Send, Some(h));
-            self.comm
-                .transport()
-                .try_send(h, sync_tag(seq, pat), payload)?;
+            self.finish_send_peer::<F>(
+                seq,
+                pat,
+                role,
+                field_name,
+                temporal,
+                h,
+                list,
+                &mut fa.peers[h],
+                field,
+                updated,
+                seg,
+            )?;
         }
         Ok(())
     }
@@ -895,9 +974,10 @@ impl<'a, T: Transport + ?Sized> GluonContext<'a, T> {
         field: &mut F,
         updated: &mut DenseBitset,
         seg: &mut Segmenter,
+        fa: &mut FieldArena<F::Value>,
     ) -> Result<(), SyncError> {
         if self.pool.is_parallel() {
-            return self.recv_pattern_par(seq, pat, role, filter_idx, field, updated, seg);
+            return self.recv_pattern_par(seq, pat, role, filter_idx, field, updated, seg, fa);
         }
         let rank = self.rank();
         let temporal = self.opts.temporal;
@@ -918,91 +998,34 @@ impl<'a, T: Transport + ?Sized> GluonContext<'a, T> {
             }
             seg.stage(Stage::RecvWait, Some(h));
             let payload = self.comm.transport().try_recv(h, sync_tag(seq, pat))?;
+            let PeerScratch { dec, entries, .. } = &mut fa.peers[h];
             if seg.enabled() {
-                // Traced path: decode into a scratch list first so the
-                // decode and apply stages get separate spans; the untraced
-                // path below fuses them to keep the hot loop allocation-free.
+                // Traced path: decode into the peer's staging list first so
+                // the decode and apply stages get separate spans; the
+                // untraced path below fuses them into one pass.
                 seg.stage(Stage::Decode, Some(h));
+                if let Err(e) =
+                    decode_into_entries::<F::Value>(temporal, graph, &payload, list, dec, entries)
+                {
+                    return Err(self.decode_failed(h, payload.len(), e));
+                }
+                seg.stage(Stage::Apply, Some(h));
                 match role {
                     PatternRole::MirrorToMaster => {
-                        if temporal {
-                            let mut entries: Vec<(usize, F::Value)> = Vec::new();
-                            let res =
-                                decode_memoized::<F::Value>(&payload, list.len(), &mut |pos, v| {
-                                    entries.push((pos, v));
-                                });
-                            if let Err(e) = res {
-                                return Err(self.decode_failed(h, payload.len(), e));
-                            }
-                            seg.stage(Stage::Apply, Some(h));
-                            for (pos, v) in entries {
-                                let lid = list[pos];
-                                if field.reduce(lid, v) {
-                                    updated.set(lid);
-                                }
-                            }
-                        } else {
-                            let mut entries: Vec<(Gid, F::Value)> = Vec::new();
-                            let res = decode_gid_values::<F::Value>(&payload, &mut |gid, v| {
-                                entries.push((gid, v));
-                            });
-                            if let Err(e) = res {
-                                return Err(self.decode_failed(h, payload.len(), e));
-                            }
-                            seg.stage(Stage::Apply, Some(h));
-                            for (gid, v) in entries {
-                                let Some(lid) = graph.lid(gid) else {
-                                    return Err(self.decode_failed(
-                                        h,
-                                        payload.len(),
-                                        DecodeError::UnknownGid(gid.0),
-                                    ));
-                                };
-                                if field.reduce(lid, v) {
-                                    updated.set(lid);
-                                }
+                        for &(lid, v) in entries.iter() {
+                            if field.reduce(lid, v) {
+                                updated.set(lid);
                             }
                         }
                     }
                     PatternRole::MasterToMirror => {
-                        if temporal {
-                            let mut entries: Vec<(usize, F::Value)> = Vec::new();
-                            let res =
-                                decode_memoized::<F::Value>(&payload, list.len(), &mut |pos, v| {
-                                    entries.push((pos, v));
-                                });
-                            if let Err(e) = res {
-                                return Err(self.decode_failed(h, payload.len(), e));
-                            }
-                            seg.stage(Stage::Apply, Some(h));
-                            for (pos, v) in entries {
-                                let lid = list[pos];
-                                field.set(lid, v);
-                                updated.set(lid);
-                            }
-                        } else {
-                            let mut entries: Vec<(Gid, F::Value)> = Vec::new();
-                            let res = decode_gid_values::<F::Value>(&payload, &mut |gid, v| {
-                                entries.push((gid, v));
-                            });
-                            if let Err(e) = res {
-                                return Err(self.decode_failed(h, payload.len(), e));
-                            }
-                            seg.stage(Stage::Apply, Some(h));
-                            for (gid, v) in entries {
-                                let Some(lid) = graph.lid(gid) else {
-                                    return Err(self.decode_failed(
-                                        h,
-                                        payload.len(),
-                                        DecodeError::UnknownGid(gid.0),
-                                    ));
-                                };
-                                field.set(lid, v);
-                                updated.set(lid);
-                            }
+                        for &(lid, v) in entries.iter() {
+                            field.set(lid, v);
+                            updated.set(lid);
                         }
                     }
                 }
+                entries.clear();
                 continue;
             }
             // Untraced path: fuse decode and apply to keep the hot loop
@@ -1016,12 +1039,17 @@ impl<'a, T: Transport + ?Sized> GluonContext<'a, T> {
                 PatternRole::MirrorToMaster => {
                     // I am the master side: combine partial values.
                     if temporal {
-                        decode_memoized::<F::Value>(&payload, list.len(), &mut |pos, v| {
-                            let lid = list[pos];
-                            if field.reduce(lid, v) {
-                                updated.set(lid);
-                            }
-                        })
+                        decode_memoized_scratch::<F::Value>(
+                            &payload,
+                            list.len(),
+                            dec,
+                            &mut |pos, v| {
+                                let lid = list[pos];
+                                if field.reduce(lid, v) {
+                                    updated.set(lid);
+                                }
+                            },
+                        )
                     } else {
                         decode_gid_values::<F::Value>(&payload, &mut |gid, v| {
                             if bad_gid.is_some() {
@@ -1047,11 +1075,16 @@ impl<'a, T: Transport + ?Sized> GluonContext<'a, T> {
                     // out-edges still have to see the value, so the
                     // broadcast must re-activate it.
                     if temporal {
-                        decode_memoized::<F::Value>(&payload, list.len(), &mut |pos, v| {
-                            let lid = list[pos];
-                            field.set(lid, v);
-                            updated.set(lid);
-                        })
+                        decode_memoized_scratch::<F::Value>(
+                            &payload,
+                            list.len(),
+                            dec,
+                            &mut |pos, v| {
+                                let lid = list[pos];
+                                field.set(lid, v);
+                                updated.set(lid);
+                            },
+                        )
                     } else {
                         decode_gid_values::<F::Value>(&payload, &mut |gid, v| {
                             if bad_gid.is_some() {
@@ -1081,10 +1114,11 @@ impl<'a, T: Transport + ?Sized> GluonContext<'a, T> {
 
     /// Parallel receive side: payloads are collected from peers in rank
     /// order (receive order is fixed by the protocol, not by the pool),
-    /// decoded concurrently into per-peer `(lid, value)` staging buffers,
-    /// then applied sequentially in rank order — the same combination
-    /// order as the sequential path, so reductions over non-associative
-    /// values (floats) stay bit-identical at any thread count.
+    /// decoded concurrently into the per-peer `(lid, value)` staging of
+    /// the field's arena, then applied sequentially in rank order — the
+    /// same combination order as the sequential path, so reductions over
+    /// non-associative values (floats) stay bit-identical at any thread
+    /// count.
     #[allow(clippy::too_many_arguments)]
     fn recv_pattern_par<F: FieldSync>(
         &mut self,
@@ -1095,6 +1129,7 @@ impl<'a, T: Transport + ?Sized> GluonContext<'a, T> {
         field: &mut F,
         updated: &mut DenseBitset,
         seg: &mut Segmenter,
+        fa: &mut FieldArena<F::Value>,
     ) -> Result<(), SyncError> {
         let rank = self.rank();
         let n = self.world_size();
@@ -1103,71 +1138,237 @@ impl<'a, T: Transport + ?Sized> GluonContext<'a, T> {
             PatternRole::MirrorToMaster => &self.master_lists[filter_idx],
             PatternRole::MasterToMirror => &self.mirror_lists[filter_idx],
         };
-        let mut payloads: Vec<Option<bytes::Bytes>> = vec![None; n];
-        for h in 0..n {
-            if h == rank || lists[h].is_empty() {
+        for (h, list) in lists.iter().enumerate().take(n) {
+            if h == rank || list.is_empty() {
                 continue;
             }
             seg.stage(Stage::RecvWait, Some(h));
-            payloads[h] = Some(self.comm.transport().try_recv(h, sync_tag(seq, pat))?);
+            fa.peers[h].payload = Some(self.comm.transport().try_recv(h, sync_tag(seq, pat))?);
         }
         seg.stage(Stage::Decode, None);
         let graph = self.graph;
-        let decoded: Vec<DecodedBatch<F::Value>> = self.pool.map_per(n, |h| {
-            let Some(payload) = &payloads[h] else {
-                return Ok(Vec::new());
+        self.pool.for_each_scratch(&mut fa.peers, |h, ps| {
+            let PeerScratch {
+                payload,
+                dec,
+                entries,
+                decode_err,
+                ..
+            } = ps;
+            *decode_err = None;
+            let Some(payload) = payload.as_ref() else {
+                return;
             };
-            let list: &[Lid] = &lists[h];
-            let mut entries: Vec<(Lid, F::Value)> = Vec::new();
-            if temporal {
-                decode_memoized::<F::Value>(payload, list.len(), &mut |pos, v| {
-                    entries.push((list[pos], v));
-                })?;
-            } else {
-                let mut bad_gid: Option<Gid> = None;
-                decode_gid_values::<F::Value>(payload, &mut |gid, v| {
-                    if bad_gid.is_some() {
-                        return;
-                    }
-                    match graph.lid(gid) {
-                        Some(lid) => entries.push((lid, v)),
-                        None => bad_gid = Some(gid),
-                    }
-                })?;
-                if let Some(g) = bad_gid {
-                    return Err(DecodeError::UnknownGid(g.0));
-                }
-            }
-            Ok(entries)
+            *decode_err =
+                decode_into_entries::<F::Value>(temporal, graph, payload, &lists[h], dec, entries)
+                    .err();
         });
         seg.stage(Stage::Apply, None);
         // Apply in rank order; the first malformed payload in rank order
         // wins, so the surfaced error does not depend on worker scheduling.
-        for (h, entries) in decoded.into_iter().enumerate() {
-            let entries = match entries {
-                Ok(entries) => entries,
-                Err(e) => {
-                    let len = payloads[h].as_ref().map_or(0, |p| p.len());
-                    return Err(self.decode_failed(h, len, e));
-                }
-            };
+        for h in 0..n {
+            let ps = &mut fa.peers[h];
+            if let Some(e) = ps.decode_err.take() {
+                let len = ps.payload.as_ref().map_or(0, |p| p.len());
+                return Err(self.decode_failed(h, len, e));
+            }
+            if ps.payload.is_none() {
+                continue;
+            }
             match role {
                 PatternRole::MirrorToMaster => {
-                    for (lid, v) in entries {
+                    for &(lid, v) in ps.entries.iter() {
                         if field.reduce(lid, v) {
                             updated.set(lid);
                         }
                     }
                 }
                 PatternRole::MasterToMirror => {
-                    for (lid, v) in entries {
+                    for &(lid, v) in ps.entries.iter() {
                         field.set(lid, v);
                         updated.set(lid);
                     }
                 }
             }
+            ps.entries.clear();
+            // Dropping our handle is what lets the sender's slot recycle
+            // this buffer next round.
+            ps.payload = None;
         }
         Ok(())
+    }
+}
+
+/// Scans the dirty set and builds one peer's wire payload into that
+/// peer's arena scratch, recycling any buffer in the pattern's send-slot
+/// ring to which this host holds the only remaining handle. Leaves the
+/// finished payload in `ps.payload` (with a retained twin in the ring)
+/// and records hit/miss in `ps.recycled`.
+///
+/// Free function (not a method) so the parallel path can run it from pool
+/// workers while `self` stays immutably shared; `stage` is the segmenter
+/// hook — a no-op closure in workers, where per-peer wall-clock
+/// attribution would be meaningless.
+#[allow(clippy::too_many_arguments)]
+fn prepare_send_peer<F: FieldSync>(
+    graph: &LocalGraph,
+    temporal: bool,
+    compress: bool,
+    pat: u32,
+    list: &[Lid],
+    field: &F,
+    updated: &DenseBitset,
+    ps: &mut PeerScratch<F::Value>,
+    prewarm: bool,
+    stage: &mut impl FnMut(Stage),
+) {
+    let PeerScratch {
+        updated_pos,
+        enc,
+        gid_pairs,
+        send_slots,
+        payload,
+        recycled,
+        ..
+    } = ps;
+    stage(Stage::Extract);
+    updated_pos.clear();
+    for (i, &lid) in list.iter().enumerate() {
+        if updated.test(lid) {
+            updated_pos.push(i as u32);
+        }
+    }
+    let ring = &mut send_slots[pat as usize];
+    let reuse = ring
+        .iter_mut()
+        .position(|b| b.try_unique_vec().is_some())
+        .map(|i| ring.swap_remove(i));
+    *recycled = reuse.is_some();
+    let bytes = match reuse {
+        Some(mut bytes) => {
+            let out = bytes
+                .try_unique_vec()
+                .expect("buffer uniqueness cannot be lost while we hold the sole handle");
+            fill_payload::<F>(
+                graph,
+                temporal,
+                compress,
+                list,
+                field,
+                updated_pos,
+                enc,
+                gid_pairs,
+                out,
+                stage,
+            );
+            bytes
+        }
+        None => {
+            // Every pooled buffer is still held by a consumer (a lagging
+            // peer, a history log) — or the ring is empty (warm-up).
+            // Build into a fresh buffer and let the ring deepen to the
+            // observed in-flight depth. Same bytes either way.
+            let mut out = Vec::new();
+            fill_payload::<F>(
+                graph,
+                temporal,
+                compress,
+                list,
+                field,
+                updated_pos,
+                enc,
+                gid_pairs,
+                &mut out,
+                stage,
+            );
+            if prewarm {
+                // Consumers can drift deeper only after warm-up, when an
+                // allocation would break the steady-state contract — so
+                // the depth is paid now: fill the ring to cap with
+                // standby buffers at the payload's capacity.
+                while ring.len() < SLOT_RING_CAP - 1 {
+                    ring.push(Bytes::from(Vec::with_capacity(out.capacity())));
+                }
+            } else if ring.len() == SLOT_RING_CAP {
+                ring.remove(0);
+            }
+            Bytes::from(out)
+        }
+    };
+    ring.push(bytes.clone());
+    *payload = Some(bytes);
+}
+
+/// Encodes one peer's update batch into `out` (cleared first): the
+/// memoized positional encoding under temporal invariance, the explicit
+/// global-ID encoding otherwise — the cost §4.1 memoizes away.
+#[allow(clippy::too_many_arguments)]
+fn fill_payload<F: FieldSync>(
+    graph: &LocalGraph,
+    temporal: bool,
+    compress: bool,
+    list: &[Lid],
+    field: &F,
+    updated_pos: &[u32],
+    enc: &mut EncodeScratch,
+    gid_pairs: &mut Vec<(Gid, F::Value)>,
+    out: &mut Vec<u8>,
+    stage: &mut impl FnMut(Stage),
+) {
+    if temporal {
+        stage(Stage::Encode);
+        encode_memoized_into(
+            list.len(),
+            updated_pos,
+            |p| field.extract(list[p]),
+            compress,
+            enc,
+            out,
+        );
+    } else {
+        stage(Stage::MemoTranslate);
+        gid_pairs.clear();
+        gid_pairs.extend(updated_pos.iter().map(|&p| {
+            let lid = list[p as usize];
+            (graph.gid(lid), field.extract(lid))
+        }));
+        stage(Stage::Encode);
+        encode_gid_values_into(gid_pairs, out);
+    }
+}
+
+/// Decodes one peer's payload into `(lid, value)` staging entries
+/// (cleared first), translating memoized positions — or, without temporal
+/// invariance, global IDs — to local IDs. Shared by the traced sequential
+/// path and the parallel decode workers so both surface identical errors.
+fn decode_into_entries<V: SyncValue>(
+    temporal: bool,
+    graph: &LocalGraph,
+    payload: &[u8],
+    list: &[Lid],
+    dec: &mut DecodeScratch,
+    entries: &mut Vec<(Lid, V)>,
+) -> Result<(), DecodeError> {
+    entries.clear();
+    if temporal {
+        decode_memoized_scratch::<V>(payload, list.len(), dec, &mut |pos, v| {
+            entries.push((list[pos], v));
+        })
+    } else {
+        let mut bad_gid: Option<Gid> = None;
+        decode_gid_values::<V>(payload, &mut |gid, v| {
+            if bad_gid.is_some() {
+                return;
+            }
+            match graph.lid(gid) {
+                Some(lid) => entries.push((lid, v)),
+                None => bad_gid = Some(gid),
+            }
+        })?;
+        match bad_gid {
+            Some(g) => Err(DecodeError::UnknownGid(g.0)),
+            None => Ok(()),
+        }
     }
 }
 

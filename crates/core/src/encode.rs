@@ -48,7 +48,7 @@
 //! process, not from the wire.
 
 use crate::value::SyncValue;
-use bytes::{BufMut, Bytes, BytesMut};
+use bytes::{BufMut, Bytes};
 use gluon_graph::Gid;
 use std::fmt;
 
@@ -212,7 +212,7 @@ fn varint_len(x: u64) -> usize {
     ((64 - x.leading_zeros()).max(1) as usize).div_ceil(7)
 }
 
-fn put_varint(buf: &mut BytesMut, mut x: u64) {
+fn put_varint<B: BufMut>(buf: &mut B, mut x: u64) {
     loop {
         let b = (x & 0x7f) as u8;
         x >>= 7;
@@ -257,7 +257,16 @@ fn delta_meta_bytes(updated: &[u32]) -> usize {
 /// set, …]`, starting with the (possibly zero) unset prefix and ending
 /// with the final set run. The implicit unset tail is not encoded.
 fn runs_of(updated: &[u32]) -> Vec<u64> {
-    let mut runs = vec![updated[0] as u64];
+    let mut runs = Vec::new();
+    runs_of_into(updated, &mut runs);
+    runs
+}
+
+/// As [`runs_of`], writing into a reusable buffer (cleared first) so the
+/// steady-state encode path performs no allocation.
+fn runs_of_into(updated: &[u32], runs: &mut Vec<u64>) {
+    runs.clear();
+    runs.push(updated[0] as u64);
     let mut set_len = 1u64;
     for w in updated.windows(2) {
         if w[1] == w[0] + 1 {
@@ -269,7 +278,6 @@ fn runs_of(updated: &[u32]) -> Vec<u64> {
         }
     }
     runs.push(set_len);
-    runs
 }
 
 /// Exact metadata bytes of the run-length layout (varint run count + each
@@ -285,8 +293,8 @@ fn run_meta_bytes(runs: &[u64]) -> usize {
 /// baseline that [`crate::OptLevel::without_compression`] selects.
 ///
 /// The adaptive selector picks the minimum size from exactly this list
-/// (ties resolve to the highest mode byte), so a test can verify the
-/// choice was optimal by recomputing it.
+/// (ties resolve to the earliest candidate, as `min_by_key` does), so a
+/// test can verify the choice was optimal by recomputing it.
 pub fn candidate_sizes<V: SyncValue>(
     list_len: usize,
     updated: &[u32],
@@ -313,81 +321,143 @@ pub fn candidate_sizes<V: SyncValue>(
     out
 }
 
-/// Builds the payload for one specific (non-empty, memoized) mode.
-/// `vals` is the packed wire bytes of the updated values, in position
-/// order.
-fn assemble<V: SyncValue>(
+/// The adaptive selection of [`candidate_sizes`] without materializing the
+/// candidate list — the steady-state encode path must not allocate. `runs`
+/// is the precomputed [`runs_of`] buffer (unused unless `compress` admits
+/// the run-length candidates). Ties resolve exactly as
+/// `candidate_sizes(..).min_by_key(size)` does: the *earliest* candidate
+/// in the fixed order wins (`min_by_key` keeps the first minimum).
+fn select_mode<V: SyncValue>(
+    list_len: usize,
+    updated: &[u32],
+    values_identical: bool,
+    compress: bool,
+    runs: &[u64],
+) -> (WireMode, usize) {
+    let v = V::WIRE_BYTES;
+    let k = updated.len();
+    let mut best = (WireMode::Dense, 1 + list_len * v);
+    let mut consider = |m: WireMode, s: usize| {
+        if s < best.1 {
+            best = (m, s);
+        }
+    };
+    consider(WireMode::Bitvec, 1 + list_len.div_ceil(8) + k * v);
+    consider(WireMode::Indices, 1 + 4 + k * 4 + k * v);
+    if compress && k > 0 {
+        let dmeta = delta_meta_bytes(updated);
+        let rmeta = run_meta_bytes(runs);
+        consider(WireMode::IndicesDelta, 1 + dmeta + k * v);
+        consider(WireMode::RunLength, 1 + rmeta + k * v);
+        if values_identical {
+            consider(WireMode::SameIndicesDelta, 1 + dmeta + v);
+            consider(WireMode::SameRunLength, 1 + rmeta + v);
+        }
+    }
+    best
+}
+
+/// Reusable scratch for [`encode_memoized_into`]: the packed value bytes,
+/// the bit-vector, and the run-length buffer every encode needs. Sized by
+/// high-water mark — after a warm-up round the sync arena's per-peer
+/// scratch never grows again (the paper's temporal invariance applied to
+/// memory: stable partitioning means stable buffer shapes).
+#[derive(Clone, Debug, Default)]
+pub struct EncodeScratch {
+    /// Packed wire bytes of the updated values, in position order.
+    vals: Vec<u8>,
+    /// Bit-vector workspace for [`WireMode::Bitvec`].
+    bits: Vec<u8>,
+    /// Alternating run lengths for the run-length modes.
+    runs: Vec<u64>,
+}
+
+impl EncodeScratch {
+    /// Current high-water footprint of the scratch buffers, in bytes.
+    pub fn capacity_bytes(&self) -> usize {
+        self.vals.capacity() + self.bits.capacity() + self.runs.capacity() * 8
+    }
+}
+
+/// Builds the payload for one specific (non-empty, memoized) mode into
+/// `out`. `scratch.vals` holds the packed wire bytes of the updated
+/// values, in position order; `scratch.runs` the precomputed run lengths
+/// (run-length modes only).
+fn assemble_into<V: SyncValue>(
     mode: WireMode,
     list_len: usize,
     updated: &[u32],
-    vals: &[u8],
+    scratch: &mut EncodeScratch,
     value_at: &impl Fn(usize) -> V,
-    capacity: usize,
-) -> Bytes {
+    out: &mut Vec<u8>,
+) {
     let v = V::WIRE_BYTES;
     let k = updated.len();
-    let mut buf = BytesMut::with_capacity(capacity);
-    buf.put_u8(mode as u8);
+    out.put_u8(mode as u8);
     match mode {
         WireMode::Dense => {
             for pos in 0..list_len {
-                value_at(pos).write_to(&mut buf);
+                value_at(pos).write_to(out);
             }
         }
         WireMode::Bitvec => {
-            let mut bits = vec![0u8; list_len.div_ceil(8)];
+            scratch.bits.clear();
+            scratch.bits.resize(list_len.div_ceil(8), 0);
             for &p in updated {
-                bits[p as usize / 8] |= 1 << (p % 8);
+                scratch.bits[p as usize / 8] |= 1 << (p % 8);
             }
-            buf.put_slice(&bits);
-            buf.put_slice(vals);
+            out.put_slice(&scratch.bits);
+            out.put_slice(&scratch.vals);
         }
         WireMode::Indices => {
-            buf.put_u32_le(k as u32);
+            out.put_u32_le(k as u32);
             for &p in updated {
-                buf.put_u32_le(p);
+                out.put_u32_le(p);
             }
-            buf.put_slice(vals);
+            out.put_slice(&scratch.vals);
         }
         WireMode::IndicesDelta | WireMode::SameIndicesDelta => {
-            put_varint(&mut buf, k as u64);
-            put_varint(&mut buf, updated[0] as u64);
+            put_varint(out, k as u64);
+            put_varint(out, updated[0] as u64);
             for w in updated.windows(2) {
-                put_varint(&mut buf, (w[1] - w[0] - 1) as u64);
+                put_varint(out, (w[1] - w[0] - 1) as u64);
             }
             if mode == WireMode::SameIndicesDelta {
-                buf.put_slice(&vals[..v]);
+                out.put_slice(&scratch.vals[..v]);
             } else {
-                buf.put_slice(vals);
+                out.put_slice(&scratch.vals);
             }
         }
         WireMode::RunLength | WireMode::SameRunLength => {
-            let runs = runs_of(updated);
-            put_varint(&mut buf, runs.len() as u64);
-            for &r in &runs {
-                put_varint(&mut buf, r);
+            put_varint(out, scratch.runs.len() as u64);
+            for i in 0..scratch.runs.len() {
+                put_varint(out, scratch.runs[i]);
             }
             if mode == WireMode::SameRunLength {
-                buf.put_slice(&vals[..v]);
+                out.put_slice(&scratch.vals[..v]);
             } else {
-                buf.put_slice(vals);
+                out.put_slice(&scratch.vals);
             }
         }
         WireMode::Empty | WireMode::GidValues => unreachable!("not assembled here"),
     }
-    buf.freeze()
 }
 
-/// Packs the wire bytes of every updated value, in position order, and
-/// reports whether they are all byte-identical.
-fn pack_values<V: SyncValue>(updated: &[u32], value_at: &impl Fn(usize) -> V) -> (BytesMut, bool) {
+/// Packs the wire bytes of every updated value into `scratch.vals`, in
+/// position order, and reports whether they are all byte-identical.
+fn pack_values_into<V: SyncValue>(
+    updated: &[u32],
+    value_at: &impl Fn(usize) -> V,
+    scratch: &mut EncodeScratch,
+) -> bool {
     let v = V::WIRE_BYTES;
-    let mut vals = BytesMut::with_capacity(updated.len() * v);
+    scratch.vals.clear();
+    scratch.vals.reserve(updated.len() * v);
     for &p in updated {
-        value_at(p as usize).write_to(&mut vals);
+        value_at(p as usize).write_to(&mut scratch.vals);
     }
-    let same = vals.chunks_exact(v).skip(1).all(|c| c == &vals[..v]);
-    (vals, same)
+    let (first, rest) = scratch.vals.split_at(v.min(scratch.vals.len()));
+    rest.chunks_exact(v).all(|c| c == first)
 }
 
 /// Encodes the update set `updated` (sorted positions into the agreed list
@@ -434,22 +504,55 @@ pub fn encode_memoized_with<V: SyncValue>(
     value_at: impl Fn(usize) -> V,
     compress: bool,
 ) -> Bytes {
+    let mut scratch = EncodeScratch::default();
+    let mut out = Vec::new();
+    encode_memoized_into(
+        list_len,
+        updated,
+        value_at,
+        compress,
+        &mut scratch,
+        &mut out,
+    );
+    Bytes::from(out)
+}
+
+/// As [`encode_memoized_with`], writing the payload into a caller-owned
+/// buffer (cleared first) with caller-owned scratch — the allocation-free
+/// entry point the sync arena uses. After a warm-up pass has grown
+/// `scratch` and `out` to their high-water capacities, further calls with
+/// the same shapes perform no heap allocation. The payload bytes are
+/// identical to [`encode_memoized_with`] in every case.
+///
+/// # Panics
+///
+/// As [`encode_memoized`].
+pub fn encode_memoized_into<V: SyncValue>(
+    list_len: usize,
+    updated: &[u32],
+    value_at: impl Fn(usize) -> V,
+    compress: bool,
+    scratch: &mut EncodeScratch,
+    out: &mut Vec<u8>,
+) {
     debug_assert!(updated.windows(2).all(|w| w[0] < w[1]), "positions sorted");
     assert!(
         updated.last().is_none_or(|&p| (p as usize) < list_len),
         "update position out of list range"
     );
+    out.clear();
     if updated.is_empty() {
-        return Bytes::from_static(&[WireMode::Empty as u8]);
+        out.put_u8(WireMode::Empty as u8);
+        return;
     }
-    let (vals, same) = pack_values(updated, &value_at);
-    let (mode, size) = candidate_sizes::<V>(list_len, updated, same, compress)
-        .into_iter()
-        .min_by_key(|&(_, s)| s)
-        .expect("at least three candidate modes");
-    let out = assemble(mode, list_len, updated, &vals, &value_at, size);
+    let same = pack_values_into(updated, &value_at, scratch);
+    if compress {
+        runs_of_into(updated, &mut scratch.runs);
+    }
+    let (mode, size) = select_mode::<V>(list_len, updated, same, compress, &scratch.runs);
+    out.reserve(size);
+    assemble_into(mode, list_len, updated, scratch, &value_at, out);
     debug_assert_eq!(out.len(), size);
-    out
 }
 
 /// Builds the payload for one *forced* wire mode, bypassing the adaptive
@@ -482,7 +585,8 @@ pub fn encode_memoized_as<V: SyncValue>(
     if updated.is_empty() || mode == WireMode::GidValues {
         return None;
     }
-    let (vals, same) = pack_values(updated, &value_at);
+    let mut scratch = EncodeScratch::default();
+    let same = pack_values_into(updated, &value_at, &mut scratch);
     if matches!(mode, WireMode::SameIndicesDelta | WireMode::SameRunLength) && !same {
         return None;
     }
@@ -490,7 +594,10 @@ pub fn encode_memoized_as<V: SyncValue>(
         .into_iter()
         .find(|&(m, _)| m == mode)
         .map(|(_, s)| s)?;
-    Some(assemble(mode, list_len, updated, &vals, &value_at, size))
+    runs_of_into(updated, &mut scratch.runs);
+    let mut out = Vec::with_capacity(size);
+    assemble_into(mode, list_len, updated, &mut scratch, &value_at, &mut out);
+    Some(Bytes::from(out))
 }
 
 /// Decodes a payload produced by [`encode_memoized`], calling
@@ -506,6 +613,41 @@ pub fn encode_memoized_as<V: SyncValue>(
 pub fn decode_memoized<V: SyncValue>(
     payload: &[u8],
     list_len: usize,
+    apply: &mut impl FnMut(usize, V),
+) -> Result<(), DecodeError> {
+    decode_memoized_scratch(payload, list_len, &mut DecodeScratch::default(), apply)
+}
+
+/// Reusable scratch for [`decode_memoized_scratch`]: the position and run
+/// buffers the delta-coded and run-length layouts validate into before
+/// applying any value. Sized by high-water mark, like [`EncodeScratch`].
+#[derive(Clone, Debug, Default)]
+pub struct DecodeScratch {
+    /// Decoded positions of an `IndicesDelta`-family payload.
+    positions: Vec<usize>,
+    /// Decoded `(start, end)` set runs of a `RunLength`-family payload.
+    set_ranges: Vec<(usize, usize)>,
+}
+
+impl DecodeScratch {
+    /// Current high-water footprint of the scratch buffers, in bytes.
+    pub fn capacity_bytes(&self) -> usize {
+        self.positions.capacity() * std::mem::size_of::<usize>()
+            + self.set_ranges.capacity() * std::mem::size_of::<(usize, usize)>()
+    }
+}
+
+/// As [`decode_memoized`], with caller-owned scratch — the
+/// allocation-free entry point the sync arena uses. Decoding behavior and
+/// errors are identical in every case.
+///
+/// # Errors
+///
+/// As [`decode_memoized`].
+pub fn decode_memoized_scratch<V: SyncValue>(
+    payload: &[u8],
+    list_len: usize,
+    scratch: &mut DecodeScratch,
     apply: &mut impl FnMut(usize, V),
 ) -> Result<(), DecodeError> {
     let mode = WireMode::try_of(payload)?;
@@ -604,7 +746,9 @@ pub fn decode_memoized<V: SyncValue>(
                 ));
             }
             let k = k64 as usize;
-            let mut positions = Vec::with_capacity(k);
+            let positions = &mut scratch.positions;
+            positions.clear();
+            positions.reserve(k);
             let mut pos = read_varint(body, &mut cur)?;
             if pos >= list_len as u64 {
                 return Err(DecodeError::IndexOutOfRange { pos, list_len });
@@ -644,7 +788,9 @@ pub fn decode_memoized<V: SyncValue>(
             if n_runs > list_len as u64 + 1 {
                 return Err(DecodeError::Malformed("more runs than list entries"));
             }
-            let mut set_ranges: Vec<(usize, usize)> = Vec::with_capacity(n_runs as usize / 2);
+            let set_ranges = &mut scratch.set_ranges;
+            set_ranges.clear();
+            set_ranges.reserve(n_runs as usize / 2);
             let mut pos = 0u64;
             for i in 0..n_runs {
                 let r = read_varint(body, &mut cur)?;
@@ -673,7 +819,7 @@ pub fn decode_memoized<V: SyncValue>(
                 return Err(DecodeError::TrailingBytes(values.len() - need));
             }
             let mut i = 0usize;
-            for &(s, e) in &set_ranges {
+            for &(s, e) in set_ranges.iter() {
                 for p in s..e {
                     let off = if same { 0 } else { i * v };
                     apply(p, V::read_from(&values[off..]));
@@ -689,13 +835,22 @@ pub fn decode_memoized<V: SyncValue>(
 /// Encodes `(global-ID, value)` pairs — the non-memoized wire format that
 /// UNOPT/OSI use (and that systems like PowerGraph and Gemini always use).
 pub fn encode_gid_values<V: SyncValue>(pairs: &[(Gid, V)]) -> Bytes {
-    let mut buf = BytesMut::with_capacity(1 + pairs.len() * (4 + V::WIRE_BYTES));
-    buf.put_u8(WireMode::GidValues as u8);
+    let mut out = Vec::new();
+    encode_gid_values_into(pairs, &mut out);
+    Bytes::from(out)
+}
+
+/// As [`encode_gid_values`], writing into a caller-owned buffer (cleared
+/// first) so the steady-state non-memoized path performs no allocation
+/// once the buffer reached its high-water capacity.
+pub fn encode_gid_values_into<V: SyncValue>(pairs: &[(Gid, V)], out: &mut Vec<u8>) {
+    out.clear();
+    out.reserve(1 + pairs.len() * (4 + V::WIRE_BYTES));
+    out.put_u8(WireMode::GidValues as u8);
     for &(gid, v) in pairs {
-        buf.put_u32_le(gid.0);
-        v.write_to(&mut buf);
+        out.put_u32_le(gid.0);
+        v.write_to(out);
     }
-    buf.freeze()
 }
 
 /// Decodes a payload produced by [`encode_gid_values`].
@@ -728,6 +883,7 @@ pub fn decode_gid_values<V: SyncValue>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use bytes::BytesMut;
 
     fn round_trip(list_len: usize, updated: &[u32]) -> (WireMode, Vec<(usize, u32)>) {
         let value_at = |p: usize| (p as u32 + 1) * 11;

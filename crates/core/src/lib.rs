@@ -79,6 +79,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod arena;
 mod bitset;
 mod comm_tags;
 mod context;
@@ -89,6 +90,7 @@ mod opts;
 mod stats;
 mod value;
 
+pub use arena::{SyncArena, ARENA_WARMUP_ROUNDS};
 pub use bitset::{DenseBitset, Iter as BitsetIter};
 pub use context::{GluonContext, ReadLocation, SyncError, SyncSpec, WriteLocation};
 pub use encode::DecodeError;

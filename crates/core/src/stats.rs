@@ -51,6 +51,14 @@ pub struct SyncStats {
     /// incident also surfaced as a `SyncError::Decode` from the sync call
     /// that hit it.
     pub decode_errors: u64,
+    /// Heap allocations observed inside sync rounds after the arena
+    /// warm-up. Stays 0 unless the `alloc-meter` feature is enabled *and*
+    /// the process installed `gluon_meter::CountingAlloc` as its global
+    /// allocator; the counters are process-wide, so the number is only
+    /// attributable to this host's sync path when nothing else allocates
+    /// concurrently. Zero is the steady-state contract the allocation
+    /// guard test asserts.
+    pub steady_state_allocs: u64,
 }
 
 impl SyncStats {

@@ -1,6 +1,6 @@
 //! Fixed-size wire encoding of synchronized label values.
 
-use bytes::{BufMut, BytesMut};
+use bytes::BufMut;
 
 /// A node-label value that Gluon can put on the wire.
 ///
@@ -15,7 +15,7 @@ pub trait SyncValue: Copy + PartialEq + Send + Sync + std::fmt::Debug + 'static 
     const WIRE_BYTES: usize;
 
     /// Appends the encoding of `self` to `buf`.
-    fn write_to(self, buf: &mut BytesMut);
+    fn write_to<B: BufMut>(self, buf: &mut B);
 
     /// Decodes a value from the first [`SyncValue::WIRE_BYTES`] bytes of
     /// `raw`.
@@ -31,7 +31,7 @@ macro_rules! int_sync_value {
         impl SyncValue for $ty {
             const WIRE_BYTES: usize = $bytes;
 
-            fn write_to(self, buf: &mut BytesMut) {
+            fn write_to<B: BufMut>(self, buf: &mut B) {
                 buf.put_slice(&self.to_le_bytes());
             }
 
@@ -54,7 +54,7 @@ int_sync_value!(f64, 8);
 impl<A: SyncValue, B: SyncValue> SyncValue for (A, B) {
     const WIRE_BYTES: usize = A::WIRE_BYTES + B::WIRE_BYTES;
 
-    fn write_to(self, buf: &mut BytesMut) {
+    fn write_to<Buf: BufMut>(self, buf: &mut Buf) {
         self.0.write_to(buf);
         self.1.write_to(buf);
     }
@@ -67,6 +67,7 @@ impl<A: SyncValue, B: SyncValue> SyncValue for (A, B) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use bytes::BytesMut;
 
     fn round_trip<V: SyncValue>(v: V) {
         let mut buf = BytesMut::new();

@@ -36,7 +36,13 @@
 //! Threads are crossbeam-style scoped threads, spawned per call: pool
 //! lifetime management would buy little here (the chunked loops dominate),
 //! and scoped spawning keeps the closures free to borrow the caller's
-//! stack.
+//! stack. For workloads that must not allocate at all (the sync arena's
+//! steady-state guarantee), [`Pool::inline`] builds a pool that keeps the
+//! configured thread count for scheduling and metering — chunk widths,
+//! assignments, and the critical-path meter are exactly those of the
+//! spawning pool — but executes every bucket on the calling thread, so no
+//! spawn-time allocations (closure boxes, join handles) occur. Results are
+//! bit-identical either way; only wall-clock parallelism differs.
 //!
 //! # Examples
 //!
@@ -121,6 +127,7 @@ impl WorkSplit {
 #[derive(Clone, Debug)]
 pub struct Pool {
     threads: usize,
+    spawn: bool,
     meter: Arc<Mutex<WorkSplit>>,
 }
 
@@ -135,7 +142,22 @@ impl Pool {
     pub fn new(threads: usize) -> Pool {
         Pool {
             threads: threads.max(1),
+            spawn: true,
             meter: Arc::new(Mutex::new(WorkSplit::default())),
+        }
+    }
+
+    /// A pool that schedules and meters as if it had `threads` workers —
+    /// identical chunk widths, identical deterministic assignment,
+    /// identical critical-path accounting — but runs every bucket on the
+    /// calling thread instead of spawning. Scoped thread spawning
+    /// allocates (closure boxes, join state); an inline pool performs no
+    /// allocations of its own, which is what the allocation-metering
+    /// guard measures against.
+    pub fn inline(threads: usize) -> Pool {
+        Pool {
+            spawn: false,
+            ..Pool::new(threads)
         }
     }
 
@@ -152,6 +174,12 @@ impl Pool {
     /// Whether more than one worker is configured.
     pub fn is_parallel(&self) -> bool {
         self.threads > 1
+    }
+
+    /// Whether this pool actually spawns OS threads (false for
+    /// [`Pool::inline`] pools).
+    pub fn spawns(&self) -> bool {
+        self.spawn
     }
 
     /// Returns and resets the work metered since the last drain.
@@ -217,7 +245,7 @@ impl Pool {
         let num_chunks = len.div_ceil(chunk_width(len));
         let weights: Vec<u64> = Self::chunk_ranges(len).map(weight).collect();
         let buckets = self.assign(&weights);
-        if !self.is_parallel() || num_chunks <= 1 {
+        if !self.spawn || !self.is_parallel() || num_chunks <= 1 {
             return Self::chunk_ranges(len).map(f).collect();
         }
         let width = chunk_width(len);
@@ -293,7 +321,7 @@ impl Pool {
         let num_chunks = len.div_ceil(width);
         let weights: Vec<u64> = Self::chunk_ranges(len).map(weight).collect();
         let buckets = self.assign(&weights);
-        if !self.is_parallel() || num_chunks <= 1 {
+        if !self.spawn || !self.is_parallel() || num_chunks <= 1 {
             return data
                 .chunks_mut(width)
                 .enumerate()
@@ -349,7 +377,7 @@ impl Pool {
     /// fan-outs like per-peer extract/encode in the sync hot path. Not
     /// metered (sync work is accounted as communication, not compute).
     pub fn map_per<R: Send>(&self, n: usize, f: impl Fn(usize) -> R + Sync) -> Vec<R> {
-        if !self.is_parallel() || n <= 1 {
+        if !self.spawn || !self.is_parallel() || n <= 1 {
             return (0..n).map(f).collect();
         }
         let f = &f;
@@ -380,6 +408,49 @@ impl Pool {
             }
         }
         out.into_iter().map(|r| r.expect("index covered")).collect()
+    }
+
+    /// One task per scratch slot: runs `f(i, &mut scratch[i])` for every
+    /// index, handing each worker a contiguous block of slots. Unlike
+    /// [`Pool::map_per`] there is no result vector — workers write their
+    /// output *into* their slots — so a steady-state caller performs no
+    /// allocations of its own (and an [`Pool::inline`] pool none at all).
+    ///
+    /// Determinism: every index writes only its own slot, so the outcome
+    /// is identical to the sequential loop at any thread count and in
+    /// either spawn mode. Not metered (sync work is accounted as
+    /// communication, not compute).
+    pub fn for_each_scratch<S: Send>(&self, scratch: &mut [S], f: impl Fn(usize, &mut S) + Sync) {
+        let n = scratch.len();
+        if !self.spawn || !self.is_parallel() || n <= 1 {
+            for (i, s) in scratch.iter_mut().enumerate() {
+                f(i, s);
+            }
+            return;
+        }
+        let t = self.threads.min(n);
+        let base = n / t;
+        let rem = n % t;
+        let block = |b: usize| base + usize::from(b < rem);
+        let f = &f;
+        crossbeam::thread::scope(|s| {
+            let (mine, mut rest) = scratch.split_at_mut(block(0));
+            let mut start = mine.len();
+            for b in 1..t {
+                let (head, tail) = rest.split_at_mut(block(b));
+                rest = tail;
+                let head_start = start;
+                start += head.len();
+                s.spawn(move || {
+                    for (off, slot) in head.iter_mut().enumerate() {
+                        f(head_start + off, slot);
+                    }
+                });
+            }
+            for (i, slot) in mine.iter_mut().enumerate() {
+                f(i, slot);
+            }
+        });
     }
 }
 
@@ -522,6 +593,39 @@ mod tests {
         let clone = pool.clone();
         let _ = clone.map_chunks(CHUNK, |_| ());
         assert_eq!(pool.metered_work().seq, CHUNK as u64);
+    }
+
+    #[test]
+    fn for_each_scratch_covers_every_slot_in_place() {
+        for t in [1, 3, 4, 7] {
+            let mut scratch = vec![0usize; 13];
+            Pool::new(t).for_each_scratch(&mut scratch, |i, s| *s = i * i);
+            assert_eq!(scratch, (0..13).map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn inline_pool_matches_spawning_pool() {
+        let data: Vec<u64> = (0..(3 * CHUNK as u64)).collect();
+        let run = |pool: Pool| {
+            let total = pool.reduce(data.len(), 0u64, |r| data[r].iter().sum(), |a, b| a + b);
+            (total, pool.drain_work())
+        };
+        let (seq_total, spawned_work) = run(Pool::new(4));
+        let (inline_total, inline_work) = run(Pool::inline(4));
+        assert_eq!(seq_total, inline_total);
+        // Same schedule, same meter: the inline pool charges the identical
+        // critical path even though it never spawned.
+        assert_eq!(spawned_work, inline_work);
+        assert!(Pool::new(4).spawns());
+        assert!(!Pool::inline(4).spawns());
+        assert!(Pool::inline(4).is_parallel());
+
+        let mut a = vec![0usize; 11];
+        let mut b = vec![0usize; 11];
+        Pool::new(4).for_each_scratch(&mut a, |i, s| *s = i + 1);
+        Pool::inline(4).for_each_scratch(&mut b, |i, s| *s = i + 1);
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -1,0 +1,136 @@
+//! `gluon-meter`: a counting global allocator.
+//!
+//! The Gluon sync arena promises *zero heap allocations per steady-state
+//! sync round* (the memory-side consequence of the paper's temporal
+//! invariance: partitioning never changes, so buffer shapes never
+//! change). A promise like that is only worth anything if it is
+//! measured, so this crate wraps the system allocator in atomic counters
+//! and exposes snapshots cheap enough to take around every sync call.
+//!
+//! This is the one crate in the workspace that contains `unsafe` code:
+//! implementing [`GlobalAlloc`] requires it, and the implementation is a
+//! pure pass-through to [`System`] plus relaxed counter bumps. Every
+//! other crate keeps its `#![forbid(unsafe_code)]`.
+//!
+//! The counters only move when a binary *installs* the allocator:
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOC: gluon_meter::CountingAlloc = gluon_meter::CountingAlloc;
+//! ```
+//!
+//! Code that merely *reads* the counters (e.g. `gluon-core` behind its
+//! `alloc-meter` feature) works unconditionally: without the installed
+//! allocator the counters simply stay at zero. The counters are
+//! process-wide, so a measurement window is only attributable to one
+//! actor when nothing else is allocating concurrently — the allocation
+//! guard test serializes itself for exactly this reason.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+static DEALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+static ALLOCATED_BYTES: AtomicU64 = AtomicU64::new(0);
+
+/// A [`System`] pass-through that counts every allocation. Install it
+/// with `#[global_allocator]` in the measuring binary.
+pub struct CountingAlloc;
+
+// SAFETY: every method delegates directly to `System`, which upholds the
+// `GlobalAlloc` contract; the counter updates have no effect on the
+// returned memory.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        ALLOCATED_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        ALLOCATED_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        DEALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        // A realloc is a fresh acquisition of heap space: count it like
+        // an allocation (growth in place still means the round was not
+        // allocation-free).
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        ALLOCATED_BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+/// Heap allocations performed so far (0 unless [`CountingAlloc`] is the
+/// process's global allocator). Reallocations count as allocations.
+pub fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// Heap deallocations performed so far.
+pub fn deallocations() -> u64 {
+    DEALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// Total bytes requested from the allocator so far (monotonic; frees are
+/// not subtracted).
+pub fn allocated_bytes() -> u64 {
+    ALLOCATED_BYTES.load(Ordering::Relaxed)
+}
+
+/// A point-in-time reading of the counters, for delta measurements.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct AllocSnapshot {
+    /// Allocation count at snapshot time.
+    pub allocations: u64,
+    /// Deallocation count at snapshot time.
+    pub deallocations: u64,
+    /// Cumulative requested bytes at snapshot time.
+    pub bytes: u64,
+}
+
+/// Takes a snapshot of the current counters.
+pub fn snapshot() -> AllocSnapshot {
+    AllocSnapshot {
+        allocations: allocations(),
+        deallocations: deallocations(),
+        bytes: allocated_bytes(),
+    }
+}
+
+impl AllocSnapshot {
+    /// Allocations performed since `earlier`.
+    pub fn allocs_since(&self, earlier: &AllocSnapshot) -> u64 {
+        self.allocations - earlier.allocations
+    }
+
+    /// Bytes requested since `earlier`.
+    pub fn bytes_since(&self, earlier: &AllocSnapshot) -> u64 {
+        self.bytes - earlier.bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The test binary does not install the allocator, so the counters
+    // stay flat no matter what the test allocates — which is itself the
+    // documented behavior for non-measuring processes.
+    #[test]
+    fn counters_are_flat_without_installation() {
+        let before = snapshot();
+        let v: Vec<u8> = Vec::with_capacity(4096);
+        drop(v);
+        let after = snapshot();
+        assert_eq!(after.allocs_since(&before), 0);
+        assert_eq!(after.bytes_since(&before), 0);
+    }
+}

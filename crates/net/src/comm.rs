@@ -16,8 +16,16 @@ use crate::error::NetError;
 use crate::transport::Transport;
 use bytes::{BufMut, Bytes, BytesMut};
 use gluon_trace::Tracer;
+use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::time::Instant;
+
+/// Recyclable 8-byte send buffers for the `u64` collectives, one per
+/// (epoch parity, step). Two parities suffice: by the time epoch `e + 2`
+/// reuses a slot, every peer has completed epoch `e + 1`, which it could
+/// only enter after receiving — and dropping — the epoch-`e` payload, so
+/// the slot's buffer is unique again and recycles in place.
+const U64_SLOTS: usize = 2 * 64;
 
 /// First tag reserved for collective-internal traffic.
 pub const COLLECTIVE_TAG_BASE: u32 = 1 << 24;
@@ -63,6 +71,10 @@ pub struct Communicator<'t, T: Transport + ?Sized> {
     transport: &'t T,
     epoch: AtomicU32,
     tracer: Tracer,
+    /// See [`U64_SLOTS`]. Termination detection runs one `u64` all-reduce
+    /// per BSP round, so these tiny buffers would otherwise be a steady
+    /// per-round allocation source.
+    u64_slots: Mutex<Vec<Option<Bytes>>>,
 }
 
 impl<'t, T: Transport + ?Sized> Communicator<'t, T> {
@@ -79,6 +91,7 @@ impl<'t, T: Transport + ?Sized> Communicator<'t, T> {
             transport,
             epoch: AtomicU32::new(0),
             tracer,
+            u64_slots: Mutex::new((0..U64_SLOTS).map(|_| None).collect()),
         }
     }
 
@@ -227,7 +240,30 @@ impl<'t, T: Transport + ?Sized> Communicator<'t, T> {
             .unwrap_or_else(|e| panic!("all-reduce failed: {e}"))
     }
 
+    /// Encodes `value` into the recycled send buffer of this
+    /// (epoch, step) slot, allocating a fresh one only when a consumer
+    /// still holds the previous epoch's buffer.
+    fn u64_payload(&self, epoch: u32, step: u32, value: u64) -> Bytes {
+        let idx = (epoch as usize % 2) * 64 + step as usize;
+        let mut slots = self.u64_slots.lock();
+        let mut bytes = slots[idx].take().unwrap_or_default();
+        match bytes.try_unique_vec() {
+            Some(out) => {
+                out.clear();
+                out.extend_from_slice(&value.to_le_bytes());
+            }
+            None => bytes = Bytes::from(value.to_le_bytes().to_vec()),
+        }
+        slots[idx] = Some(bytes.clone());
+        bytes
+    }
+
     /// All-reduce of a `u64` with the given combiner.
+    ///
+    /// Runs the same recursive-doubling / star topology as
+    /// [`Communicator::try_all_reduce_bytes`] (identical combine order),
+    /// but sends from the recycled per-step buffers, so steady-state
+    /// termination detection allocates nothing.
     ///
     /// # Errors
     ///
@@ -237,15 +273,57 @@ impl<'t, T: Transport + ?Sized> Communicator<'t, T> {
         value: u64,
         combine: impl Fn(u64, u64) -> u64,
     ) -> Result<u64, NetError> {
-        let out =
-            self.try_all_reduce_bytes(Bytes::copy_from_slice(&value.to_le_bytes()), |a, b| {
-                let va = u64::from_le_bytes(a[..8].try_into().expect("8-byte payload"));
-                let vb = u64::from_le_bytes(b[..8].try_into().expect("8-byte payload"));
-                Bytes::copy_from_slice(&combine(va, vb).to_le_bytes())
-            })?;
-        Ok(u64::from_le_bytes(
-            out[..8].try_into().expect("8-byte payload"),
-        ))
+        let n = self.world_size();
+        if n == 1 {
+            return Ok(value);
+        }
+        let rank = self.rank();
+        let epoch = self.next_epoch();
+        let read = |b: Bytes| u64::from_le_bytes(b[..8].try_into().expect("8-byte payload"));
+        if n.is_power_of_two() {
+            // Recursive doubling, combining in rank order per pair — the
+            // byte-level twin in try_all_reduce_bytes documents why.
+            let mut acc = value;
+            let mut step = 0u32;
+            let mut distance = 1usize;
+            while distance < n {
+                let partner = rank ^ distance;
+                self.transport.try_send(
+                    partner,
+                    Self::tag(epoch, step),
+                    self.u64_payload(epoch, step, acc),
+                )?;
+                let other = read(self.transport.try_recv(partner, Self::tag(epoch, step))?);
+                acc = if rank < partner {
+                    combine(acc, other)
+                } else {
+                    combine(other, acc)
+                };
+                distance <<= 1;
+                step += 1;
+            }
+            return Ok(acc);
+        }
+        // Gather to rank 0, combine in src order, then broadcast back.
+        if rank == 0 {
+            let mut acc = value;
+            for src in 1..n {
+                acc = combine(
+                    acc,
+                    read(self.transport.try_recv(src, Self::tag(epoch, 0))?),
+                );
+            }
+            let payload = self.u64_payload(epoch, 1, acc);
+            for dst in 1..n {
+                self.transport
+                    .try_send(dst, Self::tag(epoch, 1), payload.clone())?;
+            }
+            Ok(acc)
+        } else {
+            self.transport
+                .try_send(0, Self::tag(epoch, 0), self.u64_payload(epoch, 0, value))?;
+            Ok(read(self.transport.try_recv(0, Self::tag(epoch, 1))?))
+        }
     }
 
     /// As [`Communicator::try_all_reduce_u64`], panicking on network
@@ -653,6 +731,47 @@ mod tests {
             for (round, sum) in host.into_iter().enumerate() {
                 assert_eq!(sum, 4 * round as u64 + 6);
             }
+        }
+    }
+
+    #[test]
+    fn collectives_do_not_deep_copy_payloads() {
+        // Each host contributes one buffer; every host must end up holding
+        // a handle to the contributor's *own* allocation — the in-memory
+        // transport moves `Bytes` handles, never the bytes behind them.
+        let out = on_cluster(3, |ep| {
+            let comm = Communicator::new(ep);
+            let mine = Bytes::from(vec![ep.rank() as u8; 64]);
+            let my_ptr = mine.as_ptr() as usize;
+            let gathered = comm.all_gather(mine);
+            let ptrs: Vec<usize> = gathered.iter().map(|b| b.as_ptr() as usize).collect();
+            (my_ptr, ptrs)
+        });
+        for (_, ptrs) in &out {
+            for (src, &ptr) in ptrs.iter().enumerate() {
+                assert_eq!(
+                    ptr, out[src].0,
+                    "host received a copy instead of host {src}'s buffer"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn u64_all_reduce_recycles_cleanly_across_many_epochs() {
+        // Drive the epoch counter far past the 128-epoch ring (and the
+        // two-parity send-slot ring) on both topologies: recycled buffers
+        // must never leak a stale value into a later epoch.
+        for n in [3usize, 4] {
+            let ok = on_cluster(n, |ep| {
+                let comm = Communicator::new(ep);
+                let base: u64 = (0..n as u64).sum();
+                (0..300u64).all(|round| {
+                    comm.all_reduce_u64(round * 10 + ep.rank() as u64, |a, b| a + b)
+                        == n as u64 * round * 10 + base
+                })
+            });
+            assert!(ok.iter().all(|&x| x), "stale value on cluster size {n}");
         }
     }
 }

@@ -43,6 +43,14 @@ struct StatsInner {
     /// Payloads that passed transport delivery but failed to decode at the
     /// codec layer (recorded by the substrate's sync paths).
     decode_errors: AtomicU64,
+    /// Sync payloads built into a recycled arena buffer (no allocation).
+    pool_hits: AtomicU64,
+    /// Sync payloads that had to allocate because the previous round's
+    /// buffer was still held by a consumer (or had never been created).
+    pool_misses: AtomicU64,
+    /// Largest per-field arena footprint observed, in bytes (updated with
+    /// `fetch_max` once per sync round).
+    pool_high_water_bytes: AtomicU64,
     /// Per-host-pair log is optional; the matrix above is always on. The
     /// log is a bounded ring: once `history_capacity` records are held,
     /// each new record evicts the oldest and bumps `dropped_records`.
@@ -158,6 +166,9 @@ impl NetStats {
                 dup_suppressed: AtomicU64::new(0),
                 corruption_detected: AtomicU64::new(0),
                 decode_errors: AtomicU64::new(0),
+                pool_hits: AtomicU64::new(0),
+                pool_misses: AtomicU64::new(0),
+                pool_high_water_bytes: AtomicU64::new(0),
                 history: Mutex::new(VecDeque::new()),
                 record_history,
                 history_capacity: capacity,
@@ -250,6 +261,61 @@ impl NetStats {
     /// Codec-layer decode failures recorded so far.
     pub fn decode_errors(&self) -> u64 {
         self.inner.decode_errors.load(Ordering::Relaxed)
+    }
+
+    /// Records one sync payload built into a recycled arena buffer.
+    pub fn record_pool_hit(&self) {
+        self.inner.pool_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one sync payload that had to allocate a fresh buffer.
+    pub fn record_pool_miss(&self) {
+        self.inner.pool_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Raises the observed arena footprint high-water mark to `bytes` if
+    /// it is the largest seen so far.
+    pub fn record_pool_high_water(&self, bytes: u64) {
+        self.inner
+            .pool_high_water_bytes
+            .fetch_max(bytes, Ordering::Relaxed);
+    }
+
+    /// Sync payloads built into recycled arena buffers so far.
+    pub fn pool_hits(&self) -> u64 {
+        self.inner.pool_hits.load(Ordering::Relaxed)
+    }
+
+    /// Sync payloads that allocated a fresh buffer so far.
+    pub fn pool_misses(&self) -> u64 {
+        self.inner.pool_misses.load(Ordering::Relaxed)
+    }
+
+    /// Largest per-field arena footprint observed, in bytes.
+    pub fn pool_high_water_bytes(&self) -> u64 {
+        self.inner.pool_high_water_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Total bytes and messages host `src` has sent, summed straight off
+    /// the atomic matrices — the allocation-free fast path the sync layer
+    /// brackets every round with (unlike [`NetStats::snapshot`], which
+    /// copies both matrices).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` is out of range.
+    pub fn host_sent(&self, src: usize) -> (u64, u64) {
+        let n = self.inner.world_size;
+        assert!(src < n, "host out of range");
+        let bytes = self.inner.bytes[src * n..(src + 1) * n]
+            .iter()
+            .map(|a| a.load(Ordering::Relaxed))
+            .sum();
+        let messages = self.inner.messages[src * n..(src + 1) * n]
+            .iter()
+            .map(|a| a.load(Ordering::Relaxed))
+            .sum();
+        (bytes, messages)
     }
 
     /// Copies the counters.

@@ -14,7 +14,7 @@
 use crate::error::NetError;
 use crate::stats::NetStats;
 use bytes::Bytes;
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::channel::{unbounded_with_capacity, Receiver, Sender};
 use parking_lot::Mutex;
 use std::collections::{HashMap, VecDeque};
 use std::time::{Duration, Instant};
@@ -110,10 +110,72 @@ pub struct MemoryTransport {
     senders: Vec<Sender<Packet>>,
     receiver: Receiver<Packet>,
     /// Messages that arrived but did not match the pending `recv`.
-    stash: Mutex<HashMap<(usize, u32), VecDeque<Bytes>>>,
+    stash: Mutex<Stash<(usize, u32), Bytes>>,
     /// Stash for `recv_any`, keyed by tag only.
-    stash_any: Mutex<HashMap<u32, VecDeque<(usize, Bytes)>>>,
+    stash_any: Mutex<Stash<u32, (usize, Bytes)>>,
     stats: NetStats,
+}
+
+/// One stash index plus a free-list of emptied queues.
+///
+/// Sync tags cycle through a large window (and collective tags through
+/// epochs), so map keys keep appearing and disappearing far past any
+/// warm-up. Removing an emptied queue keeps the map small, but dropping
+/// it would allocate a fresh `VecDeque` ring for every future message;
+/// parking the capacity-retaining husk on `free` and handing it back out
+/// on the next insert keeps steady-state filing allocation-free. Both
+/// the map's table and a stock of queues are reserved at construction:
+/// the number of *simultaneously* pending keys depends on how far peers
+/// drift apart, which peaks long after any warm-up, so a first-touch
+/// high-water must not cost an allocation mid-run.
+#[derive(Debug)]
+struct Stash<K, T> {
+    map: HashMap<K, VecDeque<T>>,
+    free: Vec<VecDeque<T>>,
+}
+
+/// Map-table slots reserved per stash (distinct simultaneously pending
+/// `(src, tag)` keys; drift bounds this at a few per peer).
+const STASH_KEY_RESERVE: usize = 64;
+/// Pre-stocked queues on the free-list, each with a few message slots.
+const STASH_QUEUE_RESERVE: usize = 32;
+/// Message slots per pre-stocked queue (per-key queues are nearly always
+/// length 1: sync tags encode the round, so a key collects one message).
+const STASH_QUEUE_DEPTH: usize = 8;
+
+impl<K: Eq + std::hash::Hash, T> Stash<K, T> {
+    fn new() -> Self {
+        let mut free = Vec::with_capacity(STASH_QUEUE_RESERVE);
+        free.resize_with(STASH_QUEUE_RESERVE, || {
+            VecDeque::with_capacity(STASH_QUEUE_DEPTH)
+        });
+        Stash {
+            map: HashMap::with_capacity(STASH_KEY_RESERVE),
+            free,
+        }
+    }
+
+    /// Appends `item` to `key`'s queue, reviving a recycled queue (or, on
+    /// a cold pool, allocating one) if the key is new.
+    fn push(&mut self, key: K, item: T) {
+        match self.map.entry(key) {
+            std::collections::hash_map::Entry::Occupied(mut e) => e.get_mut().push_back(item),
+            std::collections::hash_map::Entry::Vacant(e) => {
+                let mut q = self.free.pop().unwrap_or_default();
+                q.push_back(item);
+                e.insert(q);
+            }
+        }
+    }
+
+    /// Drops `key`'s (empty) queue from the map, parking its storage on
+    /// the free-list.
+    fn retire(&mut self, key: &K) {
+        if let Some(q) = self.map.remove(key) {
+            debug_assert!(q.is_empty(), "retired a non-empty stash queue");
+            self.free.push(q);
+        }
+    }
 }
 
 impl MemoryTransport {
@@ -143,7 +205,11 @@ impl MemoryTransport {
         let mut senders = Vec::with_capacity(world_size);
         let mut receivers = Vec::with_capacity(world_size);
         for _ in 0..world_size {
-            let (tx, rx) = unbounded::<Packet>();
+            // Reserved up front: a host's inbound backlog (packets sent but
+            // not yet pumped) peaks when a receiver lags its peers, which
+            // happens mid-run — growing the ring then would allocate in
+            // what must be an allocation-free steady state.
+            let (tx, rx) = unbounded_with_capacity::<Packet>(1024);
             senders.push(tx);
             receivers.push(rx);
         }
@@ -155,8 +221,8 @@ impl MemoryTransport {
                 world_size,
                 senders: senders.clone(),
                 receiver,
-                stash: Mutex::new(HashMap::new()),
-                stash_any: Mutex::new(HashMap::new()),
+                stash: Mutex::new(Stash::new()),
+                stash_any: Mutex::new(Stash::new()),
                 stats: stats.clone(),
             })
             .collect()
@@ -181,28 +247,20 @@ impl MemoryTransport {
     /// either a `(src, tag)` recv or a tag-only recv_any; whichever recv
     /// runs first takes it, removing it from the twin index.
     fn file(&self, (src, tag, payload): Packet) {
-        self.stash
-            .lock()
-            .entry((src, tag))
-            .or_default()
-            .push_back(payload.clone());
-        self.stash_any
-            .lock()
-            .entry(tag)
-            .or_default()
-            .push_back((src, payload));
+        self.stash.lock().push((src, tag), payload.clone());
+        self.stash_any.lock().push(tag, (src, payload));
     }
 
     fn take_exact(&self, src: usize, tag: u32) -> Option<Bytes> {
         let mut stash = self.stash.lock();
-        let queue = stash.get_mut(&(src, tag))?;
+        let queue = stash.map.get_mut(&(src, tag))?;
         let payload = queue.pop_front()?;
         if queue.is_empty() {
-            stash.remove(&(src, tag));
+            stash.retire(&(src, tag));
         }
         // Remove the twin entry from the any-index.
         let mut any = self.stash_any.lock();
-        if let Some(q) = any.get_mut(&tag) {
+        if let Some(q) = any.map.get_mut(&tag) {
             if let Some(pos) = q
                 .iter()
                 .position(|(s, p)| *s == src && Bytes::ptr_eq_len(p, &payload))
@@ -210,7 +268,7 @@ impl MemoryTransport {
                 q.remove(pos);
             }
             if q.is_empty() {
-                any.remove(&tag);
+                any.retire(&tag);
             }
         }
         Some(payload)
@@ -218,19 +276,19 @@ impl MemoryTransport {
 
     fn take_any(&self, tag: u32) -> Option<(usize, Bytes)> {
         let mut any = self.stash_any.lock();
-        let queue = any.get_mut(&tag)?;
+        let queue = any.map.get_mut(&tag)?;
         let (src, payload) = queue.pop_front()?;
         if queue.is_empty() {
-            any.remove(&tag);
+            any.retire(&tag);
         }
         drop(any);
         let mut stash = self.stash.lock();
-        if let Some(q) = stash.get_mut(&(src, tag)) {
+        if let Some(q) = stash.map.get_mut(&(src, tag)) {
             if let Some(pos) = q.iter().position(|p| Bytes::ptr_eq_len(p, &payload)) {
                 q.remove(pos);
             }
             if q.is_empty() {
-                stash.remove(&(src, tag));
+                stash.retire(&(src, tag));
             }
         }
         Some((src, payload))

@@ -9,13 +9,18 @@
 #   4. the codec battery under --release: the differential oracle
 #      against the naive reference codec plus the fixed-seed fuzz smoke
 #      (truncations, bit flips, garbage — the decoder must never panic);
-#   5. rustfmt, as a check only;
-#   6. clippy across the workspace with warnings denied;
-#   7. rustdoc with warnings denied (missing docs on public API fail).
+#   5. the allocation guard under --release with the `alloc-meter`
+#      counting allocator: steady-state sync rounds allocate nothing,
+#      and toggling the arena changes no observable result;
+#   6. every bench compiles (`cargo bench --no-run`);
+#   7. rustfmt, as a check only;
+#   8. clippy across the workspace with warnings denied;
+#   9. rustdoc with warnings denied (missing docs on public API fail).
 #
 # Usage: scripts/verify.sh [--fast]
-#   --fast  skip the release build, the release determinism matrix, and
-#           the chaos feature (quick pre-push sanity loop).
+#   --fast  skip the release build, the release determinism matrix, the
+#           release alloc guard, and the chaos feature (quick pre-push
+#           sanity loop).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -33,10 +38,15 @@ if [[ "$FAST" == "0" ]]; then
     cargo test -q --release --test determinism
     echo "==> cargo test --release codec battery (differential oracle + fuzz smoke)"
     cargo test -q --release --test codec_differential --test codec_fuzz --test codec_golden
+    echo "==> cargo test --release --features alloc-meter --test alloc_guard (zero steady-state allocations)"
+    cargo test -q --release --features alloc-meter --test alloc_guard
 else
     echo "==> cargo test -q --no-default-features (chaos matrix skipped)"
     cargo test -q --workspace --no-default-features
 fi
+
+echo "==> cargo bench --no-run (benches must always compile)"
+cargo bench --no-run --workspace --quiet
 
 echo "==> cargo fmt --check"
 cargo fmt --check

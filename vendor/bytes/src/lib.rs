@@ -6,23 +6,46 @@
 //! little-endian `put_*` methods of [`BufMut`]. Clones of one `Bytes`
 //! share the same allocation (and therefore the same `as_ptr`), matching
 //! the real crate's identity semantics that `gluon-net` relies on.
+//!
+//! One deliberate deviation from the real crate: the backing store is an
+//! `Arc<Vec<u8>>` rather than an `Arc<[u8]>`, which lets a holder of the
+//! sole remaining handle reclaim the allocation for reuse via
+//! [`Bytes::try_unique_vec`]. The Gluon sync arena leans on this to make
+//! steady-state rounds allocation-free: `freeze` never copies bytes, and
+//! a payload buffer whose consumers have all dropped their handles can be
+//! cleared and refilled in place.
 
 #![forbid(unsafe_code)]
 
 use std::ops::{Deref, DerefMut};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
+
+/// The shared empty allocation behind [`Bytes::new`]: constructing an
+/// empty buffer must not allocate on the hot path (empty sync payloads
+/// and barrier frames are routine in steady state).
+fn shared_empty() -> &'static Arc<Vec<u8>> {
+    static EMPTY: OnceLock<Arc<Vec<u8>>> = OnceLock::new();
+    EMPTY.get_or_init(|| Arc::new(Vec::new()))
+}
 
 /// Cheaply clonable immutable byte buffer.
-#[derive(Clone, Default)]
+#[derive(Clone)]
 pub struct Bytes {
-    data: Arc<[u8]>,
+    data: Arc<Vec<u8>>,
+}
+
+impl Default for Bytes {
+    fn default() -> Bytes {
+        Bytes::new()
+    }
 }
 
 impl Bytes {
-    /// Creates an empty buffer.
+    /// Creates an empty buffer. Allocation-free: every empty buffer
+    /// shares one process-wide allocation.
     pub fn new() -> Bytes {
         Bytes {
-            data: Arc::from(&[][..]),
+            data: Arc::clone(shared_empty()),
         }
     }
 
@@ -31,15 +54,13 @@ impl Bytes {
     /// (The real crate keeps the `'static` reference; for the workspace's
     /// purposes only content and clone-identity matter.)
     pub fn from_static(data: &'static [u8]) -> Bytes {
-        Bytes {
-            data: Arc::from(data),
-        }
+        Bytes::copy_from_slice(data)
     }
 
     /// Copies `data` into a new buffer.
     pub fn copy_from_slice(data: &[u8]) -> Bytes {
         Bytes {
-            data: Arc::from(data),
+            data: Arc::new(data.to_vec()),
         }
     }
 
@@ -51,6 +72,25 @@ impl Bytes {
     /// True iff the buffer is empty.
     pub fn is_empty(&self) -> bool {
         self.data.is_empty()
+    }
+
+    /// Number of live handles sharing this allocation.
+    pub fn handle_count(&self) -> usize {
+        Arc::strong_count(&self.data)
+    }
+
+    /// Grants mutable access to the backing storage iff this is the sole
+    /// remaining handle (and not the shared empty allocation). This is
+    /// the recycling hook the sync arena uses: once every consumer of a
+    /// round's payload has dropped its handle, the producer clears the
+    /// `Vec` in place and encodes the next round into the same
+    /// allocation. Returns `None` while any other handle is alive, so
+    /// shared contents can never be mutated.
+    pub fn try_unique_vec(&mut self) -> Option<&mut Vec<u8>> {
+        if Arc::ptr_eq(&self.data, shared_empty()) {
+            return None;
+        }
+        Arc::get_mut(&mut self.data)
     }
 }
 
@@ -69,7 +109,7 @@ impl AsRef<[u8]> for Bytes {
 
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Bytes {
-        Bytes { data: Arc::from(v) }
+        Bytes { data: Arc::new(v) }
     }
 }
 
@@ -130,10 +170,11 @@ impl BytesMut {
         }
     }
 
-    /// Converts the accumulated bytes into an immutable [`Bytes`].
+    /// Converts the accumulated bytes into an immutable [`Bytes`]. The
+    /// allocation is transferred, not copied.
     pub fn freeze(self) -> Bytes {
         Bytes {
-            data: Arc::from(self.data),
+            data: Arc::new(self.data),
         }
     }
 
@@ -145,6 +186,11 @@ impl BytesMut {
     /// True iff nothing has been written yet.
     pub fn is_empty(&self) -> bool {
         self.data.is_empty()
+    }
+
+    /// Drops the contents, keeping the capacity.
+    pub fn clear(&mut self) {
+        self.data.clear();
     }
 
     /// Appends a slice (also available through [`BufMut::put_slice`]).
@@ -226,5 +272,43 @@ mod tests {
         assert_eq!(b.len(), 13);
         assert_eq!(b[0], 1);
         assert_eq!(u32::from_le_bytes(b[1..5].try_into().unwrap()), 2);
+    }
+
+    #[test]
+    fn empty_buffers_share_one_allocation() {
+        let a = Bytes::new();
+        let b = Bytes::new();
+        assert_eq!(a.as_ptr(), b.as_ptr());
+        assert!(a.is_empty());
+    }
+
+    #[test]
+    fn unique_vec_requires_uniqueness() {
+        let mut a = Bytes::copy_from_slice(b"xyz");
+        let b = a.clone();
+        assert!(a.try_unique_vec().is_none(), "shared handle must refuse");
+        drop(b);
+        let ptr_before = a.as_ptr();
+        let v = a.try_unique_vec().expect("sole handle may recycle");
+        v.clear();
+        v.extend_from_slice(b"ab");
+        assert_eq!(&a[..], b"ab");
+        assert_eq!(a.as_ptr(), ptr_before, "recycling reuses the allocation");
+    }
+
+    #[test]
+    fn shared_empty_is_never_recyclable() {
+        let mut a = Bytes::new();
+        assert!(a.try_unique_vec().is_none());
+    }
+
+    #[test]
+    fn handle_count_tracks_clones() {
+        let a = Bytes::copy_from_slice(b"q");
+        assert_eq!(a.handle_count(), 1);
+        let b = a.clone();
+        assert_eq!(a.handle_count(), 2);
+        drop(b);
+        assert_eq!(a.handle_count(), 1);
     }
 }

@@ -85,8 +85,17 @@ pub mod channel {
 
     /// Creates an unbounded FIFO channel.
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        unbounded_with_capacity(0)
+    }
+
+    /// As [`unbounded`], with the queue's backing ring pre-reserved for
+    /// `capacity` messages. (An extension over the real crossbeam API:
+    /// this stand-in's queue is one contiguous ring, so reserving up
+    /// front lets a steady-state sender outrun a lagging receiver by up
+    /// to `capacity` messages without ever reallocating.)
+    pub fn unbounded_with_capacity<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
         let shared = Arc::new(Shared {
-            queue: Mutex::new(VecDeque::new()),
+            queue: Mutex::new(VecDeque::with_capacity(capacity)),
             ready: Condvar::new(),
             senders: AtomicUsize::new(1),
             receivers: AtomicUsize::new(1),
