@@ -15,8 +15,8 @@ use crate::minrelax;
 use crate::reference::INFINITY;
 use crate::EngineKind;
 use gluon::{
-    DenseBitset, FieldSync, GluonContext, MinField, ReadLocation, SumField, SyncSpec, SyncValue,
-    WriteLocation,
+    CheckpointSnapshot, DenseBitset, FieldSync, GluonContext, MinField, ReadLocation, SumField,
+    SyncError, SyncSpec, SyncValue, WriteLocation,
 };
 use gluon_engines::galois;
 use gluon_engines::irgl::IrglEngine;
@@ -105,6 +105,32 @@ pub fn bfs<T: Transport + ?Sized>(
     (dist, rounds)
 }
 
+/// As [`bfs`], surfacing sync failures as errors and honoring the
+/// context's checkpoint/restore configuration.
+///
+/// # Errors
+///
+/// Returns the first [`SyncError`] a round's communication hits; local
+/// state is then partially reconciled and must be discarded.
+pub fn try_bfs<T: Transport + ?Sized>(
+    lg: &LocalGraph,
+    ctx: &mut GluonContext<'_, T>,
+    source: Gid,
+    engine: EngineKind,
+) -> Result<(Vec<u32>, u32), SyncError> {
+    let n = lg.num_proxies();
+    let mut dist = vec![INFINITY; n as usize];
+    let mut active = DenseBitset::new(n);
+    if let Some(s) = lg.lid(source) {
+        dist[s.index()] = 0;
+        active.set(s);
+    }
+    let rounds = minrelax::try_run(lg, ctx, &mut dist, &mut active, engine, |l, _| {
+        l.saturating_add(1)
+    })?;
+    Ok((dist, rounds))
+}
+
 /// Distributed SSSP from `source` (weight 1 on unweighted edges). Returns
 /// per-proxy distances and the number of BSP rounds.
 pub fn sssp<T: Transport + ?Sized>(
@@ -126,6 +152,31 @@ pub fn sssp<T: Transport + ?Sized>(
     (dist, rounds)
 }
 
+/// As [`sssp`], surfacing sync failures as errors and honoring the
+/// context's checkpoint/restore configuration.
+///
+/// # Errors
+///
+/// Returns the first [`SyncError`] a round's communication hits.
+pub fn try_sssp<T: Transport + ?Sized>(
+    lg: &LocalGraph,
+    ctx: &mut GluonContext<'_, T>,
+    source: Gid,
+    engine: EngineKind,
+) -> Result<(Vec<u32>, u32), SyncError> {
+    let n = lg.num_proxies();
+    let mut dist = vec![INFINITY; n as usize];
+    let mut active = DenseBitset::new(n);
+    if let Some(s) = lg.lid(source) {
+        dist[s.index()] = 0;
+        active.set(s);
+    }
+    let rounds = minrelax::try_run(lg, ctx, &mut dist, &mut active, engine, |l, w| {
+        l.saturating_add(w)
+    })?;
+    Ok((dist, rounds))
+}
+
 /// Distributed connected components by label propagation. The input
 /// partitioning must be of the *symmetrized* graph (see
 /// [`crate::reference::symmetrize`]); labels converge to each component's
@@ -142,6 +193,25 @@ pub fn cc<T: Transport + ?Sized>(
     active.set_all();
     let rounds = minrelax::run(lg, ctx, &mut label, &mut active, engine, |l, _| l);
     (label, rounds)
+}
+
+/// As [`cc`], surfacing sync failures as errors and honoring the
+/// context's checkpoint/restore configuration.
+///
+/// # Errors
+///
+/// Returns the first [`SyncError`] a round's communication hits.
+pub fn try_cc<T: Transport + ?Sized>(
+    lg: &LocalGraph,
+    ctx: &mut GluonContext<'_, T>,
+    engine: EngineKind,
+) -> Result<(Vec<u32>, u32), SyncError> {
+    let n = lg.num_proxies();
+    let mut label: Vec<u32> = (0..n).map(|l| lg.gid(Lid(l)).0).collect();
+    let mut active = DenseBitset::new(n);
+    active.set_all();
+    let rounds = minrelax::try_run(lg, ctx, &mut label, &mut active, engine, |l, _| l)?;
+    Ok((label, rounds))
 }
 
 /// Pagerank configuration (the paper: damping 0.85, tolerance 1e-6 or 1e-9,
@@ -177,9 +247,49 @@ pub fn pagerank<T: Transport + ?Sized>(
     cfg: PagerankConfig,
     engine: EngineKind,
 ) -> (Vec<f64>, u32) {
+    try_pagerank(lg, ctx, cfg, engine).unwrap_or_else(|e| panic!("pagerank failed: {e}"))
+}
+
+/// As [`pagerank`], surfacing sync failures as errors and honoring the
+/// context's checkpoint/restore configuration.
+///
+/// A checkpoint stores the full per-proxy rank vector (masters *and*
+/// mirrors — mirror ranks are genuine per-host state, the residue of past
+/// broadcasts) keyed by the iteration number. `contrib` is all-zero at
+/// every iteration boundary (masters are zeroed in the apply loop, mirrors
+/// are reset by the reduce sync), so it needs no checkpointing; global
+/// out-degrees are recomputed by phase 0 on every attempt because they are
+/// a deterministic function of the partition.
+///
+/// # Errors
+///
+/// Returns the first [`SyncError`] a round's communication hits.
+pub fn try_pagerank<T: Transport + ?Sized>(
+    lg: &LocalGraph,
+    ctx: &mut GluonContext<'_, T>,
+    cfg: PagerankConfig,
+    engine: EngineKind,
+) -> Result<(Vec<f64>, u32), SyncError> {
     let n = lg.num_proxies() as usize;
     let total_nodes = f64::from(lg.global_nodes().max(1));
     let base = (1.0 - cfg.damping) / total_nodes;
+
+    let mut rank = vec![1.0 / total_nodes; n];
+    let mut iters = 0u32;
+    if let Some(snap) = ctx.restore_snapshot() {
+        let saved = snap
+            .values::<f64>("rank")
+            .expect("checkpoint missing rank field");
+        assert_eq!(saved.len(), n, "checkpoint from another graph");
+        rank = saved;
+        iters = u32::try_from(snap.round()).expect("iteration fits u32");
+    }
+    if ctx.finalize_only() {
+        // ContinueStale degradation: masters already hold the restored
+        // epoch's canonical ranks; skip phase 0 and the iteration loop
+        // entirely so no communication happens at all.
+        return Ok((rank, iters));
+    }
 
     // Phase 0: assemble *global* out-degrees at every proxy. Local
     // out-degrees are partial sums (vertex-cuts split a node's out-edges),
@@ -190,14 +300,12 @@ pub fn pagerank<T: Transport + ?Sized>(
     deg_bits.set_all();
     {
         let mut field = SumField::new(&mut gdeg);
-        ctx.sync(&OUT_DEGREE, &mut field, &mut deg_bits);
+        ctx.try_sync(&OUT_DEGREE, &mut field, &mut deg_bits)?;
     }
 
-    let mut rank = vec![1.0 / total_nodes; n];
     let mut contrib = vec![0.0f64; n];
     let pool = ctx.pool().clone();
     let mut device = IrglEngine::new(Default::default());
-    let mut iters = 0u32;
     while iters < cfg.max_iters {
         iters += 1;
         // Pull phase: partial contribution sums at every proxy with local
@@ -284,7 +392,7 @@ pub fn pagerank<T: Transport + ?Sized>(
         // there, so no broadcast of `contrib` is ever needed.
         {
             let mut field = SumField::new(&mut contrib);
-            ctx.sync(&CONTRIB, &mut field, &mut contrib_bits);
+            ctx.try_sync(&CONTRIB, &mut field, &mut contrib_bits)?;
         }
         // Apply at masters and measure the local L1 change.
         let mut rank_bits = DenseBitset::new(lg.num_proxies());
@@ -303,13 +411,19 @@ pub fn pagerank<T: Transport + ?Sized>(
         // sources next round.
         {
             let mut field = CopyField::new(&mut rank);
-            ctx.sync(&RANK, &mut field, &mut rank_bits);
+            ctx.try_sync(&RANK, &mut field, &mut rank_bits)?;
         }
-        if ctx.sum_globally(local_delta) < cfg.tolerance {
+        let done = ctx.try_sum_globally(local_delta)? < cfg.tolerance;
+        if done {
             break;
         }
+        if ctx.checkpoint_due(u64::from(iters)) {
+            let mut snap = CheckpointSnapshot::new(u64::from(iters));
+            snap.put_values("rank", &rank);
+            ctx.save_checkpoint(snap);
+        }
     }
-    (rank, iters)
+    Ok((rank, iters))
 }
 
 /// Distributed k-core membership: which nodes survive in the k-core of the

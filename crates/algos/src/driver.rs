@@ -24,15 +24,97 @@
 use crate::apps::{self, PagerankConfig};
 use crate::reference::symmetrize;
 use crate::{Algorithm, EngineKind};
-use gluon::{GluonContext, OptLevel, Pool, RunStats, SyncStats};
+use gluon::{CheckpointStore, GluonContext, OptLevel, Pool, RunStats, SyncError, SyncStats};
 use gluon_graph::{max_out_degree_node, Csr, Gid};
 use gluon_net::{
-    run_cluster_wrapped, Communicator, CostModel, MemoryTransport, NetStats, StatsSnapshot,
+    run_cluster_fallible, run_cluster_wrapped, CancelToken, Communicator, CostModel,
+    MemoryTransport, NetError, NetStats, ReliableConfig, ReliableTransport, StatsSnapshot,
     Transport,
 };
 use gluon_partition::{partition_on_host, LocalGraph, PartitionStats, Policy};
 use gluon_trace::Tracer;
 use std::time::Instant;
+
+/// What the supervisor behind [`Run::try_launch`] does once a host failure
+/// is detected mid-computation.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum FailurePolicy {
+    /// Tear the cluster down, restore every host from the latest complete
+    /// checkpoint epoch (from scratch when none exists), and replay
+    /// forward — up to [`Run::max_recoveries`] times. Deterministic
+    /// execution makes the replay bit-identical to a crash-free run.
+    #[default]
+    Recover,
+    /// Return a typed error as soon as the cluster has stopped; never
+    /// restart.
+    AbortClean,
+    /// Restore the latest complete checkpoint and surface its (stale)
+    /// labels as a degraded outcome, without recomputing anything.
+    ContinueStale,
+}
+
+/// Why a supervised run ([`Run::try_launch`]) could not produce a result.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RunError {
+    /// A host hit a failure that no restart can fix: deterministic replay
+    /// of the same rounds would fail identically (e.g. an undecodable
+    /// payload on an unprotected transport).
+    Host {
+        /// The host that reported the failure.
+        host: usize,
+        /// What it reported.
+        error: SyncError,
+    },
+    /// Every allowed attempt failed (or `ContinueStale` found no complete
+    /// checkpoint epoch to fall back to).
+    Unrecoverable {
+        /// How many attempts were made.
+        attempts: u32,
+        /// The failure that ended the last attempt.
+        last: SyncError,
+    },
+    /// [`FailurePolicy::AbortClean`] stopped the run at the first
+    /// detected failure.
+    Aborted {
+        /// The host whose failure aborted the run.
+        host: usize,
+        /// What it reported.
+        error: SyncError,
+    },
+    /// The workload has no fallible/checkpointable path yet (k-core,
+    /// betweenness); use [`Run::launch`].
+    Unsupported(&'static str),
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::Host { host, error } => {
+                write!(f, "host {host} failed unrecoverably: {error}")
+            }
+            RunError::Unrecoverable { attempts, last } => {
+                write!(f, "gave up after {attempts} attempt(s): {last}")
+            }
+            RunError::Aborted { host, error } => {
+                write!(f, "aborted on first failure (host {host}): {error}")
+            }
+            RunError::Unsupported(what) => {
+                write!(f, "workload {what} has no supervised execution path")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RunError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RunError::Host { error, .. }
+            | RunError::Aborted { error, .. }
+            | RunError::Unrecoverable { last: error, .. } => Some(error),
+            RunError::Unsupported(_) => None,
+        }
+    }
+}
 
 /// One benchmark configuration.
 #[derive(Clone, Copy, Debug)]
@@ -83,6 +165,12 @@ pub struct DistOutcome {
     pub partition: PartitionStats,
     /// Whole-cluster traffic snapshot at the end of the run.
     pub net: StatsSnapshot,
+    /// Supervised restarts it took to produce this result (0 for a
+    /// crash-free run, and always 0 from [`Run::launch`]).
+    pub recoveries: u32,
+    /// True when [`FailurePolicy::ContinueStale`] surfaced the last
+    /// checkpoint instead of a completed computation.
+    pub degraded: bool,
 }
 
 impl DistOutcome {
@@ -119,8 +207,11 @@ enum Workload {
     Betweenness,
 }
 
-/// The identity transport wrapper the builder starts with.
-fn identity(ep: MemoryTransport) -> MemoryTransport {
+/// The identity transport wrapper the builder starts with. Wrappers are
+/// attempt-aware: the supervisor passes the 0-based attempt number so
+/// chaos tests can arm fault plans per attempt
+/// (`FaultPlan::for_attempt`).
+fn identity(ep: MemoryTransport, _attempt: u32) -> MemoryTransport {
     ep
 }
 
@@ -128,10 +219,10 @@ fn identity(ep: MemoryTransport) -> MemoryTransport {
 /// [`Run::kcore`], or [`Run::betweenness`]; chain settings; finish with
 /// [`launch`](Run::launch).
 #[derive(Debug)]
-pub struct Run<'g, W = MemoryTransport, F = fn(MemoryTransport) -> MemoryTransport>
+pub struct Run<'g, W = MemoryTransport, F = fn(MemoryTransport, u32) -> MemoryTransport>
 where
     W: Transport,
-    F: Fn(MemoryTransport) -> W + Send + Sync,
+    F: Fn(MemoryTransport, u32) -> W + Send + Sync,
 {
     graph: &'g Csr,
     workload: Workload,
@@ -144,6 +235,11 @@ where
     threads: usize,
     tracer: Tracer,
     arena: bool,
+    ckpt_every: Option<u64>,
+    ckpt_store: Option<CheckpointStore>,
+    on_failure: FailurePolicy,
+    max_recoveries: u32,
+    reliable: Option<ReliableConfig>,
     wrap: F,
 }
 
@@ -187,6 +283,11 @@ impl<'g> Run<'g> {
             threads: 1,
             tracer: Tracer::disabled(),
             arena: true,
+            ckpt_every: None,
+            ckpt_store: None,
+            on_failure: FailurePolicy::Recover,
+            max_recoveries: 2,
+            reliable: None,
             wrap: identity,
         }
     }
@@ -195,7 +296,7 @@ impl<'g> Run<'g> {
 impl<'g, W, F> Run<'g, W, F>
 where
     W: Transport,
-    F: Fn(MemoryTransport) -> W + Send + Sync,
+    F: Fn(MemoryTransport, u32) -> W + Send + Sync,
 {
     /// Number of simulated hosts.
     #[must_use]
@@ -278,13 +379,80 @@ where
         self
     }
 
+    /// Enables epoch checkpointing: every `rounds` completed sync rounds
+    /// (pagerank: iterations) each host snapshots its owned field state
+    /// into the checkpoint store ([`Run::checkpoint_store`], in-memory by
+    /// default). Only [`Run::try_launch`] consumes checkpoints; the
+    /// steady state stays allocation-free when this is off.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rounds` is zero.
+    #[must_use]
+    pub fn checkpoint_every(mut self, rounds: u64) -> Self {
+        assert!(rounds >= 1, "checkpoint interval must be at least 1 round");
+        self.ckpt_every = Some(rounds);
+        self
+    }
+
+    /// Where checkpoints live (default: a fresh in-memory store per
+    /// launch). Pass a [`CheckpointStore::on_disk`] store to survive
+    /// process restarts.
+    #[must_use]
+    pub fn checkpoint_store(mut self, store: CheckpointStore) -> Self {
+        self.ckpt_store = Some(store);
+        self
+    }
+
+    /// What [`Run::try_launch`]'s supervisor does when a host failure is
+    /// detected (default: [`FailurePolicy::Recover`]).
+    #[must_use]
+    pub fn on_failure(mut self, policy: FailurePolicy) -> Self {
+        self.on_failure = policy;
+        self
+    }
+
+    /// Restart budget for [`FailurePolicy::Recover`] (default: 2). The
+    /// supervisor makes at most `1 + max_recoveries` attempts.
+    #[must_use]
+    pub fn max_recoveries(mut self, max_recoveries: u32) -> Self {
+        self.max_recoveries = max_recoveries;
+        self
+    }
+
+    /// Layers [`ReliableTransport`] (go-back-N retransmission, CRC frame
+    /// checks, and — when `config.detector` is set — heartbeat failure
+    /// detection) over whatever transport stack the builder produces.
+    /// Retransmit exhaustion and detected peer death surface as typed
+    /// [`NetError`]s carrying the offending sync round.
+    #[must_use]
+    pub fn reliable(mut self, config: ReliableConfig) -> Self {
+        self.reliable = Some(config);
+        self
+    }
+
     /// Threads every host's endpoint through `wrap`, so the whole run
     /// uses the wrapped transport stack.
     #[must_use]
-    pub fn transport<W2, F2>(self, wrap: F2) -> Run<'g, W2, F2>
+    pub fn transport<W2, F2>(
+        self,
+        wrap: F2,
+    ) -> Run<'g, W2, impl Fn(MemoryTransport, u32) -> W2 + Send + Sync>
     where
         W2: Transport,
         F2: Fn(MemoryTransport) -> W2 + Send + Sync,
+    {
+        self.transport_per_attempt(move |ep, _attempt| wrap(ep))
+    }
+
+    /// As [`Run::transport`], with the supervisor's 0-based attempt
+    /// number passed alongside each endpoint — chaos tests use it to arm
+    /// fault plans for specific attempts (`FaultPlan::for_attempt`).
+    #[must_use]
+    pub fn transport_per_attempt<W2, F2>(self, wrap: F2) -> Run<'g, W2, F2>
+    where
+        W2: Transport,
+        F2: Fn(MemoryTransport, u32) -> W2 + Send + Sync,
     {
         Run {
             graph: self.graph,
@@ -298,12 +466,18 @@ where
             threads: self.threads,
             tracer: self.tracer,
             arena: self.arena,
+            ckpt_every: self.ckpt_every,
+            ckpt_store: self.ckpt_store,
+            on_failure: self.on_failure,
+            max_recoveries: self.max_recoveries,
+            reliable: self.reliable,
             wrap,
         }
     }
 
-    /// Executes the run on the simulated cluster.
-    pub fn launch(self) -> DistOutcome {
+    /// Splits the builder into its non-generic settings, the transport
+    /// wrapper, and the optional reliability layer.
+    fn into_parts(self) -> (Setup<'g>, F, Option<ReliableConfig>) {
         let Run {
             graph,
             workload,
@@ -316,56 +490,354 @@ where
             threads,
             tracer,
             arena,
+            ckpt_every,
+            ckpt_store,
+            on_failure,
+            max_recoveries,
+            reliable,
             wrap,
         } = self;
-        let source = source.unwrap_or_else(|| max_out_degree_node(graph));
-        let symmetric;
-        let (input, int_default): (&Csr, u32) = match workload {
-            Workload::Algo(Algorithm::Cc) | Workload::Kcore(_) => {
-                symmetric = symmetrize(graph);
-                (
-                    &symmetric,
-                    if matches!(workload, Workload::Kcore(_)) {
-                        0
-                    } else {
-                        u32::MAX
-                    },
-                )
+        (
+            Setup {
+                graph,
+                workload,
+                hosts,
+                policy,
+                opts,
+                engine,
+                source,
+                pr,
+                threads,
+                tracer,
+                arena,
+                ckpt_every,
+                ckpt_store,
+                on_failure,
+                max_recoveries,
+            },
+            wrap,
+            reliable,
+        )
+    }
+
+    /// Executes the run on the simulated cluster. Sync failures panic
+    /// inside the host threads ([`Run::try_launch`] surfaces them as
+    /// typed errors and can recover from crashes).
+    pub fn launch(self) -> DistOutcome {
+        let (setup, wrap, reliable) = self.into_parts();
+        let tracer = setup.tracer.clone();
+        match reliable {
+            Some(cfg) => launch_infallible(&setup, |ep| {
+                ReliableTransport::with_config(wrap(ep, 0), cfg).with_tracer(tracer.clone())
+            }),
+            None => launch_infallible(&setup, |ep| wrap(ep, 0)),
+        }
+    }
+
+    /// Executes the run under the crash supervisor: host failures surface
+    /// as typed [`RunError`]s instead of panics, and — per
+    /// [`Run::on_failure`] — the cluster is restarted from the latest
+    /// complete checkpoint epoch and replayed forward. Deterministic
+    /// execution makes a recovered run bit-identical to a crash-free one.
+    ///
+    /// # Errors
+    ///
+    /// [`RunError::Unsupported`] for k-core/betweenness workloads;
+    /// [`RunError::Host`] for deterministic failures (decode errors);
+    /// [`RunError::Aborted`]/[`RunError::Unrecoverable`] per the failure
+    /// policy.
+    pub fn try_launch(self) -> Result<DistOutcome, RunError> {
+        let (setup, wrap, reliable) = self.into_parts();
+        let algo = match setup.workload {
+            Workload::Algo(algo) => algo,
+            Workload::Kcore(_) => return Err(RunError::Unsupported("kcore")),
+            Workload::Betweenness => return Err(RunError::Unsupported("betweenness")),
+        };
+        let tracer = setup.tracer.clone();
+        match reliable {
+            Some(cfg) => supervise(&setup, algo, &move |ep, attempt| {
+                ReliableTransport::with_config(wrap(ep, attempt), cfg).with_tracer(tracer.clone())
+            }),
+            None => supervise(&setup, algo, &wrap),
+        }
+    }
+}
+
+/// The non-generic half of a [`Run`]: everything but the transport stack.
+struct Setup<'g> {
+    graph: &'g Csr,
+    workload: Workload,
+    hosts: usize,
+    policy: Policy,
+    opts: OptLevel,
+    engine: EngineKind,
+    source: Option<Gid>,
+    pr: PagerankConfig,
+    threads: usize,
+    tracer: Tracer,
+    arena: bool,
+    ckpt_every: Option<u64>,
+    ckpt_store: Option<CheckpointStore>,
+    on_failure: FailurePolicy,
+    max_recoveries: u32,
+}
+
+/// The panicking launch path shared by both `reliable` arms of
+/// [`Run::launch`].
+fn launch_infallible<W, F>(setup: &Setup<'_>, wrap: F) -> DistOutcome
+where
+    W: Transport,
+    F: Fn(MemoryTransport) -> W + Send + Sync,
+{
+    let workload = setup.workload;
+    let engine = setup.engine;
+    let pr = setup.pr;
+    let source = setup
+        .source
+        .unwrap_or_else(|| max_out_degree_node(setup.graph));
+    let symmetric;
+    let (input, int_default): (&Csr, u32) = match workload {
+        Workload::Algo(Algorithm::Cc) | Workload::Kcore(_) => {
+            symmetric = symmetrize(setup.graph);
+            (
+                &symmetric,
+                if matches!(workload, Workload::Kcore(_)) {
+                    0
+                } else {
+                    u32::MAX
+                },
+            )
+        }
+        _ => (setup.graph, u32::MAX),
+    };
+    let needs_transpose = match workload {
+        Workload::Algo(algo) => algo == Algorithm::Pagerank || engine == EngineKind::Ligra,
+        Workload::Kcore(_) | Workload::Betweenness => false,
+    };
+    let compute = |lg: &LocalGraph, ctx: &mut GluonContext<'_, W>| -> HostLabels {
+        match workload {
+            Workload::Algo(algo) => dispatch(lg, ctx, algo, engine, source, pr),
+            Workload::Kcore(k) => {
+                let (alive, rounds) = apps::kcore(lg, ctx, k, engine);
+                (alive, Vec::new(), rounds)
             }
-            _ => (graph, u32::MAX),
-        };
-        let needs_transpose = match workload {
-            Workload::Algo(algo) => algo == Algorithm::Pagerank || engine == EngineKind::Ligra,
-            Workload::Kcore(_) | Workload::Betweenness => false,
-        };
-        let compute = |lg: &LocalGraph, ctx: &mut GluonContext<'_, W>| -> HostLabels {
-            match workload {
-                Workload::Algo(algo) => dispatch(lg, ctx, algo, engine, source, pr),
-                Workload::Kcore(k) => {
-                    let (alive, rounds) = apps::kcore(lg, ctx, k, engine);
-                    (alive, Vec::new(), rounds)
-                }
-                Workload::Betweenness => {
-                    let (delta, levels) = apps::betweenness_source(lg, ctx, source);
-                    (Vec::new(), delta, levels)
-                }
+            Workload::Betweenness => {
+                let (delta, levels) = apps::betweenness_source(lg, ctx, source);
+                (Vec::new(), delta, levels)
             }
-        };
-        let (per_host, stats) = run_cluster_wrapped(hosts, NetStats::new(hosts), wrap, |net| {
+        }
+    };
+    let (per_host, stats) =
+        run_cluster_wrapped(setup.hosts, NetStats::new(setup.hosts), wrap, |net| {
             host_program(
                 net,
                 input,
-                policy,
-                opts,
-                threads,
-                arena,
-                &tracer,
+                setup.policy,
+                setup.opts,
+                setup.threads,
+                setup.arena,
+                &setup.tracer,
                 &|_| needs_transpose,
                 &compute,
             )
         });
-        assemble(input.num_nodes() as usize, int_default, per_host, stats)
+    assemble(input.num_nodes() as usize, int_default, per_host, stats)
+}
+
+/// Picks the failure to blame an attempt on: the first *peer* failure
+/// (crash, detected death, retransmit exhaustion) if any host saw one,
+/// else the first error — siblings that merely aborted on the shared
+/// cancellation token report [`NetError::Cancelled`], which is a symptom,
+/// not a cause.
+fn blame(failures: &[(usize, SyncError)]) -> (usize, SyncError) {
+    failures
+        .iter()
+        .copied()
+        .find(|(_, e)| matches!(e, SyncError::Net(ne) if ne.is_peer_failure()))
+        .unwrap_or(failures[0])
+}
+
+/// The supervisor: run attempts, classify failures, restore + replay per
+/// the failure policy.
+fn supervise<W, F>(setup: &Setup<'_>, algo: Algorithm, wrap: &F) -> Result<DistOutcome, RunError>
+where
+    W: Transport,
+    F: Fn(MemoryTransport, u32) -> W + Send + Sync,
+{
+    let source = setup
+        .source
+        .unwrap_or_else(|| max_out_degree_node(setup.graph));
+    let symmetric;
+    let input: &Csr = match algo {
+        Algorithm::Cc => {
+            symmetric = symmetrize(setup.graph);
+            &symmetric
+        }
+        _ => setup.graph,
+    };
+    let needs_transpose = algo == Algorithm::Pagerank || setup.engine == EngineKind::Ligra;
+    let store = setup
+        .ckpt_store
+        .clone()
+        .unwrap_or_else(CheckpointStore::in_memory);
+    let attempts_allowed = setup.max_recoveries.saturating_add(1);
+    let mut recoveries = 0u32;
+    let mut last_error: Option<SyncError> = None;
+    for attempt in 0..attempts_allowed {
+        // Coordinated rollback: every host restores the newest epoch that
+        // *all* hosts saved (a host that crashed mid-save leaves that
+        // epoch incomplete, so the previous one wins).
+        let restore = if attempt == 0 {
+            None
+        } else {
+            store.latest_complete_epoch(setup.hosts)
+        };
+        let failures = match attempt_once(
+            setup,
+            algo,
+            input,
+            source,
+            needs_transpose,
+            wrap,
+            attempt,
+            &store,
+            restore,
+            false,
+        ) {
+            Ok(mut out) => {
+                out.recoveries = recoveries;
+                return Ok(out);
+            }
+            Err(failures) => failures,
+        };
+        // A decode failure is deterministic — replaying the same rounds
+        // reproduces it — so no restart can help, whatever the policy.
+        if let Some(&(host, error)) = failures
+            .iter()
+            .find(|(_, e)| matches!(e, SyncError::Decode { .. }))
+        {
+            return Err(RunError::Host { host, error });
+        }
+        let (host, error) = blame(&failures);
+        last_error = Some(error);
+        match setup.on_failure {
+            FailurePolicy::AbortClean => return Err(RunError::Aborted { host, error }),
+            FailurePolicy::ContinueStale => {
+                let Some(epoch) = store.latest_complete_epoch(setup.hosts) else {
+                    return Err(RunError::Unrecoverable {
+                        attempts: attempt + 1,
+                        last: error,
+                    });
+                };
+                setup
+                    .tracer
+                    .record_event(host, "recovery", host, u64::from(attempt) + 1);
+                // Finalize-only relaunch: restore the stale epoch and
+                // gather it without computing (zero sync rounds, so no
+                // injected crash can re-fire).
+                let mut out = attempt_once(
+                    setup,
+                    algo,
+                    input,
+                    source,
+                    needs_transpose,
+                    wrap,
+                    attempt + 1,
+                    &store,
+                    Some(epoch),
+                    true,
+                )
+                .map_err(|f| RunError::Unrecoverable {
+                    attempts: attempt + 2,
+                    last: blame(&f).1,
+                })?;
+                out.recoveries = recoveries + 1;
+                out.degraded = true;
+                return Ok(out);
+            }
+            FailurePolicy::Recover => {
+                setup
+                    .tracer
+                    .record_event(host, "recovery", host, u64::from(attempt) + 1);
+                recoveries += 1;
+            }
+        }
     }
+    Err(RunError::Unrecoverable {
+        attempts: attempts_allowed,
+        last: last_error.expect("at least one attempt ran"),
+    })
+}
+
+/// One supervised attempt: build a fresh cluster (wrapping endpoints for
+/// this attempt number), run the fallible host program on every host, and
+/// either assemble a global outcome or report every host's failure.
+#[allow(clippy::too_many_arguments)] // private supervisor plumbing
+fn attempt_once<W, F>(
+    setup: &Setup<'_>,
+    algo: Algorithm,
+    input: &Csr,
+    source: Gid,
+    needs_transpose: bool,
+    wrap: &F,
+    attempt: u32,
+    store: &CheckpointStore,
+    restore_epoch: Option<u64>,
+    finalize_only: bool,
+) -> Result<DistOutcome, Vec<(usize, SyncError)>>
+where
+    W: Transport,
+    F: Fn(MemoryTransport, u32) -> W + Send + Sync,
+{
+    let engine = setup.engine;
+    let pr = setup.pr;
+    let ckpt = CkptSetup {
+        store: store.clone(),
+        every: setup.ckpt_every,
+        restore_epoch,
+        finalize_only,
+    };
+    let compute = |lg: &LocalGraph, ctx: &mut GluonContext<'_, W>| {
+        try_dispatch(lg, ctx, algo, engine, source, pr)
+    };
+    let (per_host, stats) = run_cluster_fallible(
+        setup.hosts,
+        NetStats::new(setup.hosts),
+        |ep| wrap(ep, attempt),
+        |net, token| {
+            try_host_program(
+                net,
+                token,
+                input,
+                setup.policy,
+                setup.opts,
+                setup.threads,
+                setup.arena,
+                &setup.tracer,
+                &|_| needs_transpose,
+                &compute,
+                &ckpt,
+            )
+        },
+    );
+    let failures: Vec<(usize, SyncError)> = per_host
+        .iter()
+        .enumerate()
+        .filter_map(|(host, r)| r.as_ref().err().map(|e| (host, *e)))
+        .collect();
+    if !failures.is_empty() {
+        return Err(failures);
+    }
+    let per_host: Vec<HostResult> = per_host
+        .into_iter()
+        .map(|r| r.expect("no failures"))
+        .collect();
+    Ok(assemble(
+        input.num_nodes() as usize,
+        u32::MAX,
+        per_host,
+        stats,
+    ))
 }
 
 /// Runs BFS on a *heterogeneous* cluster: host `h` computes with
@@ -505,7 +977,87 @@ fn assemble(n: usize, int_default: u32, per_host: Vec<HostResult>, stats: NetSta
             .fold(0.0, f64::max),
         partition: PartitionStats::of(&partitions),
         net: stats.snapshot(),
+        recoveries: 0,
+        degraded: false,
     }
+}
+
+/// Checkpoint wiring for one supervised attempt.
+struct CkptSetup {
+    store: CheckpointStore,
+    every: Option<u64>,
+    restore_epoch: Option<u64>,
+    finalize_only: bool,
+}
+
+/// The per-host compute closure [`try_host_program`] drives: partition in,
+/// owned labels (or a typed sync failure) out.
+type HostCompute<'a, T> =
+    dyn Fn(&LocalGraph, &mut GluonContext<'_, T>) -> Result<HostLabels, SyncError> + Sync + 'a;
+
+/// The fallible SPMD body [`Run::try_launch`] runs on every host: like
+/// [`host_program`], plus checkpoint configuration and failure handling —
+/// a failing host trips the cluster-wide cancellation token so blocked
+/// siblings abort promptly, *except* when it is itself the simulated
+/// crash victim (a real dead host announces nothing; its peers must
+/// discover the silence through the failure detector).
+#[allow(clippy::too_many_arguments)] // private SPMD plumbing, one call site
+fn try_host_program<T: Transport>(
+    net: &T,
+    token: &CancelToken,
+    input: &Csr,
+    policy: Policy,
+    opts: OptLevel,
+    threads: usize,
+    arena: bool,
+    tracer: &Tracer,
+    transpose: &(dyn Fn(usize) -> bool + Sync),
+    compute: &HostCompute<'_, T>,
+    ckpt: &CkptSetup,
+) -> Result<HostResult, SyncError> {
+    let comm = Communicator::with_tracer(net, tracer.clone());
+    let part_start = Instant::now();
+    let mut lg = partition_on_host(input, policy, &comm);
+    if transpose(comm.rank()) {
+        lg.build_transpose();
+    }
+    comm.barrier();
+    let partition_secs = part_start.elapsed().as_secs_f64();
+    let mut ctx = GluonContext::new(&lg, &comm, opts)
+        .with_pool(Pool::new(threads))
+        .with_arena(arena);
+    if ckpt.every.is_some() || ckpt.restore_epoch.is_some() {
+        // `every` is absent only on a finalize-only relaunch of a store
+        // populated by an earlier configuration; u64::MAX never divides a
+        // reachable round, so saving is effectively off.
+        ctx = ctx
+            .with_checkpoints(ckpt.store.clone(), ckpt.every.unwrap_or(u64::MAX))
+            .with_restore_epoch(ckpt.restore_epoch)
+            .with_finalize_only(ckpt.finalize_only);
+    }
+    ctx.reset_timer();
+    let algo_start = Instant::now();
+    let (ints, floats, rounds) = match compute(&lg, &mut ctx) {
+        Ok(labels) => labels,
+        Err(e) => {
+            if !matches!(e, SyncError::Net(NetError::HostCrashed { .. })) {
+                token.trip();
+            }
+            return Err(e);
+        }
+    };
+    let algo_secs = algo_start.elapsed().as_secs_f64();
+    let masters_int = gather_masters(&lg, &ints);
+    let masters_f64 = gather_masters(&lg, &floats);
+    Ok(HostResult {
+        masters_int,
+        masters_f64,
+        rounds,
+        stats: ctx.into_stats(),
+        algo_secs,
+        partition_secs,
+        partition: lg,
+    })
 }
 
 fn dispatch<T: Transport + ?Sized>(
@@ -534,6 +1086,36 @@ fn dispatch<T: Transport + ?Sized>(
             (Vec::new(), r, iters)
         }
     }
+}
+
+/// As [`dispatch`], through the fallible, checkpoint-aware application
+/// entry points.
+fn try_dispatch<T: Transport + ?Sized>(
+    lg: &LocalGraph,
+    ctx: &mut GluonContext<'_, T>,
+    algo: Algorithm,
+    engine: EngineKind,
+    source: Gid,
+    pr: PagerankConfig,
+) -> Result<HostLabels, SyncError> {
+    Ok(match algo {
+        Algorithm::Bfs => {
+            let (d, rounds) = apps::try_bfs(lg, ctx, source, engine)?;
+            (d, Vec::new(), rounds)
+        }
+        Algorithm::Sssp => {
+            let (d, rounds) = apps::try_sssp(lg, ctx, source, engine)?;
+            (d, Vec::new(), rounds)
+        }
+        Algorithm::Cc => {
+            let (l, rounds) = apps::try_cc(lg, ctx, engine)?;
+            (l, Vec::new(), rounds)
+        }
+        Algorithm::Pagerank => {
+            let (r, iters) = apps::try_pagerank(lg, ctx, pr, engine)?;
+            (Vec::new(), r, iters)
+        }
+    })
 }
 
 fn gather_masters<V: Copy>(lg: &LocalGraph, values: &[V]) -> Vec<(u32, V)> {

@@ -28,7 +28,7 @@ mod minrelax;
 pub mod reference;
 
 pub use apps::{CopyField, PagerankConfig};
-pub use driver::{run_heterogeneous_bfs, DistConfig, DistOutcome, Run};
+pub use driver::{run_heterogeneous_bfs, DistConfig, DistOutcome, FailurePolicy, Run, RunError};
 
 /// The shared-memory engine computing each host's partition.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]

@@ -28,7 +28,10 @@
 //!   ([`IrglEngine::kernel_par`]), with device work counters unchanged.
 
 use crate::EngineKind;
-use gluon::{DenseBitset, GluonContext, MinField, ReadLocation, SyncSpec, WriteLocation};
+use gluon::{
+    CheckpointSnapshot, DenseBitset, GluonContext, MinField, ReadLocation, SyncError, SyncSpec,
+    WriteLocation,
+};
 use gluon_engines::irgl::IrglEngine;
 use gluon_engines::ligra::{Direction, VertexSubset};
 use gluon_engines::{galois, ligra};
@@ -57,10 +60,48 @@ pub(crate) fn run<T: Transport + ?Sized>(
     engine: EngineKind,
     relax: RelaxFn,
 ) -> u32 {
+    try_run(lg, ctx, labels, active, engine, relax)
+        .unwrap_or_else(|e| panic!("minrelax failed: {e}"))
+}
+
+/// As [`run`], surfacing sync failures as errors, restoring from the
+/// context's selected checkpoint epoch (if any) before computing, and
+/// snapshotting `labels` + the active set whenever a completed round is a
+/// checkpoint boundary. With checkpointing off this is exactly the
+/// infallible loop.
+pub(crate) fn try_run<T: Transport + ?Sized>(
+    lg: &LocalGraph,
+    ctx: &mut GluonContext<'_, T>,
+    labels: &mut [u32],
+    active: &mut DenseBitset,
+    engine: EngineKind,
+    relax: RelaxFn,
+) -> Result<u32, SyncError> {
     let n = lg.num_proxies();
     assert_eq!(labels.len(), n as usize, "one label per proxy");
     let pool = ctx.pool().clone();
     let mut rounds = 0u32;
+    if let Some(snap) = ctx.restore_snapshot() {
+        // The snapshot was taken at a round boundary (post-sync,
+        // post-termination-vote), so restoring labels + active bits and
+        // resuming at round+1 replays the crash-free execution exactly —
+        // every engine path is deterministic.
+        let saved = snap
+            .values::<u32>("labels")
+            .expect("checkpoint missing labels field");
+        assert_eq!(saved.len(), labels.len(), "checkpoint from another graph");
+        labels.copy_from_slice(&saved);
+        let words = snap
+            .values::<u64>("active_words")
+            .expect("checkpoint missing active_words field");
+        active.copy_from_words(&words);
+        rounds = u32::try_from(snap.round()).expect("round fits u32");
+    }
+    if ctx.finalize_only() {
+        // ContinueStale degradation: surface the restored epoch's labels
+        // without running (or syncing) any further rounds.
+        return Ok(rounds);
+    }
     let mut device = IrglEngine::new(Default::default());
     loop {
         rounds += 1;
@@ -184,9 +225,16 @@ pub(crate) fn run<T: Transport + ?Sized>(
         }
         *active = changed;
         let mut field = MinField::new(labels);
-        ctx.sync(&SPEC, &mut field, active);
-        if !ctx.any_globally(!active.is_empty()) {
-            return rounds;
+        ctx.try_sync(&SPEC, &mut field, active)?;
+        let live = ctx.try_any_globally(!active.is_empty())?;
+        if !live {
+            return Ok(rounds);
+        }
+        if ctx.checkpoint_due(u64::from(rounds)) {
+            let mut snap = CheckpointSnapshot::new(u64::from(rounds));
+            snap.put_values("labels", labels);
+            snap.put_values("active_words", active.words());
+            ctx.save_checkpoint(snap);
         }
     }
 }

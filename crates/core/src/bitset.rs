@@ -125,6 +125,33 @@ impl DenseBitset {
         }
     }
 
+    /// The raw backing words (little-endian bit order within each word),
+    /// for checkpointing.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Overwrites the backing words from a checkpointed snapshot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words` was taken from a bitset of a different capacity.
+    pub fn copy_from_words(&mut self, words: &[u64]) {
+        assert_eq!(
+            self.words.len(),
+            words.len(),
+            "word count mismatch: snapshot from a different capacity"
+        );
+        self.words.copy_from_slice(words);
+        // Re-mask the tail so stray high bits cannot appear past capacity.
+        let tail = self.capacity as usize % 64;
+        if tail != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << tail) - 1;
+            }
+        }
+    }
+
     /// Iterates over set bits in ascending order.
     pub fn iter(&self) -> Iter<'_> {
         Iter {

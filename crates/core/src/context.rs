@@ -3,6 +3,7 @@
 
 use crate::arena::{FieldArena, PeerScratch, SyncArena, SLOT_RING_CAP};
 use crate::bitset::DenseBitset;
+use crate::checkpoint::{CheckpointSnapshot, CheckpointStore};
 use crate::comm_tags::{sync_tag, SYNC_TAG_WINDOW};
 use crate::encode::{
     decode_gid_values, decode_memoized_scratch, encode_gid_values_into, encode_memoized_into,
@@ -243,6 +244,20 @@ pub struct GluonContext<'a, T: Transport + ?Sized> {
     pending_crit_work: u64,
     pool: Pool,
     arena: SyncArena,
+    ckpt: Option<CheckpointCfg>,
+}
+
+/// Checkpoint/recovery configuration attached to a context (absent in the
+/// default, allocation-free steady state).
+struct CheckpointCfg {
+    store: CheckpointStore,
+    /// Snapshot every `every` algorithm rounds.
+    every: u64,
+    /// Epoch (= round) to restore from before computing, when recovering.
+    restore_epoch: Option<u64>,
+    /// Restore and produce output without running further rounds (the
+    /// `ContinueStale` degradation policy).
+    finalize_only: bool,
 }
 
 /// Splits one sync call into contiguous timed segments, each emitted as a
@@ -389,7 +404,89 @@ impl<'a, T: Transport + ?Sized> GluonContext<'a, T> {
             pending_crit_work: 0,
             pool: Pool::sequential(),
             arena: SyncArena::new(true),
+            ckpt: None,
         }
+    }
+
+    /// Enables epoch checkpointing: every `every` algorithm rounds the
+    /// engine snapshots its owned state into `store` (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `every` is zero.
+    #[must_use]
+    pub fn with_checkpoints(mut self, store: CheckpointStore, every: u64) -> Self {
+        assert!(every >= 1, "checkpoint interval must be at least 1 round");
+        self.ckpt = Some(CheckpointCfg {
+            store,
+            every,
+            restore_epoch: None,
+            finalize_only: false,
+        });
+        self
+    }
+
+    /// Selects the checkpoint epoch to restore from before computing
+    /// (no-op without [`GluonContext::with_checkpoints`]; `None` starts
+    /// from scratch).
+    #[must_use]
+    pub fn with_restore_epoch(mut self, epoch: Option<u64>) -> Self {
+        if let Some(c) = &mut self.ckpt {
+            c.restore_epoch = epoch;
+        }
+        self
+    }
+
+    /// Puts the context in finalize-only mode: engines restore the chosen
+    /// epoch and produce output without running further rounds (the
+    /// `ContinueStale` degradation policy).
+    #[must_use]
+    pub fn with_finalize_only(mut self, finalize_only: bool) -> Self {
+        if let Some(c) = &mut self.ckpt {
+            c.finalize_only = finalize_only;
+        }
+        self
+    }
+
+    /// Whether engines should skip computation and only finalize restored
+    /// state.
+    pub fn finalize_only(&self) -> bool {
+        self.ckpt.as_ref().is_some_and(|c| c.finalize_only)
+    }
+
+    /// Whether the engine should snapshot after completing `round`
+    /// (1-based). Always false when checkpointing is off, keeping the
+    /// steady state allocation-free.
+    pub fn checkpoint_due(&self, round: u64) -> bool {
+        self.ckpt
+            .as_ref()
+            .is_some_and(|c| round >= 1 && round.is_multiple_of(c.every))
+    }
+
+    /// Loads this host's snapshot at the configured restore epoch, if
+    /// recovery selected one.
+    pub fn restore_snapshot(&self) -> Option<CheckpointSnapshot> {
+        let c = self.ckpt.as_ref()?;
+        c.store.load(self.rank(), c.restore_epoch?)
+    }
+
+    /// Saves `snap` as this host's state at epoch `snap.round()` and
+    /// records a `checkpoint` trace event. No-op when checkpointing is
+    /// off.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a file-backed store fails to write (an operator-level
+    /// storage fault, not a recoverable cluster event).
+    pub fn save_checkpoint(&mut self, snap: CheckpointSnapshot) {
+        let Some(c) = &self.ckpt else { return };
+        let round = snap.round();
+        let bytes = snap.payload_bytes();
+        c.store
+            .save(self.rank(), round, snap)
+            .unwrap_or_else(|e| panic!("checkpoint write for round {round} failed: {e}"));
+        self.tracer
+            .record_event(self.rank(), "checkpoint", self.rank(), bytes);
     }
 
     /// Installs an intra-host worker pool (builder style). The pool drives
@@ -561,6 +658,10 @@ impl<'a, T: Transport + ?Sized> GluonContext<'a, T> {
 
         let seq = self.seq;
         self.seq = self.seq.wrapping_add(1);
+        // Report the 1-based sync-phase index to the transport: fault
+        // plans key injected crashes on it, and peer-failure errors carry
+        // it back so a supervisor knows when the failure happened.
+        self.comm.transport().note_round(u64::from(seq) + 1);
         const { assert!(SYNC_TAG_WINDOW > 2, "tag window") };
         let structural = self.opts.structural;
         let field_name = spec.name.unwrap_or_else(std::any::type_name::<F>);

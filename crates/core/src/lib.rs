@@ -81,6 +81,7 @@
 
 mod arena;
 mod bitset;
+mod checkpoint;
 mod comm_tags;
 mod context;
 pub mod encode;
@@ -92,6 +93,7 @@ mod value;
 
 pub use arena::{SyncArena, ARENA_WARMUP_ROUNDS};
 pub use bitset::{DenseBitset, Iter as BitsetIter};
+pub use checkpoint::{CheckpointSnapshot, CheckpointStore};
 pub use context::{GluonContext, ReadLocation, SyncError, SyncSpec, WriteLocation};
 pub use encode::DecodeError;
 pub use field::{init_field, FieldSync, MaxField, MinField, PairMinField, SumField, Zero};

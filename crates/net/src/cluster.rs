@@ -1,7 +1,7 @@
 //! SPMD cluster simulation: one OS thread per host.
 
 use crate::stats::NetStats;
-use crate::transport::{MemoryTransport, Transport};
+use crate::transport::{CancelToken, MemoryTransport, Transport};
 use std::thread;
 
 /// Runs `program` once per simulated host, in parallel, and returns the
@@ -138,6 +138,69 @@ where
     (results, stats)
 }
 
+/// As [`run_cluster_wrapped`], but the per-host program is *fallible*: it
+/// returns a `Result` and additionally receives the cluster's shared
+/// [`CancelToken`].
+///
+/// The runner never trips the token itself — that is the program's (or a
+/// supervisor's) decision, because not every failure should abort the
+/// siblings. In particular a host simulating its own crash must *not*
+/// notify anyone: its peers are supposed to discover the silence through
+/// their failure detectors. A program that hits a failure its peers cannot
+/// otherwise observe should `token.trip()` before returning `Err`, which
+/// makes every sibling blocked inside the in-memory transport (or a
+/// reliability wrapper over it) return [`crate::NetError::Cancelled`]
+/// promptly instead of waiting out its receive budget.
+///
+/// All per-host results — `Ok` and `Err` alike — are returned in rank
+/// order; classification is the caller's job.
+///
+/// # Panics
+///
+/// Panics if any host's program panics, or if `stats` was sized for a
+/// different world size.
+pub fn run_cluster_fallible<W, R, E, WrapF, ProgF>(
+    world_size: usize,
+    stats: NetStats,
+    wrap: WrapF,
+    program: ProgF,
+) -> (Vec<Result<R, E>>, NetStats)
+where
+    W: Transport,
+    R: Send,
+    E: Send,
+    WrapF: Fn(MemoryTransport) -> W + Send + Sync,
+    ProgF: Fn(&W, &CancelToken) -> Result<R, E> + Send + Sync,
+{
+    let endpoints = MemoryTransport::cluster_with_stats(world_size, stats.clone());
+    let results = thread::scope(|s| {
+        let wrap = &wrap;
+        let program = &program;
+        let handles: Vec<_> = endpoints
+            .into_iter()
+            .map(|ep| {
+                let rank = ep.rank();
+                let token = ep.cancel_token();
+                thread::Builder::new()
+                    .name(format!("host-{rank}"))
+                    .spawn_scoped(s, move || {
+                        let net = wrap(ep);
+                        program(&net, &token)
+                    })
+                    .expect("spawn host thread")
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(r) => r,
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
+            .collect()
+    });
+    (results, stats)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -191,6 +254,54 @@ mod tests {
         );
         assert_eq!(sums, vec![6, 6, 6]);
         assert!(counters.total() > 0, "the lossy plan must have fired");
+    }
+
+    #[test]
+    fn fallible_cluster_returns_per_host_results() {
+        let (results, _) = run_cluster_fallible(
+            3,
+            NetStats::new(3),
+            |ep| ep,
+            |net, _token| -> Result<usize, crate::error::NetError> {
+                Communicator::new(net).barrier();
+                Ok(net.rank() * 10)
+            },
+        );
+        let values: Vec<_> = results.into_iter().map(|r| r.expect("all ok")).collect();
+        assert_eq!(values, vec![0, 10, 20]);
+    }
+
+    #[test]
+    fn tripped_token_aborts_a_blocked_sibling_promptly() {
+        use crate::error::NetError;
+        use std::time::{Duration, Instant};
+
+        let started = Instant::now();
+        let (results, _) = run_cluster_fallible(
+            2,
+            NetStats::new(2),
+            |ep| ep,
+            |net, token| -> Result<(), NetError> {
+                if net.rank() == 0 {
+                    // Host 0 fails immediately and tells everyone.
+                    token.trip();
+                    return Err(NetError::Cancelled);
+                }
+                // Host 1 waits for a message that will never come; the
+                // token must unblock it, not a timeout.
+                match net.try_recv(0, 0) {
+                    Ok(_) => panic!("no message was ever sent"),
+                    Err(e) => Err(e),
+                }
+            },
+        );
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "cancellation must be prompt"
+        );
+        for r in results {
+            assert_eq!(r.expect_err("both hosts abort"), NetError::Cancelled);
+        }
     }
 
     #[test]

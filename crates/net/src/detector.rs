@@ -1,0 +1,237 @@
+//! Heartbeat-based failure detection.
+//!
+//! A crashed host cannot say goodbye: all its peers observe is silence.
+//! Without a detector, that silence turns into an indefinite `recv_wait`
+//! (or a very slow retransmission-budget exhaustion). The reliability
+//! layer therefore exchanges lightweight heartbeat frames whenever it
+//! touches the wire, and a per-peer [`FailureDetector`] — a simplified
+//! phi-accrual detector in the style of Hayashibara et al. — converts
+//! sustained silence into a typed [`crate::NetError::PeerDown`].
+//!
+//! The phi value models inter-arrival gaps as exponentially distributed
+//! with the observed (EWMA) mean: `phi = elapsed / (mean * ln 10)` is the
+//! negative log-probability of seeing a gap this long from a live peer.
+//! Suspicion requires `phi` above [`DetectorConfig::phi_threshold`] *and*
+//! silence past [`DetectorConfig::min_silence`] (so a handful of early
+//! samples cannot trigger it), and is forced once silence exceeds the
+//! [`DetectorConfig::max_silence`] hard backstop regardless of history.
+//!
+//! The detector is entirely passive: it never sends anything itself and
+//! holds no locks or threads. [`crate::ReliableTransport`] feeds it
+//! arrivals and polls it from its blocking loops.
+
+use std::time::{Duration, Instant};
+
+/// EWMA weight of the newest inter-arrival sample (1/8, like TCP's SRTT).
+const GAP_ALPHA: f64 = 0.125;
+
+/// Arrivals needed before the phi path may fire (the backstop is always
+/// armed); protects against a cold estimator declaring everyone dead.
+const MIN_SAMPLES: u64 = 8;
+
+/// Tuning for the heartbeat failure detector.
+#[derive(Clone, Copy, Debug)]
+pub struct DetectorConfig {
+    /// How often a host emits heartbeats to every peer while it is
+    /// touching the network.
+    pub heartbeat_every: Duration,
+    /// Phi (suspicion level) above which a silent peer is declared down.
+    pub phi_threshold: f64,
+    /// Silence below this duration never triggers suspicion, whatever phi
+    /// says (grace floor against scheduling hiccups).
+    pub min_silence: Duration,
+    /// Silence beyond this duration always triggers suspicion, even with
+    /// no arrival history (hard timeout backstop).
+    pub max_silence: Duration,
+}
+
+impl Default for DetectorConfig {
+    fn default() -> DetectorConfig {
+        DetectorConfig {
+            heartbeat_every: Duration::from_micros(500),
+            phi_threshold: 8.0,
+            min_silence: Duration::from_millis(50),
+            max_silence: Duration::from_millis(500),
+        }
+    }
+}
+
+impl DetectorConfig {
+    /// Sets the hard silence backstop (and scales the grace floor down to
+    /// it if the floor would exceed it).
+    pub fn with_max_silence(mut self, max_silence: Duration) -> DetectorConfig {
+        self.max_silence = max_silence;
+        self.min_silence = self.min_silence.min(max_silence);
+        self
+    }
+
+    /// Sets the phi suspicion threshold.
+    pub fn with_phi_threshold(mut self, phi: f64) -> DetectorConfig {
+        self.phi_threshold = phi;
+        self
+    }
+}
+
+/// Per-peer arrival history.
+#[derive(Clone, Copy, Debug)]
+struct PeerHealth {
+    /// Last time any frame arrived from the peer; `None` until the first
+    /// suspicion query or arrival starts the clock.
+    last_heard: Option<Instant>,
+    /// EWMA of inter-arrival gaps, nanoseconds.
+    mean_gap_ns: f64,
+    /// Arrivals observed.
+    samples: u64,
+}
+
+/// Tracks per-peer liveness from observed frame arrivals.
+#[derive(Debug)]
+pub(crate) struct FailureDetector {
+    cfg: DetectorConfig,
+    peers: Vec<PeerHealth>,
+}
+
+impl FailureDetector {
+    pub(crate) fn new(cfg: DetectorConfig, world_size: usize) -> FailureDetector {
+        FailureDetector {
+            cfg,
+            peers: vec![
+                PeerHealth {
+                    last_heard: None,
+                    mean_gap_ns: 0.0,
+                    samples: 0,
+                };
+                world_size
+            ],
+        }
+    }
+
+    pub(crate) fn config(&self) -> &DetectorConfig {
+        &self.cfg
+    }
+
+    /// Records that a frame (of any kind) arrived from `peer` at `now`.
+    pub(crate) fn heard(&mut self, peer: usize, now: Instant) {
+        let h = &mut self.peers[peer];
+        if let Some(prev) = h.last_heard {
+            let gap = now.saturating_duration_since(prev).as_nanos() as f64;
+            h.mean_gap_ns = if h.samples == 0 {
+                gap
+            } else {
+                (1.0 - GAP_ALPHA) * h.mean_gap_ns + GAP_ALPHA * gap
+            };
+            h.samples += 1;
+        }
+        h.last_heard = Some(now);
+    }
+
+    /// The current suspicion level for `peer`: 0 while fresh, growing
+    /// without bound as silence stretches past the observed mean gap.
+    pub(crate) fn phi(&self, peer: usize, now: Instant) -> f64 {
+        let h = &self.peers[peer];
+        let (Some(last), true) = (h.last_heard, h.samples >= MIN_SAMPLES) else {
+            return 0.0;
+        };
+        let elapsed = now.saturating_duration_since(last).as_nanos() as f64;
+        let mean = h.mean_gap_ns.max(1.0);
+        elapsed / (mean * std::f64::consts::LN_10)
+    }
+
+    /// Whether `peer` should be declared down at `now`. The first query
+    /// for a never-heard peer starts its silence clock instead of
+    /// suspecting it (silence is measured from when we began waiting).
+    pub(crate) fn suspect(&mut self, peer: usize, now: Instant) -> bool {
+        let Some(last) = self.peers[peer].last_heard else {
+            self.peers[peer].last_heard = Some(now);
+            return false;
+        };
+        let elapsed = now.saturating_duration_since(last);
+        if elapsed >= self.cfg.max_silence {
+            return true;
+        }
+        elapsed >= self.cfg.min_silence && self.phi(peer, now) > self.cfg.phi_threshold
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast_cfg() -> DetectorConfig {
+        DetectorConfig {
+            heartbeat_every: Duration::from_micros(100),
+            phi_threshold: 4.0,
+            min_silence: Duration::from_millis(1),
+            max_silence: Duration::from_millis(20),
+        }
+    }
+
+    #[test]
+    fn fresh_peer_is_not_suspected_immediately() {
+        let mut d = FailureDetector::new(fast_cfg(), 2);
+        let now = Instant::now();
+        assert!(!d.suspect(1, now), "first query only starts the clock");
+        assert!(
+            !d.suspect(1, now + Duration::from_micros(10)),
+            "sub-floor silence is never suspicious"
+        );
+    }
+
+    #[test]
+    fn hard_backstop_fires_without_history() {
+        let mut d = FailureDetector::new(fast_cfg(), 2);
+        let t0 = Instant::now();
+        assert!(!d.suspect(1, t0));
+        assert!(d.suspect(1, t0 + Duration::from_millis(25)));
+    }
+
+    #[test]
+    fn phi_grows_with_silence_and_fires_before_backstop() {
+        let mut d = FailureDetector::new(fast_cfg(), 2);
+        let t0 = Instant::now();
+        // A steady 100µs heartbeat stream...
+        for i in 0..20u32 {
+            d.heard(1, t0 + i * Duration::from_micros(100));
+        }
+        let last = t0 + 19 * Duration::from_micros(100);
+        assert!(d.phi(1, last + Duration::from_micros(100)) < 1.0);
+        // ...then 5ms of silence: 50x the mean gap, far past phi=4.
+        let silent = last + Duration::from_millis(5);
+        assert!(d.phi(1, silent) > 4.0);
+        assert!(
+            d.suspect(1, silent),
+            "phi path must fire before 20ms backstop"
+        );
+    }
+
+    #[test]
+    fn regular_arrivals_keep_phi_low() {
+        let mut d = FailureDetector::new(fast_cfg(), 2);
+        let t0 = Instant::now();
+        for i in 0..100u32 {
+            let now = t0 + i * Duration::from_micros(100);
+            d.heard(1, now);
+            assert!(!d.suspect(1, now), "live peer must never be suspected");
+        }
+    }
+
+    #[test]
+    fn arrival_after_silence_clears_suspicion() {
+        let mut d = FailureDetector::new(fast_cfg(), 2);
+        let t0 = Instant::now();
+        assert!(!d.suspect(1, t0));
+        let late = t0 + Duration::from_millis(30);
+        assert!(d.suspect(1, late));
+        d.heard(1, late);
+        assert!(!d.suspect(1, late + Duration::from_micros(10)));
+    }
+
+    #[test]
+    fn default_config_is_sane() {
+        let cfg = DetectorConfig::default();
+        assert!(cfg.min_silence < cfg.max_silence);
+        assert!(cfg.heartbeat_every < cfg.min_silence);
+        let tight = cfg.with_max_silence(Duration::from_millis(10));
+        assert!(tight.min_silence <= tight.max_silence);
+    }
+}

@@ -2,10 +2,17 @@
 //!
 //! The in-memory [`crate::MemoryTransport`] cannot fail, but the reliability
 //! layer ([`crate::ReliableTransport`]) can exhaust its retransmission
-//! budget against a lossy or dead peer. That condition is surfaced as a
-//! [`NetError`] through the `try_*` methods of [`crate::Transport`] so that
-//! callers — ultimately the Gluon sync paths — can degrade gracefully
-//! instead of blocking forever or panicking.
+//! budget against a lossy or dead peer, its failure detector can declare a
+//! silent peer down, a [`crate::FaultPlan`] crash rule can kill the local
+//! endpoint, and a sibling host can trip the cluster's cancellation token.
+//! All of these surface as a [`NetError`] through the `try_*` methods of
+//! [`crate::Transport`] so that callers — ultimately the Gluon sync paths —
+//! can degrade gracefully instead of blocking forever or panicking.
+//!
+//! The `round` carried by the peer-failure variants is the last sync-phase
+//! index the local host reported through [`crate::Transport::note_round`]
+//! (0 if the failure happened before the first sync), which lets a
+//! supervisor decide which checkpoint epoch to roll back to.
 
 use std::fmt;
 
@@ -21,25 +28,88 @@ pub enum NetError {
         /// Retransmission attempts (or receive budget, as retries) spent
         /// before giving up.
         retries: u32,
+        /// Sync-phase index the local host was in when it gave up.
+        round: u64,
     },
+    /// The failure detector declared a peer dead: no frame (data, control,
+    /// or heartbeat) arrived from it for longer than the configured
+    /// suspicion threshold.
+    PeerDown {
+        /// Rank of the silent peer.
+        peer: usize,
+        /// Sync-phase index the local host was in when the detector fired.
+        round: u64,
+    },
+    /// An injected [`crate::CrashRule`] killed *this* host's endpoint: the
+    /// host is simulating its own death and must unwind without notifying
+    /// its peers (they learn of it through their failure detectors).
+    HostCrashed {
+        /// Rank of the crashed host (the local rank).
+        host: usize,
+        /// Sync-phase index at which the crash rule fired.
+        round: u64,
+    },
+    /// A sibling host tripped the cluster's cancellation token after
+    /// failing, so this host aborted its blocking operation instead of
+    /// waiting for traffic that will never come.
+    Cancelled,
 }
 
 impl NetError {
-    /// The peer this error concerns.
-    pub fn peer(&self) -> usize {
+    /// The remote peer this error blames, if it blames one.
+    ///
+    /// `HostCrashed` (a local event) and `Cancelled` (a cluster-wide event)
+    /// name no remote peer.
+    pub fn peer(&self) -> Option<usize> {
         match self {
-            NetError::PeerUnreachable { peer, .. } => *peer,
+            NetError::PeerUnreachable { peer, .. } | NetError::PeerDown { peer, .. } => Some(*peer),
+            NetError::HostCrashed { .. } | NetError::Cancelled => None,
         }
+    }
+
+    /// The sync-phase index attached to the error, if any.
+    pub fn round(&self) -> Option<u64> {
+        match self {
+            NetError::PeerUnreachable { round, .. }
+            | NetError::PeerDown { round, .. }
+            | NetError::HostCrashed { round, .. } => Some(*round),
+            NetError::Cancelled => None,
+        }
+    }
+
+    /// True for the variants that indicate a *remote host* failed (the
+    /// signals a supervisor treats as recoverable by rollback-restart).
+    pub fn is_peer_failure(&self) -> bool {
+        matches!(
+            self,
+            NetError::PeerUnreachable { .. }
+                | NetError::PeerDown { .. }
+                | NetError::HostCrashed { .. }
+        )
     }
 }
 
 impl fmt::Display for NetError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            NetError::PeerUnreachable { peer, retries } => write!(
+            NetError::PeerUnreachable {
+                peer,
+                retries,
+                round,
+            } => write!(
                 f,
-                "peer {peer} unreachable after {retries} retransmission attempts"
+                "peer {peer} unreachable after {retries} retransmission attempts (round {round})"
             ),
+            NetError::PeerDown { peer, round } => {
+                write!(
+                    f,
+                    "peer {peer} declared down by failure detector (round {round})"
+                )
+            }
+            NetError::HostCrashed { host, round } => {
+                write!(f, "host {host} crashed by fault injection at round {round}")
+            }
+            NetError::Cancelled => write!(f, "cancelled: a sibling host failed"),
         }
     }
 }
@@ -55,8 +125,34 @@ mod tests {
         let e = NetError::PeerUnreachable {
             peer: 3,
             retries: 7,
+            round: 11,
         };
         assert!(e.to_string().contains("peer 3"));
-        assert_eq!(e.peer(), 3);
+        assert!(e.to_string().contains("round 11"));
+        assert_eq!(e.peer(), Some(3));
+        assert_eq!(e.round(), Some(11));
+        assert!(e.is_peer_failure());
+    }
+
+    #[test]
+    fn detector_and_crash_variants_carry_rounds() {
+        let d = NetError::PeerDown { peer: 1, round: 4 };
+        assert_eq!(d.peer(), Some(1));
+        assert_eq!(d.round(), Some(4));
+        assert!(d.is_peer_failure());
+        let c = NetError::HostCrashed { host: 2, round: 9 };
+        assert_eq!(c.peer(), None);
+        assert_eq!(c.round(), Some(9));
+        assert!(c.is_peer_failure());
+        assert!(c.to_string().contains("host 2"));
+    }
+
+    #[test]
+    fn cancellation_blames_no_peer() {
+        let e = NetError::Cancelled;
+        assert_eq!(e.peer(), None);
+        assert_eq!(e.round(), None);
+        assert!(!e.is_peer_failure());
+        assert!(e.to_string().contains("cancelled"));
     }
 }

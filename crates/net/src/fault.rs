@@ -26,6 +26,7 @@
 //! Self-sends (`dst == rank`) bypass injection entirely: loopback traffic
 //! never traverses the NIC on a real host either.
 
+use crate::error::NetError;
 use crate::stats::NetStats;
 use crate::transport::{Envelope, Transport};
 use bytes::Bytes;
@@ -34,6 +35,58 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
+
+/// A scheduled host crash: when the local host is `host` and the
+/// application reports reaching sync round `round` (via
+/// [`Transport::note_round`]), the endpoint dies — outbound traffic is
+/// silently swallowed from that point on and every fallible operation on
+/// the endpoint returns [`NetError::HostCrashed`], so the host's thread
+/// unwinds as if the process were killed while its peers observe nothing
+/// but silence.
+///
+/// `attempt` scopes the rule to one supervised execution attempt:
+/// `Some(0)` (the [`CrashRule::at`] default) crashes only the first
+/// attempt — the recovery relaunch survives — while `None` crashes every
+/// attempt, modelling a host that is permanently gone. The transport never
+/// sees `attempt`: a supervisor filters the plan with
+/// [`FaultPlan::for_attempt`] before building each attempt's stack.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct CrashRule {
+    /// Rank of the host that dies.
+    pub host: usize,
+    /// Sync round (1-based, as reported by `note_round`) at which it dies.
+    pub round: u64,
+    /// Attempt the rule applies to (`None` = every attempt).
+    pub attempt: Option<u32>,
+}
+
+impl CrashRule {
+    /// Crashes `host` at sync round `round` on the first attempt only.
+    pub fn at(host: usize, round: u64) -> CrashRule {
+        CrashRule {
+            host,
+            round,
+            attempt: Some(0),
+        }
+    }
+
+    /// Makes the rule fire on every supervised attempt (an unrecoverable,
+    /// permanently dead host).
+    pub fn every_attempt(self) -> CrashRule {
+        CrashRule {
+            attempt: None,
+            ..self
+        }
+    }
+
+    /// Scopes the rule to supervised attempt `attempt`.
+    pub fn on_attempt(self, attempt: u32) -> CrashRule {
+        CrashRule {
+            attempt: Some(attempt),
+            ..self
+        }
+    }
+}
 
 /// What to do to a send that a rule or a probability draw selected.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -129,6 +182,8 @@ pub struct FaultPlan {
     pub delay_rate: f64,
     /// Targeted rules, checked before the probabilistic draws.
     pub rules: Vec<FaultRule>,
+    /// Scheduled host crashes, fired by [`Transport::note_round`].
+    pub crashes: Vec<CrashRule>,
 }
 
 impl FaultPlan {
@@ -141,6 +196,7 @@ impl FaultPlan {
             corrupt_rate: 0.0,
             delay_rate: 0.0,
             rules: Vec::new(),
+            crashes: Vec::new(),
         }
     }
 
@@ -186,7 +242,30 @@ impl FaultPlan {
         self
     }
 
+    /// Appends a scheduled host crash.
+    pub fn with_crash(mut self, crash: CrashRule) -> FaultPlan {
+        self.crashes.push(crash);
+        self
+    }
+
+    /// The plan as seen by supervised execution attempt `attempt`: crash
+    /// rules scoped to other attempts are removed; everything else (rates,
+    /// targeted rules, every-attempt crashes) is kept verbatim.
+    pub fn for_attempt(&self, attempt: u32) -> FaultPlan {
+        let mut plan = self.clone();
+        plan.crashes
+            .retain(|c| c.attempt.is_none_or(|a| a == attempt));
+        plan
+    }
+
     fn validate(&self) {
+        for crash in &self.crashes {
+            assert!(
+                crash.round >= 1,
+                "crash rounds are 1-based: round 0 is pre-sync setup, which \
+                 uses infallible collectives and cannot host a clean crash"
+            );
+        }
         let total = self.drop_rate + self.duplicate_rate + self.corrupt_rate + self.delay_rate;
         assert!(
             (0.0..=1.0).contains(&total)
@@ -212,6 +291,7 @@ struct FaultCountersInner {
     duplicated: AtomicU64,
     corrupted: AtomicU64,
     delayed: AtomicU64,
+    crashed: AtomicU64,
 }
 
 impl FaultCounters {
@@ -240,9 +320,14 @@ impl FaultCounters {
         self.inner.delayed.load(Ordering::Relaxed)
     }
 
+    /// Host crashes fired by [`CrashRule`]s.
+    pub fn crashed(&self) -> u64 {
+        self.inner.crashed.load(Ordering::Relaxed)
+    }
+
     /// Total injected faults of any kind.
     pub fn total(&self) -> u64 {
-        self.dropped() + self.duplicated() + self.corrupted() + self.delayed()
+        self.dropped() + self.duplicated() + self.corrupted() + self.delayed() + self.crashed()
     }
 }
 
@@ -290,6 +375,10 @@ pub struct FaultyTransport<T: Transport> {
     /// 1-based send count per `(dst, tag)` stream, for `nth` rules.
     stream_counts: Mutex<HashMap<(usize, u32), u64>>,
     held: Mutex<Vec<Held>>,
+    /// Set when a [`CrashRule`] fires: the endpoint is dead from then on.
+    crashed: AtomicBool,
+    /// The round the crash fired at (for the [`NetError::HostCrashed`]).
+    crash_round: AtomicU64,
 }
 
 /// Anything still held is released when the wrapper goes away, so a host
@@ -320,6 +409,20 @@ impl<T: Transport> FaultyTransport<T> {
             rng: Mutex::new(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1),
             stream_counts: Mutex::new(HashMap::new()),
             held: Mutex::new(Vec::new()),
+            crashed: AtomicBool::new(false),
+            crash_round: AtomicU64::new(0),
+        }
+    }
+
+    /// Whether a [`CrashRule`] has killed this endpoint.
+    pub fn is_crashed(&self) -> bool {
+        self.crashed.load(Ordering::SeqCst)
+    }
+
+    fn crash_error(&self) -> NetError {
+        NetError::HostCrashed {
+            host: self.inner.rank(),
+            round: self.crash_round.load(Ordering::SeqCst),
         }
     }
 
@@ -378,9 +481,13 @@ impl<T: Transport> FaultyTransport<T> {
         }
     }
 
-    /// Releases every held message immediately.
+    /// Releases every held message immediately. A crashed endpoint drops
+    /// them instead: a dead host delivers nothing it was still holding.
     fn release_all(&self) {
         let drained = std::mem::take(&mut *self.held.lock());
+        if self.is_crashed() {
+            return;
+        }
         for h in drained {
             self.inner.send(h.dst, h.tag, h.payload);
         }
@@ -442,6 +549,10 @@ impl<T: Transport> Transport for FaultyTransport<T> {
     }
 
     fn send(&self, dst: usize, tag: u32, payload: Bytes) {
+        // A dead host puts nothing on the wire; peers see only silence.
+        if self.is_crashed() {
+            return;
+        }
         // Loopback traffic never crosses the NIC: pass it through.
         if dst == self.inner.rank() || !self.armed.load(Ordering::SeqCst) {
             self.inner.send(dst, tag, payload);
@@ -488,18 +599,76 @@ impl<T: Transport> Transport for FaultyTransport<T> {
     }
 
     fn recv(&self, src: usize, tag: u32) -> Bytes {
+        assert!(!self.is_crashed(), "infallible recv on a crashed endpoint");
         self.release_all();
         self.inner.recv(src, tag)
     }
 
     fn recv_any(&self, tag: u32) -> Envelope {
+        assert!(!self.is_crashed(), "infallible recv on a crashed endpoint");
         self.release_all();
         self.inner.recv_any(tag)
     }
 
     fn recv_any_timeout(&self, tag: u32, timeout: Duration) -> Option<Envelope> {
+        if self.is_crashed() {
+            // Dead hosts hear nothing; polls report silence so a stacked
+            // reliability layer falls through to its `cancelled` check.
+            return None;
+        }
         self.release_all();
         self.inner.recv_any_timeout(tag, timeout)
+    }
+
+    fn try_send(&self, dst: usize, tag: u32, payload: Bytes) -> Result<(), NetError> {
+        if self.is_crashed() {
+            return Err(self.crash_error());
+        }
+        self.send(dst, tag, payload);
+        Ok(())
+    }
+
+    fn try_recv(&self, src: usize, tag: u32) -> Result<Bytes, NetError> {
+        if self.is_crashed() {
+            return Err(self.crash_error());
+        }
+        self.release_all();
+        self.inner.try_recv(src, tag)
+    }
+
+    fn try_recv_any(&self, tag: u32) -> Result<Envelope, NetError> {
+        if self.is_crashed() {
+            return Err(self.crash_error());
+        }
+        self.release_all();
+        self.inner.try_recv_any(tag)
+    }
+
+    fn note_round(&self, round: u64) {
+        self.inner.note_round(round);
+        if self.is_crashed() {
+            return;
+        }
+        let rank = self.inner.rank();
+        if self
+            .plan
+            .crashes
+            .iter()
+            .any(|c| c.host == rank && round >= c.round)
+        {
+            self.crash_round.store(round, Ordering::SeqCst);
+            self.crashed.store(true, Ordering::SeqCst);
+            self.counters.inner.crashed.fetch_add(1, Ordering::Relaxed);
+            // Anything held back dies with the host.
+            self.held.lock().clear();
+        }
+    }
+
+    fn cancelled(&self) -> Option<NetError> {
+        if self.is_crashed() {
+            return Some(self.crash_error());
+        }
+        self.inner.cancelled()
     }
 
     fn stats(&self) -> &NetStats {

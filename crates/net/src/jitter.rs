@@ -133,6 +133,14 @@ impl<T: Transport> Transport for JitterTransport<T> {
         self.inner.recv_any_timeout(tag, timeout)
     }
 
+    fn note_round(&self, round: u64) {
+        self.inner.note_round(round);
+    }
+
+    fn cancelled(&self) -> Option<crate::error::NetError> {
+        self.inner.cancelled()
+    }
+
     fn stats(&self) -> &NetStats {
         self.inner.stats()
     }

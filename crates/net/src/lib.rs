@@ -29,6 +29,7 @@
 mod cluster;
 mod comm;
 mod cost;
+mod detector;
 mod error;
 mod fault;
 mod jitter;
@@ -36,12 +37,13 @@ mod reliable;
 mod stats;
 mod transport;
 
-pub use cluster::{run_cluster, run_cluster_with_stats, run_cluster_wrapped};
+pub use cluster::{run_cluster, run_cluster_fallible, run_cluster_with_stats, run_cluster_wrapped};
 pub use comm::{assert_user_tag, Communicator, COLLECTIVE_TAG_BASE, MAX_USER_TAG};
 pub use cost::CostModel;
+pub use detector::DetectorConfig;
 pub use error::NetError;
-pub use fault::{FaultAction, FaultCounters, FaultPlan, FaultRule, FaultyTransport};
+pub use fault::{CrashRule, FaultAction, FaultCounters, FaultPlan, FaultRule, FaultyTransport};
 pub use jitter::JitterTransport;
-pub use reliable::{ReliableTransport, RetryPolicy, RELIABLE_TAG};
+pub use reliable::{ReliableConfig, ReliableTransport, RetryPolicy, RELIABLE_TAG};
 pub use stats::{NetStats, SendRecord, StatsDelta, StatsSnapshot, DEFAULT_HISTORY_CAPACITY};
-pub use transport::{Envelope, MemoryTransport, Transport};
+pub use transport::{CancelToken, Envelope, MemoryTransport, Transport};

@@ -46,6 +46,7 @@
 //! must stay bit-identical, corruption on a bare `FaultyTransport` must
 //! surface as counted decode errors.
 
+use crate::detector::{DetectorConfig, FailureDetector};
 use crate::error::NetError;
 use crate::stats::NetStats;
 use crate::transport::{Envelope, Transport};
@@ -53,6 +54,7 @@ use bytes::Bytes;
 use gluon_trace::Tracer;
 use parking_lot::Mutex;
 use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 /// Wire tag reserved for reliability frames.
@@ -66,6 +68,9 @@ pub const RELIABLE_TAG: u32 = 1 << 25;
 const KIND_DATA: u8 = 0;
 const KIND_ACK: u8 = 1;
 const KIND_NACK: u8 = 2;
+/// Heartbeat frame: carries no sequence state, only proves liveness to the
+/// receiver's failure detector. Fire-and-forget (never retransmitted).
+const KIND_BEAT: u8 = 3;
 
 /// DATA frame header: kind(1) + seq(8) + orig_tag(4) + crc(4).
 const DATA_HEADER: usize = 17;
@@ -105,6 +110,46 @@ impl Default for RetryPolicy {
     }
 }
 
+/// Full reliability-layer configuration: the retransmission policy plus an
+/// optional heartbeat failure detector.
+///
+/// With `detector: None` (the default, and what [`ReliableTransport::over`]
+/// / [`ReliableTransport::with_policy`] use) behavior is exactly the
+/// legacy go-back-N protocol: no heartbeat traffic, and peer failure only
+/// ever surfaces as [`NetError::PeerUnreachable`] after budget exhaustion.
+/// With a detector, hosts additionally exchange heartbeats whenever they
+/// touch the wire and sustained silence from a peer surfaces as the much
+/// faster [`NetError::PeerDown`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ReliableConfig {
+    /// Retransmission tuning.
+    pub retry: RetryPolicy,
+    /// Heartbeat failure detection; `None` disables it.
+    pub detector: Option<DetectorConfig>,
+}
+
+impl ReliableConfig {
+    /// The default policy with the default failure detector enabled.
+    pub fn detecting() -> ReliableConfig {
+        ReliableConfig {
+            retry: RetryPolicy::default(),
+            detector: Some(DetectorConfig::default()),
+        }
+    }
+
+    /// Replaces the retransmission policy.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> ReliableConfig {
+        self.retry = retry;
+        self
+    }
+
+    /// Enables (or reconfigures) the failure detector.
+    pub fn with_detector(mut self, detector: DetectorConfig) -> ReliableConfig {
+        self.detector = Some(detector);
+        self
+    }
+}
+
 /// Sender-side state for one peer.
 #[derive(Debug)]
 struct OutPeer {
@@ -139,8 +184,20 @@ struct State {
     buf_exact: HashMap<(usize, u32), VecDeque<Bytes>>,
     /// Twin index for recv_any, keyed by tag.
     buf_any: HashMap<u32, VecDeque<(usize, Bytes)>>,
-    /// Peers that exhausted the retry budget.
-    dead: Vec<bool>,
+    /// Peers declared dead, with the error that killed them (retry budget
+    /// exhaustion or failure-detector suspicion); every later operation
+    /// involving a dead peer returns its stored error immediately.
+    dead: Vec<Option<NetError>>,
+    /// Heartbeat failure detector, when configured.
+    detector: Option<FailureDetector>,
+    /// When this host last emitted a heartbeat volley.
+    last_beat: Instant,
+}
+
+impl State {
+    fn is_dead(&self, peer: usize) -> bool {
+        self.dead[peer].is_some()
+    }
 }
 
 /// Go-back-N reliability wrapper around any [`Transport`].
@@ -186,6 +243,9 @@ pub struct ReliableTransport<T: Transport> {
     policy: RetryPolicy,
     tracer: Tracer,
     state: Mutex<State>,
+    /// Last sync-phase index reported via [`Transport::note_round`]; stamps
+    /// peer-failure errors so a supervisor knows where to roll back to.
+    round: AtomicU64,
 }
 
 /// Best-effort delivery of anything still unacknowledged when the wrapper
@@ -203,10 +263,23 @@ impl<T: Transport> ReliableTransport<T> {
         ReliableTransport::with_policy(inner, RetryPolicy::default())
     }
 
-    /// Wraps `inner` with an explicit policy.
+    /// Wraps `inner` with an explicit policy (no failure detector).
     pub fn with_policy(inner: T, policy: RetryPolicy) -> ReliableTransport<T> {
+        ReliableTransport::with_config(
+            inner,
+            ReliableConfig {
+                retry: policy,
+                detector: None,
+            },
+        )
+    }
+
+    /// Wraps `inner` with a full [`ReliableConfig`] (retransmission policy
+    /// plus optional heartbeat failure detection).
+    pub fn with_config(inner: T, config: ReliableConfig) -> ReliableTransport<T> {
         let world = inner.world_size();
         let now = Instant::now();
+        let policy = config.retry;
         ReliableTransport {
             inner,
             policy,
@@ -230,8 +303,11 @@ impl<T: Transport> ReliableTransport<T> {
                     .collect(),
                 buf_exact: HashMap::new(),
                 buf_any: HashMap::new(),
-                dead: vec![false; world],
+                dead: vec![None; world],
+                detector: config.detector.map(|d| FailureDetector::new(d, world)),
+                last_beat: now,
             }),
+            round: AtomicU64::new(0),
         }
     }
 
@@ -260,7 +336,8 @@ impl<T: Transport> ReliableTransport<T> {
         let deadline = Instant::now() + self.policy.recv_budget;
         let mut st = self.state.lock();
         loop {
-            let pending = (0..st.out.len()).any(|p| !st.dead[p] && !st.out[p].unacked.is_empty());
+            let pending =
+                (0..st.out.len()).any(|p| !st.is_dead(p) && !st.out[p].unacked.is_empty());
             if !pending || Instant::now() >= deadline {
                 return;
             }
@@ -275,7 +352,7 @@ impl<T: Transport> ReliableTransport<T> {
         let now = Instant::now();
         let mut wait = cap;
         for (p, o) in st.out.iter().enumerate() {
-            if st.dead[p] || o.unacked.is_empty() {
+            if st.is_dead(p) || o.unacked.is_empty() {
                 continue;
             }
             wait = wait.min((o.last_tx + o.rto).saturating_duration_since(now));
@@ -286,6 +363,7 @@ impl<T: Transport> ReliableTransport<T> {
     /// Waits up to `wait` for one wire frame, processes it, and fires any
     /// expired retransmission timers.
     fn pump(&self, st: &mut State, wait: Duration) {
+        self.maybe_beat(st);
         if let Some(env) = self.inner.recv_any_timeout(RELIABLE_TAG, wait) {
             self.process(st, env);
         }
@@ -295,10 +373,77 @@ impl<T: Transport> ReliableTransport<T> {
     /// Drains frames already on the wire without waiting (used after
     /// sends so ACKs keep flowing during send-heavy phases).
     fn poll(&self, st: &mut State) {
+        self.maybe_beat(st);
         while let Some(env) = self.inner.recv_any_timeout(RELIABLE_TAG, Duration::ZERO) {
             self.process(st, env);
         }
         self.check_timers(st);
+    }
+
+    /// Emits a heartbeat volley to every live peer if the detector is
+    /// configured and the heartbeat interval elapsed. Heartbeats ride the
+    /// infallible inner `send` — a crashed [`crate::FaultyTransport`]
+    /// swallows them, which is exactly the silence peers must observe.
+    fn maybe_beat(&self, st: &mut State) {
+        let Some(detector) = &st.detector else {
+            return;
+        };
+        if st.last_beat.elapsed() < detector.config().heartbeat_every {
+            return;
+        }
+        st.last_beat = Instant::now();
+        let me = self.inner.rank();
+        for p in 0..st.out.len() {
+            if p != me && !st.is_dead(p) {
+                self.send_ctrl(p, KIND_BEAT, 0);
+            }
+        }
+    }
+
+    /// Declares `peer` down with `err`: records it so every later
+    /// operation fails fast, drops its retransmission queue, and emits a
+    /// trace event.
+    fn declare_dead(&self, st: &mut State, peer: usize, err: NetError) {
+        st.dead[peer] = Some(err);
+        st.out[peer].unacked.clear();
+        let kind = match err {
+            NetError::PeerDown { .. } => "peer_down",
+            _ => "peer_unreachable",
+        };
+        self.tracer.record_event(self.inner.rank(), kind, peer, 0);
+    }
+
+    /// Polls the failure detector: if any live peer has been silent past
+    /// the suspicion threshold, declares it down and returns the error.
+    fn check_detector(&self, st: &mut State) -> Option<NetError> {
+        let now = Instant::now();
+        let world = st.out.len();
+        let me = self.inner.rank();
+        for p in 0..world {
+            if p == me || st.is_dead(p) {
+                continue;
+            }
+            let suspect = match &mut st.detector {
+                Some(d) => d.suspect(p, now),
+                None => false,
+            };
+            if suspect {
+                let err = NetError::PeerDown {
+                    peer: p,
+                    round: self.round.load(Ordering::Relaxed),
+                };
+                self.declare_dead(st, p, err);
+                return Some(err);
+            }
+        }
+        None
+    }
+
+    /// A failure observed below us (an injected local crash or a tripped
+    /// cluster cancellation token), checked from every blocking loop so
+    /// this host unwinds instead of pumping a wire that is gone.
+    fn inner_failure(&self) -> Option<NetError> {
+        self.inner.cancelled()
     }
 
     /// Retransmits expired windows and converts persistent silence into
@@ -306,7 +451,7 @@ impl<T: Transport> ReliableTransport<T> {
     fn check_timers(&self, st: &mut State) {
         let now = Instant::now();
         for p in 0..st.out.len() {
-            if st.dead[p] || st.out[p].unacked.is_empty() {
+            if st.is_dead(p) || st.out[p].unacked.is_empty() {
                 continue;
             }
             if now.saturating_duration_since(st.out[p].last_tx) < st.out[p].rto {
@@ -317,9 +462,9 @@ impl<T: Transport> ReliableTransport<T> {
             o.strikes += 1;
             o.rto = (o.rto * self.policy.backoff).min(self.policy.max_rto);
             if o.strikes >= self.policy.max_retries {
-                st.dead[p] = true;
                 // Stop retransmitting into the void.
-                st.out[p].unacked.clear();
+                let err = self.unreachable(p);
+                self.declare_dead(st, p, err);
             }
         }
     }
@@ -342,7 +487,16 @@ impl<T: Transport> ReliableTransport<T> {
             // Self traffic bypasses the wire; anything here is stray.
             return;
         }
+        // Any frame — data, control, heartbeat, even one that fails its
+        // checksum — proves the peer's stack is alive.
+        if let Some(d) = &mut st.detector {
+            d.heard(src, Instant::now());
+        }
         let f = &env.payload;
+        if f.len() == CTRL_FRAME && f[0] == KIND_BEAT {
+            // Liveness only; `heard` above already consumed it.
+            return;
+        }
         if f.len() >= DATA_HEADER && f[0] == KIND_DATA {
             let stored = read_u32(&f[13..17]);
             if crc32_parts(&[&f[..13], &f[DATA_HEADER..]]) != stored {
@@ -442,7 +596,7 @@ impl<T: Transport> ReliableTransport<T> {
             }
         }
         let fast_ok = st.out[src].last_fast_retx.elapsed() >= self.policy.initial_rto / 2;
-        if !st.out[src].unacked.is_empty() && fast_ok && !st.dead[src] {
+        if !st.out[src].unacked.is_empty() && fast_ok && !st.is_dead(src) {
             st.out[src].last_fast_retx = Instant::now();
             self.retransmit(&mut st.out[src], src);
         }
@@ -461,6 +615,7 @@ impl<T: Transport> ReliableTransport<T> {
         NetError::PeerUnreachable {
             peer,
             retries: self.policy.max_retries,
+            round: self.round.load(Ordering::Relaxed),
         }
     }
 
@@ -468,7 +623,7 @@ impl<T: Transport> ReliableTransport<T> {
     /// we are still retransmitting to if any, else the first other host.
     fn blame(&self, st: &State) -> usize {
         (0..st.out.len())
-            .find(|&p| st.dead[p] || !st.out[p].unacked.is_empty())
+            .find(|&p| st.is_dead(p) || !st.out[p].unacked.is_empty())
             .unwrap_or_else(|| usize::from(self.inner.rank() == 0))
     }
 
@@ -627,19 +782,30 @@ impl<T: Transport> Transport for ReliableTransport<T> {
             st.buf_any.entry(tag).or_default().push_back((dst, payload));
             return Ok(());
         }
-        if st.dead[dst] {
-            return Err(self.unreachable(dst));
+        if let Some(err) = st.dead[dst] {
+            return Err(err);
+        }
+        if let Some(err) = self.inner_failure() {
+            return Err(err);
         }
         let deadline = Instant::now() + self.policy.recv_budget;
         while st.out[dst].unacked.len() >= self.policy.window {
+            if let Some(err) = self.inner_failure() {
+                return Err(err);
+            }
+            self.check_detector(&mut st);
+            if let Some(err) = st.dead[dst] {
+                return Err(err);
+            }
             if Instant::now() >= deadline {
-                st.dead[dst] = true;
-                return Err(self.unreachable(dst));
+                let err = self.unreachable(dst);
+                self.declare_dead(&mut st, dst, err);
+                return Err(err);
             }
             let wait = self.pump_wait(&st, Duration::from_millis(5));
             self.pump(&mut st, wait);
-            if st.dead[dst] {
-                return Err(self.unreachable(dst));
+            if let Some(err) = st.dead[dst] {
+                return Err(err);
             }
         }
         let o = &mut st.out[dst];
@@ -665,15 +831,23 @@ impl<T: Transport> Transport for ReliableTransport<T> {
             if let Some(payload) = Self::take_exact(&mut st, src, tag) {
                 return Ok(payload);
             }
-            if st.dead[src] {
-                return Err(self.unreachable(src));
+            if let Some(err) = st.dead[src] {
+                return Err(err);
+            }
+            if let Some(err) = self.inner_failure() {
+                return Err(err);
+            }
+            self.check_detector(&mut st);
+            if let Some(err) = st.dead[src] {
+                return Err(err);
             }
             let now = Instant::now();
             if now >= deadline {
                 // No delivery progress from `src` within the whole budget:
                 // treat it as gone so callers fail fast from here on.
-                st.dead[src] = true;
-                return Err(self.unreachable(src));
+                let err = self.unreachable(src);
+                self.declare_dead(&mut st, src, err);
+                return Err(err);
             }
             let wait = self.pump_wait(
                 &st,
@@ -692,15 +866,33 @@ impl<T: Transport> Transport for ReliableTransport<T> {
             if let Some((src, payload)) = Self::take_any(&mut st, tag) {
                 return Ok(Envelope { src, tag, payload });
             }
-            if let Some(p) = (0..st.dead.len()).find(|&p| st.dead[p]) {
-                return Err(self.unreachable(p));
+            if let Some(err) = (0..st.dead.len()).find_map(|p| st.dead[p]) {
+                return Err(err);
+            }
+            if let Some(err) = self.inner_failure() {
+                return Err(err);
+            }
+            if let Some(err) = self.check_detector(&mut st) {
+                return Err(err);
             }
             if Instant::now() >= deadline {
-                return Err(self.unreachable(self.blame(&st)));
+                let blamed = self.blame(&st);
+                let err = self.unreachable(blamed);
+                self.declare_dead(&mut st, blamed, err);
+                return Err(err);
             }
             let wait = self.pump_wait(&st, Duration::from_millis(5));
             self.pump(&mut st, wait);
         }
+    }
+
+    fn note_round(&self, round: u64) {
+        self.round.store(round, Ordering::Relaxed);
+        self.inner.note_round(round);
+    }
+
+    fn cancelled(&self) -> Option<NetError> {
+        self.inner.cancelled()
     }
 
     fn stats(&self) -> &NetStats {
@@ -872,7 +1064,11 @@ mod tests {
             .expect("first send is asynchronous");
         let started = Instant::now();
         let err = a.try_recv(1, 0).expect_err("peer must be declared dead");
-        assert_eq!(err.peer(), 1);
+        assert_eq!(err.peer(), Some(1));
+        assert!(
+            matches!(err, NetError::PeerUnreachable { .. }),
+            "budget exhaustion surfaces as PeerUnreachable, got {err:?}"
+        );
         assert!(counters.dropped() > 0, "drops must have been injected");
         assert!(
             started.elapsed() < Duration::from_secs(5),
@@ -905,6 +1101,93 @@ mod tests {
                 }
             });
         });
+    }
+
+    #[test]
+    fn detector_declares_a_silent_peer_down() {
+        use crate::detector::DetectorConfig;
+        let cfg = ReliableConfig::default()
+            .with_retry(RetryPolicy {
+                recv_budget: Duration::from_secs(30),
+                ..RetryPolicy::default()
+            })
+            .with_detector(DetectorConfig::default().with_max_silence(Duration::from_millis(60)));
+        let mut eps = MemoryTransport::cluster(2);
+        // Host 1 exists but never runs: total silence from it.
+        let _b = eps.pop().expect("two endpoints");
+        let a = ReliableTransport::with_config(eps.pop().expect("two endpoints"), cfg);
+        a.note_round(7);
+        let started = Instant::now();
+        let err = a
+            .try_recv(1, 0)
+            .expect_err("detector must declare the silent peer down");
+        assert_eq!(
+            err,
+            NetError::PeerDown { peer: 1, round: 7 },
+            "silence surfaces as PeerDown stamped with the noted round"
+        );
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "detector must fire long before the 30s receive budget"
+        );
+        // The peer stays dead for every later operation.
+        assert_eq!(a.try_send(1, 0, Bytes::new()), Err(err));
+        assert_eq!(a.try_recv_any(0), Err(err));
+    }
+
+    #[test]
+    fn heartbeats_keep_a_quiet_but_alive_peer_undeclared() {
+        let cfg = ReliableConfig::detecting();
+        let mut eps = MemoryTransport::cluster(2);
+        let b = ReliableTransport::with_config(eps.pop().expect("two endpoints"), cfg);
+        let a = ReliableTransport::with_config(eps.pop().expect("two endpoints"), cfg);
+        let stop = std::sync::atomic::AtomicBool::new(false);
+        thread::scope(|s| {
+            // Host 1 sends no application traffic for well past max_silence
+            // (500ms default) but keeps pumping, so its heartbeats flow.
+            s.spawn(|| {
+                let deadline = Instant::now() + Duration::from_millis(700);
+                while Instant::now() < deadline {
+                    let _ = b.recv_any_timeout(0, Duration::from_millis(1));
+                }
+                b.send(0, 0, Bytes::from_static(b"alive"));
+                // Keep heartbeating until host 0 confirms delivery, so the
+                // data frame's ACK exchange cannot race our shutdown.
+                while !stop.load(Ordering::Acquire) {
+                    let _ = b.recv_any_timeout(0, Duration::from_millis(1));
+                }
+            });
+            s.spawn(|| {
+                let got = a.try_recv(1, 0).expect("peer is alive, just quiet");
+                assert_eq!(&got[..], b"alive");
+                stop.store(true, Ordering::Release);
+            });
+        });
+    }
+
+    #[test]
+    fn beat_frames_do_not_disturb_sequencing() {
+        let cfg = ReliableConfig::detecting();
+        let mut eps = MemoryTransport::cluster(2);
+        let b = ReliableTransport::with_config(eps.pop().expect("two endpoints"), cfg);
+        let a = ReliableTransport::with_config(eps.pop().expect("two endpoints"), cfg);
+        thread::scope(|s| {
+            s.spawn(|| {
+                for i in 0..50u32 {
+                    a.send(1, 0, Bytes::copy_from_slice(&i.to_le_bytes()));
+                    // Interleave explicit beats between data frames.
+                    a.recv_any_timeout(99, Duration::from_micros(600));
+                }
+                a.flush();
+            });
+            s.spawn(|| {
+                for i in 0..50u32 {
+                    assert_eq!(&b.recv(0, 0)[..4], &i.to_le_bytes());
+                }
+            });
+        });
+        assert_eq!(a.stats().corruption_detected(), 0);
+        assert_eq!(b.stats().corruption_detected(), 0);
     }
 
     #[test]

@@ -17,7 +17,45 @@ use bytes::Bytes;
 use crossbeam::channel::{unbounded_with_capacity, Receiver, Sender};
 use parking_lot::Mutex;
 use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// How long a cancel-aware blocking receive sleeps between checks of the
+/// cluster's [`CancelToken`]. Chosen well below any failure-detector
+/// threshold so cancellation latency is never the bottleneck.
+const CANCEL_POLL: Duration = Duration::from_millis(1);
+
+/// A shared abort flag for one simulated cluster.
+///
+/// Every endpoint created by [`MemoryTransport::cluster`] holds a clone of
+/// the same token. When any host fails with a typed error, tripping the
+/// token makes every sibling's *fallible* blocking receive return
+/// [`NetError::Cancelled`] promptly instead of waiting for traffic that
+/// will never come. The infallible receive paths are unaffected: their
+/// contract (block until a message arrives) predates cancellation and the
+/// panicking callers that use them never run under a supervisor.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    tripped: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, untripped token.
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// Trips the token; every clone observes it. Idempotent.
+    pub fn trip(&self) {
+        self.tripped.store(true, Ordering::Release);
+    }
+
+    /// Whether any clone has been tripped.
+    pub fn is_tripped(&self) -> bool {
+        self.tripped.load(Ordering::Acquire)
+    }
+}
 
 /// A received message: sending rank plus payload.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -80,6 +118,27 @@ pub trait Transport: Send + Sync {
         Ok(self.recv_any(tag))
     }
 
+    /// Reports the sync-phase index the application has reached.
+    ///
+    /// The Gluon runtime ticks this once per sync phase. Wrappers must
+    /// forward it inward; implementations use it to stamp errors with the
+    /// round they happened in ([`crate::ReliableTransport`]) and to fire
+    /// round-triggered fault injection ([`crate::FaultyTransport`]). The
+    /// default is a no-op.
+    fn note_round(&self, round: u64) {
+        let _ = round;
+    }
+
+    /// Returns the terminal error this endpoint should abort with, if any.
+    ///
+    /// Checked inside fallible blocking loops: a tripped [`CancelToken`]
+    /// yields [`NetError::Cancelled`], an injected crash yields
+    /// [`NetError::HostCrashed`]. Wrappers must forward inward. The default
+    /// (`None`) means "keep blocking".
+    fn cancelled(&self) -> Option<NetError> {
+        None
+    }
+
     /// Communication counters for the whole cluster.
     fn stats(&self) -> &NetStats;
 }
@@ -114,6 +173,8 @@ pub struct MemoryTransport {
     /// Stash for `recv_any`, keyed by tag only.
     stash_any: Mutex<Stash<u32, (usize, Bytes)>>,
     stats: NetStats,
+    /// Shared abort flag; one token per cluster.
+    cancel: CancelToken,
 }
 
 /// One stash index plus a free-list of emptied queues.
@@ -213,6 +274,7 @@ impl MemoryTransport {
             senders.push(tx);
             receivers.push(rx);
         }
+        let cancel = CancelToken::new();
         receivers
             .into_iter()
             .enumerate()
@@ -224,8 +286,16 @@ impl MemoryTransport {
                 stash: Mutex::new(Stash::new()),
                 stash_any: Mutex::new(Stash::new()),
                 stats: stats.clone(),
+                cancel: cancel.clone(),
             })
             .collect()
+    }
+
+    /// A clone of this cluster's shared [`CancelToken`]. Every endpoint of
+    /// one [`MemoryTransport::cluster`] call returns clones of the same
+    /// token.
+    pub fn cancel_token(&self) -> CancelToken {
+        self.cancel.clone()
     }
 
     /// Pulls one packet from the wire into the appropriate stash, blocking
@@ -241,6 +311,35 @@ impl MemoryTransport {
             .recv()
             .expect("cluster peers disconnected while a receive was pending");
         self.file(packet);
+    }
+
+    /// As [`MemoryTransport::pump`], but wakes up periodically to check the
+    /// cluster's [`CancelToken`] instead of blocking indefinitely. Used by
+    /// the fallible receive paths so a failed sibling host can abort this
+    /// one promptly. A disconnected channel (every other endpoint dropped)
+    /// is reported as [`NetError::Cancelled`] too: nothing can ever arrive.
+    fn pump_cancellable(&self) -> Result<(), NetError> {
+        loop {
+            // Drain without blocking first so an already-delivered packet
+            // is never delayed by the cancellation check.
+            if let Ok(packet) = self.receiver.try_recv() {
+                self.file(packet);
+                return Ok(());
+            }
+            if let Some(err) = self.cancelled() {
+                return Err(err);
+            }
+            match self.receiver.recv_timeout(CANCEL_POLL) {
+                Ok(packet) => {
+                    self.file(packet);
+                    return Ok(());
+                }
+                Err(crossbeam::channel::RecvTimeoutError::Timeout) => {}
+                Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {
+                    return Err(NetError::Cancelled);
+                }
+            }
+        }
     }
 
     /// Files one wire packet into the twin stash indexes. A packet serves
@@ -343,6 +442,32 @@ impl Transport for MemoryTransport {
             }
             self.pump();
         }
+    }
+
+    /// Cancel-aware [`Transport::try_recv`]: blocks until a matching
+    /// message arrives or the cluster's [`CancelToken`] trips.
+    fn try_recv(&self, src: usize, tag: u32) -> Result<Bytes, NetError> {
+        assert!(src < self.world_size, "source rank out of range");
+        loop {
+            if let Some(payload) = self.take_exact(src, tag) {
+                return Ok(payload);
+            }
+            self.pump_cancellable()?;
+        }
+    }
+
+    /// Cancel-aware [`Transport::try_recv_any`].
+    fn try_recv_any(&self, tag: u32) -> Result<Envelope, NetError> {
+        loop {
+            if let Some((src, payload)) = self.take_any(tag) {
+                return Ok(Envelope { src, tag, payload });
+            }
+            self.pump_cancellable()?;
+        }
+    }
+
+    fn cancelled(&self) -> Option<NetError> {
+        self.cancel.is_tripped().then_some(NetError::Cancelled)
     }
 
     fn recv_any_timeout(&self, tag: u32, timeout: Duration) -> Option<Envelope> {

@@ -252,6 +252,12 @@ struct TracerInner {
     dup_events: AtomicU64,
     /// Sync payloads that failed to decode.
     decode_error_events: AtomicU64,
+    /// Peers declared down by a failure detector.
+    peer_down_events: AtomicU64,
+    /// Supervised recovery attempts (rollback-restarts after a failure).
+    recovery_events: AtomicU64,
+    /// Checkpoint snapshots taken.
+    checkpoint_events: AtomicU64,
 }
 
 /// Per-field wire-mode totals: how many messages picked each mode and how
@@ -296,6 +302,9 @@ impl Tracer {
                 retransmit_events: AtomicU64::new(0),
                 dup_events: AtomicU64::new(0),
                 decode_error_events: AtomicU64::new(0),
+                peer_down_events: AtomicU64::new(0),
+                recovery_events: AtomicU64::new(0),
+                checkpoint_events: AtomicU64::new(0),
             })),
         }
     }
@@ -369,6 +378,15 @@ impl Tracer {
             }
             "decode_error" => {
                 inner.decode_error_events.fetch_add(1, Ordering::Relaxed);
+            }
+            "peer_down" => {
+                inner.peer_down_events.fetch_add(1, Ordering::Relaxed);
+            }
+            "recovery" => {
+                inner.recovery_events.fetch_add(1, Ordering::Relaxed);
+            }
+            "checkpoint" => {
+                inner.checkpoint_events.fetch_add(1, Ordering::Relaxed);
             }
             _ => {}
         }
@@ -520,6 +538,30 @@ impl Tracer {
             .map_or(0, |i| i.decode_error_events.load(Ordering::Relaxed))
     }
 
+    /// Peers declared down by a failure detector (as observed by
+    /// [`Tracer::record_event`] with the `"peer_down"` name).
+    pub fn peer_down_events(&self) -> u64 {
+        self.inner
+            .as_ref()
+            .map_or(0, |i| i.peer_down_events.load(Ordering::Relaxed))
+    }
+
+    /// Supervised recovery attempts (as observed by
+    /// [`Tracer::record_event`] with the `"recovery"` name).
+    pub fn recovery_events(&self) -> u64 {
+        self.inner
+            .as_ref()
+            .map_or(0, |i| i.recovery_events.load(Ordering::Relaxed))
+    }
+
+    /// Checkpoint snapshots taken (as observed by
+    /// [`Tracer::record_event`] with the `"checkpoint"` name).
+    pub fn checkpoint_events(&self) -> u64 {
+        self.inner
+            .as_ref()
+            .map_or(0, |i| i.checkpoint_events.load(Ordering::Relaxed))
+    }
+
     /// Exports the recording as a standalone Chrome trace-event JSON
     /// document (load via `chrome://tracing` or Perfetto).
     pub fn chrome_trace_json(&self) -> String {
@@ -646,6 +688,25 @@ mod tests {
         assert_eq!(events.len(), 2);
         assert_eq!(events[0].name, "decode_error");
         assert_eq!(events[0].bytes, 12);
+    }
+
+    #[test]
+    fn fault_tolerance_events_are_counted() {
+        let t = Tracer::new(3);
+        t.record_event(0, "peer_down", 2, 0);
+        t.record_event(1, "recovery", 0, 1);
+        t.record_event(1, "recovery", 0, 2);
+        t.record_event(2, "checkpoint", 2, 128);
+        t.record_event(2, "checkpoint", 2, 128);
+        t.record_event(2, "checkpoint", 2, 128);
+        assert_eq!(t.peer_down_events(), 1);
+        assert_eq!(t.recovery_events(), 2);
+        assert_eq!(t.checkpoint_events(), 3);
+        // A disabled tracer reports zeros, never panics.
+        let off = Tracer::disabled();
+        assert_eq!(off.peer_down_events(), 0);
+        assert_eq!(off.recovery_events(), 0);
+        assert_eq!(off.checkpoint_events(), 0);
     }
 
     #[test]

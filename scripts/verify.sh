@@ -4,18 +4,26 @@
 #   1. release build of every crate;
 #   2. the whole test suite (unit + integration + doc tests), including
 #      the default-on `chaos` lossy-network matrix;
-#   3. the determinism matrix (threads × algorithms × policies,
+#   3. the crash-chaos battery under --release: injected host crashes
+#      must recover bit-identical via checkpoints, and unrecoverable
+#      failures must surface typed errors within the detector timeout;
+#   4. the determinism matrix (threads × algorithms × policies,
 #      bit-identical results and wire counters) under --release;
-#   4. the codec battery under --release: the differential oracle
+#   5. the codec battery under --release: the differential oracle
 #      against the naive reference codec plus the fixed-seed fuzz smoke
 #      (truncations, bit flips, garbage — the decoder must never panic);
-#   5. the allocation guard under --release with the `alloc-meter`
+#   6. the allocation guard under --release with the `alloc-meter`
 #      counting allocator: steady-state sync rounds allocate nothing,
 #      and toggling the arena changes no observable result;
-#   6. every bench compiles (`cargo bench --no-run`);
-#   7. rustfmt, as a check only;
-#   8. clippy across the workspace with warnings denied;
-#   9. rustdoc with warnings denied (missing docs on public API fail).
+#   7. every bench compiles (`cargo bench --no-run`);
+#   8. rustfmt, as a check only;
+#   9. clippy across the workspace with warnings denied;
+#  10. rustdoc with warnings denied (missing docs on public API fail).
+#
+# Every test invocation runs under a hang watchdog: the crash-tolerance
+# contract is "typed error, never a hang", so a test step that exceeds
+# its deadline is itself a red verification result, not something to
+# wait out.
 #
 # Usage: scripts/verify.sh [--fast]
 #   --fast  skip the release build, the release determinism matrix, the
@@ -29,20 +37,36 @@ if [[ "${1:-}" == "--fast" ]]; then
     FAST=1
 fi
 
+# Runs a test command under a per-step deadline (seconds). SIGTERM first,
+# SIGKILL 10s later if the process ignores it.
+watchdog() {
+    local deadline="$1"
+    shift
+    if ! timeout --kill-after=10 "$deadline" "$@"; then
+        local status=$?
+        if [[ "$status" == "124" || "$status" == "137" ]]; then
+            echo "verify: HANG — '$*' exceeded ${deadline}s watchdog" >&2
+        fi
+        return "$status"
+    fi
+}
+
 if [[ "$FAST" == "0" ]]; then
     echo "==> cargo build --release"
     cargo build --release
-    echo "==> cargo test -q (chaos matrix included)"
-    cargo test -q
-    echo "==> cargo test --release --test determinism (thread-count invariance)"
-    cargo test -q --release --test determinism
-    echo "==> cargo test --release codec battery (differential oracle + fuzz smoke)"
-    cargo test -q --release --test codec_differential --test codec_fuzz --test codec_golden
-    echo "==> cargo test --release --features alloc-meter --test alloc_guard (zero steady-state allocations)"
-    cargo test -q --release --features alloc-meter --test alloc_guard
+    echo "==> cargo test -q (chaos + crash-chaos matrices included; 900s watchdog)"
+    watchdog 900 cargo test -q
+    echo "==> cargo test --release --test crash_chaos (crash injection, recovery, typed errors; 300s watchdog)"
+    watchdog 300 cargo test -q --release --test crash_chaos
+    echo "==> cargo test --release --test determinism (thread-count invariance; 600s watchdog)"
+    watchdog 600 cargo test -q --release --test determinism
+    echo "==> cargo test --release codec battery (differential oracle + fuzz smoke; 600s watchdog)"
+    watchdog 600 cargo test -q --release --test codec_differential --test codec_fuzz --test codec_golden
+    echo "==> cargo test --release --features alloc-meter --test alloc_guard (zero steady-state allocations; 300s watchdog)"
+    watchdog 300 cargo test -q --release --features alloc-meter --test alloc_guard
 else
-    echo "==> cargo test -q --no-default-features (chaos matrix skipped)"
-    cargo test -q --workspace --no-default-features
+    echo "==> cargo test -q --no-default-features (chaos matrices skipped; 900s watchdog)"
+    watchdog 900 cargo test -q --workspace --no-default-features
 fi
 
 echo "==> cargo bench --no-run (benches must always compile)"

@@ -235,9 +235,10 @@ fn total_blackout_is_a_clean_error_at_the_collective() {
             Ok(v) => panic!("host {rank} all-reduced {v} through a dead wire"),
             Err(e @ NetError::PeerUnreachable { peer, .. }) => {
                 assert_eq!(*peer, 1 - rank, "host {rank} blamed the wrong peer");
-                assert_eq!(e.peer(), 1 - rank);
+                assert_eq!(e.peer(), Some(1 - rank));
                 assert!(e.to_string().contains("unreachable"), "unhelpful: {e}");
             }
+            Err(other) => panic!("host {rank} got {other} instead of PeerUnreachable"),
         }
     }
     // Once a peer is declared dead, later operations fail immediately.
@@ -282,7 +283,9 @@ fn total_blackout_is_a_clean_error_at_the_sync_call_site() {
         let err = res
             .as_ref()
             .expect_err("a sync over a dead wire must not succeed");
-        let NetError::PeerUnreachable { peer, .. } = err;
+        let NetError::PeerUnreachable { peer, .. } = err else {
+            panic!("host {rank} got {err} instead of PeerUnreachable");
+        };
         assert!(*peer < HOSTS, "host {rank} blamed nonexistent host {peer}");
         assert_ne!(*peer, rank, "host {rank} blamed itself");
     }
