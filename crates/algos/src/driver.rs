@@ -26,6 +26,7 @@ use crate::reference::symmetrize;
 use crate::{Algorithm, EngineKind};
 use gluon::{CheckpointStore, GluonContext, OptLevel, Pool, RunStats, SyncError, SyncStats};
 use gluon_graph::{max_out_degree_node, Csr, Gid};
+use gluon_metrics::{ExecMetrics, MetricsHub, NetMetrics};
 use gluon_net::{
     run_cluster_fallible, run_cluster_wrapped, CancelToken, Communicator, CostModel,
     MemoryTransport, NetError, NetStats, ReliableConfig, ReliableTransport, StatsSnapshot,
@@ -234,6 +235,7 @@ where
     pr: PagerankConfig,
     threads: usize,
     tracer: Tracer,
+    metrics: MetricsHub,
     arena: bool,
     ckpt_every: Option<u64>,
     ckpt_store: Option<CheckpointStore>,
@@ -282,6 +284,7 @@ impl<'g> Run<'g> {
             pr: PagerankConfig::default(),
             threads: 1,
             tracer: Tracer::disabled(),
+            metrics: MetricsHub::disabled(),
             arena: true,
             ckpt_every: None,
             ckpt_store: None,
@@ -379,6 +382,25 @@ where
         self
     }
 
+    /// Publishes typed metrics into `hub` (size it with
+    /// `MetricsHub::new(hosts)`): per-host counters/gauges/histograms, the
+    /// per-round time series, and per-peer communication attribution.
+    /// After the run, build a [`crate::RunReport`] with
+    /// [`DistOutcome::report`], or scrape [`MetricsHub::prometheus`]
+    /// directly. Each supervised attempt rebaselines the hub
+    /// ([`MetricsHub::begin_attempt`]), so post-run reads always describe
+    /// the final attempt.
+    ///
+    /// Unlike [`DistOutcome::net`] (frame-level traffic including
+    /// reliability overhead and timing-dependent heartbeats), the hub's
+    /// `bytes_sent`/`messages_sent` count raw sync payloads, which are
+    /// deterministic for a given configuration.
+    #[must_use]
+    pub fn metrics(mut self, hub: &MetricsHub) -> Self {
+        self.metrics = hub.clone();
+        self
+    }
+
     /// Enables epoch checkpointing: every `rounds` completed sync rounds
     /// (pagerank: iterations) each host snapshots its owned field state
     /// into the checkpoint store ([`Run::checkpoint_store`], in-memory by
@@ -465,6 +487,7 @@ where
             pr: self.pr,
             threads: self.threads,
             tracer: self.tracer,
+            metrics: self.metrics,
             arena: self.arena,
             ckpt_every: self.ckpt_every,
             ckpt_store: self.ckpt_store,
@@ -489,6 +512,7 @@ where
             pr,
             threads,
             tracer,
+            metrics,
             arena,
             ckpt_every,
             ckpt_store,
@@ -509,6 +533,7 @@ where
                 pr,
                 threads,
                 tracer,
+                metrics,
                 arena,
                 ckpt_every,
                 ckpt_store,
@@ -526,9 +551,13 @@ where
     pub fn launch(self) -> DistOutcome {
         let (setup, wrap, reliable) = self.into_parts();
         let tracer = setup.tracer.clone();
+        let hub = setup.metrics.clone();
         match reliable {
             Some(cfg) => launch_infallible(&setup, |ep| {
-                ReliableTransport::with_config(wrap(ep, 0), cfg).with_tracer(tracer.clone())
+                let net_metrics = NetMetrics::register(&hub.host_registry(ep.rank()));
+                ReliableTransport::with_config(wrap(ep, 0), cfg)
+                    .with_tracer(tracer.clone())
+                    .with_metrics(net_metrics)
             }),
             None => launch_infallible(&setup, |ep| wrap(ep, 0)),
         }
@@ -554,9 +583,13 @@ where
             Workload::Betweenness => return Err(RunError::Unsupported("betweenness")),
         };
         let tracer = setup.tracer.clone();
+        let hub = setup.metrics.clone();
         match reliable {
             Some(cfg) => supervise(&setup, algo, &move |ep, attempt| {
-                ReliableTransport::with_config(wrap(ep, attempt), cfg).with_tracer(tracer.clone())
+                let net_metrics = NetMetrics::register(&hub.host_registry(ep.rank()));
+                ReliableTransport::with_config(wrap(ep, attempt), cfg)
+                    .with_tracer(tracer.clone())
+                    .with_metrics(net_metrics)
             }),
             None => supervise(&setup, algo, &wrap),
         }
@@ -575,6 +608,7 @@ struct Setup<'g> {
     pr: PagerankConfig,
     threads: usize,
     tracer: Tracer,
+    metrics: MetricsHub,
     arena: bool,
     ckpt_every: Option<u64>,
     ckpt_store: Option<CheckpointStore>,
@@ -627,6 +661,7 @@ where
             }
         }
     };
+    setup.metrics.begin_attempt();
     let (per_host, stats) =
         run_cluster_wrapped(setup.hosts, NetStats::new(setup.hosts), wrap, |net| {
             host_program(
@@ -637,6 +672,7 @@ where
                 setup.threads,
                 setup.arena,
                 &setup.tracer,
+                &setup.metrics,
                 &|_| needs_transpose,
                 &compute,
             )
@@ -706,6 +742,7 @@ where
         ) {
             Ok(mut out) => {
                 out.recoveries = recoveries;
+                publish_supervisor_counters(&setup.metrics, attempt + 1, recoveries, false);
                 return Ok(out);
             }
             Err(failures) => failures,
@@ -753,6 +790,7 @@ where
                 })?;
                 out.recoveries = recoveries + 1;
                 out.degraded = true;
+                publish_supervisor_counters(&setup.metrics, attempt + 2, recoveries + 1, true);
                 return Ok(out);
             }
             FailurePolicy::Recover => {
@@ -767,6 +805,20 @@ where
         attempts: attempts_allowed,
         last: last_error.expect("at least one attempt ran"),
     })
+}
+
+/// Publishes the supervisor's outcome counters into the hub's
+/// cluster-level registry. Called after the *final* attempt — every
+/// attempt starts by rebaselining the hub, so counters published earlier
+/// would read as zero.
+fn publish_supervisor_counters(hub: &MetricsHub, attempts: u32, recoveries: u32, degraded: bool) {
+    if !hub.is_enabled() {
+        return;
+    }
+    let cluster = hub.cluster();
+    cluster.counter("attempts").add(u64::from(attempts));
+    cluster.counter("recoveries").add(u64::from(recoveries));
+    cluster.gauge("degraded").set(u64::from(degraded));
 }
 
 /// One supervised attempt: build a fresh cluster (wrapping endpoints for
@@ -800,6 +852,7 @@ where
     let compute = |lg: &LocalGraph, ctx: &mut GluonContext<'_, W>| {
         try_dispatch(lg, ctx, algo, engine, source, pr)
     };
+    setup.metrics.begin_attempt();
     let (per_host, stats) = run_cluster_fallible(
         setup.hosts,
         NetStats::new(setup.hosts),
@@ -814,6 +867,7 @@ where
                 setup.threads,
                 setup.arena,
                 &setup.tracer,
+                &setup.metrics,
                 &|_| needs_transpose,
                 &compute,
                 &ckpt,
@@ -872,6 +926,7 @@ pub fn run_heterogeneous_bfs(
                 1,
                 true,
                 &Tracer::disabled(),
+                &MetricsHub::disabled(),
                 &|rank| engines[rank] == EngineKind::Ligra,
                 &|lg, ctx| {
                     let (dist, rounds) = apps::bfs(lg, ctx, source, engines[ctx.rank()]);
@@ -909,6 +964,7 @@ fn host_program<T: Transport>(
     threads: usize,
     arena: bool,
     tracer: &Tracer,
+    hub: &MetricsHub,
     transpose: &(dyn Fn(usize) -> bool + Sync),
     compute: &(dyn Fn(&LocalGraph, &mut GluonContext<'_, T>) -> HostLabels + Sync),
 ) -> HostResult {
@@ -920,9 +976,11 @@ fn host_program<T: Transport>(
     }
     comm.barrier();
     let partition_secs = part_start.elapsed().as_secs_f64();
+    let exec_metrics = ExecMetrics::register(&hub.host_registry(comm.rank()));
     let mut ctx = GluonContext::new(&lg, &comm, opts)
-        .with_pool(Pool::new(threads))
-        .with_arena(arena);
+        .with_pool(Pool::new(threads).with_metrics(exec_metrics))
+        .with_arena(arena)
+        .with_metrics(hub.host(comm.rank()));
     ctx.reset_timer();
     let algo_start = Instant::now();
     let (ints, floats, rounds) = compute(&lg, &mut ctx);
@@ -1011,6 +1069,7 @@ fn try_host_program<T: Transport>(
     threads: usize,
     arena: bool,
     tracer: &Tracer,
+    hub: &MetricsHub,
     transpose: &(dyn Fn(usize) -> bool + Sync),
     compute: &HostCompute<'_, T>,
     ckpt: &CkptSetup,
@@ -1023,9 +1082,11 @@ fn try_host_program<T: Transport>(
     }
     comm.barrier();
     let partition_secs = part_start.elapsed().as_secs_f64();
+    let exec_metrics = ExecMetrics::register(&hub.host_registry(comm.rank()));
     let mut ctx = GluonContext::new(&lg, &comm, opts)
-        .with_pool(Pool::new(threads))
-        .with_arena(arena);
+        .with_pool(Pool::new(threads).with_metrics(exec_metrics))
+        .with_arena(arena)
+        .with_metrics(hub.host(comm.rank()));
     if ckpt.every.is_some() || ckpt.restore_epoch.is_some() {
         // `every` is absent only on a finalize-only relaunch of a store
         // populated by an earlier configuration; u64::MAX never divides a

@@ -26,9 +26,11 @@ pub mod apps;
 pub mod driver;
 mod minrelax;
 pub mod reference;
+pub mod report;
 
 pub use apps::{CopyField, PagerankConfig};
 pub use driver::{run_heterogeneous_bfs, DistConfig, DistOutcome, FailurePolicy, Run, RunError};
+pub use report::{phase_residuals, PhaseResidual, RunReport, REPORT_SCHEMA_VERSION};
 
 /// The shared-memory engine computing each host's partition.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]

@@ -1,0 +1,348 @@
+//! The benchmark regression gate: diffs the current `bench_results/`
+//! artifacts against committed baselines.
+//!
+//! Deterministic counters — payload bytes per row and per wire mode,
+//! message and round counts, calibration traffic, the row sets themselves,
+//! and the report schema version — must match the baseline **exactly**;
+//! any difference is a HARD failure and a nonzero exit, because the
+//! simulated cluster is bit-deterministic and a drifted counter means the
+//! substrate changed behavior. Timings (wall seconds, measured comm
+//! seconds, speedups) are environment-dependent: they only WARN when they
+//! drift beyond the relative tolerance, and never fail the gate.
+//!
+//! Usage: `bench_gate [--baseline <dir>] [--current <dir>] [--tol <frac>]
+//! [--rebaseline]`
+//!
+//! Defaults: baseline `bench_results/baseline`, current
+//! `$BENCH_RESULTS_DIR` (or `bench_results/`), tolerance `$BENCH_GATE_TOL`
+//! (or `0.5`, i.e. ±50% relative). `--rebaseline` copies the current
+//! artifacts over the baseline instead of comparing.
+
+use gluon_bench::json::{self, Json};
+use gluon_bench::Table;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// One row array inside an artifact: its field name and the key columns
+/// identifying a row within it.
+type RowArray = (&'static str, &'static [&'static str]);
+
+/// The artifacts under the gate, and the row arrays each one carries.
+const ARTIFACTS: [(&str, &[RowArray]); 3] = [
+    ("fig8", &[("rows", &["input", "bench", "system", "hosts"])]),
+    (
+        "table4",
+        &[
+            ("rows", &["input", "bench"]),
+            ("scaling", &["input", "bench", "threads"]),
+        ],
+    ),
+    (
+        "report",
+        &[("cells", &["input", "bench", "system", "hosts"])],
+    ),
+];
+
+/// Per-row fields compared exactly (HARD on mismatch). Fields absent from
+/// a row (e.g. `v1_baseline_bytes: null` on Gemini rows) must be absent
+/// or null in both.
+fn hard_fields(artifact: &str, array: &str) -> &'static [&'static str] {
+    match (artifact, array) {
+        ("fig8", "rows") => &["comm_bytes", "v1_baseline_bytes", "rounds"],
+        _ => &[],
+    }
+}
+
+/// Per-row fields compared within tolerance (WARN on drift).
+fn soft_fields(artifact: &str, array: &str) -> &'static [&'static str] {
+    match (artifact, array) {
+        ("fig8", "rows") => &["projected_secs", "wall_secs", "retransmit_bytes"],
+        ("table4", "rows") => &[
+            "ligra_secs",
+            "d_ligra_secs",
+            "galois_secs",
+            "d_galois_secs",
+            "gemini_secs",
+            "d_ligra_overhead",
+            "d_galois_overhead",
+        ],
+        ("table4", "scaling") => &["speedup", "projected_secs"],
+        ("report", "cells") => &["measured_secs", "projected_secs", "residual_secs"],
+        _ => &[],
+    }
+}
+
+/// Cap on WARN rows in the printed table (hard failures always print).
+const MAX_WARN_ROWS: usize = 25;
+
+struct Gate {
+    tol: f64,
+    /// Counters/timings compared.
+    checked: usize,
+    hard: usize,
+    soft: usize,
+    /// Only failing/drifting rows land in the printed table.
+    table: Table,
+}
+
+impl Gate {
+    fn new(tol: f64) -> Gate {
+        Gate {
+            tol,
+            checked: 0,
+            hard: 0,
+            soft: 0,
+            table: Table::new(vec!["metric", "baseline", "current", "delta", "status"]),
+        }
+    }
+
+    fn hard_fail(&mut self, metric: &str, base: &str, cur: &str) {
+        self.hard += 1;
+        self.table.row(vec![
+            metric.to_owned(),
+            base.to_owned(),
+            cur.to_owned(),
+            "-".to_owned(),
+            "HARD".to_owned(),
+        ]);
+    }
+
+    /// Exact comparison of a deterministic counter (or any value rendered
+    /// to text): any difference is a hard failure.
+    fn exact(&mut self, metric: &str, base: &Json, cur: &Json) {
+        self.checked += 1;
+        let (b, c) = (base.render(), cur.render());
+        if b != c {
+            self.hard_fail(metric, &b, &c);
+        }
+    }
+
+    /// Tolerance comparison of a timing: drift beyond `tol` (relative to
+    /// the larger magnitude) is a warning, never a failure.
+    fn timing(&mut self, metric: &str, base: &Json, cur: &Json) {
+        self.checked += 1;
+        let (Some(b), Some(c)) = (base.as_f64(), cur.as_f64()) else {
+            // Nulls (e.g. a v1 ratio on a Gemini row) must agree in kind.
+            if base.render() != cur.render() {
+                self.hard_fail(metric, &base.render(), &cur.render());
+            }
+            return;
+        };
+        let scale = b.abs().max(c.abs());
+        if scale > 0.0 && ((c - b) / scale).abs() > self.tol {
+            self.soft += 1;
+            // Sub-microsecond simulated phases jitter by whole multiples
+            // of themselves; a handful of rows plus the summary count tell
+            // the story without drowning the hard failures.
+            if self.soft > MAX_WARN_ROWS {
+                return;
+            }
+            self.table.row(vec![
+                metric.to_owned(),
+                format!("{b:.6}"),
+                format!("{c:.6}"),
+                format!("{:+.1}%", (c - b) / b.abs().max(1e-12) * 100.0),
+                "WARN".to_owned(),
+            ]);
+        }
+    }
+}
+
+fn load(dir: &Path, name: &str) -> Result<Json, String> {
+    let path = dir.join(format!("{name}.json"));
+    let text = std::fs::read_to_string(&path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    Json::parse(&text).map_err(|e| format!("cannot parse {}: {e:?}", path.display()))
+}
+
+/// The identity of one row within a row array.
+fn row_key(row: &Json, cols: &[&str]) -> String {
+    cols.iter()
+        .map(|c| row.get(c).map_or("?".to_owned(), Json::render))
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+fn compare_rows(
+    gate: &mut Gate,
+    artifact: &str,
+    array: &str,
+    cols: &[&str],
+    base: &Json,
+    cur: &Json,
+) {
+    let empty = Vec::new();
+    let base_rows = base.get(array).and_then(Json::items).unwrap_or(&empty);
+    let cur_rows = cur.get(array).and_then(Json::items).unwrap_or(&empty);
+    let cur_by_key: Vec<(String, &Json)> = cur_rows.iter().map(|r| (row_key(r, cols), r)).collect();
+    let mut seen = vec![false; cur_by_key.len()];
+    for brow in base_rows {
+        let key = row_key(brow, cols);
+        let metric_base = format!("{artifact}.{array}[{key}]");
+        let Some(pos) = cur_by_key.iter().position(|(k, _)| *k == key) else {
+            gate.hard_fail(&metric_base, "present", "missing row");
+            continue;
+        };
+        seen[pos] = true;
+        let crow = cur_by_key[pos].1;
+        for f in hard_fields(artifact, array) {
+            let b = brow.get(f).cloned().unwrap_or(Json::Null);
+            let c = crow.get(f).cloned().unwrap_or(Json::Null);
+            gate.exact(&format!("{metric_base}.{f}"), &b, &c);
+        }
+        for f in soft_fields(artifact, array) {
+            let b = brow.get(f).cloned().unwrap_or(Json::Null);
+            let c = crow.get(f).cloned().unwrap_or(Json::Null);
+            gate.timing(&format!("{metric_base}.{f}"), &b, &c);
+        }
+        // Calibration cells carry a per-phase array whose shape and
+        // traffic columns are deterministic.
+        if artifact == "report" && array == "cells" {
+            compare_phases(gate, &metric_base, brow, crow);
+        }
+    }
+    for (pos, (key, _)) in cur_by_key.iter().enumerate() {
+        if !seen[pos] {
+            gate.hard_fail(
+                &format!("{artifact}.{array}[{key}]"),
+                "missing row",
+                "present",
+            );
+        }
+    }
+}
+
+fn compare_phases(gate: &mut Gate, metric_base: &str, brow: &Json, crow: &Json) {
+    let empty = Vec::new();
+    let bp = brow.get("phases").and_then(Json::items).unwrap_or(&empty);
+    let cp = crow.get("phases").and_then(Json::items).unwrap_or(&empty);
+    gate.exact(
+        &format!("{metric_base}.phases.len"),
+        &Json::from(bp.len()),
+        &Json::from(cp.len()),
+    );
+    for (b, c) in bp.iter().zip(cp) {
+        let phase = b.get("phase").map_or("?".to_owned(), Json::render);
+        for f in ["max_host_bytes", "max_host_messages"] {
+            gate.exact(
+                &format!("{metric_base}.phases[{phase}].{f}"),
+                b.get(f).unwrap_or(&Json::Null),
+                c.get(f).unwrap_or(&Json::Null),
+            );
+        }
+        for f in ["measured_secs", "projected_secs", "residual_secs"] {
+            gate.timing(
+                &format!("{metric_base}.phases[{phase}].{f}"),
+                b.get(f).unwrap_or(&Json::Null),
+                c.get(f).unwrap_or(&Json::Null),
+            );
+        }
+    }
+}
+
+fn compare_artifact(
+    gate: &mut Gate,
+    artifact: &str,
+    arrays: &[(&str, &[&str])],
+    base: &Json,
+    cur: &Json,
+) {
+    if artifact == "fig8" {
+        // The per-wire-mode byte breakdown is fully deterministic.
+        gate.exact(
+            "fig8.wire_mode_bytes",
+            base.get("wire_mode_bytes").unwrap_or(&Json::Null),
+            cur.get("wire_mode_bytes").unwrap_or(&Json::Null),
+        );
+    }
+    if artifact == "report" {
+        gate.exact(
+            "report.schema_version",
+            base.get("schema_version").unwrap_or(&Json::Null),
+            cur.get("schema_version").unwrap_or(&Json::Null),
+        );
+        gate.exact(
+            "report.cost_model",
+            base.get("cost_model").unwrap_or(&Json::Null),
+            cur.get("cost_model").unwrap_or(&Json::Null),
+        );
+    }
+    for (array, cols) in arrays {
+        compare_rows(gate, artifact, array, cols, base, cur);
+    }
+}
+
+fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter().position(|a| a == flag).map(|i| {
+        args.get(i + 1)
+            .unwrap_or_else(|| panic!("{flag} requires a value"))
+            .clone()
+    })
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let current_dir = arg_value(&args, "--current").map_or_else(json::results_dir, PathBuf::from);
+    let baseline_dir = arg_value(&args, "--baseline")
+        .map_or_else(|| PathBuf::from("bench_results/baseline"), PathBuf::from);
+    let tol: f64 = arg_value(&args, "--tol")
+        .or_else(|| std::env::var("BENCH_GATE_TOL").ok())
+        .map_or(0.5, |v| v.parse().expect("tolerance must be a number"));
+
+    if args.iter().any(|a| a == "--rebaseline") {
+        std::fs::create_dir_all(&baseline_dir)
+            .unwrap_or_else(|e| panic!("cannot create {}: {e}", baseline_dir.display()));
+        for (name, _) in ARTIFACTS {
+            let src = current_dir.join(format!("{name}.json"));
+            let dst = baseline_dir.join(format!("{name}.json"));
+            std::fs::copy(&src, &dst).unwrap_or_else(|e| {
+                panic!("cannot copy {} to {}: {e}", src.display(), dst.display())
+            });
+            println!("rebaselined {}", dst.display());
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let mut gate = Gate::new(tol);
+    for (name, arrays) in ARTIFACTS {
+        match (load(&baseline_dir, name), load(&current_dir, name)) {
+            (Ok(base), Ok(cur)) => compare_artifact(&mut gate, name, arrays, &base, &cur),
+            (Err(e), _) => gate.hard_fail(
+                &format!("{name}.baseline"),
+                &format!("{e} (run with --rebaseline to record one)"),
+                "-",
+            ),
+            (_, Err(e)) => gate.hard_fail(
+                &format!("{name}.current"),
+                "-",
+                &format!("{e} (run the fig8 and table4 binaries first)"),
+            ),
+        }
+    }
+
+    if gate.hard + gate.soft > 0 {
+        gate.table.print("Benchmark gate: regressions");
+        if gate.soft > MAX_WARN_ROWS {
+            println!(
+                "({} more timing warnings not shown)",
+                gate.soft - MAX_WARN_ROWS
+            );
+        }
+    }
+    println!();
+    println!(
+        "bench_gate: {} comparisons, {} hard failures (deterministic counters/schema), \
+         {} timing warnings (tolerance ±{:.0}%, informational only)",
+        gate.checked,
+        gate.hard,
+        gate.soft,
+        gate.tol * 100.0
+    );
+    if gate.hard > 0 {
+        println!("bench_gate: FAIL — deterministic results drifted from the committed baseline");
+        ExitCode::FAILURE
+    } else {
+        println!("bench_gate: OK");
+        ExitCode::SUCCESS
+    }
+}

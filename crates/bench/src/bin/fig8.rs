@@ -9,13 +9,22 @@
 //! (`OptLevel::without_compression`). The second run is the pre-codec-v2
 //! baseline; the table reports both volumes and their ratio, and the run
 //! asserts the two are bit-identical in every computed label.
+//!
+//! Each Gluon cell additionally runs under a fresh [`MetricsHub`], whose
+//! payload byte counter is cross-checked against the run's `RunStats`,
+//! and every cell (Gemini included) gets a per-phase cost-model
+//! calibration table — measured max-host phase time vs.
+//! `CostModel::REPRO`'s projection — exported to
+//! `bench_results/report.json` alongside the `fig8.json` cells.
 
 use gluon::OptLevel;
-use gluon_algos::{driver, Algorithm, DistConfig, EngineKind};
+use gluon_algos::{driver, phase_residuals, Algorithm, DistConfig, EngineKind, PhaseResidual};
 use gluon_bench::json::{self, Json};
+use gluon_bench::report::emit;
 use gluon_bench::{inputs, report, scale_from_args, trace_path_from_args, Scale, Table};
 use gluon_gemini::GeminiAlgo;
 use gluon_graph::{max_out_degree_node, Csr};
+use gluon_metrics::MetricsHub;
 use gluon_net::CostModel;
 use gluon_partition::Policy;
 use gluon_trace::{ChromeTraceBuilder, Tracer, MODE_NAMES, NUM_WIRE_MODES};
@@ -30,6 +39,8 @@ struct Point {
     baseline_bytes: Option<u64>,
     retx_bytes: u64,
     rounds: u32,
+    /// Per-phase cost-model calibration rows for this cell.
+    residuals: Vec<PhaseResidual>,
 }
 
 fn gluon_point(
@@ -45,10 +56,19 @@ fn gluon_point(
         opts: OptLevel::default(),
         engine,
     };
+    let hub = MetricsHub::new(hosts);
     let out = driver::Run::new(graph, algo)
         .config(&cfg)
         .tracer(tracer)
+        .metrics(&hub)
         .launch();
+    // The metrics registry and the stats pipeline count payload bytes
+    // independently; a disagreement means one of them lies.
+    assert_eq!(
+        hub.counter_across_hosts("bytes_sent"),
+        out.run.total_bytes,
+        "metrics bytes_sent disagrees with RunStats ({algo:?}, {hosts} hosts)"
+    );
     // The codec-v1 baseline: identical run with the compressed candidates
     // off. Compression must never change what is computed — only how the
     // update metadata travels.
@@ -83,6 +103,7 @@ fn gluon_point(
         baseline_bytes: Some(base.run.total_bytes),
         retx_bytes: out.net.retransmit_bytes,
         rounds: out.rounds,
+        residuals: phase_residuals(&out.host_stats, &CostModel::REPRO),
     }
 }
 
@@ -109,7 +130,19 @@ fn gemini_point(graph: &Csr, algo: Algorithm, hosts: usize) -> Point {
         baseline_bytes: None, // gemini does not use the Gluon codec
         retx_bytes: 0,        // gemini runs on the bare in-memory transport
         rounds: out.rounds,
+        residuals: phase_residuals(&out.host_stats, &CostModel::REPRO),
     }
+}
+
+fn residual_row(r: &PhaseResidual) -> Json {
+    Json::obj([
+        ("phase", Json::from(r.phase)),
+        ("measured_secs", Json::from(r.measured_secs)),
+        ("projected_secs", Json::from(r.projected_secs)),
+        ("residual_secs", Json::from(r.residual_secs)),
+        ("max_host_bytes", Json::from(r.max_host_bytes)),
+        ("max_host_messages", Json::from(r.max_host_messages)),
+    ])
 }
 
 fn main() {
@@ -135,11 +168,23 @@ fn main() {
         "retx",
         "rounds",
     ]);
+    let mut calib = Table::new(vec![
+        "input",
+        "bench",
+        "system",
+        "hosts",
+        "phases",
+        "measured",
+        "projected",
+        "residual",
+    ]);
     // Payload bytes per wire mode, summed over every Gluon row, keyed by
     // the synced field.
     let mut mode_bytes: BTreeMap<String, [u64; NUM_WIRE_MODES]> = BTreeMap::new();
     // The same cells as the text table, as JSON for downstream tooling.
     let mut json_rows: Vec<Json> = Vec::new();
+    // Per-cell calibration for bench_results/report.json.
+    let mut calib_cells: Vec<Json> = Vec::new();
     // The codec-v2 acceptance gate: at least one multi-host sparse
     // workload (bfs or cc) must move strictly fewer bytes than the v1
     // baseline.
@@ -198,6 +243,31 @@ fn main() {
                             }
                         }
                     }
+                    let measured: f64 = point.residuals.iter().map(|r| r.measured_secs).sum();
+                    let projected: f64 = point.residuals.iter().map(|r| r.projected_secs).sum();
+                    calib_cells.push(Json::obj([
+                        ("input", Json::from(bg.name)),
+                        ("bench", Json::from(algo.name())),
+                        ("system", Json::from(system)),
+                        ("hosts", Json::from(hosts)),
+                        (
+                            "phases",
+                            Json::Arr(point.residuals.iter().map(residual_row).collect()),
+                        ),
+                        ("measured_secs", Json::from(measured)),
+                        ("projected_secs", Json::from(projected)),
+                        ("residual_secs", Json::from(measured - projected)),
+                    ]));
+                    calib.row(vec![
+                        bg.name.to_owned(),
+                        algo.name().to_owned(),
+                        system.to_owned(),
+                        hosts.to_string(),
+                        point.residuals.len().to_string(),
+                        report::secs(measured),
+                        report::secs(projected),
+                        format!("{:+.4}", measured - projected),
+                    ]);
                     json_rows.push(Json::obj([
                         ("input", Json::from(bg.name)),
                         ("bench", Json::from(algo.name())),
@@ -236,7 +306,13 @@ fn main() {
             }
         }
     }
-    table.print("Figure 8(a)+(b): strong scaling — time series and communication volume");
+    // Everything below goes to stdout AND the fig8.txt artifact through
+    // the same emission path.
+    let mut txt = String::new();
+    emit(
+        &mut txt,
+        &table.section("Figure 8(a)+(b): strong scaling — time series and communication volume"),
+    );
 
     // Per-wire-mode byte breakdown across every Gluon row above.
     let mut modes = Table::new({
@@ -251,8 +327,20 @@ fn main() {
         row.push(report::bytes(bytes.iter().sum()));
         modes.row(row);
     }
-    println!();
-    modes.print("Figure 8(b) detail: payload bytes per wire mode (all Gluon rows)");
+    emit(&mut txt, "\n");
+    emit(
+        &mut txt,
+        &modes.section("Figure 8(b) detail: payload bytes per wire mode (all Gluon rows)"),
+    );
+
+    emit(&mut txt, "\n");
+    emit(
+        &mut txt,
+        &calib.section(
+            "Cost-model calibration: measured vs projected comm time \
+             (CostModel::REPRO, summed over phases; per-phase rows in report.json)",
+        ),
+    );
 
     let json_modes = Json::Obj(
         mode_bytes
@@ -273,8 +361,33 @@ fn main() {
             ("wire_mode_bytes", json_modes),
         ]),
     );
+    let report_path = json::write_results(
+        "report",
+        &Json::obj([
+            (
+                "schema_version",
+                Json::from(gluon_algos::REPORT_SCHEMA_VERSION),
+            ),
+            ("source", Json::from("fig8")),
+            (
+                "cost_model",
+                Json::obj([
+                    ("alpha_secs", Json::from(CostModel::REPRO.alpha_secs)),
+                    (
+                        "beta_secs_per_byte",
+                        Json::from(CostModel::REPRO.beta_secs_per_byte),
+                    ),
+                ]),
+            ),
+            ("cells", Json::Arr(calib_cells)),
+        ]),
+    );
     println!();
-    println!("Machine-readable results written to {}.", written.display());
+    println!(
+        "Machine-readable results written to {} and {}.",
+        written.display(),
+        report_path.display()
+    );
 
     if let (Some(path), Some(chrome)) = (&trace_path, chrome) {
         std::fs::write(path, chrome.finish())
@@ -282,22 +395,27 @@ fn main() {
         println!();
         println!("Chrome trace written to {path} (load via chrome://tracing or Perfetto).");
     }
-    println!();
+    emit(&mut txt, "\n");
     assert!(
         sparse_wins > 0,
         "codec v2 failed to beat the v1 baseline on any multi-host bfs/cc row \
          ({sparse_rows} candidates)"
     );
-    println!(
-        "Codec v2 check: every row bit-identical with compression on vs off; \
-         {sparse_wins}/{sparse_rows} multi-host bfs/cc rows moved strictly fewer \
-         bytes than the codec-v1 baseline."
+    emit(
+        &mut txt,
+        &format!(
+            "Codec v2 check: every row bit-identical with compression on vs off; \
+             {sparse_wins}/{sparse_rows} multi-host bfs/cc rows moved strictly fewer \
+             bytes than the codec-v1 baseline.\n"
+        ),
     );
-    println!();
-    println!(
+    emit(&mut txt, "\n");
+    emit(
+        &mut txt,
         "Paper shape to check: D-Galois beats Gemini nearly everywhere and \
          keeps scaling; Gemini stops scaling early; the Gluon systems move \
          roughly an order of magnitude fewer bytes (Fig 8b); D-Ligra needs \
-         more rounds than D-Galois on the same input (§5.4)."
+         more rounds than D-Galois on the same input (§5.4).\n",
     );
+    json::write_text("fig8", &txt);
 }

@@ -12,6 +12,7 @@
 
 use gluon_algos::{driver, Algorithm, DistConfig, EngineKind};
 use gluon_bench::json::{self, Json};
+use gluon_bench::report::emit;
 use gluon_bench::{inputs, report, scale_from_args, singlehost, Table};
 use gluon_gemini::GeminiAlgo;
 use gluon_graph::{max_out_degree_node, Csr};
@@ -94,18 +95,28 @@ fn main() {
             ]);
         }
     }
-    table.print("Table 4: execution time (s) on a single host");
-    println!();
-    println!(
-        "geomean D-system / plain-engine time ratio: {:.2}x",
-        report::geomean(overheads)
+    // Everything below goes to stdout AND the table4.txt artifact through
+    // the same emission path.
+    let mut txt = String::new();
+    emit(
+        &mut txt,
+        &table.section("Table 4: execution time (s) on a single host"),
     );
-    println!(
+    emit(&mut txt, "\n");
+    emit(
+        &mut txt,
+        &format!(
+            "geomean D-system / plain-engine time ratio: {:.2}x\n",
+            report::geomean(overheads)
+        ),
+    );
+    emit(
+        &mut txt,
         "Paper shape to check: the D-systems are competitive with the plain \
-         shared-memory engines on one host (small Gluon-layer overhead)."
+         shared-memory engines on one host (small Gluon-layer overhead).\n",
     );
 
-    println!();
+    emit(&mut txt, "\n");
     let mut scaling = Table::new(vec!["input", "bench", "threads", "speedup", "projected"]);
     let mut four_thread = Vec::new();
     let mut json_scaling: Vec<Json> = Vec::new();
@@ -152,12 +163,19 @@ fn main() {
             }
         }
     }
-    scaling.print("Table 4b: intra-host scaling (measured speedup and projected runtime)");
-    println!();
-    println!(
-        "geomean pagerank speedup at 4 threads: {:.2}x (acceptance floor: 2x)",
-        report::geomean(four_thread)
+    emit(
+        &mut txt,
+        &scaling.section("Table 4b: intra-host scaling (measured speedup and projected runtime)"),
     );
+    emit(&mut txt, "\n");
+    emit(
+        &mut txt,
+        &format!(
+            "geomean pagerank speedup at 4 threads: {:.2}x (acceptance floor: 2x)\n",
+            report::geomean(four_thread)
+        ),
+    );
+    json::write_text("table4", &txt);
 
     let written = json::write_results(
         "table4",

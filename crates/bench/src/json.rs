@@ -1,164 +1,64 @@
-//! A minimal JSON emitter for machine-readable harness results.
+//! Machine-readable harness results: the JSON tree plus the file writers.
 //!
-//! The harness binaries print human-readable tables; this module lets them
-//! also drop the same cells into `bench_results/<name>.json` so downstream
-//! tooling (plot scripts, regression diffs) can consume the numbers without
-//! scraping text. Hand-rolled on purpose: the workspace vendors no JSON
-//! dependency, and the emitter only needs to *write* a small tree.
+//! The JSON value type lives in [`gluon_metrics::json`] — one hand-rolled
+//! emitter/parser shared by the metrics [`RunReport`] and the harness
+//! binaries (the workspace vendors no JSON dependency) — and is re-exported
+//! here so harness code keeps writing `gluon_bench::json::Json`. This
+//! module owns the single writer path that drops both the JSON tree and
+//! the rendered text tables under the results directory.
+//!
+//! [`RunReport`]: gluon_algos::RunReport
+//!
+//! # Examples
+//!
+//! ```
+//! use gluon_bench::json::Json;
+//!
+//! let v = Json::obj([("bench", Json::from("bfs")), ("bytes", Json::from(1024u64))]);
+//! assert_eq!(v.render(), "{\"bench\": \"bfs\", \"bytes\": 1024}");
+//! assert_eq!(Json::parse(&v.render()).unwrap(), v);
+//! ```
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
-/// A JSON value tree. Build with the `From` impls and [`Json::obj`] /
-/// [`Json::Arr`], serialize with [`Json::render`].
-///
-/// # Examples
-///
-/// ```
-/// use gluon_bench::json::Json;
-///
-/// let v = Json::obj([("bench", Json::from("bfs")), ("bytes", Json::from(1024u64))]);
-/// assert_eq!(v.render(), "{\"bench\": \"bfs\", \"bytes\": 1024}");
-/// ```
-#[derive(Clone, Debug, PartialEq)]
-pub enum Json {
-    /// `null`.
-    Null,
-    /// `true` / `false`.
-    Bool(bool),
-    /// An unsigned integer (emitted without a decimal point).
-    UInt(u64),
-    /// A float; non-finite values are emitted as `null` (JSON has no NaN).
-    Num(f64),
-    /// A string (escaped on output).
-    Str(String),
-    /// An array.
-    Arr(Vec<Json>),
-    /// An object with insertion-ordered keys.
-    Obj(Vec<(String, Json)>),
+pub use gluon_metrics::json::{Json, ParseError};
+
+/// The harness output directory: `$BENCH_RESULTS_DIR` when set (the
+/// regression gate uses this to produce comparison runs side by side),
+/// `bench_results/` under the current working directory otherwise.
+pub fn results_dir() -> PathBuf {
+    std::env::var_os("BENCH_RESULTS_DIR")
+        .map_or_else(|| PathBuf::from("bench_results"), PathBuf::from)
 }
 
-impl From<bool> for Json {
-    fn from(v: bool) -> Json {
-        Json::Bool(v)
-    }
-}
-impl From<u32> for Json {
-    fn from(v: u32) -> Json {
-        Json::UInt(v as u64)
-    }
-}
-impl From<u64> for Json {
-    fn from(v: u64) -> Json {
-        Json::UInt(v)
-    }
-}
-impl From<usize> for Json {
-    fn from(v: usize) -> Json {
-        Json::UInt(v as u64)
-    }
-}
-impl From<f64> for Json {
-    fn from(v: f64) -> Json {
-        Json::Num(v)
-    }
-}
-impl From<&str> for Json {
-    fn from(v: &str) -> Json {
-        Json::Str(v.to_owned())
-    }
-}
-impl From<String> for Json {
-    fn from(v: String) -> Json {
-        Json::Str(v)
-    }
-}
-
-impl Json {
-    /// Builds an object from `(key, value)` pairs, keeping their order.
-    pub fn obj<K: Into<String>>(fields: impl IntoIterator<Item = (K, Json)>) -> Json {
-        Json::Obj(fields.into_iter().map(|(k, v)| (k.into(), v)).collect())
-    }
-
-    /// Serializes the tree to a JSON string (single line, `", "` / `": "`
-    /// separators).
-    pub fn render(&self) -> String {
-        let mut out = String::new();
-        self.write(&mut out);
-        out
-    }
-
-    fn write(&self, out: &mut String) {
-        match self {
-            Json::Null => out.push_str("null"),
-            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
-            Json::UInt(v) => out.push_str(&v.to_string()),
-            Json::Num(v) => {
-                if v.is_finite() {
-                    // `Display` for f64 never uses exponent notation and
-                    // round-trips, so the text is always valid JSON.
-                    out.push_str(&v.to_string());
-                } else {
-                    out.push_str("null");
-                }
-            }
-            Json::Str(s) => write_escaped(s, out),
-            Json::Arr(items) => {
-                out.push('[');
-                for (i, item) in items.iter().enumerate() {
-                    if i > 0 {
-                        out.push_str(", ");
-                    }
-                    item.write(out);
-                }
-                out.push(']');
-            }
-            Json::Obj(fields) => {
-                out.push('{');
-                for (i, (k, v)) in fields.iter().enumerate() {
-                    if i > 0 {
-                        out.push_str(", ");
-                    }
-                    write_escaped(k, out);
-                    out.push_str(": ");
-                    v.write(out);
-                }
-                out.push('}');
-            }
-        }
-    }
-}
-
-fn write_escaped(s: &str, out: &mut String) {
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-}
-
-/// Writes `value` to `bench_results/<name>.json` (creating the directory
-/// under the current working directory) and returns the path written.
+/// Writes `value` to `<results_dir>/<name>.json` (creating the directory)
+/// and returns the path written.
 ///
 /// # Panics
 ///
 /// Panics if the directory or file cannot be written — harness binaries
 /// have nothing sensible to do with a half-recorded run.
 pub fn write_results(name: &str, value: &Json) -> PathBuf {
-    let dir = PathBuf::from("bench_results");
-    std::fs::create_dir_all(&dir)
-        .unwrap_or_else(|e| panic!("cannot create {}: {e}", dir.display()));
-    let path = dir.join(format!("{name}.json"));
     let mut text = value.render();
     text.push('\n');
-    std::fs::write(&path, text).unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+    write_file(&results_dir(), &format!("{name}.json"), &text)
+}
+
+/// Writes already-rendered table text to `<results_dir>/<name>.txt`
+/// through the same writer path as [`write_results`] and returns the path.
+///
+/// # Panics
+///
+/// Panics if the directory or file cannot be written.
+pub fn write_text(name: &str, text: &str) -> PathBuf {
+    write_file(&results_dir(), &format!("{name}.txt"), text)
+}
+
+fn write_file(dir: &Path, file: &str, contents: &str) -> PathBuf {
+    std::fs::create_dir_all(dir).unwrap_or_else(|e| panic!("cannot create {}: {e}", dir.display()));
+    let path = dir.join(file);
+    std::fs::write(&path, contents)
+        .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
     path
 }
 
@@ -167,32 +67,19 @@ mod tests {
     use super::*;
 
     #[test]
-    fn renders_nested_values() {
+    fn writer_creates_directory_and_file() {
+        let dir = std::env::temp_dir().join(format!("gluon-bench-json-{}", std::process::id()));
+        let path = write_file(&dir, "probe.json", "{\"ok\": true}\n");
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "{\"ok\": true}\n");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn reexported_json_round_trips() {
         let v = Json::obj([
-            ("name", Json::from("rmat16")),
-            ("hosts", Json::from(4u64)),
-            ("secs", Json::from(0.5f64)),
             ("rows", Json::Arr(vec![Json::from(1u64), Json::Null])),
-            ("ok", Json::from(true)),
+            ("ratio", Json::from(0.5f64)),
         ]);
-        assert_eq!(
-            v.render(),
-            "{\"name\": \"rmat16\", \"hosts\": 4, \"secs\": 0.5, \
-             \"rows\": [1, null], \"ok\": true}"
-        );
-    }
-
-    #[test]
-    fn escapes_strings() {
-        assert_eq!(
-            Json::from("a\"b\\c\nd\u{1}").render(),
-            "\"a\\\"b\\\\c\\nd\\u0001\""
-        );
-    }
-
-    #[test]
-    fn non_finite_floats_become_null() {
-        assert_eq!(Json::from(f64::NAN).render(), "null");
-        assert_eq!(Json::from(f64::INFINITY).render(), "null");
+        assert_eq!(Json::parse(&v.render()).unwrap(), v);
     }
 }

@@ -71,11 +71,25 @@ impl Table {
         out
     }
 
+    /// Renders the captioned section — blank line, `## caption`, blank
+    /// line, the aligned table — used for both stdout and the
+    /// `bench_results/<name>.txt` artifact, so the two never drift.
+    pub fn section(&self, caption: &str) -> String {
+        format!("\n## {caption}\n\n{}", self.render())
+    }
+
     /// Renders and prints to stdout with a caption.
     pub fn print(&self, caption: &str) {
-        println!("\n## {caption}\n");
-        print!("{}", self.render());
+        print!("{}", self.section(caption));
     }
+}
+
+/// Prints `text` to stdout **and** appends it to the text-artifact
+/// accumulator: the single emission path for harness output that must land
+/// both on the console and in `bench_results/<name>.txt`.
+pub fn emit(artifact: &mut String, text: &str) {
+    print!("{text}");
+    artifact.push_str(text);
 }
 
 /// Geometric mean of positive values (ignores non-finite or non-positive
@@ -150,6 +164,15 @@ mod tests {
         assert_eq!(lines.len(), 3);
         assert!(lines[0].starts_with("a "));
         assert!(lines[2].starts_with("xxxxx"));
+    }
+
+    #[test]
+    fn section_is_print_format() {
+        let mut t = Table::new(vec!["col"]);
+        t.row(vec!["1".into()]);
+        let s = t.section("cap");
+        assert!(s.starts_with("\n## cap\n\n"), "{s:?}");
+        assert!(s.ends_with(&t.render()), "{s:?}");
     }
 
     #[test]

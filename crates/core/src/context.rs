@@ -17,6 +17,7 @@ use crate::value::SyncValue;
 use bytes::Bytes;
 use gluon_exec::Pool;
 use gluon_graph::{Gid, HostId, Lid};
+use gluon_metrics::{HostMetrics, PeerTable, SyncMetrics, NUM_ROUND_STAGES};
 use gluon_net::{Communicator, NetError, Transport};
 use gluon_partition::LocalGraph;
 use gluon_trace::{Stage, Tracer, SETUP_PHASE};
@@ -245,6 +246,7 @@ pub struct GluonContext<'a, T: Transport + ?Sized> {
     pool: Pool,
     arena: SyncArena,
     ckpt: Option<CheckpointCfg>,
+    metrics: SyncMetrics,
 }
 
 /// Checkpoint/recovery configuration attached to a context (absent in the
@@ -267,36 +269,68 @@ struct CheckpointCfg {
 /// their sum and keep the "children sum to the parent" invariant exact
 /// (up to float accumulation).
 ///
-/// Disabled tracers make every method a no-op behind one `Option` check.
+/// The segment clock is shared by two consumers: the tracer (per-segment
+/// child spans) and the metrics layer (per-stage duration totals plus
+/// per-peer send/recv-wait attribution). It runs when *either* is enabled;
+/// with both disabled every method is a no-op behind one `Option` check.
 struct Segmenter {
     inner: Option<SegState>,
 }
 
 struct SegState {
     tracer: Tracer,
+    peers: PeerTable,
     host: usize,
     phase: u32,
     start_ns: u64,
     last_wall: Instant,
     last_ns: u64,
     cur: (Stage, Option<usize>),
+    stage_totals: [u64; NUM_ROUND_STAGES],
+}
+
+/// What a finished segment clock measured: the covered interval and its
+/// decomposition into the eight per-round micro-stages.
+struct SegTotals {
+    total_ns: u64,
+    stage_ns: [u64; NUM_ROUND_STAGES],
+}
+
+/// The metrics index of a trace stage: the first [`NUM_ROUND_STAGES`]
+/// `Stage` discriminants coincide with `gluon_metrics::ROUND_STAGE_NAMES`
+/// (asserted in this module's tests); later stages (collective, parents)
+/// are not per-round micro-stages.
+fn round_stage_index(stage: Stage) -> Option<usize> {
+    let i = stage as usize;
+    (i < NUM_ROUND_STAGES).then_some(i)
 }
 
 impl Segmenter {
     /// Starts segmenting with an initial open stage (so even a phase that
     /// never switches stages gets one covering child span).
-    fn begin(tracer: &Tracer, host: usize, phase: u32, first: Stage) -> Segmenter {
+    fn begin(
+        tracer: &Tracer,
+        metrics: &SyncMetrics,
+        host: usize,
+        phase: u32,
+        first: Stage,
+    ) -> Segmenter {
         Segmenter {
-            inner: tracer.is_enabled().then(|| {
+            inner: (tracer.is_enabled() || metrics.is_enabled()).then(|| {
+                // now_ns() is 0 for a disabled tracer; segment durations
+                // come from Instant arithmetic either way, so the metrics
+                // totals are exact even without a trace epoch.
                 let start_ns = tracer.now_ns();
                 SegState {
                     tracer: tracer.clone(),
+                    peers: metrics.peers().clone(),
                     host,
                     phase,
                     start_ns,
                     last_wall: Instant::now(),
                     last_ns: start_ns,
                     cur: (first, None),
+                    stage_totals: [0; NUM_ROUND_STAGES],
                 }
             }),
         }
@@ -315,14 +349,17 @@ impl Segmenter {
     }
 
     /// Closes the final segment and emits the parent span; returns the
-    /// total nanoseconds covered (None when tracing is disabled).
-    fn finish(self) -> Option<u64> {
+    /// totals covered (None when both consumers are disabled).
+    fn finish(self) -> Option<SegTotals> {
         let mut st = self.inner?;
         st.cut();
         let total = st.last_ns - st.start_ns;
         st.tracer
             .record_span(st.host, st.phase, Stage::Sync, None, st.start_ns, total);
-        Some(total)
+        Some(SegTotals {
+            total_ns: total,
+            stage_ns: st.stage_totals,
+        })
     }
 }
 
@@ -331,14 +368,22 @@ impl SegState {
         let now = Instant::now();
         let now_ns = self.last_ns + now.duration_since(self.last_wall).as_nanos() as u64;
         let (stage, peer) = self.cur;
-        self.tracer.record_span(
-            self.host,
-            self.phase,
-            stage,
-            peer,
-            self.last_ns,
-            now_ns - self.last_ns,
-        );
+        let dur = now_ns - self.last_ns;
+        self.tracer
+            .record_span(self.host, self.phase, stage, peer, self.last_ns, dur);
+        if let Some(i) = round_stage_index(stage) {
+            self.stage_totals[i] += dur;
+        }
+        if let Some(p) = peer {
+            // Send and recv_wait keep their peer in both the sequential
+            // and the parallel paths, so this attribution works at every
+            // thread count.
+            match stage {
+                Stage::Send => self.peers.add_send_ns(p, dur),
+                Stage::RecvWait => self.peers.add_recv_wait_ns(p, dur),
+                _ => {}
+            }
+        }
         self.last_wall = now;
         self.last_ns = now_ns;
     }
@@ -405,7 +450,31 @@ impl<'a, T: Transport + ?Sized> GluonContext<'a, T> {
             pool: Pool::sequential(),
             arena: SyncArena::new(true),
             ckpt: None,
+            metrics: SyncMetrics::disabled(),
         }
+    }
+
+    /// Attaches this host's metrics bundle (builder style): the context
+    /// then publishes wire-mode traffic, pool hit/miss, decode errors,
+    /// per-stage times, and one [`gluon_metrics::RoundSample`] row per
+    /// sync round. Registration happens here, once — every steady-state
+    /// publication afterwards is a plain atomic op.
+    ///
+    /// Metrics count *payload* bytes handed to the transport's send path,
+    /// which is deterministic across runs; `NetStats` (and
+    /// [`crate::PhaseStats::bytes_sent`]) count wire frames, which include
+    /// reliability-layer framing and timing-dependent heartbeats when a
+    /// failure detector is configured.
+    #[must_use]
+    pub fn with_metrics(mut self, host: HostMetrics) -> Self {
+        self.metrics = SyncMetrics::register(&host);
+        self
+    }
+
+    /// The metrics bundle this context publishes into (disabled unless
+    /// [`GluonContext::with_metrics`] was called).
+    pub fn metrics(&self) -> &SyncMetrics {
+        &self.metrics
     }
 
     /// Enables epoch checkpointing: every `every` algorithm rounds the
@@ -487,6 +556,7 @@ impl<'a, T: Transport + ?Sized> GluonContext<'a, T> {
             .unwrap_or_else(|e| panic!("checkpoint write for round {round} failed: {e}"));
         self.tracer
             .record_event(self.rank(), "checkpoint", self.rank(), bytes);
+        self.metrics.on_checkpoint();
     }
 
     /// Installs an intra-host worker pool (builder style). The pool drives
@@ -667,7 +737,14 @@ impl<'a, T: Transport + ?Sized> GluonContext<'a, T> {
         let field_name = spec.name.unwrap_or_else(std::any::type_name::<F>);
 
         let phase_idx = self.stats.phases.len() as u32;
-        let mut seg = Segmenter::begin(&self.tracer, self.rank(), phase_idx, Stage::Extract);
+        let mut seg = Segmenter::begin(
+            &self.tracer,
+            &self.metrics,
+            self.rank(),
+            phase_idx,
+            Stage::Extract,
+        );
+        let round_mark = self.metrics.round_begin();
 
         // Check the field's pooled buffers out for the duration of the two
         // patterns (a move, not an allocation); check them back in before
@@ -691,16 +768,16 @@ impl<'a, T: Transport + ?Sized> GluonContext<'a, T> {
         self.arena.checkin(field_name, fa);
         res?;
 
-        // When traced, the phase's comm time is *defined* as the span of
-        // the segment clock, so child spans sum to it exactly; untraced
-        // phases keep the plain wall-clock measurement.
-        let traced_ns = seg.finish();
+        // When the segment clock ran (tracing or metrics), the phase's
+        // comm time is *defined* as its span, so child spans sum to it
+        // exactly; otherwise keep the plain wall-clock measurement.
+        let totals = seg.finish();
         let after = self.host_sent();
         let (work_units, crit_work_units) = self.take_pending_work();
         self.stats.phases.push(PhaseStats {
             compute_secs,
-            comm_secs: match traced_ns {
-                Some(ns) => ns as f64 / 1e9,
+            comm_secs: match &totals {
+                Some(t) => t.total_ns as f64 / 1e9,
                 None => start.elapsed().as_secs_f64(),
             },
             bytes_sent: after.0 - before.0,
@@ -708,6 +785,10 @@ impl<'a, T: Transport + ?Sized> GluonContext<'a, T> {
             work_units,
             crit_work_units,
         });
+        if let Some(t) = totals {
+            self.metrics
+                .round_end(round_mark, u64::from(seq), t.stage_ns);
+        }
         self.mark = Instant::now();
         Ok(())
     }
@@ -729,9 +810,16 @@ impl<'a, T: Transport + ?Sized> GluonContext<'a, T> {
         let compute_secs = self.mark.elapsed().as_secs_f64();
         let start = Instant::now();
         let phase_idx = self.stats.phases.len() as u32;
-        let seg = Segmenter::begin(&self.tracer, self.rank(), phase_idx, Stage::Collective);
+        let seg = Segmenter::begin(
+            &self.tracer,
+            &self.metrics,
+            self.rank(),
+            phase_idx,
+            Stage::Collective,
+        );
         let any = self.comm.try_any(local_active)?;
-        let traced_ns = seg.finish();
+        self.metrics.on_collective();
+        let traced_ns = seg.finish().map(|t| t.total_ns);
         let (work_units, crit_work_units) = self.take_pending_work();
         self.stats.phases.push(PhaseStats {
             compute_secs,
@@ -765,9 +853,16 @@ impl<'a, T: Transport + ?Sized> GluonContext<'a, T> {
         let compute_secs = self.mark.elapsed().as_secs_f64();
         let start = Instant::now();
         let phase_idx = self.stats.phases.len() as u32;
-        let seg = Segmenter::begin(&self.tracer, self.rank(), phase_idx, Stage::Collective);
+        let seg = Segmenter::begin(
+            &self.tracer,
+            &self.metrics,
+            self.rank(),
+            phase_idx,
+            Stage::Collective,
+        );
         let sum = self.comm.try_all_reduce_f64(local, |a, b| a + b)?;
-        let traced_ns = seg.finish();
+        self.metrics.on_collective();
+        let traced_ns = seg.finish().map(|t| t.total_ns);
         let (work_units, crit_work_units) = self.take_pending_work();
         self.stats.phases.push(PhaseStats {
             compute_secs,
@@ -790,6 +885,7 @@ impl<'a, T: Transport + ?Sized> GluonContext<'a, T> {
     fn decode_failed(&mut self, peer: usize, payload_len: usize, error: DecodeError) -> SyncError {
         self.stats.decode_errors += 1;
         self.comm.transport().stats().record_decode_error();
+        self.metrics.on_decode_error();
         self.tracer
             .record_event(self.rank(), "decode_error", peer, payload_len as u64);
         SyncError::Decode { peer, error }
@@ -891,8 +987,10 @@ impl<'a, T: Transport + ?Sized> GluonContext<'a, T> {
         let stats = self.comm.transport().stats();
         if ps.recycled {
             stats.record_pool_hit();
+            self.metrics.pool_hit();
         } else {
             stats.record_pool_miss();
+            self.metrics.pool_miss();
             if self.tracer.is_enabled() {
                 self.tracer
                     .record_event(self.rank(), "arena_miss", h, payload.len() as u64);
@@ -901,6 +999,7 @@ impl<'a, T: Transport + ?Sized> GluonContext<'a, T> {
         self.tracer
             .record_wire_mode(field_name, payload[0], payload.len() as u64);
         self.tracer.record_message_size(payload.len());
+        self.metrics.on_payload(payload[0], payload.len() as u64);
         if role == PatternRole::MirrorToMaster {
             // The shipped values now live at the master; reset the
             // local copies to the reduction identity and deactivate.
@@ -1488,4 +1587,36 @@ impl<T: Transport + ?Sized> std::fmt::Debug for GluonContext<'_, T> {
 enum PatternRole {
     MirrorToMaster,
     MasterToMirror,
+}
+
+#[cfg(test)]
+mod seg_tests {
+    use super::*;
+
+    /// The segment clock indexes `gluon_metrics` stage totals directly by
+    /// the trace `Stage` discriminant (see [`round_stage_index`]); this
+    /// pins the alignment the two crates maintain independently.
+    #[test]
+    fn round_stage_indices_match_trace_discriminants() {
+        for (i, name) in gluon_metrics::ROUND_STAGE_NAMES.iter().enumerate() {
+            let stage = Stage::ALL[i];
+            assert_eq!(stage as usize, i);
+            assert_eq!(round_stage_index(stage), Some(i));
+            assert_eq!(stage.name(), *name, "stage {i}");
+        }
+        assert_eq!(round_stage_index(Stage::Collective), None);
+        assert_eq!(round_stage_index(Stage::Sync), None);
+        assert_eq!(round_stage_index(Stage::Memo), None);
+    }
+
+    #[test]
+    fn wire_mode_tables_agree() {
+        assert_eq!(gluon_metrics::NUM_WIRE_MODES, gluon_trace::NUM_WIRE_MODES);
+        for (a, b) in gluon_metrics::WIRE_MODE_NAMES
+            .iter()
+            .zip(gluon_trace::MODE_NAMES)
+        {
+            assert_eq!(*a, b);
+        }
+    }
 }

@@ -64,6 +64,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use gluon_metrics::ExecMetrics;
 use std::ops::Range;
 use std::sync::{Arc, Mutex};
 
@@ -129,6 +130,7 @@ pub struct Pool {
     threads: usize,
     spawn: bool,
     meter: Arc<Mutex<WorkSplit>>,
+    metrics: ExecMetrics,
 }
 
 impl Default for Pool {
@@ -144,7 +146,16 @@ impl Pool {
             threads: threads.max(1),
             spawn: true,
             meter: Arc::new(Mutex::new(WorkSplit::default())),
+            metrics: ExecMetrics::disabled(),
         }
+    }
+
+    /// Publishes every metered operation into `metrics` (in addition to
+    /// the drainable meter). Shared across clones of this pool.
+    #[must_use]
+    pub fn with_metrics(mut self, metrics: ExecMetrics) -> Pool {
+        self.metrics = metrics;
+        self
     }
 
     /// A pool that schedules and meters as if it had `threads` workers —
@@ -194,6 +205,7 @@ impl Pool {
 
     fn record(&self, split: WorkSplit) {
         self.meter.lock().expect("meter poisoned").add(split);
+        self.metrics.on_work(split.seq, split.crit);
     }
 
     /// The fixed chunk ranges covering `0..len`.
@@ -626,6 +638,20 @@ mod tests {
         Pool::new(4).for_each_scratch(&mut a, |i, s| *s = i + 1);
         Pool::inline(4).for_each_scratch(&mut b, |i, s| *s = i + 1);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn metrics_mirror_the_meter() {
+        let hub = gluon_metrics::MetricsHub::new(1);
+        let pool = Pool::new(2).with_metrics(ExecMetrics::register(&hub.host_registry(0)));
+        let len = 2 * MIN_CHUNK;
+        let _ = pool.map_chunks_weighted(len, |r| if r.start == 0 { 10 } else { 30 }, |_| ());
+        let r = hub.host_registry(0);
+        assert_eq!(r.counter_value("pool_parallel_ops"), 1);
+        assert_eq!(r.counter_value("pool_seq_work"), 40);
+        assert_eq!(r.counter_value("pool_crit_work"), 30);
+        // The drainable meter is unaffected by the mirror.
+        assert_eq!(pool.drain_work(), WorkSplit { seq: 40, crit: 30 });
     }
 
     #[test]

@@ -1,0 +1,1457 @@
+//! Typed metrics for the Gluon substrate: a per-host registry of counters,
+//! gauges, and log₂ histograms; a per-round time-series recorder; and
+//! export renderers (Prometheus text exposition via
+//! [`MetricsHub::prometheus`], machine-readable JSON via [`json`]).
+//!
+//! The tracer (`gluon-trace`) answers "what happened, when" with bounded
+//! span rings; this crate answers "how much, per host, per round" with
+//! unbounded-precision counters that CI and calibration tooling can diff.
+//! Every handle follows the tracer's no-op-when-disabled idiom: a
+//! [`MetricsHub::disabled`] hub hands out handles whose every operation is
+//! a branch on a `None` — safe to thread through the hot path
+//! unconditionally.
+//!
+//! # Allocation discipline
+//!
+//! Registration ([`Registry::counter`] and friends) allocates and must
+//! happen at setup time. After that, every publication — counter adds,
+//! gauge stores, histogram observes, [`RoundSeries`] pushes into its
+//! preallocated ring, [`PeerTable`] adds — is lock-free atomics or a short
+//! uncontended mutex over preallocated storage, so a metrics-enabled sync
+//! round performs **zero** heap allocations (enforced by the workspace's
+//! alloc-guard test).
+//!
+//! # Attempt baselines
+//!
+//! A supervised run may execute several attempts (crash → restore →
+//! replay). [`MetricsHub::begin_attempt`] snapshots every metric's current
+//! value as its *baseline* and clears the round series; reads are
+//! baseline-relative, so a report built after a recovered run describes
+//! the final (successful) attempt — which determinism makes identical, in
+//! every non-timing field, to a crash-free run.
+//!
+//! # Examples
+//!
+//! ```
+//! use gluon_metrics::MetricsHub;
+//!
+//! let hub = MetricsHub::new(2);
+//! let host0 = hub.host_registry(0);
+//! let bytes = host0.counter("bytes_sent");
+//! bytes.add(1024);
+//! assert_eq!(host0.counter_value("bytes_sent"), 1024);
+//! hub.begin_attempt();
+//! assert_eq!(host0.counter_value("bytes_sent"), 0);
+//! assert!(hub.prometheus().contains("gluon_bytes_sent"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod json;
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Number of wire modes tracked by the per-mode byte/message counters —
+/// the §4.2 mode bytes plus the codec-v2 compressed modes. Kept equal to
+/// `gluon_trace::NUM_WIRE_MODES` (asserted by the core crate's tests).
+pub const NUM_WIRE_MODES: usize = 9;
+
+/// Display names of the wire modes, indexed by mode byte.
+pub const WIRE_MODE_NAMES: [&str; NUM_WIRE_MODES] = [
+    "empty",
+    "dense",
+    "bitvec",
+    "indices",
+    "gid_values",
+    "idx_delta",
+    "run_len",
+    "same_idx",
+    "same_run",
+];
+
+/// Number of per-round micro-stages sampled into [`RoundSample::stage_ns`].
+/// Indices coincide with the first eight `gluon_trace::Stage` variants.
+pub const NUM_ROUND_STAGES: usize = 8;
+
+/// Display names of the round stages, indexed like
+/// [`RoundSample::stage_ns`].
+pub const ROUND_STAGE_NAMES: [&str; NUM_ROUND_STAGES] = [
+    "extract",
+    "memo_translate",
+    "encode",
+    "send",
+    "reset",
+    "recv_wait",
+    "decode",
+    "apply",
+];
+
+/// Index of the `recv_wait` stage in [`RoundSample::stage_ns`].
+pub const RECV_WAIT_STAGE: usize = 5;
+
+/// Number of log₂ buckets a [`Histogram`] tracks (bucket `i` counts
+/// observations with `floor(log2(v)) == i`; zero lands in bucket 0).
+pub const NUM_HISTOGRAM_BUCKETS: usize = 64;
+
+/// Default per-host capacity of the round time-series ring.
+pub const DEFAULT_ROUND_CAPACITY: usize = 4096;
+
+// ---------------------------------------------------------------------------
+// Metric cells and handles
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Default)]
+struct CounterCell {
+    value: AtomicU64,
+    base: AtomicU64,
+}
+
+#[derive(Debug, Default)]
+struct GaugeCell {
+    value: AtomicU64,
+}
+
+#[derive(Debug)]
+struct HistCell {
+    buckets: Vec<AtomicU64>,
+    base_buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    base_count: AtomicU64,
+    base_sum: AtomicU64,
+}
+
+impl HistCell {
+    fn new() -> HistCell {
+        HistCell {
+            buckets: (0..NUM_HISTOGRAM_BUCKETS)
+                .map(|_| AtomicU64::new(0))
+                .collect(),
+            base_buckets: (0..NUM_HISTOGRAM_BUCKETS)
+                .map(|_| AtomicU64::new(0))
+                .collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            base_count: AtomicU64::new(0),
+            base_sum: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A monotonically increasing counter. Cheap to clone; clones share the
+/// cell. A default-constructed counter is disabled: every operation is a
+/// no-op and every read returns 0.
+#[derive(Clone, Debug, Default)]
+pub struct Counter {
+    cell: Option<Arc<CounterCell>>,
+}
+
+impl Counter {
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if let Some(c) = &self.cell {
+            c.value.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Adds 1.
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Value accumulated since the last [`MetricsHub::begin_attempt`]
+    /// (equals [`Counter::total`] before the first rebaseline).
+    pub fn value(&self) -> u64 {
+        self.cell.as_ref().map_or(0, |c| {
+            c.value
+                .load(Ordering::Relaxed)
+                .saturating_sub(c.base.load(Ordering::Relaxed))
+        })
+    }
+
+    /// Absolute value accumulated over the cell's whole lifetime.
+    pub fn total(&self) -> u64 {
+        self.cell
+            .as_ref()
+            .map_or(0, |c| c.value.load(Ordering::Relaxed))
+    }
+}
+
+/// A last-write-wins (or high-water) gauge. Rebaselining resets it to 0.
+#[derive(Clone, Debug, Default)]
+pub struct Gauge {
+    cell: Option<Arc<GaugeCell>>,
+}
+
+impl Gauge {
+    /// Stores `v`.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        if let Some(c) = &self.cell {
+            c.value.store(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Raises the gauge to `v` if `v` is larger (high-water semantics).
+    #[inline]
+    pub fn set_max(&self, v: u64) {
+        if let Some(c) = &self.cell {
+            c.value.fetch_max(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value.
+    pub fn value(&self) -> u64 {
+        self.cell
+            .as_ref()
+            .map_or(0, |c| c.value.load(Ordering::Relaxed))
+    }
+}
+
+/// A log₂ histogram: bucket `i` counts observations whose `floor(log2)`
+/// is `i` (zero lands in bucket 0), plus a total count and sum.
+#[derive(Clone, Debug, Default)]
+pub struct Histogram {
+    cell: Option<Arc<HistCell>>,
+}
+
+/// The log₂ bucket index an observation of `v` lands in.
+pub fn log2_bucket(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        (63 - v.leading_zeros() as usize).min(NUM_HISTOGRAM_BUCKETS - 1)
+    }
+}
+
+impl Histogram {
+    /// Records one observation.
+    #[inline]
+    pub fn observe(&self, v: u64) {
+        if let Some(c) = &self.cell {
+            c.buckets[log2_bucket(v)].fetch_add(1, Ordering::Relaxed);
+            c.count.fetch_add(1, Ordering::Relaxed);
+            c.sum.fetch_add(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Per-bucket counts since the last rebaseline.
+    pub fn buckets(&self) -> [u64; NUM_HISTOGRAM_BUCKETS] {
+        let mut out = [0u64; NUM_HISTOGRAM_BUCKETS];
+        if let Some(c) = &self.cell {
+            for (i, slot) in out.iter_mut().enumerate() {
+                *slot = c.buckets[i]
+                    .load(Ordering::Relaxed)
+                    .saturating_sub(c.base_buckets[i].load(Ordering::Relaxed));
+            }
+        }
+        out
+    }
+
+    /// Observation count since the last rebaseline.
+    pub fn count(&self) -> u64 {
+        self.cell.as_ref().map_or(0, |c| {
+            c.count
+                .load(Ordering::Relaxed)
+                .saturating_sub(c.base_count.load(Ordering::Relaxed))
+        })
+    }
+
+    /// Observation sum since the last rebaseline.
+    pub fn sum(&self) -> u64 {
+        self.cell.as_ref().map_or(0, |c| {
+            c.sum
+                .load(Ordering::Relaxed)
+                .saturating_sub(c.base_sum.load(Ordering::Relaxed))
+        })
+    }
+}
+
+/// A read-only snapshot of one metric's attempt-relative value.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MetricValue {
+    /// Counter value.
+    Counter(u64),
+    /// Gauge value.
+    Gauge(u64),
+    /// Histogram buckets, count, and sum.
+    Histogram {
+        /// Per-log₂-bucket counts.
+        buckets: Vec<u64>,
+        /// Total observations.
+        count: u64,
+        /// Sum of observed values.
+        sum: u64,
+    },
+}
+
+#[derive(Clone, Debug)]
+enum Metric {
+    Counter(Arc<CounterCell>),
+    Gauge(Arc<GaugeCell>),
+    Histogram(Arc<HistCell>),
+}
+
+impl Metric {
+    fn kind(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+        }
+    }
+
+    fn rebaseline(&self) {
+        match self {
+            Metric::Counter(c) => {
+                c.base
+                    .store(c.value.load(Ordering::Relaxed), Ordering::Relaxed);
+            }
+            Metric::Gauge(g) => g.value.store(0, Ordering::Relaxed),
+            Metric::Histogram(h) => {
+                for (b, base) in h.buckets.iter().zip(&h.base_buckets) {
+                    base.store(b.load(Ordering::Relaxed), Ordering::Relaxed);
+                }
+                h.base_count
+                    .store(h.count.load(Ordering::Relaxed), Ordering::Relaxed);
+                h.base_sum
+                    .store(h.sum.load(Ordering::Relaxed), Ordering::Relaxed);
+            }
+        }
+    }
+
+    fn read(&self) -> MetricValue {
+        match self {
+            Metric::Counter(c) => MetricValue::Counter(
+                c.value
+                    .load(Ordering::Relaxed)
+                    .saturating_sub(c.base.load(Ordering::Relaxed)),
+            ),
+            Metric::Gauge(g) => MetricValue::Gauge(g.value.load(Ordering::Relaxed)),
+            Metric::Histogram(h) => {
+                let mut buckets = vec![0u64; NUM_HISTOGRAM_BUCKETS];
+                for (i, slot) in buckets.iter_mut().enumerate() {
+                    *slot = h.buckets[i]
+                        .load(Ordering::Relaxed)
+                        .saturating_sub(h.base_buckets[i].load(Ordering::Relaxed));
+                }
+                MetricValue::Histogram {
+                    buckets,
+                    count: h
+                        .count
+                        .load(Ordering::Relaxed)
+                        .saturating_sub(h.base_count.load(Ordering::Relaxed)),
+                    sum: h
+                        .sum
+                        .load(Ordering::Relaxed)
+                        .saturating_sub(h.base_sum.load(Ordering::Relaxed)),
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Default)]
+struct RegistryInner {
+    entries: Mutex<Vec<(&'static str, Metric)>>,
+}
+
+/// A named collection of metrics. Registration interns by name: asking for
+/// the same name twice returns handles to the same cell, which is how
+/// independently constructed publishers (the sync context and the reliable
+/// transport, say) share a counter.
+///
+/// Cloning is cheap; clones register into the same collection. A
+/// default-constructed registry is disabled and hands out disabled handles.
+#[derive(Clone, Debug, Default)]
+pub struct Registry {
+    inner: Option<Arc<RegistryInner>>,
+}
+
+impl Registry {
+    /// An enabled, empty registry.
+    pub fn new() -> Registry {
+        Registry {
+            inner: Some(Arc::new(RegistryInner::default())),
+        }
+    }
+
+    /// The no-op registry.
+    pub fn disabled() -> Registry {
+        Registry { inner: None }
+    }
+
+    /// Whether handles from this registry record anything.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Registers (or re-fetches) the counter `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different metric kind.
+    pub fn counter(&self, name: &'static str) -> Counter {
+        let Some(inner) = &self.inner else {
+            return Counter::default();
+        };
+        let mut entries = inner.entries.lock().expect("registry poisoned");
+        if let Some((_, m)) = entries.iter().find(|(n, _)| *n == name) {
+            match m {
+                Metric::Counter(c) => {
+                    return Counter {
+                        cell: Some(c.clone()),
+                    }
+                }
+                other => panic!("metric {name} already registered as a {}", other.kind()),
+            }
+        }
+        let cell = Arc::new(CounterCell::default());
+        entries.push((name, Metric::Counter(cell.clone())));
+        Counter { cell: Some(cell) }
+    }
+
+    /// Registers (or re-fetches) the gauge `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different metric kind.
+    pub fn gauge(&self, name: &'static str) -> Gauge {
+        let Some(inner) = &self.inner else {
+            return Gauge::default();
+        };
+        let mut entries = inner.entries.lock().expect("registry poisoned");
+        if let Some((_, m)) = entries.iter().find(|(n, _)| *n == name) {
+            match m {
+                Metric::Gauge(g) => {
+                    return Gauge {
+                        cell: Some(g.clone()),
+                    }
+                }
+                other => panic!("metric {name} already registered as a {}", other.kind()),
+            }
+        }
+        let cell = Arc::new(GaugeCell::default());
+        entries.push((name, Metric::Gauge(cell.clone())));
+        Gauge { cell: Some(cell) }
+    }
+
+    /// Registers (or re-fetches) the log₂ histogram `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different metric kind.
+    pub fn histogram(&self, name: &'static str) -> Histogram {
+        let Some(inner) = &self.inner else {
+            return Histogram::default();
+        };
+        let mut entries = inner.entries.lock().expect("registry poisoned");
+        if let Some((_, m)) = entries.iter().find(|(n, _)| *n == name) {
+            match m {
+                Metric::Histogram(h) => {
+                    return Histogram {
+                        cell: Some(h.clone()),
+                    };
+                }
+                other => panic!("metric {name} already registered as a {}", other.kind()),
+            }
+        }
+        let cell = Arc::new(HistCell::new());
+        entries.push((name, Metric::Histogram(cell.clone())));
+        Histogram { cell: Some(cell) }
+    }
+
+    /// Attempt-relative values of every registered metric, in registration
+    /// order.
+    pub fn snapshot(&self) -> Vec<(&'static str, MetricValue)> {
+        let Some(inner) = &self.inner else {
+            return Vec::new();
+        };
+        let entries = inner.entries.lock().expect("registry poisoned");
+        entries.iter().map(|(n, m)| (*n, m.read())).collect()
+    }
+
+    /// The attempt-relative value of counter `name` (0 when absent, not a
+    /// counter, or the registry is disabled).
+    pub fn counter_value(&self, name: &str) -> u64 {
+        let Some(inner) = &self.inner else { return 0 };
+        let entries = inner.entries.lock().expect("registry poisoned");
+        entries
+            .iter()
+            .find(|(n, _)| *n == name)
+            .and_then(|(_, m)| match m.read() {
+                MetricValue::Counter(v) => Some(v),
+                _ => None,
+            })
+            .unwrap_or(0)
+    }
+
+    fn rebaseline(&self) {
+        let Some(inner) = &self.inner else { return };
+        let entries = inner.entries.lock().expect("registry poisoned");
+        for (_, m) in entries.iter() {
+            m.rebaseline();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Per-peer attribution table
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Default)]
+struct PeerCell {
+    send_ns: AtomicU64,
+    recv_wait_ns: AtomicU64,
+    send_base: AtomicU64,
+    recv_base: AtomicU64,
+}
+
+/// Per-peer measured communication time: how long this host spent in the
+/// `send` and `recv_wait` stages directed at each peer. Preallocated to
+/// the world size, so steady-state adds are a single atomic op.
+#[derive(Clone, Debug, Default)]
+pub struct PeerTable {
+    inner: Option<Arc<Vec<PeerCell>>>,
+}
+
+impl PeerTable {
+    fn new(world_size: usize) -> PeerTable {
+        PeerTable {
+            inner: Some(Arc::new(
+                (0..world_size).map(|_| PeerCell::default()).collect(),
+            )),
+        }
+    }
+
+    /// Number of peers the table is sized for (0 when disabled).
+    pub fn len(&self) -> usize {
+        self.inner.as_ref().map_or(0, |v| v.len())
+    }
+
+    /// Whether the table is disabled or sized for zero peers.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Attributes `ns` nanoseconds of send-stage time to `peer`.
+    #[inline]
+    pub fn add_send_ns(&self, peer: usize, ns: u64) {
+        if let Some(v) = &self.inner {
+            v[peer].send_ns.fetch_add(ns, Ordering::Relaxed);
+        }
+    }
+
+    /// Attributes `ns` nanoseconds of recv-wait time to `peer`.
+    #[inline]
+    pub fn add_recv_wait_ns(&self, peer: usize, ns: u64) {
+        if let Some(v) = &self.inner {
+            v[peer].recv_wait_ns.fetch_add(ns, Ordering::Relaxed);
+        }
+    }
+
+    /// Attempt-relative send-stage nanoseconds attributed to `peer`.
+    pub fn send_ns(&self, peer: usize) -> u64 {
+        self.inner.as_ref().map_or(0, |v| {
+            v[peer]
+                .send_ns
+                .load(Ordering::Relaxed)
+                .saturating_sub(v[peer].send_base.load(Ordering::Relaxed))
+        })
+    }
+
+    /// Attempt-relative recv-wait nanoseconds attributed to `peer`.
+    pub fn recv_wait_ns(&self, peer: usize) -> u64 {
+        self.inner.as_ref().map_or(0, |v| {
+            v[peer]
+                .recv_wait_ns
+                .load(Ordering::Relaxed)
+                .saturating_sub(v[peer].recv_base.load(Ordering::Relaxed))
+        })
+    }
+
+    fn rebaseline(&self) {
+        if let Some(v) = &self.inner {
+            for c in v.iter() {
+                c.send_base
+                    .store(c.send_ns.load(Ordering::Relaxed), Ordering::Relaxed);
+                c.recv_base
+                    .store(c.recv_wait_ns.load(Ordering::Relaxed), Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Round time-series
+// ---------------------------------------------------------------------------
+
+/// One sampled sync round: what the recorder captures at the end of every
+/// `sync` call.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RoundSample {
+    /// 0-based sync-phase sequence number on the host.
+    pub round: u64,
+    /// Nanoseconds spent in each micro-stage this round, indexed by
+    /// [`ROUND_STAGE_NAMES`].
+    pub stage_ns: [u64; NUM_ROUND_STAGES],
+    /// Payload bytes sent this round, per wire mode.
+    pub mode_bytes: [u64; NUM_WIRE_MODES],
+    /// Total payload bytes sent this round.
+    pub bytes_sent: u64,
+    /// Sync messages sent this round.
+    pub messages_sent: u64,
+    /// Frames retransmitted by the reliability layer during this round.
+    pub retransmits: u64,
+    /// Send-buffer pool hits this round.
+    pub pool_hits: u64,
+    /// Send-buffer pool misses this round.
+    pub pool_misses: u64,
+    /// Nanoseconds blocked waiting on peers this round (equals
+    /// `stage_ns[RECV_WAIT_STAGE]`).
+    pub recv_wait_ns: u64,
+}
+
+#[derive(Debug)]
+struct SampleRing {
+    buf: Vec<RoundSample>,
+    cap: usize,
+    start: usize,
+    len: usize,
+    dropped: u64,
+}
+
+impl SampleRing {
+    fn push(&mut self, s: RoundSample) {
+        if self.len < self.cap {
+            let idx = (self.start + self.len) % self.cap;
+            if idx == self.buf.len() {
+                // Still filling the preallocated capacity: push never
+                // reallocates because `buf` reserved `cap` up front.
+                self.buf.push(s);
+            } else {
+                self.buf[idx] = s;
+            }
+            self.len += 1;
+        } else {
+            self.buf[self.start] = s;
+            self.start = (self.start + 1) % self.cap;
+            self.dropped += 1;
+        }
+    }
+}
+
+#[derive(Debug)]
+struct SeriesInner {
+    ring: Mutex<SampleRing>,
+}
+
+/// The per-host round recorder: a bounded, preallocated ring of
+/// [`RoundSample`] rows. Once full it keeps the most recent rows and
+/// counts the evictions in [`RoundSeries::dropped`] — a truncated series
+/// never masquerades as a complete one.
+#[derive(Clone, Debug, Default)]
+pub struct RoundSeries {
+    inner: Option<Arc<SeriesInner>>,
+}
+
+impl RoundSeries {
+    fn new(cap: usize) -> RoundSeries {
+        let cap = cap.max(1);
+        RoundSeries {
+            inner: Some(Arc::new(SeriesInner {
+                ring: Mutex::new(SampleRing {
+                    buf: Vec::with_capacity(cap),
+                    cap,
+                    start: 0,
+                    len: 0,
+                    dropped: 0,
+                }),
+            })),
+        }
+    }
+
+    /// Whether this handle records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Appends one row (evicting the oldest when full).
+    pub fn push(&self, sample: RoundSample) {
+        if let Some(inner) = &self.inner {
+            inner.ring.lock().expect("series poisoned").push(sample);
+        }
+    }
+
+    /// The retained rows, oldest first.
+    pub fn rows(&self) -> Vec<RoundSample> {
+        let Some(inner) = &self.inner else {
+            return Vec::new();
+        };
+        let ring = inner.ring.lock().expect("series poisoned");
+        (0..ring.len)
+            .map(|i| ring.buf[(ring.start + i) % ring.cap])
+            .collect()
+    }
+
+    /// Rows evicted because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.inner
+            .as_ref()
+            .map_or(0, |i| i.ring.lock().expect("series poisoned").dropped)
+    }
+
+    /// Ring capacity (0 when disabled).
+    pub fn capacity(&self) -> usize {
+        self.inner
+            .as_ref()
+            .map_or(0, |i| i.ring.lock().expect("series poisoned").cap)
+    }
+
+    fn clear(&self) {
+        if let Some(inner) = &self.inner {
+            let mut ring = inner.ring.lock().expect("series poisoned");
+            ring.start = 0;
+            ring.len = 0;
+            ring.dropped = 0;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Hub
+// ---------------------------------------------------------------------------
+
+#[derive(Debug)]
+struct HostSlot {
+    registry: Registry,
+    series: RoundSeries,
+    peers: PeerTable,
+}
+
+#[derive(Debug)]
+struct HubInner {
+    hosts: Vec<HostSlot>,
+    cluster: Registry,
+}
+
+/// The run-wide metrics root: one [`Registry`] + [`RoundSeries`] +
+/// [`PeerTable`] per host, plus a cluster-level registry the supervisor
+/// publishes into. Cheap to clone; clones share everything.
+#[derive(Clone, Debug, Default)]
+pub struct MetricsHub {
+    inner: Option<Arc<HubInner>>,
+}
+
+impl MetricsHub {
+    /// An enabled hub for `world_size` hosts with the default round-series
+    /// capacity.
+    pub fn new(world_size: usize) -> MetricsHub {
+        MetricsHub::with_round_capacity(world_size, DEFAULT_ROUND_CAPACITY)
+    }
+
+    /// As [`MetricsHub::new`] with an explicit per-host round-series ring
+    /// capacity.
+    pub fn with_round_capacity(world_size: usize, capacity: usize) -> MetricsHub {
+        MetricsHub {
+            inner: Some(Arc::new(HubInner {
+                hosts: (0..world_size)
+                    .map(|_| HostSlot {
+                        registry: Registry::new(),
+                        series: RoundSeries::new(capacity),
+                        peers: PeerTable::new(world_size),
+                    })
+                    .collect(),
+                cluster: Registry::new(),
+            })),
+        }
+    }
+
+    /// The no-op hub: every handle it hands out is disabled.
+    pub fn disabled() -> MetricsHub {
+        MetricsHub { inner: None }
+    }
+
+    /// Whether this hub records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Number of hosts the hub was sized for (0 when disabled).
+    pub fn world_size(&self) -> usize {
+        self.inner.as_ref().map_or(0, |i| i.hosts.len())
+    }
+
+    /// The bundled per-host handles for `rank` (all disabled when the hub
+    /// is disabled; `rank` is ignored in that case).
+    pub fn host(&self, rank: usize) -> HostMetrics {
+        match &self.inner {
+            Some(i) => HostMetrics {
+                registry: i.hosts[rank].registry.clone(),
+                series: i.hosts[rank].series.clone(),
+                peers: i.hosts[rank].peers.clone(),
+            },
+            None => HostMetrics::disabled(),
+        }
+    }
+
+    /// Host `rank`'s registry (disabled when the hub is disabled).
+    pub fn host_registry(&self, rank: usize) -> Registry {
+        match &self.inner {
+            Some(i) => i.hosts[rank].registry.clone(),
+            None => Registry::disabled(),
+        }
+    }
+
+    /// The cluster-level registry (supervisor counters: recoveries,
+    /// attempts).
+    pub fn cluster(&self) -> Registry {
+        match &self.inner {
+            Some(i) => i.cluster.clone(),
+            None => Registry::disabled(),
+        }
+    }
+
+    /// Marks the start of a (re)attempt: snapshots every metric's current
+    /// value as its baseline and clears every round series, so subsequent
+    /// reads describe only the newest attempt.
+    pub fn begin_attempt(&self) {
+        let Some(i) = &self.inner else { return };
+        for h in &i.hosts {
+            h.registry.rebaseline();
+            h.series.clear();
+            h.peers.rebaseline();
+        }
+        i.cluster.rebaseline();
+    }
+
+    /// Sums the attempt-relative value of counter `name` across all host
+    /// registries.
+    pub fn counter_across_hosts(&self, name: &str) -> u64 {
+        self.inner.as_ref().map_or(0, |i| {
+            i.hosts.iter().map(|h| h.registry.counter_value(name)).sum()
+        })
+    }
+
+    /// Renders every metric in Prometheus text exposition format: one
+    /// `# TYPE` header per metric name, one `{host="N"}`-labelled sample
+    /// per host (histograms expand into cumulative `_bucket` series plus
+    /// `_sum`/`_count`), cluster metrics unlabelled. Values are
+    /// attempt-relative. Empty string when disabled.
+    pub fn prometheus(&self) -> String {
+        let Some(inner) = &self.inner else {
+            return String::new();
+        };
+        let mut out = String::new();
+        // Union of metric names across hosts, in first-seen order so the
+        // exposition is stable for a deterministic run.
+        let mut names: Vec<(&'static str, &'static str)> = Vec::new();
+        let per_host: Vec<Vec<(&'static str, MetricValue)>> =
+            inner.hosts.iter().map(|h| h.registry.snapshot()).collect();
+        for snap in &per_host {
+            for (name, value) in snap {
+                if !names.iter().any(|(n, _)| n == name) {
+                    names.push((name, metric_value_kind(value)));
+                }
+            }
+        }
+        for (name, kind) in &names {
+            out.push_str(&format!("# TYPE gluon_{name} {kind}\n"));
+            for (host, snap) in per_host.iter().enumerate() {
+                let Some((_, value)) = snap.iter().find(|(n, _)| n == name) else {
+                    continue;
+                };
+                render_prom_sample(&mut out, name, &format!("host=\"{host}\""), value);
+            }
+        }
+        let cluster = inner.cluster.snapshot();
+        for (name, value) in &cluster {
+            out.push_str(&format!(
+                "# TYPE gluon_{name} {}\n",
+                metric_value_kind(value)
+            ));
+            render_prom_sample(&mut out, name, "", value);
+        }
+        out
+    }
+}
+
+fn metric_value_kind(v: &MetricValue) -> &'static str {
+    match v {
+        MetricValue::Counter(_) => "counter",
+        MetricValue::Gauge(_) => "gauge",
+        MetricValue::Histogram { .. } => "histogram",
+    }
+}
+
+fn render_prom_sample(out: &mut String, name: &str, labels: &str, value: &MetricValue) {
+    let brace = |extra: &str| -> String {
+        match (labels.is_empty(), extra.is_empty()) {
+            (true, true) => String::new(),
+            (true, false) => format!("{{{extra}}}"),
+            (false, true) => format!("{{{labels}}}"),
+            (false, false) => format!("{{{labels},{extra}}}"),
+        }
+    };
+    match value {
+        MetricValue::Counter(v) | MetricValue::Gauge(v) => {
+            out.push_str(&format!("gluon_{name}{} {v}\n", brace("")));
+        }
+        MetricValue::Histogram {
+            buckets,
+            count,
+            sum,
+        } => {
+            let last = buckets.iter().rposition(|&b| b > 0).map_or(0, |i| i + 1);
+            let mut cum = 0u64;
+            for (i, b) in buckets.iter().take(last).enumerate() {
+                cum += b;
+                // Bucket `i` holds values with floor(log2(v)) == i, whose
+                // maximum is 2^(i+1) - 1.
+                let le = (1u128 << (i + 1)) - 1;
+                out.push_str(&format!(
+                    "gluon_{name}_bucket{} {cum}\n",
+                    brace(&format!("le=\"{le}\""))
+                ));
+            }
+            out.push_str(&format!(
+                "gluon_{name}_bucket{} {count}\n",
+                brace("le=\"+Inf\"")
+            ));
+            out.push_str(&format!("gluon_{name}_sum{} {sum}\n", brace("")));
+            out.push_str(&format!("gluon_{name}_count{} {count}\n", brace("")));
+        }
+    }
+}
+
+/// The per-host bundle a publisher needs: the registry plus the round
+/// series and peer table. Obtained from [`MetricsHub::host`].
+#[derive(Clone, Debug, Default)]
+pub struct HostMetrics {
+    registry: Registry,
+    series: RoundSeries,
+    peers: PeerTable,
+}
+
+impl HostMetrics {
+    /// The all-disabled bundle.
+    pub fn disabled() -> HostMetrics {
+        HostMetrics::default()
+    }
+
+    /// Whether the bundle records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.registry.is_enabled()
+    }
+
+    /// The host's registry.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// The host's round time-series.
+    pub fn series(&self) -> &RoundSeries {
+        &self.series
+    }
+
+    /// The host's per-peer attribution table.
+    pub fn peers(&self) -> &PeerTable {
+        &self.peers
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Pre-registered publisher bundles
+// ---------------------------------------------------------------------------
+
+/// Names of the per-stage cumulative time counters, aligned with
+/// [`ROUND_STAGE_NAMES`].
+const STAGE_COUNTER_NAMES: [&str; NUM_ROUND_STAGES] = [
+    "stage_extract_ns",
+    "stage_memo_translate_ns",
+    "stage_encode_ns",
+    "stage_send_ns",
+    "stage_reset_ns",
+    "stage_recv_wait_ns",
+    "stage_decode_ns",
+    "stage_apply_ns",
+];
+
+const MODE_MSG_COUNTER_NAMES: [&str; NUM_WIRE_MODES] = [
+    "wire_msgs_empty",
+    "wire_msgs_dense",
+    "wire_msgs_bitvec",
+    "wire_msgs_indices",
+    "wire_msgs_gid_values",
+    "wire_msgs_idx_delta",
+    "wire_msgs_run_len",
+    "wire_msgs_same_idx",
+    "wire_msgs_same_run",
+];
+
+const MODE_BYTE_COUNTER_NAMES: [&str; NUM_WIRE_MODES] = [
+    "wire_bytes_empty",
+    "wire_bytes_dense",
+    "wire_bytes_bitvec",
+    "wire_bytes_indices",
+    "wire_bytes_gid_values",
+    "wire_bytes_idx_delta",
+    "wire_bytes_run_len",
+    "wire_bytes_same_idx",
+    "wire_bytes_same_run",
+];
+
+/// Snapshot of the cumulative per-round counters at the start of one sync
+/// round; [`SyncMetrics::round_end`] subtracts it to build the round's
+/// [`RoundSample`]. Plain `Copy` data — taking one allocates nothing.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RoundMark {
+    mode_bytes: [u64; NUM_WIRE_MODES],
+    bytes: u64,
+    messages: u64,
+    retransmits: u64,
+    pool_hits: u64,
+    pool_misses: u64,
+}
+
+/// The sync runtime's pre-registered per-host metrics: wire-mode traffic,
+/// stage times, pool hit/miss, rounds, decode errors, and the round
+/// recorder. Constructed once per context via [`SyncMetrics::register`];
+/// every publication afterwards is allocation-free.
+#[derive(Clone, Debug, Default)]
+pub struct SyncMetrics {
+    series: RoundSeries,
+    peers: PeerTable,
+    sync_rounds: Counter,
+    collective_ops: Counter,
+    bytes_sent: Counter,
+    messages_sent: Counter,
+    pool_hits: Counter,
+    pool_misses: Counter,
+    decode_errors: Counter,
+    checkpoints_saved: Counter,
+    stage_ns: [Counter; NUM_ROUND_STAGES],
+    mode_msgs: [Counter; NUM_WIRE_MODES],
+    mode_bytes: [Counter; NUM_WIRE_MODES],
+    payload_bytes: Histogram,
+    /// Shared (by name) with the reliability layer's [`NetMetrics`].
+    retransmits: Counter,
+}
+
+impl SyncMetrics {
+    /// The all-disabled bundle.
+    pub fn disabled() -> SyncMetrics {
+        SyncMetrics::default()
+    }
+
+    /// Registers the sync runtime's metrics on `host`'s registry.
+    pub fn register(host: &HostMetrics) -> SyncMetrics {
+        let r = host.registry();
+        SyncMetrics {
+            series: host.series().clone(),
+            peers: host.peers().clone(),
+            sync_rounds: r.counter("sync_rounds"),
+            collective_ops: r.counter("collective_ops"),
+            bytes_sent: r.counter("bytes_sent"),
+            messages_sent: r.counter("messages_sent"),
+            pool_hits: r.counter("pool_hits"),
+            pool_misses: r.counter("pool_misses"),
+            decode_errors: r.counter("decode_errors"),
+            checkpoints_saved: r.counter("checkpoints_saved"),
+            stage_ns: STAGE_COUNTER_NAMES.map(|n| r.counter(n)),
+            mode_msgs: MODE_MSG_COUNTER_NAMES.map(|n| r.counter(n)),
+            mode_bytes: MODE_BYTE_COUNTER_NAMES.map(|n| r.counter(n)),
+            payload_bytes: r.histogram("payload_bytes"),
+            retransmits: r.counter("retransmits"),
+        }
+    }
+
+    /// Whether this bundle records anything.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.series.is_enabled()
+    }
+
+    /// The per-peer attribution table (for the segment clock).
+    pub fn peers(&self) -> &PeerTable {
+        &self.peers
+    }
+
+    /// Books one outgoing sync payload: `mode` is the wire-mode byte,
+    /// `len` the payload length in bytes.
+    #[inline]
+    pub fn on_payload(&self, mode: u8, len: u64) {
+        if !self.is_enabled() {
+            return;
+        }
+        let m = (mode as usize).min(NUM_WIRE_MODES - 1);
+        self.mode_msgs[m].incr();
+        self.mode_bytes[m].add(len);
+        self.bytes_sent.add(len);
+        self.messages_sent.incr();
+        self.payload_bytes.observe(len);
+    }
+
+    /// Books a send-buffer pool hit.
+    #[inline]
+    pub fn pool_hit(&self) {
+        self.pool_hits.incr();
+    }
+
+    /// Books a send-buffer pool miss.
+    #[inline]
+    pub fn pool_miss(&self) {
+        self.pool_misses.incr();
+    }
+
+    /// Books one undecodable payload.
+    #[inline]
+    pub fn on_decode_error(&self) {
+        self.decode_errors.incr();
+    }
+
+    /// Books one collective operation (termination detection, global sum).
+    #[inline]
+    pub fn on_collective(&self) {
+        self.collective_ops.incr();
+    }
+
+    /// Books one checkpoint snapshot.
+    #[inline]
+    pub fn on_checkpoint(&self) {
+        self.checkpoints_saved.incr();
+    }
+
+    /// Snapshots the cumulative counters at the start of a sync round.
+    pub fn round_begin(&self) -> RoundMark {
+        if !self.is_enabled() {
+            return RoundMark::default();
+        }
+        let mut mode_bytes = [0u64; NUM_WIRE_MODES];
+        for (slot, c) in mode_bytes.iter_mut().zip(&self.mode_bytes) {
+            *slot = c.total();
+        }
+        RoundMark {
+            mode_bytes,
+            bytes: self.bytes_sent.total(),
+            messages: self.messages_sent.total(),
+            retransmits: self.retransmits.total(),
+            pool_hits: self.pool_hits.total(),
+            pool_misses: self.pool_misses.total(),
+        }
+    }
+
+    /// Completes one sync round: publishes the stage durations into the
+    /// cumulative stage counters and appends the round's [`RoundSample`]
+    /// (deltas against `mark`) to the series.
+    pub fn round_end(&self, mark: RoundMark, round: u64, stage_ns: [u64; NUM_ROUND_STAGES]) {
+        if !self.is_enabled() {
+            return;
+        }
+        for (c, ns) in self.stage_ns.iter().zip(stage_ns) {
+            c.add(ns);
+        }
+        self.sync_rounds.incr();
+        let mut mode_bytes = [0u64; NUM_WIRE_MODES];
+        for (i, slot) in mode_bytes.iter_mut().enumerate() {
+            *slot = self.mode_bytes[i].total() - mark.mode_bytes[i];
+        }
+        self.series.push(RoundSample {
+            round,
+            stage_ns,
+            mode_bytes,
+            bytes_sent: self.bytes_sent.total() - mark.bytes,
+            messages_sent: self.messages_sent.total() - mark.messages,
+            retransmits: self.retransmits.total() - mark.retransmits,
+            pool_hits: self.pool_hits.total() - mark.pool_hits,
+            pool_misses: self.pool_misses.total() - mark.pool_misses,
+            recv_wait_ns: stage_ns[RECV_WAIT_STAGE],
+        });
+    }
+}
+
+/// The reliability layer's pre-registered metrics: retransmissions,
+/// duplicate suppression, CRC rejections, peers declared down.
+#[derive(Clone, Debug, Default)]
+pub struct NetMetrics {
+    retransmits: Counter,
+    retransmit_bytes: Counter,
+    dups_suppressed: Counter,
+    crc_rejections: Counter,
+    peers_down: Counter,
+}
+
+impl NetMetrics {
+    /// The all-disabled bundle.
+    pub fn disabled() -> NetMetrics {
+        NetMetrics::default()
+    }
+
+    /// Registers the reliability layer's metrics on `registry`. The
+    /// `retransmits` counter is shared by name with [`SyncMetrics`], which
+    /// is how the round recorder attributes retransmissions to rounds.
+    pub fn register(registry: &Registry) -> NetMetrics {
+        NetMetrics {
+            retransmits: registry.counter("retransmits"),
+            retransmit_bytes: registry.counter("retransmit_bytes"),
+            dups_suppressed: registry.counter("dups_suppressed"),
+            crc_rejections: registry.counter("crc_rejections"),
+            peers_down: registry.counter("peers_down"),
+        }
+    }
+
+    /// Books one retransmitted frame of `bytes` bytes.
+    #[inline]
+    pub fn on_retransmit(&self, bytes: u64) {
+        self.retransmits.incr();
+        self.retransmit_bytes.add(bytes);
+    }
+
+    /// Books one suppressed duplicate frame.
+    #[inline]
+    pub fn on_dup_suppressed(&self) {
+        self.dups_suppressed.incr();
+    }
+
+    /// Books one CRC-rejected frame.
+    #[inline]
+    pub fn on_crc_rejection(&self) {
+        self.crc_rejections.incr();
+    }
+
+    /// Books one peer declared dead.
+    #[inline]
+    pub fn on_peer_down(&self) {
+        self.peers_down.incr();
+    }
+}
+
+/// The exec pool's pre-registered metrics: parallel operations and the
+/// sequential/critical-path work split.
+#[derive(Clone, Debug, Default)]
+pub struct ExecMetrics {
+    parallel_ops: Counter,
+    seq_work: Counter,
+    crit_work: Counter,
+}
+
+impl ExecMetrics {
+    /// The all-disabled bundle.
+    pub fn disabled() -> ExecMetrics {
+        ExecMetrics::default()
+    }
+
+    /// Registers the pool's metrics on `registry`.
+    pub fn register(registry: &Registry) -> ExecMetrics {
+        ExecMetrics {
+            parallel_ops: registry.counter("pool_parallel_ops"),
+            seq_work: registry.counter("pool_seq_work"),
+            crit_work: registry.counter("pool_crit_work"),
+        }
+    }
+
+    /// Books one metered pool operation: `seq` total work units whose
+    /// critical path was `crit` units.
+    #[inline]
+    pub fn on_work(&self, seq: u64, crit: u64) {
+        self.parallel_ops.incr();
+        self.seq_work.add(seq);
+        self.crit_work.add(crit);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_handles_are_noops() {
+        let hub = MetricsHub::disabled();
+        assert!(!hub.is_enabled());
+        let host = hub.host(0);
+        assert!(!host.is_enabled());
+        let c = host.registry().counter("x");
+        c.add(7);
+        assert_eq!(c.value(), 0);
+        let sm = SyncMetrics::register(&host);
+        sm.on_payload(1, 100);
+        sm.round_end(sm.round_begin(), 0, [0; NUM_ROUND_STAGES]);
+        assert!(sm.peers().is_empty());
+        assert_eq!(hub.prometheus(), "");
+    }
+
+    #[test]
+    fn counters_intern_by_name() {
+        let r = Registry::new();
+        let a = r.counter("n");
+        let b = r.counter("n");
+        a.add(3);
+        b.add(4);
+        assert_eq!(a.value(), 7);
+        assert_eq!(r.counter_value("n"), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn kind_mismatch_panics() {
+        let r = Registry::new();
+        let _ = r.counter("n");
+        let _ = r.gauge("n");
+    }
+
+    #[test]
+    fn rebaseline_resets_reads_but_not_totals() {
+        let hub = MetricsHub::new(1);
+        let c = hub.host_registry(0).counter("c");
+        let h = hub.host_registry(0).histogram("h");
+        c.add(10);
+        h.observe(5);
+        hub.begin_attempt();
+        assert_eq!(c.value(), 0);
+        assert_eq!(c.total(), 10);
+        assert_eq!(h.count(), 0);
+        c.add(2);
+        h.observe(9);
+        assert_eq!(c.value(), 2);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.sum(), 9);
+        assert_eq!(h.buckets()[3], 1);
+    }
+
+    #[test]
+    fn log2_buckets_match_convention() {
+        assert_eq!(log2_bucket(0), 0);
+        assert_eq!(log2_bucket(1), 0);
+        assert_eq!(log2_bucket(2), 1);
+        assert_eq!(log2_bucket(3), 1);
+        assert_eq!(log2_bucket(4), 2);
+        assert_eq!(log2_bucket(u64::MAX), 63);
+    }
+
+    #[test]
+    fn round_series_wraps_and_counts_drops() {
+        let s = RoundSeries::new(3);
+        for i in 0..5u64 {
+            s.push(RoundSample {
+                round: i,
+                ..RoundSample::default()
+            });
+        }
+        let rows = s.rows();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(
+            rows.iter().map(|r| r.round).collect::<Vec<_>>(),
+            vec![2, 3, 4]
+        );
+        assert_eq!(s.dropped(), 2);
+        assert_eq!(s.capacity(), 3);
+    }
+
+    #[test]
+    fn sync_metrics_rounds_produce_delta_rows() {
+        let hub = MetricsHub::new(2);
+        let sm = SyncMetrics::register(&hub.host(0));
+        let mark = sm.round_begin();
+        sm.on_payload(1, 100);
+        sm.on_payload(3, 50);
+        sm.pool_hit();
+        let mut stage = [0u64; NUM_ROUND_STAGES];
+        stage[RECV_WAIT_STAGE] = 77;
+        sm.round_end(mark, 0, stage);
+        let mark = sm.round_begin();
+        sm.on_payload(1, 10);
+        sm.pool_miss();
+        sm.round_end(mark, 1, [0; NUM_ROUND_STAGES]);
+        let rows = hub.host(0).series().rows();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].bytes_sent, 150);
+        assert_eq!(rows[0].messages_sent, 2);
+        assert_eq!(rows[0].mode_bytes[1], 100);
+        assert_eq!(rows[0].mode_bytes[3], 50);
+        assert_eq!(rows[0].pool_hits, 1);
+        assert_eq!(rows[0].recv_wait_ns, 77);
+        assert_eq!(rows[1].bytes_sent, 10);
+        assert_eq!(rows[1].pool_misses, 1);
+        assert_eq!(hub.host_registry(0).counter_value("sync_rounds"), 2);
+        assert_eq!(hub.counter_across_hosts("bytes_sent"), 160);
+    }
+
+    #[test]
+    fn shared_retransmit_counter_feeds_rounds() {
+        let hub = MetricsHub::new(1);
+        let sm = SyncMetrics::register(&hub.host(0));
+        let nm = NetMetrics::register(&hub.host_registry(0));
+        let mark = sm.round_begin();
+        nm.on_retransmit(64);
+        nm.on_retransmit(64);
+        sm.round_end(mark, 0, [0; NUM_ROUND_STAGES]);
+        assert_eq!(hub.host(0).series().rows()[0].retransmits, 2);
+        assert_eq!(hub.host_registry(0).counter_value("retransmit_bytes"), 128);
+    }
+
+    #[test]
+    fn peer_table_attributes_and_rebaselines() {
+        let hub = MetricsHub::new(3);
+        let peers = hub.host(1).peers().clone();
+        assert_eq!(peers.len(), 3);
+        peers.add_send_ns(2, 10);
+        peers.add_recv_wait_ns(2, 20);
+        assert_eq!(peers.send_ns(2), 10);
+        assert_eq!(peers.recv_wait_ns(2), 20);
+        hub.begin_attempt();
+        assert_eq!(peers.send_ns(2), 0);
+        peers.add_send_ns(0, 5);
+        assert_eq!(peers.send_ns(0), 5);
+    }
+
+    #[test]
+    fn prometheus_renders_counters_and_histograms() {
+        let hub = MetricsHub::new(2);
+        hub.host_registry(0).counter("bytes_sent").add(100);
+        hub.host_registry(1).counter("bytes_sent").add(50);
+        let h = hub.host_registry(0).histogram("payload_bytes");
+        h.observe(3);
+        h.observe(100);
+        hub.cluster().counter("recoveries").incr();
+        let text = hub.prometheus();
+        assert!(text.contains("# TYPE gluon_bytes_sent counter\n"));
+        assert!(text.contains("gluon_bytes_sent{host=\"0\"} 100\n"));
+        assert!(text.contains("gluon_bytes_sent{host=\"1\"} 50\n"));
+        assert!(text.contains("# TYPE gluon_payload_bytes histogram\n"));
+        assert!(text.contains("gluon_payload_bytes_bucket{host=\"0\",le=\"3\"} 1\n"));
+        assert!(text.contains("gluon_payload_bytes_bucket{host=\"0\",le=\"+Inf\"} 2\n"));
+        assert!(text.contains("gluon_payload_bytes_sum{host=\"0\"} 103\n"));
+        assert!(text.contains("gluon_recoveries 1\n"));
+    }
+
+    #[test]
+    fn exec_metrics_accumulate() {
+        let hub = MetricsHub::new(1);
+        let em = ExecMetrics::register(&hub.host_registry(0));
+        em.on_work(100, 30);
+        em.on_work(10, 10);
+        let r = hub.host_registry(0);
+        assert_eq!(r.counter_value("pool_parallel_ops"), 2);
+        assert_eq!(r.counter_value("pool_seq_work"), 110);
+        assert_eq!(r.counter_value("pool_crit_work"), 40);
+    }
+
+    #[test]
+    fn begin_attempt_clears_series() {
+        let hub = MetricsHub::new(1);
+        let s = hub.host(0).series().clone();
+        s.push(RoundSample::default());
+        assert_eq!(s.rows().len(), 1);
+        hub.begin_attempt();
+        assert_eq!(s.rows().len(), 0);
+        assert_eq!(s.dropped(), 0);
+    }
+}

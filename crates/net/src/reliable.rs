@@ -51,6 +51,7 @@ use crate::error::NetError;
 use crate::stats::NetStats;
 use crate::transport::{Envelope, Transport};
 use bytes::Bytes;
+use gluon_metrics::NetMetrics;
 use gluon_trace::Tracer;
 use parking_lot::Mutex;
 use std::collections::{HashMap, VecDeque};
@@ -242,6 +243,7 @@ pub struct ReliableTransport<T: Transport> {
     inner: T,
     policy: RetryPolicy,
     tracer: Tracer,
+    metrics: NetMetrics,
     state: Mutex<State>,
     /// Last sync-phase index reported via [`Transport::note_round`]; stamps
     /// peer-failure errors so a supervisor knows where to roll back to.
@@ -284,6 +286,7 @@ impl<T: Transport> ReliableTransport<T> {
             inner,
             policy,
             tracer: Tracer::disabled(),
+            metrics: NetMetrics::disabled(),
             state: Mutex::new(State {
                 out: (0..world)
                     .map(|_| OutPeer {
@@ -317,6 +320,15 @@ impl<T: Transport> ReliableTransport<T> {
     /// traffic in chaos runs.
     pub fn with_tracer(mut self, tracer: Tracer) -> ReliableTransport<T> {
         self.tracer = tracer;
+        self
+    }
+
+    /// Attaches a [`NetMetrics`] bundle: retransmissions (frames and
+    /// bytes), suppressed duplicates, CRC rejections, and peers declared
+    /// dead are then published as queryable counters alongside the
+    /// existing `NetStats` books and trace events.
+    pub fn with_metrics(mut self, metrics: NetMetrics) -> ReliableTransport<T> {
+        self.metrics = metrics;
         self
     }
 
@@ -411,6 +423,7 @@ impl<T: Transport> ReliableTransport<T> {
             _ => "peer_unreachable",
         };
         self.tracer.record_event(self.inner.rank(), kind, peer, 0);
+        self.metrics.on_peer_down();
     }
 
     /// Polls the failure detector: if any live peer has been silent past
@@ -475,6 +488,7 @@ impl<T: Transport> ReliableTransport<T> {
             self.inner.stats().record_retransmit(frame.len() as u64);
             self.tracer
                 .record_event(self.inner.rank(), "retransmit", peer, frame.len() as u64);
+            self.metrics.on_retransmit(frame.len() as u64);
             self.inner.send(peer, RELIABLE_TAG, frame.clone());
         }
         o.last_tx = Instant::now();
@@ -530,6 +544,7 @@ impl<T: Transport> ReliableTransport<T> {
         self.inner.stats().record_corruption_detected();
         self.tracer
             .record_event(self.inner.rank(), "corruption_detected", src, 0);
+        self.metrics.on_crc_rejection();
         self.nack_gap(st, src);
     }
 
@@ -546,6 +561,7 @@ impl<T: Transport> ReliableTransport<T> {
             self.send_ctrl(src, KIND_ACK, st.inc[src].expected);
         } else if seq < expected {
             self.inner.stats().record_dup_suppressed();
+            self.metrics.on_dup_suppressed();
             self.tracer.record_event(
                 self.inner.rank(),
                 "dup_suppressed",

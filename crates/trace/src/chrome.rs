@@ -173,6 +173,35 @@ mod tests {
     }
 
     #[test]
+    fn empty_enabled_tracer_exports_metadata_only() {
+        let mut b = ChromeTraceBuilder::new();
+        b.add("idle", &Tracer::new(2));
+        let json = b.finish();
+        assert!(json.contains("\"process_name\""));
+        assert!(json.contains("\"host 1\""));
+        assert!(!json.contains("\"ph\":\"X\""));
+        assert!(!json.contains("\"ph\":\"i\""));
+    }
+
+    #[test]
+    fn wrapped_ring_exports_only_retained_spans() {
+        let t = Tracer::with_capacity(1, 2);
+        for i in 0..5u64 {
+            t.record_span(0, 0, Stage::Send, Some(0), i * 1_000, 100);
+        }
+        assert_eq!(t.dropped_spans(), 3);
+        let mut b = ChromeTraceBuilder::new();
+        b.add("wrapped", &t);
+        let json = b.finish();
+        // Only the two newest spans survive the ring; the document stays
+        // well-formed and the evicted timestamps are gone.
+        assert_eq!(json.matches("\"ph\":\"X\"").count(), 2);
+        assert!(json.contains("\"ts\":3.000"));
+        assert!(json.contains("\"ts\":4.000"));
+        assert!(!json.contains("\"ts\":0.000"));
+    }
+
+    #[test]
     fn multiple_recordings_get_distinct_pids() {
         let a = Tracer::new(1);
         a.record_span(0, 0, Stage::Send, None, 0, 1);

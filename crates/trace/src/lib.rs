@@ -463,6 +463,12 @@ impl Tracer {
         inner.spans.iter().map(|m| m.lock().dropped).sum()
     }
 
+    /// Instant events dropped because a host's ring wrapped.
+    pub fn dropped_events(&self) -> u64 {
+        let Some(inner) = &self.inner else { return 0 };
+        inner.events.iter().map(|m| m.lock().dropped).sum()
+    }
+
     /// The per-field wire-mode histogram: `field name -> message counts`
     /// indexed by mode byte (see [`MODE_NAMES`]). Keys are sorted for
     /// deterministic output.

@@ -13,6 +13,19 @@ pub(crate) fn render(tracer: &Tracer, label: &str) -> String {
         return out;
     }
 
+    // A truncated trace must not masquerade as a complete one: lead with
+    // the loss, don't bury it in the footer.
+    let dropped_spans = tracer.dropped_spans();
+    let dropped_events = tracer.dropped_events();
+    if dropped_spans > 0 || dropped_events > 0 {
+        let _ = writeln!(
+            out,
+            "!! TRACE TRUNCATED: ring buffers overflowed \
+             ({dropped_spans} spans, {dropped_events} events dropped) — \
+             totals below undercount; raise Tracer::with_capacity"
+        );
+    }
+
     let spans = tracer.spans();
     let mut counts = [0u64; Stage::ALL.len()];
     let mut totals_ns = [0u64; Stage::ALL.len()];
@@ -82,12 +95,13 @@ pub(crate) fn render(tracer: &Tracer, label: &str) -> String {
 
     let _ = writeln!(
         out,
-        "barrier wait: {:.6}s  retransmits: {}  dups suppressed: {}  decode errors: {}  dropped spans: {}",
+        "barrier wait: {:.6}s  retransmits: {}  dups suppressed: {}  decode errors: {}  dropped spans: {}  dropped events: {}",
         tracer.barrier_wait_secs(),
         tracer.retransmit_events(),
         tracer.dup_events(),
         tracer.decode_error_events(),
-        tracer.dropped_spans()
+        dropped_spans,
+        dropped_events
     );
     out
 }
@@ -132,6 +146,31 @@ mod tests {
         let s = Tracer::new(1).summary("idle");
         assert!(!s.contains("wire modes"));
         assert!(!s.contains("message sizes"));
+        assert!(!s.contains("TRACE TRUNCATED"));
         assert!(s.contains("barrier wait: 0.000000s"));
+        assert!(s.contains("dropped spans: 0"));
+        assert!(s.contains("dropped events: 0"));
+    }
+
+    #[test]
+    fn wrapped_rings_put_truncation_banner_first() {
+        let t = Tracer::with_capacity(1, 2);
+        for i in 0..5 {
+            t.record_span(0, 0, Stage::Send, Some(0), i * 10, 1);
+        }
+        for _ in 0..3 {
+            t.record_event(0, "retransmit", 0, 64);
+        }
+        assert_eq!(t.dropped_spans(), 3);
+        assert_eq!(t.dropped_events(), 1);
+        let s = t.summary("lossy");
+        let banner_at = s.find("TRACE TRUNCATED").expect("banner present");
+        // The banner comes before any stage table or counters.
+        assert!(banner_at < s.find("stage").unwrap(), "{s}");
+        assert!(s.contains("3 spans, 1 events dropped"), "{s}");
+        assert!(s.contains("dropped spans: 3"));
+        assert!(s.contains("dropped events: 1"));
+        // Only the retained spans are tallied.
+        assert!(s.contains("send") && s.contains("2"), "{s}");
     }
 }

@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Benchmark regression gate: regenerates the fig8 and table4 artifacts and
+# diffs them against the committed baselines in bench_results/baseline/.
+#
+# Deterministic counters (payload bytes per row and per wire mode, message
+# and round counts, calibration traffic, row sets, schema version) must
+# match the baseline bit-for-bit — a mismatch is a hard failure (nonzero
+# exit). Timings only print warnings when they drift beyond the tolerance;
+# they never fail the gate, so it is safe on noisy CI machines.
+#
+# Usage: scripts/bench_gate.sh [--full] [--rebaseline]
+#   --full        run the full-scale benches instead of --quick (the
+#                 committed baselines are recorded at --quick scale, so
+#                 --full only makes sense together with --rebaseline or a
+#                 matching local baseline)
+#   --rebaseline  record the current results as the new baseline instead
+#                 of comparing (commit the bench_results/baseline/ diff)
+#
+# Environment:
+#   BENCH_GATE_TOL      relative timing tolerance (default 0.5 = ±50%)
+#   BENCH_RESULTS_DIR   where the benches write and the gate reads the
+#                       current artifacts (default bench_results/)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SCALE="--quick"
+GATE_ARGS=()
+for arg in "$@"; do
+    case "$arg" in
+        --full) SCALE="" ;;
+        --rebaseline) GATE_ARGS+=("--rebaseline") ;;
+        *)
+            echo "bench_gate.sh: unknown argument '$arg'" >&2
+            exit 2
+            ;;
+    esac
+done
+
+echo "==> cargo run --release -p gluon-bench --bin fig8 -- $SCALE"
+# shellcheck disable=SC2086
+cargo run --release --quiet -p gluon-bench --bin fig8 -- $SCALE >/dev/null
+echo "==> cargo run --release -p gluon-bench --bin table4 -- $SCALE"
+# shellcheck disable=SC2086
+cargo run --release --quiet -p gluon-bench --bin table4 -- $SCALE >/dev/null
+echo "==> cargo run --release -p gluon-bench --bin bench_gate ${GATE_ARGS[*]:-}"
+cargo run --release --quiet -p gluon-bench --bin bench_gate -- ${GATE_ARGS[@]+"${GATE_ARGS[@]}"}

@@ -72,6 +72,19 @@ fi
 echo "==> cargo bench --no-run (benches must always compile)"
 cargo bench --no-run --workspace --quiet
 
+if [[ "$FAST" == "0" ]]; then
+    # Informational: regenerates the quick-scale fig8/table4 artifacts and
+    # diffs them against bench_results/baseline/. Timing drift only warns;
+    # a hard mismatch (byte counters, row sets, schema) fails the gate
+    # binary — but the step as a whole never blocks verification, so a
+    # stale baseline shows up as a loud warning, not a red build.
+    echo "==> scripts/bench_gate.sh (informational benchmark regression gate; 900s watchdog)"
+    if ! watchdog 900 scripts/bench_gate.sh; then
+        echo "verify: WARNING — bench gate reported regressions (see above);" \
+             "rerun scripts/bench_gate.sh --rebaseline if the drift is intended" >&2
+    fi
+fi
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 

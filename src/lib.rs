@@ -12,7 +12,9 @@
 //! * [`algos`] — the distributed benchmarks and drivers ([`gluon_algos`]);
 //! * [`gemini`] — the Gemini baseline system ([`gluon_gemini`]);
 //! * [`trace`] — structured span tracing and per-phase metrics
-//!   ([`gluon_trace`]).
+//!   ([`gluon_trace`]);
+//! * [`metrics`] — typed counter/gauge/histogram registries, round
+//!   time-series, and the Prometheus/JSON exporters ([`gluon_metrics`]).
 //!
 //! # Examples
 //!
@@ -34,6 +36,7 @@ pub use gluon_algos as algos;
 pub use gluon_engines as engines;
 pub use gluon_gemini as gemini;
 pub use gluon_graph as graph;
+pub use gluon_metrics as metrics;
 pub use gluon_net as net;
 pub use gluon_partition as partition;
 pub use gluon_trace as trace;

@@ -20,6 +20,11 @@
 //! steady-state work from every host, so a zero delta on all hosts proves
 //! no steady round anywhere allocated.
 //!
+//! The shapes run both without metrics and under a live `MetricsHub`:
+//! the observability layer's publication path (atomic counters, interned
+//! names, a preallocated round-series ring) must also add zero
+//! steady-state allocations.
+//!
 //! Everything runs inside a single `#[test]` on purpose: the counters are
 //! process-wide, and a concurrently scheduled test (even just its thread
 //! spawn) would show up in the measurement window.
@@ -28,6 +33,7 @@ use gluon_meter::CountingAlloc;
 use gluon_suite::algos::driver::{DistOutcome, Run};
 use gluon_suite::algos::{Algorithm, DistConfig, EngineKind, PagerankConfig};
 use gluon_suite::graph::{gen, Csr, Lid};
+use gluon_suite::metrics::MetricsHub;
 use gluon_suite::net::{run_cluster_with_stats, Communicator, NetStats};
 use gluon_suite::partition::{partition_on_host, Policy};
 use gluon_suite::substrate::{
@@ -88,6 +94,7 @@ fn round<F: FieldSync>(
 fn run_guard<V, S>(
     threads: usize,
     spawn: bool,
+    hub: &MetricsHub,
     value_of: impl Fn(usize) -> V + Sync,
     sync_round: S,
 ) -> (Vec<HostReport>, NetStats)
@@ -108,7 +115,12 @@ where
         } else {
             Pool::inline(threads)
         };
-        let mut ctx = GluonContext::new(&lg, &comm, OptLevel::default()).with_pool(pool);
+        // Metric registration (name interning, ring preallocation) happens
+        // here, before the measured window: the steady-state publication
+        // path is all atomics and in-place ring writes.
+        let mut ctx = GluonContext::new(&lg, &comm, OptLevel::default())
+            .with_pool(pool)
+            .with_metrics(hub.host(comm.rank()));
         let n = lg.num_proxies();
         let mut vals: Vec<V> = (0..n as usize).map(&value_of).collect();
         let mut dirty = DenseBitset::new(n);
@@ -161,19 +173,21 @@ fn assert_zero_allocs(name: &str, threads: usize, reports: &[HostReport], stats:
     );
 }
 
-fn bfs_shape(threads: usize, spawn: bool) -> (Vec<HostReport>, NetStats) {
+fn bfs_shape(threads: usize, spawn: bool, hub: &MetricsHub) -> (Vec<HostReport>, NetStats) {
     run_guard(
         threads,
         spawn,
+        hub,
         |i| (i as u32) % 977,
         |ctx, vals, dirty, n| round(ctx, &DIST, &mut MinField::new(vals), dirty, n),
     )
 }
 
-fn pagerank_shape(threads: usize, spawn: bool) -> (Vec<HostReport>, NetStats) {
+fn pagerank_shape(threads: usize, spawn: bool, hub: &MetricsHub) -> (Vec<HostReport>, NetStats) {
     run_guard(
         threads,
         spawn,
+        hub,
         |i| ((i % 13) as f64) * 0.5 + 1.0,
         |ctx, vals, dirty, n| round(ctx, &RANK, &mut SumField::new(vals), dirty, n),
     )
@@ -225,16 +239,32 @@ fn steady_state_sync_is_allocation_free_and_arena_is_invisible() {
     // steady-state shapes. Inline pools: thread *spawning* allocates, the
     // sync path itself must not.
     for threads in [1usize, 4] {
-        let (reports, stats) = bfs_shape(threads, false);
+        let (reports, stats) = bfs_shape(threads, false, &MetricsHub::disabled());
         assert_zero_allocs("bfs", threads, &reports, &stats);
-        let (reports, stats) = pagerank_shape(threads, false);
+        let (reports, stats) = pagerank_shape(threads, false, &MetricsHub::disabled());
         assert_zero_allocs("pagerank", threads, &reports, &stats);
+    }
+
+    // The metrics layer must be free where it matters: with a live hub
+    // publishing counters, per-mode histograms, and per-round series rows,
+    // the steady window still allocates exactly nothing (the round ring
+    // is preallocated, counters are atomics, names are interned at
+    // registration).
+    for threads in [1usize, 4] {
+        let hub = MetricsHub::new(HOSTS);
+        let (reports, stats) = bfs_shape(threads, false, &hub);
+        assert_zero_allocs("bfs+metrics", threads, &reports, &stats);
+        assert!(
+            hub.counter_across_hosts("sync_rounds") > 0
+                && hub.counter_across_hosts("bytes_sent") > 0,
+            "bfs+metrics/{threads}t: the hub recorded nothing — guard measured a dead layer"
+        );
     }
 
     // With a real spawning pool the per-round cost is the pool's own
     // bookkeeping — a small constant, not a function of graph size (rmat16
     // has 65k nodes; anything O(n) per round would blow far past this).
-    let (reports, _) = bfs_shape(4, true);
+    let (reports, _) = bfs_shape(4, true, &MetricsHub::disabled());
     for (rank, r) in reports.iter().enumerate() {
         let per_round = r.window_allocs / STEADY_ROUNDS as u64;
         assert!(
