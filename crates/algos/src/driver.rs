@@ -29,8 +29,8 @@ use gluon_graph::{max_out_degree_node, Csr, Gid};
 use gluon_metrics::{ExecMetrics, MetricsHub, NetMetrics};
 use gluon_net::{
     run_cluster_fallible, run_cluster_wrapped, CancelToken, Communicator, CostModel,
-    MemoryTransport, NetError, NetStats, ReliableConfig, ReliableTransport, StatsSnapshot,
-    Transport,
+    MemoryTransport, NetError, NetStats, ReliableConfig, ReliableTransport, SocketFactory,
+    SocketKind, SocketTransport, StatsSnapshot, Transport,
 };
 use gluon_partition::{partition_on_host, LocalGraph, PartitionStats, Policy};
 use gluon_trace::Tracer;
@@ -467,6 +467,35 @@ where
         self.transport_per_attempt(move |ep, _attempt| wrap(ep))
     }
 
+    /// Replaces every host's in-memory endpoint with a real
+    /// [`SocketTransport`] bootstrapped in-process through a
+    /// [`SocketFactory`]: the run's hosts still live on threads, but all
+    /// payload traffic crosses actual TCP-loopback or Unix-domain
+    /// sockets. Payload accounting is identical to the memory backend
+    /// (the parity contract the socket tests assert); the wire mechanics
+    /// land in the `net_socket_*` counters.
+    ///
+    /// The supervisor's attempt number selects a fresh rendezvous per
+    /// attempt, so recovery relaunches rebuild the mesh from scratch.
+    ///
+    /// # Panics
+    ///
+    /// A host panics (tearing down the run) if its socket bootstrap
+    /// fails.
+    #[must_use]
+    pub fn transport_sockets(
+        self,
+        kind: SocketKind,
+    ) -> Run<'g, SocketTransport, impl Fn(MemoryTransport, u32) -> SocketTransport + Send + Sync>
+    {
+        let factory = SocketFactory::new(kind);
+        self.transport_per_attempt(move |ep, attempt| {
+            factory
+                .endpoint(ep.rank(), ep.world_size(), ep.stats().clone(), attempt)
+                .expect("socket bootstrap")
+        })
+    }
+
     /// As [`Run::transport`], with the supervisor's 0-based attempt
     /// number passed alongside each endpoint — chaos tests use it to arm
     /// fault plans for specific attempts (`FaultPlan::for_attempt`).
@@ -677,7 +706,38 @@ where
                 &compute,
             )
         });
+    publish_socket_counters(&setup.metrics, &stats);
     assemble(input.num_nodes() as usize, int_default, per_host, stats)
+}
+
+/// Publishes the socket backend's wire-mechanics counters into the hub's
+/// cluster registry (Prometheus `gluon_net_socket_*`). Memory-backend
+/// runs never increment them, so publication is skipped when all five
+/// are zero; either way the names are fingerprint-dropped, keeping the
+/// socket-vs-memory parity contract intact. Under a supervisor this runs
+/// per attempt and the hub rebaselines between attempts, so the exported
+/// values describe the final attempt.
+pub(crate) fn publish_socket_counters(hub: &MetricsHub, stats: &NetStats) {
+    if !hub.is_enabled() {
+        return;
+    }
+    let pairs = [
+        ("net_socket_connects", stats.socket_connects()),
+        (
+            "net_socket_reconnect_attempts",
+            stats.socket_reconnect_attempts(),
+        ),
+        ("net_socket_frames_sent", stats.socket_frames_sent()),
+        ("net_socket_frames_received", stats.socket_frames_received()),
+        ("net_socket_short_reads", stats.socket_short_reads()),
+    ];
+    if pairs.iter().all(|(_, v)| *v == 0) {
+        return;
+    }
+    let cluster = hub.cluster();
+    for (name, v) in pairs {
+        cluster.counter(name).add(v);
+    }
 }
 
 /// Picks the failure to blame an attempt on: the first *peer* failure
@@ -886,6 +946,7 @@ where
         .into_iter()
         .map(|r| r.expect("no failures"))
         .collect();
+    publish_socket_counters(&setup.metrics, &stats);
     Ok(assemble(
         input.num_nodes() as usize,
         u32::MAX,
@@ -938,19 +999,19 @@ pub fn run_heterogeneous_bfs(
     assemble(graph.num_nodes() as usize, u32::MAX, per_host, stats)
 }
 
-struct HostResult {
-    masters_int: Vec<(u32, u32)>,
-    masters_f64: Vec<(u32, f64)>,
-    rounds: u32,
-    stats: SyncStats,
-    algo_secs: f64,
-    partition_secs: f64,
-    partition: LocalGraph,
+pub(crate) struct HostResult {
+    pub(crate) masters_int: Vec<(u32, u32)>,
+    pub(crate) masters_f64: Vec<(u32, f64)>,
+    pub(crate) rounds: u32,
+    pub(crate) stats: SyncStats,
+    pub(crate) algo_secs: f64,
+    pub(crate) partition_secs: f64,
+    pub(crate) partition: LocalGraph,
 }
 
 /// What one host's compute body yields: integer labels, float labels
 /// (either may be empty), and the number of rounds it ran.
-type HostLabels = (Vec<u32>, Vec<f64>, u32);
+pub(crate) type HostLabels = (Vec<u32>, Vec<f64>, u32);
 
 /// The SPMD body every driver shares: partition, set up the Gluon runtime
 /// (with a `threads`-wide deterministic pool), run `compute`, and gather
@@ -1041,16 +1102,16 @@ fn assemble(n: usize, int_default: u32, per_host: Vec<HostResult>, stats: NetSta
 }
 
 /// Checkpoint wiring for one supervised attempt.
-struct CkptSetup {
-    store: CheckpointStore,
-    every: Option<u64>,
-    restore_epoch: Option<u64>,
-    finalize_only: bool,
+pub(crate) struct CkptSetup {
+    pub(crate) store: CheckpointStore,
+    pub(crate) every: Option<u64>,
+    pub(crate) restore_epoch: Option<u64>,
+    pub(crate) finalize_only: bool,
 }
 
 /// The per-host compute closure [`try_host_program`] drives: partition in,
 /// owned labels (or a typed sync failure) out.
-type HostCompute<'a, T> =
+pub(crate) type HostCompute<'a, T> =
     dyn Fn(&LocalGraph, &mut GluonContext<'_, T>) -> Result<HostLabels, SyncError> + Sync + 'a;
 
 /// The fallible SPMD body [`Run::try_launch`] runs on every host: like
@@ -1060,7 +1121,7 @@ type HostCompute<'a, T> =
 /// crash victim (a real dead host announces nothing; its peers must
 /// discover the silence through the failure detector).
 #[allow(clippy::too_many_arguments)] // private SPMD plumbing, one call site
-fn try_host_program<T: Transport>(
+pub(crate) fn try_host_program<T: Transport>(
     net: &T,
     token: &CancelToken,
     input: &Csr,
@@ -1151,7 +1212,7 @@ fn dispatch<T: Transport + ?Sized>(
 
 /// As [`dispatch`], through the fallible, checkpoint-aware application
 /// entry points.
-fn try_dispatch<T: Transport + ?Sized>(
+pub(crate) fn try_dispatch<T: Transport + ?Sized>(
     lg: &LocalGraph,
     ctx: &mut GluonContext<'_, T>,
     algo: Algorithm,

@@ -1,0 +1,1328 @@
+//! Multi-process cluster launcher: real SPMD over [`SocketTransport`].
+//!
+//! Everything else in this workspace simulates a cluster with threads.
+//! This module runs the same host program as *separate OS processes*
+//! wired together by the socket transport, which is the deployment shape
+//! the paper's Gluon actually ships in (one process per host, TCP or
+//! MPI underneath). The contract is strict equivalence: a process run
+//! must produce labels, payload byte/message/round counters, and a
+//! [`crate::RunReport::fingerprint`] bit-identical to the in-memory
+//! backend — the socket backend may add wire mechanics, never traffic.
+//!
+//! Roles:
+//!
+//! - **Parent** ([`spawn_local_cluster`]): saves the graph to a scratch
+//!   directory, spawns `hosts` copies of the `gluon-host` worker binary
+//!   on localhost, reads rank 0's advertised rendezvous address from its
+//!   stdout and hands it to the other ranks, babysits the processes
+//!   under a hang watchdog, and merges the per-rank result files into a
+//!   [`DistOutcome`] plus a world-sized [`MetricsHub`] — the same pair
+//!   an in-process run yields.
+//! - **Worker** ([`gluon_host_main`], wrapped by the `gluon-host`
+//!   binary): bootstraps its endpoint (lead or join), runs the shared
+//!   fallible host program, and writes its masters + statistics as a
+//!   JSON document. Every `f64` crosses the wire as `f64::to_bits()`,
+//!   so pagerank ranks survive the round trip bit-for-bit.
+//! - **Supervision**: a worker that dies (crash injection via
+//!   `--crash-at-round`, or a real fault) is observed by its peers as a
+//!   typed [`NetError::PeerDown`]; they print `GLUON_ERROR …` on stderr
+//!   and exit nonzero. The parent then rolls the cluster back to the
+//!   newest complete checkpoint epoch (shared on-disk store) and
+//!   relaunches, up to `max_recoveries` times — process-level
+//!   rollback-restart, mirroring the in-process supervisor.
+
+use crate::driver::{try_dispatch, try_host_program, CkptSetup, DistOutcome, HostResult, Run};
+use crate::{Algorithm, EngineKind, PagerankConfig};
+use gluon::{CheckpointStore, PhaseStats, RunStats, SyncError, SyncStats};
+use gluon_graph::{io as graph_io, max_out_degree_node, Csr, Gid};
+use gluon_metrics::json::Json;
+use gluon_metrics::{MetricValue, MetricsHub, RoundSample, NUM_ROUND_STAGES, NUM_WIRE_MODES};
+use gluon_net::{
+    join, CancelToken, NetError, NetStats, Rendezvous, SocketKind, SocketTransport, StatsSnapshot,
+    Transport,
+};
+use gluon_partition::{PartitionStats, Policy};
+use gluon_trace::Tracer;
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Read as _, Write as _};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, ExitStatus, Stdio};
+use std::time::{Duration, Instant};
+
+/// Worker exit code: bootstrap (socket/graph/argument) failure.
+const EXIT_BOOTSTRAP: i32 = 2;
+/// Worker exit code: a typed peer failure ended the attempt (recoverable
+/// by rollback-restart).
+const EXIT_PEER_FAILURE: i32 = 3;
+/// Worker exit code: a deterministic decode failure (replay reproduces
+/// it, so no restart can help).
+const EXIT_DECODE: i32 = 4;
+
+/// Configuration of one multi-process run.
+#[derive(Clone, Debug)]
+pub struct ClusterSpec {
+    /// Number of worker processes (one host each).
+    pub hosts: usize,
+    /// Benchmark to run.
+    pub algo: Algorithm,
+    /// Partitioning policy.
+    pub policy: Policy,
+    /// Communication optimization level.
+    pub opts: gluon::OptLevel,
+    /// Shared-memory compute engine.
+    pub engine: EngineKind,
+    /// Compute threads per worker.
+    pub threads: usize,
+    /// Source node for bfs/sssp; defaults to the maximum out-degree node
+    /// (computed once by the parent so every attempt agrees).
+    pub source: Option<u32>,
+    /// Socket family the mesh uses.
+    pub kind: SocketKind,
+    /// Checkpoint every this many sync rounds (enables recovery).
+    pub ckpt_every: Option<u64>,
+    /// Process-level rollback-restarts allowed after worker failures.
+    pub max_recoveries: u32,
+    /// Fault injection: abort worker `rank` abruptly (no socket
+    /// teardown) when it reaches sync round `round` of the first
+    /// attempt.
+    pub crash: Option<(usize, u64)>,
+    /// Path of the `gluon-host` worker binary. When `None`, the
+    /// `GLUON_HOST_BIN` environment variable is consulted, then a
+    /// `gluon-host` sibling of the current executable.
+    pub host_bin: Option<PathBuf>,
+    /// Watchdog: kill the cluster and fail if an attempt runs longer
+    /// than this.
+    pub timeout: Duration,
+}
+
+impl ClusterSpec {
+    /// A spec with the in-process defaults: CVC, OSTI, Galois, one
+    /// thread, TCP loopback, no checkpoints, no recoveries, 120 s
+    /// watchdog.
+    pub fn new(hosts: usize, algo: Algorithm) -> ClusterSpec {
+        ClusterSpec {
+            hosts,
+            algo,
+            policy: Policy::Cvc,
+            opts: gluon::OptLevel::OSTI,
+            engine: EngineKind::Galois,
+            threads: 1,
+            source: None,
+            kind: SocketKind::Tcp,
+            ckpt_every: None,
+            max_recoveries: 0,
+            crash: None,
+            host_bin: None,
+            timeout: Duration::from_secs(120),
+        }
+    }
+}
+
+/// Why [`spawn_local_cluster`] could not produce a result.
+#[derive(Debug)]
+pub enum LaunchError {
+    /// Launcher-side I/O failed (scratch dir, graph save, spawn, result
+    /// files).
+    Io(std::io::Error),
+    /// A worker failed in a way no restart can fix (decode failure, or a
+    /// malformed result file).
+    Fatal(String),
+    /// Every allowed attempt failed; `evidence` holds the workers'
+    /// `GLUON_ERROR` lines (typed [`NetError`] displays) per attempt.
+    Unrecoverable {
+        /// Attempts made.
+        attempts: u32,
+        /// Collected worker error lines.
+        evidence: Vec<String>,
+    },
+    /// The watchdog killed an attempt that outlived [`ClusterSpec::timeout`].
+    Hung {
+        /// The configured budget that expired.
+        timeout: Duration,
+    },
+}
+
+impl std::fmt::Display for LaunchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LaunchError::Io(e) => write!(f, "launcher I/O failed: {e}"),
+            LaunchError::Fatal(what) => write!(f, "unrecoverable worker failure: {what}"),
+            LaunchError::Unrecoverable { attempts, evidence } => write!(
+                f,
+                "gave up after {attempts} attempt(s): {}",
+                evidence.last().map_or("no evidence", |s| s.as_str())
+            ),
+            LaunchError::Hung { timeout } => {
+                write!(f, "cluster hung past the {timeout:?} watchdog; killed")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LaunchError {}
+
+impl From<std::io::Error> for LaunchError {
+    fn from(e: std::io::Error) -> LaunchError {
+        LaunchError::Io(e)
+    }
+}
+
+/// What a successful multi-process run yields.
+pub struct ClusterOutcome {
+    /// The assembled outcome, shaped exactly like an in-process run's.
+    pub outcome: DistOutcome,
+    /// A world-sized hub holding every worker's imported metrics; pass it
+    /// to [`DistOutcome::report`] like an in-process hub.
+    pub hub: MetricsHub,
+}
+
+/// One worker's decoded result file.
+struct WorkerReport {
+    rank: usize,
+    masters_int: Vec<(u32, u32)>,
+    masters_f64: Vec<(u32, f64)>,
+    rounds: u32,
+    stats: SyncStats,
+    algo_secs: f64,
+    partition_secs: f64,
+    num_proxies: u64,
+    num_local_edges: u64,
+    global_nodes: u32,
+    global_edges: u64,
+    net_bytes: Vec<u64>,
+    net_messages: Vec<u64>,
+    net_scalars: [u64; 5],
+    registry: Vec<(String, MetricValue)>,
+    series: Vec<RoundSample>,
+    peers: Vec<(u64, u64)>,
+}
+
+fn unique_scratch_dir() -> std::io::Result<PathBuf> {
+    static UNIQUE: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+    let n = UNIQUE.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!("gluon-run-{}-{n}", std::process::id()));
+    std::fs::create_dir_all(&dir)?;
+    Ok(dir)
+}
+
+fn resolve_host_bin(spec: &ClusterSpec) -> Result<PathBuf, LaunchError> {
+    if let Some(p) = &spec.host_bin {
+        return Ok(p.clone());
+    }
+    if let Ok(p) = std::env::var("GLUON_HOST_BIN") {
+        return Ok(PathBuf::from(p));
+    }
+    let me = std::env::current_exe()?;
+    let sibling = me.with_file_name("gluon-host");
+    if sibling.exists() {
+        return Ok(sibling);
+    }
+    Err(LaunchError::Fatal(
+        "cannot locate the gluon-host worker binary: set ClusterSpec::host_bin or GLUON_HOST_BIN"
+            .to_string(),
+    ))
+}
+
+/// Runs `spec` as `spec.hosts` separate worker processes on localhost and
+/// merges their results. See the module docs for the full protocol.
+///
+/// # Errors
+///
+/// [`LaunchError`] on launcher I/O failure, unrecoverable worker
+/// failure, exhausted recovery attempts, or a watchdog kill.
+///
+/// # Panics
+///
+/// Panics if `spec.hosts` is zero.
+pub fn spawn_local_cluster(graph: &Csr, spec: &ClusterSpec) -> Result<ClusterOutcome, LaunchError> {
+    assert!(spec.hosts > 0, "cluster needs at least one host");
+    let host_bin = resolve_host_bin(spec)?;
+    let scratch = unique_scratch_dir()?;
+    let result = spawn_in_scratch(graph, spec, &host_bin, &scratch);
+    let _ = std::fs::remove_dir_all(&scratch);
+    result
+}
+
+fn spawn_in_scratch(
+    graph: &Csr,
+    spec: &ClusterSpec,
+    host_bin: &Path,
+    scratch: &Path,
+) -> Result<ClusterOutcome, LaunchError> {
+    let graph_path = scratch.join("graph.bin");
+    graph_io::save(graph, &graph_path)?;
+    let ckpt_dir = scratch.join("ckpt");
+    std::fs::create_dir_all(&ckpt_dir)?;
+    let source = spec.source.unwrap_or_else(|| max_out_degree_node(graph).0);
+    let attempts_allowed = spec.max_recoveries.saturating_add(1);
+    let mut evidence = Vec::new();
+    for attempt in 0..attempts_allowed {
+        // Coordinated rollback, exactly like the in-process supervisor:
+        // restore the newest epoch every host completed.
+        let restore = if attempt == 0 {
+            None
+        } else {
+            CheckpointStore::on_disk(&ckpt_dir)
+                .ok()
+                .and_then(|s| s.latest_complete_epoch(spec.hosts))
+        };
+        match run_attempt(
+            spec,
+            host_bin,
+            scratch,
+            &graph_path,
+            &ckpt_dir,
+            source,
+            attempt,
+            restore,
+        )? {
+            AttemptOutcome::Done(reports) => {
+                let (outcome, hub) =
+                    merge_reports(graph.num_nodes() as usize, spec, reports, attempt)?;
+                return Ok(ClusterOutcome { outcome, hub });
+            }
+            AttemptOutcome::Failed(mut lines) => evidence.append(&mut lines),
+            AttemptOutcome::Fatal(what) => return Err(LaunchError::Fatal(what)),
+            AttemptOutcome::Hung => {
+                return Err(LaunchError::Hung {
+                    timeout: spec.timeout,
+                })
+            }
+        }
+    }
+    Err(LaunchError::Unrecoverable {
+        attempts: attempts_allowed,
+        evidence,
+    })
+}
+
+enum AttemptOutcome {
+    Done(Vec<WorkerReport>),
+    Failed(Vec<String>),
+    Fatal(String),
+    Hung,
+}
+
+#[allow(clippy::too_many_arguments)] // private launcher plumbing
+fn run_attempt(
+    spec: &ClusterSpec,
+    host_bin: &Path,
+    scratch: &Path,
+    graph_path: &Path,
+    ckpt_dir: &Path,
+    source: u32,
+    attempt: u32,
+    restore: Option<u64>,
+) -> Result<AttemptOutcome, LaunchError> {
+    let base_args = |rank: usize| -> Vec<String> {
+        let mut a = vec![
+            "--rank".into(),
+            rank.to_string(),
+            "--world".into(),
+            spec.hosts.to_string(),
+            "--graph".into(),
+            graph_path.display().to_string(),
+            "--algo".into(),
+            spec.algo.name().into(),
+            "--policy".into(),
+            spec.policy.name().into(),
+            "--opts".into(),
+            spec.opts.to_string(),
+            "--engine".into(),
+            engine_name(spec.engine).into(),
+            "--threads".into(),
+            spec.threads.to_string(),
+            "--source".into(),
+            source.to_string(),
+            "--out".into(),
+            scratch
+                .join(format!("out-{rank}.json"))
+                .display()
+                .to_string(),
+            "--ckpt-dir".into(),
+            ckpt_dir.display().to_string(),
+        ];
+        if let Some(every) = spec.ckpt_every {
+            a.push("--ckpt-every".into());
+            a.push(every.to_string());
+        }
+        if let Some(epoch) = restore {
+            a.push("--restore-epoch".into());
+            a.push(epoch.to_string());
+        }
+        // Crash injection arms only on the first attempt; the relaunch
+        // must be able to finish.
+        if attempt == 0 {
+            if let Some((victim, round)) = spec.crash {
+                if victim == rank {
+                    a.push("--crash-at-round".into());
+                    a.push(round.to_string());
+                }
+            }
+        }
+        a
+    };
+    let spawn = |rank: usize, extra: &[String]| -> std::io::Result<Child> {
+        Command::new(host_bin)
+            .args(base_args(rank))
+            .args(extra)
+            .stdin(Stdio::null())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::piped())
+            .spawn()
+    };
+    let listen = match spec.kind {
+        SocketKind::Tcp => "tcp".to_string(),
+        SocketKind::Unix => "unix".to_string(),
+    };
+    let mut leader = spawn(0, &["--listen".into(), listen])?;
+    // The worker prints its advertised rendezvous address before blocking
+    // in `lead`, so this read completes as soon as rank 0 has bound — or
+    // hits EOF if it died during bootstrap.
+    let mut leader_stdout = BufReader::new(leader.stdout.take().expect("leader stdout piped"));
+    let mut line = String::new();
+    leader_stdout.read_line(&mut line)?;
+    let advertised = match line.trim().strip_prefix("GLUON_RENDEZVOUS ") {
+        Some(url) => url.to_string(),
+        None => {
+            // Bootstrap failure: reap the leader and report its stderr.
+            let _ = leader.kill();
+            let out = leader.wait_with_output()?;
+            return Ok(AttemptOutcome::Fatal(format!(
+                "rank 0 never advertised a rendezvous: {}",
+                String::from_utf8_lossy(&out.stderr).trim()
+            )));
+        }
+    };
+    let mut children = vec![leader];
+    for rank in 1..spec.hosts {
+        children.push(spawn(rank, &["--rendezvous".into(), advertised.clone()])?);
+    }
+    // Watchdog: poll for exits; a worker that hangs past the budget gets
+    // the whole cluster killed. Peer death propagates through socket EOF,
+    // so surviving workers exit on their own within the poll cadence.
+    let deadline = Instant::now() + spec.timeout;
+    let mut statuses: Vec<Option<ExitStatus>> = vec![None; spec.hosts];
+    while statuses.iter().any(|s| s.is_none()) {
+        for (rank, child) in children.iter_mut().enumerate() {
+            if statuses[rank].is_none() {
+                statuses[rank] = child.try_wait()?;
+            }
+        }
+        if statuses.iter().any(|s| s.is_none()) {
+            if Instant::now() >= deadline {
+                for child in children.iter_mut() {
+                    let _ = child.kill();
+                }
+                for child in children.iter_mut() {
+                    let _ = child.wait();
+                }
+                return Ok(AttemptOutcome::Hung);
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+    let mut failures = Vec::new();
+    let mut fatal = false;
+    for (rank, child) in children.iter_mut().enumerate() {
+        let status = statuses[rank].expect("all reaped");
+        if status.success() {
+            continue;
+        }
+        let mut err = String::new();
+        if let Some(stderr) = child.stderr.as_mut() {
+            let _ = stderr.read_to_string(&mut err);
+        }
+        let typed: Vec<&str> = err
+            .lines()
+            .filter(|l| l.starts_with("GLUON_ERROR"))
+            .collect();
+        let line = if typed.is_empty() {
+            format!(
+                "rank {rank} exited {status} with no typed error: {}",
+                err.trim()
+            )
+        } else {
+            typed.join("; ")
+        };
+        if status.code() == Some(EXIT_DECODE) {
+            fatal = true;
+        }
+        failures.push(line);
+    }
+    if fatal {
+        return Ok(AttemptOutcome::Fatal(failures.join("; ")));
+    }
+    if !failures.is_empty() {
+        return Ok(AttemptOutcome::Failed(failures));
+    }
+    let mut reports = Vec::with_capacity(spec.hosts);
+    for rank in 0..spec.hosts {
+        let path = scratch.join(format!("out-{rank}.json"));
+        let text = std::fs::read_to_string(&path)?;
+        let report = decode_report(&text)
+            .map_err(|e| LaunchError::Fatal(format!("rank {rank} result file: {e}")))?;
+        if report.rank != rank {
+            return Err(LaunchError::Fatal(format!(
+                "result file {} claims rank {}",
+                path.display(),
+                report.rank
+            )));
+        }
+        reports.push(report);
+    }
+    Ok(AttemptOutcome::Done(reports))
+}
+
+/// Stitches per-rank reports into the outcome + hub pair an in-process
+/// run produces, so downstream reporting is backend-agnostic.
+fn merge_reports(
+    n: usize,
+    spec: &ClusterSpec,
+    reports: Vec<WorkerReport>,
+    attempt: u32,
+) -> Result<(DistOutcome, MetricsHub), LaunchError> {
+    let world = spec.hosts;
+    let mut int_labels = Vec::new();
+    if reports.iter().any(|r| !r.masters_int.is_empty()) {
+        int_labels = vec![u32::MAX; n];
+        for r in &reports {
+            for &(gid, v) in &r.masters_int {
+                int_labels[gid as usize] = v;
+            }
+        }
+    }
+    let mut ranks = Vec::new();
+    if reports.iter().any(|r| !r.masters_f64.is_empty()) {
+        ranks = vec![0.0; n];
+        for r in &reports {
+            for &(gid, v) in &r.masters_f64 {
+                ranks[gid as usize] = v;
+            }
+        }
+    }
+    let host_stats: Vec<SyncStats> = reports.iter().map(|r| r.stats.clone()).collect();
+    let proxies: Vec<u64> = reports.iter().map(|r| r.num_proxies).collect();
+    let edges: Vec<u64> = reports.iter().map(|r| r.num_local_edges).collect();
+    // Each worker's traffic matrix has only its own row populated (sends
+    // are recorded at the source), so an elementwise sum merges them.
+    let mut bytes = vec![0u64; world * world];
+    let mut messages = vec![0u64; world * world];
+    let mut scalars = [0u64; 5];
+    for r in &reports {
+        if r.net_bytes.len() != world * world || r.net_messages.len() != world * world {
+            return Err(LaunchError::Fatal(format!(
+                "rank {} shipped a traffic matrix sized for a different world",
+                r.rank
+            )));
+        }
+        for (acc, v) in bytes.iter_mut().zip(&r.net_bytes) {
+            *acc += v;
+        }
+        for (acc, v) in messages.iter_mut().zip(&r.net_messages) {
+            *acc += v;
+        }
+        for (acc, v) in scalars.iter_mut().zip(&r.net_scalars) {
+            *acc += v;
+        }
+    }
+    let hub = MetricsHub::new(world);
+    for r in &reports {
+        let registry = hub.host_registry(r.rank);
+        for (name, value) in &r.registry {
+            registry.import(name, value);
+        }
+        let host = hub.host(r.rank);
+        for sample in &r.series {
+            host.series().push(*sample);
+        }
+        for (peer, &(send_ns, recv_wait_ns)) in r.peers.iter().enumerate() {
+            host.peers().add_send_ns(peer, send_ns);
+            host.peers().add_recv_wait_ns(peer, recv_wait_ns);
+        }
+    }
+    let outcome = DistOutcome {
+        int_labels,
+        ranks,
+        rounds: reports.iter().map(|r| r.rounds).max().unwrap_or(0),
+        run: RunStats::aggregate(&host_stats),
+        host_stats,
+        algo_secs: reports.iter().map(|r| r.algo_secs).fold(0.0, f64::max),
+        partition_secs: reports.iter().map(|r| r.partition_secs).fold(0.0, f64::max),
+        partition: PartitionStats::from_scalars(
+            reports[0].global_nodes,
+            reports[0].global_edges,
+            &proxies,
+            &edges,
+        ),
+        net: StatsSnapshot {
+            bytes,
+            messages,
+            world_size: world,
+            retransmit_bytes: scalars[0],
+            retransmit_messages: scalars[1],
+            dup_suppressed: scalars[2],
+            corruption_detected: scalars[3],
+            decode_errors: scalars[4],
+        },
+        recoveries: attempt,
+        degraded: false,
+    };
+    Ok((outcome, hub))
+}
+
+fn engine_name(engine: EngineKind) -> &'static str {
+    match engine {
+        EngineKind::Ligra => "ligra",
+        EngineKind::Galois => "galois",
+        EngineKind::Irgl => "irgl",
+    }
+}
+
+fn parse_engine(s: &str) -> Option<EngineKind> {
+    match s {
+        "ligra" => Some(EngineKind::Ligra),
+        "galois" => Some(EngineKind::Galois),
+        "irgl" => Some(EngineKind::Irgl),
+        _ => None,
+    }
+}
+
+fn parse_algo(s: &str) -> Option<Algorithm> {
+    Algorithm::ALL.into_iter().find(|a| a.name() == s)
+}
+
+// ---------------------------------------------------------------------------
+// Worker result codec
+// ---------------------------------------------------------------------------
+//
+// No serialization framework is vendored, but `gluon_metrics::json::Json`
+// parses and renders losslessly, so the result file is a JSON document in
+// which every f64 travels as its `to_bits()` u64 — the parent reassembles
+// pagerank ranks and timings bit-for-bit.
+
+fn jbits(v: f64) -> Json {
+    Json::from(v.to_bits())
+}
+
+fn ju64s(vs: impl IntoIterator<Item = u64>) -> Json {
+    Json::Arr(vs.into_iter().map(Json::from).collect())
+}
+
+fn encode_report(
+    rank: usize,
+    world: usize,
+    hr: &HostResult,
+    stats: &NetStats,
+    hub: &MetricsHub,
+) -> Json {
+    let snap = stats.snapshot();
+    let registry = Json::Arr(
+        hub.host_registry(rank)
+            .snapshot()
+            .into_iter()
+            .map(|(name, value)| {
+                let v = match value {
+                    MetricValue::Counter(c) => ("c", Json::from(c)),
+                    MetricValue::Gauge(g) => ("g", Json::from(g)),
+                    MetricValue::Histogram {
+                        buckets,
+                        count,
+                        sum,
+                    } => (
+                        "h",
+                        Json::obj([
+                            ("b", ju64s(buckets)),
+                            ("c", Json::from(count)),
+                            ("s", Json::from(sum)),
+                        ]),
+                    ),
+                };
+                Json::obj([("n", Json::from(name)), v])
+            })
+            .collect(),
+    );
+    let host = hub.host(rank);
+    let series = Json::Arr(
+        host.series()
+            .rows()
+            .into_iter()
+            .map(|s| {
+                let mut row = vec![s.round];
+                row.extend(s.stage_ns);
+                row.extend(s.mode_bytes);
+                row.extend([
+                    s.bytes_sent,
+                    s.messages_sent,
+                    s.retransmits,
+                    s.pool_hits,
+                    s.pool_misses,
+                    s.recv_wait_ns,
+                ]);
+                ju64s(row)
+            })
+            .collect(),
+    );
+    let peers = Json::Arr(
+        (0..world)
+            .map(|p| ju64s([host.peers().send_ns(p), host.peers().recv_wait_ns(p)]))
+            .collect(),
+    );
+    Json::obj([
+        ("rank", Json::from(rank)),
+        ("world", Json::from(world)),
+        ("rounds", Json::from(hr.rounds)),
+        ("algo_secs_bits", jbits(hr.algo_secs)),
+        ("partition_secs_bits", jbits(hr.partition_secs)),
+        (
+            "masters_int",
+            Json::Arr(
+                hr.masters_int
+                    .iter()
+                    .map(|&(g, v)| ju64s([u64::from(g), u64::from(v)]))
+                    .collect(),
+            ),
+        ),
+        (
+            "masters_f64",
+            Json::Arr(
+                hr.masters_f64
+                    .iter()
+                    .map(|&(g, v)| ju64s([u64::from(g), v.to_bits()]))
+                    .collect(),
+            ),
+        ),
+        (
+            "stats",
+            Json::obj([
+                (
+                    "phases",
+                    Json::Arr(
+                        hr.stats
+                            .phases
+                            .iter()
+                            .map(|p| {
+                                ju64s([
+                                    p.compute_secs.to_bits(),
+                                    p.comm_secs.to_bits(),
+                                    p.bytes_sent,
+                                    p.messages_sent,
+                                    p.work_units,
+                                    p.crit_work_units,
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+                ("memo_secs_bits", jbits(hr.stats.memo_secs)),
+                ("memo_bytes", Json::from(hr.stats.memo_bytes)),
+                ("decode_errors", Json::from(hr.stats.decode_errors)),
+                (
+                    "steady_state_allocs",
+                    Json::from(hr.stats.steady_state_allocs),
+                ),
+            ]),
+        ),
+        (
+            "partition",
+            Json::obj([
+                (
+                    "num_proxies",
+                    Json::from(u64::from(hr.partition.num_proxies())),
+                ),
+                (
+                    "num_local_edges",
+                    Json::from(hr.partition.num_local_edges()),
+                ),
+                ("global_nodes", Json::from(hr.partition.global_nodes())),
+                ("global_edges", Json::from(hr.partition.global_edges())),
+            ]),
+        ),
+        (
+            "net",
+            Json::obj([
+                ("bytes", ju64s(snap.bytes)),
+                ("messages", ju64s(snap.messages)),
+                (
+                    "scalars",
+                    ju64s([
+                        snap.retransmit_bytes,
+                        snap.retransmit_messages,
+                        snap.dup_suppressed,
+                        snap.corruption_detected,
+                        snap.decode_errors,
+                    ]),
+                ),
+            ]),
+        ),
+        ("registry", registry),
+        ("series", series),
+        ("peers", peers),
+    ])
+}
+
+fn field<'a>(j: &'a Json, key: &str) -> Result<&'a Json, String> {
+    j.get(key).ok_or_else(|| format!("missing field {key}"))
+}
+
+fn as_u64(j: &Json, key: &str) -> Result<u64, String> {
+    field(j, key)?
+        .as_u64()
+        .ok_or_else(|| format!("field {key} is not an integer"))
+}
+
+fn u64_items(j: &Json, what: &str) -> Result<Vec<u64>, String> {
+    j.items()
+        .ok_or_else(|| format!("{what} is not an array"))?
+        .iter()
+        .map(|v| {
+            v.as_u64()
+                .ok_or_else(|| format!("{what} holds a non-integer"))
+        })
+        .collect()
+}
+
+fn pairs(j: &Json, what: &str) -> Result<Vec<(u64, u64)>, String> {
+    j.items()
+        .ok_or_else(|| format!("{what} is not an array"))?
+        .iter()
+        .map(|row| {
+            let row = u64_items(row, what)?;
+            if row.len() != 2 {
+                return Err(format!("{what} row is not a pair"));
+            }
+            Ok((row[0], row[1]))
+        })
+        .collect()
+}
+
+fn decode_report(text: &str) -> Result<WorkerReport, String> {
+    let j = Json::parse(text).map_err(|e| format!("unparsable JSON: {e:?}"))?;
+    let rank = as_u64(&j, "rank")? as usize;
+    let world = as_u64(&j, "world")? as usize;
+    let masters_int = pairs(field(&j, "masters_int")?, "masters_int")?
+        .into_iter()
+        .map(|(g, v)| (g as u32, v as u32))
+        .collect();
+    let masters_f64 = pairs(field(&j, "masters_f64")?, "masters_f64")?
+        .into_iter()
+        .map(|(g, bits)| (g as u32, f64::from_bits(bits)))
+        .collect();
+    let stats_j = field(&j, "stats")?;
+    let phases = field(stats_j, "phases")?
+        .items()
+        .ok_or("stats.phases is not an array")?
+        .iter()
+        .map(|row| {
+            let row = u64_items(row, "stats.phases")?;
+            if row.len() != 6 {
+                return Err("stats.phases row is not 6-wide".to_string());
+            }
+            Ok(PhaseStats {
+                compute_secs: f64::from_bits(row[0]),
+                comm_secs: f64::from_bits(row[1]),
+                bytes_sent: row[2],
+                messages_sent: row[3],
+                work_units: row[4],
+                crit_work_units: row[5],
+            })
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    let stats = SyncStats {
+        phases,
+        memo_secs: f64::from_bits(as_u64(stats_j, "memo_secs_bits")?),
+        memo_bytes: as_u64(stats_j, "memo_bytes")?,
+        decode_errors: as_u64(stats_j, "decode_errors")?,
+        steady_state_allocs: as_u64(stats_j, "steady_state_allocs")?,
+    };
+    let part = field(&j, "partition")?;
+    let net = field(&j, "net")?;
+    let net_scalars_v = u64_items(field(net, "scalars")?, "net.scalars")?;
+    let net_scalars: [u64; 5] = net_scalars_v
+        .try_into()
+        .map_err(|_| "net.scalars is not 5-wide".to_string())?;
+    let registry = field(&j, "registry")?
+        .items()
+        .ok_or("registry is not an array")?
+        .iter()
+        .map(|entry| {
+            let name = field(entry, "n")?
+                .as_str()
+                .ok_or("registry entry without a name")?
+                .to_string();
+            let value = if let Some(c) = entry.get("c") {
+                MetricValue::Counter(c.as_u64().ok_or("bad counter")?)
+            } else if let Some(g) = entry.get("g") {
+                MetricValue::Gauge(g.as_u64().ok_or("bad gauge")?)
+            } else if let Some(h) = entry.get("h") {
+                MetricValue::Histogram {
+                    buckets: u64_items(field(h, "b")?, "histogram buckets")?,
+                    count: as_u64(h, "c")?,
+                    sum: as_u64(h, "s")?,
+                }
+            } else {
+                return Err(format!("registry entry {name} has no value"));
+            };
+            Ok((name, value))
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    const SERIES_WIDTH: usize = 1 + NUM_ROUND_STAGES + NUM_WIRE_MODES + 6;
+    let series = field(&j, "series")?
+        .items()
+        .ok_or("series is not an array")?
+        .iter()
+        .map(|row| {
+            let row = u64_items(row, "series")?;
+            if row.len() != SERIES_WIDTH {
+                return Err("series row has the wrong width".to_string());
+            }
+            let mut s = RoundSample {
+                round: row[0],
+                ..RoundSample::default()
+            };
+            s.stage_ns.copy_from_slice(&row[1..1 + NUM_ROUND_STAGES]);
+            let modes = 1 + NUM_ROUND_STAGES;
+            s.mode_bytes
+                .copy_from_slice(&row[modes..modes + NUM_WIRE_MODES]);
+            let tail = modes + NUM_WIRE_MODES;
+            s.bytes_sent = row[tail];
+            s.messages_sent = row[tail + 1];
+            s.retransmits = row[tail + 2];
+            s.pool_hits = row[tail + 3];
+            s.pool_misses = row[tail + 4];
+            s.recv_wait_ns = row[tail + 5];
+            Ok(s)
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    let peers = pairs(field(&j, "peers")?, "peers")?;
+    if peers.len() != world {
+        return Err("peers table is not world-sized".to_string());
+    }
+    Ok(WorkerReport {
+        rank,
+        masters_int,
+        masters_f64,
+        rounds: as_u64(&j, "rounds")? as u32,
+        stats,
+        algo_secs: f64::from_bits(as_u64(&j, "algo_secs_bits")?),
+        partition_secs: f64::from_bits(as_u64(&j, "partition_secs_bits")?),
+        num_proxies: as_u64(part, "num_proxies")?,
+        num_local_edges: as_u64(part, "num_local_edges")?,
+        global_nodes: as_u64(part, "global_nodes")? as u32,
+        global_edges: as_u64(part, "global_edges")?,
+        net_bytes: u64_items(field(net, "bytes")?, "net.bytes")?,
+        net_messages: u64_items(field(net, "messages")?, "net.messages")?,
+        net_scalars,
+        registry,
+        series,
+        peers,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Worker process
+// ---------------------------------------------------------------------------
+
+/// A transport wrapper that simulates a host dying abruptly: when the
+/// application ticks into sync round `at`, the process aborts — no Drop
+/// runs, no socket teardown, no farewell frame. Peers learn of the death
+/// exactly the way they would learn of a real crash: the kernel closes
+/// the sockets and their next receive latches [`NetError::PeerDown`].
+struct CrashAt<T> {
+    inner: T,
+    at: Option<u64>,
+}
+
+impl<T: Transport> Transport for CrashAt<T> {
+    fn rank(&self) -> usize {
+        self.inner.rank()
+    }
+    fn world_size(&self) -> usize {
+        self.inner.world_size()
+    }
+    fn try_send(&self, dst: usize, tag: u32, payload: bytes::Bytes) -> Result<(), NetError> {
+        self.inner.try_send(dst, tag, payload)
+    }
+    fn try_recv(&self, src: usize, tag: u32) -> Result<bytes::Bytes, NetError> {
+        self.inner.try_recv(src, tag)
+    }
+    fn try_recv_any(&self, tag: u32) -> Result<gluon_net::Envelope, NetError> {
+        self.inner.try_recv_any(tag)
+    }
+    fn try_recv_any_timeout(
+        &self,
+        tag: u32,
+        timeout: Duration,
+    ) -> Result<gluon_net::Envelope, NetError> {
+        self.inner.try_recv_any_timeout(tag, timeout)
+    }
+    fn note_round(&self, round: u64) {
+        if let Some(at) = self.at {
+            if round >= at {
+                eprintln!(
+                    "GLUON_CRASH rank {} aborting abruptly at round {round}",
+                    self.inner.rank()
+                );
+                std::process::abort();
+            }
+        }
+        self.inner.note_round(round);
+    }
+    fn cancelled(&self) -> Option<NetError> {
+        self.inner.cancelled()
+    }
+    fn stats(&self) -> &NetStats {
+        self.inner.stats()
+    }
+}
+
+struct WorkerArgs {
+    rank: usize,
+    world: usize,
+    graph: PathBuf,
+    algo: Algorithm,
+    policy: Policy,
+    opts: gluon::OptLevel,
+    engine: EngineKind,
+    threads: usize,
+    source: u32,
+    listen: Option<String>,
+    rendezvous: Option<String>,
+    out: PathBuf,
+    ckpt_dir: Option<PathBuf>,
+    ckpt_every: Option<u64>,
+    restore_epoch: Option<u64>,
+    crash_at: Option<u64>,
+}
+
+fn parse_worker_args(args: &[String]) -> Result<WorkerArgs, String> {
+    let mut map: HashMap<&str, &str> = HashMap::new();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let value = it
+            .next()
+            .ok_or_else(|| format!("flag {flag} is missing its value"))?;
+        map.insert(flag.as_str(), value.as_str());
+    }
+    let req = |k: &str| -> Result<&str, String> {
+        map.get(k).copied().ok_or_else(|| format!("missing {k}"))
+    };
+    let parse_num =
+        |k: &str| -> Result<u64, String> { req(k)?.parse().map_err(|_| format!("bad {k}")) };
+    let opt_num = |k: &str| -> Result<Option<u64>, String> {
+        map.get(k)
+            .map(|v| v.parse().map_err(|_| format!("bad {k}")))
+            .transpose()
+    };
+    Ok(WorkerArgs {
+        rank: parse_num("--rank")? as usize,
+        world: parse_num("--world")? as usize,
+        graph: PathBuf::from(req("--graph")?),
+        algo: parse_algo(req("--algo")?).ok_or("unknown --algo")?,
+        policy: req("--policy")?.parse().map_err(|_| "unknown --policy")?,
+        opts: req("--opts")?.parse().map_err(|_| "unknown --opts")?,
+        engine: parse_engine(req("--engine")?).ok_or("unknown --engine")?,
+        threads: parse_num("--threads")? as usize,
+        source: parse_num("--source")? as u32,
+        listen: map.get("--listen").map(|s| s.to_string()),
+        rendezvous: map.get("--rendezvous").map(|s| s.to_string()),
+        out: PathBuf::from(req("--out")?),
+        ckpt_dir: map.get("--ckpt-dir").map(PathBuf::from),
+        ckpt_every: opt_num("--ckpt-every")?,
+        restore_epoch: opt_num("--restore-epoch")?,
+        crash_at: opt_num("--crash-at-round")?,
+    })
+}
+
+fn worker_fail(rank: usize, what: impl std::fmt::Display, code: i32) -> i32 {
+    eprintln!("GLUON_ERROR rank {rank}: {what}");
+    code
+}
+
+/// The `gluon-host` worker entry point: parses the argument list, runs
+/// one host of the cluster (or the `smoke` self-test), and returns the
+/// process exit code. Kept in the library so integration tests and the
+/// thin `src/bin/gluon-host.rs` shim share it.
+pub fn gluon_host_main() -> i32 {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("smoke") {
+        return run_smoke();
+    }
+    let args = match parse_worker_args(&args) {
+        Ok(a) => a,
+        Err(e) => return worker_fail(0, format!("bad arguments: {e}"), EXIT_BOOTSTRAP),
+    };
+    let rank = args.rank;
+    let stats = NetStats::new(args.world);
+    let transport = if rank == 0 {
+        let rv = match args.listen.as_deref() {
+            Some("tcp") => Rendezvous::bind_tcp("127.0.0.1:0"),
+            Some("unix") => {
+                let dir = args.out.parent().unwrap_or(Path::new("."));
+                Rendezvous::bind_unix(&dir.join("rv.sock"))
+            }
+            other => {
+                return worker_fail(
+                    rank,
+                    format!("rank 0 needs --listen tcp|unix, got {other:?}"),
+                    EXIT_BOOTSTRAP,
+                )
+            }
+        };
+        let rv = match rv {
+            Ok(rv) => rv,
+            Err(e) => return worker_fail(rank, format!("bind failed: {e}"), EXIT_BOOTSTRAP),
+        };
+        println!("GLUON_RENDEZVOUS {}", rv.advertised());
+        let _ = std::io::stdout().flush();
+        rv.lead(args.world, stats.clone())
+    } else {
+        let Some(advertised) = args.rendezvous.as_deref() else {
+            return worker_fail(rank, "workers need --rendezvous", EXIT_BOOTSTRAP);
+        };
+        join(advertised, rank, args.world, stats.clone())
+    };
+    let transport: SocketTransport = match transport {
+        Ok(t) => t,
+        Err(e) => return worker_fail(rank, format!("bootstrap failed: {e}"), EXIT_BOOTSTRAP),
+    };
+    let transport = CrashAt {
+        inner: transport,
+        at: args.crash_at,
+    };
+    run_worker(&args, transport, stats)
+}
+
+fn run_worker(args: &WorkerArgs, transport: CrashAt<SocketTransport>, stats: NetStats) -> i32 {
+    let rank = args.rank;
+    let graph = match graph_io::load(&args.graph) {
+        Ok(g) => g,
+        Err(e) => return worker_fail(rank, format!("cannot load graph: {e}"), EXIT_BOOTSTRAP),
+    };
+    let symmetric;
+    let input: &Csr = if args.algo == Algorithm::Cc {
+        symmetric = crate::reference::symmetrize(&graph);
+        &symmetric
+    } else {
+        &graph
+    };
+    let needs_transpose = args.algo == Algorithm::Pagerank || args.engine == EngineKind::Ligra;
+    let store = match &args.ckpt_dir {
+        Some(dir) => match CheckpointStore::on_disk(dir) {
+            Ok(s) => s,
+            Err(e) => return worker_fail(rank, format!("checkpoint store: {e}"), EXIT_BOOTSTRAP),
+        },
+        None => CheckpointStore::in_memory(),
+    };
+    let ckpt = CkptSetup {
+        store,
+        every: args.ckpt_every,
+        restore_epoch: args.restore_epoch,
+        finalize_only: false,
+    };
+    let hub = MetricsHub::new(args.world);
+    let token = CancelToken::new();
+    let tracer = Tracer::disabled();
+    let algo = args.algo;
+    let engine = args.engine;
+    let source = Gid(args.source);
+    let pr = PagerankConfig::default();
+    let compute = |lg: &gluon_partition::LocalGraph,
+                   ctx: &mut gluon::GluonContext<'_, CrashAt<SocketTransport>>| {
+        try_dispatch(lg, ctx, algo, engine, source, pr)
+    };
+    let result = try_host_program(
+        &transport,
+        &token,
+        input,
+        args.policy,
+        args.opts,
+        args.threads,
+        true,
+        &tracer,
+        &hub,
+        &|_| needs_transpose,
+        &compute,
+        &ckpt,
+    );
+    match result {
+        Ok(hr) => {
+            // Per-host Prometheus satellite: the wire-mechanics counters
+            // surface in this host's registry as `net_socket_*` (the hub
+            // prefixes `gluon_` on export). They are fingerprint-dropped,
+            // so parity with the memory backend is unaffected.
+            let registry = hub.host_registry(rank);
+            registry
+                .counter("net_socket_connects")
+                .add(stats.socket_connects());
+            registry
+                .counter("net_socket_reconnect_attempts")
+                .add(stats.socket_reconnect_attempts());
+            registry
+                .counter("net_socket_frames_sent")
+                .add(stats.socket_frames_sent());
+            registry
+                .counter("net_socket_frames_received")
+                .add(stats.socket_frames_received());
+            registry
+                .counter("net_socket_short_reads")
+                .add(stats.socket_short_reads());
+            let doc = encode_report(rank, args.world, &hr, &stats, &hub);
+            if let Err(e) = std::fs::write(&args.out, doc.render()) {
+                return worker_fail(rank, format!("cannot write result: {e}"), EXIT_BOOTSTRAP);
+            }
+            0
+        }
+        Err(e) => {
+            let code = match e {
+                SyncError::Decode { .. } => EXIT_DECODE,
+                SyncError::Net(_) => EXIT_PEER_FAILURE,
+            };
+            worker_fail(rank, e, code)
+        }
+    }
+}
+
+/// The `gluon-host smoke` self-test: a 2-process TCP bfs on a generated
+/// graph, checked label-for-label and fingerprint-for-fingerprint
+/// against the in-memory backend. Exercises save/spawn/rendezvous/mesh/
+/// merge end to end in a few seconds; `scripts/verify.sh` runs it under
+/// a watchdog.
+fn run_smoke() -> i32 {
+    let graph = gluon_graph::gen::rmat(8, 8, Default::default(), 7);
+    let mut spec = ClusterSpec::new(2, Algorithm::Bfs);
+    spec.host_bin = std::env::current_exe().ok();
+    let memory = Run::new(&graph, Algorithm::Bfs).hosts(2).launch();
+    let cluster = match spawn_local_cluster(&graph, &spec) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("smoke FAILED: {e}");
+            return 1;
+        }
+    };
+    if cluster.outcome.int_labels != memory.int_labels {
+        eprintln!("smoke FAILED: socket labels diverge from the memory backend");
+        return 1;
+    }
+    if cluster.outcome.net.bytes != memory.net.bytes
+        || cluster.outcome.net.messages != memory.net.messages
+        || cluster.outcome.rounds != memory.rounds
+    {
+        eprintln!("smoke FAILED: socket payload counters diverge from the memory backend");
+        return 1;
+    }
+    println!(
+        "smoke OK: 2-process tcp bfs matches the memory backend ({} rounds, {} payload bytes)",
+        cluster.outcome.rounds,
+        cluster.outcome.comm_bytes()
+    );
+    0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_codec_round_trips_bit_for_bit() {
+        // Build a small real HostResult by running one host in-process.
+        let graph = gluon_graph::gen::rmat(6, 4, Default::default(), 5);
+        let out = Run::new(&graph, Algorithm::Pagerank).hosts(1).launch();
+        // Synthesize a report from the outcome's pieces plus a populated
+        // hub, then decode it and compare every field.
+        let hub = MetricsHub::new(2);
+        hub.host_registry(0).counter("rounds").add(9);
+        hub.host_registry(0).histogram("payload").observe(300);
+        hub.host(0).series().push(RoundSample {
+            round: 3,
+            bytes_sent: 77,
+            ..RoundSample::default()
+        });
+        hub.host(0).peers().add_send_ns(1, 1234);
+        let stats = NetStats::new(2);
+        stats.record_send(0, 1, 7, 100);
+        let hr = HostResult {
+            masters_int: vec![(1, 2), (3, 4)],
+            masters_f64: out
+                .ranks
+                .iter()
+                .copied()
+                .enumerate()
+                .map(|(i, v)| (i as u32, v))
+                .collect(),
+            rounds: out.rounds,
+            stats: out.host_stats[0].clone(),
+            algo_secs: out.algo_secs,
+            partition_secs: out.partition_secs,
+            partition: gluon_partition::partition_all(&graph, 1, Policy::Oec)
+                .pop()
+                .expect("one part"),
+        };
+        let doc = encode_report(0, 2, &hr, &stats, &hub).render();
+        let decoded = decode_report(&doc).expect("decodes");
+        assert_eq!(decoded.rank, 0);
+        assert_eq!(decoded.masters_int, hr.masters_int);
+        assert_eq!(decoded.rounds, hr.rounds);
+        assert_eq!(decoded.stats, hr.stats);
+        assert_eq!(decoded.algo_secs.to_bits(), hr.algo_secs.to_bits());
+        for ((_, a), (_, b)) in decoded.masters_f64.iter().zip(&hr.masters_f64) {
+            assert_eq!(a.to_bits(), b.to_bits(), "rank bits must survive the wire");
+        }
+        assert_eq!(decoded.net_bytes[1], 100);
+        assert_eq!(decoded.peers, vec![(0, 0), (1234, 0)]);
+        assert_eq!(decoded.series.len(), 1);
+        assert_eq!(decoded.series[0].bytes_sent, 77);
+        let rounds = decoded
+            .registry
+            .iter()
+            .find(|(n, _)| n == "rounds")
+            .expect("counter shipped");
+        assert_eq!(rounds.1, MetricValue::Counter(9));
+    }
+
+    #[test]
+    fn worker_args_round_trip() {
+        let args: Vec<String> = [
+            "--rank",
+            "2",
+            "--world",
+            "4",
+            "--graph",
+            "/tmp/g.bin",
+            "--algo",
+            "pr",
+            "--policy",
+            "cvc",
+            "--opts",
+            "osti",
+            "--engine",
+            "galois",
+            "--threads",
+            "2",
+            "--source",
+            "5",
+            "--out",
+            "/tmp/out.json",
+            "--rendezvous",
+            "tcp://127.0.0.1:9",
+            "--ckpt-every",
+            "8",
+            "--crash-at-round",
+            "3",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let w = parse_worker_args(&args).expect("parses");
+        assert_eq!(w.rank, 2);
+        assert_eq!(w.world, 4);
+        assert_eq!(w.algo, Algorithm::Pagerank);
+        assert_eq!(w.policy, Policy::Cvc);
+        assert_eq!(w.threads, 2);
+        assert_eq!(w.source, 5);
+        assert_eq!(w.ckpt_every, Some(8));
+        assert_eq!(w.restore_epoch, None);
+        assert_eq!(w.crash_at, Some(3));
+        assert_eq!(w.rendezvous.as_deref(), Some("tcp://127.0.0.1:9"));
+    }
+}

@@ -24,12 +24,16 @@
 
 pub mod apps;
 pub mod driver;
+pub mod launcher;
 mod minrelax;
 pub mod reference;
 pub mod report;
 
 pub use apps::{CopyField, PagerankConfig};
 pub use driver::{run_heterogeneous_bfs, DistConfig, DistOutcome, FailurePolicy, Run, RunError};
+pub use launcher::{
+    gluon_host_main, spawn_local_cluster, ClusterOutcome, ClusterSpec, LaunchError,
+};
 pub use report::{phase_residuals, PhaseResidual, RunReport, REPORT_SCHEMA_VERSION};
 
 /// The shared-memory engine computing each host's partition.

@@ -53,8 +53,12 @@ pub const REPORT_SCHEMA_VERSION: u64 = 1;
 /// and the per-host `pool_crit_work` counter whose critical path varies
 /// with thread count), and supervisor bookkeeping that legitimately
 /// differs between a crash-free and a recovered run (`cluster`,
-/// `recoveries`, `checkpoints_saved`).
-pub const FINGERPRINT_DROPPED_KEYS: [&str; 13] = [
+/// `recoveries`, `checkpoints_saved`). The `net_socket_*` counters are
+/// wire-mechanics bookkeeping of the socket backend (connects, frames,
+/// short reads) that a memory-backend run never increments, so they are
+/// stripped too: the parity contract is that a socket run and a memory
+/// run of the same workload fingerprint identically.
+pub const FINGERPRINT_DROPPED_KEYS: [&str; 18] = [
     "calibration",
     "trace",
     "reliability",
@@ -68,6 +72,11 @@ pub const FINGERPRINT_DROPPED_KEYS: [&str; 13] = [
     "dups_suppressed",
     "crc_rejections",
     "peers_down",
+    "net_socket_connects",
+    "net_socket_reconnect_attempts",
+    "net_socket_frames_sent",
+    "net_socket_frames_received",
+    "net_socket_short_reads",
 ];
 
 /// A merged, exportable view of one run: outcome + metrics + calibration.

@@ -16,6 +16,16 @@
 //! calibration table — measured max-host phase time vs.
 //! `CostModel::REPRO`'s projection — exported to
 //! `bench_results/report.json` alongside the `fig8.json` cells.
+//!
+//! With `GLUON_FIG8_MEASURE` set in the environment, every Gluon cell is
+//! additionally re-run over real TCP-loopback sockets
+//! (`Run::transport_sockets`) and the table gains a measured
+//! "socket wall (s)" column next to the α-β projection; the socket run is
+//! asserted bit-identical to the in-memory one (same labels, same payload
+//! traffic), so the extra column measures transport cost, never a
+//! different computation. Off by default — it roughly doubles Gluon cell
+//! time and the regression gate ignores the (environment-dependent)
+//! column either way.
 
 use gluon::OptLevel;
 use gluon_algos::{driver, phase_residuals, Algorithm, DistConfig, EngineKind, PhaseResidual};
@@ -25,7 +35,7 @@ use gluon_bench::{inputs, report, scale_from_args, trace_path_from_args, Scale, 
 use gluon_gemini::GeminiAlgo;
 use gluon_graph::{max_out_degree_node, Csr};
 use gluon_metrics::MetricsHub;
-use gluon_net::CostModel;
+use gluon_net::{CostModel, SocketKind};
 use gluon_partition::Policy;
 use gluon_trace::{ChromeTraceBuilder, Tracer, MODE_NAMES, NUM_WIRE_MODES};
 use std::collections::BTreeMap;
@@ -33,6 +43,9 @@ use std::collections::BTreeMap;
 struct Point {
     projected_secs: f64,
     wall_secs: f64,
+    /// Measured wall seconds of the same run over TCP-loopback sockets;
+    /// `None` unless `GLUON_FIG8_MEASURE` is set (and always for Gemini).
+    socket_wall_secs: Option<f64>,
     comm_bytes: u64,
     /// Volume of the same run under the codec-v1 wire modes; `None` for
     /// systems that do not use the Gluon codec (Gemini).
@@ -96,9 +109,28 @@ fn gluon_point(
                 .all(|(a, b)| a.to_bits() == b.to_bits()),
         "compression changed pagerank bits ({algo:?}, {hosts} hosts)"
     );
+    // The measured column: the identical configuration over real TCP
+    // sockets. Payload parity is asserted, so the delta to `wall_secs`
+    // is pure transport cost.
+    let socket_wall_secs = std::env::var_os("GLUON_FIG8_MEASURE").map(|_| {
+        let sock = driver::Run::new(graph, algo)
+            .config(&cfg)
+            .transport_sockets(SocketKind::Tcp)
+            .launch();
+        assert_eq!(
+            out.int_labels, sock.int_labels,
+            "socket run changed integer labels ({algo:?}, {hosts} hosts)"
+        );
+        assert_eq!(
+            out.net.bytes, sock.net.bytes,
+            "socket run changed payload traffic ({algo:?}, {hosts} hosts)"
+        );
+        sock.algo_secs
+    });
     Point {
         projected_secs: out.projected_secs(&CostModel::REPRO),
         wall_secs: out.algo_secs,
+        socket_wall_secs,
         comm_bytes: out.run.total_bytes,
         baseline_bytes: Some(base.run.total_bytes),
         retx_bytes: out.net.retransmit_bytes,
@@ -126,6 +158,7 @@ fn gemini_point(graph: &Csr, algo: Algorithm, hosts: usize) -> Point {
             .run
             .projected_secs(&CostModel::REPRO, gluon::DEFAULT_EDGES_PER_SEC),
         wall_secs: out.algo_secs,
+        socket_wall_secs: None, // gemini runs on the in-memory transport only
         comm_bytes: out.run.total_bytes,
         baseline_bytes: None, // gemini does not use the Gluon codec
         retx_bytes: 0,        // gemini runs on the bare in-memory transport
@@ -162,6 +195,7 @@ fn main() {
         "hosts",
         "proj time (s)",
         "wall (s)",
+        "socket wall (s)",
         "comm volume",
         "v1 baseline",
         "ratio",
@@ -275,6 +309,10 @@ fn main() {
                         ("hosts", Json::from(hosts)),
                         ("projected_secs", Json::from(point.projected_secs)),
                         ("wall_secs", Json::from(point.wall_secs)),
+                        (
+                            "socket_wall_secs",
+                            point.socket_wall_secs.map_or(Json::Null, Json::from),
+                        ),
                         ("comm_bytes", Json::from(point.comm_bytes)),
                         (
                             "v1_baseline_bytes",
@@ -296,6 +334,7 @@ fn main() {
                         hosts.to_string(),
                         report::secs(point.projected_secs),
                         report::secs(point.wall_secs),
+                        point.socket_wall_secs.map_or("-".to_owned(), report::secs),
                         report::bytes(point.comm_bytes),
                         baseline,
                         ratio,

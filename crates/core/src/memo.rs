@@ -99,7 +99,11 @@ impl MemoTable {
         // startup traffic is visible in the byte counters like any other.
         for (dst, payload) in outgoing.into_iter().enumerate() {
             if dst != rank {
-                comm.transport().send(dst, MEMO_TAG, payload);
+                comm.transport()
+                    .try_send(dst, MEMO_TAG, payload)
+                    .unwrap_or_else(|e| {
+                        panic!("memoization exchange: send to host {dst} failed: {e}")
+                    });
             }
         }
         let mut masters: Vec<Vec<ProxyEntry>> = vec![Vec::new(); n];
@@ -107,7 +111,12 @@ impl MemoTable {
             if src == rank {
                 continue;
             }
-            let payload = comm.transport().recv(src, MEMO_TAG);
+            let payload = comm
+                .transport()
+                .try_recv(src, MEMO_TAG)
+                .unwrap_or_else(|e| {
+                    panic!("memoization exchange: recv from host {src} failed: {e}")
+                });
             assert_eq!(payload.len() % 5, 0, "memoization payload framing");
             let mut entries = Vec::with_capacity(payload.len() / 5);
             for chunk in payload.chunks_exact(5) {

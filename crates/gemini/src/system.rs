@@ -259,12 +259,19 @@ impl<'a, T: Transport> GeminiHost<'a, T> {
                     let payload = encode_pairs_u32(&pairs);
                     for dst in 0..h.comm.world_size() {
                         if dst != h.comm.rank() {
-                            h.comm.transport().send(dst, VALUE_TAG, payload.clone());
+                            h.comm
+                                .transport()
+                                .try_send(dst, VALUE_TAG, payload.clone())
+                                .unwrap_or_else(|e| panic!("value exchange send: {e}"));
                         }
                     }
                     for src in 0..h.comm.world_size() {
                         if src != h.comm.rank() {
-                            let data = h.comm.transport().recv(src, VALUE_TAG);
+                            let data = h
+                                .comm
+                                .transport()
+                                .try_recv(src, VALUE_TAG)
+                                .unwrap_or_else(|e| panic!("value exchange recv: {e}"));
                             decode_pairs_u32(&data, &mut |g, v| {
                                 if v < labels[g as usize] {
                                     labels[g as usize] = v;
@@ -367,12 +374,19 @@ impl<'a, T: Transport> GeminiHost<'a, T> {
                 let payload = encode_pairs_f64(&pairs);
                 for dst in 0..h.comm.world_size() {
                     if dst != h.comm.rank() {
-                        h.comm.transport().send(dst, VALUE_TAG, payload.clone());
+                        h.comm
+                            .transport()
+                            .try_send(dst, VALUE_TAG, payload.clone())
+                            .unwrap_or_else(|e| panic!("value exchange send: {e}"));
                     }
                 }
                 for src in 0..h.comm.world_size() {
                     if src != h.comm.rank() {
-                        let data = h.comm.transport().recv(src, VALUE_TAG);
+                        let data = h
+                            .comm
+                            .transport()
+                            .try_recv(src, VALUE_TAG)
+                            .unwrap_or_else(|e| panic!("value exchange recv: {e}"));
                         decode_pairs_f64(&data, &mut |g, v| rank[g as usize] = v);
                     }
                 }

@@ -494,6 +494,61 @@ impl Registry {
             .unwrap_or(0)
     }
 
+    /// Merges one externally captured metric into this registry.
+    ///
+    /// This is the ingestion half of [`Registry::snapshot`]: the
+    /// multi-process launcher ships each worker's snapshot over the wire
+    /// and folds it into the parent hub so a socket-cluster report is
+    /// shaped exactly like an in-process one. Counters and histograms
+    /// accumulate onto any existing value; gauges take the imported value.
+    /// Names not seen before are registered on the fly (interned for the
+    /// process lifetime, matching the `&'static str` registration API).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different metric kind.
+    pub fn import(&self, name: &str, value: &MetricValue) {
+        let Some(inner) = &self.inner else { return };
+        let mut entries = inner.entries.lock().expect("registry poisoned");
+        let metric = match entries.iter().find(|(n, _)| *n == name) {
+            Some((_, m)) => m.clone(),
+            None => {
+                let interned: &'static str = Box::leak(name.to_owned().into_boxed_str());
+                let m = match value {
+                    MetricValue::Counter(_) => Metric::Counter(Arc::new(CounterCell::default())),
+                    MetricValue::Gauge(_) => Metric::Gauge(Arc::new(GaugeCell::default())),
+                    MetricValue::Histogram { .. } => Metric::Histogram(Arc::new(HistCell::new())),
+                };
+                entries.push((interned, m.clone()));
+                m
+            }
+        };
+        drop(entries);
+        match (&metric, value) {
+            (Metric::Counter(c), MetricValue::Counter(v)) => {
+                c.value.fetch_add(*v, Ordering::Relaxed);
+            }
+            (Metric::Gauge(g), MetricValue::Gauge(v)) => {
+                g.value.store(*v, Ordering::Relaxed);
+            }
+            (
+                Metric::Histogram(h),
+                MetricValue::Histogram {
+                    buckets,
+                    count,
+                    sum,
+                },
+            ) => {
+                for (cell, v) in h.buckets.iter().zip(buckets) {
+                    cell.fetch_add(*v, Ordering::Relaxed);
+                }
+                h.count.fetch_add(*count, Ordering::Relaxed);
+                h.sum.fetch_add(*sum, Ordering::Relaxed);
+            }
+            (m, _) => panic!("metric {name} already registered as a {}", m.kind()),
+        }
+    }
+
     fn rebaseline(&self) {
         let Some(inner) = &self.inner else { return };
         let entries = inner.entries.lock().expect("registry poisoned");
@@ -1297,6 +1352,52 @@ mod tests {
         b.add(4);
         assert_eq!(a.value(), 7);
         assert_eq!(r.counter_value("n"), 7);
+    }
+
+    #[test]
+    fn import_merges_snapshots_across_registries() {
+        let src = Registry::new();
+        src.counter("rounds").add(7);
+        src.gauge("depth").set(9);
+        let h = src.histogram("payload");
+        h.observe(3);
+        h.observe(300);
+
+        let dst = Registry::new();
+        dst.counter("rounds").add(1); // accumulates under import
+        for (name, value) in src.snapshot() {
+            dst.import(name, &value);
+        }
+        // Re-import into the same names a second time: counters and
+        // histograms add, gauges overwrite.
+        for (name, value) in src.snapshot() {
+            dst.import(name, &value);
+        }
+        assert_eq!(dst.counter_value("rounds"), 1 + 7 + 7);
+        let snap = dst.snapshot();
+        let get = |n: &str| snap.iter().find(|(k, _)| *k == n).unwrap().1.clone();
+        assert_eq!(get("depth"), MetricValue::Gauge(9));
+        match get("payload") {
+            MetricValue::Histogram {
+                buckets,
+                count,
+                sum,
+            } => {
+                assert_eq!(count, 4);
+                assert_eq!(sum, 2 * 303);
+                assert_eq!(buckets[log2_bucket(3)], 2);
+                assert_eq!(buckets[log2_bucket(300)], 2);
+            }
+            other => panic!("expected histogram, got {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn import_kind_mismatch_panics() {
+        let r = Registry::new();
+        let _ = r.counter("n");
+        r.import("n", &MetricValue::Gauge(1));
     }
 
     #[test]

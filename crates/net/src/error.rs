@@ -53,6 +53,13 @@ pub enum NetError {
     /// failing, so this host aborted its blocking operation instead of
     /// waiting for traffic that will never come.
     Cancelled,
+    /// A bounded receive ([`crate::Transport::try_recv_any_timeout`])
+    /// expired with no matching message. Unlike every other variant this is
+    /// not a failure: it is the typed replacement for the old `None`
+    /// sentinel, and callers such as [`crate::ReliableTransport`]'s pump
+    /// treat it as observed silence (feeding the failure detector's
+    /// accounting) before retrying.
+    Timeout,
 }
 
 impl NetError {
@@ -63,7 +70,7 @@ impl NetError {
     pub fn peer(&self) -> Option<usize> {
         match self {
             NetError::PeerUnreachable { peer, .. } | NetError::PeerDown { peer, .. } => Some(*peer),
-            NetError::HostCrashed { .. } | NetError::Cancelled => None,
+            NetError::HostCrashed { .. } | NetError::Cancelled | NetError::Timeout => None,
         }
     }
 
@@ -73,7 +80,7 @@ impl NetError {
             NetError::PeerUnreachable { round, .. }
             | NetError::PeerDown { round, .. }
             | NetError::HostCrashed { round, .. } => Some(*round),
-            NetError::Cancelled => None,
+            NetError::Cancelled | NetError::Timeout => None,
         }
     }
 
@@ -110,6 +117,7 @@ impl fmt::Display for NetError {
                 write!(f, "host {host} crashed by fault injection at round {round}")
             }
             NetError::Cancelled => write!(f, "cancelled: a sibling host failed"),
+            NetError::Timeout => write!(f, "timed out: no matching message within the deadline"),
         }
     }
 }
@@ -145,6 +153,15 @@ mod tests {
         assert_eq!(c.round(), Some(9));
         assert!(c.is_peer_failure());
         assert!(c.to_string().contains("host 2"));
+    }
+
+    #[test]
+    fn timeout_is_not_a_peer_failure() {
+        let e = NetError::Timeout;
+        assert_eq!(e.peer(), None);
+        assert_eq!(e.round(), None);
+        assert!(!e.is_peer_failure());
+        assert!(e.to_string().contains("timed out"));
     }
 
     #[test]

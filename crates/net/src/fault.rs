@@ -356,11 +356,11 @@ struct Held {
 ///     .with_rule(FaultRule::nth(2, FaultAction::Drop).on_tag(5));
 /// let counters = FaultCounters::new();
 /// let a = FaultyTransport::new(eps.pop().unwrap(), plan, counters.clone());
-/// a.send(1, 5, Bytes::from_static(b"arrives"));
-/// a.send(1, 5, Bytes::from_static(b"dropped"));
-/// a.send(1, 5, Bytes::from_static(b"arrives too"));
-/// assert_eq!(&b.recv(0, 5)[..], b"arrives");
-/// assert_eq!(&b.recv(0, 5)[..], b"arrives too");
+/// a.try_send(1, 5, Bytes::from_static(b"arrives")).unwrap();
+/// a.try_send(1, 5, Bytes::from_static(b"dropped")).unwrap();
+/// a.try_send(1, 5, Bytes::from_static(b"arrives too")).unwrap();
+/// assert_eq!(&b.try_recv(0, 5).unwrap()[..], b"arrives");
+/// assert_eq!(&b.try_recv(0, 5).unwrap()[..], b"arrives too");
 /// assert_eq!(counters.dropped(), 1);
 /// ```
 #[derive(Debug)]
@@ -477,7 +477,7 @@ impl<T: Transport> FaultyTransport<T> {
             out
         };
         for h in expired {
-            self.inner.send(h.dst, h.tag, h.payload);
+            let _ = self.inner.try_send(h.dst, h.tag, h.payload);
         }
     }
 
@@ -489,7 +489,7 @@ impl<T: Transport> FaultyTransport<T> {
             return;
         }
         for h in drained {
-            self.inner.send(h.dst, h.tag, h.payload);
+            let _ = self.inner.try_send(h.dst, h.tag, h.payload);
         }
     }
 
@@ -548,42 +548,42 @@ impl<T: Transport> Transport for FaultyTransport<T> {
         self.inner.world_size()
     }
 
-    fn send(&self, dst: usize, tag: u32, payload: Bytes) {
-        // A dead host puts nothing on the wire; peers see only silence.
+    fn try_send(&self, dst: usize, tag: u32, payload: Bytes) -> Result<(), NetError> {
+        // A dead host puts nothing on the wire; peers see only silence —
+        // but the local caller learns it is dead through the typed error.
         if self.is_crashed() {
-            return;
+            return Err(self.crash_error());
         }
         // Loopback traffic never crosses the NIC: pass it through.
         if dst == self.inner.rank() || !self.armed.load(Ordering::SeqCst) {
-            self.inner.send(dst, tag, payload);
-            return;
+            return self.inner.try_send(dst, tag, payload);
         }
         self.age_held();
         match self.decide(dst, tag) {
-            None => self.inner.send(dst, tag, payload),
+            None => self.inner.try_send(dst, tag, payload),
             Some(FaultAction::Drop) => {
                 self.counter(FaultAction::Drop)
                     .fetch_add(1, Ordering::Relaxed);
+                Ok(())
             }
             Some(FaultAction::Duplicate) => {
                 self.counter(FaultAction::Duplicate)
                     .fetch_add(1, Ordering::Relaxed);
-                self.inner.send(dst, tag, payload.clone());
-                self.inner.send(dst, tag, payload);
+                self.inner.try_send(dst, tag, payload.clone())?;
+                self.inner.try_send(dst, tag, payload)
             }
             Some(FaultAction::Corrupt) => {
                 if payload.is_empty() {
                     // Nothing to flip; deliver unchanged and do not claim
                     // a corruption happened.
-                    self.inner.send(dst, tag, payload);
-                    return;
+                    return self.inner.try_send(dst, tag, payload);
                 }
                 self.counter(FaultAction::Corrupt)
                     .fetch_add(1, Ordering::Relaxed);
                 let mut bytes = payload.to_vec();
                 let bit = (self.next_rand() % (bytes.len() as u64 * 8)) as usize;
                 bytes[bit / 8] ^= 1 << (bit % 8);
-                self.inner.send(dst, tag, Bytes::from(bytes));
+                self.inner.try_send(dst, tag, Bytes::from(bytes))
             }
             Some(FaultAction::Delay) => {
                 self.counter(FaultAction::Delay)
@@ -594,38 +594,19 @@ impl<T: Transport> Transport for FaultyTransport<T> {
                     payload,
                     sends_left: 1 + (self.next_rand() % 4) as u32,
                 });
+                Ok(())
             }
         }
     }
 
-    fn recv(&self, src: usize, tag: u32) -> Bytes {
-        assert!(!self.is_crashed(), "infallible recv on a crashed endpoint");
-        self.release_all();
-        self.inner.recv(src, tag)
-    }
-
-    fn recv_any(&self, tag: u32) -> Envelope {
-        assert!(!self.is_crashed(), "infallible recv on a crashed endpoint");
-        self.release_all();
-        self.inner.recv_any(tag)
-    }
-
-    fn recv_any_timeout(&self, tag: u32, timeout: Duration) -> Option<Envelope> {
+    fn try_recv_any_timeout(&self, tag: u32, timeout: Duration) -> Result<Envelope, NetError> {
         if self.is_crashed() {
             // Dead hosts hear nothing; polls report silence so a stacked
             // reliability layer falls through to its `cancelled` check.
-            return None;
+            return Err(NetError::Timeout);
         }
         self.release_all();
-        self.inner.recv_any_timeout(tag, timeout)
-    }
-
-    fn try_send(&self, dst: usize, tag: u32, payload: Bytes) -> Result<(), NetError> {
-        if self.is_crashed() {
-            return Err(self.crash_error());
-        }
-        self.send(dst, tag, payload);
-        Ok(())
+        self.inner.try_recv_any_timeout(tag, timeout)
     }
 
     fn try_recv(&self, src: usize, tag: u32) -> Result<Bytes, NetError> {
@@ -695,10 +676,11 @@ mod tests {
         let a = FaultyTransport::new(a, FaultPlan::none(1).with_drop_rate(1.0), counters.clone());
         a.disarm();
         for i in 0..20u32 {
-            a.send(1, 0, Bytes::copy_from_slice(&i.to_le_bytes()));
+            a.try_send(1, 0, Bytes::copy_from_slice(&i.to_le_bytes()))
+                .unwrap();
         }
         for i in 0..20u32 {
-            assert_eq!(&b.recv(0, 0)[..4], &i.to_le_bytes());
+            assert_eq!(&b.try_recv(0, 0).unwrap()[..4], &i.to_le_bytes());
         }
         assert_eq!(counters.total(), 0);
     }
@@ -710,14 +692,14 @@ mod tests {
         let plan = FaultPlan::none(3).with_drop_rate(1.0);
         let a = FaultyTransport::new(a, plan, counters.clone());
         for _ in 0..10 {
-            a.send(1, 0, Bytes::from_static(b"gone"));
+            a.try_send(1, 0, Bytes::from_static(b"gone")).unwrap();
         }
         assert_eq!(counters.dropped(), 10);
         // Out-of-band proof nothing arrived: a disarmed marker message is
         // the first (and only) thing the receiver sees.
         a.disarm();
-        a.send(1, 0, Bytes::from_static(b"marker"));
-        assert_eq!(&b.recv(0, 0)[..], b"marker");
+        a.try_send(1, 0, Bytes::from_static(b"marker")).unwrap();
+        assert_eq!(&b.try_recv(0, 0).unwrap()[..], b"marker");
     }
 
     #[test]
@@ -727,8 +709,8 @@ mod tests {
         let plan = FaultPlan::none(5).with_corrupt_rate(1.0);
         let a = FaultyTransport::new(a, plan, counters.clone());
         let original = [0u8; 16];
-        a.send(1, 0, Bytes::copy_from_slice(&original));
-        let got = b.recv(0, 0);
+        a.try_send(1, 0, Bytes::copy_from_slice(&original)).unwrap();
+        let got = b.try_recv(0, 0).unwrap();
         let flipped: u32 = got.iter().map(|byte| byte.count_ones()).sum();
         assert_eq!(flipped, 1, "exactly one bit must differ");
         assert_eq!(counters.corrupted(), 1);
@@ -740,9 +722,9 @@ mod tests {
         let counters = FaultCounters::new();
         let plan = FaultPlan::none(5).with_duplicate_rate(1.0);
         let a = FaultyTransport::new(a, plan, counters.clone());
-        a.send(1, 9, Bytes::from_static(b"twin"));
-        assert_eq!(&b.recv(0, 9)[..], b"twin");
-        assert_eq!(&b.recv(0, 9)[..], b"twin");
+        a.try_send(1, 9, Bytes::from_static(b"twin")).unwrap();
+        assert_eq!(&b.try_recv(0, 9).unwrap()[..], b"twin");
+        assert_eq!(&b.try_recv(0, 9).unwrap()[..], b"twin");
         assert_eq!(counters.duplicated(), 1);
     }
 
@@ -753,12 +735,16 @@ mod tests {
         let plan = FaultPlan::none(11).with_delay_rate(1.0);
         let a = FaultyTransport::new(a, plan, counters.clone());
         for i in 0..30u32 {
-            a.send(1, 0, Bytes::copy_from_slice(&i.to_le_bytes()));
+            a.try_send(1, 0, Bytes::copy_from_slice(&i.to_le_bytes()))
+                .unwrap();
         }
         // Entering a receive on the faulty endpoint releases stragglers.
-        a.recv_any_timeout(99, Duration::from_millis(1));
+        let _ = a.try_recv_any_timeout(99, Duration::from_millis(1));
         let mut got: Vec<u32> = (0..30)
-            .map(|_| u32::from_le_bytes(b.recv(0, 0)[..4].try_into().expect("4 bytes")))
+            .map(|_| {
+                let m = b.try_recv(0, 0).unwrap();
+                u32::from_le_bytes(m[..4].try_into().expect("4 bytes"))
+            })
             .collect();
         got.sort_unstable();
         assert_eq!(got, (0..30).collect::<Vec<_>>());
@@ -772,15 +758,15 @@ mod tests {
         let plan = FaultPlan::none(2).with_rule(FaultRule::nth(2, FaultAction::Drop).on_tag(7));
         let a = FaultyTransport::new(a, plan, counters.clone());
         for _ in 0..3 {
-            a.send(1, 7, Bytes::from_static(b"t7"));
-            a.send(1, 8, Bytes::from_static(b"t8"));
+            a.try_send(1, 7, Bytes::from_static(b"t7")).unwrap();
+            a.try_send(1, 8, Bytes::from_static(b"t8")).unwrap();
         }
         // Tag 8 is untouched; tag 7 lost only its 2nd message.
         for _ in 0..3 {
-            assert_eq!(&b.recv(0, 8)[..], b"t8");
+            assert_eq!(&b.try_recv(0, 8).unwrap()[..], b"t8");
         }
-        assert_eq!(&b.recv(0, 7)[..], b"t7");
-        assert_eq!(&b.recv(0, 7)[..], b"t7");
+        assert_eq!(&b.try_recv(0, 7).unwrap()[..], b"t7");
+        assert_eq!(&b.try_recv(0, 7).unwrap()[..], b"t7");
         assert_eq!(counters.dropped(), 1);
     }
 
@@ -793,8 +779,8 @@ mod tests {
             FaultPlan::none(1).with_drop_rate(1.0),
             counters.clone(),
         );
-        a.send(0, 0, Bytes::from_static(b"loopback"));
-        assert_eq!(&a.recv(0, 0)[..], b"loopback");
+        a.try_send(0, 0, Bytes::from_static(b"loopback")).unwrap();
+        assert_eq!(&a.try_recv(0, 0).unwrap()[..], b"loopback");
         assert_eq!(counters.total(), 0);
     }
 
@@ -805,7 +791,8 @@ mod tests {
             let counters = FaultCounters::new();
             let a = FaultyTransport::new(a, FaultPlan::lossy(seed), counters.clone());
             for i in 0..200u32 {
-                a.send(1, i % 3, Bytes::from_static(b"payload"));
+                a.try_send(1, i % 3, Bytes::from_static(b"payload"))
+                    .unwrap();
             }
             (
                 counters.dropped(),

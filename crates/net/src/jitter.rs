@@ -25,11 +25,11 @@ use parking_lot::Mutex;
 /// let mut eps = MemoryTransport::cluster(2);
 /// let b = eps.pop().unwrap();
 /// let a = JitterTransport::new(eps.pop().unwrap(), 7);
-/// a.send(1, 1, Bytes::from_static(b"first"));
-/// a.send(1, 1, Bytes::from_static(b"second"));
+/// a.try_send(1, 1, Bytes::from_static(b"first")).unwrap();
+/// a.try_send(1, 1, Bytes::from_static(b"second")).unwrap();
 /// a.flush(); // or any recv on `a` would flush
-/// assert_eq!(&b.recv(0, 1)[..], b"first");
-/// assert_eq!(&b.recv(0, 1)[..], b"second");
+/// assert_eq!(&b.try_recv(0, 1).unwrap()[..], b"first");
+/// assert_eq!(&b.try_recv(0, 1).unwrap()[..], b"second");
 /// ```
 #[derive(Debug)]
 pub struct JitterTransport<T: Transport> {
@@ -72,13 +72,15 @@ impl<T: Transport> JitterTransport<T> {
 
     /// Releases every held message (in a shuffled cross-stream order that
     /// still respects per-stream FIFO, since at most one message per
-    /// `(dst, tag)` stream is ever held).
+    /// `(dst, tag)` stream is ever held). Send errors are swallowed: a
+    /// held message for a peer that has since failed vanishes, exactly
+    /// like a packet to a crashed host.
     pub fn flush(&self) {
         let mut held = std::mem::take(&mut *self.held.lock());
         while !held.is_empty() {
             let pick = (self.next_rand() % held.len() as u64) as usize;
             let (dst, tag, payload) = held.swap_remove(pick);
-            self.inner.send(dst, tag, payload);
+            let _ = self.inner.try_send(dst, tag, payload);
         }
     }
 }
@@ -92,45 +94,50 @@ impl<T: Transport> Transport for JitterTransport<T> {
         self.inner.world_size()
     }
 
-    fn send(&self, dst: usize, tag: u32, payload: Bytes) {
+    fn try_send(&self, dst: usize, tag: u32, payload: Bytes) -> Result<(), crate::error::NetError> {
         let mut held = self.held.lock();
         // FIFO guard: if a message for this stream is already held, release
         // it (and everything queued before the decision point stays
         // randomized across *other* streams only).
         if let Some(pos) = held.iter().position(|&(d, t, _)| d == dst && t == tag) {
             let (d, t, p) = held.remove(pos);
-            self.inner.send(d, t, p);
+            self.inner.try_send(d, t, p)?;
         }
         let delay = self.next_rand().is_multiple_of(2) && held.len() < self.max_held;
         if delay {
             held.push((dst, tag, payload));
-            return;
+            return Ok(());
         }
         drop(held);
         // Not delaying this one: randomly release one straggler too.
-        self.inner.send(dst, tag, payload);
+        self.inner.try_send(dst, tag, payload)?;
         let mut held = self.held.lock();
         if !held.is_empty() && self.next_rand().is_multiple_of(2) {
             let pick = (self.next_rand() % held.len() as u64) as usize;
             let (d, t, p) = held.swap_remove(pick);
             drop(held);
-            self.inner.send(d, t, p);
+            self.inner.try_send(d, t, p)?;
         }
+        Ok(())
     }
 
-    fn recv(&self, src: usize, tag: u32) -> Bytes {
+    fn try_recv(&self, src: usize, tag: u32) -> Result<Bytes, crate::error::NetError> {
         self.flush();
-        self.inner.recv(src, tag)
+        self.inner.try_recv(src, tag)
     }
 
-    fn recv_any(&self, tag: u32) -> Envelope {
+    fn try_recv_any(&self, tag: u32) -> Result<Envelope, crate::error::NetError> {
         self.flush();
-        self.inner.recv_any(tag)
+        self.inner.try_recv_any(tag)
     }
 
-    fn recv_any_timeout(&self, tag: u32, timeout: std::time::Duration) -> Option<Envelope> {
+    fn try_recv_any_timeout(
+        &self,
+        tag: u32,
+        timeout: std::time::Duration,
+    ) -> Result<Envelope, crate::error::NetError> {
         self.flush();
-        self.inner.recv_any_timeout(tag, timeout)
+        self.inner.try_recv_any_timeout(tag, timeout)
     }
 
     fn note_round(&self, round: u64) {
@@ -158,13 +165,15 @@ mod tests {
         let b = eps.pop().expect("two endpoints");
         let a = JitterTransport::new(eps.pop().expect("two endpoints"), 3);
         for i in 0..50u32 {
-            a.send(1, i % 5, Bytes::copy_from_slice(&i.to_le_bytes()));
+            a.try_send(1, i % 5, Bytes::copy_from_slice(&i.to_le_bytes()))
+                .unwrap();
         }
         a.flush();
         let mut got = Vec::new();
         for tag in 0..5u32 {
             for _ in 0..10 {
-                got.push(u32::from_le_bytes(b.recv(0, tag)[..4].try_into().unwrap()));
+                let m = b.try_recv(0, tag).unwrap();
+                got.push(u32::from_le_bytes(m[..4].try_into().unwrap()));
             }
         }
         got.sort_unstable();
@@ -177,11 +186,12 @@ mod tests {
         let b = eps.pop().expect("two endpoints");
         let a = JitterTransport::new(eps.pop().expect("two endpoints"), 99);
         for i in 0..100u32 {
-            a.send(1, 7, Bytes::copy_from_slice(&i.to_le_bytes()));
+            a.try_send(1, 7, Bytes::copy_from_slice(&i.to_le_bytes()))
+                .unwrap();
         }
         a.flush();
         for i in 0..100u32 {
-            let m = b.recv(0, 7);
+            let m = b.try_recv(0, 7).unwrap();
             assert_eq!(u32::from_le_bytes(m[..4].try_into().unwrap()), i);
         }
     }
@@ -196,15 +206,16 @@ mod tests {
         thread::scope(|s| {
             s.spawn(|| {
                 for i in 0..200u32 {
-                    a.send(1, 0, Bytes::copy_from_slice(&i.to_le_bytes()));
-                    let echo = a.recv(1, 1);
+                    a.try_send(1, 0, Bytes::copy_from_slice(&i.to_le_bytes()))
+                        .unwrap();
+                    let echo = a.try_recv(1, 1).unwrap();
                     assert_eq!(&echo[..4], &i.to_le_bytes());
                 }
             });
             s.spawn(|| {
                 for _ in 0..200 {
-                    let m = b.recv(0, 0);
-                    b.send(0, 1, m);
+                    let m = b.try_recv(0, 0).unwrap();
+                    b.try_send(0, 1, m).unwrap();
                 }
                 // The final echo may be held; release it before the peer's
                 // last recv is abandoned (a real program's shutdown barrier
@@ -224,7 +235,7 @@ mod tests {
             let a = JitterTransport::new(eps.pop().expect("two endpoints"), seed);
             (0..12u32)
                 .map(|i| {
-                    a.send(1, i, Bytes::from_static(b"x"));
+                    a.try_send(1, i, Bytes::from_static(b"x")).unwrap();
                     a.stats().total_bytes()
                 })
                 .collect()

@@ -26,6 +26,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bootstrap;
 mod cluster;
 mod comm;
 mod cost;
@@ -34,9 +35,11 @@ mod error;
 mod fault;
 mod jitter;
 mod reliable;
+mod socket;
 mod stats;
 mod transport;
 
+pub use bootstrap::{join, Rendezvous, SocketFactory, SocketKind};
 pub use cluster::{run_cluster, run_cluster_fallible, run_cluster_with_stats, run_cluster_wrapped};
 pub use comm::{assert_user_tag, Communicator, COLLECTIVE_TAG_BASE, MAX_USER_TAG};
 pub use cost::CostModel;
@@ -45,5 +48,6 @@ pub use error::NetError;
 pub use fault::{CrashRule, FaultAction, FaultCounters, FaultPlan, FaultRule, FaultyTransport};
 pub use jitter::JitterTransport;
 pub use reliable::{ReliableConfig, ReliableTransport, RetryPolicy, RELIABLE_TAG};
+pub use socket::SocketTransport;
 pub use stats::{NetStats, SendRecord, StatsDelta, StatsSnapshot, DEFAULT_HISTORY_CAPACITY};
 pub use transport::{CancelToken, Envelope, MemoryTransport, Transport};

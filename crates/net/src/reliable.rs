@@ -226,14 +226,15 @@ impl State {
 /// thread::scope(|s| {
 ///     s.spawn(|| {
 ///         for i in 0..64u32 {
-///             a.send(1, 3, Bytes::copy_from_slice(&i.to_le_bytes()));
+///             a.try_send(1, 3, Bytes::copy_from_slice(&i.to_le_bytes()))
+///                 .unwrap();
 ///         }
 ///         a.flush();
 ///     });
 ///     s.spawn(|| {
 ///         for i in 0..64u32 {
 ///             // Exactly once, in order, despite the lossy wire.
-///             assert_eq!(&b.recv(0, 3)[..], &i.to_le_bytes());
+///             assert_eq!(&b.try_recv(0, 3).unwrap()[..], &i.to_le_bytes());
 ///         }
 ///     });
 /// });
@@ -376,9 +377,7 @@ impl<T: Transport> ReliableTransport<T> {
     /// expired retransmission timers.
     fn pump(&self, st: &mut State, wait: Duration) {
         self.maybe_beat(st);
-        if let Some(env) = self.inner.recv_any_timeout(RELIABLE_TAG, wait) {
-            self.process(st, env);
-        }
+        self.pump_once(st, wait);
         self.check_timers(st);
     }
 
@@ -386,16 +385,45 @@ impl<T: Transport> ReliableTransport<T> {
     /// sends so ACKs keep flowing during send-heavy phases).
     fn poll(&self, st: &mut State) {
         self.maybe_beat(st);
-        while let Some(env) = self.inner.recv_any_timeout(RELIABLE_TAG, Duration::ZERO) {
-            self.process(st, env);
-        }
+        while self.pump_once(st, Duration::ZERO) {}
         self.check_timers(st);
     }
 
+    /// Pulls at most one wire frame (waiting up to `wait`) and processes
+    /// it; returns whether a frame was consumed.
+    ///
+    /// This is where the unified timeout contract pays off: expiry is the
+    /// typed [`NetError::Timeout`], which — on `MemoryTransport` and
+    /// `SocketTransport` alike — is fed into the detector's silence
+    /// accounting simply by *not* registering a `heard`, exactly as the old
+    /// `None` sentinel did. A backend-reported *peer* failure (a socket
+    /// peer's connection broke) is latched as a dead peer so the failure
+    /// detector and crash supervisor above work unmodified.
+    fn pump_once(&self, st: &mut State, wait: Duration) -> bool {
+        match self.inner.try_recv_any_timeout(RELIABLE_TAG, wait) {
+            Ok(env) => {
+                self.process(st, env);
+                true
+            }
+            Err(NetError::Timeout) => false,
+            Err(err) => {
+                if let Some(peer) = err.peer() {
+                    if !st.is_dead(peer) {
+                        self.declare_dead(st, peer, err);
+                    }
+                }
+                // Local terminal failures (cancellation, injected crash)
+                // surface through `inner_failure` in the blocking loops.
+                false
+            }
+        }
+    }
+
     /// Emits a heartbeat volley to every live peer if the detector is
-    /// configured and the heartbeat interval elapsed. Heartbeats ride the
-    /// infallible inner `send` — a crashed [`crate::FaultyTransport`]
-    /// swallows them, which is exactly the silence peers must observe.
+    /// configured and the heartbeat interval elapsed. Heartbeat send
+    /// errors are swallowed — a crashed [`crate::FaultyTransport`] or a
+    /// broken socket delivers nothing, which is exactly the silence peers
+    /// must observe.
     fn maybe_beat(&self, st: &mut State) {
         let Some(detector) = &st.detector else {
             return;
@@ -489,7 +517,9 @@ impl<T: Transport> ReliableTransport<T> {
             self.tracer
                 .record_event(self.inner.rank(), "retransmit", peer, frame.len() as u64);
             self.metrics.on_retransmit(frame.len() as u64);
-            self.inner.send(peer, RELIABLE_TAG, frame.clone());
+            // A failed retransmission is just more silence: the strike
+            // counter and detector convert it into a dead peer.
+            let _ = self.inner.try_send(peer, RELIABLE_TAG, frame.clone());
         }
         o.last_tx = Instant::now();
     }
@@ -624,7 +654,9 @@ impl<T: Transport> ReliableTransport<T> {
         f.extend_from_slice(&seq.to_le_bytes());
         let crc = crc32_parts(&[&f[..9]]);
         f.extend_from_slice(&crc.to_le_bytes());
-        self.inner.send(dst, RELIABLE_TAG, Bytes::from(f));
+        // Control frames are fire-and-forget; losing one to a dead backend
+        // is indistinguishable from losing it on the wire.
+        let _ = self.inner.try_send(dst, RELIABLE_TAG, Bytes::from(f));
     }
 
     fn unreachable(&self, peer: usize) -> NetError {
@@ -718,7 +750,7 @@ const fn crc_table() -> [u32; 256] {
 static CRC_TABLE: [u32; 256] = crc_table();
 
 /// CRC32 (IEEE) over the concatenation of `parts`.
-fn crc32_parts(parts: &[&[u8]]) -> u32 {
+pub(crate) fn crc32_parts(parts: &[&[u8]]) -> u32 {
     let mut c = 0xFFFF_FFFFu32;
     for part in parts {
         for &byte in *part {
@@ -748,31 +780,16 @@ impl<T: Transport> Transport for ReliableTransport<T> {
         self.inner.world_size()
     }
 
-    fn send(&self, dst: usize, tag: u32, payload: Bytes) {
-        self.try_send(dst, tag, payload)
-            .unwrap_or_else(|e| panic!("reliable send to host {dst} failed: {e}"));
-    }
-
-    fn recv(&self, src: usize, tag: u32) -> Bytes {
-        self.try_recv(src, tag)
-            .unwrap_or_else(|e| panic!("reliable recv from host {src} on tag {tag} failed: {e}"))
-    }
-
-    fn recv_any(&self, tag: u32) -> Envelope {
-        self.try_recv_any(tag)
-            .unwrap_or_else(|e| panic!("reliable recv-any on tag {tag} failed: {e}"))
-    }
-
-    fn recv_any_timeout(&self, tag: u32, timeout: Duration) -> Option<Envelope> {
+    fn try_recv_any_timeout(&self, tag: u32, timeout: Duration) -> Result<Envelope, NetError> {
         let deadline = Instant::now() + timeout;
         let mut st = self.state.lock();
         loop {
             if let Some((src, payload)) = Self::take_any(&mut st, tag) {
-                return Some(Envelope { src, tag, payload });
+                return Ok(Envelope { src, tag, payload });
             }
             let now = Instant::now();
             if now >= deadline {
-                return None;
+                return Err(NetError::Timeout);
             }
             let wait = self.pump_wait(&st, deadline.saturating_duration_since(now));
             self.pump(&mut st, wait);
@@ -834,7 +851,14 @@ impl<T: Transport> Transport for ReliableTransport<T> {
             o.rto = self.policy.initial_rto;
         }
         o.unacked.push_back((seq, frame.clone()));
-        self.inner.send(dst, RELIABLE_TAG, frame);
+        if let Err(err) = self.inner.try_send(dst, RELIABLE_TAG, frame) {
+            // The backend already knows the peer is gone (broken socket):
+            // no amount of retransmission will help, so latch it now.
+            if err.peer() == Some(dst) {
+                self.declare_dead(&mut st, dst, err);
+                return Err(err);
+            }
+        }
         self.poll(&mut st);
         Ok(())
     }
@@ -949,7 +973,8 @@ mod tests {
         const N: u32 = 150;
         let side = |me: &Chaos, peer: usize| {
             for i in 0..N {
-                me.send(peer, i % 3, Bytes::copy_from_slice(&i.to_le_bytes()));
+                me.try_send(peer, i % 3, Bytes::copy_from_slice(&i.to_le_bytes()))
+                    .unwrap();
             }
             // A host that goes quiet stops pumping its retransmission
             // timers, so push the tail out before the receive phase (the
@@ -964,7 +989,7 @@ mod tests {
                     .min_by_key(|(_, &v)| v)
                     .map(|(t, _)| t)
                     .expect("3 tags") as u32;
-                let m = me.recv(peer, tag);
+                let m = me.try_recv(peer, tag).unwrap();
                 let v = u32::from_le_bytes(m[..4].try_into().expect("4 bytes"));
                 assert_eq!(v % 3, tag, "message on the wrong stream");
                 assert_eq!(v, next[tag as usize] * 3 + tag, "stream order broken");
@@ -990,16 +1015,20 @@ mod tests {
         thread::scope(|s| {
             s.spawn(|| {
                 for i in 0..40u32 {
-                    a.send(1, 0, Bytes::copy_from_slice(&i.to_le_bytes()));
+                    a.try_send(1, 0, Bytes::copy_from_slice(&i.to_le_bytes()))
+                        .unwrap();
                 }
                 a.flush();
             });
             s.spawn(|| {
                 for i in 0..40u32 {
-                    assert_eq!(&b.recv(0, 0)[..4], &i.to_le_bytes());
+                    assert_eq!(&b.try_recv(0, 0).unwrap()[..4], &i.to_le_bytes());
                 }
                 // The 41st message must not exist: duplicates were eaten.
-                assert!(b.recv_any_timeout(0, Duration::from_millis(50)).is_none());
+                assert!(matches!(
+                    b.try_recv_any_timeout(0, Duration::from_millis(50)),
+                    Err(NetError::Timeout)
+                ));
             });
         });
         assert!(counters.duplicated() > 0);
@@ -1013,13 +1042,14 @@ mod tests {
         thread::scope(|s| {
             s.spawn(|| {
                 for i in 0..N {
-                    a.send(1, 5, Bytes::copy_from_slice(&[i as u8; 32]));
+                    a.try_send(1, 5, Bytes::copy_from_slice(&[i as u8; 32]))
+                        .unwrap();
                 }
                 a.flush();
             });
             s.spawn(|| {
                 for i in 0..N {
-                    let m = b.recv(0, 5);
+                    let m = b.try_recv(0, 5).unwrap();
                     assert_eq!(&m[..], &[i as u8; 32], "payload must arrive intact");
                 }
             });
@@ -1034,13 +1064,14 @@ mod tests {
         thread::scope(|s| {
             s.spawn(|| {
                 for i in 0..100u32 {
-                    a.send(1, 2, Bytes::copy_from_slice(&i.to_le_bytes()));
+                    a.try_send(1, 2, Bytes::copy_from_slice(&i.to_le_bytes()))
+                        .unwrap();
                 }
                 a.flush();
             });
             s.spawn(|| {
                 for i in 0..100u32 {
-                    assert_eq!(&b.recv(0, 2)[..4], &i.to_le_bytes());
+                    assert_eq!(&b.try_recv(0, 2).unwrap()[..4], &i.to_le_bytes());
                 }
             });
         });
@@ -1050,10 +1081,10 @@ mod tests {
     fn self_sends_round_trip() {
         let mut eps = MemoryTransport::cluster(1);
         let a = ReliableTransport::over(eps.pop().expect("one endpoint"));
-        a.send(0, 4, Bytes::from_static(b"loop"));
-        assert_eq!(&a.recv(0, 4)[..], b"loop");
-        a.send(0, 4, Bytes::from_static(b"any"));
-        assert_eq!(&a.recv_any(4).payload[..], b"any");
+        a.try_send(0, 4, Bytes::from_static(b"loop")).unwrap();
+        assert_eq!(&a.try_recv(0, 4).unwrap()[..], b"loop");
+        a.try_send(0, 4, Bytes::from_static(b"any")).unwrap();
+        assert_eq!(&a.try_recv_any(4).unwrap().payload[..], b"any");
     }
 
     #[test]
@@ -1107,13 +1138,14 @@ mod tests {
         thread::scope(|s| {
             s.spawn(|| {
                 for i in 0..64u32 {
-                    a.send(1, 0, Bytes::copy_from_slice(&i.to_le_bytes()));
+                    a.try_send(1, 0, Bytes::copy_from_slice(&i.to_le_bytes()))
+                        .unwrap();
                 }
                 a.flush();
             });
             s.spawn(|| {
                 for i in 0..64u32 {
-                    assert_eq!(&b.recv(0, 0)[..4], &i.to_le_bytes());
+                    assert_eq!(&b.try_recv(0, 0).unwrap()[..4], &i.to_le_bytes());
                 }
             });
         });
@@ -1164,13 +1196,13 @@ mod tests {
             s.spawn(|| {
                 let deadline = Instant::now() + Duration::from_millis(700);
                 while Instant::now() < deadline {
-                    let _ = b.recv_any_timeout(0, Duration::from_millis(1));
+                    let _ = b.try_recv_any_timeout(0, Duration::from_millis(1));
                 }
-                b.send(0, 0, Bytes::from_static(b"alive"));
+                b.try_send(0, 0, Bytes::from_static(b"alive")).unwrap();
                 // Keep heartbeating until host 0 confirms delivery, so the
                 // data frame's ACK exchange cannot race our shutdown.
                 while !stop.load(Ordering::Acquire) {
-                    let _ = b.recv_any_timeout(0, Duration::from_millis(1));
+                    let _ = b.try_recv_any_timeout(0, Duration::from_millis(1));
                 }
             });
             s.spawn(|| {
@@ -1190,15 +1222,16 @@ mod tests {
         thread::scope(|s| {
             s.spawn(|| {
                 for i in 0..50u32 {
-                    a.send(1, 0, Bytes::copy_from_slice(&i.to_le_bytes()));
+                    a.try_send(1, 0, Bytes::copy_from_slice(&i.to_le_bytes()))
+                        .unwrap();
                     // Interleave explicit beats between data frames.
-                    a.recv_any_timeout(99, Duration::from_micros(600));
+                    let _ = a.try_recv_any_timeout(99, Duration::from_micros(600));
                 }
                 a.flush();
             });
             s.spawn(|| {
                 for i in 0..50u32 {
-                    assert_eq!(&b.recv(0, 0)[..4], &i.to_le_bytes());
+                    assert_eq!(&b.try_recv(0, 0).unwrap()[..4], &i.to_le_bytes());
                 }
             });
         });
@@ -1218,8 +1251,8 @@ mod tests {
         let mut eps = MemoryTransport::cluster(2);
         let b = ReliableTransport::over(eps.pop().expect("two endpoints"));
         let a = ReliableTransport::over(eps.pop().expect("two endpoints"));
-        a.send(1, 123, Bytes::from_static(b"payload"));
-        assert_eq!(&b.recv(0, 123)[..], b"payload");
+        a.try_send(1, 123, Bytes::from_static(b"payload")).unwrap();
+        assert_eq!(&b.try_recv(0, 123).unwrap()[..], b"payload");
         // Exactly one data frame and one ack crossed the wire; nothing
         // was retransmitted on a clean network.
         assert_eq!(a.stats().retransmit_messages(), 0);

@@ -1,0 +1,629 @@
+//! Real multi-process socket transport.
+//!
+//! [`SocketTransport`] is the first [`Transport`] backend whose hosts are
+//! genuinely separate OS processes: peers exchange length-prefixed,
+//! CRC-protected frames over TCP or Unix-domain stream sockets. Everything
+//! above the trait — the Gluon sync paths, the collectives, the
+//! reliability layer, the failure detector, the crash supervisor — runs
+//! unmodified, which is the paper's central claim about the substrate
+//! being swappable under unchanged analytics code (Figure 1's "Network"
+//! box).
+//!
+//! # Architecture
+//!
+//! Each endpoint owns one *event-loop thread* servicing `world - 1`
+//! nonblocking peer connections (established by [`crate::bootstrap`]):
+//!
+//! * **Outbound:** [`Transport::try_send`] encodes a frame and appends it
+//!   to the destination's send queue; the loop drains queues into the
+//!   sockets, carrying partial writes across iterations.
+//! * **Inbound:** the loop accumulates bytes per peer, parses complete
+//!   frames, verifies their CRC, and demultiplexes payloads into the same
+//!   twin [`Stash`] indexes the in-memory backend uses, waking blocked
+//!   receivers through a condvar.
+//! * **Supervision:** EOF or a socket error on a peer connection latches a
+//!   typed [`NetError::PeerDown`] for that rank (stamped with the last
+//!   round reported via [`Transport::note_round`]), wakes every waiter,
+//!   and surfaces through [`Transport::cancelled`] — so the failure
+//!   detector and the crash supervisor see exactly the shapes they were
+//!   built against.
+//!
+//! # Frame format
+//!
+//! ```text
+//! | len: u32 LE | tag: u32 LE | crc: u32 LE | payload: len bytes |
+//! ```
+//!
+//! `len` counts payload bytes only; `crc` is CRC-32 (IEEE, the same
+//! polynomial and table as the reliability layer) over the tag bytes
+//! followed by the payload, so neither header corruption nor payload
+//! corruption goes unnoticed even on transports without end-to-end
+//! checksums (Unix-domain sockets).
+//!
+//! # Counter parity
+//!
+//! Payload bytes and message counts are recorded at `try_send` time with
+//! the same [`NetStats::record_send`] call and arguments the in-memory
+//! backend uses — framing overhead is *not* counted — so on identical
+//! inputs the byte/message matrices (and therefore the communication-
+//! volume figures and the report fingerprint) match `MemoryTransport`
+//! bit-for-bit. Wire mechanics are observable separately through the
+//! `socket_*` counters on [`NetStats`].
+
+use crate::error::NetError;
+use crate::reliable::crc32_parts;
+use crate::stats::NetStats;
+use crate::transport::{Envelope, PtrEqLen, Stash, Transport};
+use bytes::Bytes;
+use std::collections::VecDeque;
+use std::io::{ErrorKind, Read, Write};
+use std::net::TcpStream;
+use std::os::unix::net::UnixStream;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::sync::{Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Frame header size on the wire: `len | tag | crc`, each a `u32` LE.
+pub(crate) const FRAME_HEADER: usize = 12;
+
+/// How long the event loop sleeps when neither reads nor writes made
+/// progress. Short enough to keep added latency well below the failure
+/// detector's thresholds; long enough not to burn a core spinning.
+const IDLE_BACKOFF: Duration = Duration::from_micros(50);
+
+/// How long a blocked receiver waits on the condvar before re-checking
+/// for latched peer failures (belt and braces — failures also notify).
+const RECV_POLL: Duration = Duration::from_millis(1);
+
+/// Bound on how long `Drop` waits for the event loop to flush queued
+/// outbound frames to peers that have stopped reading.
+const DRAIN_DEADLINE: Duration = Duration::from_secs(5);
+
+/// One established peer connection, TCP or Unix-domain.
+///
+/// Both variants are stream sockets with identical framing; the enum lets
+/// one event loop service either family (and lets tests mix assertions
+/// across both without generics leaking into [`SocketTransport`]).
+#[derive(Debug)]
+pub(crate) enum PeerStream {
+    /// TCP connection (Nagle disabled by the bootstrap).
+    Tcp(TcpStream),
+    /// Unix-domain stream connection.
+    Unix(UnixStream),
+}
+
+impl PeerStream {
+    fn set_nonblocking(&self, nb: bool) -> std::io::Result<()> {
+        match self {
+            PeerStream::Tcp(s) => s.set_nonblocking(nb),
+            PeerStream::Unix(s) => s.set_nonblocking(nb),
+        }
+    }
+
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            PeerStream::Tcp(s) => s.read(buf),
+            PeerStream::Unix(s) => s.read(buf),
+        }
+    }
+
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            PeerStream::Tcp(s) => s.write(buf),
+            PeerStream::Unix(s) => s.write(buf),
+        }
+    }
+}
+
+/// Per-peer connection state owned by the event-loop thread.
+struct Conn {
+    stream: PeerStream,
+    /// Bytes read off the wire but not yet parsed into complete frames.
+    inbuf: Vec<u8>,
+    /// Encoded frames accepted from send queues but not yet fully written.
+    outbuf: Vec<u8>,
+}
+
+/// Receiver-visible state: the twin stash indexes plus latched failures.
+struct RecvState {
+    /// `(src, tag)`-keyed index serving [`Transport::try_recv`].
+    stash: Stash<(usize, u32), Bytes>,
+    /// Tag-keyed index serving the `recv_any` family.
+    stash_any: Stash<u32, (usize, Bytes)>,
+    /// First terminal error observed per peer (EOF, reset, broken pipe),
+    /// latched for the lifetime of the endpoint.
+    dead: Vec<Option<NetError>>,
+    /// Whether a peer's death has already been surfaced once through
+    /// [`Transport::try_recv_any_timeout`]. The reliability pump latches
+    /// the failure on first sight; reporting it on every subsequent poll
+    /// would turn its timed waits into a busy spin.
+    reported_any: Vec<bool>,
+}
+
+/// State shared between the endpoint handle and its event-loop thread.
+struct Shared {
+    rank: usize,
+    world: usize,
+    stats: NetStats,
+    state: Mutex<RecvState>,
+    wake: Condvar,
+    /// Per-peer queues of encoded frames awaiting the event loop.
+    out: Vec<Mutex<VecDeque<Bytes>>>,
+    /// Last sync-phase index reported through [`Transport::note_round`];
+    /// stamps peer-failure errors for checkpoint rollback decisions.
+    round: AtomicU64,
+    /// Set by `Drop`; tells the loop to flush and exit.
+    shutdown: AtomicBool,
+}
+
+impl Shared {
+    /// Files one received payload into the twin stash indexes and wakes
+    /// blocked receivers (mirror of the in-memory backend's `file`).
+    fn file(&self, src: usize, tag: u32, payload: Bytes) {
+        let mut st = self.state.lock().expect("socket state lock");
+        st.stash.push((src, tag), payload.clone());
+        st.stash_any.push(tag, (src, payload));
+        drop(st);
+        self.wake.notify_all();
+    }
+
+    /// Latches a terminal error for `peer` and wakes every waiter so
+    /// blocked receives return the typed failure promptly.
+    fn mark_dead(&self, peer: usize) {
+        let err = NetError::PeerDown {
+            peer,
+            round: self.round.load(Ordering::Relaxed),
+        };
+        let mut st = self.state.lock().expect("socket state lock");
+        if st.dead[peer].is_none() {
+            st.dead[peer] = Some(err);
+        }
+        drop(st);
+        self.wake.notify_all();
+    }
+}
+
+/// A [`Transport`] endpoint whose peers are separate processes reached
+/// over TCP or Unix-domain stream sockets.
+///
+/// Construct via [`crate::bootstrap`] ([`crate::Rendezvous::lead`] on
+/// rank 0, [`crate::bootstrap::join`] elsewhere); this type only drives
+/// already-established connections. See the module docs for the wire
+/// format and supervision semantics.
+pub struct SocketTransport {
+    shared: Arc<Shared>,
+    /// Event-loop thread; joined (after a bounded flush) on drop.
+    pump: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for SocketTransport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SocketTransport")
+            .field("rank", &self.shared.rank)
+            .field("world", &self.shared.world)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Encodes one wire frame: header plus payload (see module docs).
+pub(crate) fn encode_frame(tag: u32, payload: &[u8]) -> Bytes {
+    let mut f = Vec::with_capacity(FRAME_HEADER + payload.len());
+    f.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    f.extend_from_slice(&tag.to_le_bytes());
+    f.extend_from_slice(&crc32_parts(&[&tag.to_le_bytes(), payload]).to_le_bytes());
+    f.extend_from_slice(payload);
+    Bytes::from(f)
+}
+
+impl SocketTransport {
+    /// Wraps established peer connections into a live endpoint and starts
+    /// its event loop. `conns[p]` must be `Some` exactly for `p != rank`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the connection table disagrees with `rank`/`world` or if
+    /// `stats` is sized for a different cluster.
+    pub(crate) fn from_conns(
+        rank: usize,
+        world: usize,
+        conns: Vec<Option<PeerStream>>,
+        stats: NetStats,
+    ) -> SocketTransport {
+        assert_eq!(conns.len(), world, "connection table sized for world");
+        assert_eq!(stats.world_size(), world, "stats sized for world");
+        for (p, c) in conns.iter().enumerate() {
+            assert_eq!(
+                c.is_some(),
+                p != rank,
+                "exactly the non-self slots must hold connections"
+            );
+        }
+        let shared = Arc::new(Shared {
+            rank,
+            world,
+            stats,
+            state: Mutex::new(RecvState {
+                stash: Stash::new(),
+                stash_any: Stash::new(),
+                dead: vec![None; world],
+                reported_any: vec![false; world],
+            }),
+            wake: Condvar::new(),
+            out: (0..world).map(|_| Mutex::new(VecDeque::new())).collect(),
+            round: AtomicU64::new(0),
+            shutdown: AtomicBool::new(false),
+        });
+        let mut table: Vec<Option<Conn>> = conns
+            .into_iter()
+            .map(|c| {
+                c.map(|stream| {
+                    stream
+                        .set_nonblocking(true)
+                        .expect("set peer stream nonblocking");
+                    Conn {
+                        stream,
+                        inbuf: Vec::with_capacity(64 * 1024),
+                        outbuf: Vec::with_capacity(64 * 1024),
+                    }
+                })
+            })
+            .collect();
+        let loop_shared = Arc::clone(&shared);
+        let pump = std::thread::Builder::new()
+            .name(format!("gluon-sock-{rank}"))
+            .spawn(move || event_loop(&loop_shared, &mut table))
+            .expect("spawn socket event loop");
+        SocketTransport {
+            shared,
+            pump: Some(pump),
+        }
+    }
+
+    fn take_exact(&self, st: &mut RecvState, src: usize, tag: u32) -> Option<Bytes> {
+        let queue = st.stash.map.get_mut(&(src, tag))?;
+        let payload = queue.pop_front()?;
+        if queue.is_empty() {
+            st.stash.retire(&(src, tag));
+        }
+        if let Some(q) = st.stash_any.map.get_mut(&tag) {
+            if let Some(pos) = q
+                .iter()
+                .position(|(s, p)| *s == src && Bytes::ptr_eq_len(p, &payload))
+            {
+                q.remove(pos);
+            }
+            if q.is_empty() {
+                st.stash_any.retire(&tag);
+            }
+        }
+        Some(payload)
+    }
+
+    fn take_any(&self, st: &mut RecvState, tag: u32) -> Option<(usize, Bytes)> {
+        let queue = st.stash_any.map.get_mut(&tag)?;
+        let (src, payload) = queue.pop_front()?;
+        if queue.is_empty() {
+            st.stash_any.retire(&tag);
+        }
+        if let Some(q) = st.stash.map.get_mut(&(src, tag)) {
+            if let Some(pos) = q.iter().position(|p| Bytes::ptr_eq_len(p, &payload)) {
+                q.remove(pos);
+            }
+            if q.is_empty() {
+                st.stash.retire(&(src, tag));
+            }
+        }
+        Some((src, payload))
+    }
+}
+
+impl Transport for SocketTransport {
+    fn rank(&self) -> usize {
+        self.shared.rank
+    }
+
+    fn world_size(&self) -> usize {
+        self.shared.world
+    }
+
+    fn try_send(&self, dst: usize, tag: u32, payload: Bytes) -> Result<(), NetError> {
+        assert!(dst < self.shared.world, "destination rank out of range");
+        // Counted before any wire activity, with the same arguments the
+        // in-memory backend counts — this is what makes the byte/message
+        // matrices transport-independent (see module docs).
+        self.shared
+            .stats
+            .record_send(self.shared.rank, dst, tag, payload.len() as u64);
+        if dst == self.shared.rank {
+            // Self-sends never touch a socket; deliver through the stash
+            // like any other message.
+            self.shared.file(dst, tag, payload);
+            return Ok(());
+        }
+        if let Some(err) = self.shared.state.lock().expect("socket state lock").dead[dst] {
+            // The peer's connection is gone: no frame can ever arrive, so
+            // fail fast with the latched typed error instead of letting
+            // the caller wait out a retransmission budget.
+            return Err(err);
+        }
+        self.shared.out[dst]
+            .lock()
+            .expect("socket send queue lock")
+            .push_back(encode_frame(tag, &payload));
+        Ok(())
+    }
+
+    fn try_recv(&self, src: usize, tag: u32) -> Result<Bytes, NetError> {
+        assert!(src < self.shared.world, "source rank out of range");
+        let mut st = self.shared.state.lock().expect("socket state lock");
+        loop {
+            // Buffered data outranks failure: frames the peer sent before
+            // dying are still delivered in order.
+            if let Some(payload) = self.take_exact(&mut st, src, tag) {
+                return Ok(payload);
+            }
+            if let Some(err) = st.dead[src] {
+                return Err(err);
+            }
+            st = self
+                .shared
+                .wake
+                .wait_timeout(st, RECV_POLL)
+                .expect("socket state lock")
+                .0;
+        }
+    }
+
+    fn try_recv_any(&self, tag: u32) -> Result<Envelope, NetError> {
+        let mut st = self.shared.state.lock().expect("socket state lock");
+        loop {
+            if let Some((src, payload)) = self.take_any(&mut st, tag) {
+                return Ok(Envelope { src, tag, payload });
+            }
+            // Only when *every* peer is down can nothing ever arrive.
+            let mut dead_peers = 0;
+            let mut first = None;
+            for p in 0..self.shared.world {
+                if p == self.shared.rank {
+                    continue;
+                }
+                if let Some(err) = st.dead[p] {
+                    dead_peers += 1;
+                    first.get_or_insert(err);
+                }
+            }
+            if self.shared.world > 1 && dead_peers == self.shared.world - 1 {
+                return Err(first.expect("at least one dead peer"));
+            }
+            st = self
+                .shared
+                .wake
+                .wait_timeout(st, RECV_POLL)
+                .expect("socket state lock")
+                .0;
+        }
+    }
+
+    fn try_recv_any_timeout(&self, tag: u32, timeout: Duration) -> Result<Envelope, NetError> {
+        let deadline = Instant::now() + timeout;
+        let mut st = self.shared.state.lock().expect("socket state lock");
+        loop {
+            if let Some((src, payload)) = self.take_any(&mut st, tag) {
+                return Ok(Envelope { src, tag, payload });
+            }
+            // Surface each peer failure exactly once through this path:
+            // the reliability pump latches it on first sight, and later
+            // polls must wait out their timeout (silence) rather than
+            // spin on the same latched error.
+            for p in 0..self.shared.world {
+                if let Some(err) = st.dead[p] {
+                    if !st.reported_any[p] {
+                        st.reported_any[p] = true;
+                        return Err(err);
+                    }
+                }
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(NetError::Timeout);
+            }
+            let wait = RECV_POLL.min(deadline - now);
+            st = self
+                .shared
+                .wake
+                .wait_timeout(st, wait)
+                .expect("socket state lock")
+                .0;
+        }
+    }
+
+    fn note_round(&self, round: u64) {
+        self.shared.round.fetch_max(round, Ordering::Relaxed);
+    }
+
+    fn cancelled(&self) -> Option<NetError> {
+        // A dead peer is terminal for the whole BSP run: surfacing it here
+        // aborts blocking loops stacked above (reliability layer, sync
+        // paths) exactly as a tripped in-memory CancelToken would.
+        let st = self.shared.state.lock().expect("socket state lock");
+        st.dead.iter().flatten().next().copied()
+    }
+
+    fn stats(&self) -> &NetStats {
+        &self.shared.stats
+    }
+}
+
+impl Drop for SocketTransport {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        if let Some(pump) = self.pump.take() {
+            let _ = pump.join();
+        }
+    }
+}
+
+/// The per-endpoint event loop: drains send queues into the sockets,
+/// parses inbound frames into the stashes, and latches peer failures.
+/// Runs until shutdown is requested and all outbound traffic is flushed
+/// (bounded by [`DRAIN_DEADLINE`]), so frames queued just before teardown
+/// still reach their peers.
+fn event_loop(shared: &Shared, table: &mut [Option<Conn>]) {
+    let mut scratch = [0u8; 64 * 1024];
+    let mut draining_since: Option<Instant> = None;
+    loop {
+        let mut progress = false;
+        for (peer, slot) in table.iter_mut().enumerate() {
+            if peer == shared.rank {
+                continue;
+            }
+            let Some(conn) = slot.as_mut() else {
+                continue;
+            };
+            let alive = service_writes(shared, conn, peer, &mut progress)
+                && service_reads(shared, conn, peer, &mut scratch, &mut progress);
+            if !alive {
+                shared.mark_dead(peer);
+                *slot = None;
+            }
+        }
+        if shared.shutdown.load(Ordering::Acquire) {
+            // Pending work must be recomputed *after* observing the
+            // shutdown flag: `Drop` stores it after the caller's last
+            // `try_send`, so any frame enqueued just before teardown is
+            // visible to this check — a flag computed mid-sweep could
+            // predate it and strand the frame.
+            let pending = table.iter().enumerate().any(|(peer, conn)| {
+                conn.as_ref().is_some_and(|c| !c.outbuf.is_empty())
+                    || (conn.is_some()
+                        && !shared.out[peer]
+                            .lock()
+                            .expect("socket send queue lock")
+                            .is_empty())
+            });
+            if !pending {
+                break;
+            }
+            let since = *draining_since.get_or_insert_with(Instant::now);
+            if since.elapsed() > DRAIN_DEADLINE {
+                break;
+            }
+        }
+        if !progress {
+            std::thread::sleep(IDLE_BACKOFF);
+        }
+    }
+}
+
+/// Moves queued frames into the peer's write buffer and writes as much as
+/// the socket accepts. Returns `false` when the connection is broken.
+fn service_writes(shared: &Shared, conn: &mut Conn, peer: usize, progress: &mut bool) -> bool {
+    {
+        let mut q = shared.out[peer].lock().expect("socket send queue lock");
+        while let Some(frame) = q.pop_front() {
+            conn.outbuf.extend_from_slice(&frame);
+            shared.stats.record_socket_frame_sent();
+        }
+    }
+    let mut written = 0;
+    while written < conn.outbuf.len() {
+        match conn.stream.write(&conn.outbuf[written..]) {
+            Ok(0) => break,
+            Ok(n) => {
+                written += n;
+                *progress = true;
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(_) => return false,
+        }
+    }
+    conn.outbuf.drain(..written);
+    true
+}
+
+/// Reads whatever the kernel has, parses complete frames into the stash,
+/// and counts a short read when a partial frame stays buffered. Returns
+/// `false` on EOF or a connection error.
+fn service_reads(
+    shared: &Shared,
+    conn: &mut Conn,
+    peer: usize,
+    scratch: &mut [u8],
+    progress: &mut bool,
+) -> bool {
+    let mut alive = true;
+    let mut got_data = false;
+    loop {
+        match conn.stream.read(scratch) {
+            Ok(0) => {
+                alive = false;
+                break;
+            }
+            Ok(n) => {
+                conn.inbuf.extend_from_slice(&scratch[..n]);
+                got_data = true;
+                *progress = true;
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(_) => {
+                alive = false;
+                break;
+            }
+        }
+    }
+    let mut consumed = 0;
+    while conn.inbuf.len() - consumed >= FRAME_HEADER {
+        let at = &conn.inbuf[consumed..];
+        let len = u32::from_le_bytes(at[0..4].try_into().expect("len")) as usize;
+        if at.len() < FRAME_HEADER + len {
+            break;
+        }
+        let tag = u32::from_le_bytes(at[4..8].try_into().expect("tag"));
+        let crc = u32::from_le_bytes(at[8..12].try_into().expect("crc"));
+        let payload = &at[FRAME_HEADER..FRAME_HEADER + len];
+        if crc32_parts(&[&tag.to_le_bytes(), payload]) == crc {
+            shared.stats.record_socket_frame_received();
+            shared.file(peer, tag, Bytes::copy_from_slice(payload));
+        } else {
+            // A stream transport should never corrupt, but the check costs
+            // one table walk and turns "impossible" into an observable.
+            shared.stats.record_corruption_detected();
+        }
+        consumed += FRAME_HEADER + len;
+    }
+    conn.inbuf.drain(..consumed);
+    if got_data && !conn.inbuf.is_empty() {
+        shared.stats.record_socket_short_read();
+    }
+    // Deliver everything the peer managed to send before closing: frames
+    // already parsed above are in the stash, so marking the peer dead now
+    // cannot reorder data before failure.
+    alive
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_roundtrip_layout() {
+        let f = encode_frame(7, b"abc");
+        assert_eq!(f.len(), FRAME_HEADER + 3);
+        assert_eq!(u32::from_le_bytes(f[0..4].try_into().unwrap()), 3);
+        assert_eq!(u32::from_le_bytes(f[4..8].try_into().unwrap()), 7);
+        let crc = u32::from_le_bytes(f[8..12].try_into().unwrap());
+        assert_eq!(crc, crc32_parts(&[&7u32.to_le_bytes(), b"abc"]));
+        assert_eq!(&f[12..], b"abc");
+    }
+
+    #[test]
+    fn zero_length_frames_are_legal() {
+        let f = encode_frame(0, b"");
+        assert_eq!(f.len(), FRAME_HEADER);
+        assert_eq!(u32::from_le_bytes(f[0..4].try_into().unwrap()), 0);
+    }
+}

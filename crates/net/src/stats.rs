@@ -58,6 +58,21 @@ struct StatsInner {
     record_history: bool,
     history_capacity: usize,
     dropped_records: AtomicU64,
+    /// Socket-level counters ([`crate::SocketTransport`] only). These live
+    /// beside — not inside — [`StatsSnapshot`]: they describe the wire
+    /// mechanics of one backend, not the algorithm's communication volume,
+    /// and must never perturb the transport-independent report schema.
+    socket_connects: AtomicU64,
+    /// Connection attempts retried after a refused/failed connect during
+    /// bootstrap (backoff loop iterations past the first attempt).
+    socket_reconnect_attempts: AtomicU64,
+    /// Framed messages handed to the wire by the event loop.
+    socket_frames_sent: AtomicU64,
+    /// Framed messages parsed off the wire by the event loop.
+    socket_frames_received: AtomicU64,
+    /// Read passes that left a partial frame buffered (frame boundary did
+    /// not align with what the kernel had available).
+    socket_short_reads: AtomicU64,
 }
 
 /// One logged send (only when history recording is enabled).
@@ -173,6 +188,11 @@ impl NetStats {
                 record_history,
                 history_capacity: capacity,
                 dropped_records: AtomicU64::new(0),
+                socket_connects: AtomicU64::new(0),
+                socket_reconnect_attempts: AtomicU64::new(0),
+                socket_frames_sent: AtomicU64::new(0),
+                socket_frames_received: AtomicU64::new(0),
+                socket_short_reads: AtomicU64::new(0),
             }),
         }
     }
@@ -354,6 +374,64 @@ impl NetStats {
     /// run produced more than the configured capacity.
     pub fn dropped_records(&self) -> u64 {
         self.inner.dropped_records.load(Ordering::Relaxed)
+    }
+
+    /// Records one established socket connection (rendezvous or mesh).
+    pub fn record_socket_connect(&self) {
+        self.inner.socket_connects.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one retried connection attempt during bootstrap backoff.
+    pub fn record_socket_reconnect_attempt(&self) {
+        self.inner
+            .socket_reconnect_attempts
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one framed message handed to the wire.
+    pub fn record_socket_frame_sent(&self) {
+        self.inner
+            .socket_frames_sent
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one framed message parsed off the wire.
+    pub fn record_socket_frame_received(&self) {
+        self.inner
+            .socket_frames_received
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one read pass that left a partial frame buffered.
+    pub fn record_socket_short_read(&self) {
+        self.inner
+            .socket_short_reads
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Established socket connections so far.
+    pub fn socket_connects(&self) -> u64 {
+        self.inner.socket_connects.load(Ordering::Relaxed)
+    }
+
+    /// Retried connection attempts so far.
+    pub fn socket_reconnect_attempts(&self) -> u64 {
+        self.inner.socket_reconnect_attempts.load(Ordering::Relaxed)
+    }
+
+    /// Framed messages handed to the wire so far.
+    pub fn socket_frames_sent(&self) -> u64 {
+        self.inner.socket_frames_sent.load(Ordering::Relaxed)
+    }
+
+    /// Framed messages parsed off the wire so far.
+    pub fn socket_frames_received(&self) -> u64 {
+        self.inner.socket_frames_received.load(Ordering::Relaxed)
+    }
+
+    /// Read passes that left a partial frame buffered so far.
+    pub fn socket_short_reads(&self) -> u64 {
+        self.inner.socket_short_reads.load(Ordering::Relaxed)
     }
 
     /// Total bytes sent so far across all host pairs.
@@ -603,6 +681,26 @@ mod tests {
         let later = s.snapshot();
         let s2 = NetStats::new(2);
         let _ = s2.snapshot().since(&later);
+    }
+
+    #[test]
+    fn socket_counters_accumulate_outside_snapshots() {
+        let s = NetStats::new(2);
+        s.record_socket_connect();
+        s.record_socket_connect();
+        s.record_socket_reconnect_attempt();
+        s.record_socket_frame_sent();
+        s.record_socket_frame_received();
+        s.record_socket_short_read();
+        assert_eq!(s.socket_connects(), 2);
+        assert_eq!(s.socket_reconnect_attempts(), 1);
+        assert_eq!(s.socket_frames_sent(), 1);
+        assert_eq!(s.socket_frames_received(), 1);
+        assert_eq!(s.socket_short_reads(), 1);
+        // The transport-independent snapshot schema is untouched: a quiet
+        // snapshot still deltas to zero against a fresh one.
+        let quiet = NetStats::new(2);
+        assert_eq!(s.snapshot().since(&quiet.snapshot()), StatsDelta::default());
     }
 
     #[test]

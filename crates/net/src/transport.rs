@@ -30,11 +30,9 @@ const CANCEL_POLL: Duration = Duration::from_millis(1);
 ///
 /// Every endpoint created by [`MemoryTransport::cluster`] holds a clone of
 /// the same token. When any host fails with a typed error, tripping the
-/// token makes every sibling's *fallible* blocking receive return
+/// token makes every sibling's blocking receive return
 /// [`NetError::Cancelled`] promptly instead of waiting for traffic that
-/// will never come. The infallible receive paths are unaffected: their
-/// contract (block until a message arrives) predates cancellation and the
-/// panicking callers that use them never run under a supervisor.
+/// will never come.
 #[derive(Clone, Debug, Default)]
 pub struct CancelToken {
     tripped: Arc<AtomicBool>,
@@ -71,6 +69,17 @@ pub struct Envelope {
 /// Two-sided point-to-point messaging between the hosts of a cluster.
 ///
 /// All methods may be called concurrently from multiple threads of one host.
+///
+/// # Fallibility is the primary contract
+///
+/// Real backends fail: a socket peer dies mid-round, a retransmission
+/// budget runs out, a sibling host trips the cluster's cancellation token.
+/// The `try_*` methods are therefore the *required* surface every
+/// implementation provides, and every runtime call site — the Gluon sync
+/// paths, the collectives, the reliability layer — programs against them.
+/// The infallible `send`/`recv`/`recv_any` are deprecated default-provided
+/// wrappers that panic on any [`NetError`]; they exist only for quick
+/// in-memory experiments where failure genuinely cannot happen.
 pub trait Transport: Send + Sync {
     /// This host's rank in `0..world_size()`.
     fn rank(&self) -> usize;
@@ -80,42 +89,100 @@ pub trait Transport: Send + Sync {
 
     /// Sends `payload` to host `dst` with multiplexing tag `tag`.
     ///
-    /// Sends are asynchronous and never block. Sending to self is allowed
-    /// (the message is delivered through the normal path).
-    fn send(&self, dst: usize, tag: u32, payload: Bytes);
+    /// Sends are asynchronous and never block for peer progress (they may
+    /// copy into a local queue). Sending to self is allowed (the message is
+    /// delivered through the normal path).
+    ///
+    /// # Errors
+    ///
+    /// A typed [`NetError`] when the backend knows the send cannot succeed:
+    /// the reliability layer reports a peer that exhausted its
+    /// retransmission budget, a socket backend reports a broken pipe.
+    fn try_send(&self, dst: usize, tag: u32, payload: Bytes) -> Result<(), NetError>;
 
     /// Blocks until a message from `src` with tag `tag` arrives and returns
     /// its payload.
-    fn recv(&self, src: usize, tag: u32) -> Bytes;
+    ///
+    /// # Errors
+    ///
+    /// A typed [`NetError`] when the wait cannot complete: the source peer
+    /// is down, the cluster was cancelled, or this host was crashed by
+    /// fault injection.
+    fn try_recv(&self, src: usize, tag: u32) -> Result<Bytes, NetError>;
 
     /// Blocks until a message with tag `tag` arrives from *any* host.
-    fn recv_any(&self, tag: u32) -> Envelope;
+    ///
+    /// # Errors
+    ///
+    /// As [`Transport::try_recv`].
+    fn try_recv_any(&self, tag: u32) -> Result<Envelope, NetError>;
 
     /// Waits up to `timeout` for a message with tag `tag` from any host.
     ///
-    /// Returns `None` if nothing arrived in time. A zero timeout polls:
-    /// already-buffered messages are still returned. This is the primitive
-    /// that lets a reliability layer interleave retransmission timers with
-    /// receiving, so every implementation must provide it.
-    fn recv_any_timeout(&self, tag: u32, timeout: Duration) -> Option<Envelope>;
-
-    /// Fallible [`Transport::send`].
+    /// Expiry returns the typed [`NetError::Timeout`] — uniformly across
+    /// backends, never a sentinel value — which callers treat as observed
+    /// silence, not failure. A zero timeout polls: already-buffered
+    /// messages are still returned. This is the primitive that lets a
+    /// reliability layer interleave retransmission timers with receiving,
+    /// so every implementation must provide it.
     ///
-    /// The base transports cannot fail; the reliability layer overrides
-    /// this to report a peer that exhausted its retransmission budget.
-    fn try_send(&self, dst: usize, tag: u32, payload: Bytes) -> Result<(), NetError> {
-        self.send(dst, tag, payload);
-        Ok(())
+    /// # Errors
+    ///
+    /// [`NetError::Timeout`] on expiry; other [`NetError`]s as
+    /// [`Transport::try_recv`].
+    fn try_recv_any_timeout(&self, tag: u32, timeout: Duration) -> Result<Envelope, NetError>;
+
+    /// Infallible [`Transport::try_send`]; panics on any transport error.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the underlying `try_send` reports a [`NetError`] — only
+    /// safe on in-memory backends, where sends cannot fail.
+    #[deprecated(note = "program against try_send; this wrapper panics on transport errors")]
+    fn send(&self, dst: usize, tag: u32, payload: Bytes) {
+        if let Err(e) = self.try_send(dst, tag, payload) {
+            panic!("transport send to {dst} failed: {e}");
+        }
     }
 
-    /// Fallible [`Transport::recv`].
-    fn try_recv(&self, src: usize, tag: u32) -> Result<Bytes, NetError> {
-        Ok(self.recv(src, tag))
+    /// Infallible [`Transport::try_recv`]; panics on any transport error.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the underlying `try_recv` reports a [`NetError`].
+    #[deprecated(note = "program against try_recv; this wrapper panics on transport errors")]
+    fn recv(&self, src: usize, tag: u32) -> Bytes {
+        self.try_recv(src, tag)
+            .unwrap_or_else(|e| panic!("transport recv from {src} failed: {e}"))
     }
 
-    /// Fallible [`Transport::recv_any`].
-    fn try_recv_any(&self, tag: u32) -> Result<Envelope, NetError> {
-        Ok(self.recv_any(tag))
+    /// Infallible [`Transport::try_recv_any`]; panics on any transport
+    /// error.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the underlying `try_recv_any` reports a [`NetError`].
+    #[deprecated(note = "program against try_recv_any; this wrapper panics on transport errors")]
+    fn recv_any(&self, tag: u32) -> Envelope {
+        self.try_recv_any(tag)
+            .unwrap_or_else(|e| panic!("transport recv_any failed: {e}"))
+    }
+
+    /// Sentinel-style [`Transport::try_recv_any_timeout`]: `None` on
+    /// expiry, panicking on real transport errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any [`NetError`] other than [`NetError::Timeout`].
+    #[deprecated(
+        note = "program against try_recv_any_timeout; expiry is the typed NetError::Timeout"
+    )]
+    fn recv_any_timeout(&self, tag: u32, timeout: Duration) -> Option<Envelope> {
+        match self.try_recv_any_timeout(tag, timeout) {
+            Ok(env) => Some(env),
+            Err(NetError::Timeout) => None,
+            Err(e) => panic!("transport recv_any_timeout failed: {e}"),
+        }
     }
 
     /// Reports the sync-phase index the application has reached.
@@ -159,8 +226,8 @@ type Packet = (usize, u32, Bytes);
 /// let mut eps = MemoryTransport::cluster(2);
 /// let b = eps.pop().expect("endpoint for host 1");
 /// let a = eps.pop().expect("endpoint for host 0");
-/// a.send(1, 7, Bytes::from_static(b"hi"));
-/// assert_eq!(&b.recv(0, 7)[..], b"hi");
+/// a.try_send(1, 7, Bytes::from_static(b"hi")).unwrap();
+/// assert_eq!(&b.try_recv(0, 7).unwrap()[..], b"hi");
 /// ```
 #[derive(Debug)]
 pub struct MemoryTransport {
@@ -190,8 +257,8 @@ pub struct MemoryTransport {
 /// drift apart, which peaks long after any warm-up, so a first-touch
 /// high-water must not cost an allocation mid-run.
 #[derive(Debug)]
-struct Stash<K, T> {
-    map: HashMap<K, VecDeque<T>>,
+pub(crate) struct Stash<K, T> {
+    pub(crate) map: HashMap<K, VecDeque<T>>,
     free: Vec<VecDeque<T>>,
 }
 
@@ -205,7 +272,7 @@ const STASH_QUEUE_RESERVE: usize = 32;
 const STASH_QUEUE_DEPTH: usize = 8;
 
 impl<K: Eq + std::hash::Hash, T> Stash<K, T> {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         let mut free = Vec::with_capacity(STASH_QUEUE_RESERVE);
         free.resize_with(STASH_QUEUE_RESERVE, || {
             VecDeque::with_capacity(STASH_QUEUE_DEPTH)
@@ -218,7 +285,7 @@ impl<K: Eq + std::hash::Hash, T> Stash<K, T> {
 
     /// Appends `item` to `key`'s queue, reviving a recycled queue (or, on
     /// a cold pool, allocating one) if the key is new.
-    fn push(&mut self, key: K, item: T) {
+    pub(crate) fn push(&mut self, key: K, item: T) {
         match self.map.entry(key) {
             std::collections::hash_map::Entry::Occupied(mut e) => e.get_mut().push_back(item),
             std::collections::hash_map::Entry::Vacant(e) => {
@@ -231,7 +298,7 @@ impl<K: Eq + std::hash::Hash, T> Stash<K, T> {
 
     /// Drops `key`'s (empty) queue from the map, parking its storage on
     /// the free-list.
-    fn retire(&mut self, key: &K) {
+    pub(crate) fn retire(&mut self, key: &K) {
         if let Some(q) = self.map.remove(key) {
             debug_assert!(q.is_empty(), "retired a non-empty stash queue");
             self.free.push(q);
@@ -298,26 +365,11 @@ impl MemoryTransport {
         self.cancel.clone()
     }
 
-    /// Pulls one packet from the wire into the appropriate stash, blocking
-    /// until something arrives.
-    ///
-    /// # Panics
-    ///
-    /// Panics if all peer endpoints were dropped while a receive is pending
-    /// (a deadlocked or crashed cluster).
-    fn pump(&self) {
-        let packet = self
-            .receiver
-            .recv()
-            .expect("cluster peers disconnected while a receive was pending");
-        self.file(packet);
-    }
-
-    /// As [`MemoryTransport::pump`], but wakes up periodically to check the
-    /// cluster's [`CancelToken`] instead of blocking indefinitely. Used by
-    /// the fallible receive paths so a failed sibling host can abort this
-    /// one promptly. A disconnected channel (every other endpoint dropped)
-    /// is reported as [`NetError::Cancelled`] too: nothing can ever arrive.
+    /// Pulls one packet from the wire into the appropriate stash, waking up
+    /// periodically to check the cluster's [`CancelToken`] instead of
+    /// blocking indefinitely, so a failed sibling host can abort this one
+    /// promptly. A disconnected channel (every other endpoint dropped) is
+    /// reported as [`NetError::Cancelled`] too: nothing can ever arrive.
     fn pump_cancellable(&self) -> Result<(), NetError> {
         loop {
             // Drain without blocking first so an already-delivered packet
@@ -395,11 +447,12 @@ impl MemoryTransport {
 }
 
 /// Identity comparison helper for de-duplicating the two stash indexes.
-trait PtrEqLen {
+pub(crate) trait PtrEqLen {
     fn ptr_eq_len(a: &Bytes, b: &Bytes) -> bool;
 }
 
 impl PtrEqLen for Bytes {
+    /// True when `a` and `b` are the same buffer (pointer and length).
     fn ptr_eq_len(a: &Bytes, b: &Bytes) -> bool {
         a.as_ptr() == b.as_ptr() && a.len() == b.len()
     }
@@ -414,7 +467,7 @@ impl Transport for MemoryTransport {
         self.world_size
     }
 
-    fn send(&self, dst: usize, tag: u32, payload: Bytes) {
+    fn try_send(&self, dst: usize, tag: u32, payload: Bytes) -> Result<(), NetError> {
         assert!(dst < self.world_size, "destination rank out of range");
         self.stats
             .record_send(self.rank, dst, tag, payload.len() as u64);
@@ -423,25 +476,7 @@ impl Transport for MemoryTransport {
         // reliability layer may still be retransmitting to a peer whose
         // thread already finished and dropped its endpoint.
         let _ = self.senders[dst].send((self.rank, tag, payload));
-    }
-
-    fn recv(&self, src: usize, tag: u32) -> Bytes {
-        assert!(src < self.world_size, "source rank out of range");
-        loop {
-            if let Some(payload) = self.take_exact(src, tag) {
-                return payload;
-            }
-            self.pump();
-        }
-    }
-
-    fn recv_any(&self, tag: u32) -> Envelope {
-        loop {
-            if let Some((src, payload)) = self.take_any(tag) {
-                return Envelope { src, tag, payload };
-            }
-            self.pump();
-        }
+        Ok(())
     }
 
     /// Cancel-aware [`Transport::try_recv`]: blocks until a matching
@@ -470,7 +505,7 @@ impl Transport for MemoryTransport {
         self.cancel.is_tripped().then_some(NetError::Cancelled)
     }
 
-    fn recv_any_timeout(&self, tag: u32, timeout: Duration) -> Option<Envelope> {
+    fn try_recv_any_timeout(&self, tag: u32, timeout: Duration) -> Result<Envelope, NetError> {
         let deadline = Instant::now() + timeout;
         loop {
             // Drain everything already on the wire first, so that a
@@ -481,17 +516,18 @@ impl Transport for MemoryTransport {
                 self.file(packet);
             }
             if let Some((src, payload)) = self.take_any(tag) {
-                return Some(Envelope { src, tag, payload });
+                return Ok(Envelope { src, tag, payload });
             }
             let now = Instant::now();
             if now >= deadline {
-                return None;
+                return Err(NetError::Timeout);
             }
             match self.receiver.recv_timeout(deadline - now) {
                 Ok(packet) => self.file(packet),
                 // Timed out, or every peer endpoint is gone: either way
-                // nothing more can arrive within the deadline.
-                Err(_) => return None,
+                // nothing more can arrive within the deadline, which is
+                // silence, not failure.
+                Err(_) => return Err(NetError::Timeout),
             }
         }
     }
@@ -506,13 +542,22 @@ mod tests {
     use super::*;
     use std::thread;
 
+    fn send(t: &MemoryTransport, dst: usize, tag: u32, payload: &'static [u8]) {
+        t.try_send(dst, tag, Bytes::from_static(payload))
+            .expect("memory send cannot fail");
+    }
+
+    fn recv(t: &MemoryTransport, src: usize, tag: u32) -> Bytes {
+        t.try_recv(src, tag).expect("receive failed")
+    }
+
     #[test]
     fn point_to_point_delivery() {
         let mut eps = MemoryTransport::cluster(2);
         let b = eps.pop().expect("two endpoints");
         let a = eps.pop().expect("two endpoints");
-        a.send(1, 1, Bytes::from_static(b"x"));
-        assert_eq!(&b.recv(0, 1)[..], b"x");
+        send(&a, 1, 1, b"x");
+        assert_eq!(&recv(&b, 0, 1)[..], b"x");
     }
 
     #[test]
@@ -520,10 +565,10 @@ mod tests {
         let mut eps = MemoryTransport::cluster(2);
         let b = eps.pop().expect("two endpoints");
         let a = eps.pop().expect("two endpoints");
-        a.send(1, 1, Bytes::from_static(b"first"));
-        a.send(1, 1, Bytes::from_static(b"second"));
-        assert_eq!(&b.recv(0, 1)[..], b"first");
-        assert_eq!(&b.recv(0, 1)[..], b"second");
+        send(&a, 1, 1, b"first");
+        send(&a, 1, 1, b"second");
+        assert_eq!(&recv(&b, 0, 1)[..], b"first");
+        assert_eq!(&recv(&b, 0, 1)[..], b"second");
     }
 
     #[test]
@@ -531,11 +576,11 @@ mod tests {
         let mut eps = MemoryTransport::cluster(2);
         let b = eps.pop().expect("two endpoints");
         let a = eps.pop().expect("two endpoints");
-        a.send(1, 1, Bytes::from_static(b"one"));
-        a.send(1, 2, Bytes::from_static(b"two"));
+        send(&a, 1, 1, b"one");
+        send(&a, 1, 2, b"two");
         // Ask for tag 2 first; tag 1 must be stashed, not lost.
-        assert_eq!(&b.recv(0, 2)[..], b"two");
-        assert_eq!(&b.recv(0, 1)[..], b"one");
+        assert_eq!(&recv(&b, 0, 2)[..], b"two");
+        assert_eq!(&recv(&b, 0, 1)[..], b"one");
     }
 
     #[test]
@@ -544,9 +589,12 @@ mod tests {
         let c = eps.pop().expect("three endpoints");
         let b = eps.pop().expect("three endpoints");
         let a = eps.pop().expect("three endpoints");
-        a.send(2, 5, Bytes::from_static(b"from a"));
-        b.send(2, 5, Bytes::from_static(b"from b"));
-        let mut seen = vec![c.recv_any(5).src, c.recv_any(5).src];
+        send(&a, 2, 5, b"from a");
+        send(&b, 2, 5, b"from b");
+        let mut seen = vec![
+            c.try_recv_any(5).expect("first").src,
+            c.try_recv_any(5).expect("second").src,
+        ];
         seen.sort_unstable();
         assert_eq!(seen, vec![0, 1]);
     }
@@ -556,20 +604,20 @@ mod tests {
         let mut eps = MemoryTransport::cluster(2);
         let b = eps.pop().expect("two endpoints");
         let a = eps.pop().expect("two endpoints");
-        a.send(1, 3, Bytes::from_static(b"only"));
-        let env = b.recv_any(3);
+        send(&a, 1, 3, b"only");
+        let env = b.try_recv_any(3).expect("delivered");
         assert_eq!(env.src, 0);
         // The message must not be receivable twice.
-        a.send(1, 3, Bytes::from_static(b"next"));
-        assert_eq!(&b.recv(0, 3)[..], b"next");
+        send(&a, 1, 3, b"next");
+        assert_eq!(&recv(&b, 0, 3)[..], b"next");
     }
 
     #[test]
     fn self_send_works() {
         let mut eps = MemoryTransport::cluster(1);
         let a = eps.pop().expect("one endpoint");
-        a.send(0, 0, Bytes::from_static(b"me"));
-        assert_eq!(&a.recv(0, 0)[..], b"me");
+        send(&a, 0, 0, b"me");
+        assert_eq!(&recv(&a, 0, 0)[..], b"me");
     }
 
     #[test]
@@ -580,15 +628,16 @@ mod tests {
         thread::scope(|s| {
             s.spawn(|| {
                 for i in 0..100u32 {
-                    a.send(1, 0, Bytes::copy_from_slice(&i.to_le_bytes()));
-                    let echo = a.recv(1, 1);
+                    a.try_send(1, 0, Bytes::copy_from_slice(&i.to_le_bytes()))
+                        .expect("send");
+                    let echo = recv(&a, 1, 1);
                     assert_eq!(&echo[..], &i.to_le_bytes());
                 }
             });
             s.spawn(|| {
                 for _ in 0..100 {
-                    let m = b.recv(0, 0);
-                    b.send(0, 1, m);
+                    let m = recv(&b, 0, 0);
+                    b.try_send(0, 1, m).expect("send");
                 }
             });
         });
@@ -599,15 +648,41 @@ mod tests {
         let mut eps = MemoryTransport::cluster(2);
         let _b = eps.pop().expect("two endpoints");
         let a = eps.pop().expect("two endpoints");
-        a.send(1, 0, Bytes::from_static(b"12345"));
+        send(&a, 1, 0, b"12345");
         assert_eq!(a.stats().total_bytes(), 5);
         assert_eq!(a.stats().total_messages(), 1);
+    }
+
+    #[test]
+    fn timeout_expiry_is_typed() {
+        let eps = MemoryTransport::cluster(2);
+        assert_eq!(
+            eps[0]
+                .try_recv_any_timeout(9, Duration::from_millis(1))
+                .unwrap_err(),
+            NetError::Timeout
+        );
+    }
+
+    /// The deprecated infallible wrappers stay behaviorally intact for
+    /// in-memory experiments: they delegate to the fallible methods.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_delegate_to_fallible_forms() {
+        let mut eps = MemoryTransport::cluster(2);
+        let b = eps.pop().expect("two endpoints");
+        let a = eps.pop().expect("two endpoints");
+        a.send(1, 1, Bytes::from_static(b"wrapped"));
+        assert_eq!(&b.recv(0, 1)[..], b"wrapped");
+        a.send(1, 2, Bytes::from_static(b"any"));
+        assert_eq!(b.recv_any(2).src, 0);
+        assert!(b.recv_any_timeout(3, Duration::from_millis(1)).is_none());
     }
 
     #[test]
     #[should_panic(expected = "out of range")]
     fn send_to_bad_rank_panics() {
         let eps = MemoryTransport::cluster(1);
-        eps[0].send(3, 0, Bytes::new());
+        let _ = eps[0].try_send(3, 0, Bytes::new());
     }
 }

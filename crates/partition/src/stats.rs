@@ -40,11 +40,32 @@ impl PartitionStats {
     /// Panics if `parts` is empty.
     pub fn of(parts: &[LocalGraph]) -> Self {
         assert!(!parts.is_empty(), "no partitions");
-        let num_hosts = parts.len();
-        let global_nodes = parts[0].global_nodes();
-        let global_edges = parts[0].global_edges();
         let proxies: Vec<u64> = parts.iter().map(|p| u64::from(p.num_proxies())).collect();
         let edges: Vec<u64> = parts.iter().map(|p| p.num_local_edges()).collect();
+        Self::from_scalars(
+            parts[0].global_nodes(),
+            parts[0].global_edges(),
+            &proxies,
+            &edges,
+        )
+    }
+
+    /// Computes metrics from per-host scalars rather than the partitions
+    /// themselves — what a multi-process launcher has after workers report
+    /// their `num_proxies()` / `num_local_edges()` over the wire.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `proxies` and `edges` differ in length or are empty.
+    pub fn from_scalars(
+        global_nodes: u32,
+        global_edges: u64,
+        proxies: &[u64],
+        edges: &[u64],
+    ) -> Self {
+        assert!(!proxies.is_empty(), "no partitions");
+        assert_eq!(proxies.len(), edges.len(), "per-host scalar length skew");
+        let num_hosts = proxies.len();
         let total_proxies: u64 = proxies.iter().sum();
         let mean_edges = edges.iter().sum::<u64>() as f64 / num_hosts as f64;
         let mean_proxies = total_proxies as f64 / num_hosts as f64;
@@ -107,6 +128,22 @@ mod tests {
             cvc < oec,
             "expected CVC ({cvc:.2}) below OEC ({oec:.2}) at {hosts} hosts"
         );
+    }
+
+    #[test]
+    fn from_scalars_matches_of() {
+        let g = gen::rmat(7, 6, Default::default(), 3);
+        let parts = partition_all(&g, 4, Policy::Cvc);
+        let direct = PartitionStats::of(&parts);
+        let proxies: Vec<u64> = parts.iter().map(|p| u64::from(p.num_proxies())).collect();
+        let edges: Vec<u64> = parts.iter().map(|p| p.num_local_edges()).collect();
+        let scalar = PartitionStats::from_scalars(
+            parts[0].global_nodes(),
+            parts[0].global_edges(),
+            &proxies,
+            &edges,
+        );
+        assert_eq!(direct, scalar);
     }
 
     #[test]

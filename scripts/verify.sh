@@ -7,18 +7,22 @@
 #   3. the crash-chaos battery under --release: injected host crashes
 #      must recover bit-identical via checkpoints, and unrecoverable
 #      failures must surface typed errors within the detector timeout;
-#   4. the determinism matrix (threads × algorithms × policies,
+#   4. the socket-backend battery under --release: the parity suite
+#      (separate worker processes over TCP and Unix sockets must match
+#      the in-memory backend bit-for-bit, and a killed worker must yield
+#      a typed peer-death error) plus the 2-process `gluon-host smoke`;
+#   5. the determinism matrix (threads × algorithms × policies,
 #      bit-identical results and wire counters) under --release;
-#   5. the codec battery under --release: the differential oracle
+#   6. the codec battery under --release: the differential oracle
 #      against the naive reference codec plus the fixed-seed fuzz smoke
 #      (truncations, bit flips, garbage — the decoder must never panic);
-#   6. the allocation guard under --release with the `alloc-meter`
+#   7. the allocation guard under --release with the `alloc-meter`
 #      counting allocator: steady-state sync rounds allocate nothing,
 #      and toggling the arena changes no observable result;
-#   7. every bench compiles (`cargo bench --no-run`);
-#   8. rustfmt, as a check only;
-#   9. clippy across the workspace with warnings denied;
-#  10. rustdoc with warnings denied (missing docs on public API fail).
+#   8. every bench compiles (`cargo bench --no-run`);
+#   9. rustfmt, as a check only;
+#  10. clippy across the workspace with warnings denied;
+#  11. rustdoc with warnings denied (missing docs on public API fail).
 #
 # Every test invocation runs under a hang watchdog: the crash-tolerance
 # contract is "typed error, never a hang", so a test step that exceeds
@@ -58,6 +62,10 @@ if [[ "$FAST" == "0" ]]; then
     watchdog 900 cargo test -q
     echo "==> cargo test --release --test crash_chaos (crash injection, recovery, typed errors; 300s watchdog)"
     watchdog 300 cargo test -q --release --test crash_chaos
+    echo "==> cargo test --release --test socket_parity (multi-process TCP/UDS parity + typed peer death; 300s watchdog)"
+    watchdog 300 cargo test -q --release --test socket_parity
+    echo "==> gluon-host smoke (2-process TCP bfs vs the memory backend; 120s watchdog)"
+    watchdog 120 cargo run -q --release --bin gluon-host -- smoke
     echo "==> cargo test --release --test determinism (thread-count invariance; 600s watchdog)"
     watchdog 600 cargo test -q --release --test determinism
     echo "==> cargo test --release codec battery (differential oracle + fuzz smoke; 600s watchdog)"
@@ -67,6 +75,8 @@ if [[ "$FAST" == "0" ]]; then
 else
     echo "==> cargo test -q --no-default-features (chaos matrices skipped; 900s watchdog)"
     watchdog 900 cargo test -q --workspace --no-default-features
+    echo "==> gluon-host smoke (2-process TCP bfs vs the memory backend; 120s watchdog)"
+    watchdog 120 cargo run -q --bin gluon-host -- smoke
 fi
 
 echo "==> cargo bench --no-run (benches must always compile)"

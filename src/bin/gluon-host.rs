@@ -1,0 +1,8 @@
+//! One host of a multi-process Gluon cluster. Spawned (one process per
+//! rank) by `gluon_algos::launcher::spawn_local_cluster`; see that module
+//! for the argument protocol. `gluon-host smoke` runs a self-contained
+//! 2-process parity check against the in-memory backend.
+
+fn main() {
+    std::process::exit(gluon_algos::launcher::gluon_host_main());
+}

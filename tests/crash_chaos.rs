@@ -350,7 +350,7 @@ impl Transport for TruncatingTransport {
         self.inner.world_size()
     }
 
-    fn send(&self, dst: usize, tag: u32, payload: Bytes) {
+    fn try_send(&self, dst: usize, tag: u32, payload: Bytes) -> Result<(), NetError> {
         // Only user-range (sync-phase) payloads are mangled; collectives
         // keep working so the BSP rounds stay in lock-step and the decode
         // error is the only anomaly hosts can see.
@@ -363,19 +363,19 @@ impl Transport for TruncatingTransport {
         } else {
             payload
         };
-        self.inner.send(dst, tag, payload);
+        self.inner.try_send(dst, tag, payload)
     }
 
-    fn recv(&self, src: usize, tag: u32) -> Bytes {
-        self.inner.recv(src, tag)
+    fn try_recv(&self, src: usize, tag: u32) -> Result<Bytes, NetError> {
+        self.inner.try_recv(src, tag)
     }
 
-    fn recv_any(&self, tag: u32) -> Envelope {
-        self.inner.recv_any(tag)
+    fn try_recv_any(&self, tag: u32) -> Result<Envelope, NetError> {
+        self.inner.try_recv_any(tag)
     }
 
-    fn recv_any_timeout(&self, tag: u32, timeout: Duration) -> Option<Envelope> {
-        self.inner.recv_any_timeout(tag, timeout)
+    fn try_recv_any_timeout(&self, tag: u32, timeout: Duration) -> Result<Envelope, NetError> {
+        self.inner.try_recv_any_timeout(tag, timeout)
     }
 
     fn note_round(&self, round: u64) {

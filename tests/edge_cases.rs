@@ -128,13 +128,14 @@ fn transport_tolerates_out_of_order_consumption() {
     let results = run_cluster(2, |ep| {
         if ep.rank() == 0 {
             for tag in 0..10u32 {
-                ep.send(1, tag, Bytes::copy_from_slice(&[tag as u8]));
+                ep.try_send(1, tag, Bytes::copy_from_slice(&[tag as u8]))
+                    .unwrap();
             }
             Vec::new()
         } else {
             (0..10u32)
                 .rev()
-                .map(|tag| ep.recv(0, tag)[0])
+                .map(|tag| ep.try_recv(0, tag).unwrap()[0])
                 .collect::<Vec<u8>>()
         }
     });
@@ -151,9 +152,10 @@ fn interleaved_sync_and_collectives_do_not_cross_talk() {
         for round in 0..20u64 {
             let next = (ep.rank() + 1) % 3;
             let prev = (ep.rank() + 2) % 3;
-            ep.send(next, 7, Bytes::copy_from_slice(&round.to_le_bytes()));
+            ep.try_send(next, 7, Bytes::copy_from_slice(&round.to_le_bytes()))
+                .unwrap();
             total += comm.all_reduce_u64(1, |a, b| a + b);
-            let got = ep.recv(prev, 7);
+            let got = ep.try_recv(prev, 7).unwrap();
             assert_eq!(u64::from_le_bytes(got[..8].try_into().unwrap()), round);
             comm.barrier();
         }
@@ -166,10 +168,10 @@ fn interleaved_sync_and_collectives_do_not_cross_talk() {
 fn zero_byte_payloads_are_delivered() {
     let out = run_cluster(2, |ep| {
         if ep.rank() == 0 {
-            ep.send(1, 0, Bytes::new());
+            ep.try_send(1, 0, Bytes::new()).unwrap();
             0
         } else {
-            ep.recv(0, 0).len()
+            ep.try_recv(0, 0).unwrap().len()
         }
     });
     assert_eq!(out[1], 0);
